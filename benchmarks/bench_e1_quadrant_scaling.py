@@ -1,0 +1,37 @@
+"""E1 — quadrant diagram construction time vs n, per distribution.
+
+Paper claim (Secs. IV.B–IV.D): sweeping < scanning < DSG/baseline, with the
+gap widening as n grows; correlated data is cheapest (fewest skyline points
+per cell), anti-correlated most expensive.
+"""
+
+import pytest
+
+from repro.diagram import (
+    quadrant_baseline,
+    quadrant_dsg,
+    quadrant_scanning,
+    quadrant_sweeping,
+)
+
+from conftest import dataset
+
+ALGORITHMS = {
+    "baseline": quadrant_baseline,
+    "dsg": quadrant_dsg,
+    "scanning": quadrant_scanning,
+    "sweeping": quadrant_sweeping,
+}
+
+
+@pytest.mark.parametrize("n", [64, 128])
+@pytest.mark.parametrize(
+    "distribution", ["correlated", "independent", "anticorrelated"]
+)
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_quadrant_construction(benchmark, distribution, n, algorithm):
+    points = dataset(distribution, n)
+    build = ALGORITHMS[algorithm]
+    benchmark.extra_info["experiment"] = "E1"
+    result = benchmark(build, points)
+    assert result is not None

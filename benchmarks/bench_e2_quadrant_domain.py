@@ -1,0 +1,36 @@
+"""E2 — quadrant diagram construction time vs domain size s.
+
+Paper claim (complexity analyses of Sec. IV): a bounded domain caps the
+grid at O(min(s, n)^2) cells, so construction time grows with s and
+saturates once s exceeds the number of distinct coordinates.
+"""
+
+import pytest
+
+from repro.diagram import (
+    quadrant_baseline,
+    quadrant_dsg,
+    quadrant_scanning,
+    quadrant_sweeping,
+)
+
+from conftest import dataset
+
+ALGORITHMS = {
+    "baseline": quadrant_baseline,
+    "dsg": quadrant_dsg,
+    "scanning": quadrant_scanning,
+    "sweeping": quadrant_sweeping,
+}
+
+N = 96
+
+
+@pytest.mark.parametrize("domain", [16, 64])
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_quadrant_construction_bounded_domain(benchmark, domain, algorithm):
+    points = dataset("independent", N, domain=domain)
+    build = ALGORITHMS[algorithm]
+    benchmark.extra_info["experiment"] = "E2"
+    result = benchmark(build, points)
+    assert result is not None

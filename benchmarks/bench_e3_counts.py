@@ -1,0 +1,31 @@
+"""E3 — structure sizes: merging cost and polyomino counts.
+
+Paper context: the number of skyline polyominos determines the output size
+(and the storage bound O(min(s^2, n^2) n)); correlated data produces far
+fewer distinct results than anti-correlated data.  The benchmark times the
+merge phase and records the counts as extra info.
+"""
+
+import pytest
+
+from repro.diagram.merge import merge_cells
+from repro.diagram.quadrant_scanning import quadrant_scanning
+
+from conftest import dataset
+
+
+@pytest.mark.parametrize("n", [64, 128])
+@pytest.mark.parametrize(
+    "distribution", ["correlated", "independent", "anticorrelated"]
+)
+def test_merge_phase(benchmark, distribution, n):
+    diagram = quadrant_scanning(dataset(distribution, n))
+    results = dict(diagram.cells())
+    shape = diagram.grid.shape
+
+    polyominos = benchmark(merge_cells, shape, results)
+    benchmark.extra_info["experiment"] = "E3"
+    benchmark.extra_info["cells"] = diagram.grid.num_cells
+    benchmark.extra_info["distinct_results"] = len(diagram.distinct_results())
+    benchmark.extra_info["polyominos"] = len(polyominos)
+    assert len(polyominos) == len(diagram.distinct_results())

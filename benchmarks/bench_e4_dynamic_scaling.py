@@ -1,0 +1,30 @@
+"""E4 — dynamic diagram construction time vs n.
+
+Paper claim (Sec. V): the subset algorithm is "significantly faster" than
+the O(n^5) baseline because each subcell re-skylines only its cell's global
+skyline; the scanning algorithm is faster still.
+"""
+
+import pytest
+
+from repro.diagram import dynamic_baseline, dynamic_scanning, dynamic_subset
+
+from conftest import dataset
+
+ALGORITHMS = {
+    "baseline": dynamic_baseline,
+    "subset": dynamic_subset,
+    "scanning": dynamic_scanning,
+}
+
+DOMAIN = 64
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_dynamic_construction(benchmark, n, algorithm):
+    points = dataset("independent", n, domain=DOMAIN)
+    build = ALGORITHMS[algorithm]
+    benchmark.extra_info["experiment"] = "E4"
+    result = benchmark(build, points)
+    assert result is not None

@@ -1,0 +1,30 @@
+"""E5 — dynamic diagram construction time vs domain size s.
+
+Paper claim (Sec. V complexity analyses): with a bounded domain most
+bisector lines coincide, capping the subcell grid at O(min(s, n^2)^2), so
+cost grows with s until the bisectors stop colliding.
+"""
+
+import pytest
+
+from repro.diagram import dynamic_baseline, dynamic_scanning, dynamic_subset
+
+from conftest import dataset
+
+ALGORITHMS = {
+    "baseline": dynamic_baseline,
+    "subset": dynamic_subset,
+    "scanning": dynamic_scanning,
+}
+
+N = 16
+
+
+@pytest.mark.parametrize("domain", [8, 32])
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_dynamic_construction_bounded_domain(benchmark, domain, algorithm):
+    points = dataset("independent", N, domain=domain)
+    build = ALGORITHMS[algorithm]
+    benchmark.extra_info["experiment"] = "E5"
+    result = benchmark(build, points)
+    assert result is not None

@@ -1,0 +1,32 @@
+"""E6 — high-dimensional (d = 3) quadrant diagram construction vs n.
+
+Paper context (Sec. IV.E): all cell-based algorithms extend to d > 2 (the
+sweeping algorithm does not).  The DSG sweep amortizes best: its per-cell
+work tracks the number of dominance-link updates, not n.
+"""
+
+import pytest
+
+from repro.diagram.highdim import (
+    quadrant_baseline_nd,
+    quadrant_dsg_nd,
+    quadrant_scanning_nd,
+)
+
+from conftest import dataset
+
+ALGORITHMS = {
+    "baseline": quadrant_baseline_nd,
+    "dsg": quadrant_dsg_nd,
+    "scanning": quadrant_scanning_nd,
+}
+
+
+@pytest.mark.parametrize("n", [8, 16, 24])
+@pytest.mark.parametrize("algorithm", list(ALGORITHMS))
+def test_highdim_construction(benchmark, n, algorithm):
+    points = dataset("independent", n, dim=3, domain=32)
+    build = ALGORITHMS[algorithm]
+    benchmark.extra_info["experiment"] = "E6"
+    result = benchmark(build, points)
+    assert result is not None

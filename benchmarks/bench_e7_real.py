@@ -1,0 +1,54 @@
+"""E7 — construction times on the substituted real datasets.
+
+Paper context: the evaluation runs on real data alongside synthetic; the
+hotel data (anti-correlated, bounded domain) stresses skyline sizes while
+the NBA-style data (correlated) is the easy case.  See DESIGN.md for the
+substitution note.
+"""
+
+import pytest
+
+from repro.diagram import (
+    dynamic_baseline,
+    dynamic_scanning,
+    dynamic_subset,
+    quadrant_baseline,
+    quadrant_dsg,
+    quadrant_scanning,
+    quadrant_sweeping,
+)
+
+from conftest import real_dataset
+
+QUADRANT = {
+    "baseline": quadrant_baseline,
+    "dsg": quadrant_dsg,
+    "scanning": quadrant_scanning,
+    "sweeping": quadrant_sweeping,
+}
+
+DYNAMIC = {
+    "baseline": dynamic_baseline,
+    "subset": dynamic_subset,
+    "scanning": dynamic_scanning,
+}
+
+
+@pytest.mark.parametrize("name", ["hotels", "nba"])
+@pytest.mark.parametrize("algorithm", list(QUADRANT))
+def test_real_quadrant(benchmark, name, algorithm):
+    points = real_dataset(name, 128)
+    build = QUADRANT[algorithm]
+    benchmark.extra_info["experiment"] = "E7"
+    result = benchmark(build, points)
+    assert result is not None
+
+
+@pytest.mark.parametrize("name", ["hotels", "nba"])
+@pytest.mark.parametrize("algorithm", list(DYNAMIC))
+def test_real_dynamic(benchmark, name, algorithm):
+    points = real_dataset(name, 12)
+    build = DYNAMIC[algorithm]
+    benchmark.extra_info["experiment"] = "E7"
+    result = benchmark(build, points)
+    assert result is not None

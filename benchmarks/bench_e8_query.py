@@ -1,0 +1,58 @@
+"""E8 — per-query latency: precomputed diagram vs from-scratch skyline.
+
+The diagram's raison d'être (paper Sec. I): point location answers a
+skyline query in O(log n) versus a full O(n log n) recomputation, the same
+trade Voronoi diagrams buy for kNN.
+"""
+
+import random
+
+import pytest
+
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.skyline.queries import quadrant_skyline
+
+from conftest import dataset
+
+BATCH = 100
+
+
+def _queries(seed: int):
+    rng = random.Random(seed)
+    return [(rng.random(), rng.random()) for _ in range(BATCH)]
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_diagram_lookup(benchmark, n):
+    points = dataset("independent", n)
+    diagram = quadrant_scanning(points)
+    queries = _queries(n)
+
+    def lookup():
+        return [diagram.query(q) for q in queries]
+
+    benchmark.extra_info["experiment"] = "E8"
+    benchmark.extra_info["queries_per_round"] = BATCH
+    assert len(benchmark(lookup)) == BATCH
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_from_scratch(benchmark, n):
+    points = dataset("independent", n)
+    queries = _queries(n)
+
+    def scratch():
+        return [quadrant_skyline(points, q) for q in queries]
+
+    benchmark.extra_info["experiment"] = "E8"
+    benchmark.extra_info["queries_per_round"] = BATCH
+    assert len(benchmark(scratch)) == BATCH
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_lookup_matches_scratch(n):
+    """Sanity check for the two arms being compared."""
+    points = dataset("independent", n)
+    diagram = quadrant_scanning(points)
+    for q in _queries(n)[:20]:
+        assert diagram.query(q) == quadrant_skyline(points, q)

@@ -1,0 +1,50 @@
+"""E9 — ablations of the design choices called out in DESIGN.md.
+
+(a) Algorithm 2's direct-links adaptation of [15] versus the full dominance
+    graph: both are correct, but the sweep does one update per graph edge,
+    so the transitive reduction pays off directly.
+(b) The subset algorithm with different underlying quadrant constructions
+    for its global diagram.
+"""
+
+import pytest
+
+from repro.diagram.dynamic_subset import dynamic_subset
+from repro.diagram.quadrant_baseline import quadrant_baseline
+from repro.diagram.quadrant_dsg import quadrant_dsg
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.dsg.graph import DirectedSkylineGraph
+
+from conftest import dataset
+
+N = 96
+
+
+@pytest.mark.parametrize("links", ["direct", "full"])
+def test_dsg_sweep_by_link_kind(benchmark, links):
+    points = dataset("independent", N)
+    dsg = DirectedSkylineGraph(points, links=links)
+
+    benchmark.extra_info["experiment"] = "E9"
+    benchmark.extra_info["graph_edges"] = dsg.num_links
+    result = benchmark(quadrant_dsg, points, dsg)
+    assert result is not None
+
+
+@pytest.mark.parametrize("links", ["direct", "full"])
+def test_dsg_graph_construction(benchmark, links):
+    points = dataset("independent", N)
+    benchmark.extra_info["experiment"] = "E9"
+    result = benchmark(DirectedSkylineGraph, points, links)
+    assert result.num_links > 0
+
+
+@pytest.mark.parametrize("quadrant", ["baseline", "scanning"])
+def test_subset_by_quadrant_algorithm(benchmark, quadrant):
+    points = dataset("independent", 14, domain=64)
+    build = {"baseline": quadrant_baseline, "scanning": quadrant_scanning}[
+        quadrant
+    ]
+    benchmark.extra_info["experiment"] = "E9"
+    result = benchmark(dynamic_subset, points, build)
+    assert result is not None

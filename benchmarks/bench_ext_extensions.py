@@ -1,0 +1,87 @@
+"""Extension benchmarks (beyond the paper's evaluation; see DESIGN.md).
+
+* k-skyband diagrams: the incremental dominance-count sweep versus the
+  per-cell counting baseline, across k.
+* incremental maintenance: one insert/delete versus a full rebuild.
+* classic skyline algorithms head-to-head (the substrate of Algorithm 1).
+"""
+
+import pytest
+
+from repro.diagram.maintenance import delete_point, insert_point
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.diagram.skyband import skyband_baseline, skyband_sweep
+from repro.skyline.algorithms import (
+    skyline_bnl,
+    skyline_brute,
+    skyline_dnc,
+    skyline_sfs,
+    skyline_sort_2d,
+)
+
+from conftest import dataset
+
+SKYBAND = {"baseline": skyband_baseline, "sweep": skyband_sweep}
+
+SKYLINE = {
+    "brute": skyline_brute,
+    "sort2d": skyline_sort_2d,
+    "dnc": skyline_dnc,
+    "bnl": skyline_bnl,
+    "sfs": skyline_sfs,
+}
+
+
+@pytest.mark.parametrize("k", [1, 2, 4])
+@pytest.mark.parametrize("algorithm", list(SKYBAND))
+def test_skyband_construction(benchmark, k, algorithm):
+    points = dataset("independent", 64)
+    build = SKYBAND[algorithm]
+    benchmark.extra_info["experiment"] = "ext-skyband"
+    result = benchmark(build, points, k)
+    assert result.k == k
+
+
+@pytest.mark.parametrize("n", [64, 128])
+def test_incremental_insert_vs_rebuild(benchmark, n):
+    points = list(dataset("independent", n))
+    diagram = quadrant_scanning(points[:-1])
+    benchmark.extra_info["experiment"] = "ext-maintenance"
+    updated = benchmark(insert_point, diagram, points[-1])
+    assert updated == quadrant_scanning(points)
+
+
+@pytest.mark.parametrize("n", [64, 128])
+def test_incremental_delete_vs_rebuild(benchmark, n):
+    points = list(dataset("independent", n))
+    diagram = quadrant_scanning(points)
+    benchmark.extra_info["experiment"] = "ext-maintenance"
+    updated = benchmark(delete_point, diagram, n - 1)
+    assert updated == quadrant_scanning(points[:-1])
+
+
+@pytest.mark.parametrize("n", [64, 128])
+def test_full_rebuild_reference(benchmark, n):
+    points = list(dataset("independent", n))
+    benchmark.extra_info["experiment"] = "ext-maintenance"
+    result = benchmark(quadrant_scanning, points)
+    assert result is not None
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_order_k_voronoi_construction(benchmark, k):
+    from repro.voronoi.order_k import OrderKVoronoi
+
+    points = dataset("independent", 24)
+    benchmark.extra_info["experiment"] = "ext-analogy"
+    diagram = benchmark(OrderKVoronoi, points, k, (0.0, 0.0, 1.0, 1.0))
+    assert diagram.cells
+
+
+@pytest.mark.parametrize("algorithm", list(SKYLINE))
+def test_skyline_algorithms(benchmark, algorithm):
+    points = dataset("anticorrelated", 512)
+    compute = SKYLINE[algorithm]
+    benchmark.extra_info["experiment"] = "ext-skyline"
+    result = benchmark(compute, points)
+    assert result

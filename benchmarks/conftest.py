@@ -1,0 +1,30 @@
+"""Shared dataset fixtures for the benchmark suite.
+
+Each ``bench_eN_*.py`` file regenerates one table/figure of the paper's
+evaluation (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+recorded results).  Datasets are generated once per parameter combination
+and cached, so benchmark rounds time the algorithm, not the generator.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.datasets.generators import generate
+from repro.datasets.real import hotels, nba_like
+
+
+@lru_cache(maxsize=None)
+def dataset(distribution: str, n: int, dim: int = 2, domain: int | None = None):
+    """Deterministic cached dataset for one parameter combination."""
+    return tuple(generate(distribution, n, dim=dim, seed=n, domain=domain))
+
+
+@lru_cache(maxsize=None)
+def real_dataset(name: str, n: int):
+    """Cached substituted real dataset."""
+    if name == "hotels":
+        return hotels(n=n)
+    if name == "nba":
+        return nba_like(n=n)
+    raise ValueError(f"unknown real dataset {name!r}")

@@ -1,0 +1,47 @@
+"""Continuous skyline for a moving query (related work [7], [10], [24]).
+
+A commuter drives across town; the set of "similar" hotels (the dynamic
+skyline around their position) changes only when they cross a bisector of
+the precomputed diagram.  The timeline below is exact — no resampling, no
+velocity assumptions — which is precisely what the skyline diagram adds
+over the safe-zone techniques that handle a single dynamic attribute.
+
+Run with:  python examples/moving_commuter.py
+"""
+
+from repro.applications.continuous import continuous_skyline
+from repro.datasets.generators import clustered
+from repro.diagram import dynamic_scanning
+
+
+def main() -> None:
+    points = clustered(10, seed=21, clusters=3, domain=40)
+    diagram = dynamic_scanning(points)
+    print(
+        f"dynamic diagram over {len(points)} points: "
+        f"{diagram.subcells.num_subcells} subcells, "
+        f"{len(diagram.distinct_results())} distinct results"
+    )
+
+    start, end = (2.0, 2.0), (38.0, 30.0)
+    timeline = continuous_skyline(diagram, start, end)
+    print(f"\ndriving {start} -> {end}: {len(timeline)} result changes\n")
+    for entry in timeline:
+        names = ", ".join(f"p{i}" for i in entry.result)
+        print(
+            f"  t in [{entry.t_enter:.3f}, {entry.t_exit:.3f}] : "
+            f"{{{names}}}"
+        )
+
+    # Sanity: the timeline is exactly what dense re-evaluation would find.
+    from repro.skyline.queries import dynamic_skyline
+
+    for entry in timeline:
+        mid = (entry.t_enter + entry.t_exit) / 2
+        probe = tuple(s + mid * (e - s) for s, e in zip(start, end))
+        assert entry.result == dynamic_skyline(points, probe)
+    print("\ntimeline verified against from-scratch evaluation")
+
+
+if __name__ == "__main__":
+    main()

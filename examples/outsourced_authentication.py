@@ -1,0 +1,59 @@
+"""Authenticated outsourced skyline queries (paper Sec. I, application 2).
+
+The data owner precomputes the skyline diagram, signs a Merkle tree over
+its polyominos, and hands both to an untrusted cloud server.  Clients get
+each answer with a verification object and detect any tampering.
+
+Run with:  python examples/outsourced_authentication.py
+"""
+
+from repro.applications.authentication import (
+    AuthenticatedSkylineClient,
+    AuthenticatedSkylineServer,
+    DiagramSigner,
+    VerificationObject,
+)
+from repro.datasets.generators import anticorrelated
+from repro.diagram import quadrant_scanning
+from repro.errors import AuthenticationError
+
+
+def main() -> None:
+    # --- data owner ----------------------------------------------------
+    points = anticorrelated(30, seed=4, domain=40)
+    diagram = quadrant_scanning(points)
+    key = b"owner-signing-key"
+    signer = DiagramSigner(diagram, key)
+    print(
+        f"owner: built a diagram with {len(signer.polyominos)} polyominos, "
+        f"Merkle root {signer.tree.root.hex()[:16]}..."
+    )
+
+    # --- untrusted server ----------------------------------------------
+    server = AuthenticatedSkylineServer(signer)
+
+    # --- client ----------------------------------------------------------
+    client = AuthenticatedSkylineClient(
+        diagram.grid.axes, signer.signed_root(), key
+    )
+    query = (15.0, 15.0)
+    vo = server.answer(query)
+    result = client.verify(query, vo)
+    print(f"client: verified skyline at {query} -> {list(result)}")
+    print(f"        proof path length: {len(vo.path)} hashes")
+
+    # --- a malicious server ----------------------------------------------
+    forged = VerificationObject(
+        result=tuple(list(vo.result)[:-1]),  # drop one skyline point
+        cells=vo.cells,
+        leaf_index=vo.leaf_index,
+        path=vo.path,
+    )
+    try:
+        client.verify(query, forged)
+    except AuthenticationError as exc:
+        print(f"client: tampered answer rejected ({exc})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: build a skyline diagram and answer queries in real time.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    SkylineDatabase,
+    quadrant_scanning,
+    quadrant_sweeping,
+    skyline,
+)
+from repro.datasets.generators import independent
+from repro.viz.ascii_art import ascii_diagram
+
+
+def main() -> None:
+    # A small 2-D dataset: minimize both attributes.
+    points = independent(12, seed=7, domain=20)
+    print(f"dataset: {points}\n")
+
+    # The plain skyline (Definition 1).
+    print(f"skyline ids: {list(skyline(points))}\n")
+
+    # Build the quadrant skyline diagram with the O(n^3) scanning algorithm:
+    # every region answers "what is the skyline among points up-right of q?"
+    diagram = quadrant_scanning(points)
+    print(diagram)
+    print(ascii_diagram(diagram, legend=False))
+    print()
+
+    # Answer queries by point location - no skyline recomputation.
+    for query in [(0, 0), (10, 10), (19, 2)]:
+        print(f"quadrant skyline at {query}: {list(diagram.query(query))}")
+    print()
+
+    # The O(n^2) sweeping algorithm builds the same regions geometry-first.
+    sweep = quadrant_sweeping(points)
+    print(f"sweeping found {sweep.num_regions} regions "
+          f"(cell merge found {len(diagram.polyominos())})")
+    print()
+
+    # One-stop shop: SkylineDatabase builds diagrams lazily per query kind.
+    db = SkylineDatabase(points)
+    q = (9.5, 9.5)
+    for kind in ("quadrant", "global", "dynamic"):
+        print(f"{kind:>8} skyline at {q}: {list(db.query(q, kind=kind))}")
+
+
+if __name__ == "__main__":
+    main()

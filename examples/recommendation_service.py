@@ -1,0 +1,75 @@
+"""A mini recommendation service built on the skyline diagram.
+
+Pulls the library's service-layer pieces together:
+
+* a :class:`PolyominoCache` materializes full records once per region,
+* ``why_not`` explains missing favourites with a minimal query move,
+* the region adjacency graph quantifies answer sensitivity.
+
+Run with:  python examples/recommendation_service.py
+"""
+
+from repro.applications.caching import PolyominoCache
+from repro.applications.why_not import why_not
+from repro.datasets.real import hotels
+from repro.datasets.workloads import clustered_queries
+from repro.diagram import quadrant_scanning
+from repro.diagram.statistics import diagram_statistics
+from repro.diagram.topology import neighbouring_results, region_adjacency
+
+
+def main() -> None:
+    dataset = hotels(n=80, seed=23, domain=60)
+    diagram = quadrant_scanning(dataset)
+    stats = diagram_statistics(diagram)
+    print(
+        f"service over {stats.num_points} hotels: {stats.num_regions} "
+        f"regions, {stats.compression_ratio:.1f} cells/region"
+    )
+
+    # --- serve a clustered query workload through the cache ---------------
+    fetch_count = 0
+
+    def fetch_records(ids):
+        nonlocal fetch_count
+        fetch_count += 1
+        return [
+            {
+                "hotel": dataset.name_of(i),
+                "distance": dataset[i][0],
+                "price": dataset[i][1],
+            }
+            for i in ids
+        ]
+
+    cache = PolyominoCache(diagram, fetch_records, capacity=64)
+    queries = clustered_queries(500, (0, 0, 60, 60), seed=1)
+    for q in queries:
+        cache.get(q)
+    print(
+        f"served {len(queries)} queries with {fetch_count} record fetches "
+        f"(hit rate {cache.hit_rate:.0%})"
+    )
+
+    # --- why-not explanation ----------------------------------------------
+    query = queries[0]
+    answered = diagram.query(query)
+    missing = next(i for i in range(len(dataset)) if i not in answered)
+    explanation = why_not(diagram, query, missing)
+    print(
+        f"\nwhy is {dataset.name_of(missing)} missing at "
+        f"({query[0]:.1f}, {query[1]:.1f})? move the query "
+        f"{explanation.distance:.2f} units and it appears"
+    )
+
+    # --- sensitivity ---------------------------------------------------------
+    graph = region_adjacency(diagram)
+    neighbours = neighbouring_results(diagram, query, graph=graph)
+    print(
+        f"a tiny perturbation of that query can produce "
+        f"{len(neighbours)} other answers"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The title analogy: Voronoi is to kNN what the skyline diagram is to
+skyline queries (paper Figs. 2 and 3).
+
+Both structures partition the plane into regions of constant query result,
+turning an O(n)-ish per-query computation into point location.
+
+Run with:  python examples/voronoi_counterpart.py
+"""
+
+import random
+import time
+
+from repro.datasets.generators import independent
+from repro.diagram import quadrant_scanning
+from repro.skyline.queries import quadrant_skyline
+from repro.voronoi.diagram import VoronoiDiagram
+from repro.voronoi.knn import nearest
+
+
+def main() -> None:
+    points = independent(60, seed=13)
+    rng = random.Random(0)
+    queries = [(rng.random(), rng.random()) for _ in range(2000)]
+
+    # --- the Voronoi side -------------------------------------------------
+    voronoi = VoronoiDiagram(points, bbox=(0, 0, 1, 1))
+    t0 = time.perf_counter()
+    knn_answers = [voronoi.locate(q) for q in queries]
+    t_voronoi = time.perf_counter() - t0
+    print(
+        f"Voronoi diagram: {len(voronoi.cells)} cells; "
+        f"{len(queries)} NN queries in {t_voronoi * 1e3:.1f} ms"
+    )
+
+    # --- the skyline side -------------------------------------------------
+    diagram = quadrant_scanning(points)
+    t0 = time.perf_counter()
+    lookup_answers = [diagram.query(q) for q in queries]
+    t_lookup = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scratch_answers = [quadrant_skyline(points, q) for q in queries]
+    t_scratch = time.perf_counter() - t0
+
+    assert lookup_answers == scratch_answers
+    assert knn_answers == [nearest(points, q) for q in queries]
+
+    print(
+        f"skyline diagram: {len(diagram.polyominos())} polyominos; "
+        f"{len(queries)} skyline queries in {t_lookup * 1e3:.1f} ms "
+        f"(from scratch: {t_scratch * 1e3:.1f} ms, "
+        f"{t_scratch / t_lookup:.0f}x slower)"
+    )
+    print(
+        "\nsame deal on both sides: precompute the partition once, then "
+        "answer every query by point location."
+    )
+
+    # --- and the k-th order analogy -----------------------------------------
+    from repro.diagram.skyband import skyband_sweep
+    from repro.voronoi.order_k import OrderKVoronoi
+
+    small = points[:15]
+    order2 = OrderKVoronoi(small, 2, (0, 0, 1, 1))
+    skyband2 = skyband_sweep(small, 2)
+    print(
+        f"\norder-2 Voronoi: {len(order2.cells)} convex cells "
+        f"(constant 2NN set) | 2-skyband diagram: "
+        f"{len(skyband2.polyominos())} polyominos (constant 2-skyband)"
+    )
+
+
+if __name__ == "__main__":
+    main()

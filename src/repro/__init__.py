@@ -1,0 +1,66 @@
+"""repro — Skyline Diagram: the Voronoi counterpart for skyline queries.
+
+A full reproduction of Liu, Yang, Xiong, Pei, Luo, *"Skyline Diagram:
+Finding the Voronoi Counterpart for Skyline Queries"*, ICDE 2018.
+
+Quickstart
+----------
+>>> from repro import quadrant_scanning
+>>> diagram = quadrant_scanning([(2, 8), (5, 4), (9, 1)])
+>>> diagram.query((1, 2))
+(0, 1)
+"""
+
+from repro.diagram import (
+    DYNAMIC_ALGORITHMS,
+    QUADRANT_ALGORITHMS,
+    DynamicDiagram,
+    SkylineDiagram,
+    SweepDiagram,
+    dynamic_baseline,
+    dynamic_scanning,
+    dynamic_subset,
+    global_diagram,
+    quadrant_baseline,
+    quadrant_dsg,
+    quadrant_scanning,
+    quadrant_sweeping,
+)
+from repro.geometry import Dataset, Grid, Polyomino, SubcellGrid
+from repro.index.engine import SkylineDatabase
+from repro.skyline import (
+    dynamic_skyline,
+    global_skyline,
+    quadrant_skyline,
+    skyline,
+    skyline_layers,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DYNAMIC_ALGORITHMS",
+    "Dataset",
+    "DynamicDiagram",
+    "Grid",
+    "Polyomino",
+    "SkylineDatabase",
+    "QUADRANT_ALGORITHMS",
+    "SkylineDiagram",
+    "SubcellGrid",
+    "SweepDiagram",
+    "__version__",
+    "dynamic_baseline",
+    "dynamic_scanning",
+    "dynamic_skyline",
+    "dynamic_subset",
+    "global_diagram",
+    "global_skyline",
+    "quadrant_baseline",
+    "quadrant_dsg",
+    "quadrant_scanning",
+    "quadrant_skyline",
+    "quadrant_sweeping",
+    "skyline",
+    "skyline_layers",
+]

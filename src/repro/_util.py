@@ -1,0 +1,81 @@
+"""Small shared helpers used across the library.
+
+These are internal utilities (note the module's leading underscore); the
+public API re-exports nothing from here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def multiset_add_sub(
+    a: Sequence[int], b: Sequence[int], c: Sequence[int]
+) -> tuple[int, ...]:
+    """Return the multiset ``a + b - c`` as a sorted tuple of ids.
+
+    All three inputs must be sorted tuples/lists of integers.  This is the
+    multiset operation of Theorem 1 in the paper:
+    ``Sky(C_{i,j}) = Sky(C_{i+1,j}) + Sky(C_{i,j+1}) - Sky(C_{i+1,j+1})``.
+
+    The subtraction saturates at zero (an id subtracted more often than it was
+    added simply disappears), which matches the paper's multiset semantics.
+
+    >>> multiset_add_sub((1, 2), (2, 3), (2,))
+    (1, 2, 3)
+    >>> multiset_add_sub((1,), (1,), (1,))
+    (1,)
+    """
+    # Merge a and b (both sorted) then cancel against c with a single sweep.
+    merged: list[int] = []
+    ia = ib = 0
+    na, nb = len(a), len(b)
+    while ia < na and ib < nb:
+        if a[ia] <= b[ib]:
+            merged.append(a[ia])
+            ia += 1
+        else:
+            merged.append(b[ib])
+            ib += 1
+    if ia < na:
+        merged.extend(a[ia:])
+    if ib < nb:
+        merged.extend(b[ib:])
+
+    result: list[int] = []
+    ic = 0
+    nc = len(c)
+    for item in merged:
+        while ic < nc and c[ic] < item:
+            ic += 1
+        if ic < nc and c[ic] == item:
+            ic += 1
+        else:
+            result.append(item)
+    return tuple(result)
+
+
+def dedupe_sorted(items: Iterable[int]) -> tuple[int, ...]:
+    """Collapse consecutive duplicates in an already-sorted iterable.
+
+    >>> dedupe_sorted((1, 1, 2, 3, 3))
+    (1, 2, 3)
+    """
+    out: list[int] = []
+    last: int | None = None
+    for item in items:
+        if item != last:
+            out.append(item)
+            last = item
+    return tuple(out)
+
+
+def pairs_upper(n: int) -> Iterable[tuple[int, int]]:
+    """Yield all index pairs ``(i, j)`` with ``0 <= i < j < n``.
+
+    >>> list(pairs_upper(3))
+    [(0, 1), (0, 2), (1, 2)]
+    """
+    for i in range(n):
+        for j in range(i + 1, n):
+            yield (i, j)

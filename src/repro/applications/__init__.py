@@ -1,0 +1,36 @@
+"""Applications of the skyline diagram (paper Sec. I):
+
+1. reverse skyline queries,
+2. authentication of outsourced skyline queries,
+3. PIR-based private skyline queries,
+4. continuous skyline queries for moving query points.
+"""
+
+from repro.applications.authentication import (
+    AuthenticatedSkylineClient,
+    AuthenticatedSkylineServer,
+    DiagramSigner,
+)
+from repro.applications.caching import PolyominoCache
+from repro.applications.continuous import continuous_skyline
+from repro.applications.pir import PirClient, PirServer, PrivateSkylineClient
+from repro.applications.reverse_skyline import (
+    reverse_skyline,
+    reverse_skyline_brute,
+)
+from repro.applications.why_not import WhyNotExplanation, why_not
+
+__all__ = [
+    "AuthenticatedSkylineClient",
+    "AuthenticatedSkylineServer",
+    "DiagramSigner",
+    "PirClient",
+    "PolyominoCache",
+    "PirServer",
+    "PrivateSkylineClient",
+    "continuous_skyline",
+    "reverse_skyline",
+    "reverse_skyline_brute",
+    "WhyNotExplanation",
+    "why_not",
+]

@@ -1,0 +1,185 @@
+"""Authentication of outsourced skyline queries (paper Sec. I, app. 2).
+
+The data owner precomputes a skyline diagram, builds a Merkle hash tree
+over the canonical serialization of its polyominos, and publishes a signed
+root.  An untrusted server answers queries with the matching polyomino plus
+a verification object (the Merkle authentication path); the client checks
+
+1. the leaf hash matches the returned polyomino,
+2. folding the path reproduces the signed root,
+3. the query point actually lies inside the returned polyomino,
+
+so a tampered result, a stale diagram, or a wrong region are all detected.
+
+Substitution note (see DESIGN.md): the root is "signed" with HMAC-SHA256
+under a shared owner/client key instead of a public-key signature — the
+data structure and verification path are identical, only the final
+primitive differs (hashlib is the only crypto guaranteed offline).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.diagram.base import SkylineDiagram
+from repro.errors import AuthenticationError
+from repro.geometry.polyomino import Polyomino
+
+
+def _leaf_bytes(polyomino: Polyomino) -> bytes:
+    """Canonical byte serialization of a polyomino for hashing."""
+    payload = {
+        "result": list(polyomino.result),
+        "cells": sorted(list(c) for c in polyomino.cells),
+    }
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode()
+
+
+def _hash_leaf(polyomino: Polyomino) -> bytes:
+    return hashlib.sha256(b"leaf:" + _leaf_bytes(polyomino)).digest()
+
+
+def _hash_node(left: bytes, right: bytes) -> bytes:
+    return hashlib.sha256(b"node:" + left + right).digest()
+
+
+class MerkleTree:
+    """A binary Merkle tree over an ordered list of leaf hashes."""
+
+    def __init__(self, leaves: Sequence[bytes]) -> None:
+        if not leaves:
+            raise AuthenticationError("cannot build a Merkle tree with no leaves")
+        self.levels: list[list[bytes]] = [list(leaves)]
+        while len(self.levels[-1]) > 1:
+            level = self.levels[-1]
+            parents = [
+                _hash_node(level[i], level[i + 1] if i + 1 < len(level) else level[i])
+                for i in range(0, len(level), 2)
+            ]
+            self.levels.append(parents)
+
+    @property
+    def root(self) -> bytes:
+        """The Merkle root digest."""
+        return self.levels[-1][0]
+
+    def path(self, index: int) -> list[tuple[str, bytes]]:
+        """Authentication path for a leaf: (sibling side, sibling hash) pairs."""
+        if not 0 <= index < len(self.levels[0]):
+            raise AuthenticationError(f"leaf index {index} out of range")
+        path: list[tuple[str, bytes]] = []
+        for level in self.levels[:-1]:
+            sibling = index ^ 1
+            if sibling >= len(level):
+                # Odd node at the level's end is hashed with itself.
+                path.append(("right", level[index]))
+            elif sibling > index:
+                path.append(("right", level[sibling]))
+            else:
+                path.append(("left", level[sibling]))
+            index //= 2
+        return path
+
+    @staticmethod
+    def fold(leaf: bytes, path: Sequence[tuple[str, bytes]]) -> bytes:
+        """Recompute the root from a leaf hash and its authentication path."""
+        digest = leaf
+        for side, sibling in path:
+            if side == "left":
+                digest = _hash_node(sibling, digest)
+            else:
+                digest = _hash_node(digest, sibling)
+        return digest
+
+
+class DiagramSigner:
+    """The data owner: builds and signs the Merkle tree of a diagram."""
+
+    def __init__(self, diagram: SkylineDiagram, key: bytes) -> None:
+        self.diagram = diagram
+        self.polyominos = diagram.polyominos()
+        self.tree = MerkleTree([_hash_leaf(p) for p in self.polyominos])
+        self._key = key
+
+    def signed_root(self) -> bytes:
+        """HMAC "signature" over the Merkle root (see substitution note)."""
+        return hmac.new(self._key, self.tree.root, hashlib.sha256).digest()
+
+
+@dataclass(frozen=True)
+class VerificationObject:
+    """Everything the server returns for one authenticated query."""
+
+    result: tuple[int, ...]
+    cells: tuple[tuple[int, int], ...]
+    leaf_index: int
+    path: tuple[tuple[str, bytes], ...]
+
+
+class AuthenticatedSkylineServer:
+    """The untrusted server: answers queries with verification objects."""
+
+    def __init__(self, signer: DiagramSigner) -> None:
+        self._diagram = signer.diagram
+        self._polyominos = signer.polyominos
+        self._tree = signer.tree
+        self._labels = {
+            cell: poly.ident
+            for poly in self._polyominos
+            for cell in poly.cells
+        }
+
+    def answer(self, query: Sequence[float]) -> VerificationObject:
+        """Locate the query's polyomino and assemble its proof."""
+        cell = self._diagram.grid.locate(query)
+        index = self._labels[cell]
+        poly = self._polyominos[index]
+        return VerificationObject(
+            result=poly.result,
+            cells=tuple(sorted(poly.cells)),
+            leaf_index=index,
+            path=tuple(self._tree.path(index)),
+        )
+
+
+class AuthenticatedSkylineClient:
+    """The client: verifies server answers against the signed root."""
+
+    def __init__(self, grid_axes, signed_root: bytes, key: bytes) -> None:
+        self._axes = grid_axes
+        self._signed_root = signed_root
+        self._key = key
+
+    def verify(
+        self, query: Sequence[float], vo: VerificationObject
+    ) -> tuple[int, ...]:
+        """Check a verification object; return the authenticated result.
+
+        Raises :class:`AuthenticationError` on any inconsistency.
+        """
+        from bisect import bisect_left
+
+        cell = tuple(
+            bisect_left(self._axes[d], float(query[d]))
+            for d in range(len(self._axes))
+        )
+        if cell not in set(vo.cells):
+            raise AuthenticationError(
+                "query point is outside the returned polyomino"
+            )
+        leaf = _hash_leaf(
+            Polyomino(
+                ident=vo.leaf_index,
+                result=vo.result,
+                cells=frozenset(vo.cells),
+            )
+        )
+        root = MerkleTree.fold(leaf, vo.path)
+        expected = hmac.new(self._key, root, hashlib.sha256).digest()
+        if not hmac.compare_digest(expected, self._signed_root):
+            raise AuthenticationError("Merkle root does not match signature")
+        return vo.result

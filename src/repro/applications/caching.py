@@ -1,0 +1,113 @@
+"""A polyomino-keyed result cache for expensive answer materialization.
+
+In a real service the tuple of point *ids* a diagram stores is only half
+the answer — the client wants full records (hotel names, prices, photos),
+which live in a store that is expensive to hit.  The skyline diagram is a
+perfect cache index: all queries in one polyomino share one materialized
+answer, so the cache key is the region id, not the query point.  This
+mirrors how Voronoi-cell caching works for kNN services.
+
+:class:`PolyominoCache` wraps a diagram and a loader callback with an LRU
+of materialized regions, tracking hit statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.diagram.base import DynamicDiagram, SkylineDiagram
+from repro.diagram.merge import cell_labels
+from repro.errors import QueryError
+
+Loader = Callable[[tuple[int, ...]], Any]
+
+
+class PolyominoCache:
+    """LRU cache of materialized results, keyed by diagram region.
+
+    Parameters
+    ----------
+    diagram:
+        Any 2-D diagram.
+    loader:
+        Called with a region's canonical result tuple to materialize the
+        payload (fetch records, render a response, ...). Called at most
+        once per region while the region stays cached.
+    capacity:
+        Maximum number of regions kept materialized.
+
+    Examples
+    --------
+    >>> from repro.diagram import quadrant_scanning
+    >>> calls = []
+    >>> def loader(ids):
+    ...     calls.append(ids)
+    ...     return [f"record-{i}" for i in ids]
+    >>> cache = PolyominoCache(quadrant_scanning([(1, 1)]), loader)
+    >>> cache.get((0, 0))
+    ['record-0']
+    >>> cache.get((0.5, 0.5))   # same region: loader not called again
+    ['record-0']
+    >>> len(calls)
+    1
+    """
+
+    def __init__(
+        self,
+        diagram: SkylineDiagram | DynamicDiagram,
+        loader: Loader,
+        capacity: int = 128,
+    ) -> None:
+        if capacity < 1:
+            raise QueryError(f"capacity must be >= 1, got {capacity}")
+        self.diagram = diagram
+        self._loader = loader
+        self.capacity = capacity
+        self._labels = cell_labels(diagram.polyominos())
+        self._polyominos = diagram.polyominos()
+        self._entries: OrderedDict[int, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def region_of(self, query: Sequence[float]) -> int:
+        """Region id for a query point."""
+        return self._labels[self.diagram.grid.locate(query)]
+
+    def get(self, query: Sequence[float]) -> Any:
+        """Materialized answer for a query, loading its region on miss."""
+        region = self.region_of(query)
+        if region in self._entries:
+            self.hits += 1
+            self._entries.move_to_end(region)
+            return self._entries[region]
+        self.misses += 1
+        payload = self._loader(self._polyominos[region].result)
+        self._entries[region] = payload
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return payload
+
+    def invalidate(self) -> None:
+        """Drop every materialized region (e.g. after a data refresh)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of queries served from cache (0.0 before any query)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PolyominoCache(regions={len(self._polyominos)}, "
+            f"cached={len(self._entries)}/{self.capacity}, "
+            f"hit_rate={self.hit_rate:.2f})"
+        )

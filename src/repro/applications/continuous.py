@@ -1,0 +1,91 @@
+"""Continuous skyline queries for a moving query point.
+
+The related work the paper positions against ([7], [10], [24]) computes
+skylines for query points moving along a line, maintaining results between
+events.  With a precomputed skyline diagram this becomes point location
+along a segment: the result changes only where the segment crosses a
+(sub)cell boundary, so the full timeline of a linear motion is the ordered
+list of boundary crossings with one O(log n) lookup per interval.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.diagram.base import DynamicDiagram, SkylineDiagram
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One constant-result stretch of a moving query's timeline.
+
+    The query ``start + t * (end - start)`` has skyline ``result`` for every
+    ``t`` strictly inside ``(t_enter, t_exit)``.
+    """
+
+    t_enter: float
+    t_exit: float
+    result: tuple[int, ...]
+
+
+def _crossing_times(
+    start: Sequence[float],
+    end: Sequence[float],
+    axes: Sequence[Sequence[float]],
+) -> list[float]:
+    """Parameter values in (0, 1) where the segment crosses a grid value."""
+    times: set[float] = set()
+    for d in range(len(axes)):
+        a, b = float(start[d]), float(end[d])
+        if a == b:
+            continue
+        for value in axes[d]:
+            t = (value - a) / (b - a)
+            if 0.0 < t < 1.0:
+                times.add(t)
+    return sorted(times)
+
+
+def continuous_skyline(
+    diagram: SkylineDiagram | DynamicDiagram,
+    start: Sequence[float],
+    end: Sequence[float],
+) -> list[TimelineEntry]:
+    """Timeline of skyline results along the segment ``start`` → ``end``.
+
+    Consecutive intervals with identical results are coalesced, so each
+    returned entry is a genuine result change (except possibly at segment
+    endpoints lying exactly on boundaries).
+
+    >>> from repro.diagram import quadrant_scanning
+    >>> diagram = quadrant_scanning([(2, 8), (5, 4), (9, 1)])
+    >>> timeline = continuous_skyline(diagram, (0, 0), (10, 0))
+    >>> [entry.result for entry in timeline]
+    [(0, 1, 2), (1, 2), (2,), ()]
+    """
+    start = tuple(float(c) for c in start)
+    end = tuple(float(c) for c in end)
+    if len(start) != len(end):
+        raise QueryError("segment endpoints must share dimensionality")
+    axes = diagram.grid.axes
+    if len(axes) != len(start):
+        raise QueryError(
+            f"{len(start)}-D segment against a {len(axes)}-D diagram"
+        )
+    times = [0.0, *_crossing_times(start, end, axes), 1.0]
+    timeline: list[TimelineEntry] = []
+    for t0, t1 in zip(times, times[1:]):
+        mid = (t0 + t1) / 2.0
+        probe = tuple(
+            s + mid * (e - s) for s, e in zip(start, end, strict=True)
+        )
+        result = diagram.query(probe)
+        if timeline and timeline[-1].result == result:
+            timeline[-1] = TimelineEntry(
+                timeline[-1].t_enter, t1, result
+            )
+        else:
+            timeline.append(TimelineEntry(t0, t1, result))
+    return timeline

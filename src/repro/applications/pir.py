@@ -1,0 +1,158 @@
+"""Private skyline queries over a precomputed diagram via PIR.
+
+The paper's third application (Sec. I): like PIR-based kNN over a Voronoi
+diagram [4], the skyline diagram is flattened into a fixed-record database
+(one record per skyline cell, row-major), and the client retrieves the
+record for its query's cell without revealing the cell index.
+
+Substitution note (see DESIGN.md): [4] uses computational PIR; we implement
+the classic *information-theoretic two-server XOR PIR* instead, which
+exercises the same code path (diagram → record database → oblivious
+retrieval → decode) with primitives available offline.  Each server sees
+only a uniformly random subset selector, so a single server learns nothing
+about the queried cell; correctness requires the two servers not collude.
+
+The grid geometry (axis values) is public metadata — the client needs it to
+locate its cell — while the per-cell skyline contents stay private.
+"""
+
+from __future__ import annotations
+
+import secrets
+from collections.abc import Sequence
+from itertools import product
+
+from repro.diagram.base import SkylineDiagram
+from repro.errors import ProtocolError
+
+_ID_WIDTH = 4  # bytes per point id in a record
+
+
+def _encode_record(result: tuple[int, ...], width: int) -> bytes:
+    """Fixed-width record: id count then big-endian ids, zero padded."""
+    if len(result) * _ID_WIDTH + _ID_WIDTH > width:
+        raise ProtocolError(
+            f"record overflow: {len(result)} ids exceed width {width}"
+        )
+    blob = len(result).to_bytes(_ID_WIDTH, "big")
+    for pid in result:
+        blob += int(pid).to_bytes(_ID_WIDTH, "big")
+    return blob.ljust(width, b"\x00")
+
+
+def _decode_record(blob: bytes) -> tuple[int, ...]:
+    count = int.from_bytes(blob[:_ID_WIDTH], "big")
+    ids = []
+    for k in range(count):
+        start = _ID_WIDTH * (k + 1)
+        ids.append(int.from_bytes(blob[start : start + _ID_WIDTH], "big"))
+    return tuple(ids)
+
+
+def diagram_database(diagram: SkylineDiagram) -> list[bytes]:
+    """Flatten a diagram into equal-width records, row-major over cells."""
+    cells = list(product(*(range(extent) for extent in diagram.grid.shape)))
+    longest = max(len(diagram.result_at(cell)) for cell in cells)
+    width = _ID_WIDTH * (longest + 1)
+    return [_encode_record(diagram.result_at(cell), width) for cell in cells]
+
+
+class PirServer:
+    """One of the two non-colluding servers holding the record database."""
+
+    def __init__(self, database: Sequence[bytes]) -> None:
+        if not database:
+            raise ProtocolError("empty PIR database")
+        width = len(database[0])
+        if any(len(r) != width for r in database):
+            raise ProtocolError("PIR records must have equal width")
+        self._db = list(database)
+        self.record_width = width
+
+    def __len__(self) -> int:
+        return len(self._db)
+
+    def respond(self, selector: bytes) -> bytes:
+        """XOR of the records whose selector bit is set."""
+        if len(selector) * 8 < len(self._db):
+            raise ProtocolError("selector shorter than the database")
+        out = bytearray(self.record_width)
+        for index, record in enumerate(self._db):
+            if selector[index // 8] >> (index % 8) & 1:
+                for k, byte in enumerate(record):
+                    out[k] ^= byte
+        return bytes(out)
+
+
+class PirClient:
+    """The querying client of the 2-server XOR PIR protocol."""
+
+    def __init__(self, num_records: int) -> None:
+        if num_records <= 0:
+            raise ProtocolError("PIR database must be non-empty")
+        self.num_records = num_records
+        self._num_bytes = (num_records + 7) // 8
+
+    def selectors(self, index: int) -> tuple[bytes, bytes]:
+        """Two selectors whose XOR is the unit vector at ``index``."""
+        if not 0 <= index < self.num_records:
+            raise ProtocolError(f"record index {index} out of range")
+        first = bytearray(secrets.token_bytes(self._num_bytes))
+        second = bytearray(first)
+        second[index // 8] ^= 1 << (index % 8)
+        return bytes(first), bytes(second)
+
+    @staticmethod
+    def decode(response_a: bytes, response_b: bytes) -> bytes:
+        """Combine the two server responses into the requested record."""
+        if len(response_a) != len(response_b):
+            raise ProtocolError("mismatched response widths")
+        return bytes(a ^ b for a, b in zip(response_a, response_b))
+
+
+class PrivateSkylineClient:
+    """End-to-end private skyline querying against two PIR servers.
+
+    >>> from repro.diagram import quadrant_scanning
+    >>> diagram = quadrant_scanning([(2, 8), (5, 4), (9, 1)])
+    >>> db = diagram_database(diagram)
+    >>> client = PrivateSkylineClient(diagram.grid.axes, diagram.grid.shape)
+    >>> client.query((1, 2), PirServer(db), PirServer(db))
+    (0, 1)
+    """
+
+    def __init__(
+        self,
+        axes: tuple[tuple[float, ...], ...],
+        shape: tuple[int, ...],
+    ) -> None:
+        self.axes = axes
+        self.shape = shape
+        total = 1
+        for extent in shape:
+            total *= extent
+        self._pir = PirClient(total)
+
+    def cell_index(self, query: Sequence[float]) -> int:
+        """Row-major record index of the cell containing the query."""
+        from bisect import bisect_left
+
+        index = 0
+        for d, extent in enumerate(self.shape):
+            coordinate = bisect_left(self.axes[d], float(query[d]))
+            index = index * extent + coordinate
+        return index
+
+    def query(
+        self,
+        query: Sequence[float],
+        server_a: PirServer,
+        server_b: PirServer,
+    ) -> tuple[int, ...]:
+        """Retrieve the skyline of ``query`` without revealing its cell."""
+        index = self.cell_index(query)
+        selector_a, selector_b = self._pir.selectors(index)
+        record = PirClient.decode(
+            server_a.respond(selector_a), server_b.respond(selector_b)
+        )
+        return _decode_record(record)

@@ -1,0 +1,6 @@
+"""Benchmark harness: timing utilities and the paper's experiment suite."""
+
+from repro.bench.harness import Table, time_call
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "Table", "run_experiment", "time_call"]

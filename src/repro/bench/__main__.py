@@ -1,0 +1,52 @@
+"""Command line entry: ``python -m repro.bench [--full] [E1 E4 ...]``.
+
+Prints every experiment's paper-style table; with ``--markdown`` the output
+is ready to paste into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.experiments import EXPERIMENTS, run_all
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation tables.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help=f"experiment ids to run (default: all of {sorted(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="use the larger (slower) parameter grids",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="emit GitHub-flavoured markdown tables",
+    )
+    args = parser.parse_args(argv)
+    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}")
+    tables = run_all(quick=not args.full, only=args.experiments or None)
+    for table in tables:
+        if args.markdown:
+            print(f"### {table.title}\n")
+            print(table.to_markdown())
+        else:
+            print(table.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,358 @@
+"""The reconstructed experiment suite (DESIGN.md, per-experiment index).
+
+Each ``eN_*`` function reproduces one table/figure of the paper's evaluation
+section and returns one or more :class:`~repro.bench.harness.Table` objects
+whose rows mirror what the paper plots: construction time per algorithm as
+n, the domain size s, the distribution, or the dimensionality varies, plus
+polyomino counts and query latency.
+
+Run ``python -m repro.bench`` (add ``--full`` for the larger sizes) to
+regenerate everything; EXPERIMENTS.md records one full run.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from repro.bench.harness import Table, time_call
+from repro.datasets.generators import generate
+from repro.datasets.real import hotels, nba_like
+from repro.diagram.dynamic_baseline import dynamic_baseline
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.dynamic_subset import dynamic_subset
+from repro.diagram.highdim import (
+    quadrant_baseline_nd,
+    quadrant_dsg_nd,
+    quadrant_scanning_nd,
+)
+from repro.diagram.quadrant_baseline import quadrant_baseline
+from repro.diagram.quadrant_dsg import quadrant_dsg
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.diagram.quadrant_sweeping import quadrant_sweeping
+from repro.dsg.graph import DirectedSkylineGraph
+from repro.geometry.point import Dataset
+from repro.skyline.queries import quadrant_skyline
+
+DISTRIBUTIONS = ("correlated", "independent", "anticorrelated")
+
+QUADRANT = {
+    "baseline": quadrant_baseline,
+    "dsg": quadrant_dsg,
+    "scanning": quadrant_scanning,
+    "sweeping": quadrant_sweeping,
+}
+
+DYNAMIC = {
+    "baseline": dynamic_baseline,
+    "subset": dynamic_subset,
+    "scanning": dynamic_scanning,
+}
+
+HIGHDIM = {
+    "baseline": quadrant_baseline_nd,
+    "dsg": quadrant_dsg_nd,
+    "scanning": quadrant_scanning_nd,
+}
+
+
+def e1_quadrant_scaling(quick: bool = True) -> list[Table]:
+    """E1: quadrant diagram construction time vs n, per distribution."""
+    sizes = (32, 64, 128) if quick else (32, 64, 128, 256)
+    tables = []
+    for dist in DISTRIBUTIONS:
+        table = Table(
+            f"E1 [{dist}]: quadrant diagram construction time (s) vs n",
+            ["n", *QUADRANT],
+        )
+        for n in sizes:
+            points = generate(dist, n, seed=n)
+            row: list[object] = [n]
+            for algorithm in QUADRANT.values():
+                row.append(time_call(lambda a=algorithm: a(points)))
+            table.add_row(row)
+        tables.append(table)
+    return tables
+
+
+def e2_quadrant_domain(quick: bool = True) -> list[Table]:
+    """E2: quadrant construction time vs domain size s (fixed n)."""
+    n = 96 if quick else 192
+    domains = (8, 16, 32, 64, 128)
+    table = Table(
+        f"E2: quadrant diagram construction time (s) vs domain size, n={n}",
+        ["s", *QUADRANT],
+    )
+    for s in domains:
+        points = generate("independent", n, seed=7, domain=s)
+        row: list[object] = [s]
+        for algorithm in QUADRANT.values():
+            row.append(time_call(lambda a=algorithm: a(points)))
+        table.add_row(row)
+    return [table]
+
+
+def e3_counts(quick: bool = True) -> list[Table]:
+    """E3: skyline cell / distinct result / polyomino counts vs n."""
+    sizes = (32, 64, 128) if quick else (64, 128, 256)
+    table = Table(
+        "E3: structure sizes vs n (cells, distinct results, polyominos)",
+        ["distribution", "n", "cells", "distinct", "polyominos"],
+    )
+    for dist in DISTRIBUTIONS:
+        for n in sizes:
+            points = generate(dist, n, seed=n)
+            diagram = quadrant_scanning(points)
+            table.add_row(
+                [
+                    dist,
+                    n,
+                    diagram.grid.num_cells,
+                    len(diagram.distinct_results()),
+                    len(diagram.polyominos()),
+                ]
+            )
+    return [table]
+
+
+def e4_dynamic_scaling(quick: bool = True) -> list[Table]:
+    """E4: dynamic diagram construction time vs n."""
+    sizes = (8, 12, 16) if quick else (8, 12, 16, 24, 32)
+    table = Table(
+        "E4: dynamic diagram construction time (s) vs n (domain 64)",
+        ["n", *DYNAMIC],
+    )
+    for n in sizes:
+        points = generate("independent", n, seed=n, domain=64)
+        row: list[object] = [n]
+        for algorithm in DYNAMIC.values():
+            row.append(time_call(lambda a=algorithm: a(points)))
+        table.add_row(row)
+    return [table]
+
+
+def e5_dynamic_domain(quick: bool = True) -> list[Table]:
+    """E5: dynamic construction time vs domain size s (fixed n)."""
+    n = 16 if quick else 24
+    domains = (8, 16, 32, 64)
+    table = Table(
+        f"E5: dynamic diagram construction time (s) vs domain size, n={n}",
+        ["s", *DYNAMIC],
+    )
+    for s in domains:
+        points = generate("independent", n, seed=5, domain=s)
+        row: list[object] = [s]
+        for algorithm in DYNAMIC.values():
+            row.append(time_call(lambda a=algorithm: a(points)))
+        table.add_row(row)
+    return [table]
+
+
+def e6_highdim(quick: bool = True) -> list[Table]:
+    """E6: three-dimensional construction time vs n."""
+    sizes = (8, 16, 24) if quick else (8, 16, 32, 48)
+    table = Table(
+        "E6: 3-D quadrant diagram construction time (s) vs n",
+        ["n", *HIGHDIM],
+    )
+    for n in sizes:
+        points = generate("independent", n, dim=3, seed=n, domain=32)
+        row: list[object] = [n]
+        for algorithm in HIGHDIM.values():
+            row.append(time_call(lambda a=algorithm: a(points)))
+        table.add_row(row)
+    return [table]
+
+
+def e7_real(quick: bool = True) -> list[Table]:
+    """E7: construction times on the substituted real datasets."""
+    n_quadrant = 128 if quick else 256
+    n_dynamic = 12 if quick else 20
+    tables = []
+    datasets: dict[str, Dataset] = {
+        "hotels": hotels(n=n_quadrant),
+        "nba": nba_like(n=n_quadrant),
+    }
+    table = Table(
+        f"E7a: quadrant construction time (s) on real data, n={n_quadrant}",
+        ["dataset", *QUADRANT],
+    )
+    for name, dataset in datasets.items():
+        row: list[object] = [name]
+        for algorithm in QUADRANT.values():
+            row.append(time_call(lambda a=algorithm, d=dataset: a(d)))
+        table.add_row(row)
+    tables.append(table)
+    table = Table(
+        f"E7b: dynamic construction time (s) on real data, n={n_dynamic}",
+        ["dataset", *DYNAMIC],
+    )
+    small = {
+        "hotels": hotels(n=n_dynamic),
+        "nba": nba_like(n=n_dynamic),
+    }
+    for name, dataset in small.items():
+        row = [name]
+        for algorithm in DYNAMIC.values():
+            row.append(time_call(lambda a=algorithm, d=dataset: a(d)))
+        table.add_row(row)
+    tables.append(table)
+    return tables
+
+
+def e8_query_latency(quick: bool = True) -> list[Table]:
+    """E8: per-query latency — diagram lookup vs from-scratch skyline."""
+    sizes = (64, 256) if quick else (64, 256, 1024)
+    batch = 200 if quick else 1000
+    rng = random.Random(11)
+    table = Table(
+        "E8: mean per-query time (s): precomputed diagram vs from scratch",
+        ["n", "build", "lookup", "from_scratch", "speedup"],
+    )
+    for n in sizes:
+        points = generate("independent", n, seed=n)
+        build = time_call(lambda: quadrant_scanning(points))
+        diagram = quadrant_scanning(points)
+        queries = [(rng.random(), rng.random()) for _ in range(batch)]
+        lookup = time_call(
+            lambda: [diagram.query(q) for q in queries]
+        ) / batch
+        scratch = time_call(
+            lambda: [quadrant_skyline(points, q) for q in queries]
+        ) / batch
+        table.add_row([n, build, lookup, scratch, scratch / lookup])
+    return [table]
+
+
+def e9_ablation(quick: bool = True) -> list[Table]:
+    """E9: design ablations called out in DESIGN.md."""
+    n = 96 if quick else 160
+    points = generate("independent", n, seed=13)
+    tables = []
+
+    # (a) direct links vs the full dominance graph inside Algorithm 2.
+    direct = DirectedSkylineGraph(points, links="direct")
+    full = DirectedSkylineGraph(points, links="full")
+    table = Table(
+        f"E9a: DSG sweep with direct vs full dominance links, n={n}",
+        ["links", "graph edges", "sweep time"],
+    )
+    table.add_row(
+        [
+            "direct",
+            direct.num_links,
+            time_call(lambda: quadrant_dsg(points, dsg=direct)),
+        ]
+    )
+    table.add_row(
+        [
+            "full",
+            full.num_links,
+            time_call(lambda: quadrant_dsg(points, dsg=full)),
+        ]
+    )
+    tables.append(table)
+
+    # (b) subset algorithm: how much the global-skyline candidate set shrinks.
+    n_dyn = 14 if quick else 20
+    dyn_points = generate("independent", n_dyn, seed=3, domain=64)
+    from repro.diagram.global_diagram import global_diagram
+
+    coarse = global_diagram(dyn_points)
+    sizes = [len(result) for _, result in coarse.cells()]
+    table = Table(
+        f"E9b: subset-algorithm candidate shrinkage, n={n_dyn}",
+        ["candidates", "value"],
+    )
+    table.add_row(["all points (baseline)", n_dyn])
+    table.add_row(["mean global skyline / cell", sum(sizes) / len(sizes)])
+    table.add_row(["max global skyline / cell", max(sizes)])
+    tables.append(table)
+
+    # (c) result interning inside the scanning algorithm.
+    n_scan = 192 if quick else 384
+    scan_points = generate("independent", n_scan, seed=17)
+    table = Table(
+        f"E9c: scanning with and without result interning, n={n_scan}",
+        ["variant", "time"],
+    )
+    table.add_row(
+        [
+            "interned (default)",
+            time_call(lambda: quadrant_scanning(scan_points)),
+        ]
+    )
+    table.add_row(
+        [
+            "plain tuples",
+            time_call(
+                lambda: quadrant_scanning(scan_points, intern_results=False)
+            ),
+        ]
+    )
+    tables.append(table)
+    return tables
+
+
+def e10_scalability(quick: bool = True) -> list[Table]:
+    """E10: large-n scalability of the two fastest constructions.
+
+    The paper's closing claim is that the algorithms are "efficient and
+    scalable"; the O(n^2) sweeping and O(n^3) scanning algorithms are the
+    ones that reach interesting n in pure Python.
+    """
+    sizes = (128, 256, 512) if quick else (128, 256, 512, 1024)
+    table = Table(
+        "E10: scalability of scanning and sweeping (s) vs n (INDE)",
+        ["n", "scanning", "sweeping", "cells", "polyominos"],
+    )
+    for n in sizes:
+        points = generate("independent", n, seed=n)
+        scan_time = time_call(lambda: quadrant_scanning(points))
+        sweep_time = time_call(lambda: quadrant_sweeping(points))
+        sweep = quadrant_sweeping(points)
+        table.add_row(
+            [
+                n,
+                scan_time,
+                sweep_time,
+                (n + 1) * (n + 1),
+                sweep.num_regions,
+            ]
+        )
+    return [table]
+
+
+EXPERIMENTS: dict[str, Callable[[bool], list[Table]]] = {
+    "E1": e1_quadrant_scaling,
+    "E2": e2_quadrant_domain,
+    "E3": e3_counts,
+    "E4": e4_dynamic_scaling,
+    "E5": e5_dynamic_domain,
+    "E6": e6_highdim,
+    "E7": e7_real,
+    "E8": e8_query_latency,
+    "E9": e9_ablation,
+    "E10": e10_scalability,
+}
+
+
+def run_experiment(name: str, quick: bool = True) -> list[Table]:
+    """Run one experiment by id (``"E1"`` .. ``"E9"``)."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; expected one of {sorted(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[name](quick)
+
+
+def run_all(
+    quick: bool = True, only: Sequence[str] | None = None
+) -> list[Table]:
+    """Run the whole suite (or a subset), returning every table."""
+    tables: list[Table] = []
+    for name in EXPERIMENTS:
+        if only and name not in only:
+            continue
+        tables.extend(run_experiment(name, quick))
+    return tables

@@ -1,0 +1,237 @@
+"""Command line interface: ``skyline-diagram <command>``.
+
+Commands
+--------
+``generate``   write a synthetic dataset to CSV
+``build``      build a diagram from CSV points and save it as JSON
+``query``      answer a skyline query from a saved diagram (or from CSV)
+``render``     render a diagram to SVG or terminal ASCII
+``info``       summarize a dataset or a saved diagram
+``stats``      print structural statistics of a saved diagram
+``skyband``    answer a k-skyband query directly from CSV points
+``whynot``     explain why a point is missing from a query's skyline
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+
+from repro.datasets.generators import generate as generate_points
+from repro.diagram import (
+    DYNAMIC_ALGORITHMS,
+    QUADRANT_ALGORITHMS,
+    global_diagram,
+)
+from repro.errors import SkylineDiagramError
+from repro.geometry.point import Dataset
+from repro.index.serialize import (
+    diagram_from_json,
+    diagram_to_json,
+    dynamic_diagram_from_json,
+    dynamic_diagram_to_json,
+)
+
+
+def _read_points(path: str) -> Dataset:
+    rows = []
+    with open(path, newline="") as handle:
+        for row in csv.reader(handle):
+            if not row or row[0].startswith("#"):
+                continue
+            rows.append([float(x) for x in row])
+    return Dataset(rows)
+
+
+def _write_points(path: str, points) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        for p in points:
+            writer.writerow(p)
+
+
+def _quadrant_registry(dataset: Dataset) -> dict:
+    """2-D algorithms, or their d-dimensional variants for dim > 2."""
+    if dataset.dim == 2:
+        return QUADRANT_ALGORITHMS
+    from repro.diagram.highdim import (
+        quadrant_baseline_nd,
+        quadrant_dsg_nd,
+        quadrant_scanning_nd,
+    )
+
+    return {
+        "baseline": quadrant_baseline_nd,
+        "dsg": quadrant_dsg_nd,
+        "scanning": quadrant_scanning_nd,
+    }
+
+
+def _build(args: argparse.Namespace):
+    dataset = _read_points(args.points)
+    if args.kind == "quadrant":
+        diagram = _quadrant_registry(dataset)[args.algorithm](dataset)
+        return diagram_to_json(diagram)
+    if args.kind == "global":
+        diagram = global_diagram(
+            dataset, _quadrant_registry(dataset)[args.algorithm]
+        )
+        return diagram_to_json(diagram)
+    algorithm = args.algorithm if args.algorithm in DYNAMIC_ALGORITHMS else "scanning"
+    return dynamic_diagram_to_json(DYNAMIC_ALGORITHMS[algorithm](dataset))
+
+
+def _load_diagram(path: str):
+    text = Path(path).read_text()
+    kind = json.loads(text).get("diagram")
+    if kind == "dynamic":
+        return dynamic_diagram_from_json(text)
+    return diagram_from_json(text)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="skyline-diagram",
+        description="Skyline diagrams: build, query, render (ICDE'18 repro).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic dataset to CSV")
+    p.add_argument("output", help="CSV file to write")
+    p.add_argument("--distribution", default="independent")
+    p.add_argument("--n", type=int, default=100)
+    p.add_argument("--dim", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--domain", type=int, default=None)
+
+    p = sub.add_parser("build", help="build a diagram and save it as JSON")
+    p.add_argument("points", help="CSV file of points")
+    p.add_argument("output", help="JSON file to write")
+    p.add_argument(
+        "--kind", choices=("quadrant", "global", "dynamic"), default="quadrant"
+    )
+    p.add_argument(
+        "--algorithm",
+        default="scanning",
+        help="construction algorithm (see repro.diagram registries)",
+    )
+
+    p = sub.add_parser("query", help="answer a skyline query from a diagram")
+    p.add_argument("diagram", help="JSON diagram produced by 'build'")
+    p.add_argument("coordinates", nargs="+", type=float)
+
+    p = sub.add_parser("render", help="render a diagram (SVG or ASCII)")
+    p.add_argument("diagram", help="JSON diagram produced by 'build'")
+    p.add_argument("--svg", help="write an SVG to this path")
+
+    p = sub.add_parser("info", help="summarize a dataset or saved diagram")
+    p.add_argument("path", help="CSV dataset or JSON diagram")
+
+    p = sub.add_parser("stats", help="structural statistics of a diagram")
+    p.add_argument("diagram", help="JSON diagram produced by 'build'")
+
+    p = sub.add_parser("skyband", help="answer a k-skyband query from CSV")
+    p.add_argument("points", help="CSV file of points")
+    p.add_argument("k", type=int)
+    p.add_argument("coordinates", nargs=2, type=float)
+
+    p = sub.add_parser(
+        "whynot", help="explain a point missing from a skyline result"
+    )
+    p.add_argument("diagram", help="JSON diagram produced by 'build'")
+    p.add_argument("point_id", type=int)
+    p.add_argument("coordinates", nargs=2, type=float)
+
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except (SkylineDiagramError, OSError, ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "generate":
+        points = generate_points(
+            args.distribution,
+            args.n,
+            dim=args.dim,
+            seed=args.seed,
+            domain=args.domain,
+        )
+        _write_points(args.output, points)
+        print(f"wrote {len(points)} {args.distribution} points to {args.output}")
+        return 0
+    if args.command == "build":
+        text = _build(args)
+        Path(args.output).write_text(text)
+        print(f"wrote {args.kind} diagram ({args.algorithm}) to {args.output}")
+        return 0
+    if args.command == "query":
+        diagram = _load_diagram(args.diagram)
+        result = diagram.query(tuple(args.coordinates))
+        names = [diagram.grid.dataset.name_of(i) for i in result]
+        print(f"skyline ids: {list(result)}")
+        print(f"skyline points: {[tuple(diagram.grid.dataset[i]) for i in result]}")
+        print(f"names: {names}")
+        return 0
+    if args.command == "render":
+        diagram = _load_diagram(args.diagram)
+        if args.svg:
+            from repro.viz.svg import render_svg
+
+            Path(args.svg).write_text(render_svg(diagram))
+            print(f"wrote {args.svg}")
+        else:
+            from repro.viz.ascii_art import ascii_diagram
+
+            print(ascii_diagram(diagram))
+        return 0
+    if args.command == "stats":
+        from repro.diagram.statistics import diagram_statistics
+
+        stats = diagram_statistics(_load_diagram(args.diagram))
+        for key, value in stats.as_dict().items():
+            if isinstance(value, float):
+                print(f"{key}: {value:.3f}")
+            else:
+                print(f"{key}: {value}")
+        return 0
+    if args.command == "skyband":
+        from repro.skyline.queries import quadrant_skyband
+
+        dataset = _read_points(args.points)
+        result = quadrant_skyband(dataset, tuple(args.coordinates), args.k)
+        print(f"{args.k}-skyband ids: {list(result)}")
+        return 0
+    if args.command == "whynot":
+        from repro.applications.why_not import why_not
+
+        diagram = _load_diagram(args.diagram)
+        explanation = why_not(diagram, tuple(args.coordinates), args.point_id)
+        if explanation.distance == 0.0:
+            print(f"point {args.point_id} is already in the result")
+        else:
+            witness = tuple(round(c, 6) for c in explanation.witness)
+            print(
+                f"move the query {explanation.distance:.4f} to {witness} "
+                f"and point {args.point_id} joins the skyline"
+            )
+        return 0
+    if args.command == "info":
+        path = Path(args.path)
+        if path.suffix == ".json":
+            diagram = _load_diagram(args.path)
+            print(repr(diagram))
+        else:
+            dataset = _read_points(args.path)
+            print(repr(dataset))
+        return 0
+    raise ValueError(f"unknown command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via entry point
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Workload generators: synthetic distributions and substituted real data."""
+
+from repro.datasets.generators import (
+    anticorrelated,
+    clustered,
+    correlated,
+    generate,
+    independent,
+    quantize,
+)
+from repro.datasets.real import hotels, load_real, nba_like
+from repro.datasets.workloads import (
+    clustered_queries,
+    trajectory_queries,
+    uniform_queries,
+    workload,
+)
+
+__all__ = [
+    "anticorrelated",
+    "clustered",
+    "clustered_queries",
+    "correlated",
+    "generate",
+    "hotels",
+    "independent",
+    "load_real",
+    "nba_like",
+    "quantize",
+    "trajectory_queries",
+    "uniform_queries",
+    "workload",
+]

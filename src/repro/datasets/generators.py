@@ -1,0 +1,166 @@
+"""Synthetic workload generators (Börzsönyi et al., the paper's [1]).
+
+The three canonical skyline benchmark distributions:
+
+* **independent** — uniform per dimension; skyline size Θ(log^{d-1} n).
+* **correlated**  — points near the main diagonal; tiny skylines (a point
+  good in one dimension is good in the others).
+* **anticorrelated** — points near the anti-diagonal hyperplane; huge
+  skylines (a point good in one dimension is bad in another).
+
+plus a clustered mixture.  All generators are deterministic under ``seed``
+and return plain tuples.  ``quantize`` maps any dataset onto an integer
+domain of size ``s`` per axis — the knob behind the paper's
+``O(min(s, n^2))`` limited-domain analyses (experiment E2/E5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.geometry.point import Point
+
+_DISTRIBUTIONS = ("independent", "correlated", "anticorrelated", "clustered")
+
+
+def _finish(array: np.ndarray, domain: int | None) -> list[Point]:
+    array = np.clip(array, 0.0, 1.0)
+    if domain is not None:
+        if domain < 1:
+            raise DatasetError(f"domain size must be >= 1, got {domain}")
+        array = np.floor(array * domain)
+        array = np.minimum(array, domain - 1)
+    return [tuple(float(x) for x in row) for row in array]
+
+
+def independent(
+    n: int, dim: int = 2, seed: int = 0, domain: int | None = None
+) -> list[Point]:
+    """Uniform points in the unit hypercube (INDE).
+
+    >>> pts = independent(4, seed=1)
+    >>> len(pts), len(pts[0])
+    (4, 2)
+    """
+    _validate(n, dim)
+    rng = np.random.default_rng(seed)
+    return _finish(rng.random((n, dim)), domain)
+
+
+def correlated(
+    n: int,
+    dim: int = 2,
+    seed: int = 0,
+    domain: int | None = None,
+    spread: float = 0.1,
+) -> list[Point]:
+    """Points concentrated around the main diagonal (CORR).
+
+    Each point is a diagonal position plus small Gaussian per-axis noise;
+    ``spread`` controls how tightly the cloud hugs the diagonal.
+    """
+    _validate(n, dim)
+    rng = np.random.default_rng(seed)
+    base = rng.random((n, 1))
+    noise = rng.normal(0.0, spread, (n, dim))
+    return _finish(base + noise, domain)
+
+
+def anticorrelated(
+    n: int,
+    dim: int = 2,
+    seed: int = 0,
+    domain: int | None = None,
+    spread: float = 0.05,
+) -> list[Point]:
+    """Points concentrated around the anti-diagonal hyperplane (ANTI).
+
+    Points are drawn on the plane where coordinates sum to ``dim / 2`` and
+    perturbed slightly, producing the large skylines that stress-test
+    skyline algorithms.
+    """
+    _validate(n, dim)
+    rng = np.random.default_rng(seed)
+    raw = rng.random((n, dim))
+    # Shift every point so its coordinates sum to dim/2, then jitter.
+    shift = (dim / 2.0 - raw.sum(axis=1, keepdims=True)) / dim
+    noise = rng.normal(0.0, spread, (n, dim))
+    return _finish(raw + shift + noise, domain)
+
+
+def clustered(
+    n: int,
+    dim: int = 2,
+    seed: int = 0,
+    domain: int | None = None,
+    clusters: int = 5,
+    spread: float = 0.05,
+) -> list[Point]:
+    """A mixture of Gaussian clusters with uniform centers."""
+    _validate(n, dim)
+    if clusters < 1:
+        raise DatasetError(f"need at least one cluster, got {clusters}")
+    rng = np.random.default_rng(seed)
+    centers = rng.random((clusters, dim))
+    assignment = rng.integers(0, clusters, n)
+    noise = rng.normal(0.0, spread, (n, dim))
+    return _finish(centers[assignment] + noise, domain)
+
+
+def quantize(points: list[Point], domain: int) -> list[Point]:
+    """Snap points onto an integer grid of ``domain`` values per axis.
+
+    Values are normalized by the dataset's own bounds first:
+
+    >>> quantize([(0.0, 0.5), (0.999, 0.2)], 10)
+    [(0.0, 9.0), (9.0, 0.0)]
+    """
+    if domain < 1:
+        raise DatasetError(f"domain size must be >= 1, got {domain}")
+    if not points:
+        return []
+    lo = [min(p[d] for p in points) for d in range(len(points[0]))]
+    hi = [max(p[d] for p in points) for d in range(len(points[0]))]
+    out: list[Point] = []
+    for p in points:
+        row = []
+        for d, x in enumerate(p):
+            extent = hi[d] - lo[d]
+            unit = (x - lo[d]) / extent if extent > 0 else 0.0
+            row.append(min(float(domain - 1), np.floor(unit * domain)))
+        out.append(tuple(row))
+    return out
+
+
+def generate(
+    distribution: str,
+    n: int,
+    dim: int = 2,
+    seed: int = 0,
+    domain: int | None = None,
+) -> list[Point]:
+    """Dispatch by distribution name (the benchmark harness entry point).
+
+    >>> len(generate("anticorrelated", 8, seed=3))
+    8
+    """
+    if distribution not in _DISTRIBUTIONS:
+        raise DatasetError(
+            f"unknown distribution {distribution!r}; "
+            f"expected one of {_DISTRIBUTIONS}"
+        )
+    maker = {
+        "independent": independent,
+        "correlated": correlated,
+        "anticorrelated": anticorrelated,
+        "clustered": clustered,
+    }[distribution]
+    return maker(n, dim=dim, seed=seed, domain=domain)
+
+
+def _validate(n: int, dim: int) -> None:
+    if n < 1:
+        raise DatasetError(f"need at least one point, got n={n}")
+    if dim < 1:
+        raise DatasetError(f"need at least one dimension, got dim={dim}")

@@ -1,0 +1,95 @@
+"""Substituted "real" datasets (see DESIGN.md, substitutions table).
+
+The paper evaluates on real datasets alongside the synthetic ones; without
+network access we ship deterministic generators whose marginal shapes match
+the usual suspects in the skyline literature:
+
+* :func:`nba_like` — an NBA-players-style table: per-season counting stats
+  (points, rebounds, assists, steals) that are positively correlated with a
+  heavy-tailed star population.  Correlated, integer-domained, ~small
+  skyline — the structure that makes real data easy for skyline algorithms.
+* :func:`hotels` — the paper's running example: price vs distance to
+  downtown, anti-correlated (closer hotels charge more), integer domains.
+
+Both are seeded and reproducible; sizes default to laptop-friendly scales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.geometry.point import Dataset, Point
+
+
+def nba_like(n: int = 2000, dim: int = 2, seed: int = 2018) -> Dataset:
+    """Deterministic NBA-style counting stats (lower = better by negation).
+
+    Stats are generated from a latent per-player "skill" with multiplicative
+    noise, then *negated* so the library's min-order convention makes star
+    players the skyline.  Dimensions beyond the first four cycle through the
+    same recipe with fresh noise.
+
+    >>> ds = nba_like(100)
+    >>> len(ds), ds.dim
+    (100, 2)
+    """
+    if n < 1:
+        raise DatasetError(f"need at least one player, got n={n}")
+    if dim < 1:
+        raise DatasetError(f"need at least one stat, got dim={dim}")
+    rng = np.random.default_rng(seed)
+    skill = rng.lognormal(mean=0.0, sigma=0.6, size=n)
+    scales = [25.0, 10.0, 8.0, 2.5]  # points, rebounds, assists, steals
+    columns = []
+    for d in range(dim):
+        scale = scales[d % len(scales)]
+        noise = rng.lognormal(mean=0.0, sigma=0.35, size=n)
+        stat = np.rint(skill * noise * scale).clip(0, None)
+        columns.append(-stat)  # negate: min-order skyline = best players
+    rows = np.stack(columns, axis=1)
+    return Dataset([tuple(float(x) for x in row) for row in rows])
+
+
+def hotels(n: int = 200, seed: int = 42, domain: int = 100) -> Dataset:
+    """The running example: (distance to downtown, price), anti-correlated.
+
+    Hotels close to downtown are expensive; both attributes are integers in
+    ``[0, domain)``.  Minimizing both matches the paper's Figure 1.
+
+    >>> ds = hotels(50)
+    >>> len(ds), ds.dim
+    (50, 2)
+    """
+    if n < 1:
+        raise DatasetError(f"need at least one hotel, got n={n}")
+    if domain < 2:
+        raise DatasetError(f"domain must be >= 2, got {domain}")
+    rng = np.random.default_rng(seed)
+    distance = rng.random(n)
+    base_price = 1.0 - distance  # closer -> pricier
+    price = np.clip(base_price + rng.normal(0.0, 0.15, n), 0.0, 1.0)
+    pts: list[Point] = []
+    for d, p in zip(distance, price):
+        pts.append(
+            (
+                float(min(domain - 1, int(d * domain))),
+                float(min(domain - 1, int(p * domain))),
+            )
+        )
+    return Dataset(pts)
+
+
+def load_real(name: str, **kwargs) -> Dataset:
+    """Load a substituted real dataset by name (``"nba"`` or ``"hotels"``).
+
+    >>> load_real("hotels", n=10).dim
+    2
+    """
+    loaders = {"nba": nba_like, "hotels": hotels}
+    if name not in loaders:
+        raise DatasetError(
+            f"unknown real dataset {name!r}; expected one of "
+            f"{tuple(loaders)}"
+        )
+    return loaders[name](**kwargs)

@@ -1,0 +1,104 @@
+"""Query workload generators for benchmarking and examples.
+
+The paper evaluates *construction*; a deployed diagram also needs query
+workloads.  Three standard shapes, all seeded and deterministic:
+
+* uniform queries over a bounding box,
+* clustered queries (hot spots, the common case for location services),
+* trajectories (a moving query sampled along a path — the continuous
+  skyline scenario).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.geometry.point import Point
+
+Box = tuple[float, float, float, float]  # (min_x, min_y, max_x, max_y)
+
+
+def _validate_box(box: Box) -> Box:
+    x0, y0, x1, y1 = (float(v) for v in box)
+    if not (x0 < x1 and y0 < y1):
+        raise DatasetError(f"degenerate bounding box {box}")
+    return (x0, y0, x1, y1)
+
+
+def uniform_queries(n: int, box: Box, seed: int = 0) -> list[Point]:
+    """n query points uniform over the box.
+
+    >>> qs = uniform_queries(3, (0, 0, 1, 1), seed=1)
+    >>> len(qs), all(0 <= x <= 1 for q in qs for x in q)
+    (3, True)
+    """
+    if n < 1:
+        raise DatasetError(f"need at least one query, got {n}")
+    x0, y0, x1, y1 = _validate_box(box)
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(x0, x1, n)
+    ys = rng.uniform(y0, y1, n)
+    return [(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def clustered_queries(
+    n: int,
+    box: Box,
+    seed: int = 0,
+    hotspots: int = 3,
+    spread: float = 0.05,
+) -> list[Point]:
+    """n queries drawn from Gaussian hot spots inside the box.
+
+    ``spread`` is relative to the box extent; samples are clipped to the
+    box so every query stays in-domain.
+    """
+    if n < 1:
+        raise DatasetError(f"need at least one query, got {n}")
+    if hotspots < 1:
+        raise DatasetError(f"need at least one hotspot, got {hotspots}")
+    x0, y0, x1, y1 = _validate_box(box)
+    rng = np.random.default_rng(seed)
+    centers_x = rng.uniform(x0, x1, hotspots)
+    centers_y = rng.uniform(y0, y1, hotspots)
+    choice = rng.integers(0, hotspots, n)
+    xs = rng.normal(centers_x[choice], (x1 - x0) * spread)
+    ys = rng.normal(centers_y[choice], (y1 - y0) * spread)
+    xs = np.clip(xs, x0, x1)
+    ys = np.clip(ys, y0, y1)
+    return [(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def trajectory_queries(
+    start: Point, end: Point, steps: int
+) -> list[Point]:
+    """Evenly spaced samples along a straight trajectory, endpoints included.
+
+    >>> trajectory_queries((0, 0), (4, 2), 3)
+    [(0.0, 0.0), (2.0, 1.0), (4.0, 2.0)]
+    """
+    if steps < 2:
+        raise DatasetError(f"a trajectory needs >= 2 steps, got {steps}")
+    sx, sy = float(start[0]), float(start[1])
+    ex, ey = float(end[0]), float(end[1])
+    out: list[Point] = []
+    for k in range(steps):
+        t = k / (steps - 1)
+        out.append((sx + t * (ex - sx), sy + t * (ey - sy)))
+    return out
+
+
+def workload(
+    kind: str, n: int, box: Box, seed: int = 0
+) -> list[Point]:
+    """Dispatch by workload name (``uniform`` or ``clustered``).
+
+    >>> len(workload("clustered", 5, (0, 0, 1, 1)))
+    5
+    """
+    if kind == "uniform":
+        return uniform_queries(n, box, seed=seed)
+    if kind == "clustered":
+        return clustered_queries(n, box, seed=seed)
+    raise DatasetError(f"unknown workload kind {kind!r}")

@@ -1,0 +1,86 @@
+"""Skyline diagram construction — the paper's core contribution.
+
+Seven construction algorithms over two grid substrates:
+
+=============  ==========================  ===========================
+Diagram        Algorithm                   Function
+=============  ==========================  ===========================
+quadrant       baseline (Alg. 1)           :func:`quadrant_baseline`
+quadrant       directed graph (Alg. 2)     :func:`quadrant_dsg`
+quadrant       scanning (Alg. 3)           :func:`quadrant_scanning`
+quadrant       sweeping (Alg. 4)           :func:`quadrant_sweeping`
+global         union of quadrants          :func:`global_diagram`
+dynamic        baseline (Alg. 5)           :func:`dynamic_baseline`
+dynamic        subset (Alg. 6)             :func:`dynamic_subset`
+dynamic        scanning (Alg. 7)           :func:`dynamic_scanning`
+=============  ==========================  ===========================
+
+plus the d-dimensional variants in :mod:`repro.diagram.highdim` and the
+k-skyband extension in :mod:`repro.diagram.skyband`.  The
+``QUADRANT_ALGORITHMS`` / ``DYNAMIC_ALGORITHMS`` registries map the paper's
+algorithm names to callables for the benchmark harness and CLI.
+"""
+
+from repro.diagram.base import DynamicDiagram, SkylineDiagram
+from repro.diagram.dynamic_baseline import dynamic_baseline
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.dynamic_subset import dynamic_subset
+from repro.diagram.global_diagram import global_diagram, quadrant_diagram_for_mask
+from repro.diagram.maintenance import delete_point, insert_point
+from repro.diagram.merge import merge_cells, partition_signature
+from repro.diagram.quadrant_baseline import quadrant_baseline
+from repro.diagram.quadrant_dsg import quadrant_dsg
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.diagram.quadrant_sweeping import SweepDiagram, quadrant_sweeping
+from repro.diagram.skyband import SkybandDiagram, skyband_baseline, skyband_sweep
+from repro.diagram.statistics import DiagramStatistics, diagram_statistics
+from repro.diagram.verify import validate_diagram
+from repro.diagram.topology import (
+    crossing_distance,
+    neighbouring_results,
+    region_adjacency,
+    region_of,
+)
+
+QUADRANT_ALGORITHMS = {
+    "baseline": quadrant_baseline,
+    "dsg": quadrant_dsg,
+    "scanning": quadrant_scanning,
+}
+
+DYNAMIC_ALGORITHMS = {
+    "baseline": dynamic_baseline,
+    "subset": dynamic_subset,
+    "scanning": dynamic_scanning,
+}
+
+__all__ = [
+    "DYNAMIC_ALGORITHMS",
+    "DynamicDiagram",
+    "QUADRANT_ALGORITHMS",
+    "SkybandDiagram",
+    "SkylineDiagram",
+    "SweepDiagram",
+    "DiagramStatistics",
+    "crossing_distance",
+    "delete_point",
+    "diagram_statistics",
+    "insert_point",
+    "skyband_baseline",
+    "skyband_sweep",
+    "dynamic_baseline",
+    "dynamic_scanning",
+    "dynamic_subset",
+    "global_diagram",
+    "merge_cells",
+    "partition_signature",
+    "quadrant_baseline",
+    "quadrant_diagram_for_mask",
+    "quadrant_dsg",
+    "quadrant_scanning",
+    "quadrant_sweeping",
+    "neighbouring_results",
+    "region_adjacency",
+    "region_of",
+    "validate_diagram",
+]

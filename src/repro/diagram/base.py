@@ -1,0 +1,204 @@
+"""Diagram result types shared by all construction algorithms.
+
+A :class:`SkylineDiagram` stores, for every skyline cell of a
+:class:`~repro.geometry.grid.Grid`, the canonical query result (a sorted
+tuple of point ids).  Two diagrams compare equal iff they were built over the
+same points and assign the same result to every cell — which is how the four
+construction algorithms are cross-validated.
+
+A :class:`DynamicDiagram` is the same thing over the bisector-augmented
+:class:`~repro.geometry.subcell.SubcellGrid`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Iterator
+
+from repro.errors import QueryError
+from repro.geometry.grid import Grid
+from repro.geometry.polyomino import Polyomino
+from repro.geometry.subcell import SubcellGrid
+
+Cell = tuple[int, ...]
+Result = tuple[int, ...]
+
+
+class SkylineDiagram:
+    """A quadrant or global skyline diagram over the skyline-cell grid.
+
+    Parameters
+    ----------
+    grid:
+        The compressed grid the diagram was built over.
+    results:
+        Mapping from cell index tuple to canonical result tuple.  Every cell
+        of the grid must be present.
+    kind:
+        ``"quadrant"`` or ``"global"``.
+    mask:
+        Quadrant orientation bitmask (0 = the paper's first quadrant); kept
+        ``0`` for global diagrams.
+    algorithm:
+        Name of the construction algorithm, for provenance.
+    """
+
+    __slots__ = ("grid", "kind", "mask", "algorithm", "_results", "_polyominos")
+
+    def __init__(
+        self,
+        grid: Grid,
+        results: dict[Cell, Result],
+        kind: str = "quadrant",
+        mask: int = 0,
+        algorithm: str = "unknown",
+    ) -> None:
+        if kind not in ("quadrant", "global"):
+            raise ValueError(f"unknown diagram kind {kind!r}")
+        if len(results) != grid.num_cells:
+            raise ValueError(
+                f"{len(results)} cell results for {grid.num_cells} cells"
+            )
+        self.grid = grid
+        self.kind = kind
+        self.mask = mask
+        self.algorithm = algorithm
+        self._results = results
+        self._polyominos: list[Polyomino] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the underlying grid."""
+        return self.grid.dim
+
+    def result_at(self, cell: Cell) -> Result:
+        """Canonical skyline result of one cell."""
+        return self._results[cell]
+
+    def cells(self) -> Iterator[tuple[Cell, Result]]:
+        """Iterate over ``(cell, result)`` pairs."""
+        return iter(self._results.items())
+
+    def query(self, query: Sequence[float]) -> Result:
+        """Answer a skyline query by point location (O(d log n))."""
+        return self._results[self.grid.locate(query)]
+
+    def query_points(self, query: Sequence[float]) -> list[tuple[float, ...]]:
+        """Like :meth:`query` but returning point coordinates."""
+        return [self.grid.dataset[i] for i in self.query(query)]
+
+    def distinct_results(self) -> set[Result]:
+        """The set of distinct skyline results across all cells."""
+        return set(self._results.values())
+
+    def polyominos(self) -> list[Polyomino]:
+        """Merge cells into skyline polyominos (2-D only; cached)."""
+        if self.dim != 2:
+            raise QueryError("polyomino merging is only defined for 2-D grids")
+        if self._polyominos is None:
+            from repro.diagram.merge import merge_cells
+
+            self._polyominos = merge_cells(self.grid.shape, self._results)
+        return self._polyominos
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SkylineDiagram):
+            return NotImplemented
+        return (
+            self.grid.axes == other.grid.axes
+            and self.kind == other.kind
+            and self.mask == other.mask
+            and self._results == other._results
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - diagrams rarely hashed
+        return hash((self.grid.axes, self.kind, self.mask))
+
+    def __repr__(self) -> str:
+        return (
+            f"SkylineDiagram(kind={self.kind!r}, algorithm={self.algorithm!r}, "
+            f"n={len(self.grid.dataset)}, cells={self.grid.num_cells}, "
+            f"distinct={len(self.distinct_results())})"
+        )
+
+
+class DynamicDiagram:
+    """A dynamic skyline diagram over the skyline-subcell grid (2-D)."""
+
+    __slots__ = ("subcells", "algorithm", "_results", "_polyominos")
+
+    def __init__(
+        self,
+        subcells: SubcellGrid,
+        results: dict[tuple[int, int], Result],
+        algorithm: str = "unknown",
+    ) -> None:
+        if len(results) != subcells.num_subcells:
+            raise ValueError(
+                f"{len(results)} subcell results for "
+                f"{subcells.num_subcells} subcells"
+            )
+        self.subcells = subcells
+        self.algorithm = algorithm
+        self._results = results
+        self._polyominos: list[Polyomino] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def grid(self) -> SubcellGrid:
+        """Alias kept for symmetry with :class:`SkylineDiagram`."""
+        return self.subcells
+
+    def result_at(self, subcell: tuple[int, int]) -> Result:
+        """Canonical dynamic skyline result of one subcell."""
+        return self._results[subcell]
+
+    def cells(self) -> Iterator[tuple[tuple[int, int], Result]]:
+        """Iterate over ``(subcell, result)`` pairs."""
+        return iter(self._results.items())
+
+    def query(self, query: Sequence[float]) -> Result:
+        """Answer a dynamic skyline query by point location.
+
+        Exact for queries strictly inside a subcell; a query lying exactly
+        on a bisector (a measure-zero event where mapped coordinates tie) is
+        answered with the lower-side subcell's result.
+        """
+        return self._results[self.subcells.locate(query)]
+
+    def query_points(self, query: Sequence[float]) -> list[tuple[float, ...]]:
+        """Like :meth:`query` but returning point coordinates."""
+        return [self.subcells.dataset[i] for i in self.query(query)]
+
+    def distinct_results(self) -> set[Result]:
+        """The set of distinct dynamic skyline results across subcells."""
+        return set(self._results.values())
+
+    def polyominos(self) -> list[Polyomino]:
+        """Merge subcells into polyominos (cached)."""
+        if self._polyominos is None:
+            from repro.diagram.merge import merge_cells
+
+            self._polyominos = merge_cells(self.subcells.shape, self._results)
+        return self._polyominos
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynamicDiagram):
+            return NotImplemented
+        return (
+            self.subcells.axes == other.subcells.axes
+            and self._results == other._results
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - diagrams rarely hashed
+        return hash(self.subcells.axes)
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicDiagram(algorithm={self.algorithm!r}, "
+            f"n={len(self.subcells.dataset)}, "
+            f"subcells={self.subcells.num_subcells}, "
+            f"distinct={len(self.distinct_results())})"
+        )

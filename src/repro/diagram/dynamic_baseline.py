@@ -1,0 +1,36 @@
+"""Algorithm 5 — the baseline dynamic skyline diagram.
+
+For every skyline subcell, map all points to the first quadrant of an
+interior representative query (``|p - q|`` per axis) and compute the
+traditional skyline of the mapped points.  O(n^5) unbounded, or
+O(min(s^4, n^4) * n) under a bounded domain — exactly the paper's analysis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.diagram.base import DynamicDiagram
+from repro.geometry.point import Dataset, ensure_dataset
+from repro.geometry.subcell import SubcellGrid
+from repro.skyline.queries import dynamic_skyline
+
+
+def dynamic_baseline(
+    points: Dataset | Sequence[Sequence[float]],
+) -> DynamicDiagram:
+    """Build the dynamic skyline diagram with Algorithm 5.
+
+    >>> diagram = dynamic_baseline([(0, 0), (10, 10)])
+    >>> diagram.query((1, 1))
+    (0,)
+    >>> diagram.query((4, 6))   # between the bisectors: both undominated
+    (0, 1)
+    """
+    dataset = ensure_dataset(points)
+    subcells = SubcellGrid(dataset)
+    results: dict[tuple[int, int], tuple[int, ...]] = {}
+    for subcell in subcells.subcells():
+        representative = subcells.representative(subcell)
+        results[subcell] = dynamic_skyline(dataset, representative)
+    return DynamicDiagram(subcells, results, algorithm="baseline")

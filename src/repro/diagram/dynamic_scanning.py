@@ -1,0 +1,85 @@
+"""Algorithm 7 — the scanning algorithm for the dynamic skyline diagram.
+
+Crossing a subcell boundary at grid value ``v`` flips the mapped-space order
+``|a - q|`` vs ``|b - q|`` only for the pairs whose bisector lies at ``v``
+(point lines flip nothing: ``|a - q|`` vs ``|b - q|`` orderings change only
+at bisectors).  Hence the new subcell's dynamic skyline is contained in the
+previous subcell's result plus the boundary's *contributing* points, and it
+suffices to re-skyline that small candidate set:
+
+``Sky(SC_{i,j}) = DynSky(Sky(SC_{i-1,j}) ∪ contributors(boundary i))``
+
+The sweep computes ``Sky(SC_{0,0})`` from scratch, then walks the first
+column bottom-up and each row left-to-right, re-skylining a candidate set
+whose size tracks the skyline size rather than n.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.diagram.base import DynamicDiagram
+from repro.geometry.point import Dataset, ensure_dataset
+from repro.geometry.subcell import SubcellGrid
+from repro.skyline.queries import dynamic_skyline, dynamic_skyline_among
+
+
+def dynamic_scanning(
+    points: Dataset | Sequence[Sequence[float]],
+) -> DynamicDiagram:
+    """Build the dynamic skyline diagram with Algorithm 7.
+
+    >>> diagram = dynamic_scanning([(0, 0), (10, 10)])
+    >>> diagram.query((4, 6))
+    (0, 1)
+    """
+    dataset = ensure_dataset(points)
+    subcells = SubcellGrid(dataset)
+    sx, sy = subcells.shape
+    results: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    column_start = dynamic_skyline(dataset, subcells.representative((0, 0)))
+    for j in range(sy):
+        if j > 0:
+            # Cross the horizontal boundary below row j.
+            candidates = _merge_candidates(
+                column_start, subcells.boundary_contributors(1, j)
+            )
+            column_start = dynamic_skyline_among(
+                dataset, candidates, subcells.representative((0, j))
+            )
+        results[(0, j)] = column_start
+        previous = column_start
+        for i in range(1, sx):
+            candidates = _merge_candidates(
+                previous, subcells.boundary_contributors(0, i)
+            )
+            previous = dynamic_skyline_among(
+                dataset, candidates, subcells.representative((i, j))
+            )
+            results[(i, j)] = previous
+    return DynamicDiagram(subcells, results, algorithm="scanning")
+
+
+def _merge_candidates(
+    sky: tuple[int, ...], contributors: tuple[int, ...]
+) -> tuple[int, ...]:
+    """Union of two sorted id tuples (both deduplicated)."""
+    merged: list[int] = []
+    ia = ib = 0
+    na, nb = len(sky), len(contributors)
+    while ia < na and ib < nb:
+        a, b = sky[ia], contributors[ib]
+        if a < b:
+            merged.append(a)
+            ia += 1
+        elif b < a:
+            merged.append(b)
+            ib += 1
+        else:
+            merged.append(a)
+            ia += 1
+            ib += 1
+    merged.extend(sky[ia:])
+    merged.extend(contributors[ib:])
+    return tuple(merged)

@@ -1,0 +1,104 @@
+"""Global skyline diagrams: the union of all 2^d quadrant diagrams.
+
+The paper (Sec. IV) notes that the global skyline is the union of the
+quadrant skylines of every quadrant, and that all quadrants share the same
+grid lines.  Reflecting the dataset (negating the axes in a quadrant's mask)
+turns quadrant-``mask`` dominance into plain first-quadrant dominance, so
+one first-quadrant construction algorithm serves every orientation; the
+reflected diagram's cell indices are mirrored back onto the shared grid and
+the per-cell results unioned (the four candidate sets partition the points
+around any cell-interior query, so the union is disjoint).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from heapq import merge as heap_merge
+
+from repro.diagram.base import SkylineDiagram
+from repro.errors import DimensionalityError
+from repro.geometry.dominance import reflect_points
+from repro.geometry.grid import Grid
+from repro.geometry.point import Dataset, ensure_dataset
+
+Algorithm = Callable[[Dataset], SkylineDiagram]
+
+
+def quadrant_diagram_for_mask(
+    points: Dataset | Sequence[Sequence[float]],
+    mask: int,
+    algorithm: Algorithm,
+) -> SkylineDiagram:
+    """First-quadrant algorithm applied to an arbitrary quadrant orientation.
+
+    Negative-side dimensions are reflected, the diagram is built, and cell
+    indices are mirrored back (cell ``i`` on a reflected axis of ``s`` grid
+    lines maps to cell ``s - i``).
+    """
+    dataset = ensure_dataset(points)
+    if mask == 0:
+        diagram = algorithm(dataset)
+        return SkylineDiagram(
+            diagram.grid,
+            dict(diagram.cells()),
+            kind="quadrant",
+            mask=0,
+            algorithm=diagram.algorithm,
+        )
+    reflected = Dataset(reflect_points(dataset.points, mask))
+    mirrored = algorithm(reflected)
+    grid = Grid(dataset)
+    sizes = [len(axis) for axis in grid.axes]
+    results: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for cell, sky in mirrored.cells():
+        original = tuple(
+            sizes[d] - c if mask & (1 << d) else c for d, c in enumerate(cell)
+        )
+        results[original] = sky
+    return SkylineDiagram(
+        grid, results, kind="quadrant", mask=mask, algorithm=mirrored.algorithm
+    )
+
+
+def global_diagram(
+    points: Dataset | Sequence[Sequence[float]],
+    algorithm: Algorithm | None = None,
+) -> SkylineDiagram:
+    """Build the global skyline diagram (union of all quadrant diagrams).
+
+    ``algorithm`` is any first-quadrant construction function (defaults to
+    the scanning algorithm, the fastest exact 2-D cell-based method).
+
+    >>> diagram = global_diagram([(2, 8), (5, 4), (9, 1)])
+    >>> diagram.result_at((1, 1))   # between the staircase points
+    (0, 1, 2)
+    """
+    dataset = ensure_dataset(points)
+    if algorithm is None:
+        if dataset.dim != 2:
+            raise DimensionalityError(
+                "pass an explicit d-dimensional algorithm for d > 2 "
+                "(e.g. diagram.highdim.quadrant_scanning_nd)"
+            )
+        from repro.diagram.quadrant_scanning import quadrant_scanning
+
+        algorithm = quadrant_scanning
+    dim = dataset.dim
+    quadrant_diagrams = [
+        quadrant_diagram_for_mask(dataset, mask, algorithm)
+        for mask in range(1 << dim)
+    ]
+    grid = quadrant_diagrams[0].grid
+    results: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for cell, first in quadrant_diagrams[0].cells():
+        parts = [first]
+        parts.extend(d.result_at(cell) for d in quadrant_diagrams[1:])
+        # The quadrants partition the points around any cell-interior query,
+        # so the union is a merge of disjoint sorted tuples.
+        results[cell] = tuple(heap_merge(*parts))
+    return SkylineDiagram(
+        grid,
+        results,
+        kind="global",
+        algorithm=quadrant_diagrams[0].algorithm,
+    )

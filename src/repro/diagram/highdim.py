@@ -1,0 +1,255 @@
+"""High-dimensional skyline diagrams (Section IV.E of the paper).
+
+The baseline, directed-skyline-graph and scanning constructions all extend
+to d dimensions over the d-dimensional skyline-cell grid (the sweeping
+algorithm does not — the paper leaves that extension open, and so do we).
+
+* baseline: O(n^d) hyper-cells, each solved with a generic skyline pass;
+* DSG: the 2-D row sweep becomes a nested sweep, one removal-and-undo
+  level per axis;
+* scanning: Theorem 1 generalizes to the inclusion–exclusion over the 2^d-1
+  upper neighbours — odd-cardinality offsets added, even subtracted — with
+  one extra *outer* skyline pass (for d > 2 the multiset expression may
+  retain dominated points, which the paper's formula removes with an
+  explicit ``Skyline(...)``).
+
+A d-dimensional dynamic baseline over the bisector grid is also provided
+for completeness (Section V notes dynamic diagrams extend "similarly").
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+from itertools import product
+
+from repro.diagram.base import SkylineDiagram
+from repro.dsg.graph import DirectedSkylineGraph
+from repro.geometry.grid import Grid
+from repro.geometry.point import Dataset, Point, ensure_dataset
+from repro.skyline.algorithms import skyline
+from repro.skyline.queries import dynamic_skyline
+
+
+def _candidate_masks(grid: Grid) -> list[list[int]]:
+    """Per axis, a bitmask of the points with rank > i, for every i.
+
+    ``masks[d][i]`` has bit ``k`` set iff ``rank_d(p_k) > i``; intersecting
+    the d masks of a cell yields its candidate set in O(n / wordsize).
+    """
+    masks: list[list[int]] = []
+    for d in range(grid.dim):
+        extent = len(grid.axes[d])
+        axis_masks = [0] * (extent + 1)
+        for k, rank in enumerate(grid.ranks):
+            bit = 1 << k
+            for i in range(rank[d]):
+                axis_masks[i] |= bit
+        masks.append(axis_masks)
+    return masks
+
+
+def _bits(mask: int) -> list[int]:
+    """Indices of the set bits of a candidate bitmask, ascending."""
+    ids: list[int] = []
+    while mask:
+        low = mask & -mask
+        ids.append(low.bit_length() - 1)
+        mask ^= low
+    return ids
+
+
+def quadrant_baseline_nd(
+    points: Dataset | Sequence[Sequence[float]],
+) -> SkylineDiagram:
+    """d-dimensional baseline diagram: one skyline pass per hyper-cell.
+
+    >>> diagram = quadrant_baseline_nd([(1, 1, 1), (2, 2, 2)])
+    >>> diagram.result_at((0, 0, 0))
+    (0,)
+    >>> diagram.result_at((1, 1, 1))
+    (1,)
+    """
+    dataset = ensure_dataset(points)
+    grid = Grid(dataset)
+    masks = _candidate_masks(grid)
+    pts = dataset.points
+    results: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for cell in grid.cells():
+        combined = masks[0][cell[0]]
+        for d in range(1, grid.dim):
+            combined &= masks[d][cell[d]]
+        candidates = _bits(combined)
+        local = skyline([pts[k] for k in candidates])
+        results[cell] = tuple(candidates[k] for k in local)
+    return SkylineDiagram(grid, results, kind="quadrant", algorithm="baseline")
+
+
+def quadrant_dsg_nd(
+    points: Dataset | Sequence[Sequence[float]],
+    dsg: DirectedSkylineGraph | None = None,
+) -> SkylineDiagram:
+    """d-dimensional DSG diagram: nested removal sweeps with undo.
+
+    >>> diagram = quadrant_dsg_nd([(1, 1, 1), (2, 2, 2)])
+    >>> diagram.result_at((0, 0, 0))
+    (0,)
+    """
+    dataset = ensure_dataset(points)
+    grid = Grid(dataset)
+    if dsg is None:
+        dsg = DirectedSkylineGraph(dataset)
+    shape = grid.shape
+    on_line: list[list[list[int]]] = [
+        [[] for _ in range(extent)] for extent in shape
+    ]
+    for k, rank in enumerate(grid.ranks):
+        for d in range(grid.dim):
+            on_line[d][rank[d]].append(k)
+
+    results: dict[tuple[int, ...], tuple[int, ...]] = {}
+    sky = set(dsg.skyline())
+
+    def sweep(axis: int, suffix: tuple[int, ...]) -> None:
+        nonlocal sky
+        checkpoint = dsg.checkpoint()
+        saved_sky = set(sky)
+        for i in range(shape[axis]):
+            if axis == 0:
+                results[(i,) + suffix] = tuple(sorted(sky))
+            else:
+                sweep(axis - 1, (i,) + suffix)
+            if i + 1 < shape[axis]:
+                crossing = on_line[axis][i + 1]
+                exposed = dsg.remove_batch(crossing)
+                sky.difference_update(crossing)
+                sky.update(exposed)
+        dsg.rollback(checkpoint)
+        sky = saved_sky
+
+    sweep(grid.dim - 1, ())
+    return SkylineDiagram(grid, results, kind="quadrant", algorithm="dsg")
+
+
+def quadrant_scanning_nd(
+    points: Dataset | Sequence[Sequence[float]],
+) -> SkylineDiagram:
+    """d-dimensional scanning diagram via the inclusion–exclusion identity.
+
+    >>> diagram = quadrant_scanning_nd([(1, 1, 1), (2, 2, 2)])
+    >>> diagram.result_at((1, 1, 1))
+    (1,)
+    """
+    dataset = ensure_dataset(points)
+    grid = Grid(dataset)
+    dim = grid.dim
+    shape = grid.shape
+    pts = dataset.points
+    offsets: list[tuple[int, tuple[int, ...]]] = []
+    for bits in range(1, 1 << dim):
+        offset = tuple((bits >> d) & 1 for d in range(dim))
+        sign = 1 if bin(bits).count("1") % 2 == 1 else -1
+        offsets.append((sign, offset))
+
+    results: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for cell in product(*(range(extent - 1, -1, -1) for extent in shape)):
+        corner = grid.corner_points(tuple(c + 1 for c in cell))
+        if corner:
+            results[cell] = corner
+            continue
+        counts: dict[int, int] = {}
+        for sign, offset in offsets:
+            neighbour = tuple(c + o for c, o in zip(cell, offset))
+            if any(
+                neighbour[d] >= shape[d] for d in range(dim)
+            ):  # off-grid neighbours contribute the empty skyline
+                continue
+            for pid in results[neighbour]:
+                counts[pid] = counts.get(pid, 0) + sign
+        candidates = sorted(pid for pid, count in counts.items() if count >= 1)
+        if dim == 2:
+            results[cell] = tuple(candidates)
+        else:
+            # For d > 2 the expression may retain dominated points; the
+            # paper's formula applies one outer Skyline pass.
+            local = skyline([pts[k] for k in candidates])
+            results[cell] = tuple(candidates[k] for k in local)
+    return SkylineDiagram(grid, results, kind="quadrant", algorithm="scanning")
+
+
+class DynamicDiagramND:
+    """A d-dimensional dynamic skyline diagram (baseline construction).
+
+    Stores per-subcell results over the bisector-augmented axes.  Intended
+    for small inputs — the subcell count is O(min(s, n^2)^d).
+    """
+
+    __slots__ = ("dataset", "axes", "_results")
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        axes: tuple[tuple[float, ...], ...],
+        results: dict[tuple[int, ...], tuple[int, ...]],
+    ) -> None:
+        self.dataset = dataset
+        self.axes = axes
+        self._results = results
+
+    def locate(self, query: Sequence[float]) -> tuple[int, ...]:
+        """Subcell index containing a query point."""
+        return tuple(
+            bisect_left(self.axes[d], float(query[d]))
+            for d in range(len(self.axes))
+        )
+
+    def result_at(self, subcell: tuple[int, ...]) -> tuple[int, ...]:
+        """Canonical dynamic skyline result of one subcell."""
+        return self._results[subcell]
+
+    def query(self, query: Sequence[float]) -> tuple[int, ...]:
+        """Answer a d-dimensional dynamic skyline query by point location."""
+        return self._results[self.locate(query)]
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicDiagramND(n={len(self.dataset)}, "
+            f"dim={len(self.axes)}, subcells={len(self._results)})"
+        )
+
+
+def dynamic_baseline_nd(
+    points: Dataset | Sequence[Sequence[float]],
+) -> DynamicDiagramND:
+    """d-dimensional dynamic diagram by brute force over the bisector grid.
+
+    >>> diagram = dynamic_baseline_nd([(0, 0, 0), (8, 8, 8)])
+    >>> diagram.query((1, 1, 1))
+    (0,)
+    """
+    dataset = ensure_dataset(points)
+    n = len(dataset)
+    axes: list[tuple[float, ...]] = []
+    for d in range(dataset.dim):
+        values = {p[d] for p in dataset}
+        for a in range(n):
+            for b in range(a + 1, n):
+                values.add((dataset[a][d] + dataset[b][d]) / 2.0)
+        axes.append(tuple(sorted(values)))
+
+    def representative(subcell: tuple[int, ...]) -> Point:
+        coords: list[float] = []
+        for d, i in enumerate(subcell):
+            axis = axes[d]
+            if i == 0:
+                coords.append(axis[0] - 1.0)
+            elif i == len(axis):
+                coords.append(axis[-1] + 1.0)
+            else:
+                coords.append((axis[i - 1] + axis[i]) / 2.0)
+        return tuple(coords)
+
+    results: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for subcell in product(*(range(len(axis) + 1) for axis in axes)):
+        results[subcell] = dynamic_skyline(dataset, representative(subcell))
+    return DynamicDiagramND(dataset, tuple(axes), results)

@@ -1,0 +1,178 @@
+"""Incremental maintenance of quadrant skyline diagrams.
+
+A practical extension beyond the paper: inserting or deleting one point
+does not require rebuilding the whole diagram.  A point ``p`` is a
+candidate only for cells strictly below-left of it, so
+
+* **insert**: only the lower-left block of ``p`` changes, and each affected
+  cell updates in O(|result|) — ``p`` either joins the staircase (evicting
+  the members it dominates) or is dominated and changes nothing.  Cells in
+  a split column/row inherit the split cell's result.
+* **delete**: again only the lower-left block; cells that did not list
+  ``p`` keep their result (anything ``p`` dominated is also dominated by
+  ``p``'s own dominator), and cells that did are repaired by re-admitting
+  the points ``p`` directly hid.
+
+Both operations return a new :class:`SkylineDiagram` (diagrams are
+immutable); deletion renumbers ids above the removed one, mirroring how
+the dataset shrinks.  Only first-quadrant (``mask=0``) diagrams are
+supported — other orientations maintain their reflections.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.diagram.base import SkylineDiagram
+from repro.errors import QueryError
+from repro.geometry.dominance import dominates
+from repro.geometry.grid import Grid
+from repro.geometry.point import Dataset, as_point
+
+
+def _check(diagram: SkylineDiagram) -> None:
+    from repro.diagram.skyband import SkybandDiagram
+
+    if isinstance(diagram, SkybandDiagram):
+        raise QueryError(
+            "incremental maintenance applies skyline update rules; "
+            "rebuild k-skyband diagrams instead"
+        )
+    if diagram.kind != "quadrant" or diagram.mask != 0:
+        raise QueryError(
+            "incremental maintenance supports first-quadrant diagrams only"
+        )
+    if diagram.dim != 2:
+        raise QueryError("incremental maintenance is implemented in 2-D")
+
+
+def _column_origin(old_axis, new_axis) -> list[int]:
+    """For each new cell column, the old column covering its interval."""
+    origins = []
+    old_i = 0
+    for i in range(len(new_axis) + 1):
+        # New column i spans (new_axis[i-1], new_axis[i]); advance past old
+        # lines that end at or before the column's lower bound.
+        if i > 0:
+            value = new_axis[i - 1]
+            while old_i < len(old_axis) and old_axis[old_i] <= value:
+                old_i += 1
+        origins.append(old_i)
+    return origins
+
+
+def insert_point(
+    diagram: SkylineDiagram, point: Sequence[float]
+) -> SkylineDiagram:
+    """Insert one point, updating only its lower-left block of cells.
+
+    The new point's id is ``len(old dataset)``.
+
+    >>> from repro.diagram import quadrant_scanning
+    >>> updated = insert_point(quadrant_scanning([(5, 5)]), (2, 2))
+    >>> updated.result_at((0, 0))
+    (1,)
+    """
+    _check(diagram)
+    p = as_point(point)
+    old = diagram.grid.dataset
+    new_dataset = Dataset([*old.points, p])
+    new_grid = Grid(new_dataset)
+    new_id = len(old)
+    rx, ry = new_grid.rank_of(new_id)
+    x_origin = _column_origin(diagram.grid.axes[0], new_grid.axes[0])
+    y_origin = _column_origin(diagram.grid.axes[1], new_grid.axes[1])
+
+    sx, sy = new_grid.shape
+    results: dict[tuple[int, int], tuple[int, ...]] = {}
+    pts = old.points
+    for i in range(sx):
+        for j in range(sy):
+            result = diagram.result_at((x_origin[i], y_origin[j]))
+            if i < rx and j < ry:
+                # p is a candidate of this cell.
+                if not any(dominates(pts[q], p) for q in result):
+                    kept = [q for q in result if not dominates(p, pts[q])]
+                    kept.append(new_id)
+                    result = tuple(sorted(kept))
+            results[(i, j)] = result
+    return SkylineDiagram(
+        new_grid,
+        results,
+        kind="quadrant",
+        mask=0,
+        algorithm=f"{diagram.algorithm}+insert",
+    )
+
+
+def delete_point(diagram: SkylineDiagram, point_id: int) -> SkylineDiagram:
+    """Delete one point, repairing only its lower-left block of cells.
+
+    Ids above ``point_id`` shift down by one (the dataset contracts).
+
+    >>> from repro.diagram import quadrant_scanning
+    >>> diagram = quadrant_scanning([(1, 1), (2, 2)])
+    >>> delete_point(diagram, 0).result_at((0, 0))
+    (0,)
+    """
+    _check(diagram)
+    old = diagram.grid.dataset
+    if not 0 <= point_id < len(old):
+        raise QueryError(f"point id {point_id} out of range")
+    if len(old) == 1:
+        raise QueryError("cannot delete the last point of a diagram")
+    p = old[point_id]
+    remaining = [q for i, q in enumerate(old.points) if i != point_id]
+    new_dataset = Dataset(remaining)
+    new_grid = Grid(new_dataset)
+
+    def remap(old_pid: int) -> int:
+        return old_pid if old_pid < point_id else old_pid - 1
+
+    # The points p hid: any cell candidate dominated by p whose other
+    # dominators are all gone resurfaces.  Lexicographic order guarantees a
+    # resurfacing dominator is re-admitted before the points it dominates,
+    # so checking against the growing survivor list below is sound.
+    hidden = sorted(
+        (
+            i
+            for i, q in enumerate(old.points)
+            if i != point_id and dominates(p, q)
+        ),
+        key=lambda i: old.points[i],
+    )
+    old_ranks = diagram.grid.ranks
+    pts = old.points
+
+    # For each new cell column, a representative old column covering it
+    # (when p's grid line vanishes, the two merged old columns agree after
+    # the repair, so either representative works).
+    x_source = _column_origin(diagram.grid.axes[0], new_grid.axes[0])
+    y_source = _column_origin(diagram.grid.axes[1], new_grid.axes[1])
+
+    sx, sy = new_grid.shape
+    results: dict[tuple[int, int], tuple[int, ...]] = {}
+    for i in range(sx):
+        old_i = x_source[i]
+        for j in range(sy):
+            old_j = y_source[j]
+            result = diagram.result_at((old_i, old_j))
+            if point_id in result:
+                survivors = [q for q in result if q != point_id]
+                for candidate in hidden:
+                    crx, cry = old_ranks[candidate]
+                    if crx <= old_i or cry <= old_j:
+                        continue  # not a candidate of this cell
+                    if not any(
+                        dominates(pts[s], pts[candidate]) for s in survivors
+                    ):
+                        survivors.append(candidate)
+                result = tuple(sorted(survivors))
+            results[(i, j)] = tuple(sorted(remap(q) for q in result))
+    return SkylineDiagram(
+        new_grid,
+        results,
+        kind="quadrant",
+        mask=0,
+        algorithm=f"{diagram.algorithm}+delete",
+    )

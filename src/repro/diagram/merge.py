@@ -1,0 +1,88 @@
+"""Merging skyline cells into skyline polyominos.
+
+All cell-based construction algorithms share this final phase (the paper's
+"merging skyline cells into skyline polyominos", Sec. IV.A): adjacent cells
+with identical results are unioned into maximal connected regions.  The
+merge is a breadth-first flood fill over the cell lattice, O(#cells) time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.geometry.polyomino import Polyomino
+
+Cell = tuple[int, int]
+Result = tuple[int, ...]
+
+
+def merge_cells(
+    shape: tuple[int, int], results: dict[Cell, Result]
+) -> list[Polyomino]:
+    """Flood-fill equal-result neighbours into polyominos.
+
+    Parameters
+    ----------
+    shape:
+        Cells per axis of the (sub)cell grid.
+    results:
+        Mapping from every cell to its canonical result.
+
+    Returns
+    -------
+    list[Polyomino]
+        Polyominos in discovery (row-major) order; their ``ident`` fields
+        are list positions.
+    """
+    sx, sy = shape
+    labels: dict[Cell, int] = {}
+    polyominos: list[Polyomino] = []
+    for i in range(sx):
+        for j in range(sy):
+            start = (i, j)
+            if start in labels:
+                continue
+            ident = len(polyominos)
+            target = results[start]
+            members: list[Cell] = []
+            queue: deque[Cell] = deque([start])
+            labels[start] = ident
+            while queue:
+                ci, cj = queue.popleft()
+                members.append((ci, cj))
+                for ni, nj in (
+                    (ci - 1, cj),
+                    (ci + 1, cj),
+                    (ci, cj - 1),
+                    (ci, cj + 1),
+                ):
+                    if not (0 <= ni < sx and 0 <= nj < sy):
+                        continue
+                    neighbour = (ni, nj)
+                    if neighbour in labels:
+                        continue
+                    if results[neighbour] == target:
+                        labels[neighbour] = ident
+                        queue.append(neighbour)
+            polyominos.append(
+                Polyomino(ident=ident, result=target, cells=frozenset(members))
+            )
+    return polyominos
+
+
+def cell_labels(polyominos: list[Polyomino]) -> dict[Cell, int]:
+    """Invert a polyomino list into a cell -> polyomino-id mapping."""
+    labels: dict[Cell, int] = {}
+    for poly in polyominos:
+        for cell in poly.cells:
+            labels[cell] = poly.ident
+    return labels
+
+
+def partition_signature(polyominos: list[Polyomino]) -> frozenset[frozenset[Cell]]:
+    """Order-independent description of a partition, for equality tests.
+
+    Two construction algorithms produce the same diagram geometry iff their
+    partition signatures match (polyomino ids and ordering are incidental).
+    """
+    return frozenset(poly.cells for poly in polyominos)

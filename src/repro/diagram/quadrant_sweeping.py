@@ -1,0 +1,263 @@
+"""Algorithm 4 — the O(n^2) sweeping construction (Theorem 2).
+
+Instead of full grid lines, two *half-open* grid lines are drawn from each
+point — one downward, one leftward.  Theorem 2: every region of the
+resulting arrangement is a skyline polyomino.  The algorithm therefore
+produces the diagram's geometry directly, without ever computing a skyline:
+
+1. compute the intersection points of the half-open segments and link each
+   to its left/right and lower/upper neighbours (Lines 1–11 of Algorithm 4);
+2. for every interior intersection point ``g``, trace the polyomino having
+   ``g`` as its upper-right corner: one step left, then repeated
+   (lower, right) steps until the walk returns to ``g``'s vertical line
+   (Lines 12–16, Example 5).
+
+Everything is done in rank space.  The vertical line at x-rank ``a`` spans
+ranks ``[0, vtop(a)]`` where ``vtop(a)`` is the highest y-rank among points
+on that line; symmetrically ``hright(b)`` for horizontal lines.  Rank 0 on
+either axis is the domain boundary the half-open segments run into.
+
+An optional annotation step attaches per-polyomino skyline results (the
+polyomino with upper-right corner ``(a, b)`` answers like cell
+``(a-1, b-1)``); the paper's timing experiments build geometry only, and so
+do ours.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import DimensionalityError, QueryError
+from repro.geometry.grid import Grid
+from repro.geometry.point import Dataset, ensure_dataset
+
+Vertex = tuple[int, int]  # (x-rank, y-rank); rank 0 is the boundary axis
+
+
+@dataclass(frozen=True)
+class SweepPolyomino:
+    """One polyomino traced by the sweeping algorithm.
+
+    Attributes
+    ----------
+    corner:
+        Upper-right corner ``(a, b)`` in 1-based grid ranks.
+    vertices:
+        Closed boundary walk starting at ``corner`` (rank coordinates; the
+        final implicit edge climbs ``corner``'s vertical line back up).
+    """
+
+    corner: Vertex
+    vertices: tuple[Vertex, ...] = field(repr=False)
+
+
+class SweepDiagram:
+    """Result of the sweeping construction: polyomino geometry.
+
+    The diagram partitions the plane into ``len(polyominos)`` staircase
+    regions plus the unbounded outer region (whose skyline is empty).
+    """
+
+    __slots__ = ("grid", "vtop", "hright", "polyominos", "_results")
+
+    def __init__(
+        self,
+        grid: Grid,
+        vtop: list[int],
+        hright: list[int],
+        polyominos: list[SweepPolyomino],
+    ) -> None:
+        self.grid = grid
+        self.vtop = vtop
+        self.hright = hright
+        self.polyominos = polyominos
+        self._results: dict[Vertex, tuple[int, ...]] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_regions(self) -> int:
+        """Number of regions including the unbounded empty-result region."""
+        return len(self.polyominos) + 1
+
+    def cell_partition(self) -> dict[tuple[int, int], Vertex | None]:
+        """Map every skyline cell to its region's upper-right corner.
+
+        Cells in the unbounded outer region map to ``None``.  Two cells are
+        in the same region iff no half-open segment separates them: a
+        vertical segment at rank ``a`` blocks horizontally at row ``j`` iff
+        ``vtop(a) >= j+1``, and symmetrically for horizontal segments.
+        This rasterization is O(#cells) and is used for cross-validation
+        against the cell-merging algorithms.
+        """
+        sx, sy = self.grid.shape
+        partition: dict[tuple[int, int], Vertex | None] = {}
+        for j in range(sy):
+            for i in range(sx):
+                a, b = i, j
+                # Walk right past non-blocking vertical segments, then up
+                # past non-blocking horizontal segments, repeating until the
+                # upper-right corner stabilizes (staircase regions make this
+                # terminate in at most min(sx, sy) rounds; amortized O(1)
+                # thanks to the monotone walk).
+                while True:
+                    moved = False
+                    while a + 1 <= sx - 1 and self.vtop[a + 1] < b + 1:
+                        a += 1
+                        moved = True
+                    while b + 1 <= sy - 1 and self.hright[b + 1] < a + 1:
+                        b += 1
+                        moved = True
+                    if not moved:
+                        break
+                if a == sx - 1 and b == sy - 1:
+                    partition[(i, j)] = None  # unbounded outer region
+                else:
+                    partition[(i, j)] = (a + 1, b + 1)
+        return partition
+
+    def results(self) -> dict[Vertex, tuple[int, ...]]:
+        """Annotate every polyomino with its skyline result (cached).
+
+        Annotation runs the scanning algorithm once and reads the cell just
+        inside each corner; the sweep itself never computes skylines.
+        """
+        if self._results is None:
+            from repro.diagram.quadrant_scanning import quadrant_scanning
+
+            cell_diagram = quadrant_scanning(self.grid.dataset)
+            self._results = {
+                poly.corner: cell_diagram.result_at(
+                    (poly.corner[0] - 1, poly.corner[1] - 1)
+                )
+                for poly in self.polyominos
+            }
+        return self._results
+
+    def query(self, query: Sequence[float]) -> tuple[int, ...]:
+        """Answer a first-quadrant skyline query via the polyomino geometry."""
+        i = bisect_left(self.grid.xs, float(query[0]))
+        j = bisect_left(self.grid.ys, float(query[1]))
+        sx, sy = self.grid.shape
+        a, b = i, j
+        while True:
+            moved = False
+            while a + 1 <= sx - 1 and self.vtop[a + 1] < b + 1:
+                a += 1
+                moved = True
+            while b + 1 <= sy - 1 and self.hright[b + 1] < a + 1:
+                b += 1
+                moved = True
+            if not moved:
+                break
+        if a == sx - 1 and b == sy - 1:
+            return ()
+        return self.results()[(a + 1, b + 1)]
+
+    def __repr__(self) -> str:
+        return (
+            f"SweepDiagram(n={len(self.grid.dataset)}, "
+            f"polyominos={len(self.polyominos)})"
+        )
+
+
+def quadrant_sweeping(
+    points: Dataset | Sequence[Sequence[float]],
+) -> SweepDiagram:
+    """Build the first-quadrant skyline diagram geometry with Algorithm 4.
+
+    >>> sweep = quadrant_sweeping([(2, 8), (5, 4), (9, 1)])
+    >>> len(sweep.polyominos)   # 6 staircase regions + the outer region
+    6
+    >>> sweep.polyominos[0].corner
+    (1, 1)
+    """
+    dataset = ensure_dataset(points)
+    if dataset.dim != 2:
+        raise DimensionalityError("quadrant_sweeping is 2-D only")
+    grid = Grid(dataset)
+    num_x = len(grid.xs)  # vertical lines, ranks 1..num_x
+    num_y = len(grid.ys)
+
+    # Segment extents in rank space (index 0 unused: rank 0 is the axis).
+    vtop = [0] * (num_x + 1)
+    hright = [0] * (num_y + 1)
+    for rx, ry in grid.ranks:
+        vtop[rx] = max(vtop[rx], ry)
+        hright[ry] = max(hright[ry], rx)
+
+    # Intersection points, linked by neighbours along each line.  A vertex
+    # (a, b) with a,b >= 1 exists iff the vertical segment at rank a reaches
+    # row b and the horizontal segment at rank b reaches column a.
+    hline_vertices: list[list[int]] = [list(range(num_x + 1))]  # bottom axis
+    for b in range(1, num_y + 1):
+        row = [0]
+        row.extend(a for a in range(1, hright[b] + 1) if vtop[a] >= b)
+        hline_vertices.append(row)
+    vline_vertices: list[list[int]] = [list(range(num_y + 1))]  # left axis
+    for a in range(1, num_x + 1):
+        col = [0]
+        col.extend(b for b in range(1, vtop[a] + 1) if hright[b] >= a)
+        vline_vertices.append(col)
+
+    def left_neighbour(a: int, b: int) -> Vertex:
+        # Every vertex on the top edge carries a vertical segment reaching
+        # down at least to the edge, so no skipping is needed going left.
+        row = hline_vertices[b]
+        pos = bisect_left(row, a)
+        if pos == 0:
+            raise QueryError(f"vertex ({a},{b}) has no left neighbour")
+        return (row[pos - 1], b)
+
+    def lower_crossing(a: int, b: int) -> Vertex:
+        # Next vertex below (a, b) where the horizontal segment genuinely
+        # crosses this vertical line.  A segment *ending* on the line
+        # (hright == a) pokes left only and does not bound the face being
+        # traced on the right, so such tips are skipped.  Rank 0 is the
+        # bottom axis and always stops the descent.
+        col = vline_vertices[a]
+        pos = bisect_left(col, b) - 1
+        while pos > 0 and hright[col[pos]] == a:
+            pos -= 1
+        if pos < 0:
+            raise QueryError(f"vertex ({a},{b}) has no lower crossing")
+        return (a, col[pos])
+
+    def right_crossing(a: int, b: int) -> Vertex:
+        # Next vertex to the right where the face boundary turns: either a
+        # vertical segment rising above this horizontal line (the face's
+        # closing right edge) or the line's own right endpoint (the face
+        # wraps down around the tip).  Vertical tips pointing down from the
+        # line (vtop == b before its end) are skipped.
+        row = hline_vertices[b]
+        pos = bisect_right(row, a)
+        last = len(row) - 1
+        while pos < last and b != 0 and vtop[row[pos]] == b:
+            pos += 1
+        if pos > last:
+            raise QueryError(f"vertex ({a},{b}) has no right crossing")
+        return (row[pos], b)
+
+    polyominos: list[SweepPolyomino] = []
+    for b in range(1, num_y + 1):
+        for a in hline_vertices[b]:
+            if a == 0:
+                continue
+            # Trace the polyomino whose upper-right corner is (a, b):
+            # one step left along the top edge, then alternating
+            # (down, right) along the lower-left staircase until the walk
+            # returns to the corner's vertical line (Algorithm 4).
+            start = (a, b)
+            walk = [start]
+            current = left_neighbour(a, b)
+            walk.append(current)
+            while current[0] != a:
+                current = lower_crossing(*current)
+                walk.append(current)
+                current = right_crossing(*current)
+                walk.append(current)
+            polyominos.append(
+                SweepPolyomino(corner=start, vertices=tuple(walk))
+            )
+    return SweepDiagram(grid, vtop, hright, polyominos)

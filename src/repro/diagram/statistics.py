@@ -1,0 +1,82 @@
+"""Descriptive statistics of a skyline diagram.
+
+The paper's complexity analyses bound the diagram's size by
+``O(min(s, n)^2)`` cells and ``O(min(s, n)^2 * n)`` storage; this module
+measures the actual structure — how many regions, how large their results,
+how skewed the region sizes — which is what a capacity-planning user needs
+and what experiment E3 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.diagram.base import DynamicDiagram, SkylineDiagram
+
+
+@dataclass(frozen=True)
+class DiagramStatistics:
+    """Summary of one diagram's structure.
+
+    Attributes mirror the quantities of the paper's analyses: cells (the
+    grid), regions (the output), result sizes (the per-cell storage
+    factor), and the implied storage estimate in stored point ids.
+    """
+
+    num_points: int
+    num_cells: int
+    num_regions: int
+    min_result_size: int
+    mean_result_size: float
+    max_result_size: int
+    mean_region_size: float
+    max_region_size: int
+    stored_ids: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Cells per region — how much merging shrinks the diagram."""
+        return self.num_cells / self.num_regions
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (handy for logging and tables)."""
+        return {
+            "num_points": self.num_points,
+            "num_cells": self.num_cells,
+            "num_regions": self.num_regions,
+            "min_result_size": self.min_result_size,
+            "mean_result_size": self.mean_result_size,
+            "max_result_size": self.max_result_size,
+            "mean_region_size": self.mean_region_size,
+            "max_region_size": self.max_region_size,
+            "stored_ids": self.stored_ids,
+            "compression_ratio": self.compression_ratio,
+        }
+
+
+def diagram_statistics(
+    diagram: SkylineDiagram | DynamicDiagram,
+) -> DiagramStatistics:
+    """Measure a diagram's structure.
+
+    >>> from repro.diagram import quadrant_scanning
+    >>> stats = diagram_statistics(quadrant_scanning([(2, 8), (5, 4)]))
+    >>> stats.num_cells, stats.num_regions
+    (9, 4)
+    >>> stats.max_result_size
+    2
+    """
+    result_sizes = [len(result) for _, result in diagram.cells()]
+    polyominos = diagram.polyominos()
+    region_sizes = [poly.size for poly in polyominos]
+    return DiagramStatistics(
+        num_points=len(diagram.grid.dataset),
+        num_cells=len(result_sizes),
+        num_regions=len(polyominos),
+        min_result_size=min(result_sizes),
+        mean_result_size=sum(result_sizes) / len(result_sizes),
+        max_result_size=max(result_sizes),
+        mean_region_size=sum(region_sizes) / len(region_sizes),
+        max_region_size=max(region_sizes),
+        stored_ids=sum(len(poly.result) for poly in polyominos),
+    )

@@ -1,0 +1,113 @@
+"""Structural validation of skyline diagrams.
+
+Serialized diagrams cross trust boundaries (the outsourcing and PIR
+applications ship them to other parties), so a loader needs more than
+schema checks: this module verifies the *semantic* invariants a genuine
+diagram must satisfy, from cheap structural laws to a full per-cell
+recomputation.
+
+Levels
+------
+``structure``   O(#cells): results sorted/deduplicated and in id range,
+                members are candidates of their cell, borders empty,
+                origin cell equals the dataset skyline.
+``sampled``     structure + from-scratch recomputation of a deterministic
+                sample of cells.
+``full``        structure + every cell recomputed (the ground truth).
+"""
+
+from __future__ import annotations
+
+from repro.diagram.base import DynamicDiagram, SkylineDiagram
+from repro.errors import SerializationError
+from repro.skyline.algorithms import skyline_brute
+from repro.skyline.queries import dynamic_skyline, quadrant_skyline
+
+LEVELS = ("structure", "sampled", "full")
+
+
+def validate_diagram(
+    diagram: SkylineDiagram | DynamicDiagram,
+    level: str = "structure",
+    sample_stride: int = 7,
+) -> None:
+    """Raise :class:`SerializationError` if the diagram is inconsistent.
+
+    Only first-quadrant (``mask=0``) cell diagrams and dynamic diagrams
+    are fully checkable; reflected/global diagrams get the id-range and
+    canonical-form checks only.
+
+    >>> from repro.diagram import quadrant_scanning
+    >>> validate_diagram(quadrant_scanning([(1, 2), (3, 1)]), level="full")
+    """
+    if level not in LEVELS:
+        raise ValueError(f"level must be one of {LEVELS}, got {level!r}")
+    n = len(diagram.grid.dataset)
+    for cell, result in diagram.cells():
+        if list(result) != sorted(set(result)):
+            raise SerializationError(
+                f"cell {cell}: result {result} is not a sorted id set"
+            )
+        if result and (result[0] < 0 or result[-1] >= n):
+            raise SerializationError(
+                f"cell {cell}: result {result} references unknown points"
+            )
+    if isinstance(diagram, DynamicDiagram):
+        _validate_dynamic(diagram, level, sample_stride)
+    elif diagram.kind == "quadrant" and diagram.mask == 0:
+        _validate_quadrant(diagram, level, sample_stride)
+
+
+def _validate_quadrant(
+    diagram: SkylineDiagram, level: str, sample_stride: int
+) -> None:
+    grid = diagram.grid
+    ranks = grid.ranks
+    dim = grid.dim
+    for cell, result in diagram.cells():
+        for pid in result:
+            if any(ranks[pid][d] <= cell[d] for d in range(dim)):
+                raise SerializationError(
+                    f"cell {cell}: point {pid} is not a candidate there"
+                )
+    origin = tuple(0 for _ in range(dim))
+    if diagram.result_at(origin) != skyline_brute(grid.dataset):
+        raise SerializationError("origin cell does not hold the skyline")
+    top = tuple(extent - 1 for extent in grid.shape)
+    if diagram.result_at(top) != ():
+        raise SerializationError("outermost cell is not empty")
+    if level == "structure":
+        return
+    for index, cell in enumerate(grid.cells()):
+        if level == "sampled" and index % sample_stride:
+            continue
+        expected = quadrant_skyline(grid.dataset, grid.representative(cell))
+        if diagram.result_at(cell) != expected:
+            raise SerializationError(
+                f"cell {cell}: stored {diagram.result_at(cell)}, "
+                f"recomputed {expected}"
+            )
+
+
+def _validate_dynamic(
+    diagram: DynamicDiagram, level: str, sample_stride: int
+) -> None:
+    subcells = diagram.subcells
+    for subcell, result in diagram.cells():
+        if not result:
+            raise SerializationError(
+                f"subcell {subcell}: dynamic skylines are never empty"
+            )
+    if level == "structure":
+        return
+    for index, subcell in enumerate(subcells.subcells()):
+        if level == "sampled" and index % sample_stride:
+            continue
+        expected = dynamic_skyline(
+            subcells.dataset, subcells.representative(subcell)
+        )
+        if diagram.result_at(subcell) != expected:
+            raise SerializationError(
+                f"subcell {subcell}: stored {diagram.result_at(subcell)}, "
+                f"recomputed {expected}"
+            )

@@ -1,0 +1,13 @@
+"""Directed skyline graph (adapted from [15], Section IV.B of the paper)."""
+
+from repro.dsg.graph import (
+    DirectedSkylineGraph,
+    direct_dominance_links,
+    full_dominance_links,
+)
+
+__all__ = [
+    "DirectedSkylineGraph",
+    "direct_dominance_links",
+    "full_dominance_links",
+]

@@ -1,0 +1,203 @@
+"""The directed skyline graph (DSG) and its incremental-removal interface.
+
+The DSG captures *direct* dominance: ``p`` directly dominates ``q`` when
+``p`` dominates ``q`` and no third point sits between them in the dominance
+order.  The paper (Sec. IV.B) adapts the graph of [15] by keeping only these
+direct links — enough for the diagram algorithm because removals happen in
+grid-line order: whenever some remaining point dominates ``q``, a *direct*
+parent of ``q`` also remains (any dominance chain from a remaining point
+moves coordinate-wise toward ``q`` and therefore stays remaining).
+
+The incremental interface is removal-with-undo: the DSG diagram algorithm
+sweeps a row by removing grid lines' points and rolls the row back with the
+undo log instead of copying the whole graph (the paper's ``tempDSG``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.geometry.dominance import dominates
+from repro.geometry.point import Dataset
+from repro.skyline.algorithms import _coords
+from repro.skyline.layers import skyline_layers
+
+
+def direct_dominance_links(points) -> list[list[int]]:
+    """Children lists of the direct dominance relation.
+
+    ``children[p]`` holds every ``q`` directly dominated by ``p``: the
+    dominators of ``q`` form a sub-order, and the direct parents are exactly
+    its maximal elements (those dominating no other dominator of ``q``).
+
+    >>> direct_dominance_links([(1, 1), (2, 2), (3, 3)])
+    [[1], [2], []]
+    """
+    pts = _coords(points)
+    n = len(pts)
+    dominators: list[list[int]] = [[] for _ in range(n)]
+    for p in range(n):
+        for q in range(n):
+            if p != q and dominates(pts[p], pts[q]):
+                dominators[q].append(p)
+    children: list[list[int]] = [[] for _ in range(n)]
+    for q in range(n):
+        doms = dominators[q]
+        for p in doms:
+            # p is a direct parent iff it dominates no other dominator of q.
+            if not any(r != p and dominates(pts[p], pts[r]) for r in doms):
+                children[p].append(q)
+    return children
+
+
+def full_dominance_links(points) -> list[list[int]]:
+    """Children lists of the *full* (transitive) dominance relation.
+
+    The paper adapts [15] to direct links only; this variant keeps every
+    dominance edge and exists for the E9 ablation — the diagram algorithm
+    is still correct with it (a point surfaces exactly when its dominator
+    count reaches zero) but performs one update per dominance pair instead
+    of per direct link.
+
+    >>> full_dominance_links([(1, 1), (2, 2), (3, 3)])
+    [[1, 2], [2], []]
+    """
+    pts = _coords(points)
+    n = len(pts)
+    children: list[list[int]] = [[] for _ in range(n)]
+    for p in range(n):
+        for q in range(n):
+            if p != q and dominates(pts[p], pts[q]):
+                children[p].append(q)
+    return children
+
+
+class DirectedSkylineGraph:
+    """Direct-dominance DAG with O(1)-amortized removal and undo.
+
+    Parameters
+    ----------
+    points:
+        The dataset.  Layers and dominance links are computed on
+        construction.
+    links:
+        ``"direct"`` (the paper's adaptation of [15]) or ``"full"`` (every
+        dominance pair; needed for the E9 ablation and for thresholds > 1).
+    threshold:
+        A point is "exposed" while fewer than ``threshold`` parents remain.
+        The default 1 gives skylines; k gives k-skybands (points dominated
+        by fewer than k others), which requires ``links="full"`` so parent
+        counts equal dominator counts.
+
+    Examples
+    --------
+    >>> dsg = DirectedSkylineGraph([(1, 1), (2, 3), (3, 2), (4, 4)])
+    >>> sorted(dsg.skyline())
+    [0]
+    >>> newly = dsg.remove(0)    # peeling the apex exposes both children
+    >>> sorted(newly)
+    [1, 2]
+    """
+
+    __slots__ = (
+        "dataset",
+        "children",
+        "parent_count",
+        "threshold",
+        "removed",
+        "layers",
+        "_undo",
+    )
+
+    def __init__(
+        self,
+        points: Dataset | Sequence[Sequence[float]],
+        links: str = "direct",
+        threshold: int = 1,
+    ) -> None:
+        pts = _coords(points)
+        self.dataset = points if isinstance(points, Dataset) else Dataset(pts)
+        if links == "direct":
+            link_lists = direct_dominance_links(pts)
+        elif links == "full":
+            link_lists = full_dominance_links(pts)
+        else:
+            raise ValueError(f"links must be 'direct' or 'full', got {links!r}")
+        self.children: list[tuple[int, ...]] = [tuple(c) for c in link_lists]
+        self.parent_count = [0] * len(pts)
+        for kids in self.children:
+            for q in kids:
+                self.parent_count[q] += 1
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        if threshold > 1 and links != "full":
+            raise ValueError(
+                "thresholds above 1 (k-skybands) require links='full'"
+            )
+        self.threshold = threshold
+        self.removed = [False] * len(pts)
+        self.layers: list[tuple[int, ...]] = skyline_layers(pts)
+        self._undo: list[tuple[int, tuple[int, ...]]] = []
+
+    @property
+    def num_links(self) -> int:
+        """Total number of direct dominance links."""
+        return sum(len(kids) for kids in self.children)
+
+    def skyline(self) -> list[int]:
+        """Current exposed points: fewer than ``threshold`` parents remain.
+
+        With the default threshold this is the skyline; with threshold k
+        and full links it is the k-skyband.
+        """
+        return [
+            i
+            for i in range(len(self.parent_count))
+            if not self.removed[i] and self.parent_count[i] < self.threshold
+        ]
+
+    def remove(self, point_id: int) -> list[int]:
+        """Remove one point; return children that become parentless.
+
+        The returned ids are the *new* skyline points exposed by the removal
+        (Algorithm 2's "children of p without any remaining parent").  Safe
+        to call on an already-removed point (returns ``[]``), which happens
+        when several points share a grid line.
+        """
+        if self.removed[point_id]:
+            return []
+        self.removed[point_id] = True
+        exposed: list[int] = []
+        for q in self.children[point_id]:
+            self.parent_count[q] -= 1
+            if (
+                self.parent_count[q] == self.threshold - 1
+                and not self.removed[q]
+            ):
+                exposed.append(q)
+        self._undo.append((point_id, self.children[point_id]))
+        return exposed
+
+    def remove_batch(self, point_ids: Sequence[int]) -> list[int]:
+        """Remove several points at once (one shared grid line).
+
+        Children counted as exposed only if they are not themselves removed
+        by the batch — ties on a grid line remove whole dominance chains.
+        """
+        exposed: list[int] = []
+        for pid in point_ids:
+            exposed.extend(self.remove(pid))
+        batch = set(point_ids)
+        return [q for q in exposed if q not in batch and not self.removed[q]]
+
+    def checkpoint(self) -> int:
+        """Mark the current undo position; pass to :meth:`rollback`."""
+        return len(self._undo)
+
+    def rollback(self, checkpoint: int) -> None:
+        """Undo every removal performed after ``checkpoint``."""
+        while len(self._undo) > checkpoint:
+            point_id, kids = self._undo.pop()
+            self.removed[point_id] = False
+            for q in kids:
+                self.parent_count[q] += 1

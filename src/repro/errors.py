@@ -1,0 +1,36 @@
+"""Exception types raised by the :mod:`repro` library.
+
+Every error deliberately raised by the library derives from
+:class:`SkylineDiagramError` so callers can catch library failures with a
+single ``except`` clause while letting programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class SkylineDiagramError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DatasetError(SkylineDiagramError):
+    """Raised when an input dataset is malformed (empty, ragged, non-numeric)."""
+
+
+class DimensionalityError(SkylineDiagramError):
+    """Raised when an operation receives data of an unsupported dimensionality."""
+
+
+class QueryError(SkylineDiagramError):
+    """Raised when a query point is malformed or outside the supported domain."""
+
+
+class SerializationError(SkylineDiagramError):
+    """Raised when a serialized diagram cannot be parsed or fails validation."""
+
+
+class AuthenticationError(SkylineDiagramError):
+    """Raised when verification of an outsourced skyline result fails."""
+
+
+class ProtocolError(SkylineDiagramError):
+    """Raised when a PIR protocol message is malformed or inconsistent."""

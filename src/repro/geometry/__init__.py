@@ -1,0 +1,31 @@
+"""Geometric substrate: points, dominance, grids, subcells, polyominos."""
+
+from repro.geometry.dominance import (
+    dominates,
+    dominates_dynamic,
+    dominates_quadrant,
+    incomparable,
+    quadrant_of,
+    reflect_point,
+    reflect_points,
+)
+from repro.geometry.grid import Grid
+from repro.geometry.point import Dataset, as_point
+from repro.geometry.polyomino import Polyomino, trace_boundary
+from repro.geometry.subcell import SubcellGrid
+
+__all__ = [
+    "Dataset",
+    "Grid",
+    "Polyomino",
+    "SubcellGrid",
+    "as_point",
+    "dominates",
+    "dominates_dynamic",
+    "dominates_quadrant",
+    "incomparable",
+    "quadrant_of",
+    "reflect_point",
+    "reflect_points",
+    "trace_boundary",
+]

@@ -1,0 +1,131 @@
+"""Dominance predicates for the three skyline query semantics.
+
+The library uses the *minimization* convention throughout: smaller is better
+in every dimension (the paper's Definition 1).  ``p`` dominates ``q`` when it
+is at least as small everywhere and strictly smaller somewhere.  Dynamic and
+quadrant dominance (Definitions 2 and 3) compare coordinate-wise absolute
+distances to a query point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.geometry.point import Point
+
+
+def dominates(p: Sequence[float], q: Sequence[float]) -> bool:
+    """True iff ``p`` dominates ``q`` under min-order (Definition 1).
+
+    >>> dominates((1, 2), (2, 2))
+    True
+    >>> dominates((1, 2), (1, 2))
+    False
+    >>> dominates((1, 3), (2, 2))
+    False
+    """
+    strict = False
+    for a, b in zip(p, q, strict=True):
+        if a > b:
+            return False
+        if a < b:
+            strict = True
+    return strict
+
+
+def incomparable(p: Sequence[float], q: Sequence[float]) -> bool:
+    """True iff neither point dominates the other (duplicates included)."""
+    return not dominates(p, q) and not dominates(q, p)
+
+
+def dominates_dynamic(
+    p: Sequence[float], q: Sequence[float], query: Sequence[float]
+) -> bool:
+    """True iff ``p`` dynamically dominates ``q`` w.r.t. ``query`` (Def. 2).
+
+    Dominance is evaluated on the mapped coordinates ``|p[i] - query[i]|``.
+
+    >>> dominates_dynamic((9, 9), (12, 12), (10, 10))
+    True
+    """
+    strict = False
+    for a, b, c in zip(p, q, query, strict=True):
+        da, db = abs(a - c), abs(b - c)
+        if da > db:
+            return False
+        if da < db:
+            strict = True
+    return strict
+
+
+def quadrant_of(p: Sequence[float], query: Sequence[float]) -> int:
+    """Bitmask identifying the quadrant (orthant) of ``p`` around ``query``.
+
+    Bit ``i`` is set when ``p[i] < query[i]`` (the negative side).  Points
+    lying exactly on a separating hyperplane are assigned to the
+    non-negative side; use :func:`quadrants_of` when boundary points should
+    count toward every quadrant they border.
+
+    >>> quadrant_of((5, 5), (10, 10))
+    3
+    >>> quadrant_of((15, 5), (10, 10))
+    2
+    """
+    mask = 0
+    for i, (a, c) in enumerate(zip(p, query, strict=True)):
+        if a < c:
+            mask |= 1 << i
+    return mask
+
+
+def quadrants_of(p: Sequence[float], query: Sequence[float]) -> list[int]:
+    """All quadrant bitmasks ``p`` belongs to around ``query``.
+
+    A point strictly inside a quadrant belongs to exactly one; a point on a
+    separating hyperplane belongs to every quadrant it borders.  This is the
+    inclusive convention used when taking the union of quadrant skylines to
+    form the global skyline (Definition 3).
+
+    >>> sorted(quadrants_of((10, 5), (10, 10)))
+    [2, 3]
+    """
+    masks = [0]
+    for i, (a, c) in enumerate(zip(p, query, strict=True)):
+        bit = 1 << i
+        if a < c:
+            masks = [m | bit for m in masks]
+        elif a == c:
+            masks = masks + [m | bit for m in masks]
+    return masks
+
+
+def dominates_quadrant(
+    p: Sequence[float], q: Sequence[float], query: Sequence[float]
+) -> bool:
+    """True iff ``p`` dominates ``q`` w.r.t. ``query`` in quadrant semantics.
+
+    Identical arithmetic to dynamic dominance, but the caller is responsible
+    for only comparing points of the *same* quadrant (Definition 3); this
+    function merely evaluates ``|p - query| <= |q - query|`` with one strict.
+    """
+    return dominates_dynamic(p, q, query)
+
+
+def reflect_point(p: Sequence[float], mask: int) -> Point:
+    """Reflect a point by negating each dimension whose bit is set in ``mask``.
+
+    Reflection reduces quadrant-``mask`` skyline computation to the
+    first-quadrant (min-order) case: distances to a query in quadrant
+    ``mask`` become plain coordinates after reflecting both point and query.
+
+    >>> reflect_point((3, 4), 0b01)
+    (-3.0, 4.0)
+    """
+    return tuple(
+        -float(x) if mask & (1 << i) else float(x) for i, x in enumerate(p)
+    )
+
+
+def reflect_points(points: Iterable[Sequence[float]], mask: int) -> list[Point]:
+    """Reflect every point in an iterable (see :func:`reflect_point`)."""
+    return [reflect_point(p, mask) for p in points]

@@ -1,0 +1,181 @@
+"""The skyline-cell grid (Definition 6 of the paper).
+
+Drawing one axis-parallel line through every point per dimension divides the
+plane (or d-space) into *skyline cells*; every query point inside one cell
+has the same quadrant/global skyline.  This module provides the rank-space
+substrate shared by all diagram construction algorithms:
+
+* coordinate compression per axis (tied coordinates share a grid line, which
+  is what makes the paper's ``O(min(s^d, n^d))`` limited-domain bounds real),
+* per-point ranks,
+* cell indexing, point location, and interior representatives.
+
+Cells are indexed by a tuple ``(i_1, ..., i_d)`` with ``0 <= i_k <= s_k``
+where ``s_k`` is the number of distinct values on axis ``k``.  Cell ``i_k``
+spans the open interval between grid values ``k_i`` and ``k_{i+1}`` (with
+the outermost cells unbounded).  The paper's lower-left corner ``g_{i,j}``
+is the grid intersection at ranks ``(i, j)``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections.abc import Sequence
+from itertools import product
+from typing import Iterator
+
+from repro.errors import QueryError
+from repro.geometry.point import Dataset, Point, ensure_dataset
+
+
+class Grid:
+    """Compressed coordinate grid over a dataset.
+
+    Examples
+    --------
+    >>> grid = Grid([(1, 5), (3, 2), (3, 8)])
+    >>> grid.axes
+    ((1.0, 3.0), (2.0, 5.0, 8.0))
+    >>> grid.shape        # cells per axis: s_k + 1
+    (3, 4)
+    >>> grid.rank_of(0)   # (1-based rank per axis)
+    (1, 2)
+    >>> grid.locate((2.0, 6.0))
+    (1, 2)
+    """
+
+    __slots__ = ("dataset", "axes", "ranks", "_corner_index")
+
+    def __init__(self, points: Dataset | Sequence[Sequence[float]]) -> None:
+        self.dataset = ensure_dataset(points)
+        dim = self.dataset.dim
+        axes: list[tuple[float, ...]] = []
+        for d in range(dim):
+            axes.append(tuple(sorted({p[d] for p in self.dataset})))
+        self.axes: tuple[tuple[float, ...], ...] = tuple(axes)
+        ranks: list[tuple[int, ...]] = []
+        for p in self.dataset:
+            # bisect_left + 1 turns a coordinate into its 1-based rank.
+            ranks.append(
+                tuple(
+                    bisect_left(self.axes[d], p[d]) + 1 for d in range(dim)
+                )
+            )
+        self.ranks: tuple[tuple[int, ...], ...] = tuple(ranks)
+        corner_index: dict[tuple[int, ...], list[int]] = {}
+        for pid, r in enumerate(self.ranks):
+            corner_index.setdefault(r, []).append(pid)
+        self._corner_index: dict[tuple[int, ...], tuple[int, ...]] = {
+            k: tuple(v) for k, v in corner_index.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Basic geometry
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        """Number of dimensions."""
+        return len(self.axes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Number of cells along each axis (``s_k + 1``)."""
+        return tuple(len(axis) + 1 for axis in self.axes)
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of skyline cells in the grid."""
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    @property
+    def xs(self) -> tuple[float, ...]:
+        """Distinct x grid values (2-D convenience)."""
+        return self.axes[0]
+
+    @property
+    def ys(self) -> tuple[float, ...]:
+        """Distinct y grid values (2-D convenience)."""
+        return self.axes[1]
+
+    def rank_of(self, point_id: int) -> tuple[int, ...]:
+        """The 1-based per-axis ranks of a point."""
+        return self.ranks[point_id]
+
+    def corner_points(self, corner: tuple[int, ...]) -> tuple[int, ...]:
+        """Point ids located exactly at grid intersection ``corner``.
+
+        ``corner`` is a tuple of 1-based ranks.  Multiple ids are returned
+        only for duplicate points.  Returns ``()`` when no point sits there.
+        """
+        return self._corner_index.get(corner, ())
+
+    def cells(self) -> Iterator[tuple[int, ...]]:
+        """Iterate over all cell index tuples in row-major order."""
+        return product(*(range(extent) for extent in self.shape))
+
+    # ------------------------------------------------------------------
+    # Point location
+    # ------------------------------------------------------------------
+    def locate(self, query: Sequence[float]) -> tuple[int, ...]:
+        """Cell index containing a query point.
+
+        A query lying exactly on a grid line is assigned to the cell on the
+        *lower* side, which makes ``rank > i`` candidate semantics agree with
+        the non-strict ``p[i] - q[i] >= 0`` of Definition 3 for boundary
+        queries.
+        """
+        if len(query) != self.dim:
+            raise QueryError(
+                f"query has {len(query)} dimensions, grid has {self.dim}"
+            )
+        return tuple(
+            bisect_left(self.axes[d], float(query[d])) for d in range(self.dim)
+        )
+
+    def cell_bounds(
+        self, cell: tuple[int, ...]
+    ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """Open interval bounds ``(lo, hi)`` per axis; outer cells unbounded."""
+        lo: list[float] = []
+        hi: list[float] = []
+        for d, i in enumerate(cell):
+            axis = self.axes[d]
+            lo.append(axis[i - 1] if i > 0 else float("-inf"))
+            hi.append(axis[i] if i < len(axis) else float("inf"))
+        return tuple(lo), tuple(hi)
+
+    def representative(self, cell: tuple[int, ...]) -> Point:
+        """A query point strictly inside the given cell.
+
+        Useful for testing: the skyline of the representative (computed from
+        scratch) must equal the cell's diagram entry.
+        """
+        coords: list[float] = []
+        for d, i in enumerate(cell):
+            axis = self.axes[d]
+            if not 0 <= i <= len(axis):
+                raise QueryError(f"cell index {cell} out of range on axis {d}")
+            if i == 0:
+                coords.append(axis[0] - 1.0)
+            elif i == len(axis):
+                coords.append(axis[-1] + 1.0)
+            else:
+                coords.append((axis[i - 1] + axis[i]) / 2.0)
+        return tuple(coords)
+
+    def corner_value(self, corner: tuple[int, ...]) -> Point:
+        """Coordinates of a grid intersection given 1-based ranks.
+
+        Rank 0 maps to ``-inf`` (the conceptual lower boundary).
+        """
+        return tuple(
+            self.axes[d][i - 1] if i > 0 else float("-inf")
+            for d, i in enumerate(corner)
+        )
+
+    def __repr__(self) -> str:
+        sizes = "x".join(str(len(axis)) for axis in self.axes)
+        return f"Grid(n={len(self.dataset)}, lines={sizes}, cells={self.num_cells})"

@@ -1,0 +1,144 @@
+"""Point and dataset model.
+
+Points are plain tuples of floats — cheap, hashable, and directly comparable.
+A :class:`Dataset` is an immutable, validated collection of points of a
+common dimensionality; point *ids* are positions in the dataset (0-based) and
+are how every diagram in this library refers to points.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from typing import Any
+
+from repro.errors import DatasetError
+
+Point = tuple[float, ...]
+
+
+def as_point(values: Iterable[Any]) -> Point:
+    """Coerce an iterable of numbers into a canonical point tuple.
+
+    >>> as_point([1, 2])
+    (1.0, 2.0)
+    """
+    try:
+        point = tuple(float(v) for v in values)
+    except (TypeError, ValueError) as exc:
+        raise DatasetError(f"non-numeric point coordinates: {values!r}") from exc
+    if not point:
+        raise DatasetError("points must have at least one dimension")
+    return point
+
+
+class Dataset:
+    """An immutable set of points (the paper's ``P``), indexed by id.
+
+    Parameters
+    ----------
+    points:
+        An iterable of coordinate sequences.  All points must share the same
+        dimensionality and contain only finite numbers.
+    names:
+        Optional per-point labels (e.g. hotel names).  When given, must match
+        the number of points; otherwise ids are rendered as ``p0, p1, ...``.
+
+    Examples
+    --------
+    >>> ds = Dataset([(2, 8), (4, 4), (8, 2)])
+    >>> len(ds), ds.dim
+    (3, 2)
+    >>> ds[1]
+    (4.0, 4.0)
+    """
+
+    __slots__ = ("_points", "_names")
+
+    def __init__(
+        self,
+        points: Iterable[Sequence[float]],
+        names: Sequence[str] | None = None,
+    ) -> None:
+        pts = tuple(as_point(p) for p in points)
+        if not pts:
+            raise DatasetError("dataset must contain at least one point")
+        dim = len(pts[0])
+        for i, p in enumerate(pts):
+            if len(p) != dim:
+                raise DatasetError(
+                    f"point {i} has {len(p)} dimensions, expected {dim}"
+                )
+            for x in p:
+                if x != x or x in (float("inf"), float("-inf")):
+                    raise DatasetError(f"point {i} has non-finite coordinate {x!r}")
+        self._points: tuple[Point, ...] = pts
+        if names is not None:
+            names = tuple(names)
+            if len(names) != len(pts):
+                raise DatasetError(
+                    f"{len(names)} names given for {len(pts)} points"
+                )
+        self._names: tuple[str, ...] | None = names
+
+    @property
+    def points(self) -> tuple[Point, ...]:
+        """All points, in id order."""
+        return self._points
+
+    @property
+    def dim(self) -> int:
+        """Number of dimensions shared by every point."""
+        return len(self._points[0])
+
+    def name_of(self, point_id: int) -> str:
+        """Human-readable label for a point id."""
+        if self._names is not None:
+            return self._names[point_id]
+        return f"p{point_id}"
+
+    def bounds(self) -> tuple[Point, Point]:
+        """Component-wise (minimum, maximum) corner of the bounding box."""
+        lo = tuple(min(p[d] for p in self._points) for d in range(self.dim))
+        hi = tuple(max(p[d] for p in self._points) for d in range(self.dim))
+        return lo, hi
+
+    def project(self, dims: Sequence[int]) -> "Dataset":
+        """A new dataset keeping only the given dimensions (in order)."""
+        if not dims:
+            raise DatasetError("projection must keep at least one dimension")
+        for d in dims:
+            if not 0 <= d < self.dim:
+                raise DatasetError(f"dimension {d} out of range for dim={self.dim}")
+        return Dataset(
+            [tuple(p[d] for d in dims) for p in self._points], names=self._names
+        )
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __getitem__(self, point_id: int) -> Point:
+        return self._points[point_id]
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._points)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        return self._points == other._points
+
+    def __hash__(self) -> int:
+        return hash(self._points)
+
+    def __repr__(self) -> str:
+        return f"Dataset(n={len(self)}, dim={self.dim})"
+
+
+def ensure_dataset(points: "Dataset | Iterable[Sequence[float]]") -> Dataset:
+    """Accept either a Dataset or any iterable of points, returning a Dataset.
+
+    Library entry points call this so users can pass plain lists of tuples.
+    """
+    if isinstance(points, Dataset):
+        return points
+    return Dataset(points)

@@ -1,0 +1,142 @@
+"""Skyline polyominos (Definition 4) and their boundary geometry.
+
+A polyomino is a maximal connected set of skyline cells sharing one skyline
+result.  Cells live on the cell lattice of a :class:`~repro.geometry.grid.Grid`
+(cell ``(i, j)`` occupies the unit lattice square ``[i, i+1] x [j, j+1]``);
+:func:`trace_boundary` turns a cell set into closed vertex loops on that
+lattice, which the visualization and authentication modules consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+# Directions used by the boundary walker, counterclockwise with the region
+# kept on the left of each directed edge.
+_RIGHT, _UP, _LEFT, _DOWN = (1, 0), (0, 1), (-1, 0), (0, -1)
+
+
+@dataclass(frozen=True)
+class Polyomino:
+    """One region of a skyline diagram.
+
+    Attributes
+    ----------
+    ident:
+        Stable id of the polyomino within its diagram (0-based).
+    result:
+        Canonical skyline result: sorted tuple of point ids.
+    cells:
+        The cell index pairs merged into this region.
+    """
+
+    ident: int
+    result: tuple[int, ...]
+    cells: frozenset[tuple[int, int]] = field(repr=False)
+
+    @property
+    def size(self) -> int:
+        """Number of skyline cells merged into this polyomino."""
+        return len(self.cells)
+
+    def bounding_box(self) -> tuple[int, int, int, int]:
+        """Lattice bounding box ``(min_i, min_j, max_i, max_j)`` (inclusive)."""
+        min_i = min(c[0] for c in self.cells)
+        min_j = min(c[1] for c in self.cells)
+        max_i = max(c[0] for c in self.cells)
+        max_j = max(c[1] for c in self.cells)
+        return (min_i, min_j, max_i, max_j)
+
+    def boundary(self) -> list[list[tuple[int, int]]]:
+        """Closed boundary loops of the region on the cell lattice."""
+        return trace_boundary(self.cells)
+
+    def canonical_key(self) -> tuple:
+        """A deterministic, hashable description (used for authentication)."""
+        return (self.result, tuple(sorted(self.cells)))
+
+
+def trace_boundary(
+    cells: Iterable[tuple[int, int]],
+) -> list[list[tuple[int, int]]]:
+    """Trace the boundary loops of a set of lattice cells.
+
+    Returns a list of loops; each loop is a list of lattice vertices in
+    counterclockwise order around the region (clockwise around holes), with
+    the first vertex *not* repeated at the end.  Works for any cell set,
+    including regions with holes and single-vertex pinch points.
+
+    >>> trace_boundary([(0, 0)])
+    [[(0, 0), (1, 0), (1, 1), (0, 1)]]
+    """
+    cell_set = set(cells)
+    # Directed boundary edges, region on the left.
+    edges: dict[tuple[int, int], list[tuple[int, int]]] = {}
+
+    def add_edge(a: tuple[int, int], b: tuple[int, int]) -> None:
+        edges.setdefault(a, []).append(b)
+
+    for (i, j) in cell_set:
+        if (i, j - 1) not in cell_set:  # bottom edge, walk right
+            add_edge((i, j), (i + 1, j))
+        if (i + 1, j) not in cell_set:  # right edge, walk up
+            add_edge((i + 1, j), (i + 1, j + 1))
+        if (i, j + 1) not in cell_set:  # top edge, walk left
+            add_edge((i + 1, j + 1), (i, j + 1))
+        if (i - 1, j) not in cell_set:  # left edge, walk down
+            add_edge((i, j + 1), (i, j))
+
+    loops: list[list[tuple[int, int]]] = []
+    while edges:
+        start = min(edges)
+        loop = [start]
+        prev_dir: tuple[int, int] | None = None
+        current = start
+        while True:
+            outgoing = edges[current]
+            if len(outgoing) == 1 or prev_dir is None:
+                nxt = outgoing.pop()
+            else:
+                # Pinch vertex: prefer the sharpest left turn so each loop
+                # stays around a single connected piece of boundary.
+                order = [_RIGHT, _UP, _LEFT, _DOWN]
+                incoming = order.index(prev_dir)
+                best = None
+                for turn in (1, 0, 3, 2):  # left, straight, right, back
+                    want = order[(incoming + turn) % 4]
+                    for cand in outgoing:
+                        direction = (cand[0] - current[0], cand[1] - current[1])
+                        if direction == want:
+                            best = cand
+                            break
+                    if best is not None:
+                        break
+                assert best is not None
+                outgoing.remove(best)
+                nxt = best
+            if not outgoing:
+                del edges[current]
+            prev_dir = (nxt[0] - current[0], nxt[1] - current[1])
+            current = nxt
+            if current == start:
+                break
+            loop.append(current)
+        loops.append(_simplify_collinear(loop))
+    return loops
+
+
+def _simplify_collinear(loop: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Drop vertices that lie on a straight segment of the loop."""
+    if len(loop) <= 2:
+        return loop
+    out: list[tuple[int, int]] = []
+    m = len(loop)
+    for k, vertex in enumerate(loop):
+        prev_v = loop[k - 1]
+        next_v = loop[(k + 1) % m]
+        dx1, dy1 = vertex[0] - prev_v[0], vertex[1] - prev_v[1]
+        dx2, dy2 = next_v[0] - vertex[0], next_v[1] - vertex[1]
+        if dx1 * dy2 - dy1 * dx2 != 0:
+            out.append(vertex)
+    return out

@@ -1,0 +1,151 @@
+"""The skyline-subcell grid for dynamic skyline diagrams (Definition 7).
+
+For dynamic skyline the query-point mapping ``t[i] = |p[i] - q[i]|`` changes
+the dominance relation whenever the query crosses the *bisector* of a pair of
+points on some axis.  The subcell grid therefore draws, per axis, a line
+through every point **and** through every pairwise midpoint; each resulting
+open box (a *skyline subcell*) has a constant dynamic skyline.
+
+Besides the geometry this module records, per grid value, the set of
+*contributing* points — the points whose line or whose pair-bisector lies at
+that value.  The scanning algorithm (Algorithm 7) relies on the fact that
+crossing a boundary can only change the result through its contributors.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections.abc import Sequence
+from itertools import product
+from typing import Iterator
+
+from repro.errors import DimensionalityError, QueryError
+from repro.geometry.grid import Grid
+from repro.geometry.point import Dataset, Point, ensure_dataset
+
+
+class SubcellGrid:
+    """Bisector-augmented grid over a 2-D dataset.
+
+    Examples
+    --------
+    >>> sg = SubcellGrid([(0, 0), (4, 2)])
+    >>> sg.axes[0]          # point values 0,4 plus midpoint 2
+    (0.0, 2.0, 4.0)
+    >>> sg.contributors(0, 2.0)   # the bisector of p0 and p1 on axis x
+    (0, 1)
+    """
+
+    __slots__ = ("dataset", "grid", "axes", "_contributors", "_col_to_cell")
+
+    def __init__(self, points: Dataset | Sequence[Sequence[float]]) -> None:
+        self.dataset = ensure_dataset(points)
+        if self.dataset.dim != 2:
+            raise DimensionalityError(
+                "SubcellGrid supports 2-D datasets; use diagram.highdim for d > 2"
+            )
+        self.grid = Grid(self.dataset)
+        n = len(self.dataset)
+        axes: list[tuple[float, ...]] = []
+        contributors: list[dict[float, tuple[int, ...]]] = []
+        for d in range(2):
+            contrib: dict[float, set[int]] = {}
+            for pid, p in enumerate(self.dataset):
+                contrib.setdefault(p[d], set()).add(pid)
+            for a in range(n):
+                xa = self.dataset[a][d]
+                for b in range(a + 1, n):
+                    mid = (xa + self.dataset[b][d]) / 2.0
+                    bucket = contrib.setdefault(mid, set())
+                    bucket.add(a)
+                    bucket.add(b)
+            axes.append(tuple(sorted(contrib)))
+            contributors.append(
+                {v: tuple(sorted(ids)) for v, ids in contrib.items()}
+            )
+        self.axes: tuple[tuple[float, ...], ...] = tuple(axes)
+        self._contributors = contributors
+        # Map each subcell column index to the coarse skyline-cell column that
+        # contains it (the subset algorithm's "find C_{i,j} s.t. SC ⊆ C").
+        col_to_cell: list[tuple[int, ...]] = []
+        for d in range(2):
+            coarse = self.grid.axes[d]
+            mapping = [0]
+            for i in range(1, len(self.axes[d]) + 1):
+                mapping.append(bisect_right(coarse, self.axes[d][i - 1]))
+            col_to_cell.append(tuple(mapping))
+        self._col_to_cell = tuple(col_to_cell)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Number of subcells along each axis."""
+        return (len(self.axes[0]) + 1, len(self.axes[1]) + 1)
+
+    @property
+    def num_subcells(self) -> int:
+        """Total number of skyline subcells."""
+        sx, sy = self.shape
+        return sx * sy
+
+    def contributors(self, axis: int, value: float) -> tuple[int, ...]:
+        """Point ids whose line or pair-bisector lies at ``value`` on ``axis``."""
+        return self._contributors[axis].get(value, ())
+
+    def boundary_contributors(self, axis: int, index: int) -> tuple[int, ...]:
+        """Contributors of the ``index``-th grid value (1-based) on ``axis``."""
+        return self.contributors(axis, self.axes[axis][index - 1])
+
+    def subcells(self) -> Iterator[tuple[int, int]]:
+        """Iterate over all subcell index pairs in row-major order."""
+        return product(range(self.shape[0]), range(self.shape[1]))
+
+    def locate(self, query: Sequence[float]) -> tuple[int, int]:
+        """Subcell index containing a query point (lower side on boundaries)."""
+        if len(query) != 2:
+            raise QueryError("dynamic diagram queries must be 2-D")
+        return (
+            bisect_left(self.axes[0], float(query[0])),
+            bisect_left(self.axes[1], float(query[1])),
+        )
+
+    def representative(self, subcell: tuple[int, int]) -> Point:
+        """A query point strictly inside the given subcell."""
+        coords: list[float] = []
+        for d, i in enumerate(subcell):
+            axis = self.axes[d]
+            if not 0 <= i <= len(axis):
+                raise QueryError(f"subcell {subcell} out of range on axis {d}")
+            if i == 0:
+                coords.append(axis[0] - 1.0)
+            elif i == len(axis):
+                coords.append(axis[-1] + 1.0)
+            else:
+                coords.append((axis[i - 1] + axis[i]) / 2.0)
+        return tuple(coords)
+
+    def cell_bounds(
+        self, subcell: tuple[int, int]
+    ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        """Open interval bounds ``(lo, hi)`` per axis; outer subcells unbounded."""
+        lo: list[float] = []
+        hi: list[float] = []
+        for d, i in enumerate(subcell):
+            axis = self.axes[d]
+            lo.append(axis[i - 1] if i > 0 else float("-inf"))
+            hi.append(axis[i] if i < len(axis) else float("inf"))
+        return tuple(lo), tuple(hi)
+
+    def containing_cell(self, subcell: tuple[int, int]) -> tuple[int, int]:
+        """The coarse skyline cell that contains the given subcell."""
+        return (
+            self._col_to_cell[0][subcell[0]],
+            self._col_to_cell[1][subcell[1]],
+        )
+
+    def __repr__(self) -> str:
+        sx, sy = self.shape
+        return (
+            f"SubcellGrid(n={len(self.dataset)}, lines={sx - 1}x{sy - 1}, "
+            f"subcells={self.num_subcells})"
+        )

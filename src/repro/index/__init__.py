@@ -1,0 +1,17 @@
+"""Query-time machinery: the precomputed-query engine and serialization."""
+
+from repro.index.engine import SkylineDatabase
+from repro.index.serialize import (
+    diagram_from_json,
+    diagram_to_json,
+    dynamic_diagram_from_json,
+    dynamic_diagram_to_json,
+)
+
+__all__ = [
+    "SkylineDatabase",
+    "diagram_from_json",
+    "diagram_to_json",
+    "dynamic_diagram_from_json",
+    "dynamic_diagram_to_json",
+]

@@ -1,0 +1,187 @@
+"""The user-facing query engine: precompute once, answer queries in O(log n).
+
+This is the diagram's raison d'être (paper Sec. I): like a k-th order
+Voronoi diagram for kNN queries, a precomputed skyline diagram answers
+skyline queries in real time by point location instead of recomputation.
+:class:`SkylineDatabase` lazily builds one diagram per query semantics and
+dispatches lookups; the query-latency experiment (E8) measures lookup vs
+from-scratch evaluation through this class.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.diagram.base import DynamicDiagram, SkylineDiagram
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.global_diagram import global_diagram, quadrant_diagram_for_mask
+from repro.diagram.highdim import quadrant_scanning_nd
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.errors import DimensionalityError, QueryError
+from repro.geometry.point import Dataset, ensure_dataset
+from repro.skyline.queries import dynamic_skyline, global_skyline, quadrant_skyline
+
+KINDS = ("quadrant", "global", "dynamic")
+
+
+class SkylineDatabase:
+    """Precomputed skyline query answering over a fixed dataset.
+
+    Parameters
+    ----------
+    points:
+        The dataset (2-D for dynamic queries; quadrant/global work for any
+        dimensionality when a d-capable algorithm is passed).
+    precompute:
+        Query kinds to build eagerly; everything else is built on first use.
+
+    Examples
+    --------
+    >>> db = SkylineDatabase([(2, 8), (5, 4), (9, 1)])
+    >>> db.query((1, 2), kind="quadrant")
+    (0, 1)
+    >>> db.query((6, 5), kind="global")
+    (0, 1, 2)
+    """
+
+    def __init__(
+        self,
+        points: Dataset | Sequence[Sequence[float]],
+        precompute: Sequence[str] = (),
+    ) -> None:
+        self.dataset = ensure_dataset(points)
+        self._quadrant: dict[int, SkylineDiagram] = {}
+        self._global: SkylineDiagram | None = None
+        self._dynamic: DynamicDiagram | None = None
+        self._skyband: dict[int, SkylineDiagram] = {}
+        for kind in precompute:
+            if kind not in KINDS:
+                raise QueryError(f"unknown query kind {kind!r}")
+            self._diagram_for(kind)
+
+    # ------------------------------------------------------------------
+    def _quadrant_algorithm(self):
+        """Scanning construction matched to the dataset's dimensionality."""
+        if self.dataset.dim == 2:
+            return quadrant_scanning
+        return quadrant_scanning_nd
+
+    def quadrant_diagram(self, mask: int = 0) -> SkylineDiagram:
+        """The quadrant diagram for one orientation (built lazily)."""
+        if mask not in self._quadrant:
+            self._quadrant[mask] = quadrant_diagram_for_mask(
+                self.dataset, mask, self._quadrant_algorithm()
+            )
+        return self._quadrant[mask]
+
+    def global_diagram(self) -> SkylineDiagram:
+        """The global diagram (built lazily)."""
+        if self._global is None:
+            self._global = global_diagram(
+                self.dataset, self._quadrant_algorithm()
+            )
+        return self._global
+
+    def dynamic_diagram(self) -> DynamicDiagram:
+        """The dynamic diagram (built lazily with the scanning algorithm)."""
+        if self._dynamic is None:
+            if self.dataset.dim != 2:
+                raise DimensionalityError(
+                    "dynamic diagrams are 2-D; use "
+                    "diagram.highdim.dynamic_baseline_nd for d > 2"
+                )
+            self._dynamic = dynamic_scanning(self.dataset)
+        return self._dynamic
+
+    def skyband_diagram(self, k: int) -> SkylineDiagram:
+        """The k-skyband diagram (built lazily; 2-D, first quadrant)."""
+        if k not in self._skyband:
+            if self.dataset.dim != 2:
+                raise DimensionalityError("skyband diagrams are 2-D")
+            from repro.diagram.skyband import skyband_sweep
+
+            self._skyband[k] = skyband_sweep(self.dataset, k)
+        return self._skyband[k]
+
+    def skyband(self, query: Sequence[float], k: int) -> tuple[int, ...]:
+        """Answer a first-quadrant k-skyband query by point location."""
+        return self.skyband_diagram(k).query(query)
+
+    def _diagram_for(self, kind: str):
+        if kind == "quadrant":
+            return self.quadrant_diagram(0)
+        if kind == "global":
+            return self.global_diagram()
+        if kind == "dynamic":
+            return self.dynamic_diagram()
+        raise QueryError(f"unknown query kind {kind!r}")
+
+    # ------------------------------------------------------------------
+    def query(
+        self, query: Sequence[float], kind: str = "dynamic", mask: int = 0
+    ) -> tuple[int, ...]:
+        """Answer one skyline query by point location.
+
+        ``kind`` is ``"quadrant"`` (with quadrant ``mask``), ``"global"``
+        or ``"dynamic"``.
+        """
+        if kind == "quadrant":
+            return self.quadrant_diagram(mask).query(query)
+        if kind == "global":
+            return self.global_diagram().query(query)
+        if kind == "dynamic":
+            return self.dynamic_diagram().query(query)
+        raise QueryError(f"unknown query kind {kind!r}")
+
+    def query_exact(
+        self, query: Sequence[float], kind: str = "dynamic", mask: int = 0
+    ) -> tuple[int, ...]:
+        """Like :meth:`query`, recomputing when the query lies on a boundary.
+
+        Diagram lookups assign boundary queries to the lower-side (sub)cell.
+        That convention reproduces the non-strict semantics of Definition 3
+        exactly for first-quadrant queries, but on the measure-zero grid
+        lines it can differ from ground truth for reflected quadrants and
+        global queries (the correct side flips with the orientation) and for
+        dynamic queries on a bisector (mapped coordinates tie).  This method
+        detects those cases and falls back to direct evaluation.
+        """
+        if kind == "quadrant" and mask == 0:
+            return self.query(query, kind=kind, mask=mask)
+        if kind == "dynamic":
+            axes = self.dynamic_diagram().subcells.axes
+        else:
+            diagram = (
+                self.global_diagram()
+                if kind == "global"
+                else self.quadrant_diagram(mask)
+            )
+            axes = diagram.grid.axes
+        on_boundary = any(
+            float(query[d]) in axes[d] for d in range(len(axes))
+        )
+        if on_boundary:
+            return self.query_from_scratch(query, kind=kind, mask=mask)
+        return self.query(query, kind=kind, mask=mask)
+
+    def query_many(
+        self, queries: Sequence[Sequence[float]], kind: str = "dynamic"
+    ) -> list[tuple[int, ...]]:
+        """Answer a batch of queries (shares one diagram build)."""
+        diagram = self._diagram_for(kind)
+        return [diagram.query(q) for q in queries]
+
+    def query_from_scratch(
+        self, query: Sequence[float], kind: str = "dynamic", mask: int = 0
+    ) -> tuple[int, ...]:
+        """Direct evaluation without the diagram (the E8 comparison arm)."""
+        if kind == "quadrant":
+            return quadrant_skyline(self.dataset, query, mask)
+        if kind == "global":
+            return global_skyline(self.dataset, query)
+        if kind == "dynamic":
+            return dynamic_skyline(self.dataset, query)
+        raise QueryError(f"unknown query kind {kind!r}")
+
+    def __repr__(self) -> str:
+        return f"SkylineDatabase(n={len(self.dataset)}, dim={self.dataset.dim})"

@@ -1,0 +1,133 @@
+"""JSON serialization of precomputed diagrams.
+
+Diagrams are precomputation artifacts; persisting them is how a service
+avoids rebuilding on restart and how the outsourced-computation application
+ships a diagram to an untrusted server.  The format stores the source points
+and the row-major cell results; grids are rebuilt deterministically from the
+points on load and validated against the recorded shape.
+"""
+
+from __future__ import annotations
+
+import json
+from itertools import product
+from typing import Any
+
+from repro.diagram.base import DynamicDiagram, SkylineDiagram
+from repro.errors import SerializationError
+from repro.geometry.grid import Grid
+from repro.geometry.point import Dataset
+from repro.geometry.subcell import SubcellGrid
+
+_FORMAT = "repro.skyline-diagram"
+_VERSION = 1
+
+
+def diagram_to_json(diagram: SkylineDiagram) -> str:
+    """Serialize a quadrant/global diagram to a JSON string."""
+    cells = [
+        list(diagram.result_at(cell))
+        for cell in product(*(range(extent) for extent in diagram.grid.shape))
+    ]
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "diagram": "cell",
+        "kind": diagram.kind,
+        "mask": diagram.mask,
+        "algorithm": diagram.algorithm,
+        "points": [list(p) for p in diagram.grid.dataset],
+        "shape": list(diagram.grid.shape),
+        "cells": cells,
+    }
+    return json.dumps(payload)
+
+
+def diagram_from_json(text: str) -> SkylineDiagram:
+    """Parse a diagram serialized by :func:`diagram_to_json`."""
+    payload = _load(text, expected="cell")
+    grid = Grid(Dataset(payload["points"]))
+    if list(grid.shape) != payload["shape"]:
+        raise SerializationError(
+            f"grid shape {grid.shape} does not match recorded "
+            f"{payload['shape']}"
+        )
+    results = _results_from_rows(grid.shape, payload["cells"])
+    return SkylineDiagram(
+        grid,
+        results,
+        kind=payload["kind"],
+        mask=payload["mask"],
+        algorithm=payload["algorithm"],
+    )
+
+
+def dynamic_diagram_to_json(diagram: DynamicDiagram) -> str:
+    """Serialize a dynamic diagram to a JSON string."""
+    cells = [
+        list(diagram.result_at(cell))
+        for cell in product(*(range(extent) for extent in diagram.subcells.shape))
+    ]
+    payload = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "diagram": "dynamic",
+        "algorithm": diagram.algorithm,
+        "points": [list(p) for p in diagram.subcells.dataset],
+        "shape": list(diagram.subcells.shape),
+        "cells": cells,
+    }
+    return json.dumps(payload)
+
+
+def dynamic_diagram_from_json(text: str) -> DynamicDiagram:
+    """Parse a diagram serialized by :func:`dynamic_diagram_to_json`."""
+    payload = _load(text, expected="dynamic")
+    subcells = SubcellGrid(Dataset(payload["points"]))
+    if list(subcells.shape) != payload["shape"]:
+        raise SerializationError(
+            f"subcell shape {subcells.shape} does not match recorded "
+            f"{payload['shape']}"
+        )
+    results = _results_from_rows(subcells.shape, payload["cells"])
+    return DynamicDiagram(subcells, results, algorithm=payload["algorithm"])
+
+
+# ----------------------------------------------------------------------
+def _load(text: str, expected: str) -> dict[str, Any]:
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise SerializationError("not a serialized skyline diagram")
+    if payload.get("version") != _VERSION:
+        raise SerializationError(
+            f"unsupported version {payload.get('version')!r}"
+        )
+    if payload.get("diagram") != expected:
+        raise SerializationError(
+            f"expected a {expected!r} diagram, found {payload.get('diagram')!r}"
+        )
+    for key in ("points", "shape", "cells"):
+        if key not in payload:
+            raise SerializationError(f"missing field {key!r}")
+    return payload
+
+
+def _results_from_rows(
+    shape: tuple[int, ...], rows: list[list[int]]
+) -> dict[tuple[int, ...], tuple[int, ...]]:
+    expected = 1
+    for extent in shape:
+        expected *= extent
+    if len(rows) != expected:
+        raise SerializationError(
+            f"{len(rows)} cell entries for {expected} cells"
+        )
+    results: dict[tuple[int, ...], tuple[int, ...]] = {}
+    for cell, row in zip(
+        product(*(range(extent) for extent in shape)), rows
+    ):
+        results[cell] = tuple(int(i) for i in row)
+    return results

@@ -1,0 +1,34 @@
+"""Skyline computation substrate: classic algorithms, layers, direct queries."""
+
+from repro.skyline.algorithms import (
+    skyline,
+    skyline_bnl,
+    skyline_brute,
+    skyline_dnc,
+    skyline_sfs,
+    skyline_sort_2d,
+)
+from repro.skyline.layers import skyline_layers, skyline_layers_2d
+from repro.skyline.mapping import map_to_query
+from repro.skyline.queries import (
+    dynamic_skyline,
+    global_skyline,
+    quadrant_skyband,
+    quadrant_skyline,
+)
+
+__all__ = [
+    "dynamic_skyline",
+    "global_skyline",
+    "map_to_query",
+    "quadrant_skyband",
+    "quadrant_skyline",
+    "skyline",
+    "skyline_bnl",
+    "skyline_brute",
+    "skyline_dnc",
+    "skyline_layers",
+    "skyline_layers_2d",
+    "skyline_sfs",
+    "skyline_sort_2d",
+]

@@ -1,0 +1,181 @@
+"""Classic skyline (maxima/Pareto) algorithms under the min-order convention.
+
+Every function takes a sequence of points (or a :class:`Dataset`) and returns
+the skyline as a sorted tuple of point ids.  Duplicate points never dominate
+each other, so every copy of a skyline point is reported — this canonical
+output lets algorithms be compared with ``==`` in tests.
+
+Algorithms
+----------
+``skyline_brute``     O(n^2 d), any d — the ground truth for tests.
+``skyline_sort_2d``   O(n log n), 2-D sort-and-scan (used inside Algorithm 1).
+``skyline_dnc``       divide and conquer, any d (Kung-style practical variant).
+``skyline_bnl``       block-nested-loops (Börzsönyi et al.), any d.
+``skyline_sfs``       sort-filter-skyline (presorted, no eviction), any d.
+``skyline``           dispatcher picking the best available algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.dominance import dominates
+from repro.geometry.point import Dataset
+
+
+def _coords(points) -> list[tuple[float, ...]]:
+    if isinstance(points, Dataset):
+        return list(points.points)
+    return [tuple(float(x) for x in p) for p in points]
+
+
+def skyline_brute(points) -> tuple[int, ...]:
+    """Quadratic ground-truth skyline: keep ids not dominated by any point.
+
+    >>> skyline_brute([(1, 3), (2, 2), (3, 1), (3, 3)])
+    (0, 1, 2)
+    """
+    pts = _coords(points)
+    result = [
+        i
+        for i, p in enumerate(pts)
+        if not any(dominates(q, p) for q in pts)
+    ]
+    return tuple(result)
+
+
+def skyline_sort_2d(points) -> tuple[int, ...]:
+    """O(n log n) two-dimensional skyline via sort and min-y scan.
+
+    Points are sorted lexicographically; scanning left to right, a point is
+    on the skyline iff its y is below everything seen so far (or it is an
+    exact duplicate of the current best, which cannot be dominated).
+
+    >>> skyline_sort_2d([(1, 3), (2, 2), (3, 1), (3, 3)])
+    (0, 1, 2)
+    """
+    pts = _coords(points)
+    if pts and len(pts[0]) != 2:
+        raise ValueError("skyline_sort_2d requires 2-D points")
+    order = sorted(range(len(pts)), key=lambda i: pts[i])
+    best_y = float("inf")
+    best_coords: tuple[float, float] | None = None
+    result: list[int] = []
+    for i in order:
+        x, y = pts[i]
+        if y < best_y:
+            best_y = y
+            best_coords = (x, y)
+            result.append(i)
+        elif best_coords == (x, y):
+            # Exact duplicate of the current staircase corner.
+            result.append(i)
+    result.sort()
+    return tuple(result)
+
+
+def skyline_dnc(points) -> tuple[int, ...]:
+    """Divide-and-conquer skyline for any dimensionality.
+
+    Points are sorted lexicographically and split in half; after recursing,
+    right-half survivors are filtered against left-half survivors.  The full
+    lexicographic sort guarantees no left point is ever dominated by a right
+    point (a right point that weakly precedes a left point coordinate-wise
+    would also precede it lexicographically).
+    """
+    pts = _coords(points)
+    order = sorted(range(len(pts)), key=lambda i: pts[i])
+
+    def solve(ids: list[int]) -> list[int]:
+        if len(ids) <= 4:
+            return [
+                i
+                for i in ids
+                if not any(j != i and dominates(pts[j], pts[i]) for j in ids)
+            ]
+        mid = len(ids) // 2
+        left = solve(ids[:mid])
+        right = solve(ids[mid:])
+        survivors = [
+            r
+            for r in right
+            if not any(dominates(pts[lf], pts[r]) for lf in left)
+        ]
+        return left + survivors
+
+    return tuple(sorted(solve(order)))
+
+
+def skyline_bnl(points, window_size: int | None = None) -> tuple[int, ...]:
+    """Block-nested-loops skyline (Börzsönyi et al.) for any dimensionality.
+
+    Maintains a window of incomparable candidates; every input point is
+    compared against the window, evicting dominated members.  The optional
+    ``window_size`` caps the window to emulate the memory-bounded variant:
+    overflowing points are set aside and processed in further passes.
+    """
+    pts = _coords(points)
+    remaining = list(range(len(pts)))
+    confirmed: list[int] = []
+    while remaining:
+        window: list[int] = []
+        overflow: list[int] = []
+        for i in remaining:
+            p = pts[i]
+            dominated = False
+            survivors: list[int] = []
+            for w in window:
+                if dominates(pts[w], p):
+                    dominated = True
+                    survivors = window  # unchanged
+                    break
+                if not dominates(p, pts[w]):
+                    survivors.append(w)
+            if dominated:
+                continue
+            window = survivors
+            if window_size is not None and len(window) >= window_size:
+                overflow.append(i)
+            else:
+                window.append(i)
+        # Window members were compared against every point of this pass, so
+        # they are globally undominated among `remaining` — confirm them.
+        confirmed.extend(window)
+        remaining = overflow
+        if overflow and window_size is not None:
+            # Overflow points still need to beat confirmed points next pass.
+            remaining = [
+                i
+                for i in overflow
+                if not any(dominates(pts[c], pts[i]) for c in confirmed)
+            ]
+    return tuple(sorted(confirmed))
+
+
+def skyline_sfs(points) -> tuple[int, ...]:
+    """Sort-filter-skyline (Chomicki et al.) for any dimensionality.
+
+    Points are presorted by a monotone scoring function (the coordinate
+    sum): a point can only be dominated by points that precede it in this
+    order, so a single pass with a window of confirmed skyline points
+    suffices — no eviction, unlike BNL.
+
+    >>> skyline_sfs([(1, 3), (2, 2), (3, 1), (3, 3)])
+    (0, 1, 2)
+    """
+    pts = _coords(points)
+    order = sorted(range(len(pts)), key=lambda i: (sum(pts[i]), pts[i]))
+    window: list[int] = []
+    for i in order:
+        p = pts[i]
+        if not any(dominates(pts[w], p) for w in window):
+            window.append(i)
+    return tuple(sorted(window))
+
+
+def skyline(points) -> tuple[int, ...]:
+    """Compute the skyline with the best algorithm for the dimensionality."""
+    pts = _coords(points)
+    if not pts:
+        return ()
+    if len(pts[0]) == 2:
+        return skyline_sort_2d(pts)
+    return skyline_dnc(pts)

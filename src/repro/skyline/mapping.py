@@ -1,0 +1,27 @@
+"""The dynamic-skyline mapping (Section III of the paper).
+
+Computing the dynamic skyline for a query ``q`` is equivalent to computing a
+traditional skyline after mapping every point to the first quadrant with
+``q`` as origin, ``t[i] = |p[i] - q[i]|``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.geometry.point import Dataset, Point
+
+
+def map_point_to_query(p: Sequence[float], query: Sequence[float]) -> Point:
+    """Map one point: component-wise absolute distance to the query.
+
+    >>> map_point_to_query((4, 90), (10, 80))
+    (6.0, 10.0)
+    """
+    return tuple(abs(float(a) - float(c)) for a, c in zip(p, query, strict=True))
+
+
+def map_to_query(points, query: Sequence[float]) -> list[Point]:
+    """Map every point of a dataset to the query's first quadrant."""
+    pts = points.points if isinstance(points, Dataset) else points
+    return [map_point_to_query(p, query) for p in pts]

@@ -1,0 +1,165 @@
+"""Direct (from-scratch) evaluation of the three skyline query semantics.
+
+These functions answer one query without any precomputed diagram.  They are
+the ground truth every diagram algorithm is validated against, and the
+"recompute per query" baseline in the query-latency experiment (E8).
+
+Boundary convention: a point lying exactly on one of the query's separating
+hyperplanes belongs to *every* quadrant it borders (the non-strict
+``|p[i] - q[i]| >= 0`` reading of Definition 3), which matches how the grid
+assigns boundary queries to cells.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.geometry.dominance import dominates
+from repro.geometry.point import Dataset
+from repro.skyline.algorithms import _coords, skyline
+from repro.skyline.mapping import map_point_to_query
+
+
+def quadrant_skyline(
+    points, query: Sequence[float], mask: int = 0
+) -> tuple[int, ...]:
+    """Skyline of the points inside one quadrant of the query (Definition 3).
+
+    ``mask`` selects the quadrant: bit ``i`` set means the negative side of
+    dimension ``i``.  The default ``mask=0`` is the paper's "first quadrant".
+
+    >>> pts = [(12, 90), (4, 90), (12, 70)]
+    >>> quadrant_skyline(pts, (10, 80))   # first quadrant: only p0 qualifies
+    (0,)
+    """
+    pts = _coords(points)
+    query = tuple(float(c) for c in query)
+    dim = len(query)
+    candidates: list[int] = []
+    mapped: list[tuple[float, ...]] = []
+    for i, p in enumerate(pts):
+        in_quadrant = True
+        for d in range(dim):
+            diff = p[d] - query[d]
+            if mask & (1 << d):
+                if diff > 0:
+                    in_quadrant = False
+                    break
+            elif diff < 0:
+                in_quadrant = False
+                break
+        if in_quadrant:
+            candidates.append(i)
+            mapped.append(map_point_to_query(p, query))
+    local = skyline(mapped)
+    return tuple(candidates[k] for k in local)
+
+
+def global_skyline(points, query: Sequence[float]) -> tuple[int, ...]:
+    """Global skyline: union of the quadrant skylines of all 2^d quadrants.
+
+    >>> pts = [(12, 90), (4, 90), (12, 70), (4, 70)]
+    >>> global_skyline(pts, (10, 80))
+    (0, 1, 2, 3)
+    """
+    pts = _coords(points)
+    query = tuple(float(c) for c in query)
+    dim = len(query)
+    result: set[int] = set()
+    for mask in range(1 << dim):
+        result.update(quadrant_skyline(pts, query, mask))
+    return tuple(sorted(result))
+
+
+def dynamic_skyline(points, query: Sequence[float]) -> tuple[int, ...]:
+    """Dynamic skyline (Definition 2): skyline of the mapped points.
+
+    Always a subset of the global skyline, since mapped points can dominate
+    across quadrants.
+
+    >>> pts = [(12, 90), (8, 92), (4, 72)]
+    >>> dynamic_skyline(pts, (10, 80))
+    (0, 2)
+    """
+    pts = _coords(points)
+    query = tuple(float(c) for c in query)
+    mapped = [map_point_to_query(p, query) for p in pts]
+    return skyline(mapped)
+
+
+def dynamic_skyline_among(
+    points, candidate_ids: Sequence[int], query: Sequence[float]
+) -> tuple[int, ...]:
+    """Dynamic skyline restricted to a candidate subset of point ids.
+
+    Used by the subset and scanning algorithms for the dynamic diagram: when
+    ``candidate_ids`` is known to contain the true dynamic skyline, the
+    result over the subset equals the result over all points.
+    """
+    pts = points.points if isinstance(points, Dataset) else points
+    query = tuple(float(c) for c in query)
+    mapped = [map_point_to_query(pts[i], query) for i in candidate_ids]
+    local = skyline(mapped)
+    return tuple(sorted(candidate_ids[k] for k in local))
+
+
+def quadrant_skyband(
+    points, query: Sequence[float], k: int, mask: int = 0
+) -> tuple[int, ...]:
+    """The k-skyband of one quadrant: candidates with < k dominators.
+
+    The k-skyband generalizes the skyline the way the k-th order Voronoi
+    diagram generalizes the Voronoi diagram: ``k=1`` is exactly
+    :func:`quadrant_skyline`; larger k keeps every point dominated by
+    fewer than k candidates of the same quadrant.
+
+    >>> pts = [(1, 1), (2, 2), (3, 3)]
+    >>> quadrant_skyband(pts, (0, 0), 2)
+    (0, 1)
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    pts = _coords(points)
+    query = tuple(float(c) for c in query)
+    dim = len(query)
+    candidates: list[int] = []
+    mapped: list[tuple[float, ...]] = []
+    for i, p in enumerate(pts):
+        in_quadrant = True
+        for d in range(dim):
+            diff = p[d] - query[d]
+            if mask & (1 << d):
+                if diff > 0:
+                    in_quadrant = False
+                    break
+            elif diff < 0:
+                in_quadrant = False
+                break
+        if in_quadrant:
+            candidates.append(i)
+            mapped.append(map_point_to_query(p, query))
+    result = []
+    for a, pid in enumerate(candidates):
+        dominators = sum(
+            1 for b in range(len(candidates)) if dominates(mapped[b], mapped[a])
+        )
+        if dominators < k:
+            result.append(pid)
+    return tuple(result)
+
+
+def is_skyline_member(points, query: Sequence[float], target: int) -> bool:
+    """True iff point ``target`` is in the dynamic skyline of ``query``.
+
+    Cheaper membership test used by the reverse-skyline application: checks
+    whether any point dynamically dominates the target.
+    """
+    pts = _coords(points)
+    query = tuple(float(c) for c in query)
+    t = map_point_to_query(pts[target], query)
+    for i, p in enumerate(pts):
+        if i == target:
+            continue
+        if dominates(map_point_to_query(p, query), t):
+            return False
+    return True

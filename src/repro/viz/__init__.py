@@ -1,0 +1,12 @@
+"""Rendering: SVG and ASCII views of skyline diagrams."""
+
+from repro.viz.ascii_art import ascii_diagram
+from repro.viz.svg import render_svg
+from repro.viz.svg_extras import render_sweep_svg, render_voronoi_svg
+
+__all__ = [
+    "ascii_diagram",
+    "render_svg",
+    "render_sweep_svg",
+    "render_voronoi_svg",
+]

@@ -1,0 +1,51 @@
+"""ASCII rendering of small skyline diagrams.
+
+One character per (sub)cell, same letter = same polyomino — the quickest
+way to eyeball a diagram in a terminal or a test failure message.  Rows are
+printed top-down (larger y first) to match the paper's figures.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.diagram.base import DynamicDiagram, SkylineDiagram
+
+_GLYPHS = string.ascii_uppercase + string.ascii_lowercase + string.digits
+
+
+def ascii_diagram(
+    diagram: SkylineDiagram | DynamicDiagram, legend: bool = True
+) -> str:
+    """Render a 2-D diagram as a block of characters.
+
+    >>> from repro.diagram import quadrant_scanning
+    >>> print(ascii_diagram(quadrant_scanning([(1, 1)]), legend=False))
+    BB
+    AB
+
+    (the single point's quadrant diagram: region A, lower-left of the
+    point, sees it; everywhere else the skyline is empty.)
+    """
+    shape = diagram.grid.shape
+    if len(shape) != 2:
+        raise ValueError("ascii_diagram renders 2-D diagrams only")
+    polyominos = diagram.polyominos()
+    labels = {
+        cell: poly.ident for poly in polyominos for cell in poly.cells
+    }
+    lines = []
+    for j in range(shape[1] - 1, -1, -1):
+        row = "".join(
+            _GLYPHS[labels[(i, j)] % len(_GLYPHS)] for i in range(shape[0])
+        )
+        lines.append(row)
+    if legend:
+        lines.append("")
+        for poly in polyominos:
+            glyph = _GLYPHS[poly.ident % len(_GLYPHS)]
+            names = ", ".join(
+                diagram.grid.dataset.name_of(i) for i in poly.result
+            )
+            lines.append(f"{glyph}: {{{names}}}")
+    return "\n".join(lines)

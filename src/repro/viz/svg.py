@@ -1,0 +1,88 @@
+"""SVG rendering of skyline diagrams (the paper's Figures 3, 4, 8).
+
+Polyominos are filled with deterministic colours derived from their result
+sets (equal results share a colour even across diagrams), boundaries are
+traced from the merged cell sets, and the data points are drawn on top.
+The output is a standalone SVG string — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Sequence
+
+from repro.diagram.base import DynamicDiagram, SkylineDiagram
+
+_MARGIN_CELLS = 1.0  # how far the unbounded outer cells extend, in axis units
+
+
+def _colour(result: tuple[int, ...]) -> str:
+    """A stable pastel colour for one result set."""
+    if not result:
+        return "#f2f2f2"
+    digest = hashlib.sha256(repr(result).encode()).digest()
+    hue = digest[0] * 360 // 256
+    return f"hsl({hue}, 55%, {70 + digest[1] % 3 * 5}%)"
+
+
+def _axis_positions(axis: Sequence[float]) -> list[float]:
+    """Lattice positions 0..len(axis)+1 mapped to data coordinates."""
+    if not axis:
+        return [0.0, 1.0]
+    span = (axis[-1] - axis[0]) or 1.0
+    pad = span * 0.1 + _MARGIN_CELLS
+    return [axis[0] - pad, *axis, axis[-1] + pad]
+
+
+def render_svg(
+    diagram: SkylineDiagram | DynamicDiagram,
+    width: int = 480,
+    height: int = 480,
+    show_points: bool = True,
+) -> str:
+    """Render a 2-D diagram to an SVG string.
+
+    >>> from repro.diagram import quadrant_scanning
+    >>> svg = render_svg(quadrant_scanning([(2, 8), (5, 4)]))
+    >>> svg.startswith('<svg') and svg.rstrip().endswith('</svg>')
+    True
+    """
+    shape = diagram.grid.shape
+    if len(shape) != 2:
+        raise ValueError("render_svg renders 2-D diagrams only")
+    xs = _axis_positions(diagram.grid.axes[0])
+    ys = _axis_positions(diagram.grid.axes[1])
+    min_x, max_x = xs[0], xs[-1]
+    min_y, max_y = ys[0], ys[-1]
+
+    def to_px(x: float, y: float) -> tuple[float, float]:
+        px = (x - min_x) / (max_x - min_x) * width
+        py = height - (y - min_y) / (max_y - min_y) * height
+        return (round(px, 2), round(py, 2))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    ]
+    for poly in diagram.polyominos():
+        for loop in poly.boundary():
+            coords = " ".join(
+                "{},{}".format(*to_px(xs[i], ys[j])) for i, j in loop
+            )
+            parts.append(
+                f'<polygon points="{coords}" fill="{_colour(poly.result)}" '
+                f'stroke="#666" stroke-width="1"/>'
+            )
+    if show_points:
+        for pid, p in enumerate(diagram.grid.dataset):
+            cx, cy = to_px(p[0], p[1])
+            parts.append(
+                f'<circle cx="{cx}" cy="{cy}" r="4" fill="#222"/>'
+            )
+            name = diagram.grid.dataset.name_of(pid)
+            parts.append(
+                f'<text x="{cx + 6}" y="{cy - 6}" font-size="11" '
+                f'font-family="sans-serif">{name}</text>'
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,100 @@
+"""Additional SVG renderers: sweep geometry and Voronoi diagrams.
+
+`render_sweep_svg` draws the paper's Figure 8 — the half-open grid lines
+and the polyomino boundaries the sweeping algorithm traces, without any
+cell merging.  `render_voronoi_svg` draws the Figure 2 counterpart so the
+two structures can be compared side by side.
+"""
+
+from __future__ import annotations
+
+from repro.diagram.quadrant_sweeping import SweepDiagram
+from repro.voronoi.diagram import VoronoiDiagram
+from repro.viz.svg import _colour
+
+
+def _rank_positions(axis: tuple[float, ...]) -> list[float]:
+    """Rank -> data coordinate, with rank 0 mapped to a padded origin."""
+    if not axis:
+        return [0.0]
+    span = (axis[-1] - axis[0]) or 1.0
+    return [axis[0] - span * 0.15 - 1.0, *axis]
+
+
+def render_sweep_svg(
+    sweep: SweepDiagram, width: int = 480, height: int = 480
+) -> str:
+    """Render a sweep diagram: traced polyomino outlines plus the points.
+
+    >>> from repro.diagram import quadrant_sweeping
+    >>> svg = render_sweep_svg(quadrant_sweeping([(2, 8), (5, 4)]))
+    >>> svg.count("<polyline") >= 2
+    True
+    """
+    xs = _rank_positions(sweep.grid.xs)
+    ys = _rank_positions(sweep.grid.ys)
+    max_x = sweep.grid.xs[-1] + (xs[1] - xs[0]) if sweep.grid.xs else 1.0
+    max_y = sweep.grid.ys[-1] + (ys[1] - ys[0]) if sweep.grid.ys else 1.0
+    min_x, min_y = xs[0], ys[0]
+
+    def to_px(a: int, b: int) -> tuple[float, float]:
+        x, y = xs[a], ys[b]
+        px = (x - min_x) / (max_x - min_x) * width
+        py = height - (y - min_y) / (max_y - min_y) * height
+        return (round(px, 2), round(py, 2))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    ]
+    results = sweep.results()
+    for poly in sweep.polyominos:
+        coords = " ".join(
+            "{},{}".format(*to_px(a, b)) for a, b in poly.vertices
+        )
+        colour = _colour(results[poly.corner])
+        parts.append(
+            f'<polyline points="{coords}" fill="{colour}" '
+            f'stroke="#444" stroke-width="1"/>'
+        )
+    for pid, p in enumerate(sweep.grid.dataset):
+        rx, ry = sweep.grid.rank_of(pid)
+        cx, cy = to_px(rx, ry)
+        parts.append(f'<circle cx="{cx}" cy="{cy}" r="4" fill="#222"/>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_voronoi_svg(
+    voronoi: VoronoiDiagram, width: int = 480, height: int = 480
+) -> str:
+    """Render a Voronoi diagram (the paper's Fig. 2 counterpart).
+
+    >>> svg = render_voronoi_svg(VoronoiDiagram([(2, 2), (8, 8)]))
+    >>> svg.count("<polygon") == 2
+    True
+    """
+    x0, y0, x1, y1 = voronoi.bbox
+
+    def to_px(x: float, y: float) -> tuple[float, float]:
+        px = (x - x0) / (x1 - x0) * width
+        py = height - (y - y0) / (y1 - y0) * height
+        return (round(px, 2), round(py, 2))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}">'
+    ]
+    for site, cell in enumerate(voronoi.cells):
+        if len(cell) < 3:
+            continue
+        coords = " ".join("{},{}".format(*to_px(x, y)) for x, y in cell)
+        parts.append(
+            f'<polygon points="{coords}" fill="{_colour((site,))}" '
+            f'stroke="#444" stroke-width="1"/>'
+        )
+    for site, (x, y) in enumerate(voronoi.dataset):
+        cx, cy = to_px(x, y)
+        parts.append(f'<circle cx="{cx}" cy="{cy}" r="4" fill="#222"/>')
+    parts.append("</svg>")
+    return "\n".join(parts)

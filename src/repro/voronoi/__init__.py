@@ -1,0 +1,14 @@
+"""Voronoi diagram / kNN substrate — the analogy the paper is named after."""
+
+from repro.voronoi.diagram import VoronoiDiagram, voronoi_cell
+from repro.voronoi.knn import k_nearest, nearest
+from repro.voronoi.order_k import OrderKVoronoi, order_k_cell
+
+__all__ = [
+    "OrderKVoronoi",
+    "VoronoiDiagram",
+    "k_nearest",
+    "nearest",
+    "order_k_cell",
+    "voronoi_cell",
+]

@@ -1,0 +1,125 @@
+"""A Voronoi diagram by half-plane clipping (the paper's Fig. 2 structure).
+
+Each site's Voronoi cell is the intersection of the half-planes closer to
+it than to every other site, computed by successively clipping a bounding
+box with perpendicular-bisector half-planes — O(n^2 log n) overall, plenty
+for the analogy examples and tests (the skyline diagram, not Voronoi, is
+the system under study; this is a faithful but simple substrate).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import DimensionalityError
+from repro.geometry.point import Dataset, Point, ensure_dataset
+from repro.voronoi.knn import nearest
+
+_EPS = 1e-9
+
+
+def _clip(
+    polygon: list[Point], a: float, b: float, c: float
+) -> list[Point]:
+    """Clip a convex polygon to the half-plane ``a*x + b*y <= c``."""
+    if not polygon:
+        return []
+    out: list[Point] = []
+    m = len(polygon)
+    for k in range(m):
+        p = polygon[k]
+        q = polygon[(k + 1) % m]
+        fp = a * p[0] + b * p[1] - c
+        fq = a * q[0] + b * q[1] - c
+        if fp <= _EPS:
+            out.append(p)
+        if (fp < -_EPS and fq > _EPS) or (fp > _EPS and fq < -_EPS):
+            t = fp / (fp - fq)
+            out.append((p[0] + t * (q[0] - p[0]), p[1] + t * (q[1] - p[1])))
+    return out
+
+
+def voronoi_cell(
+    points: Dataset | Sequence[Sequence[float]],
+    site: int,
+    bbox: tuple[float, float, float, float],
+) -> list[Point]:
+    """The Voronoi cell of one site, clipped to a bounding box.
+
+    ``bbox`` is ``(min_x, min_y, max_x, max_y)``.  Returns the cell's
+    vertices in counterclockwise order (empty for degenerate duplicates).
+
+    >>> cell = voronoi_cell([(0, 0), (10, 0)], 0, (0, 0, 10, 10))
+    >>> sorted(cell)
+    [(0.0, 0.0), (0.0, 10.0), (5.0, 0.0), (5.0, 10.0)]
+    """
+    dataset = ensure_dataset(points)
+    if dataset.dim != 2:
+        raise DimensionalityError("voronoi_cell supports 2-D sites")
+    x0, y0, x1, y1 = (float(v) for v in bbox)
+    polygon: list[Point] = [(x0, y0), (x1, y0), (x1, y1), (x0, y1)]
+    px, py = dataset[site]
+    for other_id, (qx, qy) in enumerate(dataset.points):
+        if other_id == site or (qx, qy) == (px, py):
+            continue
+        # Points closer to p than q: 2(q-p)·x <= |q|^2 - |p|^2.
+        a = 2.0 * (qx - px)
+        b = 2.0 * (qy - py)
+        c = qx * qx + qy * qy - px * px - py * py
+        polygon = _clip(polygon, a, b, c)
+        if not polygon:
+            break
+    return polygon
+
+
+class VoronoiDiagram:
+    """All Voronoi cells over a bounding box, with point location.
+
+    Point location delegates to the nearest-site rule, which is exactly the
+    diagram's defining property; the polygons exist for geometry checks and
+    rendering, mirroring how the skyline diagram exposes polyominos.
+    """
+
+    def __init__(
+        self,
+        points: Dataset | Sequence[Sequence[float]],
+        bbox: tuple[float, float, float, float] | None = None,
+    ) -> None:
+        self.dataset = ensure_dataset(points)
+        if self.dataset.dim != 2:
+            raise DimensionalityError("VoronoiDiagram supports 2-D sites")
+        if bbox is None:
+            lo, hi = self.dataset.bounds()
+            margin_x = max(1.0, (hi[0] - lo[0]) * 0.2)
+            margin_y = max(1.0, (hi[1] - lo[1]) * 0.2)
+            bbox = (
+                lo[0] - margin_x,
+                lo[1] - margin_y,
+                hi[0] + margin_x,
+                hi[1] + margin_y,
+            )
+        self.bbox = bbox
+        self.cells: list[list[Point]] = [
+            voronoi_cell(self.dataset, site, bbox)
+            for site in range(len(self.dataset))
+        ]
+
+    def locate(self, query: Sequence[float]) -> int:
+        """Site id whose cell contains the query (nearest site)."""
+        return nearest(self.dataset, query)
+
+    def cell_area(self, site: int) -> float:
+        """Area of a site's (clipped) Voronoi cell via the shoelace formula."""
+        polygon = self.cells[site]
+        if len(polygon) < 3:
+            return 0.0
+        area = 0.0
+        m = len(polygon)
+        for k in range(m):
+            x0, y0 = polygon[k]
+            x1, y1 = polygon[(k + 1) % m]
+            area += x0 * y1 - x1 * y0
+        return abs(area) / 2.0
+
+    def __repr__(self) -> str:
+        return f"VoronoiDiagram(n={len(self.dataset)}, bbox={self.bbox})"

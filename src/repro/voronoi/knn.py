@@ -1,0 +1,55 @@
+"""Nearest-neighbour queries over a point set (Euclidean distance).
+
+The Voronoi counterpart of the direct skyline evaluation in
+:mod:`repro.skyline.queries`: ground truth for the Voronoi diagram and the
+"recompute per query" arm of the analogy examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.geometry.point import Dataset, ensure_dataset
+
+
+def _squared_distance(p: Sequence[float], q: Sequence[float]) -> float:
+    return sum((a - b) ** 2 for a, b in zip(p, q, strict=True))
+
+
+def nearest(
+    points: Dataset | Sequence[Sequence[float]], query: Sequence[float]
+) -> int:
+    """Id of the nearest point to the query (lowest id wins ties).
+
+    >>> nearest([(0, 0), (10, 10)], (2, 2))
+    0
+    """
+    dataset = ensure_dataset(points)
+    best_id = 0
+    best = _squared_distance(dataset[0], query)
+    for pid in range(1, len(dataset)):
+        d = _squared_distance(dataset[pid], query)
+        if d < best:
+            best = d
+            best_id = pid
+    return best_id
+
+
+def k_nearest(
+    points: Dataset | Sequence[Sequence[float]],
+    query: Sequence[float],
+    k: int,
+) -> tuple[int, ...]:
+    """Ids of the k nearest points, closest first (ties by id).
+
+    >>> k_nearest([(0, 0), (1, 1), (9, 9)], (0, 0), 2)
+    (0, 1)
+    """
+    dataset = ensure_dataset(points)
+    if not 1 <= k <= len(dataset):
+        raise ValueError(f"k={k} out of range for {len(dataset)} points")
+    order = sorted(
+        range(len(dataset)),
+        key=lambda pid: (_squared_distance(dataset[pid], query), pid),
+    )
+    return tuple(order[:k])

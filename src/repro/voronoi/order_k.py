@@ -1,0 +1,155 @@
+"""Order-k Voronoi diagrams — the analogy's other half, completed.
+
+The paper's Sec. I: "similarly, k-th order Voronoi diagram can be built for
+kNN queries (k > 1), where the query points in each Voronoi cell have the
+same kNN results."  The k-skyband diagram (``repro.diagram.skyband``) is
+the skyline-side counterpart; this module supplies the kNN side so the two
+can be compared like Figs. 2 and 3.
+
+An order-k cell is the locus where one particular k-subset S is the set of
+k nearest sites: the intersection of the half-planes ``closer to i than
+j`` for every ``i ∈ S, j ∉ S`` — convex, so each cell is a bounding-box
+clip.  Cells are enumerated exactly by BFS: two cells are adjacent iff
+their sets differ by swapping the edge's bisector pair, so starting from
+the kNN set of one sample point and walking across edges reaches every
+nonempty cell (the order-k subdivision is edge-connected).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import DimensionalityError, QueryError
+from repro.geometry.point import Dataset, Point, ensure_dataset
+from repro.voronoi.diagram import _clip
+from repro.voronoi.knn import k_nearest
+
+_AREA_EPS = 1e-9
+
+
+def _bisector(p: Point, q: Point) -> tuple[float, float, float]:
+    """Half-plane ``a x + b y <= c`` of points closer to p than to q."""
+    a = 2.0 * (q[0] - p[0])
+    b = 2.0 * (q[1] - p[1])
+    c = q[0] ** 2 + q[1] ** 2 - p[0] ** 2 - p[1] ** 2
+    return a, b, c
+
+
+def _polygon_area(polygon: list[Point]) -> float:
+    if len(polygon) < 3:
+        return 0.0
+    area = 0.0
+    m = len(polygon)
+    for k in range(m):
+        x0, y0 = polygon[k]
+        x1, y1 = polygon[(k + 1) % m]
+        area += x0 * y1 - x1 * y0
+    return abs(area) / 2.0
+
+
+def order_k_cell(
+    points: Dataset | Sequence[Sequence[float]],
+    subset: Sequence[int],
+    bbox: tuple[float, float, float, float],
+) -> list[Point]:
+    """The (possibly empty) convex cell where ``subset`` is the kNN set.
+
+    >>> cell = order_k_cell([(0, 0), (10, 0), (5, 9)], [0, 1], (0, 0, 10, 9))
+    >>> len(cell) >= 3
+    True
+    """
+    dataset = ensure_dataset(points)
+    if dataset.dim != 2:
+        raise DimensionalityError("order-k Voronoi cells are 2-D")
+    inside = set(subset)
+    x0, y0, x1, y1 = (float(v) for v in bbox)
+    polygon: list[Point] = [(x0, y0), (x1, y0), (x1, y1), (x0, y1)]
+    for i in inside:
+        p = dataset[i]
+        for j in range(len(dataset)):
+            if j in inside or dataset[j] == p:
+                continue
+            polygon = _clip(polygon, *_bisector(p, dataset[j]))
+            if not polygon:
+                return []
+    return polygon
+
+
+class OrderKVoronoi:
+    """All order-k Voronoi cells over a bounding box, with point location.
+
+    Parameters
+    ----------
+    points:
+        2-D sites (at least k of them).
+    k:
+        Order; ``k=1`` is the ordinary Voronoi diagram.
+    bbox:
+        ``(min_x, min_y, max_x, max_y)`` region to subdivide.
+
+    Examples
+    --------
+    >>> diagram = OrderKVoronoi([(0, 0), (10, 0), (5, 9)], 2, (0, 0, 10, 9))
+    >>> len(diagram.cells)
+    3
+    >>> diagram.locate((1, 1))
+    (0, 2)
+    """
+
+    def __init__(
+        self,
+        points: Dataset | Sequence[Sequence[float]],
+        k: int,
+        bbox: tuple[float, float, float, float],
+    ) -> None:
+        self.dataset = ensure_dataset(points)
+        if self.dataset.dim != 2:
+            raise DimensionalityError("OrderKVoronoi supports 2-D sites")
+        if not 1 <= k <= len(self.dataset):
+            raise QueryError(
+                f"k={k} out of range for {len(self.dataset)} sites"
+            )
+        self.k = k
+        self.bbox = tuple(float(v) for v in bbox)
+        self.cells: dict[tuple[int, ...], list[Point]] = {}
+        self._enumerate()
+
+    # ------------------------------------------------------------------
+    def _enumerate(self) -> None:
+        x0, y0, x1, y1 = self.bbox
+        seed_query = ((x0 + x1) / 2.0, (y0 + y1) / 2.0)
+        seed = tuple(sorted(k_nearest(self.dataset, seed_query, self.k)))
+        frontier = [seed]
+        seen = {seed}
+        while frontier:
+            subset = frontier.pop()
+            polygon = order_k_cell(self.dataset, subset, self.bbox)
+            if _polygon_area(polygon) <= _AREA_EPS:
+                continue
+            self.cells[subset] = polygon
+            inside = set(subset)
+            # Neighbours swap one inside site for one outside site; probing
+            # every pair is O(k (n-k)) per cell but exact and simple.
+            for i in subset:
+                for j in range(len(self.dataset)):
+                    if j in inside:
+                        continue
+                    neighbour = tuple(sorted((inside - {i}) | {j}))
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        frontier.append(neighbour)
+
+    # ------------------------------------------------------------------
+    def locate(self, query: Sequence[float]) -> tuple[int, ...]:
+        """The kNN *set* of the query (sorted ids) — its cell's label."""
+        return tuple(sorted(k_nearest(self.dataset, query, self.k)))
+
+    def total_area(self) -> float:
+        """Sum of all cell areas (should tile the bounding box)."""
+        return sum(_polygon_area(c) for c in self.cells.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"OrderKVoronoi(n={len(self.dataset)}, k={self.k}, "
+            f"cells={len(self.cells)})"
+        )

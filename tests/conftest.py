@@ -1,0 +1,92 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.geometry.point import Dataset
+
+
+def points_2d(
+    min_size: int = 1,
+    max_size: int = 12,
+    coordinate: st.SearchStrategy | None = None,
+):
+    """Strategy: a list of 2-D points, tie-heavy by default.
+
+    Small integer coordinates make ties and duplicates common, which is
+    where grid compression and the multiset identities earn their keep.
+    """
+    if coordinate is None:
+        coordinate = st.integers(min_value=0, max_value=8)
+    return st.lists(
+        st.tuples(coordinate, coordinate),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+def points_nd(
+    dim: int,
+    min_size: int = 1,
+    max_size: int = 8,
+    coordinate: st.SearchStrategy | None = None,
+):
+    """Strategy: a list of d-dimensional points with frequent ties."""
+    if coordinate is None:
+        coordinate = st.integers(min_value=0, max_value=6)
+    return st.lists(
+        st.tuples(*([coordinate] * dim)),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+def distinct_points_2d(min_size: int = 1, max_size: int = 12):
+    """Strategy: 2-D points with all-distinct x and all-distinct y."""
+
+    def build(xs: list[int], ys: list[int]) -> list[tuple[int, int]]:
+        size = min(len(xs), len(ys))
+        return list(zip(sorted(set(xs))[:size], sorted(set(ys))[:size]))
+
+    return st.builds(
+        build,
+        st.lists(
+            st.integers(0, 1000), min_size=min_size, max_size=max_size, unique=True
+        ),
+        st.lists(
+            st.integers(0, 1000), min_size=min_size, max_size=max_size, unique=True
+        ),
+    ).filter(lambda pts: len(pts) >= min_size)
+
+
+@pytest.fixture
+def paper_like_hotels() -> Dataset:
+    """A hotel dataset in the spirit of the paper's running example.
+
+    Eleven hotels over (distance to downtown, price); several skyline
+    layers, an anti-correlated staircase, and one tie on each axis.
+    """
+    return Dataset(
+        [
+            (2, 90),
+            (4, 70),
+            (6, 60),
+            (9, 35),
+            (12, 24),
+            (15, 15),
+            (20, 8),
+            (4, 90),
+            (9, 60),
+            (15, 35),
+            (20, 24),
+        ],
+        names=[f"h{i}" for i in range(11)],
+    )
+
+
+@pytest.fixture
+def staircase() -> list[tuple[float, float]]:
+    """Three mutually incomparable points (the whole set is the skyline)."""
+    return [(2.0, 8.0), (5.0, 4.0), (9.0, 1.0)]

@@ -1,0 +1,154 @@
+"""Tests for authenticated outsourced skyline queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications.authentication import (
+    AuthenticatedSkylineClient,
+    AuthenticatedSkylineServer,
+    DiagramSigner,
+    MerkleTree,
+    VerificationObject,
+    _hash_leaf,
+)
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.errors import AuthenticationError
+
+from tests.conftest import points_2d
+
+KEY = b"owner-secret"
+
+
+def _setup(pts):
+    diagram = quadrant_scanning(pts)
+    signer = DiagramSigner(diagram, KEY)
+    server = AuthenticatedSkylineServer(signer)
+    client = AuthenticatedSkylineClient(
+        diagram.grid.axes, signer.signed_root(), KEY
+    )
+    return diagram, server, client
+
+
+class TestMerkleTree:
+    def test_single_leaf(self):
+        tree = MerkleTree([b"a" * 32])
+        assert tree.root == b"a" * 32
+        assert tree.path(0) == []
+
+    def test_rejects_empty(self):
+        with pytest.raises(AuthenticationError):
+            MerkleTree([])
+
+    def test_rejects_bad_index(self):
+        with pytest.raises(AuthenticationError):
+            MerkleTree([b"x"]).path(5)
+
+    @given(st.integers(1, 17))
+    def test_every_leaf_folds_to_root(self, n):
+        leaves = [bytes([i]) * 32 for i in range(n)]
+        tree = MerkleTree(leaves)
+        for i, leaf in enumerate(leaves):
+            assert MerkleTree.fold(leaf, tree.path(i)) == tree.root
+
+    def test_different_leaves_different_roots(self):
+        assert (
+            MerkleTree([b"a", b"b"]).root != MerkleTree([b"a", b"c"]).root
+        )
+
+
+class TestEndToEnd:
+    def test_verified_query(self, staircase):
+        diagram, server, client = _setup(staircase)
+        q = (4, 3)
+        vo = server.answer(q)
+        assert client.verify(q, vo) == diagram.query(q)
+
+    @given(points_2d(min_size=1, max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_all_cells_verify(self, pts):
+        diagram, server, client = _setup(pts)
+        for cell in diagram.grid.cells():
+            q = diagram.grid.representative(cell)
+            assert client.verify(q, server.answer(q)) == diagram.query(q)
+
+
+class TestTamperDetection:
+    def test_tampered_result_rejected(self, staircase):
+        _, server, client = _setup(staircase)
+        q = (4, 3)
+        vo = server.answer(q)
+        forged = VerificationObject(
+            result=(0,), cells=vo.cells, leaf_index=vo.leaf_index, path=vo.path
+        )
+        with pytest.raises(AuthenticationError, match="root"):
+            client.verify(q, forged)
+
+    def test_wrong_region_rejected(self, staircase):
+        diagram, server, client = _setup(staircase)
+        vo = server.answer((4, 3))
+        with pytest.raises(AuthenticationError, match="outside"):
+            client.verify((100, 100), vo)
+
+    def test_tampered_path_rejected(self, staircase):
+        _, server, client = _setup(staircase)
+        q = (4, 3)
+        vo = server.answer(q)
+        if not vo.path:
+            pytest.skip("degenerate single-polyomino diagram")
+        side, digest = vo.path[0]
+        forged_path = ((side, b"\x00" * len(digest)), *vo.path[1:])
+        forged = VerificationObject(
+            result=vo.result,
+            cells=vo.cells,
+            leaf_index=vo.leaf_index,
+            path=forged_path,
+        )
+        with pytest.raises(AuthenticationError, match="root"):
+            client.verify(q, forged)
+
+    def test_wrong_key_rejected(self, staircase):
+        diagram, server, _ = _setup(staircase)
+        signer = DiagramSigner(diagram, KEY)
+        client = AuthenticatedSkylineClient(
+            diagram.grid.axes, signer.signed_root(), b"other-key"
+        )
+        q = (4, 3)
+        with pytest.raises(AuthenticationError):
+            client.verify(q, server.answer(q))
+
+    def test_stale_diagram_rejected(self, staircase):
+        # Root signed over an older diagram; answers from a new one fail.
+        old = quadrant_scanning([(1, 1)])
+        old_signer = DiagramSigner(old, KEY)
+        _, server, _ = _setup(staircase)
+        client = AuthenticatedSkylineClient(
+            quadrant_scanning(staircase).grid.axes,
+            old_signer.signed_root(),
+            KEY,
+        )
+        with pytest.raises(AuthenticationError):
+            client.verify((4, 3), server.answer((4, 3)))
+
+    def test_leaf_hash_depends_on_cells_and_result(self):
+        from repro.geometry.polyomino import Polyomino
+
+        a = Polyomino(0, (1,), frozenset({(0, 0)}))
+        b = Polyomino(0, (2,), frozenset({(0, 0)}))
+        c = Polyomino(0, (1,), frozenset({(1, 0)}))
+        assert _hash_leaf(a) != _hash_leaf(b)
+        assert _hash_leaf(a) != _hash_leaf(c)
+
+
+class TestDynamicDiagramAuthentication:
+    def test_end_to_end_over_dynamic_diagram(self):
+        from repro.diagram.dynamic_scanning import dynamic_scanning
+
+        diagram = dynamic_scanning([(0, 0), (10, 10)])
+        signer = DiagramSigner(diagram, KEY)
+        server = AuthenticatedSkylineServer(signer)
+        client = AuthenticatedSkylineClient(
+            diagram.subcells.axes, signer.signed_root(), KEY
+        )
+        for q in [(1, 1), (4, 6), (9, 9)]:
+            assert client.verify(q, server.answer(q)) == diagram.query(q)

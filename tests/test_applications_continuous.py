@@ -1,0 +1,102 @@
+"""Tests for continuous (moving-query) skyline timelines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications.continuous import TimelineEntry, continuous_skyline
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.errors import QueryError
+from repro.skyline.queries import dynamic_skyline, quadrant_skyline
+
+from tests.conftest import points_2d
+
+endpoints = st.tuples(
+    st.floats(-1, 9).filter(lambda v: v == v), st.floats(-1, 9)
+)
+
+
+class TestTimelines:
+    def test_horizontal_sweep_over_staircase(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        timeline = continuous_skyline(diagram, (0, 0), (10, 0))
+        assert [e.result for e in timeline] == [
+            (0, 1, 2),
+            (1, 2),
+            (2,),
+            (),
+        ]
+
+    def test_intervals_tile_the_segment(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        timeline = continuous_skyline(diagram, (0, 0), (10, 10))
+        assert timeline[0].t_enter == 0.0
+        assert timeline[-1].t_exit == 1.0
+        for a, b in zip(timeline, timeline[1:]):
+            assert a.t_exit == b.t_enter
+
+    def test_consecutive_entries_differ(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        timeline = continuous_skyline(diagram, (0, 0), (10, 10))
+        for a, b in zip(timeline, timeline[1:]):
+            assert a.result != b.result
+
+    def test_stationary_segment(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        timeline = continuous_skyline(diagram, (4, 3), (4, 3))
+        assert len(timeline) == 1
+        assert timeline[0].result == quadrant_skyline(staircase, (4, 3))
+
+    def test_dimension_mismatch(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        with pytest.raises(QueryError):
+            continuous_skyline(diagram, (0, 0, 0), (1, 1, 1))
+        with pytest.raises(QueryError):
+            continuous_skyline(diagram, (0, 0), (1, 1, 1))
+
+    def test_works_on_dynamic_diagrams(self):
+        diagram = dynamic_scanning([(0, 0), (10, 10)])
+        # Crossing only the x bisector: p0 stays closer in y, so the result
+        # grows from {p0} to the incomparable pair {p0, p1}.
+        timeline = continuous_skyline(diagram, (1, 1), (9, 4))
+        assert timeline[0].result == (0,)
+        assert timeline[-1].result == (0, 1)
+        # Crossing both bisectors flips all the way to {p1}.
+        diagonal = continuous_skyline(diagram, (1, 1), (9, 9))
+        assert diagonal[0].result == (0,)
+        assert diagonal[-1].result == (1,)
+
+    @given(points_2d(max_size=7), endpoints, endpoints)
+    @settings(max_examples=25, deadline=None)
+    def test_midpoints_match_from_scratch(self, pts, start, end):
+        diagram = quadrant_scanning(pts)
+        timeline = continuous_skyline(diagram, start, end)
+        for entry in timeline:
+            mid = (entry.t_enter + entry.t_exit) / 2
+            probe = tuple(
+                s + mid * (e - s) for s, e in zip(start, end)
+            )
+            assert entry.result == quadrant_skyline(pts, probe)
+
+    @given(points_2d(max_size=5), endpoints, endpoints)
+    @settings(max_examples=15, deadline=None)
+    def test_dynamic_midpoints_match_from_scratch(self, pts, start, end):
+        diagram = dynamic_scanning(pts)
+        timeline = continuous_skyline(diagram, start, end)
+        for entry in timeline:
+            mid = (entry.t_enter + entry.t_exit) / 2
+            probe = tuple(
+                s + mid * (e - s) for s, e in zip(start, end)
+            )
+            # Interior probes only: a probe sitting exactly on a bisector
+            # has tie semantics the diagram does not model.
+            on_boundary = any(
+                probe[d] in diagram.subcells.axes[d] for d in range(2)
+            )
+            if not on_boundary:
+                assert entry.result == dynamic_skyline(pts, probe)
+
+    def test_entry_dataclass(self):
+        entry = TimelineEntry(0.0, 0.5, (1,))
+        assert entry.t_exit == 0.5

@@ -1,0 +1,108 @@
+"""Tests for PIR-based private skyline queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications.pir import (
+    PirClient,
+    PirServer,
+    PrivateSkylineClient,
+    _decode_record,
+    _encode_record,
+    diagram_database,
+)
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.errors import ProtocolError
+
+from tests.conftest import points_2d
+
+
+class TestRecords:
+    def test_round_trip(self):
+        blob = _encode_record((3, 7, 11), 32)
+        assert len(blob) == 32
+        assert _decode_record(blob) == (3, 7, 11)
+
+    def test_empty_result(self):
+        assert _decode_record(_encode_record((), 8)) == ()
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ProtocolError, match="overflow"):
+            _encode_record((1, 2, 3), 8)
+
+    @given(st.lists(st.integers(0, 2**31), max_size=6).map(sorted))
+    def test_round_trip_property(self, ids):
+        width = 4 * (len(ids) + 1)
+        assert _decode_record(_encode_record(tuple(ids), width)) == tuple(ids)
+
+
+class TestXorPir:
+    def test_retrieves_every_record(self):
+        db = [bytes([i]) * 8 for i in range(10)]
+        client = PirClient(len(db))
+        servers = (PirServer(db), PirServer(db))
+        for index in range(10):
+            sa, sb = client.selectors(index)
+            record = PirClient.decode(
+                servers[0].respond(sa), servers[1].respond(sb)
+            )
+            assert record == db[index]
+
+    def test_selectors_differ_in_exactly_one_bit(self):
+        client = PirClient(20)
+        sa, sb = client.selectors(13)
+        diff = bytes(a ^ b for a, b in zip(sa, sb))
+        bits = [
+            (byte_index * 8 + bit)
+            for byte_index, byte in enumerate(diff)
+            for bit in range(8)
+            if byte >> bit & 1
+        ]
+        assert bits == [13]
+
+    def test_selector_index_validation(self):
+        with pytest.raises(ProtocolError):
+            PirClient(4).selectors(4)
+        with pytest.raises(ProtocolError):
+            PirClient(0)
+
+    def test_server_validation(self):
+        with pytest.raises(ProtocolError):
+            PirServer([])
+        with pytest.raises(ProtocolError):
+            PirServer([b"ab", b"abc"])
+        with pytest.raises(ProtocolError, match="selector"):
+            PirServer([b"ab"] * 20).respond(b"\x00")
+
+    def test_decode_width_validation(self):
+        with pytest.raises(ProtocolError):
+            PirClient.decode(b"ab", b"abc")
+
+
+class TestPrivateSkyline:
+    def test_end_to_end(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        db = diagram_database(diagram)
+        client = PrivateSkylineClient(diagram.grid.axes, diagram.grid.shape)
+        servers = (PirServer(db), PirServer(db))
+        for q in [(0, 0), (4, 3), (100, 100)]:
+            assert client.query(q, *servers) == diagram.query(q)
+
+    @given(points_2d(max_size=7))
+    @settings(max_examples=20, deadline=None)
+    def test_private_answers_match_diagram(self, pts):
+        diagram = quadrant_scanning(pts)
+        db = diagram_database(diagram)
+        client = PrivateSkylineClient(diagram.grid.axes, diagram.grid.shape)
+        servers = (PirServer(db), PirServer(db))
+        for cell in diagram.grid.cells():
+            q = diagram.grid.representative(cell)
+            assert client.query(q, *servers) == diagram.result_at(cell)
+
+    def test_cell_index_is_row_major(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        client = PrivateSkylineClient(diagram.grid.axes, diagram.grid.shape)
+        # Cell (0, 0) is record 0; cell (0, 1) is record 1.
+        assert client.cell_index((0, 0)) == 0
+        assert client.cell_index((0, 1.5)) == 1

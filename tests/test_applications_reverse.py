@@ -1,0 +1,70 @@
+"""Tests for reverse skyline queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications.reverse_skyline import (
+    reverse_skyline,
+    reverse_skyline_brute,
+)
+from repro.diagram.global_diagram import global_diagram
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.skyline.queries import global_skyline
+
+from tests.conftest import points_2d
+
+queries = st.tuples(st.integers(-1, 9), st.integers(-1, 9))
+
+
+class TestBrute:
+    def test_isolated_query_sees_nearest_structure(self):
+        # The middle point has the query in its dynamic skyline.
+        assert reverse_skyline_brute([(0, 0), (4, 4), (10, 10)], (5, 5)) == (
+            1,
+            2,
+        )
+
+    def test_blocked_point_excluded(self):
+        # p1 sits between p0 and the query, blocking p0.
+        assert reverse_skyline_brute([(0, 0), (2, 2)], (3, 3)) == (1,)
+
+    def test_single_point_always_reverse_skyline(self):
+        assert reverse_skyline_brute([(7, 7)], (0, 0)) == (0,)
+
+
+class TestDiagramAccelerated:
+    @given(points_2d(max_size=9), queries)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute(self, pts, q):
+        assert reverse_skyline(pts, q) == reverse_skyline_brute(pts, q)
+
+    @given(points_2d(max_size=9), queries)
+    @settings(max_examples=30, deadline=None)
+    def test_subset_of_global_skyline_in_general_position(self, pts, q):
+        # The subset property needs the query off every point's coordinate
+        # lines; a shared coordinate admits "hybrid" dominators (see the
+        # module docstring), which is why reverse_skyline falls back to
+        # brute force in that case.
+        if any(p[d] == q[d] for p in pts for d in range(2)):
+            return
+        assert set(reverse_skyline_brute(pts, q)) <= set(
+            global_skyline(pts, q)
+        )
+
+    def test_degenerate_query_on_point_coordinate(self):
+        # q shares x with both points: the hybrid dominator (q_x, p_y)
+        # exists, yet p1 is still in the reverse skyline.
+        pts = [(0, 0), (0, 1)]
+        assert reverse_skyline_brute(pts, (0, 0)) == (0, 1)
+        assert reverse_skyline(pts, (0, 0)) == (0, 1)
+
+    def test_accepts_prebuilt_diagram(self):
+        pts = [(0, 0), (4, 4), (10, 10)]
+        diagram = global_diagram(pts)
+        assert reverse_skyline(pts, (5, 5), diagram=diagram) == (1, 2)
+
+    def test_rejects_non_global_diagram(self):
+        pts = [(0, 0), (4, 4)]
+        with pytest.raises(ValueError, match="global"):
+            reverse_skyline(pts, (1, 1), diagram=quadrant_scanning(pts))

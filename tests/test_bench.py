@@ -1,0 +1,97 @@
+"""Tests for the benchmark harness and experiment registry."""
+
+import pytest
+
+from repro.bench.experiments import EXPERIMENTS, run_all, run_experiment
+from repro.bench.harness import Table, time_call
+
+
+class TestTimeCall:
+    def test_returns_positive_seconds(self):
+        assert time_call(lambda: sum(range(100))) > 0
+
+    def test_best_of_repeats(self):
+        calls = []
+        time_call(lambda: calls.append(1), repeats=3)
+        assert len(calls) == 3
+
+
+class TestTable:
+    def test_row_validation(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_render_alignment(self):
+        table = Table("demo", ["name", "value"])
+        table.add_row(["x", 1])
+        table.add_row(["longer", 2.5])
+        lines = table.render().splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+
+    def test_float_formatting(self):
+        table = Table("t", ["v"])
+        table.add_row([0.1234567])
+        table.add_row([0.0000005])
+        rendered = table.render()
+        assert "0.123" in rendered
+        assert "5.00e-07" in rendered
+
+    def test_markdown(self):
+        table = Table("t", ["a", "b"])
+        table.add_row([1, 2])
+        md = table.to_markdown()
+        assert md.splitlines()[0] == "| a | b |"
+        assert md.splitlines()[1] == "|---|---|"
+        assert md.splitlines()[2] == "| 1 | 2 |"
+
+    def test_empty_table_renders(self):
+        assert Table("t", ["a"]).render().splitlines()[0] == "t"
+
+
+class TestExperimentRegistry:
+    def test_all_experiments_registered(self):
+        assert sorted(EXPERIMENTS, key=lambda e: int(e[1:])) == [
+            f"E{i}" for i in range(1, 11)
+        ]
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("E42")
+
+    def test_e3_runs_quickly_and_counts_structures(self):
+        tables = run_experiment("E3", quick=True)
+        assert len(tables) == 1
+        header = tables[0].columns
+        assert header == ["distribution", "n", "cells", "distinct", "polyominos"]
+        for row in tables[0].rows:
+            dist, n, cells, distinct, polys = row
+            assert cells >= distinct
+            assert distinct == polys  # each result forms one connected region
+
+    def test_run_all_filters(self):
+        tables = run_all(quick=True, only=["E3"])
+        assert len(tables) == 1
+
+
+class TestMainModule:
+    def test_cli_lists_tables(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["E3"]) == 0
+        out = capsys.readouterr().out
+        assert "E3:" in out
+
+    def test_cli_markdown(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["E3", "--markdown"]) == 0
+        assert "| distribution |" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown(self, capsys):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["E77"])

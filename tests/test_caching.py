@@ -1,0 +1,121 @@
+"""Tests for the polyomino-keyed result cache."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.applications.caching import PolyominoCache
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.errors import QueryError
+
+from tests.conftest import points_2d
+
+
+def _counting_loader(calls):
+    def loader(ids):
+        calls.append(ids)
+        return list(ids)
+
+    return loader
+
+
+class TestCacheBehaviour:
+    def test_loader_called_once_per_region(self, staircase):
+        calls = []
+        cache = PolyominoCache(
+            quadrant_scanning(staircase), _counting_loader(calls)
+        )
+        assert cache.get((0, 0)) == [0, 1, 2]
+        assert cache.get((0.5, 0.5)) == [0, 1, 2]
+        assert cache.get((1.9, 0.2)) == [0, 1, 2]
+        assert len(calls) == 1
+        assert cache.hits == 2
+        assert cache.misses == 1
+
+    def test_distinct_regions_load_separately(self, staircase):
+        calls = []
+        cache = PolyominoCache(
+            quadrant_scanning(staircase), _counting_loader(calls)
+        )
+        cache.get((0, 0))
+        cache.get((100, 100))
+        assert len(calls) == 2
+        assert calls[1] == ()
+
+    def test_lru_eviction(self, staircase):
+        calls = []
+        cache = PolyominoCache(
+            quadrant_scanning(staircase), _counting_loader(calls), capacity=1
+        )
+        cache.get((0, 0))
+        cache.get((100, 100))  # evicts the first region
+        assert cache.evictions == 1
+        assert len(cache) == 1
+        cache.get((0, 0))  # reloaded
+        assert len(calls) == 3
+
+    def test_move_to_end_keeps_hot_entries(self, staircase):
+        calls = []
+        cache = PolyominoCache(
+            quadrant_scanning(staircase), _counting_loader(calls), capacity=2
+        )
+        cache.get((0, 0))
+        cache.get((100, 100))
+        cache.get((0, 0))  # refresh region A
+        cache.get((6, 0))  # third region: evicts the ()-region, not A
+        cache.get((0, 0))
+        assert cache.misses == 3
+
+    def test_invalidate(self, staircase):
+        calls = []
+        cache = PolyominoCache(
+            quadrant_scanning(staircase), _counting_loader(calls)
+        )
+        cache.get((0, 0))
+        cache.invalidate()
+        assert len(cache) == 0
+        cache.get((0, 0))
+        assert len(calls) == 2
+
+    def test_hit_rate(self, staircase):
+        cache = PolyominoCache(
+            quadrant_scanning(staircase), _counting_loader([])
+        )
+        assert cache.hit_rate == 0.0
+        cache.get((0, 0))
+        cache.get((0, 0))
+        assert cache.hit_rate == 0.5
+
+    def test_capacity_validation(self, staircase):
+        with pytest.raises(QueryError):
+            PolyominoCache(
+                quadrant_scanning(staircase), _counting_loader([]), capacity=0
+            )
+
+    def test_repr(self, staircase):
+        cache = PolyominoCache(
+            quadrant_scanning(staircase), _counting_loader([])
+        )
+        assert "hit_rate=0.00" in repr(cache)
+
+
+class TestCorrectness:
+    @given(points_2d(max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_cached_payload_matches_direct_query(self, pts):
+        diagram = quadrant_scanning(pts)
+        cache = PolyominoCache(diagram, lambda ids: ids)
+        for cell in diagram.grid.cells():
+            q = diagram.grid.representative(cell)
+            assert cache.get(q) == diagram.query(q)
+
+    @given(points_2d(max_size=8))
+    @settings(max_examples=15, deadline=None)
+    def test_loader_never_called_twice_with_unbounded_capacity(self, pts):
+        diagram = quadrant_scanning(pts)
+        calls = []
+        cache = PolyominoCache(
+            diagram, _counting_loader(calls), capacity=10_000
+        )
+        for cell in diagram.grid.cells():
+            cache.get(diagram.grid.representative(cell))
+        assert len(calls) == len(diagram.polyominos())

@@ -1,0 +1,183 @@
+"""End-to-end tests for the command line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def points_csv(tmp_path):
+    path = tmp_path / "points.csv"
+    path.write_text("# hotel data\n2,8\n5,4\n9,1\n")
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        assert main(["generate", str(out), "--n", "25", "--seed", "3"]) == 0
+        rows = [r for r in out.read_text().splitlines() if r]
+        assert len(rows) == 25
+        assert "wrote 25" in capsys.readouterr().out
+
+    def test_distribution_and_domain(self, tmp_path):
+        out = tmp_path / "data.csv"
+        main(
+            [
+                "generate",
+                str(out),
+                "--distribution",
+                "anticorrelated",
+                "--n",
+                "10",
+                "--domain",
+                "8",
+            ]
+        )
+        values = {
+            float(x)
+            for row in out.read_text().splitlines()
+            for x in row.split(",")
+        }
+        assert values <= {float(v) for v in range(8)}
+
+    def test_unknown_distribution_fails(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "generate",
+                    str(tmp_path / "x.csv"),
+                    "--distribution",
+                    "zipf",
+                ]
+            )
+            == 1
+        )
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBuildAndQuery:
+    def test_quadrant_pipeline(self, tmp_path, points_csv, capsys):
+        diagram = tmp_path / "d.json"
+        assert main(["build", points_csv, str(diagram)]) == 0
+        assert main(["query", str(diagram), "0", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "skyline ids: [0, 1, 2]" in out
+
+    def test_global_pipeline(self, tmp_path, points_csv, capsys):
+        diagram = tmp_path / "g.json"
+        assert main(["build", points_csv, str(diagram), "--kind", "global"]) == 0
+        assert json.loads(diagram.read_text())["kind"] == "global"
+
+    def test_dynamic_pipeline(self, tmp_path, points_csv, capsys):
+        diagram = tmp_path / "dyn.json"
+        assert (
+            main(["build", points_csv, str(diagram), "--kind", "dynamic"]) == 0
+        )
+        assert main(["query", str(diagram), "4", "3"]) == 0
+        assert "skyline ids" in capsys.readouterr().out
+
+    def test_algorithm_selection(self, tmp_path, points_csv):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["build", points_csv, str(a), "--algorithm", "baseline"])
+        main(["build", points_csv, str(b), "--algorithm", "scanning"])
+        pa, pb = json.loads(a.read_text()), json.loads(b.read_text())
+        assert pa["cells"] == pb["cells"]
+        assert pa["algorithm"] == "baseline"
+
+    def test_unknown_algorithm_fails(self, tmp_path, points_csv, capsys):
+        code = main(
+            ["build", points_csv, str(tmp_path / "x.json"), "--algorithm", "??"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["build", str(tmp_path / "no.csv"), "x.json"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRenderAndInfo:
+    def test_render_ascii(self, tmp_path, points_csv, capsys):
+        diagram = tmp_path / "d.json"
+        main(["build", points_csv, str(diagram)])
+        assert main(["render", str(diagram)]) == 0
+        out = capsys.readouterr().out
+        assert ": {" in out  # legend lines
+
+    def test_render_svg(self, tmp_path, points_csv):
+        diagram = tmp_path / "d.json"
+        svg = tmp_path / "d.svg"
+        main(["build", points_csv, str(diagram)])
+        assert main(["render", str(diagram), "--svg", str(svg)]) == 0
+        assert svg.read_text().startswith("<svg")
+
+    def test_info_on_csv(self, points_csv, capsys):
+        assert main(["info", points_csv]) == 0
+        assert "Dataset(n=3, dim=2)" in capsys.readouterr().out
+
+    def test_info_on_diagram(self, tmp_path, points_csv, capsys):
+        diagram = tmp_path / "d.json"
+        main(["build", points_csv, str(diagram)])
+        assert main(["info", str(diagram)]) == 0
+        assert "SkylineDiagram" in capsys.readouterr().out
+
+
+class TestStatsSkybandWhynot:
+    def test_stats(self, tmp_path, points_csv, capsys):
+        diagram = tmp_path / "d.json"
+        main(["build", points_csv, str(diagram)])
+        assert main(["stats", str(diagram)]) == 0
+        out = capsys.readouterr().out
+        assert "num_points: 3" in out
+        assert "compression_ratio:" in out
+
+    def test_skyband(self, points_csv, capsys):
+        assert main(["skyband", points_csv, "2", "0", "0"]) == 0
+        assert "2-skyband ids: [0, 1, 2]" in capsys.readouterr().out
+
+    def test_skyband_k1_is_skyline(self, points_csv, capsys):
+        assert main(["skyband", points_csv, "1", "0", "0"]) == 0
+        assert "[0, 1, 2]" in capsys.readouterr().out
+
+    def test_whynot_missing_point(self, tmp_path, points_csv, capsys):
+        diagram = tmp_path / "d.json"
+        main(["build", points_csv, str(diagram)])
+        assert main(["whynot", str(diagram), "0", "7", "3"]) == 0
+        assert "move the query" in capsys.readouterr().out
+
+    def test_whynot_present_point(self, tmp_path, points_csv, capsys):
+        diagram = tmp_path / "d.json"
+        main(["build", points_csv, str(diagram)])
+        assert main(["whynot", str(diagram), "0", "0", "0"]) == 0
+        assert "already in the result" in capsys.readouterr().out
+
+    def test_whynot_bad_id(self, tmp_path, points_csv, capsys):
+        diagram = tmp_path / "d.json"
+        main(["build", points_csv, str(diagram)])
+        assert main(["whynot", str(diagram), "99", "0", "0"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestThreeDimensionalBuild:
+    def test_build_and_query_3d(self, tmp_path, capsys):
+        points = tmp_path / "p3.csv"
+        points.write_text("1,1,1\n2,2,2\n")
+        diagram = tmp_path / "d3.json"
+        assert main(["build", str(points), str(diagram)]) == 0
+        assert main(["query", str(diagram), "0", "0", "0"]) == 0
+        assert "skyline ids: [0]" in capsys.readouterr().out
+
+    def test_global_3d(self, tmp_path, capsys):
+        points = tmp_path / "p3.csv"
+        points.write_text("1,1,1\n2,2,2\n")
+        diagram = tmp_path / "g3.json"
+        assert (
+            main(["build", str(points), str(diagram), "--kind", "global"])
+            == 0
+        )
+        assert main(["query", str(diagram), "1.5", "1.5", "1.5"]) == 0
+        assert "skyline ids: [0, 1]" in capsys.readouterr().out

@@ -1,0 +1,154 @@
+"""Tests for the workload generators and substituted real datasets."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.generators import (
+    anticorrelated,
+    clustered,
+    correlated,
+    generate,
+    independent,
+    quantize,
+)
+from repro.datasets.real import hotels, load_real, nba_like
+from repro.errors import DatasetError
+
+
+def _pearson(points):
+    xs = np.array([p[0] for p in points])
+    ys = np.array([p[1] for p in points])
+    return float(np.corrcoef(xs, ys)[0, 1])
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "maker", [independent, correlated, anticorrelated, clustered]
+    )
+    def test_shapes_and_range(self, maker):
+        pts = maker(50, dim=3, seed=1)
+        assert len(pts) == 50
+        assert all(len(p) == 3 for p in pts)
+        assert all(0.0 <= x <= 1.0 for p in pts for x in p)
+
+    @pytest.mark.parametrize(
+        "maker", [independent, correlated, anticorrelated, clustered]
+    )
+    def test_deterministic_under_seed(self, maker):
+        assert maker(20, seed=7) == maker(20, seed=7)
+        assert maker(20, seed=7) != maker(20, seed=8)
+
+    def test_correlated_has_positive_correlation(self):
+        assert _pearson(correlated(500, seed=2)) > 0.5
+
+    def test_anticorrelated_has_negative_correlation(self):
+        assert _pearson(anticorrelated(500, seed=2)) < -0.3
+
+    def test_independent_has_weak_correlation(self):
+        assert abs(_pearson(independent(800, seed=2))) < 0.15
+
+    def test_skyline_sizes_rank_as_expected(self):
+        from repro.skyline.algorithms import skyline_brute
+
+        n = 300
+        corr = len(skyline_brute(correlated(n, seed=3)))
+        inde = len(skyline_brute(independent(n, seed=3)))
+        anti = len(skyline_brute(anticorrelated(n, seed=3)))
+        assert corr <= inde <= anti
+
+    def test_integer_domain(self):
+        pts = independent(100, seed=4, domain=16)
+        values = {x for p in pts for x in p}
+        assert values <= set(float(v) for v in range(16))
+
+    def test_domain_validation(self):
+        with pytest.raises(DatasetError):
+            independent(10, domain=0)
+
+    def test_size_validation(self):
+        with pytest.raises(DatasetError):
+            independent(0)
+        with pytest.raises(DatasetError):
+            independent(5, dim=0)
+
+    def test_clusters_validation(self):
+        with pytest.raises(DatasetError):
+            clustered(10, clusters=0)
+
+
+class TestGenerateDispatch:
+    @pytest.mark.parametrize(
+        "name", ["independent", "correlated", "anticorrelated", "clustered"]
+    )
+    def test_known_names(self, name):
+        assert len(generate(name, 10, seed=1)) == 10
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError, match="unknown distribution"):
+            generate("zipf", 10)
+
+    @given(st.integers(1, 40), st.integers(0, 5))
+    def test_matches_direct_call(self, n, seed):
+        assert generate("independent", n, seed=seed) == independent(
+            n, seed=seed
+        )
+
+
+class TestQuantize:
+    def test_snaps_to_integer_grid(self):
+        pts = quantize(independent(60, seed=5), 8)
+        assert all(x == int(x) and 0 <= x < 8 for p in pts for x in p)
+
+    def test_empty(self):
+        assert quantize([], 4) == []
+
+    def test_constant_axis(self):
+        assert quantize([(1.0, 5.0), (2.0, 5.0)], 4) == [
+            (0.0, 0.0),
+            (3.0, 0.0),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            quantize([(1.0, 2.0)], 0)
+
+
+class TestRealSubstitutes:
+    def test_nba_shape_and_determinism(self):
+        a = nba_like(100)
+        assert len(a) == 100
+        assert a == nba_like(100)
+
+    def test_nba_is_negated_counts(self):
+        ds = nba_like(200)
+        assert all(x <= 0 for p in ds for x in p)
+
+    def test_nba_stats_are_correlated(self):
+        assert _pearson(list(nba_like(800))) > 0.3
+
+    def test_nba_validation(self):
+        with pytest.raises(DatasetError):
+            nba_like(0)
+        with pytest.raises(DatasetError):
+            nba_like(5, dim=0)
+
+    def test_hotels_anticorrelated(self):
+        assert _pearson(list(hotels(500))) < -0.5
+
+    def test_hotels_domain(self):
+        ds = hotels(300, domain=50)
+        assert all(0 <= x < 50 for p in ds for x in p)
+
+    def test_hotels_validation(self):
+        with pytest.raises(DatasetError):
+            hotels(0)
+        with pytest.raises(DatasetError):
+            hotels(5, domain=1)
+
+    def test_load_real_dispatch(self):
+        assert load_real("nba", n=10).dim == 2
+        assert load_real("hotels", n=10).dim == 2
+        with pytest.raises(DatasetError, match="unknown real dataset"):
+            load_real("census")

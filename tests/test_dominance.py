@@ -1,0 +1,126 @@
+"""Unit and property tests for the dominance predicates."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.dominance import (
+    dominates,
+    dominates_dynamic,
+    dominates_quadrant,
+    incomparable,
+    quadrant_of,
+    quadrants_of,
+    reflect_point,
+    reflect_points,
+)
+
+coords = st.tuples(st.integers(-5, 5), st.integers(-5, 5))
+coords3 = st.tuples(*([st.integers(-4, 4)] * 3))
+
+
+class TestDominates:
+    def test_strict_everywhere(self):
+        assert dominates((1, 1), (2, 2))
+
+    def test_weak_plus_strict(self):
+        assert dominates((1, 2), (1, 3))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1, 2), (1, 2))
+
+    def test_incomparable(self):
+        assert incomparable((1, 3), (3, 1))
+        assert not incomparable((1, 1), (2, 2))
+
+    @given(coords)
+    def test_irreflexive(self, p):
+        assert not dominates(p, p)
+
+    @given(coords, coords)
+    def test_antisymmetric(self, p, q):
+        assert not (dominates(p, q) and dominates(q, p))
+
+    @given(coords, coords, coords)
+    def test_transitive(self, p, q, r):
+        if dominates(p, q) and dominates(q, r):
+            assert dominates(p, r)
+
+
+class TestDynamicDominance:
+    def test_cross_quadrant_domination(self):
+        # p is left of q's query, r right of it; p still dominates r.
+        assert dominates_dynamic((9, 9), (12, 12), (10, 10))
+
+    def test_quadrant_alias(self):
+        assert dominates_quadrant((9, 9), (12, 12), (10, 10))
+
+    def test_origin_reduces_to_traditional(self):
+        origin = (0, 0)
+        assert dominates_dynamic((1, 1), (2, 2), origin) == dominates(
+            (1, 1), (2, 2)
+        )
+
+    @given(coords, coords, coords)
+    def test_matches_mapped_min_order(self, p, q, query):
+        mapped_p = tuple(abs(a - c) for a, c in zip(p, query))
+        mapped_q = tuple(abs(a - c) for a, c in zip(q, query))
+        assert dominates_dynamic(p, q, query) == dominates(mapped_p, mapped_q)
+
+
+class TestQuadrants:
+    def test_first_quadrant_is_zero(self):
+        assert quadrant_of((11, 12), (10, 10)) == 0
+
+    def test_negative_sides_set_bits(self):
+        assert quadrant_of((5, 12), (10, 10)) == 0b01
+        assert quadrant_of((12, 5), (10, 10)) == 0b10
+        assert quadrant_of((5, 5), (10, 10)) == 0b11
+
+    def test_boundary_point_goes_to_nonnegative_side(self):
+        assert quadrant_of((10, 10), (10, 10)) == 0
+
+    def test_quadrants_of_interior_point(self):
+        assert quadrants_of((12, 12), (10, 10)) == [0]
+
+    def test_quadrants_of_boundary_point(self):
+        assert sorted(quadrants_of((10, 5), (10, 10))) == [0b10, 0b11]
+
+    def test_quadrants_of_query_itself(self):
+        assert sorted(quadrants_of((10, 10), (10, 10))) == [0, 1, 2, 3]
+
+    @given(coords, coords)
+    def test_quadrant_of_in_quadrants_of(self, p, q):
+        assert quadrant_of(p, q) in quadrants_of(p, q)
+
+
+class TestReflection:
+    def test_reflect_point(self):
+        assert reflect_point((3, 4), 0b10) == (3.0, -4.0)
+        assert reflect_point((3, 4), 0b11) == (-3.0, -4.0)
+
+    def test_reflect_points(self):
+        assert reflect_points([(1, 2), (3, 4)], 0b01) == [
+            (-1.0, 2.0),
+            (-3.0, 4.0),
+        ]
+
+    @given(coords, st.integers(0, 3))
+    def test_involution(self, p, mask):
+        assert reflect_point(reflect_point(p, mask), mask) == tuple(
+            float(x) for x in p
+        )
+
+    @given(coords, coords, st.integers(0, 3))
+    def test_reflection_preserves_dominance_pattern(self, p, q, mask):
+        # Reflecting both operands turns quadrant-mask dominance relative to
+        # the origin into first-quadrant dominance.
+        rp, rq = reflect_point(p, mask), reflect_point(q, mask)
+        assert dominates_dynamic(p, q, (0, 0)) == dominates_dynamic(
+            rp, rq, (0, 0)
+        )
+
+    @given(coords3, st.integers(0, 7))
+    def test_involution_3d(self, p, mask):
+        assert reflect_point(reflect_point(p, mask), mask) == tuple(
+            float(x) for x in p
+        )

@@ -1,0 +1,150 @@
+"""Unit and property tests for the directed skyline graph."""
+
+import pytest
+from hypothesis import given
+
+from repro.dsg.graph import (
+    DirectedSkylineGraph,
+    direct_dominance_links,
+    full_dominance_links,
+)
+from repro.geometry.dominance import dominates
+from repro.skyline.algorithms import skyline_brute
+
+from tests.conftest import points_2d, points_nd
+
+
+class TestDirectLinks:
+    def test_chain(self):
+        assert direct_dominance_links([(1, 1), (2, 2), (3, 3)]) == [
+            [1],
+            [2],
+            [],
+        ]
+
+    def test_diamond(self):
+        # Apex dominates both middles directly; the sink only through them.
+        pts = [(1, 1), (2, 3), (3, 2), (4, 4)]
+        assert direct_dominance_links(pts) == [[1, 2], [3], [3], []]
+
+    def test_duplicates_have_no_links(self):
+        assert direct_dominance_links([(1, 1), (1, 1)]) == [[], []]
+
+    @given(points_2d(max_size=10))
+    def test_direct_subset_of_full(self, pts):
+        direct = direct_dominance_links(pts)
+        full = full_dominance_links(pts)
+        for p in range(len(pts)):
+            assert set(direct[p]) <= set(full[p])
+
+    @given(points_2d(max_size=10))
+    def test_links_are_dominance_pairs(self, pts):
+        for p, kids in enumerate(direct_dominance_links(pts)):
+            for q in kids:
+                assert dominates(pts[p], pts[q])
+
+    @given(points_2d(max_size=10))
+    def test_no_intermediate_point_between_direct_pairs(self, pts):
+        for p, kids in enumerate(direct_dominance_links(pts)):
+            for q in kids:
+                assert not any(
+                    r != p
+                    and r != q
+                    and dominates(pts[p], pts[r])
+                    and dominates(pts[r], pts[q])
+                    for r in range(len(pts))
+                )
+
+    @given(points_nd(3, max_size=8))
+    def test_full_links_transitive_closure_3d(self, pts):
+        full = full_dominance_links(pts)
+        for p in range(len(pts)):
+            assert set(full[p]) == {
+                q for q in range(len(pts)) if q != p and dominates(pts[p], pts[q])
+            }
+
+
+class TestGraphRemoval:
+    def test_initial_skyline(self):
+        dsg = DirectedSkylineGraph([(1, 4), (2, 2), (4, 1), (3, 3)])
+        assert sorted(dsg.skyline()) == [0, 1, 2]
+
+    def test_remove_exposes_children(self):
+        dsg = DirectedSkylineGraph([(1, 1), (2, 3), (3, 2), (4, 4)])
+        assert sorted(dsg.remove(0)) == [1, 2]
+        assert sorted(dsg.skyline()) == [1, 2]
+
+    def test_remove_is_idempotent(self):
+        dsg = DirectedSkylineGraph([(1, 1), (2, 2)])
+        dsg.remove(0)
+        assert dsg.remove(0) == []
+
+    def test_child_with_other_parent_not_exposed(self):
+        # Both middles dominate the sink; removing one is not enough.
+        dsg = DirectedSkylineGraph([(1, 1), (2, 3), (3, 2), (4, 4)])
+        dsg.remove(0)
+        assert dsg.remove(1) == []
+        assert dsg.remove(2) == [3]
+
+    def test_batch_removal_of_chain_on_shared_line(self):
+        # Two points on one vertical line dominate each other's region.
+        dsg = DirectedSkylineGraph([(1, 1), (1, 3), (2, 5)])
+        exposed = dsg.remove_batch([0, 1])
+        assert exposed == [2]
+
+    def test_rollback_restores_everything(self):
+        pts = [(1, 1), (2, 3), (3, 2), (4, 4)]
+        dsg = DirectedSkylineGraph(pts)
+        checkpoint = dsg.checkpoint()
+        dsg.remove(0)
+        dsg.remove(1)
+        dsg.rollback(checkpoint)
+        assert sorted(dsg.skyline()) == [0]
+        assert dsg.parent_count == DirectedSkylineGraph(pts).parent_count
+
+    def test_nested_checkpoints(self):
+        dsg = DirectedSkylineGraph([(1, 1), (2, 2), (3, 3)])
+        outer = dsg.checkpoint()
+        dsg.remove(0)
+        inner = dsg.checkpoint()
+        dsg.remove(1)
+        dsg.rollback(inner)
+        assert sorted(dsg.skyline()) == [1]
+        dsg.rollback(outer)
+        assert sorted(dsg.skyline()) == [0]
+
+    def test_links_mode_validation(self):
+        with pytest.raises(ValueError):
+            DirectedSkylineGraph([(1, 1)], links="bogus")
+
+    def test_full_links_mode_counts_more_edges(self):
+        pts = [(1, 1), (2, 2), (3, 3)]
+        assert DirectedSkylineGraph(pts, links="full").num_links == 3
+        assert DirectedSkylineGraph(pts, links="direct").num_links == 2
+
+    @given(points_2d(min_size=1, max_size=10))
+    def test_initial_skyline_matches_brute(self, pts):
+        assert tuple(sorted(DirectedSkylineGraph(pts).skyline())) == (
+            skyline_brute(pts)
+        )
+
+    @given(points_2d(min_size=2, max_size=10))
+    def test_peeling_by_removal_produces_layers(self, pts):
+        from repro.skyline.layers import skyline_layers
+
+        dsg = DirectedSkylineGraph(pts)
+        layers = []
+        while True:
+            current = sorted(dsg.skyline())
+            if not current:
+                break
+            layers.append(tuple(current))
+            for pid in current:
+                dsg.remove(pid)
+        assert layers == skyline_layers(pts)
+
+    @given(points_2d(min_size=1, max_size=10))
+    def test_layers_attribute_matches_module(self, pts):
+        from repro.skyline.layers import skyline_layers
+
+        assert DirectedSkylineGraph(pts).layers == skyline_layers(pts)

@@ -1,0 +1,116 @@
+"""Cross-module edge cases that no single module's suite owns."""
+
+import pytest
+
+from repro.diagram import (
+    dynamic_scanning,
+    global_diagram,
+    quadrant_scanning,
+    quadrant_sweeping,
+)
+from repro.diagram.skyband import skyband_sweep
+from repro.geometry.subcell import SubcellGrid
+from repro.index.engine import SkylineDatabase
+from repro.index.serialize import diagram_from_json, diagram_to_json
+
+
+class TestSinglePoint:
+    """n = 1 exercises every boundary branch at once."""
+
+    def test_all_quadrant_structures(self):
+        diagram = quadrant_scanning([(5, 5)])
+        assert diagram.query((0, 0)) == (0,)
+        assert diagram.query((6, 6)) == ()
+        sweep = quadrant_sweeping([(5, 5)])
+        assert sweep.num_regions == 2
+
+    def test_global_sees_the_point_everywhere(self):
+        diagram = global_diagram([(5, 5)])
+        for cell, result in diagram.cells():
+            assert result == (0,)
+
+    def test_dynamic_sees_the_point_everywhere(self):
+        diagram = dynamic_scanning([(5, 5)])
+        for _, result in diagram.cells():
+            assert result == (0,)
+
+    def test_subcell_grid_of_one_point(self):
+        sg = SubcellGrid([(5, 5)])
+        # One point: its own lines only (the self-bisector coincides).
+        assert sg.axes == ((5.0,), (5.0,))
+        assert sg.num_subcells == 4
+
+    def test_skyband_k_equals_n(self):
+        diagram = skyband_sweep([(5, 5)], k=1)
+        assert diagram.query((0, 0)) == (0,)
+
+
+class TestAllPointsIdentical:
+    def test_quadrant(self):
+        diagram = quadrant_scanning([(3, 3)] * 4)
+        assert diagram.query((0, 0)) == (0, 1, 2, 3)
+        assert diagram.query((4, 4)) == ()
+
+    def test_dynamic(self):
+        diagram = dynamic_scanning([(3, 3)] * 3)
+        for _, result in diagram.cells():
+            assert result == (0, 1, 2)
+
+    def test_global(self):
+        diagram = global_diagram([(3, 3)] * 2)
+        for _, result in diagram.cells():
+            assert result == (0, 1)
+
+
+class TestCollinearPoints:
+    def test_all_on_one_vertical_line(self):
+        diagram = quadrant_scanning([(5, 1), (5, 4), (5, 9)])
+        # Only the lowest survives wherever all are candidates.
+        assert diagram.query((0, 0)) == (0,)
+        assert diagram.query((0, 2)) == (1,)
+        assert diagram.query((0, 5)) == (2,)
+
+    def test_all_on_one_horizontal_line(self):
+        diagram = quadrant_scanning([(1, 5), (4, 5), (9, 5)])
+        assert diagram.query((0, 0)) == (0,)
+        assert diagram.query((2, 0)) == (1,)
+
+    def test_sweeping_handles_collinear(self):
+        sweep = quadrant_sweeping([(5, 1), (5, 4), (5, 9)])
+        scanning = quadrant_scanning([(5, 1), (5, 4), (5, 9)])
+        assert sweep.num_regions == len(scanning.polyominos())
+
+    def test_diagonal_chain(self):
+        diagram = quadrant_scanning([(i, i) for i in range(1, 6)])
+        for i in range(5):
+            probe = (i + 0.5, i + 0.5)
+            assert diagram.query(probe) == (i,)
+
+
+class TestSerializationOfVariants:
+    def test_skyband_serializes_as_plain_diagram(self):
+        diagram = skyband_sweep([(1, 1), (2, 2)], k=2)
+        restored = diagram_from_json(diagram_to_json(diagram))
+        assert dict(restored.cells()) == dict(diagram.cells())
+
+    def test_negative_coordinates_round_trip(self):
+        diagram = quadrant_scanning([(-5, -1), (-2, -8)])
+        restored = diagram_from_json(diagram_to_json(diagram))
+        assert restored == diagram
+        assert restored.query((-10, -10)) == diagram.query((-10, -10))
+
+
+class TestEngineBatch:
+    def test_query_many_dynamic(self):
+        db = SkylineDatabase([(0, 0), (10, 10)])
+        queries = [(1, 1), (9, 9), (4, 6)]
+        assert db.query_many(queries, kind="dynamic") == [
+            db.query(q, kind="dynamic") for q in queries
+        ]
+
+    def test_query_many_unknown_kind(self):
+        from repro.errors import QueryError
+
+        db = SkylineDatabase([(0, 0)])
+        with pytest.raises(QueryError):
+            db.query_many([(1, 1)], kind="bogus")

@@ -1,0 +1,157 @@
+"""Tests for the SkylineDatabase query engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.index.engine import SkylineDatabase
+from repro.skyline.queries import dynamic_skyline, global_skyline, quadrant_skyline
+
+from tests.conftest import points_2d
+
+
+class TestConstruction:
+    def test_lazy_by_default(self, staircase):
+        db = SkylineDatabase(staircase)
+        assert db._global is None
+        assert db._dynamic is None
+
+    def test_precompute(self, staircase):
+        db = SkylineDatabase(staircase, precompute=["global", "dynamic"])
+        assert db._global is not None
+        assert db._dynamic is not None
+
+    def test_precompute_validates_kind(self, staircase):
+        with pytest.raises(QueryError):
+            SkylineDatabase(staircase, precompute=["bogus"])
+
+    def test_diagrams_are_cached(self, staircase):
+        db = SkylineDatabase(staircase)
+        assert db.global_diagram() is db.global_diagram()
+        assert db.dynamic_diagram() is db.dynamic_diagram()
+        assert db.quadrant_diagram(2) is db.quadrant_diagram(2)
+
+    def test_repr(self, staircase):
+        assert "n=3" in repr(SkylineDatabase(staircase))
+
+
+class TestQueries:
+    def test_kind_dispatch(self, staircase):
+        db = SkylineDatabase(staircase)
+        q = (4, 3)
+        assert db.query(q, kind="quadrant") == quadrant_skyline(staircase, q)
+        assert db.query(q, kind="global") == global_skyline(staircase, q)
+        assert db.query(q, kind="dynamic") == dynamic_skyline(staircase, q)
+
+    def test_quadrant_masks(self, staircase):
+        db = SkylineDatabase(staircase)
+        q = (4, 3)
+        for mask in range(4):
+            assert db.query(q, kind="quadrant", mask=mask) == quadrant_skyline(
+                staircase, q, mask
+            )
+
+    def test_unknown_kind(self, staircase):
+        db = SkylineDatabase(staircase)
+        with pytest.raises(QueryError):
+            db.query((1, 1), kind="bogus")
+        with pytest.raises(QueryError):
+            db.query_from_scratch((1, 1), kind="bogus")
+
+    def test_query_many(self, staircase):
+        db = SkylineDatabase(staircase)
+        queries = [(0, 0), (4, 3), (100, 100)]
+        assert db.query_many(queries, kind="quadrant") == [
+            db.query(q, kind="quadrant") for q in queries
+        ]
+
+    @given(
+        points_2d(max_size=8),
+        st.tuples(st.floats(-1, 9), st.floats(-1, 9)),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lookup_equals_from_scratch_for_quadrant(self, pts, q):
+        db = SkylineDatabase(pts)
+        assert db.query(q, kind="quadrant") == db.query_from_scratch(
+            q, kind="quadrant"
+        )
+
+    @given(
+        points_2d(max_size=6),
+        st.tuples(st.floats(-1, 9), st.floats(-1, 9)),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_exact_lookup_equals_from_scratch_for_dynamic(self, pts, q):
+        db = SkylineDatabase(pts)
+        assert db.query_exact(q, kind="dynamic") == db.query_from_scratch(
+            q, kind="dynamic"
+        )
+
+
+class TestBoundaryFallback:
+    def test_query_exact_on_bisector_recomputes(self):
+        # Query exactly on the bisector of 0 and 10: mapped coordinates tie,
+        # so both points are undominated under Definition 2.
+        db = SkylineDatabase([(0, 0), (10, 10)])
+        assert db.query_exact((5, 5), kind="dynamic") == (0, 1)
+
+    def test_plain_query_uses_lower_side_convention(self):
+        db = SkylineDatabase([(0, 0), (10, 10)])
+        # The lower-side subcell of (5, 5) is nearer to point 0.
+        assert db.query((5, 5), kind="dynamic") == (0,)
+
+    def test_query_exact_off_boundary_matches_query(self, staircase):
+        db = SkylineDatabase(staircase)
+        assert db.query_exact((4.5, 3.5), kind="dynamic") == db.query(
+            (4.5, 3.5), kind="dynamic"
+        )
+
+
+class TestHigherDimensions:
+    def test_quadrant_and_global_in_3d(self):
+        pts = [(1, 1, 1), (2, 2, 2), (1, 3, 2)]
+        db = SkylineDatabase(pts)
+        q = (0, 0, 0)
+        assert db.query(q, kind="quadrant") == quadrant_skyline(pts, q)
+        assert db.query(q, kind="global") == global_skyline(pts, q)
+
+    def test_3d_masks(self):
+        pts = [(1, 1, 1), (5, 5, 5)]
+        db = SkylineDatabase(pts)
+        q = (3, 3, 3)
+        for mask in range(8):
+            assert db.query(q, kind="quadrant", mask=mask) == quadrant_skyline(
+                pts, q, mask
+            )
+
+    def test_dynamic_rejects_3d(self):
+        from repro.errors import DimensionalityError
+
+        db = SkylineDatabase([(1, 1, 1)])
+        with pytest.raises(DimensionalityError):
+            db.query((0, 0, 0), kind="dynamic")
+
+
+class TestSkybandQueries:
+    def test_skyband_k1_matches_quadrant(self, staircase):
+        db = SkylineDatabase(staircase)
+        q = (0, 0)
+        assert db.skyband(q, 1) == db.query(q, kind="quadrant")
+
+    def test_skyband_grows_with_k(self):
+        db = SkylineDatabase([(1, 1), (2, 2), (3, 3)])
+        assert db.skyband((0, 0), 2) == (0, 1)
+        assert db.skyband((0, 0), 3) == (0, 1, 2)
+
+    def test_skyband_diagrams_cached_per_k(self, staircase):
+        db = SkylineDatabase(staircase)
+        assert db.skyband_diagram(2) is db.skyband_diagram(2)
+        assert db.skyband_diagram(1) is not db.skyband_diagram(2)
+
+    def test_skyband_rejects_3d(self):
+        from repro.errors import DimensionalityError
+
+        db = SkylineDatabase([(1, 1, 1)])
+        with pytest.raises(DimensionalityError):
+            db.skyband((0, 0, 0), 2)

@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    DatasetError,
+    DimensionalityError,
+    ProtocolError,
+    QueryError,
+    SerializationError,
+    SkylineDiagramError,
+)
+
+ALL_ERRORS = [
+    AuthenticationError,
+    DatasetError,
+    DimensionalityError,
+    ProtocolError,
+    QueryError,
+    SerializationError,
+]
+
+
+@pytest.mark.parametrize("error", ALL_ERRORS)
+def test_all_derive_from_base(error):
+    assert issubclass(error, SkylineDiagramError)
+    assert issubclass(error, Exception)
+
+
+def test_one_except_clause_catches_library_failures():
+    with pytest.raises(SkylineDiagramError):
+        raise DatasetError("bad input")
+
+
+def test_errors_carry_messages():
+    try:
+        raise QueryError("query has 3 dimensions")
+    except SkylineDiagramError as exc:
+        assert "3 dimensions" in str(exc)

@@ -1,0 +1,30 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are executable documentation; each one also carries internal
+assertions (e.g. the PIR example checks private answers against public
+lookups), so "runs without error" is a meaningful check.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)  # examples may write output files
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_example_directory_has_quickstart():
+    assert any(p.name == "quickstart.py" for p in EXAMPLES)
+    assert len(EXAMPLES) >= 3

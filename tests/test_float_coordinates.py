@@ -1,0 +1,68 @@
+"""Property tests with non-integer coordinates.
+
+Most of the suite uses tie-heavy small integers; these tests exercise the
+same invariants with fractional coordinates (quarter-steps, so midpoints
+and representatives remain exactly representable — adjacent-ulp floats
+have no representable point strictly between them, which is outside any
+grid structure's contract).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.quadrant_baseline import quadrant_baseline
+from repro.diagram.quadrant_dsg import quadrant_dsg
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.skyline.algorithms import skyline_brute, skyline_sort_2d
+from repro.skyline.queries import dynamic_skyline, quadrant_skyline
+
+fractional = st.integers(-20, 20).map(lambda v: v / 4.0)
+float_points = st.lists(
+    st.tuples(fractional, fractional), min_size=1, max_size=10
+)
+
+
+class TestSkylineWithFloats:
+    @given(float_points)
+    def test_sort_scan_matches_brute(self, pts):
+        assert skyline_sort_2d(pts) == skyline_brute(pts)
+
+    @given(float_points)
+    def test_negative_coordinates_supported(self, pts):
+        shifted = [(x - 100.0, y - 100.0) for x, y in pts]
+        assert skyline_brute(shifted) == skyline_brute(pts)
+
+
+class TestDiagramsWithFloats:
+    @given(float_points)
+    @settings(max_examples=40)
+    def test_three_algorithms_agree(self, pts):
+        reference = quadrant_baseline(pts)
+        assert quadrant_dsg(pts) == reference
+        assert quadrant_scanning(pts) == reference
+
+    @given(float_points)
+    @settings(max_examples=30)
+    def test_cells_match_ground_truth(self, pts):
+        diagram = quadrant_scanning(pts)
+        for cell, result in diagram.cells():
+            representative = diagram.grid.representative(cell)
+            assert result == quadrant_skyline(pts, representative)
+
+    @given(st.lists(st.tuples(fractional, fractional), min_size=1, max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_dynamic_diagram_matches_ground_truth(self, pts):
+        diagram = dynamic_scanning(pts)
+        for subcell, result in diagram.cells():
+            representative = diagram.subcells.representative(subcell)
+            assert result == dynamic_skyline(pts, representative)
+
+    @given(
+        float_points,
+        st.tuples(fractional, fractional),
+    )
+    @settings(max_examples=30)
+    def test_queries_with_float_query_points(self, pts, q):
+        diagram = quadrant_scanning(pts)
+        assert diagram.query(q) == quadrant_skyline(pts, q)

@@ -1,0 +1,149 @@
+"""Tests for global diagrams and the three dynamic-diagram algorithms."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.diagram.dynamic_baseline import dynamic_baseline
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.dynamic_subset import dynamic_subset
+from repro.diagram.global_diagram import global_diagram, quadrant_diagram_for_mask
+from repro.diagram.quadrant_baseline import quadrant_baseline
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.skyline.queries import dynamic_skyline, global_skyline, quadrant_skyline
+
+from tests.conftest import points_2d
+
+DYNAMIC = [dynamic_baseline, dynamic_subset, dynamic_scanning]
+
+
+@pytest.fixture(params=DYNAMIC, ids=["baseline", "subset", "scanning"])
+def dynamic_algorithm(request):
+    return request.param
+
+
+class TestQuadrantOrientations:
+    @given(points_2d(max_size=8))
+    @settings(max_examples=30)
+    def test_reflected_diagrams_match_ground_truth(self, pts):
+        for mask in range(4):
+            diagram = quadrant_diagram_for_mask(pts, mask, quadrant_scanning)
+            assert diagram.mask == mask
+            for cell, result in diagram.cells():
+                representative = diagram.grid.representative(cell)
+                assert result == quadrant_skyline(pts, representative, mask)
+
+    def test_mask_zero_is_plain_first_quadrant(self, staircase):
+        direct = quadrant_scanning(staircase)
+        via_mask = quadrant_diagram_for_mask(staircase, 0, quadrant_scanning)
+        assert direct == via_mask
+
+    def test_reflected_grid_shares_axes(self, staircase):
+        diagram = quadrant_diagram_for_mask(staircase, 3, quadrant_scanning)
+        assert diagram.grid.axes == quadrant_scanning(staircase).grid.axes
+
+
+class TestGlobalDiagram:
+    def test_kind(self, staircase):
+        assert global_diagram(staircase).kind == "global"
+
+    def test_accepts_custom_algorithm(self, staircase):
+        assert global_diagram(staircase, quadrant_baseline) == global_diagram(
+            staircase, quadrant_scanning
+        )
+
+    @given(points_2d(max_size=8))
+    @settings(max_examples=30)
+    def test_cells_match_from_scratch_evaluation(self, pts):
+        diagram = global_diagram(pts)
+        for cell, result in diagram.cells():
+            representative = diagram.grid.representative(cell)
+            assert result == global_skyline(pts, representative)
+
+    @given(points_2d(max_size=8))
+    @settings(max_examples=30)
+    def test_every_point_is_global_skyline_of_its_own_cells(self, pts):
+        """Near any point there is a region where it is in the result."""
+        diagram = global_diagram(pts)
+        for cell, result in diagram.cells():
+            assert result, "global skyline is never empty on a nonempty set"
+
+    def test_quadrant_results_are_disjoint_per_cell(self, staircase):
+        diagram = global_diagram(staircase)
+        quadrants = [
+            quadrant_diagram_for_mask(staircase, mask, quadrant_scanning)
+            for mask in range(4)
+        ]
+        for cell, result in diagram.cells():
+            parts = [q.result_at(cell) for q in quadrants]
+            flat = [pid for part in parts for pid in part]
+            assert sorted(flat) == list(result)
+            assert len(set(flat)) == len(flat)
+
+
+class TestDynamicDiagrams:
+    def test_two_point_symmetry(self, dynamic_algorithm):
+        diagram = dynamic_algorithm([(0, 0), (10, 10)])
+        assert diagram.query((1, 1)) == (0,)
+        assert diagram.query((9, 9)) == (1,)
+        assert diagram.query((4, 6)) == (0, 1)
+
+    def test_single_point_everywhere(self, dynamic_algorithm):
+        diagram = dynamic_algorithm([(5, 5)])
+        for subcell, result in diagram.cells():
+            assert result == (0,)
+
+    @given(points_2d(max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_from_scratch_evaluation(self, pts):
+        for build in DYNAMIC:
+            diagram = build(pts)
+            for subcell, result in diagram.cells():
+                representative = diagram.subcells.representative(subcell)
+                assert result == dynamic_skyline(pts, representative)
+
+    @given(points_2d(max_size=7))
+    @settings(max_examples=25, deadline=None)
+    def test_three_algorithms_agree(self, pts):
+        reference = dynamic_baseline(pts)
+        assert dynamic_subset(pts) == reference
+        assert dynamic_scanning(pts) == reference
+
+    @given(points_2d(max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_dynamic_subset_of_global_per_subcell(self, pts):
+        dynamic = dynamic_scanning(pts)
+        coarse = global_diagram(pts)
+        for subcell, result in dynamic.cells():
+            cell = dynamic.subcells.containing_cell(subcell)
+            assert set(result) <= set(coarse.result_at(cell))
+
+    def test_subset_accepts_custom_quadrant_algorithm(self):
+        pts = [(0, 0), (4, 2), (2, 4)]
+        assert dynamic_subset(pts, quadrant_baseline) == dynamic_baseline(pts)
+
+    def test_equality_semantics(self):
+        pts = [(0, 0), (6, 4)]
+        assert dynamic_baseline(pts) == dynamic_scanning(pts)
+        assert dynamic_baseline(pts) != dynamic_baseline([(1, 1)])
+        assert dynamic_baseline(pts) != object()
+
+    def test_result_count_validation(self):
+        from repro.diagram.base import DynamicDiagram
+        from repro.geometry.subcell import SubcellGrid
+
+        subcells = SubcellGrid([(0, 0), (4, 4)])
+        with pytest.raises(ValueError, match="subcell results"):
+            DynamicDiagram(subcells, {(0, 0): ()})
+
+    def test_query_points(self):
+        diagram = dynamic_scanning([(0, 0), (10, 10)])
+        assert diagram.query_points((1, 1)) == [(0.0, 0.0)]
+
+    def test_repr(self):
+        assert "scanning" in repr(dynamic_scanning([(0, 0)]))
+
+    def test_polyominos_merge_subcells(self):
+        diagram = dynamic_scanning([(0, 0), (10, 10)])
+        polys = diagram.polyominos()
+        covered = {cell for poly in polys for cell in poly.cells}
+        assert covered == set(diagram.subcells.subcells())

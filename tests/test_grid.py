@@ -1,0 +1,127 @@
+"""Unit and property tests for the skyline-cell grid."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import QueryError
+from repro.geometry.grid import Grid
+
+from tests.conftest import points_2d, points_nd
+
+
+class TestCompression:
+    def test_tied_coordinates_share_a_line(self):
+        grid = Grid([(1, 5), (1, 7), (3, 5)])
+        assert grid.axes == ((1.0, 3.0), (5.0, 7.0))
+        assert grid.shape == (3, 3)
+
+    def test_ranks_are_one_based(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.rank_of(0) == (1, 1)
+        assert grid.rank_of(1) == (2, 2)
+
+    def test_num_cells(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.num_cells == 9
+        assert len(list(grid.cells())) == 9
+
+    def test_2d_axis_aliases(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.xs == (1.0, 3.0)
+        assert grid.ys == (5.0, 7.0)
+
+
+class TestCorners:
+    def test_point_at_corner(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.corner_points((1, 1)) == (0,)
+        assert grid.corner_points((2, 2)) == (1,)
+
+    def test_empty_corner(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.corner_points((1, 2)) == ()
+
+    def test_duplicate_points_share_a_corner(self):
+        grid = Grid([(1, 5), (1, 5)])
+        assert grid.corner_points((1, 1)) == (0, 1)
+
+    def test_corner_value(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.corner_value((2, 1)) == (3.0, 5.0)
+        assert grid.corner_value((0, 1)) == (float("-inf"), 5.0)
+
+
+class TestLocation:
+    def test_interior_point(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.locate((2, 6)) == (1, 1)
+
+    def test_before_all_lines(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.locate((0, 0)) == (0, 0)
+
+    def test_after_all_lines(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.locate((99, 99)) == (2, 2)
+
+    def test_boundary_assigned_to_lower_cell(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.locate((3, 5)) == (1, 0)
+
+    def test_rejects_wrong_dimensionality(self):
+        grid = Grid([(1, 5)])
+        with pytest.raises(QueryError):
+            grid.locate((1, 2, 3))
+
+
+class TestRepresentatives:
+    def test_interior_cell(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.representative((1, 1)) == (2.0, 6.0)
+
+    def test_outer_cells_extend_beyond(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.representative((0, 0)) == (0.0, 4.0)
+        assert grid.representative((2, 2)) == (4.0, 8.0)
+
+    def test_rejects_out_of_range(self):
+        grid = Grid([(1, 5)])
+        with pytest.raises(QueryError):
+            grid.representative((5, 0))
+
+    @given(points_2d())
+    def test_representative_locates_to_its_cell(self, pts):
+        grid = Grid(pts)
+        for cell in grid.cells():
+            assert grid.locate(grid.representative(cell)) == cell
+
+    @given(points_nd(3, max_size=5))
+    def test_representative_locates_to_its_cell_3d(self, pts):
+        grid = Grid(pts)
+        for cell in grid.cells():
+            assert grid.locate(grid.representative(cell)) == cell
+
+
+class TestCellBounds:
+    def test_interior(self):
+        grid = Grid([(1, 5), (3, 7)])
+        lo, hi = grid.cell_bounds((1, 1))
+        assert lo == (1.0, 5.0)
+        assert hi == (3.0, 7.0)
+
+    def test_unbounded_edges(self):
+        grid = Grid([(1, 5)])
+        lo, hi = grid.cell_bounds((0, 1))
+        assert lo == (float("-inf"), 5.0)
+        assert hi == (1.0, float("inf"))
+
+    @given(points_2d())
+    def test_every_point_rank_matches_axis_value(self, pts):
+        grid = Grid(pts)
+        for pid, p in enumerate(grid.dataset):
+            rx, ry = grid.rank_of(pid)
+            assert grid.xs[rx - 1] == p[0]
+            assert grid.ys[ry - 1] == p[1]
+
+    def test_repr(self):
+        assert "lines=2x2" in repr(Grid([(1, 5), (3, 7)]))

@@ -1,0 +1,98 @@
+"""Tests for the d-dimensional diagram constructions (Sec. IV.E)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diagram.global_diagram import global_diagram
+from repro.diagram.highdim import (
+    dynamic_baseline_nd,
+    quadrant_baseline_nd,
+    quadrant_dsg_nd,
+    quadrant_scanning_nd,
+)
+from repro.diagram.quadrant_baseline import quadrant_baseline
+from repro.skyline.queries import dynamic_skyline, global_skyline, quadrant_skyline
+
+from tests.conftest import points_2d, points_nd
+
+
+class TestAgainst2D:
+    @given(points_2d(max_size=10))
+    @settings(max_examples=30)
+    def test_nd_baseline_reduces_to_2d(self, pts):
+        assert quadrant_baseline_nd(pts) == quadrant_baseline(pts)
+
+    @given(points_2d(max_size=10))
+    @settings(max_examples=30)
+    def test_nd_scanning_reduces_to_2d(self, pts):
+        assert quadrant_scanning_nd(pts) == quadrant_baseline(pts)
+
+    @given(points_2d(max_size=10))
+    @settings(max_examples=30)
+    def test_nd_dsg_reduces_to_2d(self, pts):
+        assert quadrant_dsg_nd(pts) == quadrant_baseline(pts)
+
+
+class TestThreeDimensions:
+    def test_chain(self):
+        diagram = quadrant_baseline_nd([(1, 1, 1), (2, 2, 2)])
+        assert diagram.result_at((0, 0, 0)) == (0,)
+        assert diagram.result_at((1, 1, 1)) == (1,)
+        assert diagram.result_at((2, 2, 2)) == ()
+
+    @given(points_nd(3, max_size=7))
+    @settings(max_examples=30, deadline=None)
+    def test_three_algorithms_agree_3d(self, pts):
+        reference = quadrant_baseline_nd(pts)
+        assert quadrant_dsg_nd(pts) == reference
+        assert quadrant_scanning_nd(pts) == reference
+
+    @given(points_nd(3, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_cells_match_from_scratch_3d(self, pts):
+        diagram = quadrant_baseline_nd(pts)
+        for cell, result in diagram.cells():
+            representative = diagram.grid.representative(cell)
+            assert result == quadrant_skyline(pts, representative)
+
+    @given(points_nd(4, max_size=5))
+    @settings(max_examples=10, deadline=None)
+    def test_three_algorithms_agree_4d(self, pts):
+        reference = quadrant_baseline_nd(pts)
+        assert quadrant_dsg_nd(pts) == reference
+        assert quadrant_scanning_nd(pts) == reference
+
+    @given(points_nd(3, max_size=5))
+    @settings(max_examples=10, deadline=None)
+    def test_global_diagram_3d(self, pts):
+        diagram = global_diagram(pts, quadrant_scanning_nd)
+        for cell, result in diagram.cells():
+            representative = diagram.grid.representative(cell)
+            assert result == global_skyline(pts, representative)
+
+
+class TestDynamicND:
+    def test_two_point_3d(self):
+        diagram = dynamic_baseline_nd([(0, 0, 0), (8, 8, 8)])
+        assert diagram.query((1, 1, 1)) == (0,)
+        assert diagram.query((7, 7, 7)) == (1,)
+
+    @given(points_nd(3, max_size=3, coordinate=st.integers(0, 4)))
+    @settings(max_examples=10, deadline=None)
+    def test_matches_from_scratch(self, pts):
+        diagram = dynamic_baseline_nd(pts)
+        for subcell, result in diagram._results.items():
+            # Recompute the representative the same way the builder did.
+            rep = []
+            for d, i in enumerate(subcell):
+                axis = diagram.axes[d]
+                if i == 0:
+                    rep.append(axis[0] - 1.0)
+                elif i == len(axis):
+                    rep.append(axis[-1] + 1.0)
+                else:
+                    rep.append((axis[i - 1] + axis[i]) / 2.0)
+            assert result == dynamic_skyline(pts, tuple(rep))
+
+    def test_repr(self):
+        assert "dim=3" in repr(dynamic_baseline_nd([(0, 0, 0)]))

@@ -1,0 +1,127 @@
+"""Integration tests: the paper's running example, end to end.
+
+A hotel dataset (Fig. 1 style: distance to downtown vs price) exercised
+through the full pipeline — all three query semantics, every construction
+algorithm, serialization, the query engine and the applications — with the
+figures' qualitative facts asserted along the way.
+"""
+
+from repro.applications.authentication import (
+    AuthenticatedSkylineClient,
+    AuthenticatedSkylineServer,
+    DiagramSigner,
+)
+from repro.applications.continuous import continuous_skyline
+from repro.applications.pir import PirServer, PrivateSkylineClient, diagram_database
+from repro.applications.reverse_skyline import (
+    reverse_skyline,
+    reverse_skyline_brute,
+)
+from repro.diagram import (
+    dynamic_scanning,
+    global_diagram,
+    quadrant_baseline,
+    quadrant_dsg,
+    quadrant_scanning,
+    quadrant_sweeping,
+)
+from repro.index.engine import SkylineDatabase
+from repro.index.serialize import diagram_from_json, diagram_to_json
+from repro.skyline.queries import dynamic_skyline, global_skyline, quadrant_skyline
+
+
+class TestHotelScenario:
+    def test_skyline_is_the_cheap_or_close_staircase(self, paper_like_hotels):
+        from repro.skyline.algorithms import skyline_brute
+
+        sky = skyline_brute(paper_like_hotels)
+        # The seven staircase hotels are all on the skyline; the four
+        # dominated ones (worse on both axes) are not.
+        assert sky == (0, 1, 2, 3, 4, 5, 6)
+
+    def test_query_semantics_nest(self, paper_like_hotels):
+        q = (10, 40)
+        dynamic = set(dynamic_skyline(paper_like_hotels, q))
+        global_ = set(global_skyline(paper_like_hotels, q))
+        quadrant = set(quadrant_skyline(paper_like_hotels, q))
+        assert dynamic <= global_
+        assert quadrant <= global_
+
+    def test_all_algorithms_agree_on_hotels(self, paper_like_hotels):
+        reference = quadrant_baseline(paper_like_hotels)
+        assert quadrant_dsg(paper_like_hotels) == reference
+        assert quadrant_scanning(paper_like_hotels) == reference
+        sweep = quadrant_sweeping(paper_like_hotels)
+        assert sweep.num_regions == len(reference.polyominos())
+
+    def test_database_round_trip_and_queries(self, paper_like_hotels, tmp_path):
+        diagram = quadrant_scanning(paper_like_hotels)
+        path = tmp_path / "hotels.json"
+        path.write_text(diagram_to_json(diagram))
+        restored = diagram_from_json(path.read_text())
+        q = (10, 40)
+        assert restored.query(q) == quadrant_skyline(paper_like_hotels, q)
+
+    def test_engine_matches_direct_evaluation_everywhere(
+        self, paper_like_hotels
+    ):
+        db = SkylineDatabase(paper_like_hotels)
+        for q in [(0, 0), (10, 40), (5, 100), (25, 5), (12, 24)]:
+            for kind in ("quadrant", "global", "dynamic"):
+                assert db.query_exact(q, kind=kind) == db.query_from_scratch(
+                    q, kind=kind
+                )
+
+
+class TestApplicationsPipeline:
+    def test_outsourced_authentication(self, paper_like_hotels):
+        diagram = quadrant_scanning(paper_like_hotels)
+        signer = DiagramSigner(diagram, b"hotel-owner-key")
+        server = AuthenticatedSkylineServer(signer)
+        client = AuthenticatedSkylineClient(
+            diagram.grid.axes, signer.signed_root(), b"hotel-owner-key"
+        )
+        q = (10, 40)
+        assert client.verify(q, server.answer(q)) == diagram.query(q)
+
+    def test_private_queries(self, paper_like_hotels):
+        diagram = quadrant_scanning(paper_like_hotels)
+        db = diagram_database(diagram)
+        client = PrivateSkylineClient(diagram.grid.axes, diagram.grid.shape)
+        assert client.query(
+            (10, 40), PirServer(db), PirServer(db)
+        ) == diagram.query((10, 40))
+
+    def test_reverse_skyline_consistency(self, paper_like_hotels):
+        q = (10, 40)
+        diagram = global_diagram(paper_like_hotels)
+        assert reverse_skyline(
+            paper_like_hotels, q, diagram=diagram
+        ) == reverse_skyline_brute(paper_like_hotels, q)
+
+    def test_commuter_timeline(self, paper_like_hotels):
+        # A commuter moving from downtown outwards watches the dynamic
+        # skyline change at bisector crossings only.
+        diagram = dynamic_scanning(
+            [tuple(p) for p in list(paper_like_hotels)[:5]]
+        )
+        timeline = continuous_skyline(diagram, (1, 20), (21, 20))
+        assert len(timeline) >= 2
+        for a, b in zip(timeline, timeline[1:]):
+            assert a.t_exit == b.t_enter
+            assert a.result != b.result
+
+
+class TestVoronoiCounterpart:
+    """Fig. 2 vs Fig. 3: both structures answer by point location."""
+
+    def test_counterpart_lookup_consistency(self, paper_like_hotels):
+        from repro.voronoi.diagram import VoronoiDiagram
+        from repro.voronoi.knn import nearest
+
+        pts = [tuple(p) for p in paper_like_hotels]
+        voronoi = VoronoiDiagram(pts)
+        skyline = quadrant_scanning(pts)
+        for q in [(3, 50), (10, 40), (18, 10)]:
+            assert voronoi.locate(q) == nearest(pts, q)
+            assert skyline.query(q) == quadrant_skyline(pts, q)

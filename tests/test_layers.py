@@ -1,0 +1,72 @@
+"""Unit and property tests for skyline layers."""
+
+import pytest
+from hypothesis import given
+
+from repro.geometry.dominance import dominates
+from repro.skyline.algorithms import skyline_brute
+from repro.skyline.layers import skyline_layers, skyline_layers_2d
+
+from tests.conftest import points_2d, points_nd
+
+
+class TestPeeling:
+    def test_chain_gives_singleton_layers(self):
+        assert skyline_layers([(1, 1), (2, 2), (3, 3)]) == [(0,), (1,), (2,)]
+
+    def test_antichain_gives_one_layer(self, staircase):
+        assert skyline_layers(staircase) == [(0, 1, 2)]
+
+    def test_first_layer_is_the_skyline(self):
+        pts = [(1, 4), (2, 2), (4, 1), (3, 3), (5, 5)]
+        assert skyline_layers(pts)[0] == skyline_brute(pts)
+
+    def test_duplicates_stay_on_one_layer(self):
+        assert skyline_layers([(1, 1), (1, 1), (2, 2)]) == [(0, 1), (2,)]
+
+    def test_three_dimensional(self):
+        pts = [(1, 1, 1), (2, 2, 2), (1, 3, 2)]
+        assert skyline_layers(pts) == [(0,), (1, 2)]
+
+
+class TestFastScan:
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            skyline_layers_2d([(1, 2, 3)])
+
+    def test_duplicate_on_later_layer(self):
+        # Duplicates whose layer is decided by an equal-height dominator.
+        pts = [(1, 1), (2, 5), (5, 5), (5, 5)]
+        assert skyline_layers_2d(pts) == skyline_layers(pts)
+
+    @given(points_2d(max_size=18))
+    def test_matches_peeling(self, pts):
+        assert skyline_layers_2d(pts) == skyline_layers(pts)
+
+
+class TestLayerInvariants:
+    @given(points_2d(min_size=1, max_size=15))
+    def test_layers_partition_the_dataset(self, pts):
+        layers = skyline_layers(pts)
+        seen = [i for layer in layers for i in layer]
+        assert sorted(seen) == list(range(len(pts)))
+
+    @given(points_2d(min_size=1, max_size=15))
+    def test_no_dominance_within_a_layer(self, pts):
+        for layer in skyline_layers(pts):
+            for a in layer:
+                for b in layer:
+                    assert not dominates(pts[a], pts[b]) or pts[a] == pts[b]
+
+    @given(points_2d(min_size=1, max_size=15))
+    def test_every_deep_point_dominated_by_previous_layer(self, pts):
+        layers = skyline_layers(pts)
+        for k in range(1, len(layers)):
+            for q in layers[k]:
+                assert any(dominates(pts[p], pts[q]) for p in layers[k - 1])
+
+    @given(points_nd(3, max_size=10))
+    def test_partition_in_3d(self, pts):
+        layers = skyline_layers(pts)
+        seen = [i for layer in layers for i in layer]
+        assert sorted(seen) == list(range(len(pts)))

@@ -1,0 +1,122 @@
+"""Tests for incremental diagram maintenance (insert/delete)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diagram.global_diagram import quadrant_diagram_for_mask
+from repro.diagram.maintenance import delete_point, insert_point
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.errors import QueryError
+
+from tests.conftest import points_2d
+
+coordinate = st.tuples(st.integers(0, 8), st.integers(0, 8))
+
+
+def _same(a, b):
+    return a.grid.axes == b.grid.axes and dict(a.cells()) == dict(b.cells())
+
+
+class TestInsert:
+    def test_new_dominating_point(self):
+        updated = insert_point(quadrant_scanning([(5, 5)]), (2, 2))
+        assert updated.result_at((0, 0)) == (1,)
+        assert updated.result_at((1, 1)) == (0,)
+
+    def test_new_dominated_point_changes_nothing_below(self):
+        updated = insert_point(quadrant_scanning([(2, 2)]), (5, 5))
+        assert updated.result_at((0, 0)) == (0,)
+        assert updated.result_at((1, 1)) == (1,)
+
+    def test_duplicate_point_joins_results(self):
+        updated = insert_point(quadrant_scanning([(3, 3)]), (3, 3))
+        assert updated.result_at((0, 0)) == (0, 1)
+
+    def test_ids_are_appended(self, staircase):
+        updated = insert_point(quadrant_scanning(staircase), (0, 0))
+        assert updated.result_at((0, 0)) == (3,)
+        assert len(updated.grid.dataset) == 4
+
+    def test_rejects_non_quadrant(self, staircase):
+        reflected = quadrant_diagram_for_mask(
+            staircase, 1, quadrant_scanning
+        )
+        with pytest.raises(QueryError):
+            insert_point(reflected, (0, 0))
+
+    @given(points_2d(max_size=9), coordinate)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_full_rebuild(self, pts, newp):
+        updated = insert_point(quadrant_scanning(pts), newp)
+        rebuilt = quadrant_scanning(pts + [newp])
+        assert _same(updated, rebuilt)
+
+    @given(points_2d(max_size=6), st.lists(coordinate, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_chained_inserts(self, pts, additions):
+        diagram = quadrant_scanning(pts)
+        for newp in additions:
+            diagram = insert_point(diagram, newp)
+        assert _same(diagram, quadrant_scanning(pts + additions))
+
+
+class TestDelete:
+    def test_deleting_the_dominator_exposes_points(self):
+        diagram = quadrant_scanning([(1, 1), (2, 3), (3, 2)])
+        updated = delete_point(diagram, 0)
+        assert updated.result_at((0, 0)) == (0, 1)  # old ids 1, 2 remapped
+
+    def test_deleting_a_dominated_point_is_a_projection(self):
+        diagram = quadrant_scanning([(1, 1), (5, 5)])
+        updated = delete_point(diagram, 1)
+        assert updated.result_at((0, 0)) == (0,)
+        assert updated.grid.shape == (2, 2)
+
+    def test_id_remapping(self):
+        diagram = quadrant_scanning([(9, 9), (1, 1), (2, 2)])
+        updated = delete_point(diagram, 0)
+        # Old ids 1, 2 are now 0, 1.
+        assert updated.result_at((0, 0)) == (0,)
+
+    def test_validation(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        with pytest.raises(QueryError):
+            delete_point(diagram, 99)
+        with pytest.raises(QueryError):
+            delete_point(quadrant_scanning([(1, 1)]), 0)
+
+    @given(points_2d(min_size=2, max_size=9), st.integers(0, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_full_rebuild(self, pts, seed):
+        victim = seed % len(pts)
+        updated = delete_point(quadrant_scanning(pts), victim)
+        rebuilt = quadrant_scanning(
+            [q for i, q in enumerate(pts) if i != victim]
+        )
+        assert _same(updated, rebuilt)
+
+    @given(points_2d(min_size=1, max_size=7), coordinate)
+    @settings(max_examples=25, deadline=None)
+    def test_insert_then_delete_is_identity(self, pts, newp):
+        diagram = quadrant_scanning(pts)
+        round_trip = delete_point(insert_point(diagram, newp), len(pts))
+        assert _same(round_trip, diagram)
+
+    def test_chain_of_hidden_points_resurfaces_in_order(self):
+        # p0 hides both p1 and p2, and p1 hides p2: deleting p0 must
+        # resurface p1 only.
+        diagram = quadrant_scanning([(1, 1), (2, 2), (3, 3)])
+        updated = delete_point(diagram, 0)
+        assert updated.result_at((0, 0)) == (0,)
+
+
+class TestSkybandGuard:
+    def test_maintenance_rejects_skyband_diagrams(self):
+        from repro.diagram.skyband import skyband_sweep
+
+        diagram = skyband_sweep([(1, 1), (2, 2)], k=2)
+        with pytest.raises(QueryError, match="skyband"):
+            insert_point(diagram, (0, 0))
+        with pytest.raises(QueryError, match="skyband"):
+            delete_point(diagram, 0)

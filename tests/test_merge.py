@@ -1,0 +1,96 @@
+"""Tests for cell merging into polyominos."""
+
+from hypothesis import given, settings
+
+from repro.diagram.merge import cell_labels, merge_cells, partition_signature
+from repro.diagram.quadrant_scanning import quadrant_scanning
+
+from tests.conftest import points_2d
+
+
+class TestMergeCells:
+    def test_uniform_grid_is_one_polyomino(self):
+        results = {(i, j): (0,) for i in range(3) for j in range(3)}
+        polys = merge_cells((3, 3), results)
+        assert len(polys) == 1
+        assert polys[0].size == 9
+
+    def test_checkerboard_never_merges(self):
+        results = {
+            (i, j): ((i + j) % 2,) for i in range(3) for j in range(3)
+        }
+        polys = merge_cells((3, 3), results)
+        assert len(polys) == 9
+
+    def test_diagonal_adjacency_does_not_merge(self):
+        results = {
+            (0, 0): (1,),
+            (1, 1): (1,),
+            (0, 1): (2,),
+            (1, 0): (3,),
+        }
+        polys = merge_cells((2, 2), results)
+        assert len(polys) == 4
+
+    def test_idents_are_positions(self):
+        results = {(i, 0): (i,) for i in range(4)}
+        polys = merge_cells((4, 1), results)
+        assert [p.ident for p in polys] == [0, 1, 2, 3]
+
+
+class TestInvariants:
+    @given(points_2d(max_size=10))
+    @settings(max_examples=40)
+    def test_polyominos_partition_the_grid(self, pts):
+        diagram = quadrant_scanning(pts)
+        polys = diagram.polyominos()
+        seen: set = set()
+        for poly in polys:
+            assert not (poly.cells & seen)
+            seen |= poly.cells
+        assert seen == set(diagram.grid.cells())
+
+    @given(points_2d(max_size=10))
+    @settings(max_examples=40)
+    def test_cells_of_a_polyomino_share_its_result(self, pts):
+        diagram = quadrant_scanning(pts)
+        for poly in diagram.polyominos():
+            for cell in poly.cells:
+                assert diagram.result_at(cell) == poly.result
+
+    @given(points_2d(max_size=10))
+    @settings(max_examples=40)
+    def test_adjacent_polyominos_have_different_results(self, pts):
+        diagram = quadrant_scanning(pts)
+        labels = cell_labels(diagram.polyominos())
+        polys = diagram.polyominos()
+        for (i, j), ident in labels.items():
+            for neighbour in ((i + 1, j), (i, j + 1)):
+                other = labels.get(neighbour)
+                if other is not None and other != ident:
+                    assert polys[other].result != polys[ident].result
+
+    @given(points_2d(max_size=10))
+    @settings(max_examples=40)
+    def test_maximality_same_result_same_region_when_connected(self, pts):
+        """Definition 4: polyominos are maximal — a neighbouring cell with
+        the same result is always in the same polyomino."""
+        diagram = quadrant_scanning(pts)
+        labels = cell_labels(diagram.polyominos())
+        sx, sy = diagram.grid.shape
+        for i in range(sx):
+            for j in range(sy):
+                if i + 1 < sx and diagram.result_at((i, j)) == diagram.result_at(
+                    (i + 1, j)
+                ):
+                    assert labels[(i, j)] == labels[(i + 1, j)]
+                if j + 1 < sy and diagram.result_at((i, j)) == diagram.result_at(
+                    (i, j + 1)
+                ):
+                    assert labels[(i, j)] == labels[(i, j + 1)]
+
+    def test_partition_signature_ignores_order(self):
+        results = {(0, 0): (1,), (1, 0): (2,)}
+        a = merge_cells((2, 1), results)
+        b = list(reversed(merge_cells((2, 1), results)))
+        assert partition_signature(a) == partition_signature(b)

@@ -1,0 +1,120 @@
+"""Tests for the order-k Voronoi diagram (the analogy's kNN side)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import DimensionalityError, QueryError
+from repro.voronoi.diagram import VoronoiDiagram
+from repro.voronoi.knn import k_nearest
+from repro.voronoi.order_k import OrderKVoronoi, order_k_cell
+
+BBOX = (0.0, 0.0, 10.0, 10.0)
+
+
+def _inside(polygon, q, tol=1e-7):
+    m = len(polygon)
+    for k in range(m):
+        x0, y0 = polygon[k]
+        x1, y1 = polygon[(k + 1) % m]
+        if (x1 - x0) * (q[1] - y0) - (y1 - y0) * (q[0] - x0) < -tol:
+            return False
+    return True
+
+
+@pytest.fixture
+def sites():
+    rng = random.Random(31)
+    return [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(7)]
+
+
+class TestOrderKCell:
+    def test_triangle_pairs(self):
+        pts = [(0, 0), (10, 0), (5, 9)]
+        for pair in ([0, 1], [0, 2], [1, 2]):
+            assert len(order_k_cell(pts, pair, (0, 0, 10, 9))) >= 3
+
+    def test_far_pair_has_empty_cell(self):
+        # The two extreme sites are never simultaneously the 2 nearest.
+        pts = [(0, 5), (5, 5), (10, 5), (5.1, 5.1)]
+        assert order_k_cell(pts, [0, 2], BBOX) == []
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DimensionalityError):
+            order_k_cell([(1, 2, 3)], [0], (0, 0, 1, 1))
+
+
+class TestOrderKVoronoi:
+    def test_k1_matches_ordinary_voronoi(self, sites):
+        order1 = OrderKVoronoi(sites, 1, BBOX)
+        ordinary = VoronoiDiagram(sites, bbox=BBOX)
+        assert len(order1.cells) == len(
+            [c for c in ordinary.cells if len(c) >= 3]
+        )
+        for (site,), polygon in order1.cells.items():
+            assert math.isclose(
+                ordinary.cell_area(site),
+                abs(_area(polygon)),
+                rel_tol=1e-6,
+            )
+
+    def test_cells_tile_the_box(self, sites):
+        for k in (1, 2, 3):
+            diagram = OrderKVoronoi(sites, k, BBOX)
+            assert math.isclose(diagram.total_area(), 100.0, rel_tol=1e-6)
+
+    def test_sampled_points_land_in_their_cell(self, sites):
+        rng = random.Random(8)
+        diagram = OrderKVoronoi(sites, 2, BBOX)
+        for _ in range(200):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            label = diagram.locate(q)
+            assert label in diagram.cells
+            assert _inside(diagram.cells[label], q)
+
+    def test_locate_is_knn(self, sites):
+        diagram = OrderKVoronoi(sites, 3, BBOX)
+        q = (4.0, 4.0)
+        assert diagram.locate(q) == tuple(sorted(k_nearest(sites, q, 3)))
+
+    def test_k_bounds(self, sites):
+        with pytest.raises(QueryError):
+            OrderKVoronoi(sites, 0, BBOX)
+        with pytest.raises(QueryError):
+            OrderKVoronoi(sites, len(sites) + 1, BBOX)
+
+    def test_k_equal_n_is_one_cell(self, sites):
+        diagram = OrderKVoronoi(sites, len(sites), BBOX)
+        assert len(diagram.cells) == 1
+
+    def test_repr(self, sites):
+        assert "k=2" in repr(OrderKVoronoi(sites, 2, BBOX))
+
+
+class TestAnalogy:
+    """k-th order Voronoi : kNN  ::  k-skyband diagram : skybands."""
+
+    def test_both_structures_answer_by_point_location(self, sites):
+        from repro.diagram.skyband import skyband_sweep
+        from repro.skyline.queries import quadrant_skyband
+
+        order2 = OrderKVoronoi(sites, 2, BBOX)
+        skyband2 = skyband_sweep(sites, 2)
+        rng = random.Random(3)
+        for _ in range(40):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            assert order2.locate(q) == tuple(
+                sorted(k_nearest(sites, q, 2))
+            )
+            assert skyband2.query(q) == quadrant_skyband(sites, q, 2)
+
+
+def _area(polygon):
+    total = 0.0
+    m = len(polygon)
+    for k in range(m):
+        x0, y0 = polygon[k]
+        x1, y1 = polygon[(k + 1) % m]
+        total += x0 * y1 - x1 * y0
+    return total / 2.0

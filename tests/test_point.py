@@ -1,0 +1,112 @@
+"""Unit tests for the point/dataset model."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.geometry.point import Dataset, as_point, ensure_dataset
+
+
+class TestAsPoint:
+    def test_coerces_ints_to_floats(self):
+        assert as_point([1, 2]) == (1.0, 2.0)
+
+    def test_accepts_any_iterable(self):
+        assert as_point(iter([3, 4])) == (3.0, 4.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            as_point([])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(DatasetError):
+            as_point(["a", "b"])
+
+
+class TestDatasetConstruction:
+    def test_basic(self):
+        ds = Dataset([(1, 2), (3, 4)])
+        assert len(ds) == 2
+        assert ds.dim == 2
+        assert ds[1] == (3.0, 4.0)
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(DatasetError):
+            Dataset([])
+
+    def test_rejects_ragged_points(self):
+        with pytest.raises(DatasetError, match="dimensions"):
+            Dataset([(1, 2), (3, 4, 5)])
+
+    def test_rejects_nan(self):
+        with pytest.raises(DatasetError, match="non-finite"):
+            Dataset([(float("nan"), 1)])
+
+    def test_rejects_infinity(self):
+        with pytest.raises(DatasetError, match="non-finite"):
+            Dataset([(float("inf"), 1)])
+
+    def test_rejects_name_count_mismatch(self):
+        with pytest.raises(DatasetError, match="names"):
+            Dataset([(1, 2)], names=["a", "b"])
+
+    def test_duplicates_allowed(self):
+        ds = Dataset([(1, 1), (1, 1)])
+        assert ds[0] == ds[1]
+
+
+class TestDatasetBehaviour:
+    def test_iteration_order_is_id_order(self):
+        pts = [(3, 1), (1, 3), (2, 2)]
+        assert list(Dataset(pts)) == [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0)]
+
+    def test_names(self):
+        ds = Dataset([(1, 2)], names=["alpha"])
+        assert ds.name_of(0) == "alpha"
+
+    def test_default_names(self):
+        ds = Dataset([(1, 2), (3, 4)])
+        assert ds.name_of(1) == "p1"
+
+    def test_bounds(self):
+        ds = Dataset([(1, 9), (5, 2), (3, 4)])
+        assert ds.bounds() == ((1.0, 2.0), (5.0, 9.0))
+
+    def test_equality_and_hash(self):
+        a = Dataset([(1, 2)])
+        b = Dataset([(1.0, 2.0)])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Dataset([(2, 1)])
+
+    def test_equality_with_other_types(self):
+        assert Dataset([(1, 2)]) != [(1, 2)]
+
+    def test_repr(self):
+        assert repr(Dataset([(1, 2)])) == "Dataset(n=1, dim=2)"
+
+
+class TestProjection:
+    def test_project_keeps_order(self):
+        ds = Dataset([(1, 2, 3), (4, 5, 6)])
+        assert ds.project([2, 0]).points == ((3.0, 1.0), (6.0, 4.0))
+
+    def test_project_preserves_names(self):
+        ds = Dataset([(1, 2, 3)], names=["x"])
+        assert ds.project([0]).name_of(0) == "x"
+
+    def test_project_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            Dataset([(1, 2)]).project([])
+
+    def test_project_rejects_out_of_range(self):
+        with pytest.raises(DatasetError):
+            Dataset([(1, 2)]).project([2])
+
+
+class TestEnsureDataset:
+    def test_passthrough(self):
+        ds = Dataset([(1, 2)])
+        assert ensure_dataset(ds) is ds
+
+    def test_wraps_lists(self):
+        assert ensure_dataset([(1, 2)]) == Dataset([(1, 2)])

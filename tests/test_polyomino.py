@@ -1,0 +1,93 @@
+"""Unit tests for polyomino boundary tracing."""
+
+from repro.geometry.polyomino import Polyomino, trace_boundary
+
+
+def _loop_set(loops):
+    return {tuple(loop) for loop in loops}
+
+
+def _signed_area(loop):
+    area = 0
+    for k in range(len(loop)):
+        x0, y0 = loop[k]
+        x1, y1 = loop[(k + 1) % len(loop)]
+        area += x0 * y1 - x1 * y0
+    return area / 2
+
+
+class TestTraceBoundary:
+    def test_single_cell(self):
+        assert trace_boundary([(0, 0)]) == [[(0, 0), (1, 0), (1, 1), (0, 1)]]
+
+    def test_rectangle_simplifies_collinear_vertices(self):
+        loops = trace_boundary([(0, 0), (1, 0), (2, 0)])
+        assert loops == [[(0, 0), (3, 0), (3, 1), (0, 1)]]
+
+    def test_l_shape(self):
+        loops = trace_boundary([(0, 0), (1, 0), (0, 1)])
+        assert len(loops) == 1
+        assert set(loops[0]) == {(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)}
+
+    def test_outer_loop_is_counterclockwise(self):
+        loops = trace_boundary([(0, 0), (1, 0)])
+        assert _signed_area(loops[0]) > 0
+
+    def test_region_with_hole(self):
+        ring = {
+            (i, j)
+            for i in range(3)
+            for j in range(3)
+            if (i, j) != (1, 1)
+        }
+        loops = trace_boundary(ring)
+        assert len(loops) == 2
+        outer = max(loops, key=lambda lp: abs(_signed_area(lp)))
+        inner = min(loops, key=lambda lp: abs(_signed_area(lp)))
+        assert _signed_area(outer) == 9
+        assert abs(_signed_area(inner)) == 1
+        # The hole is traversed clockwise (negative signed area).
+        assert _signed_area(inner) < 0
+
+    def test_diagonal_pinch_produces_two_touching_loops(self):
+        # Two cells meeting only at a corner: the left-turn rule keeps each
+        # cell on its own loop.
+        loops = trace_boundary([(0, 0), (1, 1)])
+        assert len(loops) == 2
+        assert _loop_set(loops) == {
+            ((0, 0), (1, 0), (1, 1), (0, 1)),
+            ((1, 1), (2, 1), (2, 2), (1, 2)),
+        }
+
+    def test_two_separate_components(self):
+        loops = trace_boundary([(0, 0), (5, 5)])
+        assert len(loops) == 2
+
+    def test_total_boundary_area_matches_cell_count(self):
+        cells = [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2)]
+        loops = trace_boundary(cells)
+        assert sum(_signed_area(lp) for lp in loops) == len(cells)
+
+
+class TestPolyomino:
+    def _poly(self):
+        return Polyomino(
+            ident=3, result=(1, 2), cells=frozenset({(0, 0), (1, 0)})
+        )
+
+    def test_size(self):
+        assert self._poly().size == 2
+
+    def test_bounding_box(self):
+        assert self._poly().bounding_box() == (0, 0, 1, 0)
+
+    def test_boundary_delegates(self):
+        assert self._poly().boundary() == [[(0, 0), (2, 0), (2, 1), (0, 1)]]
+
+    def test_canonical_key_is_deterministic(self):
+        a = self._poly()
+        b = Polyomino(ident=9, result=(1, 2), cells=frozenset({(1, 0), (0, 0)}))
+        assert a.canonical_key() == b.canonical_key()
+
+    def test_frozen_and_hashable(self):
+        assert hash(self._poly()) == hash(self._poly())

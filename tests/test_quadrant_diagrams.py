@@ -1,0 +1,220 @@
+"""Cross-validation of the four quadrant-diagram construction algorithms.
+
+The strongest correctness statements in the suite:
+
+* baseline (Alg. 1), DSG (Alg. 2) and scanning (Alg. 3) produce *identical*
+  diagrams on arbitrary inputs, including ties and duplicates;
+* every cell's stored result equals a from-scratch quadrant skyline of an
+  interior query point (the diagram's defining property);
+* the saturating multiset identity of Theorem 1 holds cell-by-cell.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro._util import multiset_add_sub
+from repro.diagram.quadrant_baseline import quadrant_baseline
+from repro.diagram.quadrant_dsg import quadrant_dsg
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.dsg.graph import DirectedSkylineGraph
+from repro.errors import DimensionalityError
+from repro.skyline.queries import quadrant_skyline
+
+from tests.conftest import distinct_points_2d, points_2d
+
+ALGORITHMS = [quadrant_baseline, quadrant_dsg, quadrant_scanning]
+
+
+@pytest.fixture(params=ALGORITHMS, ids=["baseline", "dsg", "scanning"])
+def algorithm(request):
+    return request.param
+
+
+class TestSmallExamples:
+    def test_single_point(self, algorithm):
+        diagram = algorithm([(5, 5)])
+        assert diagram.result_at((0, 0)) == (0,)
+        assert diagram.result_at((1, 0)) == ()
+        assert diagram.result_at((0, 1)) == ()
+        assert diagram.result_at((1, 1)) == ()
+
+    def test_staircase(self, algorithm, staircase):
+        diagram = algorithm(staircase)
+        assert diagram.result_at((0, 0)) == (0, 1, 2)
+        assert diagram.result_at((1, 0)) == (1, 2)
+        assert diagram.result_at((2, 0)) == (2,)
+        assert diagram.result_at((3, 3)) == ()
+
+    def test_dominated_point_never_alone(self, algorithm):
+        # p1 is dominated by p0 wherever both are candidates.
+        diagram = algorithm([(1, 1), (2, 2)])
+        assert diagram.result_at((0, 0)) == (0,)
+        assert diagram.result_at((1, 1)) == (1,)
+        assert diagram.result_at((1, 0)) == (1,)
+
+    def test_duplicate_points_reported_together(self, algorithm):
+        diagram = algorithm([(3, 3), (3, 3)])
+        assert diagram.result_at((0, 0)) == (0, 1)
+
+    def test_rejects_higher_dimensions(self, algorithm):
+        with pytest.raises(DimensionalityError):
+            algorithm([(1, 2, 3)])
+
+    def test_metadata(self, algorithm):
+        diagram = algorithm([(1, 1)])
+        assert diagram.kind == "quadrant"
+        assert diagram.mask == 0
+        assert diagram.dim == 2
+
+
+class TestQueryInterface:
+    def test_query_locates_cells(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        assert diagram.query((0, 0)) == (0, 1, 2)
+        assert diagram.query((3, 2)) == (1,)
+        assert diagram.query((2.5, 0.5)) == (1, 2)
+        assert diagram.query((100, 100)) == ()
+
+    def test_query_on_grid_line_uses_closed_semantics(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        # Query exactly on p1's lines: p1 itself is a candidate.
+        assert 1 in diagram.query((5, 4))
+
+    def test_query_points(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        assert diagram.query_points((6, 0)) == [(9.0, 1.0)]
+
+
+class TestCrossValidation:
+    @given(points_2d(max_size=14))
+    @settings(max_examples=60)
+    def test_three_algorithms_agree(self, pts):
+        reference = quadrant_baseline(pts)
+        assert quadrant_dsg(pts) == reference
+        assert quadrant_scanning(pts) == reference
+
+    @given(distinct_points_2d(max_size=10))
+    def test_agreement_in_general_position(self, pts):
+        reference = quadrant_baseline(pts)
+        assert quadrant_dsg(pts) == reference
+        assert quadrant_scanning(pts) == reference
+
+    @given(points_2d(max_size=10))
+    @settings(max_examples=40)
+    def test_cells_match_from_scratch_evaluation(self, pts):
+        diagram = quadrant_scanning(pts)
+        for cell, result in diagram.cells():
+            representative = diagram.grid.representative(cell)
+            assert result == quadrant_skyline(pts, representative)
+
+    @given(points_2d(max_size=10))
+    @settings(max_examples=40)
+    def test_dsg_with_full_links_agrees(self, pts):
+        full = DirectedSkylineGraph(pts, links="full")
+        assert quadrant_dsg(pts, dsg=full) == quadrant_baseline(pts)
+
+
+class TestTheorem1:
+    @given(points_2d(min_size=1, max_size=12))
+    @settings(max_examples=60)
+    def test_multiset_identity_holds_cellwise(self, pts):
+        """Theorem 1, generalized to ties via saturating subtraction."""
+        diagram = quadrant_baseline(pts)
+        sx, sy = diagram.grid.shape
+        empty = ()
+
+        def sky(i, j):
+            if i >= sx or j >= sy:
+                return empty
+            return diagram.result_at((i, j))
+
+        for i in range(sx):
+            for j in range(sy):
+                corner = diagram.grid.corner_points((i + 1, j + 1))
+                if corner:
+                    assert sky(i, j) == corner
+                else:
+                    assert sky(i, j) == multiset_add_sub(
+                        sky(i + 1, j), sky(i, j + 1), sky(i + 1, j + 1)
+                    )
+
+    def test_corner_cell_result_is_the_corner_point(self):
+        diagram = quadrant_scanning([(1, 1), (5, 5)])
+        # Cell (1, 1) has p1=(5,5) on its upper-right corner.
+        assert diagram.result_at((1, 1)) == (1,)
+
+
+class TestDiagramStructure:
+    @given(points_2d(min_size=1, max_size=12))
+    @settings(max_examples=40)
+    def test_top_and_right_borders_are_empty(self, pts):
+        diagram = quadrant_scanning(pts)
+        sx, sy = diagram.grid.shape
+        for i in range(sx):
+            assert diagram.result_at((i, sy - 1)) == ()
+        for j in range(sy):
+            assert diagram.result_at((sx - 1, j)) == ()
+
+    @given(points_2d(min_size=1, max_size=12))
+    @settings(max_examples=40)
+    def test_origin_cell_is_the_full_skyline(self, pts):
+        from repro.skyline.algorithms import skyline_brute
+
+        diagram = quadrant_scanning(pts)
+        assert diagram.result_at((0, 0)) == skyline_brute(pts)
+
+    @given(points_2d(min_size=1, max_size=10))
+    @settings(max_examples=40)
+    def test_results_shrink_moving_up_right(self, pts):
+        """Candidates only disappear moving right; results never grow in
+        the sense of gaining a point that was already a non-candidate."""
+        diagram = quadrant_scanning(pts)
+        sx, sy = diagram.grid.shape
+        ranks = diagram.grid.ranks
+        for i in range(sx):
+            for j in range(sy):
+                for pid in diagram.result_at((i, j)):
+                    rx, ry = ranks[pid]
+                    assert rx > i and ry > j
+
+    def test_equality_semantics(self, staircase):
+        a = quadrant_scanning(staircase)
+        b = quadrant_baseline(staircase)
+        assert a == b
+        assert a != quadrant_scanning([(1, 1)])
+        assert a != "not a diagram"
+
+    def test_result_count_validation(self, staircase):
+        from repro.diagram.base import SkylineDiagram
+        from repro.geometry.grid import Grid
+
+        grid = Grid(staircase)
+        with pytest.raises(ValueError, match="cell results"):
+            SkylineDiagram(grid, {(0, 0): ()})
+
+    def test_kind_validation(self, staircase):
+        from repro.diagram.base import SkylineDiagram
+        from repro.geometry.grid import Grid
+
+        grid = Grid([(1, 1)])
+        with pytest.raises(ValueError, match="kind"):
+            SkylineDiagram(grid, {c: () for c in grid.cells()}, kind="bogus")
+
+    def test_repr_mentions_algorithm(self, staircase):
+        assert "scanning" in repr(quadrant_scanning(staircase))
+
+
+class TestInterningAblation:
+    @given(points_2d(max_size=12))
+    @settings(max_examples=40)
+    def test_interned_and_plain_agree(self, pts):
+        assert quadrant_scanning(pts, intern_results=False) == (
+            quadrant_scanning(pts)
+        )
+
+    def test_interning_shares_tuples(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        empties = [
+            result for _, result in diagram.cells() if result == ()
+        ]
+        assert all(e is empties[0] for e in empties)

@@ -1,0 +1,107 @@
+"""Unit and property tests for direct skyline query evaluation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.skyline.queries import (
+    dynamic_skyline,
+    dynamic_skyline_among,
+    global_skyline,
+    is_skyline_member,
+    quadrant_skyline,
+)
+
+from tests.conftest import points_2d
+
+queries = st.tuples(
+    st.integers(-2, 10) | st.just(3), st.integers(-2, 10) | st.just(3)
+)
+
+
+class TestQuadrantSkyline:
+    def test_first_quadrant_filters_candidates(self):
+        pts = [(12, 90), (4, 90), (12, 70)]
+        assert quadrant_skyline(pts, (10, 80)) == (0,)
+
+    def test_other_quadrants_via_mask(self):
+        pts = [(12, 90), (4, 90), (12, 70), (4, 70)]
+        assert quadrant_skyline(pts, (10, 80), mask=0b01) == (1,)
+        assert quadrant_skyline(pts, (10, 80), mask=0b10) == (2,)
+        assert quadrant_skyline(pts, (10, 80), mask=0b11) == (3,)
+
+    def test_dominance_inside_quadrant(self):
+        pts = [(11, 81), (12, 82)]
+        assert quadrant_skyline(pts, (10, 80)) == (0,)
+
+    def test_boundary_point_included(self):
+        assert quadrant_skyline([(10, 85)], (10, 80)) == (0,)
+
+    def test_empty_quadrant(self):
+        assert quadrant_skyline([(1, 1)], (10, 80)) == ()
+
+    def test_three_dimensional(self):
+        pts = [(1, 1, 1), (2, 2, 2), (1, 2, 3)]
+        assert quadrant_skyline(pts, (0, 0, 0)) == (0,)
+
+
+class TestGlobalSkyline:
+    def test_union_of_quadrants(self):
+        pts = [(12, 90), (4, 90), (12, 70), (4, 70)]
+        assert global_skyline(pts, (10, 80)) == (0, 1, 2, 3)
+
+    def test_global_contains_every_quadrant(self):
+        pts = [(1, 9), (9, 1), (5, 5), (2, 2), (8, 8)]
+        q = (5.5, 5.5)
+        union = set()
+        for mask in range(4):
+            union.update(quadrant_skyline(pts, q, mask))
+        assert set(global_skyline(pts, q)) == union
+
+    @given(points_2d(max_size=10), queries)
+    def test_global_is_union_property(self, pts, q):
+        union = set()
+        for mask in range(4):
+            union.update(quadrant_skyline(pts, q, mask))
+        assert set(global_skyline(pts, q)) == union
+
+
+class TestDynamicSkyline:
+    def test_paper_style_example(self):
+        # A far point in one quadrant is dominated by a mapped nearby point.
+        pts = [(9, 9), (12, 12)]
+        assert dynamic_skyline(pts, (10, 10)) == (0,)
+
+    def test_subset_of_global(self):
+        pts = [(1, 9), (9, 1), (5, 5), (2, 2), (8, 8)]
+        q = (5.5, 5.5)
+        assert set(dynamic_skyline(pts, q)) <= set(global_skyline(pts, q))
+
+    @given(points_2d(max_size=12), queries)
+    def test_dynamic_subset_of_global_property(self, pts, q):
+        assert set(dynamic_skyline(pts, q)) <= set(global_skyline(pts, q))
+
+    @given(points_2d(max_size=12))
+    def test_origin_query_outside_domain_reduces_to_traditional(self, pts):
+        from repro.skyline.algorithms import skyline_brute
+
+        # With the query below/left of every point, mapping is the identity
+        # shift, so the dynamic skyline is the traditional skyline.
+        assert dynamic_skyline(pts, (-1, -1)) == skyline_brute(pts)
+
+    @given(points_2d(max_size=12), queries)
+    def test_membership_matches_result(self, pts, q):
+        result = set(dynamic_skyline(pts, q))
+        for pid in range(len(pts)):
+            assert is_skyline_member(pts, q, pid) == (pid in result)
+
+
+class TestDynamicSkylineAmong:
+    @given(points_2d(min_size=1, max_size=12), queries)
+    def test_superset_candidates_recover_exact_result(self, pts, q):
+        full = dynamic_skyline(pts, q)
+        among = dynamic_skyline_among(pts, list(range(len(pts))), q)
+        assert among == full
+
+    def test_restricted_candidates(self):
+        pts = [(0, 0), (10, 10), (4, 4)]
+        assert dynamic_skyline_among(pts, [0, 2], (1, 1)) == (0,)

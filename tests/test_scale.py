@@ -1,0 +1,75 @@
+"""Confidence at scale: moderate-n runs of the fast constructions.
+
+The hypothesis suites exercise tiny adversarial inputs; these tests run
+the production-path algorithms at a few hundred points so size-dependent
+code paths (interning, the sweep walk over thousands of vertices, the
+dynamic contributor machinery on a dense bisector grid) see realistic
+structure at least once per test run.
+"""
+
+import random
+
+from repro.datasets.generators import generate
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.dynamic_subset import dynamic_subset
+from repro.diagram.merge import partition_signature
+from repro.diagram.quadrant_dsg import quadrant_dsg
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.diagram.quadrant_sweeping import quadrant_sweeping
+from repro.skyline.queries import dynamic_skyline, quadrant_skyline
+
+
+class TestQuadrantAtScale:
+    def test_scanning_equals_dsg_at_n300(self):
+        points = generate("independent", 300, seed=300)
+        assert quadrant_scanning(points) == quadrant_dsg(points)
+
+    def test_sweeping_partition_matches_at_n200(self):
+        points = generate("anticorrelated", 200, seed=4)
+        sweep = quadrant_sweeping(points)
+        merged = partition_signature(quadrant_scanning(points).polyominos())
+        from collections import defaultdict
+
+        groups = defaultdict(set)
+        for cell, owner in sweep.cell_partition().items():
+            groups[owner].add(cell)
+        assert frozenset(map(frozenset, groups.values())) == merged
+
+    def test_sampled_queries_match_ground_truth_at_n512(self):
+        points = generate("independent", 512, seed=512)
+        diagram = quadrant_scanning(points)
+        rng = random.Random(1)
+        for _ in range(100):
+            q = (rng.random(), rng.random())
+            assert diagram.query(q) == quadrant_skyline(points, q)
+
+    def test_interning_produces_shared_results_at_scale(self):
+        points = generate("correlated", 300, seed=9)
+        diagram = quadrant_scanning(points)
+        by_value: dict[tuple[int, ...], int] = {}
+        extra_instances = 0
+        for _, result in diagram.cells():
+            prior = by_value.setdefault(result, id(result))
+            if prior != id(result):
+                extra_instances += 1
+        # Corner-cell tuples are not interned; everything else must share.
+        assert extra_instances <= len(points)
+
+
+class TestDynamicAtScale:
+    def test_scanning_equals_subset_at_n40(self):
+        points = generate("independent", 40, seed=40, domain=48)
+        assert dynamic_scanning(points) == dynamic_subset(points)
+
+    def test_sampled_dynamic_queries_match_ground_truth(self):
+        points = generate("clustered", 32, seed=5, domain=64)
+        diagram = dynamic_scanning(points)
+        rng = random.Random(2)
+        checked = 0
+        for _ in range(100):
+            q = (rng.uniform(-1, 65), rng.uniform(-1, 65))
+            if any(q[d] in diagram.subcells.axes[d] for d in range(2)):
+                continue  # boundary tie semantics differ; measure-zero
+            assert diagram.query(q) == dynamic_skyline(points, q)
+            checked += 1
+        assert checked > 50

@@ -1,0 +1,99 @@
+"""Tests for diagram JSON serialization."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.global_diagram import global_diagram
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.errors import SerializationError
+from repro.index.serialize import (
+    diagram_from_json,
+    diagram_to_json,
+    dynamic_diagram_from_json,
+    dynamic_diagram_to_json,
+)
+
+from tests.conftest import points_2d
+
+
+class TestRoundTrip:
+    @given(points_2d(max_size=8))
+    @settings(max_examples=25)
+    def test_quadrant_round_trip(self, pts):
+        diagram = quadrant_scanning(pts)
+        assert diagram_from_json(diagram_to_json(diagram)) == diagram
+
+    @given(points_2d(max_size=6))
+    @settings(max_examples=15, deadline=None)
+    def test_dynamic_round_trip(self, pts):
+        diagram = dynamic_scanning(pts)
+        assert dynamic_diagram_from_json(
+            dynamic_diagram_to_json(diagram)
+        ) == diagram
+
+    def test_global_round_trip(self, staircase):
+        diagram = global_diagram(staircase)
+        restored = diagram_from_json(diagram_to_json(diagram))
+        assert restored == diagram
+        assert restored.kind == "global"
+
+    def test_metadata_preserved(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        restored = diagram_from_json(diagram_to_json(diagram))
+        assert restored.algorithm == "scanning"
+        assert restored.mask == 0
+
+    def test_restored_diagram_answers_queries(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        restored = diagram_from_json(diagram_to_json(diagram))
+        assert restored.query((0, 0)) == diagram.query((0, 0))
+
+
+class TestValidation:
+    def test_rejects_invalid_json(self):
+        with pytest.raises(SerializationError, match="invalid JSON"):
+            diagram_from_json("{nope")
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(SerializationError, match="not a serialized"):
+            diagram_from_json(json.dumps({"hello": 1}))
+
+    def test_rejects_wrong_version(self, staircase):
+        payload = json.loads(diagram_to_json(quadrant_scanning(staircase)))
+        payload["version"] = 99
+        with pytest.raises(SerializationError, match="version"):
+            diagram_from_json(json.dumps(payload))
+
+    def test_rejects_wrong_diagram_type(self, staircase):
+        text = diagram_to_json(quadrant_scanning(staircase))
+        with pytest.raises(SerializationError, match="expected"):
+            dynamic_diagram_from_json(text)
+
+    def test_rejects_missing_fields(self, staircase):
+        payload = json.loads(diagram_to_json(quadrant_scanning(staircase)))
+        del payload["cells"]
+        with pytest.raises(SerializationError, match="missing"):
+            diagram_from_json(json.dumps(payload))
+
+    def test_rejects_cell_count_mismatch(self, staircase):
+        payload = json.loads(diagram_to_json(quadrant_scanning(staircase)))
+        payload["cells"] = payload["cells"][:-1]
+        with pytest.raises(SerializationError, match="cell entries"):
+            diagram_from_json(json.dumps(payload))
+
+    def test_rejects_shape_mismatch(self, staircase):
+        payload = json.loads(diagram_to_json(quadrant_scanning(staircase)))
+        payload["shape"] = [99, 99]
+        with pytest.raises(SerializationError, match="shape"):
+            diagram_from_json(json.dumps(payload))
+
+    def test_rejects_dynamic_shape_mismatch(self):
+        payload = json.loads(
+            dynamic_diagram_to_json(dynamic_scanning([(0, 0), (4, 4)]))
+        )
+        payload["shape"] = [1, 1]
+        with pytest.raises(SerializationError, match="shape"):
+            dynamic_diagram_from_json(json.dumps(payload))

@@ -1,0 +1,97 @@
+"""Tests for the k-skyband diagram extension."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.diagram.quadrant_baseline import quadrant_baseline
+from repro.diagram.skyband import skyband_baseline, skyband_sweep
+from repro.errors import DimensionalityError
+from repro.skyline.queries import quadrant_skyband, quadrant_skyline
+
+from tests.conftest import points_2d
+
+
+class TestGroundTruth:
+    def test_chain_skybands(self):
+        pts = [(1, 1), (2, 2), (3, 3)]
+        assert quadrant_skyband(pts, (0, 0), 1) == (0,)
+        assert quadrant_skyband(pts, (0, 0), 2) == (0, 1)
+        assert quadrant_skyband(pts, (0, 0), 3) == (0, 1, 2)
+
+    def test_k1_is_the_skyline(self):
+        pts = [(1, 4), (2, 2), (4, 1), (3, 3)]
+        assert quadrant_skyband(pts, (0, 0), 1) == quadrant_skyline(
+            pts, (0, 0)
+        )
+
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            quadrant_skyband([(1, 1)], (0, 0), 0)
+
+    @given(points_2d(max_size=10), st.integers(1, 4))
+    def test_monotone_in_k(self, pts, k):
+        q = (-1, -1)
+        assert set(quadrant_skyband(pts, q, k)) <= set(
+            quadrant_skyband(pts, q, k + 1)
+        )
+
+    @given(points_2d(max_size=10))
+    def test_large_k_returns_all_candidates(self, pts):
+        assert quadrant_skyband(pts, (-1, -1), len(pts) + 1) == tuple(
+            range(len(pts))
+        )
+
+
+class TestDiagrams:
+    def test_baseline_example(self):
+        diagram = skyband_baseline([(1, 1), (2, 2), (3, 3)], k=2)
+        assert diagram.k == 2
+        assert diagram.result_at((0, 0)) == (0, 1)
+        assert diagram.result_at((1, 0)) == (1, 2)
+        assert diagram.result_at((2, 0)) == (2,)
+
+    def test_k1_matches_quadrant_diagram(self):
+        pts = [(1, 4), (2, 2), (4, 1), (3, 3), (2, 2)]
+        band = skyband_baseline(pts, k=1)
+        quadrant = quadrant_baseline(pts)
+        for cell, result in quadrant.cells():
+            assert band.result_at(cell) == result
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            skyband_baseline([(1, 1)], k=0)
+        with pytest.raises(DimensionalityError):
+            skyband_baseline([(1, 1, 1)], k=1)
+        with pytest.raises(ValueError):
+            skyband_sweep([(1, 1)], k=0)
+
+    @given(points_2d(max_size=10), st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_sweep_matches_baseline(self, pts, k):
+        assert skyband_sweep(pts, k) == skyband_baseline(pts, k)
+
+    @given(points_2d(max_size=8), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_cells_match_from_scratch(self, pts, k):
+        diagram = skyband_sweep(pts, k)
+        for cell, result in diagram.cells():
+            representative = diagram.grid.representative(cell)
+            assert result == quadrant_skyband(pts, representative, k)
+
+    @given(points_2d(max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_band_results_nest_in_k(self, pts):
+        d1 = skyband_sweep(pts, 1)
+        d2 = skyband_sweep(pts, 2)
+        for cell, result in d1.cells():
+            assert set(result) <= set(d2.result_at(cell))
+
+    def test_query_and_polyominos(self):
+        diagram = skyband_sweep([(1, 1), (2, 2), (3, 3)], k=2)
+        assert diagram.query((0, 0)) == (0, 1)
+        covered = {c for poly in diagram.polyominos() for c in poly.cells}
+        assert covered == set(diagram.grid.cells())
+
+    def test_repr(self):
+        assert "k=2" in repr(skyband_sweep([(1, 1)], k=2))

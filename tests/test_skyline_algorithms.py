@@ -1,0 +1,165 @@
+"""Unit and property tests for the classic skyline algorithms."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.point import Dataset
+from repro.skyline.algorithms import (
+    skyline,
+    skyline_bnl,
+    skyline_brute,
+    skyline_dnc,
+    skyline_sort_2d,
+)
+
+from tests.conftest import points_2d, points_nd
+
+
+class TestBrute:
+    def test_staircase_all_skyline(self, staircase):
+        assert skyline_brute(staircase) == (0, 1, 2)
+
+    def test_dominated_point_excluded(self):
+        assert skyline_brute([(1, 1), (2, 2)]) == (0,)
+
+    def test_duplicates_both_kept(self):
+        assert skyline_brute([(1, 1), (1, 1), (2, 2)]) == (0, 1)
+
+    def test_empty(self):
+        assert skyline_brute([]) == ()
+
+    def test_accepts_dataset(self):
+        assert skyline_brute(Dataset([(1, 1), (2, 2)])) == (0,)
+
+    def test_three_dimensional(self):
+        pts = [(1, 2, 3), (3, 2, 1), (2, 2, 2), (3, 3, 3)]
+        assert skyline_brute(pts) == (0, 1, 2)
+
+
+class TestSort2D:
+    def test_matches_brute_on_example(self, staircase):
+        assert skyline_sort_2d(staircase) == skyline_brute(staircase)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            skyline_sort_2d([(1, 2, 3)])
+
+    def test_vertical_tie_keeps_lowest(self):
+        assert skyline_sort_2d([(1, 5), (1, 3)]) == (1,)
+
+    def test_horizontal_tie_keeps_leftmost(self):
+        assert skyline_sort_2d([(5, 1), (3, 1)]) == (1,)
+
+    def test_duplicates_of_corner_kept(self):
+        assert skyline_sort_2d([(2, 2), (2, 2), (1, 3)]) == (0, 1, 2)
+
+    @given(points_2d(max_size=20))
+    def test_matches_brute(self, pts):
+        assert skyline_sort_2d(pts) == skyline_brute(pts)
+
+
+class TestDnc:
+    @given(points_2d(max_size=20))
+    def test_matches_brute_2d(self, pts):
+        assert skyline_dnc(pts) == skyline_brute(pts)
+
+    @given(points_nd(3, max_size=16))
+    def test_matches_brute_3d(self, pts):
+        assert skyline_dnc(pts) == skyline_brute(pts)
+
+    @given(points_nd(4, max_size=12))
+    def test_matches_brute_4d(self, pts):
+        assert skyline_dnc(pts) == skyline_brute(pts)
+
+    def test_large_recursion(self):
+        pts = [(i, 100 - i) for i in range(100)]
+        assert skyline_dnc(pts) == tuple(range(100))
+
+
+class TestBnl:
+    @given(points_2d(max_size=20))
+    def test_matches_brute(self, pts):
+        assert skyline_bnl(pts) == skyline_brute(pts)
+
+    @given(points_nd(3, max_size=14))
+    def test_matches_brute_3d(self, pts):
+        assert skyline_bnl(pts) == skyline_brute(pts)
+
+    @given(points_2d(max_size=20), st.integers(1, 5))
+    def test_bounded_window_matches_brute(self, pts, window):
+        assert skyline_bnl(pts, window_size=window) == skyline_brute(pts)
+
+    def test_window_of_one_on_chain(self):
+        pts = [(3, 3), (2, 2), (1, 1)]
+        assert skyline_bnl(pts, window_size=1) == (2,)
+
+
+class TestDispatcher:
+    def test_empty(self):
+        assert skyline([]) == ()
+
+    def test_2d_uses_sort(self, staircase):
+        assert skyline(staircase) == (0, 1, 2)
+
+    def test_3d_uses_dnc(self):
+        pts = [(1, 2, 3), (2, 3, 1), (3, 1, 2), (4, 4, 4)]
+        assert skyline(pts) == (0, 1, 2)
+
+    @given(points_nd(3, max_size=12))
+    def test_always_matches_brute(self, pts):
+        assert skyline(pts) == skyline_brute(pts)
+
+
+class TestSkylineInvariants:
+    @given(points_2d(min_size=1, max_size=15))
+    def test_skyline_points_are_mutually_incomparable(self, pts):
+        from repro.geometry.dominance import dominates
+
+        sky = skyline_brute(pts)
+        for a in sky:
+            for b in sky:
+                assert not dominates(pts[a], pts[b]) or pts[a] == pts[b]
+
+    @given(points_2d(min_size=1, max_size=15))
+    def test_nonskyline_points_have_a_skyline_dominator(self, pts):
+        from repro.geometry.dominance import dominates
+
+        sky = set(skyline_brute(pts))
+        for i, p in enumerate(pts):
+            if i not in sky:
+                assert any(dominates(pts[s], p) for s in sky)
+
+    @given(points_2d(min_size=1, max_size=15))
+    def test_skyline_nonempty_for_nonempty_input(self, pts):
+        assert skyline_brute(pts)
+
+
+class TestSfs:
+    def test_example(self, staircase):
+        from repro.skyline.algorithms import skyline_sfs
+
+        assert skyline_sfs(staircase) == (0, 1, 2)
+
+    def test_window_never_needs_eviction(self):
+        # A chain sorted by sum never admits a dominated point.
+        from repro.skyline.algorithms import skyline_sfs
+
+        assert skyline_sfs([(3, 3), (2, 2), (1, 1)]) == (2,)
+
+    @given(points_2d(max_size=20))
+    def test_matches_brute(self, pts):
+        from repro.skyline.algorithms import skyline_sfs
+
+        assert skyline_sfs(pts) == skyline_brute(pts)
+
+    @given(points_nd(3, max_size=14))
+    def test_matches_brute_3d(self, pts):
+        from repro.skyline.algorithms import skyline_sfs
+
+        assert skyline_sfs(pts) == skyline_brute(pts)
+
+    def test_duplicates_kept(self):
+        from repro.skyline.algorithms import skyline_sfs
+
+        assert skyline_sfs([(1, 1), (1, 1)]) == (0, 1)

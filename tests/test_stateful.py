@@ -1,0 +1,114 @@
+"""Stateful property tests: random operation sequences against a model.
+
+Hypothesis drives random insert/delete sequences through the incremental
+maintenance API while a shadow point list rebuilt from scratch acts as the
+model; any divergence of results, axes, or polyomino structure fails.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.diagram.maintenance import delete_point, insert_point
+from repro.diagram.quadrant_scanning import quadrant_scanning
+
+coordinate = st.tuples(st.integers(0, 6), st.integers(0, 6))
+
+
+class MaintenanceMachine(RuleBasedStateMachine):
+    """Insert/delete in any order; the diagram must track a full rebuild."""
+
+    @initialize(first=coordinate)
+    def start(self, first):
+        self.points = [first]
+        self.diagram = quadrant_scanning(self.points)
+
+    @rule(point=coordinate)
+    def insert(self, point):
+        self.diagram = insert_point(self.diagram, point)
+        self.points.append(point)
+
+    @precondition(lambda self: len(self.points) > 1)
+    @rule(data=st.data())
+    def delete(self, data):
+        victim = data.draw(
+            st.integers(0, len(self.points) - 1), label="victim"
+        )
+        self.diagram = delete_point(self.diagram, victim)
+        del self.points[victim]
+
+    @invariant()
+    def matches_rebuild(self):
+        if not hasattr(self, "points"):
+            return
+        rebuilt = quadrant_scanning(self.points)
+        assert self.diagram.grid.axes == rebuilt.grid.axes
+        assert dict(self.diagram.cells()) == dict(rebuilt.cells())
+
+
+MaintenanceMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=8, deadline=None
+)
+TestMaintenanceMachine = MaintenanceMachine.TestCase
+
+
+class CacheMachine(RuleBasedStateMachine):
+    """The polyomino cache must always return what the diagram returns."""
+
+    @initialize(points=st.lists(coordinate, min_size=1, max_size=6))
+    def start(self, points):
+        from repro.applications.caching import PolyominoCache
+
+        self.diagram = quadrant_scanning(points)
+        self.cache = PolyominoCache(
+            self.diagram, lambda ids: ("payload", ids), capacity=3
+        )
+
+    @rule(query=st.tuples(st.floats(-1, 8), st.floats(-1, 8)))
+    def query(self, query):
+        payload = self.cache.get(query)
+        assert payload == ("payload", self.diagram.query(query))
+
+    @rule()
+    def invalidate(self):
+        self.cache.invalidate()
+
+    @invariant()
+    def capacity_respected(self):
+        if hasattr(self, "cache"):
+            assert len(self.cache) <= self.cache.capacity
+
+
+CacheMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=12, deadline=None
+)
+TestCacheMachine = CacheMachine.TestCase
+
+
+def test_cache_does_not_cache_loader_failures(staircase):
+    """Failure injection: a crashing loader must not poison the cache."""
+    import pytest
+
+    from repro.applications.caching import PolyominoCache
+
+    attempts = []
+
+    def flaky_loader(ids):
+        attempts.append(ids)
+        if len(attempts) == 1:
+            raise RuntimeError("record store unavailable")
+        return list(ids)
+
+    cache = PolyominoCache(quadrant_scanning(staircase), flaky_loader)
+    with pytest.raises(RuntimeError):
+        cache.get((0, 0))
+    assert len(cache) == 0
+    # Retry after the store recovers: loads and caches normally.
+    assert cache.get((0, 0)) == [0, 1, 2]
+    assert len(attempts) == 2

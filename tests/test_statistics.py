@@ -1,0 +1,68 @@
+"""Tests for diagram statistics."""
+
+from hypothesis import given, settings
+
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.diagram.statistics import diagram_statistics
+
+from tests.conftest import points_2d
+
+
+class TestBasics:
+    def test_two_point_example(self):
+        stats = diagram_statistics(quadrant_scanning([(2, 8), (5, 4)]))
+        assert stats.num_points == 2
+        assert stats.num_cells == 9
+        assert stats.num_regions == 4
+        assert stats.min_result_size == 0
+        assert stats.max_result_size == 2
+
+    def test_compression_ratio(self):
+        stats = diagram_statistics(quadrant_scanning([(1, 1)]))
+        assert stats.compression_ratio == 4 / 2
+
+    def test_as_dict_round_trips_fields(self):
+        stats = diagram_statistics(quadrant_scanning([(1, 1)]))
+        d = stats.as_dict()
+        assert d["num_cells"] == 4
+        assert d["compression_ratio"] == stats.compression_ratio
+
+    def test_works_on_dynamic_diagrams(self):
+        stats = diagram_statistics(dynamic_scanning([(0, 0), (4, 4)]))
+        assert stats.num_points == 2
+        assert stats.min_result_size >= 1  # dynamic results are never empty
+
+
+class TestInvariants:
+    @given(points_2d(max_size=10))
+    @settings(max_examples=30)
+    def test_regions_never_exceed_cells(self, pts):
+        stats = diagram_statistics(quadrant_scanning(pts))
+        assert 1 <= stats.num_regions <= stats.num_cells
+        assert stats.compression_ratio >= 1.0
+
+    @given(points_2d(max_size=10))
+    @settings(max_examples=30)
+    def test_result_sizes_bounded_by_n(self, pts):
+        stats = diagram_statistics(quadrant_scanning(pts))
+        assert 0 <= stats.min_result_size
+        assert stats.min_result_size <= stats.mean_result_size
+        assert stats.mean_result_size <= stats.max_result_size <= len(pts)
+
+    @given(points_2d(max_size=10))
+    @settings(max_examples=30)
+    def test_region_sizes_partition_cells(self, pts):
+        import math
+
+        stats = diagram_statistics(quadrant_scanning(pts))
+        assert math.isclose(
+            stats.mean_region_size * stats.num_regions, stats.num_cells
+        )
+
+    @given(points_2d(max_size=10))
+    @settings(max_examples=30)
+    def test_stored_ids_bounded_by_storage_analysis(self, pts):
+        # Paper bound: O(min(s, n)^2 * n) stored ids.
+        stats = diagram_statistics(quadrant_scanning(pts))
+        assert stats.stored_ids <= stats.num_regions * len(pts)

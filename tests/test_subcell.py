@@ -1,0 +1,101 @@
+"""Unit and property tests for the bisector-augmented subcell grid."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import DimensionalityError, QueryError
+from repro.geometry.subcell import SubcellGrid
+
+from tests.conftest import points_2d
+
+
+class TestAxes:
+    def test_axes_contain_points_and_midpoints(self):
+        sg = SubcellGrid([(0, 0), (4, 8)])
+        assert sg.axes[0] == (0.0, 2.0, 4.0)
+        assert sg.axes[1] == (0.0, 4.0, 8.0)
+
+    def test_coincident_bisectors_collapse(self):
+        # Pairs (0,4) and (1,3) share the x bisector 2.
+        sg = SubcellGrid([(0, 0), (4, 0), (1, 1), (3, 1)])
+        assert sg.axes[0].count(2.0) == 1
+
+    def test_shape_counts_subcells(self):
+        sg = SubcellGrid([(0, 0), (4, 8)])
+        assert sg.shape == (4, 4)
+        assert sg.num_subcells == 16
+        assert len(list(sg.subcells())) == 16
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DimensionalityError):
+            SubcellGrid([(1, 2, 3)])
+
+    @given(points_2d(max_size=8))
+    def test_point_axes_subset_of_subcell_axes(self, pts):
+        sg = SubcellGrid(pts)
+        for d in range(2):
+            assert set(sg.grid.axes[d]) <= set(sg.axes[d])
+
+
+class TestContributors:
+    def test_point_line_contributors(self):
+        sg = SubcellGrid([(0, 0), (4, 8)])
+        assert sg.contributors(0, 0.0) == (0,)
+        assert sg.contributors(0, 4.0) == (1,)
+
+    def test_bisector_contributors(self):
+        sg = SubcellGrid([(0, 0), (4, 8)])
+        assert sg.contributors(0, 2.0) == (0, 1)
+        assert sg.contributors(1, 4.0) == (0, 1)
+
+    def test_merged_contributors_on_coincident_lines(self):
+        # x=2 is the bisector of (0,4) and of (1,3), and nobody's own line.
+        sg = SubcellGrid([(0, 0), (4, 0), (1, 1), (3, 1)])
+        assert sg.contributors(0, 2.0) == (0, 1, 2, 3)
+
+    def test_unknown_value_is_empty(self):
+        sg = SubcellGrid([(0, 0), (4, 8)])
+        assert sg.contributors(0, 3.3) == ()
+
+    def test_boundary_contributors_by_index(self):
+        sg = SubcellGrid([(0, 0), (4, 8)])
+        assert sg.boundary_contributors(0, 2) == (0, 1)  # value 2.0
+
+    @given(points_2d(max_size=7))
+    def test_every_axis_value_has_contributors(self, pts):
+        sg = SubcellGrid(pts)
+        for d in range(2):
+            for index in range(1, len(sg.axes[d]) + 1):
+                assert sg.boundary_contributors(d, index)
+
+
+class TestLocationAndMapping:
+    def test_locate_interior(self):
+        sg = SubcellGrid([(0, 0), (4, 8)])
+        assert sg.locate((1, 1)) == (1, 1)
+
+    def test_locate_rejects_non_2d(self):
+        sg = SubcellGrid([(0, 0)])
+        with pytest.raises(QueryError):
+            sg.locate((1, 2, 3))
+
+    def test_representative_out_of_range(self):
+        sg = SubcellGrid([(0, 0)])
+        with pytest.raises(QueryError):
+            sg.representative((9, 0))
+
+    @given(points_2d(max_size=7))
+    def test_representatives_locate_home(self, pts):
+        sg = SubcellGrid(pts)
+        for subcell in sg.subcells():
+            assert sg.locate(sg.representative(subcell)) == subcell
+
+    @given(points_2d(max_size=7))
+    def test_containing_cell_is_consistent(self, pts):
+        sg = SubcellGrid(pts)
+        for subcell in sg.subcells():
+            rep = sg.representative(subcell)
+            assert sg.containing_cell(subcell) == sg.grid.locate(rep)
+
+    def test_repr_mentions_subcells(self):
+        assert "subcells=" in repr(SubcellGrid([(0, 0), (4, 8)]))

@@ -1,0 +1,121 @@
+"""Tests for the sweeping algorithm (Theorem 2) and its geometry."""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings
+
+from repro.diagram.merge import partition_signature
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.diagram.quadrant_sweeping import quadrant_sweeping
+from repro.errors import DimensionalityError
+
+from tests.conftest import distinct_points_2d, points_2d
+
+
+def _sweep_partition_signature(sweep):
+    groups = defaultdict(set)
+    for cell, owner in sweep.cell_partition().items():
+        groups[owner].add(cell)
+    return frozenset(frozenset(cells) for cells in groups.values())
+
+
+class TestGeometry:
+    def test_single_point(self):
+        sweep = quadrant_sweeping([(5, 5)])
+        assert len(sweep.polyominos) == 1
+        assert sweep.polyominos[0].corner == (1, 1)
+        assert sweep.polyominos[0].vertices == ((1, 1), (0, 1), (0, 0), (1, 0))
+
+    def test_staircase_counts(self, staircase):
+        sweep = quadrant_sweeping(staircase)
+        # 6 interior intersections -> 6 polyominos (+ the outer region).
+        assert len(sweep.polyominos) == 6
+        assert sweep.num_regions == 7
+
+    def test_rejects_higher_dimensions(self):
+        with pytest.raises(DimensionalityError):
+            quadrant_sweeping([(1, 2, 3)])
+
+    def test_segment_extents(self, staircase):
+        sweep = quadrant_sweeping(staircase)
+        # Points in rank space: (1,3), (2,2), (3,1).
+        assert sweep.vtop == [0, 3, 2, 1]
+        assert sweep.hright == [0, 3, 2, 1]
+
+    def test_walks_are_closed_staircases(self, staircase):
+        sweep = quadrant_sweeping(staircase)
+        for poly in sweep.polyominos:
+            a, b = poly.corner
+            assert poly.vertices[0] == (a, b)
+            # The walk ends back on the corner's vertical line, lower down.
+            assert poly.vertices[-1][0] == a
+            assert poly.vertices[-1][1] < b
+
+    @given(points_2d(max_size=12))
+    @settings(max_examples=60)
+    def test_one_polyomino_per_interior_vertex(self, pts):
+        sweep = quadrant_sweeping(pts)
+        num_x = len(sweep.grid.xs)
+        num_y = len(sweep.grid.ys)
+        interior = sum(
+            1
+            for a in range(1, num_x + 1)
+            for b in range(1, num_y + 1)
+            if sweep.vtop[a] >= b and sweep.hright[b] >= a
+        )
+        assert len(sweep.polyominos) == interior
+
+
+class TestTheorem2:
+    """The sweeping partition equals the merged equal-result partition."""
+
+    @given(points_2d(max_size=12))
+    @settings(max_examples=60)
+    def test_partition_matches_merged_cells(self, pts):
+        sweep = quadrant_sweeping(pts)
+        merged = partition_signature(quadrant_scanning(pts).polyominos())
+        assert _sweep_partition_signature(sweep) == merged
+
+    @given(distinct_points_2d(max_size=10))
+    def test_partition_matches_in_general_position(self, pts):
+        sweep = quadrant_sweeping(pts)
+        merged = partition_signature(quadrant_scanning(pts).polyominos())
+        assert _sweep_partition_signature(sweep) == merged
+
+    @given(points_2d(max_size=10))
+    @settings(max_examples=40)
+    def test_region_count_matches_merge(self, pts):
+        sweep = quadrant_sweeping(pts)
+        assert sweep.num_regions == len(quadrant_scanning(pts).polyominos())
+
+
+class TestAnnotationAndQueries:
+    def test_results_match_scanning(self, staircase):
+        sweep = quadrant_sweeping(staircase)
+        scanning = quadrant_scanning(staircase)
+        for poly in sweep.polyominos:
+            a, b = poly.corner
+            assert sweep.results()[poly.corner] == scanning.result_at(
+                (a - 1, b - 1)
+            )
+
+    @given(points_2d(max_size=8))
+    @settings(max_examples=30)
+    def test_query_agrees_with_cell_diagram(self, pts):
+        sweep = quadrant_sweeping(pts)
+        scanning = quadrant_scanning(pts)
+        for cell in scanning.grid.cells():
+            representative = scanning.grid.representative(cell)
+            assert sweep.query(representative) == scanning.result_at(cell)
+
+    def test_outer_region_is_empty_result(self, staircase):
+        sweep = quadrant_sweeping(staircase)
+        assert sweep.query((100, 100)) == ()
+
+    def test_results_are_cached(self, staircase):
+        sweep = quadrant_sweeping(staircase)
+        assert sweep.results() is sweep.results()
+
+    def test_repr(self, staircase):
+        assert "polyominos=6" in repr(quadrant_sweeping(staircase))

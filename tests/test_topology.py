@@ -1,0 +1,119 @@
+"""Tests for the region adjacency graph and crossing distances."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.applications.continuous import continuous_skyline
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.diagram.topology import (
+    crossing_distance,
+    neighbouring_results,
+    region_adjacency,
+    region_of,
+)
+from repro.errors import QueryError
+
+from tests.conftest import points_2d
+
+
+class TestAdjacencyGraph:
+    def test_single_point_two_regions(self):
+        graph = region_adjacency(quadrant_scanning([(1, 1)]))
+        assert graph.number_of_nodes() == 2
+        assert graph.number_of_edges() == 1
+        # The two regions share two cell edges.
+        (u, v, data), = graph.edges(data=True)
+        assert data["boundary"] == 2
+
+    def test_nodes_carry_results(self, staircase):
+        graph = region_adjacency(quadrant_scanning(staircase))
+        results = {data["result"] for _, data in graph.nodes(data=True)}
+        assert (0, 1, 2) in results
+        assert () in results
+
+    def test_rejects_non_2d(self):
+        from repro.diagram.highdim import quadrant_baseline_nd
+
+        with pytest.raises(QueryError):
+            region_adjacency(quadrant_baseline_nd([(1, 1, 1)]))
+
+    @given(points_2d(max_size=9))
+    @settings(max_examples=30)
+    def test_graph_is_connected(self, pts):
+        graph = region_adjacency(quadrant_scanning(pts))
+        assert nx.is_connected(graph)
+
+    @given(points_2d(max_size=9))
+    @settings(max_examples=30)
+    def test_adjacent_regions_have_distinct_results(self, pts):
+        graph = region_adjacency(quadrant_scanning(pts))
+        for u, v in graph.edges():
+            assert graph.nodes[u]["result"] != graph.nodes[v]["result"]
+
+    @given(points_2d(max_size=9))
+    @settings(max_examples=30)
+    def test_node_count_matches_polyominos(self, pts):
+        diagram = quadrant_scanning(pts)
+        graph = region_adjacency(diagram)
+        assert graph.number_of_nodes() == len(diagram.polyominos())
+
+
+class TestCrossingDistance:
+    def test_same_region_is_zero(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        assert crossing_distance(diagram, (0, 0), (0.5, 0.5)) == 0
+
+    def test_staircase_corner_to_corner(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        assert crossing_distance(diagram, (0, 0), (100, 100)) == 3
+
+    def test_accepts_prebuilt_graph(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        graph = region_adjacency(diagram)
+        assert crossing_distance(diagram, (0, 0), (100, 100), graph=graph) == 3
+
+    @given(points_2d(max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_lower_bounds_straight_line_crossings(self, pts):
+        # The shortest region path never exceeds the number of grid-line
+        # crossings of a straight route (a diagonal corner crossing on the
+        # segment counts as two boundary steps, which is why the comparison
+        # is against per-axis crossings rather than timeline entries).
+        diagram = quadrant_scanning(pts)
+        graph = region_adjacency(diagram)
+        start, end = (-1.0, -1.0), (1000.0, 1000.0)
+        crossings = sum(
+            sum(1 for v in axis if start[d] < v < end[d])
+            for d, axis in enumerate(diagram.grid.axes)
+        )
+        shortest = crossing_distance(diagram, start, end, graph=graph)
+        assert shortest <= crossings
+        # And the straight-line timeline never changes more often than it
+        # crosses boundaries.
+        straight = len(continuous_skyline(diagram, start, end)) - 1
+        assert straight <= crossings
+
+
+class TestNeighbouringResults:
+    def test_origin_region_neighbours(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        neighbours = neighbouring_results(diagram, (0, 0))
+        # From the full-skyline region, one step drops one point.
+        assert (1, 2) in neighbours
+        assert (0, 1) in neighbours
+
+    def test_region_of_locates(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        assert region_of(diagram, (0, 0)) == region_of(diagram, (0.5, 0.5))
+        assert region_of(diagram, (0, 0)) != region_of(diagram, (100, 100))
+
+    @given(points_2d(max_size=8))
+    @settings(max_examples=20, deadline=None)
+    def test_neighbours_are_reachable_by_small_moves(self, pts):
+        diagram = quadrant_scanning(pts)
+        graph = region_adjacency(diagram)
+        for node in graph.nodes:
+            assert graph.degree(node) >= (
+                1 if graph.number_of_nodes() > 1 else 0
+            )

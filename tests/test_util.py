@@ -1,0 +1,75 @@
+"""Tests for internal multiset/iteration helpers."""
+
+from collections import Counter
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro._util import dedupe_sorted, multiset_add_sub, pairs_upper
+
+ids = st.lists(st.integers(0, 6), max_size=8).map(sorted)
+
+
+class TestMultisetAddSub:
+    def test_plain_merge(self):
+        assert multiset_add_sub((1, 3), (2,), ()) == (1, 2, 3)
+
+    def test_cancellation(self):
+        assert multiset_add_sub((1, 2), (2, 3), (2,)) == (1, 2, 3)
+
+    def test_saturation_clamps_at_zero(self):
+        # 1 appears once but is subtracted twice: saturates, no underflow.
+        assert multiset_add_sub((1,), (), (1, 1)) == ()
+
+    def test_duplicates_survive(self):
+        assert multiset_add_sub((1, 1), (1,), (1,)) == (1, 1)
+
+    def test_all_empty(self):
+        assert multiset_add_sub((), (), ()) == ()
+
+    @given(ids, ids, ids)
+    def test_matches_counter_arithmetic(self, a, b, c):
+        expected = Counter(a) + Counter(b)
+        expected.subtract(Counter(c))
+        want = tuple(
+            sorted(
+                x
+                for x, count in expected.items()
+                for _ in range(max(0, count))
+            )
+        )
+        assert multiset_add_sub(tuple(a), tuple(b), tuple(c)) == want
+
+    @given(ids, ids)
+    def test_adding_then_subtracting_is_identity(self, a, b):
+        assert multiset_add_sub(tuple(a), tuple(b), tuple(b)) == tuple(a)
+
+    @given(ids, ids, ids)
+    def test_output_is_sorted(self, a, b, c):
+        out = multiset_add_sub(tuple(a), tuple(b), tuple(c))
+        assert list(out) == sorted(out)
+
+
+class TestDedupeSorted:
+    def test_collapses_runs(self):
+        assert dedupe_sorted((1, 1, 2, 3, 3)) == (1, 2, 3)
+
+    def test_empty(self):
+        assert dedupe_sorted(()) == ()
+
+    @given(ids)
+    def test_matches_set(self, xs):
+        assert dedupe_sorted(tuple(xs)) == tuple(sorted(set(xs)))
+
+
+class TestPairsUpper:
+    def test_small(self):
+        assert list(pairs_upper(3)) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_zero_and_one(self):
+        assert list(pairs_upper(0)) == []
+        assert list(pairs_upper(1)) == []
+
+    @given(st.integers(0, 12))
+    def test_count(self, n):
+        assert len(list(pairs_upper(n))) == n * (n - 1) // 2

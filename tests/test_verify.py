@@ -1,0 +1,115 @@
+"""Tests for diagram validation (the untrusted-load defence)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.diagram.base import DynamicDiagram, SkylineDiagram
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.diagram.verify import validate_diagram
+from repro.errors import SerializationError
+
+from tests.conftest import points_2d
+
+
+def _corrupt(diagram, cell, new_result):
+    results = dict(diagram.cells())
+    results[cell] = new_result
+    return SkylineDiagram(
+        diagram.grid, results, kind=diagram.kind, mask=diagram.mask
+    )
+
+
+class TestAccepts:
+    @given(points_2d(max_size=8))
+    @settings(max_examples=25, deadline=None)
+    def test_genuine_quadrant_diagrams_pass_full(self, pts):
+        validate_diagram(quadrant_scanning(pts), level="full")
+
+    @given(points_2d(max_size=5))
+    @settings(max_examples=10, deadline=None)
+    def test_genuine_dynamic_diagrams_pass_full(self, pts):
+        validate_diagram(dynamic_scanning(pts), level="full")
+
+    def test_sampled_level(self, staircase):
+        validate_diagram(quadrant_scanning(staircase), level="sampled")
+
+    def test_unknown_level(self, staircase):
+        with pytest.raises(ValueError):
+            validate_diagram(quadrant_scanning(staircase), level="paranoid")
+
+
+class TestRejects:
+    def test_unsorted_result(self, staircase):
+        bad = _corrupt(quadrant_scanning(staircase), (0, 0), (2, 1, 0))
+        with pytest.raises(SerializationError, match="sorted"):
+            validate_diagram(bad)
+
+    def test_out_of_range_id(self, staircase):
+        bad = _corrupt(quadrant_scanning(staircase), (0, 0), (0, 99))
+        with pytest.raises(SerializationError, match="unknown points"):
+            validate_diagram(bad)
+
+    def test_non_candidate_member(self, staircase):
+        # Point 0 has x-rank 1: it cannot appear in column 1 cells.
+        bad = _corrupt(quadrant_scanning(staircase), (1, 0), (0, 1, 2))
+        with pytest.raises(SerializationError, match="not a candidate"):
+            validate_diagram(bad)
+
+    def test_wrong_origin(self, staircase):
+        bad = _corrupt(quadrant_scanning(staircase), (0, 0), (0,))
+        with pytest.raises(SerializationError, match="origin"):
+            validate_diagram(bad)
+
+    def test_nonempty_border(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        top = tuple(extent - 1 for extent in diagram.grid.shape)
+        bad = _corrupt(diagram, top, (0,))
+        with pytest.raises(SerializationError):
+            validate_diagram(bad)
+
+    def test_full_level_catches_interior_swap(self, staircase):
+        # Swap two interior results that pass every structural law.
+        diagram = quadrant_scanning(staircase)
+        bad = _corrupt(diagram, (1, 1), diagram.result_at((2, 1)))
+        if bad.result_at((1, 1)) == diagram.result_at((1, 1)):
+            pytest.skip("cells coincide on this dataset")
+        with pytest.raises(SerializationError, match="recomputed"):
+            validate_diagram(bad, level="full")
+
+    def test_empty_dynamic_subcell(self):
+        diagram = dynamic_scanning([(0, 0), (4, 4)])
+        results = dict(diagram.cells())
+        results[(0, 0)] = ()
+        bad = DynamicDiagram(diagram.subcells, results)
+        with pytest.raises(SerializationError, match="never empty"):
+            validate_diagram(bad)
+
+    def test_wrong_dynamic_result_full(self):
+        diagram = dynamic_scanning([(0, 0), (10, 10)])
+        results = dict(diagram.cells())
+        results[(0, 0)] = (1,)
+        bad = DynamicDiagram(diagram.subcells, results)
+        with pytest.raises(SerializationError, match="recomputed"):
+            validate_diagram(bad, level="full")
+
+
+class TestLoadPipeline:
+    def test_validates_after_json_round_trip(self, staircase):
+        from repro.index.serialize import diagram_from_json, diagram_to_json
+
+        restored = diagram_from_json(
+            diagram_to_json(quadrant_scanning(staircase))
+        )
+        validate_diagram(restored, level="full")
+
+    def test_catches_tampered_json(self, staircase):
+        import json
+
+        from repro.index.serialize import diagram_from_json, diagram_to_json
+
+        payload = json.loads(diagram_to_json(quadrant_scanning(staircase)))
+        payload["cells"][0] = [2]  # origin no longer the skyline
+        bad = diagram_from_json(json.dumps(payload))
+        with pytest.raises(SerializationError):
+            validate_diagram(bad)

@@ -1,0 +1,122 @@
+"""Tests for the ASCII and SVG renderers."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.geometry.point import Dataset
+from repro.viz.ascii_art import ascii_diagram
+from repro.viz.svg import render_svg
+
+from tests.conftest import points_2d
+
+
+class TestAscii:
+    def test_single_point(self):
+        art = ascii_diagram(quadrant_scanning([(1, 1)]), legend=False)
+        assert art == "BB\nAB"
+
+    def test_legend_lists_results(self):
+        ds = Dataset([(1, 1)], names=["only"])
+        art = ascii_diagram(quadrant_scanning(ds))
+        assert "A: {only}" in art
+        assert "B: {}" in art
+
+    def test_row_count_matches_grid(self, staircase):
+        art = ascii_diagram(quadrant_scanning(staircase), legend=False)
+        assert len(art.splitlines()) == 4  # sy = 4 cell rows
+
+    def test_rejects_non_2d(self):
+        from repro.diagram.highdim import quadrant_baseline_nd
+
+        with pytest.raises(ValueError):
+            ascii_diagram(quadrant_baseline_nd([(1, 1, 1)]))
+
+    def test_works_on_dynamic_diagrams(self):
+        art = ascii_diagram(dynamic_scanning([(0, 0), (4, 4)]), legend=False)
+        assert len(art.splitlines()) == 4
+
+    @given(points_2d(max_size=6))
+    @settings(max_examples=15)
+    def test_characters_cover_all_cells(self, pts):
+        diagram = quadrant_scanning(pts)
+        art = ascii_diagram(diagram, legend=False)
+        lines = art.splitlines()
+        sx, sy = diagram.grid.shape
+        assert len(lines) == sy
+        assert all(len(line) == sx for line in lines)
+
+
+class TestSvg:
+    def test_structure(self, staircase):
+        svg = render_svg(quadrant_scanning(staircase))
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_one_polygon_per_boundary_loop(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        loops = sum(len(p.boundary()) for p in diagram.polyominos())
+        svg = render_svg(diagram)
+        assert svg.count("<polygon") == loops
+
+    def test_points_rendered(self, staircase):
+        svg = render_svg(quadrant_scanning(staircase))
+        assert svg.count("<circle") == 3
+        assert "p0" in svg
+
+    def test_points_hidden(self, staircase):
+        svg = render_svg(quadrant_scanning(staircase), show_points=False)
+        assert "<circle" not in svg
+
+    def test_custom_size(self, staircase):
+        svg = render_svg(quadrant_scanning(staircase), width=100, height=50)
+        assert 'width="100"' in svg
+        assert 'height="50"' in svg
+
+    def test_rejects_non_2d(self):
+        from repro.diagram.highdim import quadrant_baseline_nd
+
+        with pytest.raises(ValueError):
+            render_svg(quadrant_baseline_nd([(1, 1, 1)]))
+
+    def test_empty_result_region_is_grey(self, staircase):
+        svg = render_svg(quadrant_scanning(staircase))
+        assert "#f2f2f2" in svg
+
+    def test_deterministic(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        assert render_svg(diagram) == render_svg(diagram)
+
+    @given(points_2d(max_size=6))
+    @settings(max_examples=10)
+    def test_renders_arbitrary_diagrams(self, pts):
+        svg = render_svg(quadrant_scanning(pts))
+        assert "<polygon" in svg
+
+
+class TestSvgExtras:
+    def test_sweep_rendering(self, staircase):
+        from repro.diagram import quadrant_sweeping
+        from repro.viz.svg_extras import render_sweep_svg
+
+        sweep = quadrant_sweeping(staircase)
+        svg = render_sweep_svg(sweep)
+        assert svg.startswith("<svg")
+        assert svg.count("<polyline") == len(sweep.polyominos)
+        assert svg.count("<circle") == 3
+
+    def test_voronoi_rendering(self):
+        from repro.voronoi.diagram import VoronoiDiagram
+        from repro.viz.svg_extras import render_voronoi_svg
+
+        svg = render_voronoi_svg(VoronoiDiagram([(2, 2), (8, 8), (2, 8)]))
+        assert svg.count("<polygon") == 3
+        assert svg.rstrip().endswith("</svg>")
+
+    def test_renders_are_deterministic(self, staircase):
+        from repro.diagram import quadrant_sweeping
+        from repro.viz.svg_extras import render_sweep_svg
+
+        sweep = quadrant_sweeping(staircase)
+        assert render_sweep_svg(sweep) == render_sweep_svg(sweep)

@@ -1,0 +1,131 @@
+"""Tests for the Voronoi/kNN substrate."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DimensionalityError
+from repro.voronoi.diagram import VoronoiDiagram, voronoi_cell
+from repro.voronoi.knn import k_nearest, nearest
+
+
+class TestKnn:
+    def test_nearest(self):
+        assert nearest([(0, 0), (10, 10)], (2, 2)) == 0
+        assert nearest([(0, 0), (10, 10)], (8, 8)) == 1
+
+    def test_tie_prefers_lower_id(self):
+        assert nearest([(0, 0), (10, 0)], (5, 0)) == 0
+
+    def test_k_nearest_order(self):
+        assert k_nearest([(0, 0), (1, 1), (9, 9)], (0, 0), 2) == (0, 1)
+
+    def test_k_nearest_validates_k(self):
+        with pytest.raises(ValueError):
+            k_nearest([(0, 0)], (1, 1), 2)
+        with pytest.raises(ValueError):
+            k_nearest([(0, 0)], (1, 1), 0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)),
+            min_size=1,
+            max_size=10,
+        ),
+        st.tuples(st.integers(0, 20), st.integers(0, 20)),
+    )
+    def test_nearest_is_k1(self, pts, q):
+        assert k_nearest(pts, q, 1) == (nearest(pts, q),)
+
+
+class TestVoronoiCell:
+    def test_half_plane_split(self):
+        cell = voronoi_cell([(0, 0), (10, 0)], 0, (0, 0, 10, 10))
+        assert sorted(cell) == [
+            (0.0, 0.0),
+            (0.0, 10.0),
+            (5.0, 0.0),
+            (5.0, 10.0),
+        ]
+
+    def test_duplicate_sites_keep_full_box(self):
+        cell = voronoi_cell([(5, 5), (5, 5)], 0, (0, 0, 10, 10))
+        assert len(cell) == 4
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DimensionalityError):
+            voronoi_cell([(1, 2, 3)], 0, (0, 0, 1, 1))
+
+
+class TestVoronoiDiagram:
+    def test_cell_contains_its_site(self):
+        pts = [(2, 2), (8, 2), (5, 8)]
+        diagram = VoronoiDiagram(pts, bbox=(0, 0, 10, 10))
+        for site, cell in enumerate(diagram.cells):
+            xs = [v[0] for v in cell]
+            ys = [v[1] for v in cell]
+            assert min(xs) - 1e-9 <= pts[site][0] <= max(xs) + 1e-9
+            assert min(ys) - 1e-9 <= pts[site][1] <= max(ys) + 1e-9
+
+    def test_areas_tile_the_box(self):
+        pts = [(2, 2), (8, 2), (5, 8), (1, 9)]
+        diagram = VoronoiDiagram(pts, bbox=(0, 0, 10, 10))
+        assert math.isclose(
+            sum(diagram.cell_area(s) for s in range(len(pts))),
+            100.0,
+            rel_tol=1e-9,
+        )
+
+    def test_sampled_points_agree_with_locate(self):
+        rng = random.Random(5)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(8)]
+        diagram = VoronoiDiagram(pts, bbox=(0, 0, 10, 10))
+
+        def inside(polygon, q):
+            # Convex polygon CCW: q left of every edge.
+            m = len(polygon)
+            for k in range(m):
+                x0, y0 = polygon[k]
+                x1, y1 = polygon[(k + 1) % m]
+                if (x1 - x0) * (q[1] - y0) - (y1 - y0) * (q[0] - x0) < -1e-7:
+                    return False
+            return True
+
+        for _ in range(100):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            site = diagram.locate(q)
+            assert inside(diagram.cells[site], q)
+
+    def test_default_bbox_covers_sites(self):
+        diagram = VoronoiDiagram([(0, 0), (4, 6)])
+        x0, y0, x1, y1 = diagram.bbox
+        assert x0 < 0 < 4 < x1
+        assert y0 < 0 < 6 < y1
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DimensionalityError):
+            VoronoiDiagram([(1, 2, 3)])
+
+    def test_repr(self):
+        assert "n=2" in repr(VoronoiDiagram([(0, 0), (1, 1)]))
+
+    def test_degenerate_duplicate_site_has_zero_area(self):
+        diagram = VoronoiDiagram([(5, 5), (5, 5)], bbox=(0, 0, 10, 10))
+        # Duplicates share the plane; each keeps the whole box in this
+        # implementation (neither bisector excludes the other).
+        assert diagram.cell_area(0) == 100.0
+
+
+class TestAnalogy:
+    """The paper's framing: Voronoi is to kNN what the diagram is to skyline."""
+
+    def test_same_cell_same_nearest_neighbour(self):
+        rng = random.Random(9)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(6)]
+        diagram = VoronoiDiagram(pts, bbox=(0, 0, 10, 10))
+        for _ in range(50):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            assert diagram.locate(q) == nearest(pts, q)

@@ -1,0 +1,103 @@
+"""Tests for why-not explanations."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.applications.why_not import why_not
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.errors import QueryError
+
+from tests.conftest import points_2d
+
+queries = st.tuples(st.integers(-1, 10), st.integers(-1, 10))
+
+
+class TestBasics:
+    def test_already_present_is_distance_zero(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        explanation = why_not(diagram, (0.0, 0.0), 0)
+        assert explanation.distance == 0.0
+        assert explanation.witness == (0.0, 0.0)
+        assert 0 in explanation.result
+
+    def test_minimal_move_on_staircase(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        explanation = why_not(diagram, (7.0, 3.0), 0)
+        assert math.isclose(explanation.distance, 5.0)
+        assert 0 in explanation.result
+
+    def test_witness_result_contains_point(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        for pid in range(3):
+            explanation = why_not(diagram, (10.0, 10.0), pid)
+            assert pid in explanation.result
+            assert diagram.query(explanation.witness) == explanation.result
+
+    def test_every_point_appears_somewhere_in_quadrant_diagrams(self):
+        # The cell just below-left of any point p answers {p, duplicates},
+        # so the "no region" error is unreachable for built diagrams; the
+        # guard exists for hand-constructed ones.
+        diagram = quadrant_scanning([(1, 1), (1, 2)])
+        explanation = why_not(diagram, (0.0, 0.0), 1)
+        assert 1 in explanation.result
+
+    def test_point_in_no_region_raises_on_crafted_diagram(self):
+        from repro.diagram.base import SkylineDiagram
+        from repro.geometry.grid import Grid
+
+        grid = Grid([(1, 1)])
+        crafted = SkylineDiagram(
+            grid, {cell: () for cell in grid.cells()}, kind="quadrant"
+        )
+        with pytest.raises(QueryError, match="no region"):
+            why_not(crafted, (0.0, 0.0), 0)
+
+    def test_validates_point_id(self, staircase):
+        diagram = quadrant_scanning(staircase)
+        with pytest.raises(QueryError):
+            why_not(diagram, (0, 0), 99)
+
+    def test_works_on_dynamic_diagrams(self):
+        diagram = dynamic_scanning([(0, 0), (10, 10)])
+        explanation = why_not(diagram, (1.0, 1.0), 1)
+        assert 1 in explanation.result
+        assert explanation.distance > 0
+
+
+class TestOptimality:
+    @given(points_2d(min_size=1, max_size=7), queries, st.integers(0, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_distance_is_minimal_over_cells(self, pts, q, seed):
+        pid = seed % len(pts)
+        diagram = quadrant_scanning(pts)
+        try:
+            explanation = why_not(diagram, q, pid)
+        except QueryError:
+            # The point appears in no region: verify that is actually true.
+            for _, result in diagram.cells():
+                assert pid not in result
+            return
+        # Brute-force the minimum distance over all admitting cells.
+        best = math.inf
+        for cell, result in diagram.cells():
+            if pid not in result:
+                continue
+            lo, hi = diagram.grid.cell_bounds(cell)
+            clamped = [min(max(float(q[d]), lo[d]), hi[d]) for d in range(2)]
+            best = min(best, math.dist((float(q[0]), float(q[1])), clamped))
+        assert math.isclose(explanation.distance, best, abs_tol=1e-12)
+
+    @given(points_2d(min_size=1, max_size=7), queries)
+    @settings(max_examples=30, deadline=None)
+    def test_witness_always_admits_the_point(self, pts, q):
+        diagram = quadrant_scanning(pts)
+        for pid in range(len(pts)):
+            try:
+                explanation = why_not(diagram, q, pid)
+            except QueryError:
+                continue
+            assert pid in diagram.query(explanation.witness)

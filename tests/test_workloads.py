@@ -1,0 +1,90 @@
+"""Tests for the query workload generators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datasets.workloads import (
+    clustered_queries,
+    trajectory_queries,
+    uniform_queries,
+    workload,
+)
+from repro.errors import DatasetError
+
+BOX = (0.0, 0.0, 10.0, 10.0)
+
+
+class TestUniform:
+    def test_shape_and_bounds(self):
+        qs = uniform_queries(50, BOX, seed=2)
+        assert len(qs) == 50
+        assert all(0 <= x <= 10 and 0 <= y <= 10 for x, y in qs)
+
+    def test_deterministic(self):
+        assert uniform_queries(10, BOX, seed=3) == uniform_queries(
+            10, BOX, seed=3
+        )
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            uniform_queries(0, BOX)
+        with pytest.raises(DatasetError):
+            uniform_queries(5, (1, 1, 1, 1))
+
+    @given(st.integers(1, 100), st.integers(0, 9))
+    def test_count_property(self, n, seed):
+        assert len(uniform_queries(n, BOX, seed=seed)) == n
+
+
+class TestClustered:
+    def test_bounds_respected(self):
+        qs = clustered_queries(200, BOX, seed=4)
+        assert all(0 <= x <= 10 and 0 <= y <= 10 for x, y in qs)
+
+    def test_more_concentrated_than_uniform(self):
+        import numpy as np
+
+        clustered = clustered_queries(500, BOX, seed=5, hotspots=2)
+        uniform = uniform_queries(500, BOX, seed=5)
+
+        def spread(qs):
+            arr = np.array(qs)
+            return float(arr.std(axis=0).sum())
+
+        assert spread(clustered) < spread(uniform)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            clustered_queries(0, BOX)
+        with pytest.raises(DatasetError):
+            clustered_queries(5, BOX, hotspots=0)
+
+
+class TestTrajectory:
+    def test_endpoints_included(self):
+        qs = trajectory_queries((0, 0), (4, 2), 3)
+        assert qs == [(0.0, 0.0), (2.0, 1.0), (4.0, 2.0)]
+
+    def test_step_count(self):
+        assert len(trajectory_queries((0, 0), (1, 1), 17)) == 17
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            trajectory_queries((0, 0), (1, 1), 1)
+
+    @given(st.integers(2, 30))
+    def test_evenly_spaced(self, steps):
+        qs = trajectory_queries((0, 0), (10, 0), steps)
+        gaps = {round(b[0] - a[0], 9) for a, b in zip(qs, qs[1:])}
+        assert len(gaps) == 1
+
+
+class TestDispatch:
+    def test_known_kinds(self):
+        assert len(workload("uniform", 5, BOX)) == 5
+        assert len(workload("clustered", 5, BOX)) == 5
+
+    def test_unknown_kind(self):
+        with pytest.raises(DatasetError, match="unknown workload"):
+            workload("adversarial", 5, BOX)
