@@ -1,0 +1,165 @@
+"""PR benchmark smoke target: construction + batch-query throughput.
+
+Runs the E1/E8-style measurements at small n plus the two headline arms of
+the array-store engine —
+
+* quadrant scanning construction at n=2000 (independent), array store vs
+  the seed dict-per-cell reference;
+* a 10k-query workload answered with ``query_batch`` vs per-point
+  ``query`` on the same diagram —
+
+and writes the results to ``BENCH_pr1.json`` at the repository root.  All
+timings are best-of-N wall clock (``repro.bench.harness.time_call``), the
+least noise-sensitive estimator on a shared machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke.py [--out PATH] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import dataset  # noqa: E402
+
+from repro.bench.harness import save_json, time_call  # noqa: E402
+from repro.diagram import (  # noqa: E402
+    quadrant_baseline,
+    quadrant_dsg,
+    quadrant_scanning,
+    quadrant_sweeping,
+)
+from repro.diagram.quadrant_scanning import (  # noqa: E402
+    quadrant_scanning_reference,
+)
+from repro.skyline.queries import quadrant_skyline  # noqa: E402
+
+E1_ALGORITHMS = {
+    "baseline": quadrant_baseline,
+    "dsg": quadrant_dsg,
+    "scanning": quadrant_scanning,
+    "sweeping": quadrant_sweeping,
+}
+
+
+def e1_construction_small(sizes: tuple[int, ...]) -> dict:
+    """E1 at small n: construction seconds per algorithm and size."""
+    out: dict = {}
+    for n in sizes:
+        points = dataset("independent", n)
+        out[str(n)] = {
+            name: time_call(lambda b=build, p=points: b(p), repeats=3)
+            for name, build in E1_ALGORITHMS.items()
+        }
+    return out
+
+
+def e8_lookup_small(n: int, batch: int) -> dict:
+    """E8 at small n: diagram lookup vs from-scratch evaluation."""
+    points = dataset("independent", n)
+    diagram = quadrant_scanning(points)
+    rng = random.Random(n)
+    queries = [(rng.random(), rng.random()) for _ in range(batch)]
+    lookup = time_call(
+        lambda: [diagram.query(q) for q in queries], repeats=3
+    )
+    scratch = time_call(
+        lambda: [quadrant_skyline(points, q) for q in queries], repeats=3
+    )
+    return {
+        "n": n,
+        "queries": batch,
+        "lookup_s": lookup,
+        "from_scratch_s": scratch,
+        "speedup": scratch / lookup,
+    }
+
+
+def headline_construction(n: int) -> dict:
+    """Array-store scanning vs the seed dict reference at one size."""
+    points = dataset("independent", n)
+    new = time_call(lambda: quadrant_scanning(points), repeats=3)
+    ref = time_call(lambda: quadrant_scanning_reference(points), repeats=3)
+    return {
+        "n": n,
+        "distribution": "independent",
+        "array_store_s": new,
+        "dict_reference_s": ref,
+        "speedup": ref / new,
+    }
+
+
+def headline_batch_query(n: int, batch: int) -> dict:
+    """``query_batch`` vs per-point ``query`` on one diagram."""
+    diagram = quadrant_scanning(dataset("independent", n))
+    rng = random.Random(batch)
+    queries = [(rng.random(), rng.random()) for _ in range(batch)]
+    batch_s = time_call(lambda: diagram.query_batch(queries), repeats=5)
+    per_point_s = time_call(
+        lambda: [diagram.query(q) for q in queries], repeats=3
+    )
+    assert diagram.query_batch(queries) == [
+        diagram.query(q) for q in queries
+    ]
+    return {
+        "n": n,
+        "queries": batch,
+        "batch_s": batch_s,
+        "per_point_s": per_point_s,
+        "speedup": per_point_s / batch_s,
+        "batch_queries_per_s": batch / batch_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_pr1.json",
+        help="output JSON path (default: repo-root BENCH_pr1.json)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink the headline construction size (for CI smoke runs)",
+    )
+    args = parser.parse_args(argv)
+
+    headline_n = 500 if args.quick else 2000
+    payload = {
+        "benchmark": "pr1-array-store-smoke",
+        "timer": "best-of-N wall clock (time_call)",
+        "e1_construction_small": e1_construction_small((64, 128)),
+        "e8_query_small": e8_lookup_small(256, 100),
+        "headline": {
+            "construction": headline_construction(headline_n),
+            "batch_query": headline_batch_query(1024, 10_000),
+        },
+    }
+    out = save_json(args.out, payload)
+    cons = payload["headline"]["construction"]
+    batch = payload["headline"]["batch_query"]
+    print(f"wrote {out}")
+    print(
+        f"construction n={cons['n']}: store {cons['array_store_s']:.2f}s "
+        f"vs dict {cons['dict_reference_s']:.2f}s "
+        f"({cons['speedup']:.2f}x)"
+    )
+    print(
+        f"batch query n={batch['n']}, {batch['queries']} queries: "
+        f"batch {batch['batch_s'] * 1e3:.1f}ms vs per-point "
+        f"{batch['per_point_s'] * 1e3:.1f}ms ({batch['speedup']:.2f}x, "
+        f"{batch['batch_queries_per_s']:.0f} q/s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,13 @@
 """Benchmark harness: timing utilities and the paper's experiment suite."""
 
-from repro.bench.harness import Table, time_call
+from repro.bench.harness import Table, save_json, throughput, time_call
 from repro.bench.experiments import EXPERIMENTS, run_experiment
 
-__all__ = ["EXPERIMENTS", "Table", "run_experiment", "time_call"]
+__all__ = [
+    "EXPERIMENTS",
+    "Table",
+    "run_experiment",
+    "save_json",
+    "throughput",
+    "time_call",
+]

@@ -291,6 +291,29 @@ def e9_ablation(quick: bool = True) -> list[Table]:
         ]
     )
     tables.append(table)
+
+    # (d) the array-backed store engine vs the seed dict-per-cell path.
+    from repro.diagram.quadrant_scanning import quadrant_scanning_reference
+
+    table = Table(
+        f"E9d: scanning with array store on vs off, n={n_scan}",
+        ["variant", "time"],
+    )
+    table.add_row(
+        [
+            "array store (default)",
+            time_call(lambda: quadrant_scanning(scan_points), repeats=3),
+        ]
+    )
+    table.add_row(
+        [
+            "dict per cell (seed)",
+            time_call(
+                lambda: quadrant_scanning_reference(scan_points), repeats=3
+            ),
+        ]
+    )
+    tables.append(table)
     return tables
 
 

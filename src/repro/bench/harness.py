@@ -8,9 +8,11 @@ records and ``python -m repro.bench`` regenerates.
 
 from __future__ import annotations
 
+import json
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 
@@ -22,6 +24,21 @@ def time_call(fn: Callable[[], Any], repeats: int = 1) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def throughput(
+    fn: Callable[[], Any], items: int, repeats: int = 3
+) -> float:
+    """Items per second of ``fn``, using best-of-``repeats`` timing."""
+    best = time_call(fn, repeats=repeats)
+    return items / best if best > 0 else float("inf")
+
+
+def save_json(path: str | Path, payload: dict[str, Any]) -> Path:
+    """Write a benchmark result payload as indented JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @dataclass

@@ -22,6 +22,7 @@ algorithm names to callables for the benchmark harness and CLI.
 """
 
 from repro.diagram.base import DynamicDiagram, SkylineDiagram
+from repro.diagram.store import ResultStore
 from repro.diagram.dynamic_baseline import dynamic_baseline
 from repro.diagram.dynamic_scanning import dynamic_scanning
 from repro.diagram.dynamic_subset import dynamic_subset
@@ -58,6 +59,7 @@ __all__ = [
     "DYNAMIC_ALGORITHMS",
     "DynamicDiagram",
     "QUADRANT_ALGORITHMS",
+    "ResultStore",
     "SkybandDiagram",
     "SkylineDiagram",
     "SweepDiagram",

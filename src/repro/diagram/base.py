@@ -8,6 +8,13 @@ construction algorithms are cross-validated.
 
 A :class:`DynamicDiagram` is the same thing over the bisector-augmented
 :class:`~repro.geometry.subcell.SubcellGrid`.
+
+Both classes are backed by a compact
+:class:`~repro.diagram.store.ResultStore` — an ``int32`` id grid plus an
+interned result table — rather than a ``dict[cell, result]``.  Construction
+algorithms may pass either a store (the fast path) or the historical dict,
+which is interned on entry; :meth:`SkylineDiagram.cells` keeps the dict-like
+iteration view.
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Iterator
 
+from repro.diagram.store import ResultStore
 from repro.errors import QueryError
 from repro.geometry.grid import Grid
 from repro.geometry.polyomino import Polyomino
@@ -32,8 +40,9 @@ class SkylineDiagram:
     grid:
         The compressed grid the diagram was built over.
     results:
-        Mapping from cell index tuple to canonical result tuple.  Every cell
-        of the grid must be present.
+        Either a :class:`~repro.diagram.store.ResultStore` of shape
+        ``grid.shape`` or a mapping from cell index tuple to canonical
+        result tuple covering every cell of the grid.
     kind:
         ``"quadrant"`` or ``"global"``.
     mask:
@@ -43,27 +52,36 @@ class SkylineDiagram:
         Name of the construction algorithm, for provenance.
     """
 
-    __slots__ = ("grid", "kind", "mask", "algorithm", "_results", "_polyominos")
+    __slots__ = ("grid", "kind", "mask", "algorithm", "_store", "_polyominos")
 
     def __init__(
         self,
         grid: Grid,
-        results: dict[Cell, Result],
+        results: dict[Cell, Result] | ResultStore,
         kind: str = "quadrant",
         mask: int = 0,
         algorithm: str = "unknown",
     ) -> None:
         if kind not in ("quadrant", "global"):
             raise ValueError(f"unknown diagram kind {kind!r}")
-        if len(results) != grid.num_cells:
-            raise ValueError(
-                f"{len(results)} cell results for {grid.num_cells} cells"
-            )
+        if isinstance(results, ResultStore):
+            if results.shape != grid.shape:
+                raise ValueError(
+                    f"store of shape {results.shape} cell results for grid "
+                    f"shape {grid.shape} cells"
+                )
+            store = results
+        else:
+            if len(results) != grid.num_cells:
+                raise ValueError(
+                    f"{len(results)} cell results for {grid.num_cells} cells"
+                )
+            store = ResultStore.from_dict(grid.shape, results)
         self.grid = grid
         self.kind = kind
         self.mask = mask
         self.algorithm = algorithm
-        self._results = results
+        self._store = store
         self._polyominos: list[Polyomino] | None = None
 
     # ------------------------------------------------------------------
@@ -72,17 +90,34 @@ class SkylineDiagram:
         """Dimensionality of the underlying grid."""
         return self.grid.dim
 
+    @property
+    def store(self) -> ResultStore:
+        """The compact array-backed result store."""
+        return self._store
+
     def result_at(self, cell: Cell) -> Result:
         """Canonical skyline result of one cell."""
-        return self._results[cell]
+        return self._store.result_at(cell)
 
     def cells(self) -> Iterator[tuple[Cell, Result]]:
-        """Iterate over ``(cell, result)`` pairs."""
-        return iter(self._results.items())
+        """Iterate over ``(cell, result)`` pairs (row-major order)."""
+        return self._store.items()
 
     def query(self, query: Sequence[float]) -> Result:
         """Answer a skyline query by point location (O(d log n))."""
-        return self._results[self.grid.locate(query)]
+        return self._store.result_at(self.grid.locate(query))
+
+    def query_batch(
+        self, queries: Sequence[Sequence[float]]
+    ) -> list[Result]:
+        """Answer many skyline queries in one vectorized pass.
+
+        Point location runs as one ``np.searchsorted`` per axis over the
+        whole batch and the per-query results are reads of the interned
+        table — the serving-side hot path.  Agrees with :meth:`query`
+        query-for-query, including the lower-side tie rule on grid lines.
+        """
+        return self._store.lookup_batch(self.grid.locate_batch(queries))
 
     def query_points(self, query: Sequence[float]) -> list[tuple[float, ...]]:
         """Like :meth:`query` but returning point coordinates."""
@@ -90,7 +125,7 @@ class SkylineDiagram:
 
     def distinct_results(self) -> set[Result]:
         """The set of distinct skyline results across all cells."""
-        return set(self._results.values())
+        return self._store.distinct_results()
 
     def polyominos(self) -> list[Polyomino]:
         """Merge cells into skyline polyominos (2-D only; cached)."""
@@ -99,7 +134,9 @@ class SkylineDiagram:
         if self._polyominos is None:
             from repro.diagram.merge import merge_cells
 
-            self._polyominos = merge_cells(self.grid.shape, self._results)
+            self._polyominos = merge_cells(
+                self.grid.shape, self._store.to_dict()
+            )
         return self._polyominos
 
     # ------------------------------------------------------------------
@@ -110,7 +147,7 @@ class SkylineDiagram:
             self.grid.axes == other.grid.axes
             and self.kind == other.kind
             and self.mask == other.mask
-            and self._results == other._results
+            and self._store == other._store
         )
 
     def __hash__(self) -> int:  # pragma: no cover - diagrams rarely hashed
@@ -120,29 +157,38 @@ class SkylineDiagram:
         return (
             f"SkylineDiagram(kind={self.kind!r}, algorithm={self.algorithm!r}, "
             f"n={len(self.grid.dataset)}, cells={self.grid.num_cells}, "
-            f"distinct={len(self.distinct_results())})"
+            f"distinct={self._store.distinct_count})"
         )
 
 
 class DynamicDiagram:
     """A dynamic skyline diagram over the skyline-subcell grid (2-D)."""
 
-    __slots__ = ("subcells", "algorithm", "_results", "_polyominos")
+    __slots__ = ("subcells", "algorithm", "_store", "_polyominos")
 
     def __init__(
         self,
         subcells: SubcellGrid,
-        results: dict[tuple[int, int], Result],
+        results: dict[tuple[int, int], Result] | ResultStore,
         algorithm: str = "unknown",
     ) -> None:
-        if len(results) != subcells.num_subcells:
-            raise ValueError(
-                f"{len(results)} subcell results for "
-                f"{subcells.num_subcells} subcells"
-            )
+        if isinstance(results, ResultStore):
+            if results.shape != subcells.shape:
+                raise ValueError(
+                    f"store of shape {results.shape} subcell results for "
+                    f"{subcells.num_subcells} subcells"
+                )
+            store = results
+        else:
+            if len(results) != subcells.num_subcells:
+                raise ValueError(
+                    f"{len(results)} subcell results for "
+                    f"{subcells.num_subcells} subcells"
+                )
+            store = ResultStore.from_dict(subcells.shape, results)
         self.subcells = subcells
         self.algorithm = algorithm
-        self._results = results
+        self._store = store
         self._polyominos: list[Polyomino] | None = None
 
     # ------------------------------------------------------------------
@@ -151,13 +197,18 @@ class DynamicDiagram:
         """Alias kept for symmetry with :class:`SkylineDiagram`."""
         return self.subcells
 
+    @property
+    def store(self) -> ResultStore:
+        """The compact array-backed result store."""
+        return self._store
+
     def result_at(self, subcell: tuple[int, int]) -> Result:
         """Canonical dynamic skyline result of one subcell."""
-        return self._results[subcell]
+        return self._store.result_at(subcell)
 
     def cells(self) -> Iterator[tuple[tuple[int, int], Result]]:
-        """Iterate over ``(subcell, result)`` pairs."""
-        return iter(self._results.items())
+        """Iterate over ``(subcell, result)`` pairs (row-major order)."""
+        return self._store.items()
 
     def query(self, query: Sequence[float]) -> Result:
         """Answer a dynamic skyline query by point location.
@@ -166,7 +217,13 @@ class DynamicDiagram:
         on a bisector (a measure-zero event where mapped coordinates tie) is
         answered with the lower-side subcell's result.
         """
-        return self._results[self.subcells.locate(query)]
+        return self._store.result_at(self.subcells.locate(query))
+
+    def query_batch(
+        self, queries: Sequence[Sequence[float]]
+    ) -> list[Result]:
+        """Answer many dynamic skyline queries in one vectorized pass."""
+        return self._store.lookup_batch(self.subcells.locate_batch(queries))
 
     def query_points(self, query: Sequence[float]) -> list[tuple[float, ...]]:
         """Like :meth:`query` but returning point coordinates."""
@@ -174,14 +231,16 @@ class DynamicDiagram:
 
     def distinct_results(self) -> set[Result]:
         """The set of distinct dynamic skyline results across subcells."""
-        return set(self._results.values())
+        return self._store.distinct_results()
 
     def polyominos(self) -> list[Polyomino]:
         """Merge subcells into polyominos (cached)."""
         if self._polyominos is None:
             from repro.diagram.merge import merge_cells
 
-            self._polyominos = merge_cells(self.subcells.shape, self._results)
+            self._polyominos = merge_cells(
+                self.subcells.shape, self._store.to_dict()
+            )
         return self._polyominos
 
     def __eq__(self, other: object) -> bool:
@@ -189,7 +248,7 @@ class DynamicDiagram:
             return NotImplemented
         return (
             self.subcells.axes == other.subcells.axes
-            and self._results == other._results
+            and self._store == other._store
         )
 
     def __hash__(self) -> int:  # pragma: no cover - diagrams rarely hashed
@@ -200,5 +259,5 @@ class DynamicDiagram:
             f"DynamicDiagram(algorithm={self.algorithm!r}, "
             f"n={len(self.subcells.dataset)}, "
             f"subcells={self.subcells.num_subcells}, "
-            f"distinct={len(self.distinct_results())})"
+            f"distinct={self._store.distinct_count})"
         )

@@ -11,14 +11,18 @@ suffices to re-skyline that small candidate set:
 
 The sweep computes ``Sky(SC_{0,0})`` from scratch, then walks the first
 column bottom-up and each row left-to-right, re-skylining a candidate set
-whose size tracks the skyline size rather than n.
+whose size tracks the skyline size rather than n.  Results are interned
+directly into the array-backed :class:`~repro.diagram.store.ResultStore`.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.diagram.base import DynamicDiagram
+from repro.diagram.store import ResultStore
 from repro.geometry.point import Dataset, ensure_dataset
 from repro.geometry.subcell import SubcellGrid
 from repro.skyline.queries import dynamic_skyline, dynamic_skyline_among
@@ -36,8 +40,18 @@ def dynamic_scanning(
     dataset = ensure_dataset(points)
     subcells = SubcellGrid(dataset)
     sx, sy = subcells.shape
-    results: dict[tuple[int, int], tuple[int, ...]] = {}
+    table: list[tuple[int, ...]] = []
+    intern: dict[tuple[int, ...], int] = {}
 
+    def intern_id(result: tuple[int, ...]) -> int:
+        rid = intern.get(result)
+        if rid is None:
+            rid = len(table)
+            table.append(result)
+            intern[result] = rid
+        return rid
+
+    rows = np.empty((sy, sx), dtype=np.int32)  # row j contiguous; .T at end
     column_start = dynamic_skyline(dataset, subcells.representative((0, 0)))
     for j in range(sy):
         if j > 0:
@@ -48,7 +62,8 @@ def dynamic_scanning(
             column_start = dynamic_skyline_among(
                 dataset, candidates, subcells.representative((0, j))
             )
-        results[(0, j)] = column_start
+        row = [0] * sx
+        row[0] = intern_id(column_start)
         previous = column_start
         for i in range(1, sx):
             candidates = _merge_candidates(
@@ -57,8 +72,10 @@ def dynamic_scanning(
             previous = dynamic_skyline_among(
                 dataset, candidates, subcells.representative((i, j))
             )
-            results[(i, j)] = previous
-    return DynamicDiagram(subcells, results, algorithm="scanning")
+            row[i] = intern_id(previous)
+        rows[j] = row
+    store = ResultStore((sx, sy), np.ascontiguousarray(rows.T), table)
+    return DynamicDiagram(subcells, store, algorithm="scanning")
 
 
 def _merge_candidates(

@@ -8,6 +8,12 @@ one first-quadrant construction algorithm serves every orientation; the
 reflected diagram's cell indices are mirrored back onto the shared grid and
 the per-cell results unioned (the four candidate sets partition the points
 around any cell-interior query, so the union is disjoint).
+
+Both steps run on the array-backed store: mirroring a quadrant diagram is a
+``np.flip`` of its id grid (the table is orientation-independent), and the
+union is computed once per *distinct combination* of quadrant ids — the 2^d
+flat id arrays are stacked and deduplicated with ``np.unique(axis=0)``, so
+the tuple merge runs ``O(#combinations)`` times instead of once per cell.
 """
 
 from __future__ import annotations
@@ -15,7 +21,10 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 from heapq import merge as heap_merge
 
+import numpy as np
+
 from repro.diagram.base import SkylineDiagram
+from repro.diagram.store import ResultStore
 from repro.errors import DimensionalityError
 from repro.geometry.dominance import reflect_points
 from repro.geometry.grid import Grid
@@ -31,16 +40,17 @@ def quadrant_diagram_for_mask(
 ) -> SkylineDiagram:
     """First-quadrant algorithm applied to an arbitrary quadrant orientation.
 
-    Negative-side dimensions are reflected, the diagram is built, and cell
-    indices are mirrored back (cell ``i`` on a reflected axis of ``s`` grid
-    lines maps to cell ``s - i``).
+    Negative-side dimensions are reflected, the diagram is built, and the
+    id grid is mirrored back along the reflected axes (cell ``i`` on a
+    reflected axis of ``s`` grid lines maps to cell ``s - i``, which is
+    exactly a flip of the ``s + 1`` cells).
     """
     dataset = ensure_dataset(points)
     if mask == 0:
         diagram = algorithm(dataset)
         return SkylineDiagram(
             diagram.grid,
-            dict(diagram.cells()),
+            diagram.store,
             kind="quadrant",
             mask=0,
             algorithm=diagram.algorithm,
@@ -48,15 +58,13 @@ def quadrant_diagram_for_mask(
     reflected = Dataset(reflect_points(dataset.points, mask))
     mirrored = algorithm(reflected)
     grid = Grid(dataset)
-    sizes = [len(axis) for axis in grid.axes]
-    results: dict[tuple[int, ...], tuple[int, ...]] = {}
-    for cell, sky in mirrored.cells():
-        original = tuple(
-            sizes[d] - c if mask & (1 << d) else c for d, c in enumerate(cell)
-        )
-        results[original] = sky
+    flip_axes = [d for d in range(dataset.dim) if mask & (1 << d)]
     return SkylineDiagram(
-        grid, results, kind="quadrant", mask=mask, algorithm=mirrored.algorithm
+        grid,
+        mirrored.store.flip(flip_axes),
+        kind="quadrant",
+        mask=mask,
+        algorithm=mirrored.algorithm,
     )
 
 
@@ -89,16 +97,31 @@ def global_diagram(
         for mask in range(1 << dim)
     ]
     grid = quadrant_diagrams[0].grid
-    results: dict[tuple[int, ...], tuple[int, ...]] = {}
-    for cell, first in quadrant_diagrams[0].cells():
-        parts = [first]
-        parts.extend(d.result_at(cell) for d in quadrant_diagrams[1:])
+    # One column of per-cell ids per quadrant; identical id combinations
+    # yield identical unions, so merge once per distinct combination.
+    stacked = np.stack(
+        [d.store.ids.reshape(-1) for d in quadrant_diagrams], axis=1
+    )
+    combos, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    tables = [d.store.table for d in quadrant_diagrams]
+    table: list[tuple[int, ...]] = []
+    intern: dict[tuple[int, ...], int] = {}
+    combo_ids = np.empty(len(combos), dtype=np.int32)
+    for k, combo in enumerate(combos.tolist()):
         # The quadrants partition the points around any cell-interior query,
         # so the union is a merge of disjoint sorted tuples.
-        results[cell] = tuple(heap_merge(*parts))
+        union = tuple(heap_merge(*(t[q] for t, q in zip(tables, combo))))
+        rid = intern.get(union)
+        if rid is None:
+            rid = len(table)
+            table.append(union)
+            intern[union] = rid
+        combo_ids[k] = rid
+    ids = combo_ids[inverse.reshape(-1)].reshape(grid.shape)
+    store = ResultStore(grid.shape, np.ascontiguousarray(ids), table)
     return SkylineDiagram(
         grid,
-        results,
+        store,
         kind="global",
         algorithm=quadrant_diagrams[0].algorithm,
     )

@@ -23,7 +23,10 @@ from bisect import bisect_left
 from collections.abc import Sequence
 from itertools import product
 
+import numpy as np
+
 from repro.diagram.base import SkylineDiagram
+from repro.diagram.store import ResultStore
 from repro.dsg.graph import DirectedSkylineGraph
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, Point, ensure_dataset
@@ -136,6 +139,13 @@ def quadrant_scanning_nd(
 ) -> SkylineDiagram:
     """d-dimensional scanning diagram via the inclusion–exclusion identity.
 
+    The engine works on interned result ids over a flat C-order cell array:
+    each cell reads the ids of its 2^d - 1 upper neighbours at precomputed
+    flat offsets, and the inclusion–exclusion counts (plus, for d > 2, the
+    paper's outer ``Skyline(...)`` pass) run only once per *distinct*
+    neighbour-id combination — repeated combinations hit a memo and cost a
+    dict lookup.
+
     >>> diagram = quadrant_scanning_nd([(1, 1, 1), (2, 2, 2)])
     >>> diagram.result_at((1, 1, 1))
     (1,)
@@ -145,36 +155,70 @@ def quadrant_scanning_nd(
     dim = grid.dim
     shape = grid.shape
     pts = dataset.points
-    offsets: list[tuple[int, tuple[int, ...]]] = []
+    strides = [1] * dim
+    for d in range(dim - 2, -1, -1):
+        strides[d] = strides[d + 1] * shape[d + 1]
+    total = strides[0] * shape[0]
+    offsets: list[tuple[int, int, int]] = []
     for bits in range(1, 1 << dim):
         offset = tuple((bits >> d) & 1 for d in range(dim))
         sign = 1 if bin(bits).count("1") % 2 == 1 else -1
-        offsets.append((sign, offset))
+        delta = sum(o * s for o, s in zip(offset, strides))
+        offsets.append((sign, bits, delta))
 
-    results: dict[tuple[int, ...], tuple[int, ...]] = {}
+    ids = [0] * total  # id 0 = the empty result of off-grid neighbours
+    table: list[tuple[int, ...]] = [()]
+    intern: dict[tuple[int, ...], int] = {(): 0}
+    memo: dict[tuple[int, ...], int] = {}
+    corner_index = grid._corner_index
     for cell in product(*(range(extent - 1, -1, -1) for extent in shape)):
-        corner = grid.corner_points(tuple(c + 1 for c in cell))
-        if corner:
-            results[cell] = corner
+        flat = sum(c * s for c, s in zip(cell, strides))
+        corner = corner_index.get(tuple(c + 1 for c in cell))
+        if corner is not None:
+            rid = intern.get(corner)
+            if rid is None:
+                rid = len(table)
+                table.append(corner)
+                intern[corner] = rid
+            ids[flat] = rid
             continue
-        counts: dict[int, int] = {}
-        for sign, offset in offsets:
-            neighbour = tuple(c + o for c, o in zip(cell, offset))
-            if any(
-                neighbour[d] >= shape[d] for d in range(dim)
-            ):  # off-grid neighbours contribute the empty skyline
-                continue
-            for pid in results[neighbour]:
-                counts[pid] = counts.get(pid, 0) + sign
-        candidates = sorted(pid for pid, count in counts.items() if count >= 1)
-        if dim == 2:
-            results[cell] = tuple(candidates)
-        else:
-            # For d > 2 the expression may retain dominated points; the
-            # paper's formula applies one outer Skyline pass.
-            local = skyline([pts[k] for k in candidates])
-            results[cell] = tuple(candidates[k] for k in local)
-    return SkylineDiagram(grid, results, kind="quadrant", algorithm="scanning")
+        # Bitmask of axes where the cell touches the upper grid boundary;
+        # neighbours stepping over it contribute the empty skyline.
+        edge = 0
+        for d in range(dim):
+            if cell[d] + 1 == shape[d]:
+                edge |= 1 << d
+        key = tuple(
+            0 if bits & edge else ids[flat + delta]
+            for _, bits, delta in offsets
+        )
+        rid = memo.get(key)
+        if rid is None:
+            counts: dict[int, int] = {}
+            for (sign, _, _), nid in zip(offsets, key):
+                if nid:
+                    for pid in table[nid]:
+                        counts[pid] = counts.get(pid, 0) + sign
+            candidates = sorted(
+                pid for pid, count in counts.items() if count >= 1
+            )
+            if dim == 2:
+                result = tuple(candidates)
+            else:
+                # For d > 2 the expression may retain dominated points; the
+                # paper's formula removes them with an outer Skyline pass.
+                local = skyline([pts[k] for k in candidates])
+                result = tuple(candidates[k] for k in local)
+            rid = intern.get(result)
+            if rid is None:
+                rid = len(table)
+                table.append(result)
+                intern[result] = rid
+            memo[key] = rid
+        ids[flat] = rid
+    arr = np.asarray(ids, dtype=np.int32).reshape(shape)
+    store = ResultStore(shape, arr, table)
+    return SkylineDiagram(grid, store, kind="quadrant", algorithm="scanning")
 
 
 class DynamicDiagramND:

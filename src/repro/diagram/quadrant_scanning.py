@@ -16,14 +16,30 @@ inputs, including duplicates.  The key case is a candidate dominated by
 both a point on the upper line and a point on the right line — it is then
 counted ``1 + 1 - 1`` minus two memberships, and saturation clamps the
 −1 to the correct 0.
+
+The default engine operates on interned result *ids* row-at-a-time over the
+array-backed :class:`~repro.diagram.store.ResultStore`.  The recurrence
+only produces a new value at *event* columns — a point corner on the row's
+upper line, or a column where the upper row's id changes (``up == upright``
+makes the expression collapse to the right neighbour everywhere else) — so
+whole constant runs are filled with one slice assignment, and each event
+resolves either to an integer fast path or to the small-delta set identity
+``sky = (right − sub) ∪ add`` derived in :func:`quadrant_scanning`.  The
+seed dict-based implementation is kept as
+:func:`quadrant_scanning_reference` for cross-validation and the E9c/E9d
+ablations.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections.abc import Sequence
+
+import numpy as np
 
 from repro._util import multiset_add_sub
 from repro.diagram.base import SkylineDiagram
+from repro.diagram.store import ResultStore
 from repro.errors import DimensionalityError
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, ensure_dataset
@@ -35,13 +51,202 @@ def quadrant_scanning(
 ) -> SkylineDiagram:
     """Build the first-quadrant skyline diagram with Algorithm 3.
 
-    ``intern_results`` shares one tuple among equal results and short-cuts
-    the multiset expression when neighbours are pointer-identical; it is a
-    pure optimization (ablated in E9c) and on by default.
+    ``intern_results`` selects the id-based array engine (the default);
+    turning it off falls back to the plain-tuple reference path — a pure
+    ablation arm (E9c) producing an identical diagram.
 
     >>> diagram = quadrant_scanning([(2, 8), (5, 4), (9, 1)])
     >>> diagram.result_at((0, 0))
     (0, 1, 2)
+    """
+    dataset = ensure_dataset(points)
+    if dataset.dim != 2:
+        raise DimensionalityError(
+            "quadrant_scanning is 2-D; use diagram.highdim for d > 2"
+        )
+    if not intern_results:
+        return quadrant_scanning_reference(dataset, intern_results=False)
+    grid = Grid(dataset)
+    sx, sy = grid.shape
+
+    # Point corners per cell row: the cell (i, j) owns the grid intersection
+    # at ranks (i + 1, j + 1), so a point with ranks (rx, ry) is the corner
+    # of cell (rx - 1, ry - 1).  Columns are kept descending, the scan order.
+    row_corners: list[dict[int, tuple[int, ...]]] = [{} for _ in range(sy)]
+    for (rx, ry), pids in grid._corner_index.items():
+        row_corners[ry - 1][rx - 1] = pids
+    row_corner_cols: list[list[int]] = [
+        sorted(cols, reverse=True) for cols in row_corners
+    ]
+
+    # Interned results, addressed by id.  ``table`` holds the canonical
+    # sorted tuples, on which the recurrence runs directly.  Cell results
+    # are always id-*sets* (duplicate points get distinct ids), so the
+    # saturating multiset expression ``right + up - up_right`` admits a
+    # delta form: writing the upper row's transition at column i as exact
+    # set deltas ``up = up_right + add - sub`` (``add = up − up_right`` and
+    # ``sub = up_right − up``), a membership-count case split gives
+    #
+    #     sky = (right − sub) ∪ add
+    #
+    # — an id of ``add`` is in two additive terms, so one subtraction can
+    # never cancel it (1 + 1 − 1, clamped); an id of ``sub`` is subtracted
+    # once against at most one addition; all other ids follow ``right``.
+    # ``add``/``sub`` are tiny (a point entering/leaving the skyline), so
+    # the new result is built by deleting/insorting a couple of ids in the
+    # already-sorted right neighbour — no sort, no set objects — and the
+    # cell's own deltas against its right neighbour come out in
+    # small-operand scans: ``sky − right = add − right`` and
+    # ``right − sky = (right ∩ sub) − add``.
+    table: list[tuple[int, ...]] = [()]
+    intern: dict[tuple[int, ...], int] = {(): 0}
+    table_append = table.append
+    intern_get = intern.get
+    rows = np.empty((sy, sx), dtype=np.int32)  # row j contiguous; .T at end
+    # upper[i] holds the id of Sky(C_{i,j+1}); index sx is the off-grid
+    # sentinel column whose skyline is empty (id 0), as is the whole
+    # conceptual row above the grid.  Runs average only a couple of cells
+    # on fragmented diagrams, so rows are plain Python lists: per-cell list
+    # writes beat numpy's per-slice overhead at that granularity.
+    upper: list[int] = [0] * (sx + 1)
+    # Columns (descending) where the upper row's id differs from its right
+    # neighbour, with the transition's ``(add, sub)`` delta pair in an
+    # aligned list.  The diagram rows are produced right-to-left, so the
+    # next row's diff columns fall out of the scan for free: a value can
+    # only change where this row had an event.
+    diff_events: list[int] = []
+    diff_deltas: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    empty: tuple[int, ...] = ()
+    for j in range(sy - 1, -1, -1):
+        current = [0] * (sx + 1)
+        corner_at = row_corners[j]
+        corner_cols = row_corner_cols[j]
+        nd = len(diff_events)
+        nc = len(corner_cols)
+        di = 0
+        ci = 0
+        val = 0
+        run_end = sx  # cells in [prev event + 1, run_end) carry ``val``
+        next_diff: list[int] = []
+        next_diff_append = next_diff.append
+        next_deltas: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+        next_deltas_append = next_deltas.append
+        # Merge the two descending event streams (upper-row diff columns,
+        # this row's corner columns) with index pointers; a corner on a
+        # diff column consumes both (the corner result wins).
+        while di < nd or ci < nc:
+            dcol = diff_events[di] if di < nd else -1
+            ccol = corner_cols[ci] if ci < nc else -1
+            if ccol >= dcol:
+                i = ccol
+                ci += 1
+                if dcol == ccol:
+                    di += 1
+                corner = corner_at[i]
+            else:
+                i = dcol
+                delta = diff_deltas[di]
+                di += 1
+                corner = None
+            fill = run_end - i - 1
+            if fill == 1:
+                current[i + 1] = val
+            elif fill > 1:
+                current[i + 1 : run_end] = [val] * fill
+            right = val
+            if corner is not None:
+                rid = intern_get(corner)
+                if rid is None:
+                    rid = len(table)
+                    table_append(corner)
+                    intern[corner] = rid
+                if rid != right:
+                    right_t = table[right]
+                    next_deltas_append(
+                        (
+                            tuple([e for e in corner if e not in right_t]),
+                            tuple([e for e in right_t if e not in corner]),
+                        )
+                    )
+                    next_diff_append(i)
+                val = rid
+            elif right == upper[i + 1]:
+                # right == up_right collapses the expression to ``up``; the
+                # upper transition (up != up_right at every diff column) is
+                # then this cell's transition verbatim.
+                val = upper[i]
+                next_deltas_append(delta)
+                next_diff_append(i)
+            else:
+                add, sub = delta
+                right_t = table[right]
+                if sub:
+                    lst = [e for e in right_t if e not in sub]
+                else:
+                    lst = list(right_t)
+                for e in add:
+                    # Manual insort keeps the canonical sorted order and
+                    # skips ids already inherited from the right neighbour.
+                    k = bisect_left(lst, e)
+                    if k == len(lst) or lst[k] != e:
+                        lst.insert(k, e)
+                sky = tuple(lst)
+                rid = intern_get(sky)
+                if rid is None:
+                    rid = len(table)
+                    table_append(sky)
+                    intern[sky] = rid
+                if rid != right:
+                    # Deltas are one id in the common case; reuse the tuple.
+                    if not add:
+                        new_add = empty
+                    elif len(add) == 1:
+                        new_add = empty if add[0] in right_t else add
+                    else:
+                        new_add = tuple(
+                            [e for e in add if e not in right_t]
+                        )
+                    if not sub:
+                        new_sub = empty
+                    elif len(sub) == 1:
+                        new_sub = (
+                            sub
+                            if sub[0] in right_t and sub[0] not in add
+                            else empty
+                        )
+                    else:
+                        new_sub = tuple(
+                            [
+                                e
+                                for e in sub
+                                if e in right_t and e not in add
+                            ]
+                        )
+                    next_deltas_append((new_add, new_sub))
+                    next_diff_append(i)
+                val = rid
+            current[i] = val
+            run_end = i
+        if run_end > 0:
+            current[0:run_end] = [val] * run_end
+        rows[j] = current[:sx]
+        upper = current
+        diff_events = next_diff
+        diff_deltas = next_deltas
+    store = ResultStore((sx, sy), np.ascontiguousarray(rows.T), table)
+    return SkylineDiagram(grid, store, kind="quadrant", algorithm="scanning")
+
+
+def quadrant_scanning_reference(
+    points: Dataset | Sequence[Sequence[float]],
+    intern_results: bool = True,
+) -> SkylineDiagram:
+    """The seed dict-based scanning construction, kept as a reference.
+
+    Byte-for-byte the pre-store implementation: one Python dict entry per
+    cell, tuple-valued recurrence, optional tuple interning with pointer
+    fast paths.  Used to cross-validate the array engine and as the
+    baseline arm of the store ablation (E9d) and the PR benchmark.
     """
     dataset = ensure_dataset(points)
     if dataset.dim != 2:

@@ -81,41 +81,47 @@ class SweepDiagram:
         """Number of regions including the unbounded empty-result region."""
         return len(self.polyominos) + 1
 
+    def _region_corner(self, i: int, j: int) -> Vertex | None:
+        """Upper-right corner of the region containing cell ``(i, j)``.
+
+        ``None`` for the unbounded outer region.  Walks right past
+        non-blocking vertical segments, then up past non-blocking
+        horizontal segments, repeating until the upper-right corner
+        stabilizes: a vertical segment at rank ``a`` blocks horizontally at
+        row ``j`` iff ``vtop(a) >= j+1``, and symmetrically for horizontal
+        segments (staircase regions make this terminate in at most
+        ``min(sx, sy)`` rounds; amortized O(1) thanks to the monotone
+        walk).
+        """
+        sx, sy = self.grid.shape
+        a, b = i, j
+        while True:
+            moved = False
+            while a + 1 <= sx - 1 and self.vtop[a + 1] < b + 1:
+                a += 1
+                moved = True
+            while b + 1 <= sy - 1 and self.hright[b + 1] < a + 1:
+                b += 1
+                moved = True
+            if not moved:
+                break
+        if a == sx - 1 and b == sy - 1:
+            return None  # unbounded outer region
+        return (a + 1, b + 1)
+
     def cell_partition(self) -> dict[tuple[int, int], Vertex | None]:
         """Map every skyline cell to its region's upper-right corner.
 
-        Cells in the unbounded outer region map to ``None``.  Two cells are
-        in the same region iff no half-open segment separates them: a
-        vertical segment at rank ``a`` blocks horizontally at row ``j`` iff
-        ``vtop(a) >= j+1``, and symmetrically for horizontal segments.
-        This rasterization is O(#cells) and is used for cross-validation
+        Cells in the unbounded outer region map to ``None``.  This
+        rasterization is O(#cells) and is used for cross-validation
         against the cell-merging algorithms.
         """
         sx, sy = self.grid.shape
-        partition: dict[tuple[int, int], Vertex | None] = {}
-        for j in range(sy):
-            for i in range(sx):
-                a, b = i, j
-                # Walk right past non-blocking vertical segments, then up
-                # past non-blocking horizontal segments, repeating until the
-                # upper-right corner stabilizes (staircase regions make this
-                # terminate in at most min(sx, sy) rounds; amortized O(1)
-                # thanks to the monotone walk).
-                while True:
-                    moved = False
-                    while a + 1 <= sx - 1 and self.vtop[a + 1] < b + 1:
-                        a += 1
-                        moved = True
-                    while b + 1 <= sy - 1 and self.hright[b + 1] < a + 1:
-                        b += 1
-                        moved = True
-                    if not moved:
-                        break
-                if a == sx - 1 and b == sy - 1:
-                    partition[(i, j)] = None  # unbounded outer region
-                else:
-                    partition[(i, j)] = (a + 1, b + 1)
-        return partition
+        return {
+            (i, j): self._region_corner(i, j)
+            for j in range(sy)
+            for i in range(sx)
+        }
 
     def results(self) -> dict[Vertex, tuple[int, ...]]:
         """Annotate every polyomino with its skyline result (cached).
@@ -139,21 +145,10 @@ class SweepDiagram:
         """Answer a first-quadrant skyline query via the polyomino geometry."""
         i = bisect_left(self.grid.xs, float(query[0]))
         j = bisect_left(self.grid.ys, float(query[1]))
-        sx, sy = self.grid.shape
-        a, b = i, j
-        while True:
-            moved = False
-            while a + 1 <= sx - 1 and self.vtop[a + 1] < b + 1:
-                a += 1
-                moved = True
-            while b + 1 <= sy - 1 and self.hright[b + 1] < a + 1:
-                b += 1
-                moved = True
-            if not moved:
-                break
-        if a == sx - 1 and b == sy - 1:
+        corner = self._region_corner(i, j)
+        if corner is None:
             return ()
-        return self.results()[(a + 1, b + 1)]
+        return self.results()[corner]
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,221 @@
+"""Compact array-backed storage of per-cell diagram results.
+
+A skyline diagram assigns one canonical result (a sorted tuple of point
+ids) to each of its ``O(n^d)`` cells, but the number of *distinct* results
+is far smaller — for 2-D quadrant diagrams it is bounded by the number of
+skyline polyominos.  Storing one Python tuple per cell therefore wastes
+both memory and time (every dict insert hashes a cell tuple, every
+comparison walks a result tuple).
+
+:class:`ResultStore` exploits this redundancy: the distinct results are
+*interned* once into a table (position = result id) and the per-cell
+assignment is a dense ``int32`` ndarray of shape ``grid.shape``.  Result
+equality becomes integer equality, cell lookup becomes an array read, and
+batch point location reduces to one fancy-indexing expression.  The store
+is the shared backing of :class:`~repro.diagram.base.SkylineDiagram` and
+:class:`~repro.diagram.base.DynamicDiagram`; the historical
+``dict[cell, result]`` interface survives as iteration (:meth:`items`) and
+conversion (:meth:`to_dict`) views, so dict-producing construction
+algorithms keep working unchanged through :meth:`from_dict`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from itertools import product
+from typing import Iterator
+
+import numpy as np
+
+Cell = tuple[int, ...]
+Result = tuple[int, ...]
+
+
+class ResultStore:
+    """Interned per-cell results over a dense integer grid.
+
+    Parameters
+    ----------
+    shape:
+        Cells per axis.
+    ids:
+        ``int32`` ndarray of that shape; ``ids[cell]`` indexes ``table``.
+        Defaults to all-zero with a one-entry table holding the empty
+        result.
+    table:
+        The interned result tuples, indexed by id.  Entries must be unique;
+        every entry should be referenced by at least one cell (builders in
+        this package guarantee both).
+
+    Examples
+    --------
+    >>> store = ResultStore.from_dict((2, 1), {(0, 0): (0,), (1, 0): ()})
+    >>> store.result_at((0, 0))
+    (0,)
+    >>> store.distinct_count
+    2
+    """
+
+    __slots__ = ("shape", "ids", "table", "_intern")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        ids: np.ndarray | None = None,
+        table: list[Result] | None = None,
+    ) -> None:
+        self.shape: tuple[int, ...] = tuple(int(extent) for extent in shape)
+        if ids is None:
+            ids = np.zeros(self.shape, dtype=np.int32)
+            table = [()]
+        elif table is None:
+            raise ValueError("ids without a result table")
+        if tuple(ids.shape) != self.shape:
+            raise ValueError(
+                f"id array of shape {tuple(ids.shape)} for store shape "
+                f"{self.shape}"
+            )
+        self.ids: np.ndarray = ids
+        self.table: list[Result] = table if table is not None else [()]
+        self._intern: dict[Result, int] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls, shape: Sequence[int], results: Mapping[Cell, Result]
+    ) -> "ResultStore":
+        """Intern a ``cell -> result`` mapping covering every cell."""
+        shape = tuple(int(extent) for extent in shape)
+        num = 1
+        for extent in shape:
+            num *= extent
+        flat = np.empty(num, dtype=np.int32)
+        table: list[Result] = []
+        intern: dict[Result, int] = {}
+        for k, cell in enumerate(product(*(range(e) for e in shape))):
+            result = results[cell]
+            rid = intern.get(result)
+            if rid is None:
+                rid = len(table)
+                table.append(result)
+                intern[result] = rid
+            flat[k] = rid
+        store = cls(shape, flat.reshape(shape), table)
+        store._intern = intern
+        return store
+
+    def intern(self, result: Result) -> int:
+        """Id of ``result``, adding it to the table when new."""
+        if self._intern is None:
+            self._intern = {r: i for i, r in enumerate(self.table)}
+        rid = self._intern.get(result)
+        if rid is None:
+            rid = len(self.table)
+            self.table.append(result)
+            self._intern[result] = rid
+        return rid
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def num_cells(self) -> int:
+        """Total number of cells."""
+        return int(self.ids.size)
+
+    @property
+    def distinct_count(self) -> int:
+        """Number of distinct results — an O(1) read of the table size."""
+        return len(self.table)
+
+    def id_at(self, cell: Cell) -> int:
+        """Result id of one cell (``KeyError`` outside the grid)."""
+        if len(cell) != len(self.shape):
+            raise KeyError(cell)
+        for c, extent in zip(cell, self.shape):
+            if not 0 <= c < extent:
+                raise KeyError(cell)
+        return int(self.ids[tuple(cell)])
+
+    def result_at(self, cell: Cell) -> Result:
+        """Canonical result of one cell (``KeyError`` outside the grid)."""
+        return self.table[self.id_at(cell)]
+
+    def lookup_batch(self, cells: np.ndarray) -> list[Result]:
+        """Results for an ``(m, d)`` array of cell indices, in one pass."""
+        if cells.shape[0] == 0:
+            return []
+        ids = self.ids[tuple(cells.T)]
+        table = self.table
+        return [table[i] for i in ids.tolist()]
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[tuple[Cell, Result]]:
+        """Iterate ``(cell, result)`` pairs in row-major order."""
+        table = self.table
+        flat = self.ids.reshape(-1)
+        for cell, rid in zip(
+            product(*(range(e) for e in self.shape)), flat.tolist()
+        ):
+            yield cell, table[rid]
+
+    def to_dict(self) -> dict[Cell, Result]:
+        """Materialize the historical ``dict[cell, result]`` view."""
+        return dict(self.items())
+
+    def distinct_results(self) -> set[Result]:
+        """The set of distinct results (the table, as a set)."""
+        return set(self.table)
+
+    def flip(self, axes: Sequence[int]) -> "ResultStore":
+        """A store with the id array mirrored along ``axes`` (shared table).
+
+        Mirroring cell ``c`` to ``extent - 1 - c`` on an axis is exactly the
+        rank-space reflection used to reduce an arbitrary quadrant
+        orientation to the first quadrant.
+        """
+        axes = tuple(axes)
+        if not axes:
+            return ResultStore(self.shape, self.ids.copy(), list(self.table))
+        flipped = np.ascontiguousarray(np.flip(self.ids, axis=axes))
+        return ResultStore(self.shape, flipped, list(self.table))
+
+    # ------------------------------------------------------------------
+    # Equality
+    # ------------------------------------------------------------------
+    def _canonical(self) -> tuple[np.ndarray, list[Result]]:
+        """Relabel ids by first occurrence, for id-order-independent equality."""
+        flat = self.ids.reshape(-1)
+        uniq, first, inverse = np.unique(
+            flat, return_index=True, return_inverse=True
+        )
+        order = np.argsort(first, kind="stable")
+        rank = np.empty(len(uniq), dtype=np.int64)
+        rank[order] = np.arange(len(uniq))
+        canon_ids = rank[inverse.reshape(-1)]
+        canon_table = [self.table[int(uniq[k])] for k in order]
+        return canon_ids, canon_table
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ResultStore):
+            return NotImplemented
+        if self.shape != other.shape:
+            return False
+        if self.table == other.table and np.array_equal(self.ids, other.ids):
+            return True
+        a_ids, a_table = self._canonical()
+        b_ids, b_table = other._canonical()
+        return a_table == b_table and bool(np.array_equal(a_ids, b_ids))
+
+    def __len__(self) -> int:
+        return self.num_cells
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultStore(shape={self.shape}, cells={self.num_cells}, "
+            f"distinct={self.distinct_count})"
+        )

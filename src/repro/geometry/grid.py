@@ -21,11 +21,45 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from collections.abc import Sequence
-from itertools import product
+from itertools import chain, product
 from typing import Iterator
+
+import numpy as np
 
 from repro.errors import QueryError
 from repro.geometry.point import Dataset, Point, ensure_dataset
+
+
+def as_query_array(
+    queries: Sequence[Sequence[float]] | np.ndarray, dim: int
+) -> np.ndarray:
+    """Coerce a batch of query points to a float64 ndarray.
+
+    For the common list-of-tuples input this flattens through
+    ``np.fromiter`` — substantially faster than ``np.asarray`` on sequence
+    rows — falling back to ``np.asarray`` whenever the input does not look
+    like uniform ``dim``-wide rows (the caller's shape check then reports
+    it).
+    """
+    if isinstance(queries, np.ndarray):
+        return np.asarray(queries, dtype=np.float64)
+    try:
+        m = len(queries)
+        if m and len(queries[0]) == dim:
+            flat = chain.from_iterable(queries)
+            q = np.fromiter(flat, dtype=np.float64, count=m * dim)
+            if next(flat, None) is None:  # rows exactly as advertised
+                return q.reshape(m, dim)
+    except (TypeError, ValueError):
+        pass
+    try:
+        return np.asarray(queries, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        # Ragged or non-numeric rows: surface the library's error type
+        # rather than numpy's conversion failure.
+        raise QueryError(
+            f"locate_batch expects uniform rows of {dim} coordinates: {exc}"
+        ) from exc
 
 
 class Grid:
@@ -44,24 +78,28 @@ class Grid:
     (1, 2)
     """
 
-    __slots__ = ("dataset", "axes", "ranks", "_corner_index")
+    __slots__ = ("dataset", "axes", "ranks", "_corner_index", "_axis_arrays")
 
     def __init__(self, points: Dataset | Sequence[Sequence[float]]) -> None:
         self.dataset = ensure_dataset(points)
         dim = self.dataset.dim
+        # Coordinate compression and ranks in one vectorized pass per axis:
+        # np.unique returns the sorted distinct values together with each
+        # point's index into them (its 0-based rank).
+        coords = np.asarray(self.dataset.points, dtype=np.float64)
         axes: list[tuple[float, ...]] = []
+        axis_arrays: list[np.ndarray] = []
+        rank_columns: list[np.ndarray] = []
         for d in range(dim):
-            axes.append(tuple(sorted({p[d] for p in self.dataset})))
+            values, inverse = np.unique(coords[:, d], return_inverse=True)
+            axes.append(tuple(values.tolist()))
+            axis_arrays.append(values)
+            rank_columns.append(inverse.reshape(-1) + 1)
         self.axes: tuple[tuple[float, ...], ...] = tuple(axes)
-        ranks: list[tuple[int, ...]] = []
-        for p in self.dataset:
-            # bisect_left + 1 turns a coordinate into its 1-based rank.
-            ranks.append(
-                tuple(
-                    bisect_left(self.axes[d], p[d]) + 1 for d in range(dim)
-                )
-            )
-        self.ranks: tuple[tuple[int, ...], ...] = tuple(ranks)
+        self._axis_arrays: tuple[np.ndarray, ...] = tuple(axis_arrays)
+        self.ranks: tuple[tuple[int, ...], ...] = tuple(
+            map(tuple, np.stack(rank_columns, axis=1).tolist())
+        )
         corner_index: dict[tuple[int, ...], list[int]] = {}
         for pid, r in enumerate(self.ranks):
             corner_index.setdefault(r, []).append(pid)
@@ -134,6 +172,30 @@ class Grid:
         return tuple(
             bisect_left(self.axes[d], float(query[d])) for d in range(self.dim)
         )
+
+    def locate_batch(
+        self, queries: Sequence[Sequence[float]] | np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`locate` for many queries.
+
+        Returns an ``(m, dim)`` integer array of cell indices, one
+        ``np.searchsorted`` per axis; the lower-side tie rule of
+        :meth:`locate` carries over (``side="left"`` is ``bisect_left``).
+        """
+        q = as_query_array(queries, self.dim)
+        if q.size == 0:
+            return np.empty((0, self.dim), dtype=np.int64)
+        if q.ndim != 2 or q.shape[1] != self.dim:
+            raise QueryError(
+                f"locate_batch expects an (m, {self.dim}) array of queries, "
+                f"got shape {q.shape}"
+            )
+        cells = np.empty(q.shape, dtype=np.int64)
+        for d in range(self.dim):
+            cells[:, d] = np.searchsorted(
+                self._axis_arrays[d], q[:, d], side="left"
+            )
+        return cells
 
     def cell_bounds(
         self, cell: tuple[int, ...]

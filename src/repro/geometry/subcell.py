@@ -19,8 +19,10 @@ from collections.abc import Sequence
 from itertools import product
 from typing import Iterator
 
+import numpy as np
+
 from repro.errors import DimensionalityError, QueryError
-from repro.geometry.grid import Grid
+from repro.geometry.grid import Grid, as_query_array
 from repro.geometry.point import Dataset, Point, ensure_dataset
 
 
@@ -36,7 +38,14 @@ class SubcellGrid:
     (0, 1)
     """
 
-    __slots__ = ("dataset", "grid", "axes", "_contributors", "_col_to_cell")
+    __slots__ = (
+        "dataset",
+        "grid",
+        "axes",
+        "_contributors",
+        "_col_to_cell",
+        "_axis_arrays",
+    )
 
     def __init__(self, points: Dataset | Sequence[Sequence[float]]) -> None:
         self.dataset = ensure_dataset(points)
@@ -64,6 +73,9 @@ class SubcellGrid:
                 {v: tuple(sorted(ids)) for v, ids in contrib.items()}
             )
         self.axes: tuple[tuple[float, ...], ...] = tuple(axes)
+        self._axis_arrays = tuple(
+            np.asarray(axis, dtype=np.float64) for axis in self.axes
+        )
         self._contributors = contributors
         # Map each subcell column index to the coarse skyline-cell column that
         # contains it (the subset algorithm's "find C_{i,j} s.t. SC ⊆ C").
@@ -108,6 +120,25 @@ class SubcellGrid:
             bisect_left(self.axes[0], float(query[0])),
             bisect_left(self.axes[1], float(query[1])),
         )
+
+    def locate_batch(
+        self, queries: Sequence[Sequence[float]] | np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`locate`: an ``(m, 2)`` array of subcell indices."""
+        q = as_query_array(queries, 2)
+        if q.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        if q.ndim != 2 or q.shape[1] != 2:
+            raise QueryError(
+                f"locate_batch expects an (m, 2) array of queries, "
+                f"got shape {q.shape}"
+            )
+        cells = np.empty(q.shape, dtype=np.int64)
+        for d in range(2):
+            cells[:, d] = np.searchsorted(
+                self._axis_arrays[d], q[:, d], side="left"
+            )
+        return cells
 
     def representative(self, subcell: tuple[int, int]) -> Point:
         """A query point strictly inside the given subcell."""

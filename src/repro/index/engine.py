@@ -164,12 +164,34 @@ class SkylineDatabase:
             return self.query_from_scratch(query, kind=kind, mask=mask)
         return self.query(query, kind=kind, mask=mask)
 
+    def query_batch(
+        self,
+        queries: Sequence[Sequence[float]],
+        kind: str = "dynamic",
+        mask: int = 0,
+    ) -> list[tuple[int, ...]]:
+        """Answer a batch of queries in one vectorized point-location pass.
+
+        Dispatches to the diagram's ``query_batch`` — one
+        ``np.searchsorted`` per axis over the whole batch — and agrees with
+        :meth:`query` query-for-query (same lower-side tie rule).
+        """
+        if kind == "quadrant":
+            return self.quadrant_diagram(mask).query_batch(queries)
+        if kind == "global":
+            return self.global_diagram().query_batch(queries)
+        if kind == "dynamic":
+            return self.dynamic_diagram().query_batch(queries)
+        raise QueryError(f"unknown query kind {kind!r}")
+
     def query_many(
         self, queries: Sequence[Sequence[float]], kind: str = "dynamic"
     ) -> list[tuple[int, ...]]:
-        """Answer a batch of queries (shares one diagram build)."""
-        diagram = self._diagram_for(kind)
-        return [diagram.query(q) for q in queries]
+        """Answer a batch of queries (shares one diagram build).
+
+        Kept as the historical name; delegates to :meth:`query_batch`.
+        """
+        return self.query_batch(queries, kind=kind)
 
     def query_from_scratch(
         self, query: Sequence[float], kind: str = "dynamic", mask: int = 0

@@ -10,10 +10,12 @@ points on load and validated against the recorded shape.
 from __future__ import annotations
 
 import json
-from itertools import product
 from typing import Any
 
+import numpy as np
+
 from repro.diagram.base import DynamicDiagram, SkylineDiagram
+from repro.diagram.store import ResultStore
 from repro.errors import SerializationError
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset
@@ -25,10 +27,7 @@ _VERSION = 1
 
 def diagram_to_json(diagram: SkylineDiagram) -> str:
     """Serialize a quadrant/global diagram to a JSON string."""
-    cells = [
-        list(diagram.result_at(cell))
-        for cell in product(*(range(extent) for extent in diagram.grid.shape))
-    ]
+    cells = _rows_from_store(diagram.store)
     payload = {
         "format": _FORMAT,
         "version": _VERSION,
@@ -64,10 +63,7 @@ def diagram_from_json(text: str) -> SkylineDiagram:
 
 def dynamic_diagram_to_json(diagram: DynamicDiagram) -> str:
     """Serialize a dynamic diagram to a JSON string."""
-    cells = [
-        list(diagram.result_at(cell))
-        for cell in product(*(range(extent) for extent in diagram.subcells.shape))
-    ]
+    cells = _rows_from_store(diagram.store)
     payload = {
         "format": _FORMAT,
         "version": _VERSION,
@@ -115,9 +111,15 @@ def _load(text: str, expected: str) -> dict[str, Any]:
     return payload
 
 
+def _rows_from_store(store: ResultStore) -> list[list[int]]:
+    """Row-major per-cell results as JSON-ready lists (one table read each)."""
+    table = [list(result) for result in store.table]
+    return [table[i] for i in store.ids.reshape(-1).tolist()]
+
+
 def _results_from_rows(
     shape: tuple[int, ...], rows: list[list[int]]
-) -> dict[tuple[int, ...], tuple[int, ...]]:
+) -> ResultStore:
     expected = 1
     for extent in shape:
         expected *= extent
@@ -125,9 +127,15 @@ def _results_from_rows(
         raise SerializationError(
             f"{len(rows)} cell entries for {expected} cells"
         )
-    results: dict[tuple[int, ...], tuple[int, ...]] = {}
-    for cell, row in zip(
-        product(*(range(extent) for extent in shape)), rows
-    ):
-        results[cell] = tuple(int(i) for i in row)
-    return results
+    flat = np.empty(expected, dtype=np.int32)
+    table: list[tuple[int, ...]] = []
+    intern: dict[tuple[int, ...], int] = {}
+    for k, row in enumerate(rows):
+        result = tuple(int(i) for i in row)
+        rid = intern.get(result)
+        if rid is None:
+            rid = len(table)
+            table.append(result)
+            intern[result] = rid
+        flat[k] = rid
+    return ResultStore(shape, flat.reshape(shape), table)

@@ -1,0 +1,140 @@
+"""Batch point location: ``query_batch`` vs per-point ``query``.
+
+The vectorized path (one ``np.searchsorted`` per axis) must agree with the
+bisect-based single query everywhere — most delicately for queries lying
+exactly on grid lines, where both sides resolve ties to the lower-side
+cell (``side="left"`` == ``bisect_left``).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.global_diagram import global_diagram
+from repro.diagram.highdim import quadrant_scanning_nd
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.errors import QueryError
+from repro.index.engine import SkylineDatabase
+
+from tests.conftest import points_2d
+
+
+def _random_queries(num: int, seed: int, lo=-1.0, hi=10.0):
+    rng = random.Random(seed)
+    return [
+        (rng.uniform(lo, hi), rng.uniform(lo, hi)) for _ in range(num)
+    ]
+
+
+def _grid_line_queries(axes):
+    """Queries sitting exactly on grid lines and on their crossings."""
+    xs, ys = axes
+    queries = [(float(x), 0.5) for x in xs]
+    queries += [(0.5, float(y)) for y in ys]
+    queries += [(float(x), float(y)) for x in xs for y in ys]
+    return queries
+
+
+class TestDiagramBatch:
+    @settings(deadline=None, max_examples=40)
+    @given(points_2d(max_size=10))
+    def test_quadrant_random_and_boundary(self, points):
+        diagram = quadrant_scanning(points)
+        queries = _random_queries(30, seed=len(points))
+        queries += _grid_line_queries(diagram.grid.axes)
+        assert diagram.query_batch(queries) == [
+            diagram.query(q) for q in queries
+        ]
+
+    @settings(deadline=None, max_examples=25)
+    @given(points_2d(max_size=8))
+    def test_global_random_and_boundary(self, points):
+        diagram = global_diagram(points)
+        queries = _random_queries(20, seed=len(points))
+        queries += _grid_line_queries(diagram.grid.axes)
+        assert diagram.query_batch(queries) == [
+            diagram.query(q) for q in queries
+        ]
+
+    @settings(deadline=None, max_examples=15)
+    @given(points_2d(min_size=1, max_size=5))
+    def test_dynamic_random_and_boundary(self, points):
+        diagram = dynamic_scanning(points)
+        queries = _random_queries(20, seed=len(points))
+        # Subcell axes include bisectors; exercise those lines too.
+        queries += _grid_line_queries(diagram.subcells.axes)
+        assert diagram.query_batch(queries) == [
+            diagram.query(q) for q in queries
+        ]
+
+    def test_highdim_batch(self):
+        pts = [(1, 2, 3), (3, 1, 2), (2, 3, 1), (1, 1, 3)]
+        diagram = quadrant_scanning_nd(pts)
+        rng = random.Random(5)
+        queries = [
+            tuple(rng.uniform(0, 4) for _ in range(3)) for _ in range(40)
+        ]
+        queries += [(1.0, 2.0, 3.0), (3.0, 3.0, 3.0), (0.0, 0.0, 0.0)]
+        assert diagram.query_batch(queries) == [
+            diagram.query(q) for q in queries
+        ]
+
+    def test_empty_batch(self):
+        diagram = quadrant_scanning([(1, 2), (2, 1)])
+        assert diagram.query_batch([]) == []
+        assert (
+            diagram.query_batch(np.empty((0, 2), dtype=np.float64)) == []
+        )
+
+    def test_ndarray_input(self):
+        diagram = quadrant_scanning([(1, 2), (2, 1)])
+        queries = np.array([[0.0, 0.0], [1.5, 1.5], [3.0, 3.0]])
+        assert diagram.query_batch(queries) == [
+            diagram.query(tuple(q)) for q in queries.tolist()
+        ]
+
+    def test_dimension_mismatch_raises(self):
+        diagram = quadrant_scanning([(1, 2), (2, 1)])
+        with pytest.raises(QueryError, match="locate_batch"):
+            diagram.query_batch([(1.0, 2.0, 3.0)])
+        with pytest.raises(QueryError, match="locate_batch"):
+            diagram.query_batch([1.0, 2.0])
+        with pytest.raises(QueryError, match="locate_batch"):
+            diagram.query_batch([(1.0, 2.0), (3.0,)])  # ragged rows
+        with pytest.raises(QueryError, match="locate_batch"):
+            diagram.query_batch([("a", "b")])
+
+
+class TestEngineBatch:
+    @pytest.fixture
+    def db(self):
+        return SkylineDatabase([(2, 8), (5, 4), (9, 1), (5, 4)])
+
+    @pytest.mark.parametrize("kind", ["quadrant", "global", "dynamic"])
+    def test_matches_per_point(self, db, kind):
+        queries = _random_queries(25, seed=3, lo=0.0, hi=10.0)
+        assert db.query_batch(queries, kind=kind) == [
+            db.query(q, kind=kind) for q in queries
+        ]
+
+    def test_quadrant_mask_dispatch(self, db):
+        queries = _random_queries(25, seed=4, lo=0.0, hi=10.0)
+        for mask in range(4):
+            assert db.query_batch(queries, kind="quadrant", mask=mask) == [
+                db.query(q, kind="quadrant", mask=mask) for q in queries
+            ]
+
+    def test_query_many_delegates(self, db):
+        queries = [(1.0, 1.0), (6.0, 6.0)]
+        assert db.query_many(queries, kind="quadrant") == db.query_batch(
+            queries, kind="quadrant"
+        )
+
+    def test_unknown_kind(self, db):
+        with pytest.raises(QueryError, match="unknown query kind"):
+            db.query_batch([(1.0, 1.0)], kind="bogus")
