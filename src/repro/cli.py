@@ -10,6 +10,7 @@ Commands
 ``stats``      print structural statistics of a saved diagram
 ``skyband``    answer a k-skyband query directly from CSV points
 ``whynot``     explain why a point is missing from a query's skyline
+``verify``     run the seeded differential fuzzer over all lookup paths
 """
 
 from __future__ import annotations
@@ -145,6 +146,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("point_id", type=int)
     p.add_argument("coordinates", nargs=2, type=float)
 
+    p = sub.add_parser(
+        "verify",
+        help="differential fuzz: cross-check all algorithms and lookup paths",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=2000,
+        help="approximate number of comparisons to run",
+    )
+    p.add_argument("--max-points", type=int, default=8)
+
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)
@@ -220,6 +234,18 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f"move the query {explanation.distance:.4f} to {witness} "
                 f"and point {args.point_id} joins the skyline"
             )
+        return 0
+    if args.command == "verify":
+        from repro.diagram.verify import differential_verify
+
+        report = differential_verify(
+            seed=args.seed, budget=args.budget, max_points=args.max_points
+        )
+        print(report.summary())
+        if not report.ok:
+            print()
+            print(report.mismatch.reproducer())
+            return 1
         return 0
     if args.command == "info":
         path = Path(args.path)

@@ -35,7 +35,12 @@ from repro.diagram.quadrant_scanning import quadrant_scanning
 from repro.diagram.quadrant_sweeping import SweepDiagram, quadrant_sweeping
 from repro.diagram.skyband import SkybandDiagram, skyband_baseline, skyband_sweep
 from repro.diagram.statistics import DiagramStatistics, diagram_statistics
-from repro.diagram.verify import validate_diagram
+from repro.diagram.verify import (
+    Mismatch,
+    VerifyReport,
+    differential_verify,
+    validate_diagram,
+)
 from repro.diagram.topology import (
     crossing_distance,
     neighbouring_results,
@@ -58,8 +63,11 @@ DYNAMIC_ALGORITHMS = {
 __all__ = [
     "DYNAMIC_ALGORITHMS",
     "DynamicDiagram",
+    "Mismatch",
     "QUADRANT_ALGORITHMS",
     "ResultStore",
+    "VerifyReport",
+    "differential_verify",
     "SkybandDiagram",
     "SkylineDiagram",
     "SweepDiagram",

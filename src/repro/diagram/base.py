@@ -9,6 +9,17 @@ construction algorithms are cross-validated.
 A :class:`DynamicDiagram` is the same thing over the bisector-augmented
 :class:`~repro.geometry.subcell.SubcellGrid`.
 
+Lookups are *boundary-exact*: a query lying exactly on a grid line gets
+the same answer as from-scratch evaluation.  Every grid edge is owned by
+(closed on) exactly one of its two adjacent cells per axis — the lower
+cell for non-reflected axes, the upper cell for reflected quadrant axes
+(:attr:`SkylineDiagram.edge_ownership`); global and dynamic diagrams,
+whose boundary results can differ from both adjacent cells, resolve
+boundary queries from the union of the adjacent cells' results (plus the
+bisector contributors for dynamic diagrams) — a constant number of O(1)
+store reads followed by a skyline over that small candidate set, never a
+full recomputation.
+
 Both classes are backed by a compact
 :class:`~repro.diagram.store.ResultStore` — an ``int32`` id grid plus an
 interned result table — rather than a ``dict[cell, result]``.  Construction
@@ -22,9 +33,11 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Iterator
 
+import numpy as np
+
 from repro.diagram.store import ResultStore
 from repro.errors import QueryError
-from repro.geometry.grid import Grid
+from repro.geometry.grid import Grid, as_query_array
 from repro.geometry.polyomino import Polyomino
 from repro.geometry.subcell import SubcellGrid
 
@@ -103,9 +116,57 @@ class SkylineDiagram:
         """Iterate over ``(cell, result)`` pairs (row-major order)."""
         return self._store.items()
 
+    @property
+    def edge_ownership(self) -> tuple[str, ...]:
+        """Which adjacent cell owns (is closed on) each axis's grid lines.
+
+        ``"lower"``/``"upper"`` mean a single cell owns the edge and plain
+        point location with that tie side is boundary-exact; ``"mixed"``
+        (global diagrams) means a boundary query's result can differ from
+        both adjacent cells and is resolved from their candidate union.
+        """
+        if self.kind == "quadrant":
+            return tuple(
+                "upper" if self.mask >> d & 1 else "lower"
+                for d in range(self.dim)
+            )
+        return tuple("mixed" for _ in range(self.dim))
+
     def query(self, query: Sequence[float]) -> Result:
-        """Answer a skyline query by point location (O(d log n))."""
-        return self._store.result_at(self.grid.locate(query))
+        """Answer a skyline query by point location (O(d log n)).
+
+        Boundary-exact: agrees with from-scratch evaluation everywhere,
+        including queries exactly on grid lines.  Quadrant diagrams get
+        this for free from the per-axis closed side (candidates and mapped
+        distances on the closed side match the boundary's non-strict
+        Definition 3 semantics exactly); global diagrams resolve boundary
+        queries from the adjacent cells' candidate union.
+        """
+        if self.kind == "quadrant":
+            return self._store.result_at(
+                self.grid.locate(query, upper_mask=self.mask)
+            )
+        cell = self.grid.locate(query)
+        bits = self.grid.boundary_axes(query, cell)
+        if bits:
+            return self._boundary_result(query, cell, bits)
+        return self._store.result_at(cell)
+
+    def _boundary_result(
+        self, query: Sequence[float], cell: Cell, bits: int
+    ) -> Result:
+        """Exact global result for a query on the grid lines in ``bits``.
+
+        Per quadrant, the boundary result equals the result stored on the
+        quadrant's closed side, so the true global result is covered by
+        the union of the ``2^b`` adjacent cells; one restricted skyline
+        pass over that candidate set recovers it exactly.
+        """
+        axes = [d for d in range(self.dim) if bits >> d & 1]
+        candidates = self._store.union_at_corners(cell, axes)
+        from repro.skyline.queries import global_skyline_among
+
+        return global_skyline_among(self.grid.dataset, candidates, query)
 
     def query_batch(
         self, queries: Sequence[Sequence[float]]
@@ -115,9 +176,28 @@ class SkylineDiagram:
         Point location runs as one ``np.searchsorted`` per axis over the
         whole batch and the per-query results are reads of the interned
         table — the serving-side hot path.  Agrees with :meth:`query`
-        query-for-query, including the lower-side tie rule on grid lines.
+        query-for-query: quadrant diagrams use the per-axis closed side
+        directly in ``searchsorted``; for global diagrams the (rare) rows
+        exactly on a grid line are detected vectorized and resolved per
+        row from the adjacent cells' candidate union.
         """
-        return self._store.lookup_batch(self.grid.locate_batch(queries))
+        if self.kind == "quadrant":
+            return self._store.lookup_batch(
+                self.grid.locate_batch(queries, upper_mask=self.mask)
+            )
+        q = as_query_array(queries, self.dim)
+        cells, boundary = self.grid.locate_batch(q, return_boundary=True)
+        results = self._store.lookup_batch(cells)
+        if boundary.any():
+            for r in np.nonzero(boundary.any(axis=1))[0].tolist():
+                bits = 0
+                for d in range(self.dim):
+                    if boundary[r, d]:
+                        bits |= 1 << d
+                results[r] = self._boundary_result(
+                    tuple(q[r].tolist()), tuple(cells[r].tolist()), bits
+                )
+        return results
 
     def query_points(self, query: Sequence[float]) -> list[tuple[float, ...]]:
         """Like :meth:`query` but returning point coordinates."""
@@ -210,20 +290,70 @@ class DynamicDiagram:
         """Iterate over ``(subcell, result)`` pairs (row-major order)."""
         return self._store.items()
 
+    @property
+    def edge_ownership(self) -> tuple[str, str]:
+        """Dynamic grid lines are ``"mixed"``: ties resolve from both sides."""
+        return ("mixed", "mixed")
+
     def query(self, query: Sequence[float]) -> Result:
         """Answer a dynamic skyline query by point location.
 
-        Exact for queries strictly inside a subcell; a query lying exactly
-        on a bisector (a measure-zero event where mapped coordinates tie) is
-        answered with the lower-side subcell's result.
+        Boundary-exact: a query exactly on a point line or pair bisector
+        (where mapped coordinates tie) is resolved from the adjacent
+        subcells' results plus the line's contributing points, not by
+        recomputation — mapped-distance ties on a boundary can only
+        involve the points whose line or bisector *is* that boundary.
         """
-        return self._store.result_at(self.subcells.locate(query))
+        subcell = self.subcells.locate(query)
+        bits = self.subcells.boundary_axes(query, subcell)
+        if bits:
+            return self._boundary_result(query, subcell, bits)
+        return self._store.result_at(subcell)
+
+    def _boundary_result(
+        self, query: Sequence[float], subcell: tuple[int, int], bits: int
+    ) -> Result:
+        """Exact dynamic result for a query on the grid lines in ``bits``.
+
+        Every member of the true boundary result either survives in an
+        adjacent subcell or is mapped-identical (at the boundary) to a
+        survivor — and two distinct points with tied mapped distance have
+        the query on their pair bisector, making both of them recorded
+        contributors of that grid value.  The union of adjacent results
+        and boundary contributors therefore covers the true result, and
+        one restricted dynamic skyline recovers it exactly.
+        """
+        from repro.skyline.queries import dynamic_skyline_among
+
+        axes = [d for d in range(2) if bits >> d & 1]
+        candidates = set(self._store.union_at_corners(subcell, axes))
+        for d in axes:
+            candidates.update(
+                self.subcells.boundary_contributors(d, subcell[d] + 1)
+            )
+        return dynamic_skyline_among(
+            self.subcells.dataset, sorted(candidates), query
+        )
 
     def query_batch(
         self, queries: Sequence[Sequence[float]]
     ) -> list[Result]:
-        """Answer many dynamic skyline queries in one vectorized pass."""
-        return self._store.lookup_batch(self.subcells.locate_batch(queries))
+        """Answer many dynamic skyline queries in one vectorized pass.
+
+        Agrees with :meth:`query` query-for-query: rows exactly on a grid
+        line are detected vectorized and resolved per row from the
+        adjacent subcells and boundary contributors.
+        """
+        q = as_query_array(queries, 2)
+        cells, boundary = self.subcells.locate_batch(q, return_boundary=True)
+        results = self._store.lookup_batch(cells)
+        if boundary.any():
+            for r in np.nonzero(boundary.any(axis=1))[0].tolist():
+                bits = int(boundary[r, 0]) | int(boundary[r, 1]) << 1
+                results[r] = self._boundary_result(
+                    tuple(q[r].tolist()), tuple(cells[r].tolist()), bits
+                )
+        return results
 
     def query_points(self, query: Sequence[float]) -> list[tuple[float, ...]]:
         """Like :meth:`query` but returning point coordinates."""

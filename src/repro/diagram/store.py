@@ -151,6 +151,34 @@ class ResultStore:
         table = self.table
         return [table[i] for i in ids.tolist()]
 
+    def union_at_corners(
+        self, cell: Cell, axes: Sequence[int]
+    ) -> tuple[int, ...]:
+        """Sorted union of the results of a hypercube of adjacent cells.
+
+        ``cell`` is the lower corner; the ``2^len(axes)`` cells offset by
+        0 or 1 along each axis in ``axes`` are gathered (every index must
+        stay inside the grid).  This is the candidate-collection step of
+        exact boundary resolution: a query on the closed/open edge between
+        cells can only be answered by points appearing in one of the cells
+        that share the edge.  Distinct result ids are deduplicated before
+        the tuple union, so the merge cost tracks the number of distinct
+        neighbouring regions, not ``2^b``.
+        """
+        ids = {self.id_at(cell)}
+        for bits in range(1, 1 << len(axes)):
+            probe = list(cell)
+            for k, axis in enumerate(axes):
+                if bits >> k & 1:
+                    probe[axis] += 1
+            ids.add(self.id_at(tuple(probe)))
+        if len(ids) == 1:
+            return self.table[ids.pop()]
+        union: set[int] = set()
+        for rid in ids:
+            union.update(self.table[rid])
+        return tuple(sorted(union))
+
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------

@@ -1,10 +1,10 @@
-"""Structural validation of skyline diagrams.
+"""Validation of skyline diagrams: structural checks and differential fuzzing.
 
 Serialized diagrams cross trust boundaries (the outsourcing and PIR
 applications ship them to other parties), so a loader needs more than
-schema checks: this module verifies the *semantic* invariants a genuine
-diagram must satisfy, from cheap structural laws to a full per-cell
-recomputation.
+schema checks: :func:`validate_diagram` verifies the *semantic* invariants
+a genuine diagram must satisfy, from cheap structural laws to a full
+per-cell recomputation.
 
 Levels
 ------
@@ -14,9 +14,33 @@ Levels
 ``sampled``     structure + from-scratch recomputation of a deterministic
                 sample of cells.
 ``full``        structure + every cell recomputed (the ground truth).
+
+Differential harness
+--------------------
+:func:`differential_verify` is the correctness backstop for the whole
+lookup stack: a seeded fuzzer that generates adversarial workloads
+(duplicate coordinates, queries exactly on grid vertices, edges and
+dynamic bisectors, tied mapped distances) and cross-checks
+
+* every diagram construction pair — quadrant baseline/dsg/scanning (and
+  the dict-backed scanning reference), dynamic baseline/subset/scanning,
+  global over two quadrant algorithms — for whole-diagram equality,
+* every lookup path against direct from-scratch evaluation, for all
+  query kinds, all ``2^d`` quadrant masks, skybands, and the sweeping
+  diagram's polyomino walk,
+* batch point location against the per-query path.
+
+On a mismatch the failing dataset is shrunk to a minimal reproducer and
+reported as a :class:`Mismatch` whose :meth:`Mismatch.reproducer` is a
+paste-ready script.  The ``repro verify`` CLI command (and the smoke test
+in the suite) run this on every change.
 """
 
 from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass, field
 
 from repro.diagram.base import DynamicDiagram, SkylineDiagram
 from repro.errors import SerializationError
@@ -111,3 +135,371 @@ def _validate_dynamic(
                 f"subcell {subcell}: stored {diagram.result_at(subcell)}, "
                 f"recomputed {expected}"
             )
+
+
+# ----------------------------------------------------------------------
+# Differential verification harness
+# ----------------------------------------------------------------------
+
+Points = list[tuple[float, ...]]
+# A check evaluates one comparison on a dataset and returns
+# (expected, actual); the pair differing is a correctness bug somewhere.
+Check = Callable[[Points], tuple[object, object]]
+
+
+@dataclass
+class Mismatch:
+    """One failed differential check, minimized to a small reproducer."""
+
+    check: str
+    points: Points
+    query: tuple[float, ...] | None
+    expected: object
+    actual: object
+    seed: int
+    template: str
+
+    def reproducer(self) -> str:
+        """A paste-ready script that reproduces the failure."""
+        lines = [
+            f"# differential_verify(seed={self.seed}) found: {self.check}",
+            f"# expected {self.expected!r}, got {self.actual!r}",
+            f"points = {self.points!r}",
+        ]
+        if self.query is not None:
+            lines.append(f"query = {self.query!r}")
+        lines.append(self.template)
+        return "\n".join(lines)
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one :func:`differential_verify` run."""
+
+    seed: int
+    budget: int
+    cases: int = 0
+    rounds: int = 0
+    by_check: dict[str, int] = field(default_factory=dict)
+    mismatch: Mismatch | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.mismatch is None
+
+    def summary(self) -> str:
+        groups = ", ".join(
+            f"{name}={count}" for name, count in sorted(self.by_check.items())
+        )
+        status = "OK" if self.ok else "MISMATCH"
+        return (
+            f"differential verify [{status}]: {self.cases} cases over "
+            f"{self.rounds} datasets (seed={self.seed}): {groups}"
+        )
+
+
+def _generate_points(rng: random.Random, max_points: int) -> Points:
+    """An adversarial small dataset: ties and duplicates on purpose."""
+    n = rng.randint(1, max_points)
+    style = rng.randrange(4)
+    if style == 0:  # tiny integer domain: tied coordinates everywhere
+        pool = range(0, 4)
+        pts = [(float(rng.choice(pool)), float(rng.choice(pool))) for _ in range(n)]
+    elif style == 1:  # wider integers, still collision-prone
+        pts = [(float(rng.randint(0, 9)), float(rng.randint(0, 9))) for _ in range(n)]
+    elif style == 2:  # floats drawn from a small pool: exact ties, exact bisectors
+        pool = [0.0, 0.5, 1.25, 2.0, 3.5, 4.0]
+        pts = [(rng.choice(pool), rng.choice(pool)) for _ in range(n)]
+    else:  # duplicated points
+        base = [
+            (float(rng.randint(0, 5)), float(rng.randint(0, 5)))
+            for _ in range(max(1, n // 2))
+        ]
+        pts = [rng.choice(base) for _ in range(n)]
+    if rng.random() < 0.3:  # a duplicate of an existing point
+        pts.append(rng.choice(pts))
+    return pts
+
+
+def _generate_queries(
+    rng: random.Random, points: Points, limit: int = 10
+) -> list[tuple[float, float]]:
+    """Adversarial queries: grid vertices, edges, bisectors, data points."""
+    from repro.geometry.subcell import SubcellGrid
+
+    axes = SubcellGrid(points).axes  # point lines *and* pair bisectors
+    xs, ys = axes
+    queries: list[tuple[float, float]] = []
+    queries.append((rng.choice(xs), rng.choice(ys)))  # on a grid vertex
+    queries.append((rng.choice(xs), rng.uniform(-1.0, max(ys) + 1.0)))  # on edge
+    queries.append((rng.uniform(-1.0, max(xs) + 1.0), rng.choice(ys)))
+    queries.append(rng.choice(points))  # exactly on a data point
+    queries.append((rng.uniform(-2.0, 11.0), rng.uniform(-2.0, 11.0)))
+    queries.append((-0.0, rng.choice(ys)))  # signed zero on a line when 0 ∈ xs
+    while len(queries) < limit:
+        queries.append(
+            (rng.choice(xs + (rng.uniform(-1, 10),)),
+             rng.choice(ys + (rng.uniform(-1, 10),)))
+        )
+    rng.shuffle(queries)
+    return [(float(x), float(y)) for x, y in queries[:limit]]
+
+
+def _pair_checks() -> list[tuple[str, Check, str]]:
+    """Whole-diagram equality between independent construction algorithms."""
+    from repro.diagram.dynamic_baseline import dynamic_baseline
+    from repro.diagram.dynamic_scanning import dynamic_scanning
+    from repro.diagram.dynamic_subset import dynamic_subset
+    from repro.diagram.global_diagram import global_diagram
+    from repro.diagram.quadrant_baseline import quadrant_baseline
+    from repro.diagram.quadrant_dsg import quadrant_dsg
+    from repro.diagram.quadrant_scanning import (
+        quadrant_scanning,
+        quadrant_scanning_reference,
+    )
+
+    def pair(build_a, build_b) -> Check:
+        def check(points: Points) -> tuple[object, object]:
+            a, b = build_a(points), build_b(points)
+            if a == b:
+                return (True, True)
+            return (a.store.to_dict(), b.store.to_dict())
+
+        return check
+
+    def global_pair(points: Points) -> tuple[object, object]:
+        a = global_diagram(points, quadrant_scanning)
+        b = global_diagram(points, quadrant_baseline)
+        if a == b:
+            return (True, True)
+        return (a.store.to_dict(), b.store.to_dict())
+
+    template = (
+        "from repro.diagram import {a}, {b}\n"
+        "assert {a}(points) == {b}(points)"
+    )
+    return [
+        (
+            "pair:quadrant:scanning==baseline",
+            pair(quadrant_scanning, quadrant_baseline),
+            template.format(a="quadrant_scanning", b="quadrant_baseline"),
+        ),
+        (
+            "pair:quadrant:scanning==dsg",
+            pair(quadrant_scanning, quadrant_dsg),
+            template.format(a="quadrant_scanning", b="quadrant_dsg"),
+        ),
+        (
+            "pair:quadrant:scanning==reference",
+            pair(quadrant_scanning, quadrant_scanning_reference),
+            "from repro.diagram.quadrant_scanning import ("
+            "quadrant_scanning, quadrant_scanning_reference)\n"
+            "assert quadrant_scanning(points) == "
+            "quadrant_scanning_reference(points)",
+        ),
+        (
+            "pair:dynamic:scanning==baseline",
+            pair(dynamic_scanning, dynamic_baseline),
+            template.format(a="dynamic_scanning", b="dynamic_baseline"),
+        ),
+        (
+            "pair:dynamic:scanning==subset",
+            pair(dynamic_scanning, dynamic_subset),
+            template.format(a="dynamic_scanning", b="dynamic_subset"),
+        ),
+        (
+            "pair:global:scanning==baseline",
+            global_pair,
+            "from repro.diagram import global_diagram, quadrant_baseline, "
+            "quadrant_scanning\n"
+            "assert global_diagram(points, quadrant_scanning) == "
+            "global_diagram(points, quadrant_baseline)",
+        ),
+    ]
+
+
+def _lookup_checks(
+    query: tuple[float, float]
+) -> list[tuple[str, Check, str]]:
+    """Point location vs direct evaluation, for every kind/mask/k."""
+    from repro.diagram.quadrant_sweeping import quadrant_sweeping
+    from repro.index.engine import SkylineDatabase
+
+    checks: list[tuple[str, Check, str]] = []
+
+    def lookup(kind: str, mask: int = 0, k: int = 1) -> Check:
+        def check(points: Points) -> tuple[object, object]:
+            db = SkylineDatabase(points)
+            return (
+                db.query_from_scratch(query, kind=kind, mask=mask, k=k),
+                db.query(query, kind=kind, mask=mask, k=k),
+            )
+
+        return check
+
+    db_template = (
+        "from repro.index.engine import SkylineDatabase\n"
+        "db = SkylineDatabase(points)\n"
+        "assert db.query(query, kind={kind!r}, mask={mask}, k={k}) == "
+        "db.query_from_scratch(query, kind={kind!r}, mask={mask}, k={k})"
+    )
+    for mask in range(4):
+        checks.append(
+            (
+                f"lookup:quadrant:mask{mask}",
+                lookup("quadrant", mask=mask),
+                db_template.format(kind="quadrant", mask=mask, k=1),
+            )
+        )
+    checks.append(
+        ("lookup:global", lookup("global"),
+         db_template.format(kind="global", mask=0, k=1))
+    )
+    checks.append(
+        ("lookup:dynamic", lookup("dynamic"),
+         db_template.format(kind="dynamic", mask=0, k=1))
+    )
+    for k in (1, 2):
+        checks.append(
+            (
+                f"lookup:skyband:k{k}",
+                lookup("skyband", k=k),
+                db_template.format(kind="skyband", mask=0, k=k),
+            )
+        )
+
+    def sweeping(points: Points) -> tuple[object, object]:
+        return (
+            quadrant_skyline(points, query),
+            quadrant_sweeping(points).query(query),
+        )
+
+    checks.append(
+        (
+            "lookup:sweeping",
+            sweeping,
+            "from repro.diagram import quadrant_sweeping\n"
+            "from repro.skyline.queries import quadrant_skyline\n"
+            "assert quadrant_sweeping(points).query(query) == "
+            "quadrant_skyline(points, query)",
+        )
+    )
+    return checks
+
+
+def _batch_checks(
+    queries: list[tuple[float, float]]
+) -> list[tuple[str, Check, str]]:
+    """Vectorized batch lookups vs the per-query path."""
+    from repro.index.engine import SkylineDatabase
+
+    checks: list[tuple[str, Check, str]] = []
+    template = (
+        "from repro.index.engine import SkylineDatabase\n"
+        "db = SkylineDatabase(points)\n"
+        f"queries = {queries!r}\n"
+        "assert db.query_batch(queries, kind={kind!r}, mask={mask}) == "
+        "[db.query(q, kind={kind!r}, mask={mask}) for q in queries]"
+    )
+
+    def batch(kind: str, mask: int = 0) -> Check:
+        def check(points: Points) -> tuple[object, object]:
+            db = SkylineDatabase(points)
+            return (
+                [db.query(q, kind=kind, mask=mask) for q in queries],
+                db.query_batch(queries, kind=kind, mask=mask),
+            )
+
+        return check
+
+    for kind, mask in (
+        ("quadrant", 0),
+        ("quadrant", 3),
+        ("global", 0),
+        ("dynamic", 0),
+    ):
+        checks.append(
+            (
+                f"batch:{kind}:mask{mask}",
+                batch(kind, mask),
+                template.format(kind=kind, mask=mask),
+            )
+        )
+    return checks
+
+
+def _minimize(points: Points, check: Check) -> Points:
+    """Greedy shrink: drop points while the check still fails."""
+
+    def fails(pts: Points) -> bool:
+        if not pts:
+            return False
+        try:
+            expected, actual = check(pts)
+        except Exception:
+            return True  # a crash on the reduced input is equally a repro
+        return expected != actual
+
+    current = list(points)
+    shrunk = True
+    while shrunk and len(current) > 1:
+        shrunk = False
+        for i in range(len(current) - 1, -1, -1):
+            candidate = current[:i] + current[i + 1 :]
+            if fails(candidate):
+                current = candidate
+                shrunk = True
+    return current
+
+
+def differential_verify(
+    seed: int = 0,
+    budget: int = 2000,
+    max_points: int = 8,
+    query_limit: int = 8,
+) -> VerifyReport:
+    """Run the seeded differential fuzzer for about ``budget`` cases.
+
+    One *case* is one comparison: a diagram-pair equality, one lookup vs
+    from-scratch evaluation, or one batch-vs-per-query sweep.  The run is
+    fully deterministic in ``seed``.  Stops early at the first mismatch,
+    with the failing dataset minimized into ``report.mismatch``.
+
+    >>> differential_verify(seed=1, budget=50).ok
+    True
+    """
+    rng = random.Random(seed)
+    report = VerifyReport(seed=seed, budget=budget)
+    while report.cases < budget:
+        points = _generate_points(rng, max_points)
+        queries = _generate_queries(rng, points, limit=query_limit)
+        round_checks: list[tuple[str, Check, str, tuple | None]] = []
+        for name, check, template in _pair_checks():
+            round_checks.append((name, check, template, None))
+        for query in queries:
+            for name, check, template in _lookup_checks(query):
+                round_checks.append((name, check, template, query))
+        for name, check, template in _batch_checks(queries):
+            round_checks.append((name, check, template, None))
+        report.rounds += 1
+        for name, check, template, query in round_checks:
+            expected, actual = check(points)
+            group = name.split(":")[0]
+            report.by_check[group] = report.by_check.get(group, 0) + 1
+            report.cases += 1
+            if expected != actual:
+                minimal = _minimize(points, check)
+                expected, actual = check(minimal)
+                report.mismatch = Mismatch(
+                    check=name,
+                    points=minimal,
+                    query=query,
+                    expected=expected,
+                    actual=actual,
+                    seed=seed,
+                    template=template,
+                )
+                return report
+            if report.cases >= budget:
+                break
+    return report

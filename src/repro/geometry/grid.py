@@ -19,7 +19,7 @@ is the grid intersection at ranks ``(i, j)``.
 
 from __future__ import annotations
 
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from collections.abc import Sequence
 from itertools import chain, product
 from typing import Iterator
@@ -28,6 +28,17 @@ import numpy as np
 
 from repro.errors import QueryError
 from repro.geometry.point import Dataset, Point, ensure_dataset
+
+
+def reject_nan(q: np.ndarray) -> None:
+    """Raise :class:`QueryError` when a query batch contains NaN.
+
+    NaN compares false against everything, so ``searchsorted`` would park
+    NaN queries in the outermost cell and silently answer them; queries
+    are rejected instead (a NaN coordinate has no skyline semantics).
+    """
+    if np.isnan(q).any():
+        raise QueryError("query coordinates must not be NaN")
 
 
 def as_query_array(
@@ -157,44 +168,102 @@ class Grid:
     # ------------------------------------------------------------------
     # Point location
     # ------------------------------------------------------------------
-    def locate(self, query: Sequence[float]) -> tuple[int, ...]:
+    def locate(
+        self, query: Sequence[float], upper_mask: int = 0
+    ) -> tuple[int, ...]:
         """Cell index containing a query point.
 
         A query lying exactly on a grid line is assigned to the cell on the
-        *lower* side, which makes ``rank > i`` candidate semantics agree with
-        the non-strict ``p[i] - q[i] >= 0`` of Definition 3 for boundary
-        queries.
+        side selected by ``upper_mask``: with bit ``d`` clear (the default)
+        the *lower* cell owns the line on axis ``d``, which makes
+        ``rank > i`` candidate semantics agree with the non-strict
+        ``p[i] - q[i] >= 0`` of Definition 3; with bit ``d`` set the *upper*
+        cell owns it, the matching convention for quadrant orientations that
+        reflect axis ``d`` (where candidates satisfy ``p[i] <= q[i]``).
+
+        NaN coordinates are rejected with :class:`QueryError`.
         """
         if len(query) != self.dim:
             raise QueryError(
                 f"query has {len(query)} dimensions, grid has {self.dim}"
             )
-        return tuple(
-            bisect_left(self.axes[d], float(query[d])) for d in range(self.dim)
-        )
+        cell = []
+        for d in range(self.dim):
+            x = float(query[d])
+            if x != x:
+                raise QueryError("query coordinates must not be NaN")
+            if upper_mask >> d & 1:
+                cell.append(bisect_right(self.axes[d], x))
+            else:
+                cell.append(bisect_left(self.axes[d], x))
+        return tuple(cell)
+
+    def boundary_axes(
+        self, query: Sequence[float], cell: tuple[int, ...]
+    ) -> int:
+        """Bitmask of axes on which the query lies exactly on a grid line.
+
+        ``cell`` must be the *lower-side* location of the query
+        (``locate(query)`` with the default ``upper_mask=0``): the query is
+        on a line of axis ``d`` iff the grid value just above the lower
+        cell equals the coordinate.  Uses the same ``bisect``/float
+        comparison as the locator, so integer-vs-float, ``-0.0`` and
+        subnormal queries are classified consistently with point location.
+        """
+        bits = 0
+        for d in range(self.dim):
+            axis = self.axes[d]
+            i = cell[d]
+            if i < len(axis) and axis[i] == float(query[d]):
+                bits |= 1 << d
+        return bits
 
     def locate_batch(
-        self, queries: Sequence[Sequence[float]] | np.ndarray
-    ) -> np.ndarray:
+        self,
+        queries: Sequence[Sequence[float]] | np.ndarray,
+        upper_mask: int = 0,
+        return_boundary: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
         """Vectorized :meth:`locate` for many queries.
 
         Returns an ``(m, dim)`` integer array of cell indices, one
-        ``np.searchsorted`` per axis; the lower-side tie rule of
-        :meth:`locate` carries over (``side="left"`` is ``bisect_left``).
+        ``np.searchsorted`` per axis; the per-axis tie rule of
+        :meth:`locate` carries over (``side="left"`` is ``bisect_left``,
+        ``side="right"`` is ``bisect_right`` for axes in ``upper_mask``).
+        With ``return_boundary=True`` also returns an ``(m, dim)`` boolean
+        array marking queries that lie exactly on a grid line of each axis.
+        NaN coordinates are rejected with :class:`QueryError`.
         """
         q = as_query_array(queries, self.dim)
         if q.size == 0:
-            return np.empty((0, self.dim), dtype=np.int64)
+            empty = np.empty((0, self.dim), dtype=np.int64)
+            if return_boundary:
+                return empty, np.empty((0, self.dim), dtype=bool)
+            return empty
         if q.ndim != 2 or q.shape[1] != self.dim:
             raise QueryError(
                 f"locate_batch expects an (m, {self.dim}) array of queries, "
                 f"got shape {q.shape}"
             )
+        reject_nan(q)
         cells = np.empty(q.shape, dtype=np.int64)
+        boundary = (
+            np.zeros(q.shape, dtype=bool) if return_boundary else None
+        )
         for d in range(self.dim):
-            cells[:, d] = np.searchsorted(
-                self._axis_arrays[d], q[:, d], side="left"
-            )
+            axis = self._axis_arrays[d]
+            side = "right" if upper_mask >> d & 1 else "left"
+            idx = np.searchsorted(axis, q[:, d], side=side)
+            cells[:, d] = idx
+            if boundary is not None:
+                if side == "left":
+                    hit = idx < len(axis)
+                    boundary[hit, d] = axis[idx[hit]] == q[hit, d]
+                else:
+                    hit = idx > 0
+                    boundary[hit, d] = axis[idx[hit] - 1] == q[hit, d]
+        if boundary is not None:
+            return cells, boundary
         return cells
 
     def cell_bounds(

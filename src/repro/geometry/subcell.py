@@ -22,7 +22,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import DimensionalityError, QueryError
-from repro.geometry.grid import Grid, as_query_array
+from repro.geometry.grid import Grid, as_query_array, reject_nan
 from repro.geometry.point import Dataset, Point, ensure_dataset
 
 
@@ -113,31 +113,74 @@ class SubcellGrid:
         return product(range(self.shape[0]), range(self.shape[1]))
 
     def locate(self, query: Sequence[float]) -> tuple[int, int]:
-        """Subcell index containing a query point (lower side on boundaries)."""
+        """Subcell index containing a query point (lower side on boundaries).
+
+        NaN coordinates are rejected with :class:`QueryError`.
+        """
         if len(query) != 2:
             raise QueryError("dynamic diagram queries must be 2-D")
+        x, y = float(query[0]), float(query[1])
+        if x != x or y != y:
+            raise QueryError("query coordinates must not be NaN")
         return (
-            bisect_left(self.axes[0], float(query[0])),
-            bisect_left(self.axes[1], float(query[1])),
+            bisect_left(self.axes[0], x),
+            bisect_left(self.axes[1], y),
         )
 
+    def boundary_axes(
+        self, query: Sequence[float], subcell: tuple[int, int]
+    ) -> int:
+        """Bitmask of axes on which the query lies exactly on a grid line.
+
+        ``subcell`` must be ``locate(query)``.  A set bit means the query
+        sits on a point line or a pair bisector of that axis — the
+        measure-zero events where mapped coordinates tie and the subcell
+        lookup alone cannot decide the dynamic skyline.
+        """
+        bits = 0
+        for d in range(2):
+            axis = self.axes[d]
+            i = subcell[d]
+            if i < len(axis) and axis[i] == float(query[d]):
+                bits |= 1 << d
+        return bits
+
     def locate_batch(
-        self, queries: Sequence[Sequence[float]] | np.ndarray
-    ) -> np.ndarray:
-        """Vectorized :meth:`locate`: an ``(m, 2)`` array of subcell indices."""
+        self,
+        queries: Sequence[Sequence[float]] | np.ndarray,
+        return_boundary: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate`: an ``(m, 2)`` array of subcell indices.
+
+        With ``return_boundary=True`` also returns an ``(m, 2)`` boolean
+        array marking queries exactly on a grid line (point line or pair
+        bisector) of each axis.  NaN coordinates are rejected.
+        """
         q = as_query_array(queries, 2)
         if q.size == 0:
-            return np.empty((0, 2), dtype=np.int64)
+            empty = np.empty((0, 2), dtype=np.int64)
+            if return_boundary:
+                return empty, np.empty((0, 2), dtype=bool)
+            return empty
         if q.ndim != 2 or q.shape[1] != 2:
             raise QueryError(
                 f"locate_batch expects an (m, 2) array of queries, "
                 f"got shape {q.shape}"
             )
+        reject_nan(q)
         cells = np.empty(q.shape, dtype=np.int64)
+        boundary = (
+            np.zeros(q.shape, dtype=bool) if return_boundary else None
+        )
         for d in range(2):
-            cells[:, d] = np.searchsorted(
-                self._axis_arrays[d], q[:, d], side="left"
-            )
+            axis = self._axis_arrays[d]
+            idx = np.searchsorted(axis, q[:, d], side="left")
+            cells[:, d] = idx
+            if boundary is not None:
+                hit = idx < len(axis)
+                boundary[hit, d] = axis[idx[hit]] == q[hit, d]
+        if boundary is not None:
+            return cells, boundary
         return cells
 
     def representative(self, subcell: tuple[int, int]) -> Point:

@@ -19,7 +19,12 @@ from repro.diagram.highdim import quadrant_scanning_nd
 from repro.diagram.quadrant_scanning import quadrant_scanning
 from repro.errors import DimensionalityError, QueryError
 from repro.geometry.point import Dataset, ensure_dataset
-from repro.skyline.queries import dynamic_skyline, global_skyline, quadrant_skyline
+from repro.skyline.queries import (
+    dynamic_skyline,
+    global_skyline,
+    quadrant_skyband,
+    quadrant_skyline,
+)
 
 KINDS = ("quadrant", "global", "dynamic")
 
@@ -104,7 +109,13 @@ class SkylineDatabase:
         return self._skyband[k]
 
     def skyband(self, query: Sequence[float], k: int) -> tuple[int, ...]:
-        """Answer a first-quadrant k-skyband query by point location."""
+        """Answer a first-quadrant k-skyband query by point location.
+
+        Boundary-exact: skyband diagrams are first-quadrant, so the
+        lower-side closed edge matches the non-strict candidate semantics
+        on grid lines (the same argument that makes ``mask=0`` quadrant
+        lookups exact extends to dominator counts).
+        """
         return self.skyband_diagram(k).query(query)
 
     def _diagram_for(self, kind: str):
@@ -118,12 +129,23 @@ class SkylineDatabase:
 
     # ------------------------------------------------------------------
     def query(
-        self, query: Sequence[float], kind: str = "dynamic", mask: int = 0
+        self,
+        query: Sequence[float],
+        kind: str = "dynamic",
+        mask: int = 0,
+        k: int = 1,
     ) -> tuple[int, ...]:
         """Answer one skyline query by point location.
 
-        ``kind`` is ``"quadrant"`` (with quadrant ``mask``), ``"global"``
-        or ``"dynamic"``.
+        ``kind`` is ``"quadrant"`` (with quadrant ``mask``), ``"global"``,
+        ``"dynamic"`` or ``"skyband"`` (with band width ``k``).
+
+        Lookups are boundary-exact for every kind and mask: the diagrams
+        resolve queries lying exactly on grid lines themselves (closed
+        edge ownership per axis for quadrant orientations, candidate-set
+        resolution for global/dynamic), so this always agrees with
+        :meth:`query_from_scratch`.  NaN coordinates raise
+        :class:`~repro.errors.QueryError`.
         """
         if kind == "quadrant":
             return self.quadrant_diagram(mask).query(query)
@@ -131,50 +153,43 @@ class SkylineDatabase:
             return self.global_diagram().query(query)
         if kind == "dynamic":
             return self.dynamic_diagram().query(query)
+        if kind == "skyband":
+            return self.skyband_diagram(k).query(query)
         raise QueryError(f"unknown query kind {kind!r}")
 
     def query_exact(
-        self, query: Sequence[float], kind: str = "dynamic", mask: int = 0
+        self,
+        query: Sequence[float],
+        kind: str = "dynamic",
+        mask: int = 0,
+        k: int = 1,
     ) -> tuple[int, ...]:
-        """Like :meth:`query`, recomputing when the query lies on a boundary.
+        """Deprecated alias of :meth:`query`, which is now boundary-exact.
 
-        Diagram lookups assign boundary queries to the lower-side (sub)cell.
-        That convention reproduces the non-strict semantics of Definition 3
-        exactly for first-quadrant queries, but on the measure-zero grid
-        lines it can differ from ground truth for reflected quadrants and
-        global queries (the correct side flips with the orientation) and for
-        dynamic queries on a bisector (mapped coordinates tie).  This method
-        detects those cases and falls back to direct evaluation.
+        Historically the lookup path was only correct off the grid lines
+        for reflected quadrants, global and dynamic queries, and this
+        method recomputed from scratch on boundaries.  The tie handling
+        now lives in the diagrams themselves (per-axis closed edges and
+        candidate-set boundary resolution), so the recompute fallback is
+        retired and this simply delegates.
         """
-        if kind == "quadrant" and mask == 0:
-            return self.query(query, kind=kind, mask=mask)
-        if kind == "dynamic":
-            axes = self.dynamic_diagram().subcells.axes
-        else:
-            diagram = (
-                self.global_diagram()
-                if kind == "global"
-                else self.quadrant_diagram(mask)
-            )
-            axes = diagram.grid.axes
-        on_boundary = any(
-            float(query[d]) in axes[d] for d in range(len(axes))
-        )
-        if on_boundary:
-            return self.query_from_scratch(query, kind=kind, mask=mask)
-        return self.query(query, kind=kind, mask=mask)
+        return self.query(query, kind=kind, mask=mask, k=k)
 
     def query_batch(
         self,
         queries: Sequence[Sequence[float]],
         kind: str = "dynamic",
         mask: int = 0,
+        k: int = 1,
     ) -> list[tuple[int, ...]]:
         """Answer a batch of queries in one vectorized point-location pass.
 
         Dispatches to the diagram's ``query_batch`` — one
-        ``np.searchsorted`` per axis over the whole batch — and agrees with
-        :meth:`query` query-for-query (same lower-side tie rule).
+        ``np.searchsorted`` per axis over the whole batch — and agrees
+        with :meth:`query` query-for-query, including queries exactly on
+        grid lines (boundary rows are detected vectorized and resolved
+        per row).  NaN coordinates raise
+        :class:`~repro.errors.QueryError`.
         """
         if kind == "quadrant":
             return self.quadrant_diagram(mask).query_batch(queries)
@@ -182,19 +197,30 @@ class SkylineDatabase:
             return self.global_diagram().query_batch(queries)
         if kind == "dynamic":
             return self.dynamic_diagram().query_batch(queries)
+        if kind == "skyband":
+            return self.skyband_diagram(k).query_batch(queries)
         raise QueryError(f"unknown query kind {kind!r}")
 
     def query_many(
-        self, queries: Sequence[Sequence[float]], kind: str = "dynamic"
+        self,
+        queries: Sequence[Sequence[float]],
+        kind: str = "dynamic",
+        mask: int = 0,
     ) -> list[tuple[int, ...]]:
         """Answer a batch of queries (shares one diagram build).
 
-        Kept as the historical name; delegates to :meth:`query_batch`.
+        Kept as the historical name; delegates to :meth:`query_batch`,
+        forwarding ``mask`` so reflected-quadrant batches answer against
+        the requested orientation.
         """
-        return self.query_batch(queries, kind=kind)
+        return self.query_batch(queries, kind=kind, mask=mask)
 
     def query_from_scratch(
-        self, query: Sequence[float], kind: str = "dynamic", mask: int = 0
+        self,
+        query: Sequence[float],
+        kind: str = "dynamic",
+        mask: int = 0,
+        k: int = 1,
     ) -> tuple[int, ...]:
         """Direct evaluation without the diagram (the E8 comparison arm)."""
         if kind == "quadrant":
@@ -203,6 +229,8 @@ class SkylineDatabase:
             return global_skyline(self.dataset, query)
         if kind == "dynamic":
             return dynamic_skyline(self.dataset, query)
+        if kind == "skyband":
+            return quadrant_skyband(self.dataset, query, k)
         raise QueryError(f"unknown query kind {kind!r}")
 
     def __repr__(self) -> str:

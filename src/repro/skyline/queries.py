@@ -87,6 +87,31 @@ def dynamic_skyline(points, query: Sequence[float]) -> tuple[int, ...]:
     return skyline(mapped)
 
 
+def global_skyline_among(
+    points, candidate_ids: Sequence[int], query: Sequence[float]
+) -> tuple[int, ...]:
+    """Global skyline restricted to a candidate subset of point ids.
+
+    Valid whenever ``candidate_ids`` is a superset of the true global
+    skyline of ``query``: every candidate outside the true result is
+    dominated, within its own quadrant, by a true member — which is itself
+    a candidate — so the restricted evaluation filters it out and the
+    result over the subset equals the result over all points.  Used for
+    exact boundary resolution of global-diagram lookups, where candidates
+    come from the cells adjacent to the query's grid line.
+    """
+    pts = points.points if isinstance(points, Dataset) else points
+    candidate_ids = list(candidate_ids)
+    subset = [pts[i] for i in candidate_ids]
+    query = tuple(float(c) for c in query)
+    result: set[int] = set()
+    for mask in range(1 << len(query)):
+        result.update(
+            candidate_ids[k] for k in quadrant_skyline(subset, query, mask)
+        )
+    return tuple(sorted(result))
+
+
 def dynamic_skyline_among(
     points, candidate_ids: Sequence[int], query: Sequence[float]
 ) -> tuple[int, ...]:

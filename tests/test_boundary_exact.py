@@ -1,0 +1,122 @@
+"""Boundary exactness: lookup == direct evaluation on measure-zero inputs.
+
+These property tests plant queries *exactly* on the structures where the
+point-location fast path historically disagreed with direct evaluation:
+grid vertices, grid edges, and (for the dynamic diagram) bisector lines.
+For every query kind and every quadrant mask the diagram lookup must now
+return the same ids as ``query_from_scratch`` — no recompute fallback.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.subcell import SubcellGrid
+from repro.index.engine import SkylineDatabase
+
+from tests.conftest import points_2d
+
+KINDS = ("quadrant", "global", "dynamic", "skyband")
+
+
+def _boundary_queries(db: SkylineDatabase, limit: int = 12):
+    """Queries on grid vertices, edges, and dynamic bisector lines."""
+    xs, ys = SubcellGrid(db.dataset).axes  # point lines AND bisectors
+    queries = []
+    # Vertices (line crossings) — includes bisector/bisector crossings.
+    queries += [(x, y) for x in xs for y in ys]
+    # Edges: one coordinate on a line, the other strictly between lines.
+    off_x = (xs[0] + xs[-1]) / 2.0 + 0.25
+    off_y = (ys[0] + ys[-1]) / 2.0 + 0.25
+    queries += [(x, off_y) for x in xs]
+    queries += [(off_x, y) for y in ys]
+    # The data points themselves sit on grid vertices by construction.
+    queries += [tuple(map(float, p)) for p in db.dataset]
+    return queries[:limit] + queries[-limit:]
+
+
+class TestLookupEqualsScratchOnBoundaries:
+    @given(points_2d(max_size=6))
+    @settings(max_examples=25, deadline=None)
+    def test_quadrant_all_masks(self, pts):
+        db = SkylineDatabase(pts)
+        for q in _boundary_queries(db):
+            for mask in range(4):
+                assert db.query(q, kind="quadrant", mask=mask) == (
+                    db.query_from_scratch(q, kind="quadrant", mask=mask)
+                ), (pts, q, mask)
+
+    @given(points_2d(max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_global(self, pts):
+        db = SkylineDatabase(pts)
+        for q in _boundary_queries(db):
+            assert db.query(q, kind="global") == db.query_from_scratch(
+                q, kind="global"
+            ), (pts, q)
+
+    @given(points_2d(max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_dynamic_on_bisectors(self, pts):
+        db = SkylineDatabase(pts)
+        for q in _boundary_queries(db):
+            assert db.query(q, kind="dynamic") == db.query_from_scratch(
+                q, kind="dynamic"
+            ), (pts, q)
+
+    @given(points_2d(max_size=5), st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_skyband(self, pts, k):
+        db = SkylineDatabase(pts)
+        for q in _boundary_queries(db):
+            assert db.query(q, kind="skyband", k=k) == (
+                db.query_from_scratch(q, kind="skyband", k=k)
+            ), (pts, q, k)
+
+    @given(points_2d(max_size=5))
+    @settings(max_examples=15, deadline=None)
+    def test_batch_matches_per_query_on_boundaries(self, pts):
+        db = SkylineDatabase(pts)
+        queries = _boundary_queries(db)
+        for kind in ("quadrant", "global", "dynamic"):
+            assert db.query_batch(queries, kind=kind) == [
+                db.query(q, kind=kind) for q in queries
+            ], (pts, kind)
+        for mask in range(4):
+            assert db.query_batch(queries, kind="quadrant", mask=mask) == [
+                db.query(q, kind="quadrant", mask=mask) for q in queries
+            ], (pts, mask)
+
+
+class TestBatchEdgeCases:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_empty_batch(self, kind):
+        db = SkylineDatabase([(1.0, 2.0), (2.0, 1.0)])
+        assert db.query_batch([], kind=kind, k=2) == []
+        empty = np.empty((0, 2), dtype=np.float64)
+        assert db.query_batch(empty, kind=kind, k=2) == []
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_single_point_dataset(self, kind):
+        db = SkylineDatabase([(3.0, 3.0)])
+        queries = [
+            (0.0, 0.0),
+            (3.0, 3.0),  # exactly on the point / its grid vertex
+            (3.0, 0.0),  # on one grid line
+            (6.0, 6.0),  # across the (degenerate) bisector structure
+        ]
+        assert db.query_batch(queries, kind=kind, k=1) == [
+            db.query_from_scratch(q, kind=kind, k=1) for q in queries
+        ]
+
+    def test_negative_zero_query(self):
+        # -0.0 == 0.0 must land on the boundary, not beside it.
+        db = SkylineDatabase([(0.0, 0.0), (4.0, 4.0)])
+        q = (-0.0, 2.0)
+        for kind in ("quadrant", "global", "dynamic"):
+            assert db.query(q, kind=kind) == db.query_from_scratch(
+                q, kind=kind
+            )

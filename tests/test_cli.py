@@ -162,6 +162,28 @@ class TestStatsSkybandWhynot:
         assert "error:" in capsys.readouterr().err
 
 
+class TestVerify:
+    def test_smoke_run_is_clean(self, capsys):
+        # The CI smoke invocation from the issue: 2000 seeded cases must
+        # cross-check clean across every algorithm pair and lookup path.
+        assert main(["verify", "--seed", "0", "--budget", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out
+        assert "mismatch" not in out
+
+    def test_reports_mismatch_with_reproducer(self, capsys, monkeypatch):
+        from repro.diagram.base import DynamicDiagram
+
+        monkeypatch.setattr(
+            DynamicDiagram,
+            "query",
+            lambda self, q: self._store.result_at(self.subcells.locate(q)),
+        )
+        assert main(["verify", "--seed", "0", "--budget", "500"]) == 1
+        out = capsys.readouterr().out
+        assert "points =" in out  # paste-ready reproducer printed
+
+
 class TestThreeDimensionalBuild:
     def test_build_and_query_3d(self, tmp_path, capsys):
         points = tmp_path / "p3.csv"

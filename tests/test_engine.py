@@ -66,6 +66,25 @@ class TestQueries:
             db.query(q, kind="quadrant") for q in queries
         ]
 
+    def test_query_many_forwards_mask(self, staircase):
+        # Regression: the mask used to be silently dropped, answering
+        # reflected-quadrant batches with the first-quadrant diagram.
+        db = SkylineDatabase(staircase)
+        queries = [(4, 3), (6, 6), (100, 100)]
+        for mask in range(4):
+            assert db.query_many(queries, kind="quadrant", mask=mask) == [
+                db.query(q, kind="quadrant", mask=mask) for q in queries
+            ]
+
+    def test_rejects_nan_queries(self, staircase):
+        db = SkylineDatabase(staircase)
+        nan = float("nan")
+        for kind in ("quadrant", "global", "dynamic"):
+            with pytest.raises(QueryError, match="NaN"):
+                db.query((nan, 1.0), kind=kind)
+            with pytest.raises(QueryError, match="NaN"):
+                db.query_batch([(1.0, 1.0), (1.0, nan)], kind=kind)
+
     @given(
         points_2d(max_size=8),
         st.tuples(st.floats(-1, 9), st.floats(-1, 9)),
@@ -89,23 +108,52 @@ class TestQueries:
         )
 
 
-class TestBoundaryFallback:
-    def test_query_exact_on_bisector_recomputes(self):
+class TestBoundaryExactness:
+    def test_query_on_bisector_keeps_both_tied_points(self):
         # Query exactly on the bisector of 0 and 10: mapped coordinates tie,
-        # so both points are undominated under Definition 2.
+        # so both points are undominated under Definition 2 — and the plain
+        # lookup path now resolves this without recomputation.
         db = SkylineDatabase([(0, 0), (10, 10)])
-        assert db.query_exact((5, 5), kind="dynamic") == (0, 1)
+        assert db.query((5, 5), kind="dynamic") == (0, 1)
 
-    def test_plain_query_uses_lower_side_convention(self):
+    def test_query_exact_is_an_alias_of_query(self):
         db = SkylineDatabase([(0, 0), (10, 10)])
-        # The lower-side subcell of (5, 5) is nearer to point 0.
-        assert db.query((5, 5), kind="dynamic") == (0,)
+        assert db.query_exact((5, 5), kind="dynamic") == db.query(
+            (5, 5), kind="dynamic"
+        )
 
     def test_query_exact_off_boundary_matches_query(self, staircase):
         db = SkylineDatabase(staircase)
         assert db.query_exact((4.5, 3.5), kind="dynamic") == db.query(
             (4.5, 3.5), kind="dynamic"
         )
+
+    def test_reflected_quadrant_on_grid_line(self):
+        # Query on the grid line x=5: for mask 1 (negative x side) the
+        # candidates are p[0] <= 5, so point 1 at x=5 must be included —
+        # the upper cell owns the boundary on reflected axes.
+        pts = [(2, 8), (5, 4), (9, 1)]
+        db = SkylineDatabase(pts)
+        for mask in range(4):
+            q = (5.0, 4.0)
+            assert db.query(q, kind="quadrant", mask=mask) == (
+                db.query_from_scratch(q, kind="quadrant", mask=mask)
+            )
+
+    def test_global_on_grid_vertex(self):
+        db = SkylineDatabase([(2, 8), (5, 4), (9, 1)])
+        for q in [(5.0, 4.0), (2.0, 1.0), (9.0, 8.0), (5.0, 8.0)]:
+            assert db.query(q, kind="global") == db.query_from_scratch(
+                q, kind="global"
+            )
+
+    def test_edge_ownership_is_exposed(self):
+        db = SkylineDatabase([(2, 8), (5, 4)])
+        assert db.quadrant_diagram(0).edge_ownership == ("lower", "lower")
+        assert db.quadrant_diagram(1).edge_ownership == ("upper", "lower")
+        assert db.quadrant_diagram(3).edge_ownership == ("upper", "upper")
+        assert db.global_diagram().edge_ownership == ("mixed", "mixed")
+        assert db.dynamic_diagram().edge_ownership == ("mixed", "mixed")
 
 
 class TestHigherDimensions:
@@ -138,6 +186,29 @@ class TestSkybandQueries:
         db = SkylineDatabase(staircase)
         q = (0, 0)
         assert db.skyband(q, 1) == db.query(q, kind="quadrant")
+
+    def test_skyband_query_kind(self, staircase):
+        db = SkylineDatabase(staircase)
+        q = (0, 0)
+        assert db.query(q, kind="skyband", k=2) == db.skyband(q, 2)
+        assert db.query_exact(q, kind="skyband", k=2) == db.skyband(q, 2)
+        assert db.query_from_scratch(q, kind="skyband", k=2) == db.skyband(
+            q, 2
+        )
+        assert db.query_batch([q, (4, 3)], kind="skyband", k=2) == [
+            db.skyband(q, 2),
+            db.skyband((4, 3), 2),
+        ]
+
+    def test_skyband_boundary_queries_are_exact(self, staircase):
+        # The lower-side closed edge matches non-strict candidate semantics
+        # for dominator counting too: on-line queries agree with scratch.
+        db = SkylineDatabase(staircase)
+        for q in [(2.0, 8.0), (5.0, 4.0), (5.0, 1.0), (9.0, 8.0)]:
+            for k in (1, 2, 3):
+                assert db.skyband(q, k) == db.query_from_scratch(
+                    q, kind="skyband", k=k
+                )
 
     def test_skyband_grows_with_k(self):
         db = SkylineDatabase([(1, 1), (2, 2), (3, 3)])

@@ -68,6 +68,32 @@ class TestLocation:
         grid = Grid([(1, 5), (3, 7)])
         assert grid.locate((3, 5)) == (1, 0)
 
+    def test_upper_mask_flips_boundary_side_per_axis(self):
+        grid = Grid([(1, 5), (3, 7)])
+        assert grid.locate((3, 5), upper_mask=1) == (2, 0)
+        assert grid.locate((3, 5), upper_mask=2) == (1, 1)
+        assert grid.locate((3, 5), upper_mask=3) == (2, 1)
+        # Off the lines the side does not matter.
+        assert grid.locate((2, 6), upper_mask=3) == grid.locate((2, 6))
+
+    def test_boundary_axes_bitmask(self):
+        grid = Grid([(1, 5), (3, 7)])
+        q = (3, 6)
+        assert grid.boundary_axes(q, grid.locate(q)) == 1
+        q = (2, 5)
+        assert grid.boundary_axes(q, grid.locate(q)) == 2
+        q = (3, 5)
+        assert grid.boundary_axes(q, grid.locate(q)) == 3
+        q = (2, 6)
+        assert grid.boundary_axes(q, grid.locate(q)) == 0
+
+    def test_locate_rejects_nan(self):
+        grid = Grid([(1, 5), (3, 7)])
+        with pytest.raises(QueryError, match="NaN"):
+            grid.locate((float("nan"), 1.0))
+        with pytest.raises(QueryError, match="NaN"):
+            grid.locate_batch([(1.0, float("nan"))])
+
     def test_rejects_wrong_dimensionality(self):
         grid = Grid([(1, 5)])
         with pytest.raises(QueryError):

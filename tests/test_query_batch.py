@@ -2,8 +2,9 @@
 
 The vectorized path (one ``np.searchsorted`` per axis) must agree with the
 bisect-based single query everywhere — most delicately for queries lying
-exactly on grid lines, where both sides resolve ties to the lower-side
-cell (``side="left"`` == ``bisect_left``).
+exactly on grid lines, where both paths apply the same per-axis edge
+ownership (closed on the lower side for unreflected axes, upper for
+reflected ones) and the same boundary resolution for global/dynamic kinds.
 """
 
 from __future__ import annotations

@@ -1,4 +1,4 @@
-"""Tests for diagram validation (the untrusted-load defence)."""
+"""Tests for diagram validation and the differential fuzz harness."""
 
 import pytest
 from hypothesis import given, settings
@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from repro.diagram.base import DynamicDiagram, SkylineDiagram
 from repro.diagram.dynamic_scanning import dynamic_scanning
 from repro.diagram.quadrant_scanning import quadrant_scanning
-from repro.diagram.verify import validate_diagram
+from repro.diagram.verify import differential_verify, validate_diagram
 from repro.errors import SerializationError
 
 from tests.conftest import points_2d
@@ -92,6 +92,43 @@ class TestRejects:
         bad = DynamicDiagram(diagram.subcells, results)
         with pytest.raises(SerializationError, match="recomputed"):
             validate_diagram(bad, level="full")
+
+
+class TestDifferentialHarness:
+    def test_seeded_run_is_clean(self):
+        report = differential_verify(seed=0, budget=400, max_points=6)
+        assert report.ok
+        assert report.mismatch is None
+        assert report.cases >= 400
+        assert "ok" in report.summary()
+
+    def test_runs_are_deterministic(self):
+        a = differential_verify(seed=7, budget=150, max_points=5)
+        b = differential_verify(seed=7, budget=150, max_points=5)
+        assert (a.cases, a.rounds, a.by_check) == (b.cases, b.rounds, b.by_check)
+
+    def test_every_check_family_exercised(self):
+        report = differential_verify(seed=1, budget=400, max_points=6)
+        assert set(report.by_check) == {"pair", "lookup", "batch"}
+        assert all(count > 0 for count in report.by_check.values())
+
+    def test_injected_bug_is_caught_and_minimized(self, monkeypatch):
+        # Reintroduce the old lower-side-only dynamic lookup; the harness
+        # must catch the boundary mismatch and shrink the dataset.
+        monkeypatch.setattr(
+            DynamicDiagram,
+            "query",
+            lambda self, q: self._store.result_at(self.subcells.locate(q)),
+        )
+        report = differential_verify(seed=0, budget=2000, max_points=8)
+        assert not report.ok
+        mismatch = report.mismatch
+        assert mismatch.expected != mismatch.actual
+        assert len(mismatch.points) <= 4  # minimizer shrank the dataset
+        text = mismatch.reproducer()
+        assert "points =" in text
+        assert "query =" in text
+        assert str(report.seed) in text
 
 
 class TestLoadPipeline:
