@@ -26,8 +26,15 @@ from repro.diagram import (
     quadrant_scanning,
     quadrant_sweeping,
 )
+from repro.errors import (
+    AuditError,
+    BudgetExceededError,
+    SkylineDiagramError,
+)
 from repro.geometry import Dataset, Grid, Polyomino, SubcellGrid
-from repro.index.engine import SkylineDatabase
+from repro.index.engine import QueryAnswer, SkylineDatabase
+from repro.index.serialize import load_diagram, save_diagram
+from repro.resilience import BuildBudget
 from repro.skyline import (
     dynamic_skyline,
     global_skyline,
@@ -39,17 +46,24 @@ from repro.skyline import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AuditError",
+    "BudgetExceededError",
+    "BuildBudget",
     "DYNAMIC_ALGORITHMS",
     "Dataset",
     "DynamicDiagram",
     "Grid",
     "Polyomino",
+    "QueryAnswer",
     "SkylineDatabase",
+    "SkylineDiagramError",
     "QUADRANT_ALGORITHMS",
     "SkylineDiagram",
     "SubcellGrid",
     "SweepDiagram",
     "__version__",
+    "load_diagram",
+    "save_diagram",
     "dynamic_baseline",
     "dynamic_scanning",
     "dynamic_skyline",

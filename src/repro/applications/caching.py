@@ -19,7 +19,8 @@ from typing import Any
 
 from repro.diagram.base import DynamicDiagram, SkylineDiagram
 from repro.diagram.merge import cell_labels
-from repro.errors import QueryError
+from repro.errors import BudgetExceededError, QueryError
+from repro.resilience import BuildBudget
 
 Loader = Callable[[tuple[int, ...]], Any]
 
@@ -37,6 +38,13 @@ class PolyominoCache:
         once per region while the region stays cached.
     capacity:
         Maximum number of regions kept materialized.
+    budget:
+        Optional :class:`~repro.resilience.BuildBudget` enforcing
+        admission control: ``max_cells`` rejects diagrams too large to
+        index (raising :class:`~repro.errors.BudgetExceededError` before
+        any region is materialized) and ``max_distinct`` caps the number
+        of cached regions below ``capacity`` — eviction kicks in under
+        memory pressure exactly as if the capacity had been lowered.
 
     Examples
     --------
@@ -59,9 +67,22 @@ class PolyominoCache:
         diagram: SkylineDiagram | DynamicDiagram,
         loader: Loader,
         capacity: int = 128,
+        budget: BuildBudget | None = None,
     ) -> None:
         if capacity < 1:
             raise QueryError(f"capacity must be >= 1, got {capacity}")
+        if budget is not None:
+            if (
+                budget.max_cells is not None
+                and diagram.store.num_cells > budget.max_cells
+            ):
+                raise BudgetExceededError(
+                    f"diagram has {diagram.store.num_cells} cells, cache "
+                    f"admission allows max_cells={budget.max_cells}",
+                    budget=budget,
+                )
+            if budget.max_distinct is not None:
+                capacity = min(capacity, budget.max_distinct)
         self.diagram = diagram
         self._loader = loader
         self.capacity = capacity

@@ -11,13 +11,13 @@ Commands
 ``skyband``    answer a k-skyband query directly from CSV points
 ``whynot``     explain why a point is missing from a query's skyline
 ``verify``     run the seeded differential fuzzer over all lookup paths
+``chaos``      run the fault-injection drills over the serving layer
 """
 
 from __future__ import annotations
 
 import argparse
 import csv
-import json
 import sys
 from pathlib import Path
 
@@ -29,12 +29,7 @@ from repro.diagram import (
 )
 from repro.errors import SkylineDiagramError
 from repro.geometry.point import Dataset
-from repro.index.serialize import (
-    diagram_from_json,
-    diagram_to_json,
-    dynamic_diagram_from_json,
-    dynamic_diagram_to_json,
-)
+from repro.index.serialize import load_diagram, save_diagram
 
 
 def _read_points(path: str) -> Dataset:
@@ -74,23 +69,17 @@ def _quadrant_registry(dataset: Dataset) -> dict:
 def _build(args: argparse.Namespace):
     dataset = _read_points(args.points)
     if args.kind == "quadrant":
-        diagram = _quadrant_registry(dataset)[args.algorithm](dataset)
-        return diagram_to_json(diagram)
+        return _quadrant_registry(dataset)[args.algorithm](dataset)
     if args.kind == "global":
-        diagram = global_diagram(
+        return global_diagram(
             dataset, _quadrant_registry(dataset)[args.algorithm]
         )
-        return diagram_to_json(diagram)
     algorithm = args.algorithm if args.algorithm in DYNAMIC_ALGORITHMS else "scanning"
-    return dynamic_diagram_to_json(DYNAMIC_ALGORITHMS[algorithm](dataset))
+    return DYNAMIC_ALGORITHMS[algorithm](dataset)
 
 
 def _load_diagram(path: str):
-    text = Path(path).read_text()
-    kind = json.loads(text).get("diagram")
-    if kind == "dynamic":
-        return dynamic_diagram_from_json(text)
-    return diagram_from_json(text)
+    return load_diagram(path)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -159,6 +148,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--max-points", type=int, default=8)
 
+    p = sub.add_parser(
+        "chaos",
+        help="fault-injection drills: budgets, corruption, IO and clock faults",
+    )
+    p.add_argument("--cases", type=int, default=200)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-points", type=int, default=7)
+
     args = parser.parse_args(argv)
     try:
         return _dispatch(args)
@@ -180,8 +177,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"wrote {len(points)} {args.distribution} points to {args.output}")
         return 0
     if args.command == "build":
-        text = _build(args)
-        Path(args.output).write_text(text)
+        save_diagram(_build(args), args.output)
         print(f"wrote {args.kind} diagram ({args.algorithm}) to {args.output}")
         return 0
     if args.command == "query":
@@ -247,6 +243,14 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(report.mismatch.reproducer())
             return 1
         return 0
+    if args.command == "chaos":
+        from repro.testing.chaos import run_chaos
+
+        report = run_chaos(
+            cases=args.cases, seed=args.seed, max_points=args.max_points
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
     if args.command == "info":
         path = Path(args.path)
         if path.suffix == ".json":

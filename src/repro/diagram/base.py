@@ -35,8 +35,9 @@ from typing import Iterator
 
 import numpy as np
 
+from repro._util import multiset_add_sub
 from repro.diagram.store import ResultStore
-from repro.errors import QueryError
+from repro.errors import AuditError, QueryError, SerializationError
 from repro.geometry.grid import Grid, as_query_array
 from repro.geometry.polyomino import Polyomino
 from repro.geometry.subcell import SubcellGrid
@@ -220,6 +221,73 @@ class SkylineDiagram:
         return self._polyominos
 
     # ------------------------------------------------------------------
+    def audit(self, level: str = "structure", sample_stride: int = 7) -> str:
+        """Self-check the diagram; return the store's content fingerprint.
+
+        ``structure`` verifies the store invariants (id bounds, canonical
+        interned table, intern-map consistency) plus, for first-quadrant
+        2-D diagrams, the Theorem-1 scanning recurrence on a deterministic
+        cell sample — each sampled cell must equal the saturating multiset
+        expression over its upper/right neighbours, which subsumes the
+        per-cell staircase monotonicity law.  ``sampled``/``full``
+        additionally recompute cells from scratch via
+        :func:`~repro.diagram.verify.validate_diagram`.
+
+        Raises :class:`~repro.errors.AuditError` on any violation.
+        """
+        fingerprint = self._store.audit(num_points=len(self.grid.dataset))
+        self._audit_semantics(level, sample_stride)
+        return fingerprint
+
+    def _audit_semantics(self, level: str, sample_stride: int) -> None:
+        if self.kind == "quadrant" and self.mask == 0 and self.dim == 2:
+            self._audit_recurrence(sample_stride)
+        if level != "structure":
+            from repro.diagram.verify import validate_diagram
+
+            try:
+                validate_diagram(
+                    self, level=level, sample_stride=sample_stride
+                )
+            except SerializationError as exc:
+                raise AuditError(str(exc)) from exc
+
+    def _audit_recurrence(self, sample_stride: int) -> None:
+        """Check ``Sky(C_ij) = sat(right + up - upright)`` on a cell sample."""
+        grid = self.grid
+        store = self._store
+        sx, sy = grid.shape
+        ids = store.ids
+        table = store.table
+        empty: Result = ()
+
+        def result(i: int, j: int) -> Result:
+            if i >= sx or j >= sy:
+                return empty
+            return table[int(ids[i, j])]
+
+        stride = max(1, sample_stride)
+        index = 0
+        for i in range(sx):
+            for j in range(sy):
+                index += 1
+                if stride > 1 and index % stride:
+                    continue
+                corner = grid.corner_points((i + 1, j + 1))
+                if corner:
+                    expected = corner
+                else:
+                    expected = multiset_add_sub(
+                        result(i + 1, j), result(i, j + 1),
+                        result(i + 1, j + 1),
+                    )
+                if result(i, j) != expected:
+                    raise AuditError(
+                        f"cell {(i, j)}: stored {result(i, j)}, scanning "
+                        f"recurrence gives {expected}"
+                    )
+
+    # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, SkylineDiagram):
             return NotImplemented
@@ -372,6 +440,33 @@ class DynamicDiagram:
                 self.subcells.shape, self._store.to_dict()
             )
         return self._polyominos
+
+    def audit(self, level: str = "structure", sample_stride: int = 7) -> str:
+        """Self-check the diagram; return the store's content fingerprint.
+
+        ``structure`` verifies the store invariants plus the dynamic-only
+        law that no subcell's skyline is empty; ``sampled``/``full``
+        recompute subcells from scratch.  Raises
+        :class:`~repro.errors.AuditError` on any violation.
+        """
+        fingerprint = self._store.audit(
+            num_points=len(self.subcells.dataset)
+        )
+        for rid, result in enumerate(self._store.table):
+            if not result:
+                raise AuditError(
+                    f"table[{rid}]: dynamic skylines are never empty"
+                )
+        if level != "structure":
+            from repro.diagram.verify import validate_diagram
+
+            try:
+                validate_diagram(
+                    self, level=level, sample_stride=sample_stride
+                )
+            except SerializationError as exc:
+                raise AuditError(str(exc)) from exc
+        return fingerprint
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DynamicDiagram):

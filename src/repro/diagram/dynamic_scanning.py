@@ -23,21 +23,36 @@ import numpy as np
 
 from repro.diagram.base import DynamicDiagram
 from repro.diagram.store import ResultStore
+from repro.errors import BudgetExceededError
 from repro.geometry.point import Dataset, ensure_dataset
 from repro.geometry.subcell import SubcellGrid
+from repro.resilience import (
+    BudgetMeter,
+    BuildBudget,
+    PartialDiagram,
+    as_meter,
+)
 from repro.skyline.queries import dynamic_skyline, dynamic_skyline_among
 
 
 def dynamic_scanning(
     points: Dataset | Sequence[Sequence[float]],
+    budget: BuildBudget | BudgetMeter | None = None,
 ) -> DynamicDiagram:
     """Build the dynamic skyline diagram with Algorithm 7.
+
+    ``budget`` bounds the sweep cooperatively (one checkpoint per subcell
+    row); on exhaustion the raised
+    :class:`~repro.errors.BudgetExceededError` carries a
+    :class:`~repro.resilience.PartialDiagram` over the bottom rows
+    completed so far.
 
     >>> diagram = dynamic_scanning([(0, 0), (10, 10)])
     >>> diagram.query((4, 6))
     (0, 1)
     """
     dataset = ensure_dataset(points)
+    meter = as_meter(budget)
     subcells = SubcellGrid(dataset)
     sx, sy = subcells.shape
     table: list[tuple[int, ...]] = []
@@ -74,6 +89,18 @@ def dynamic_scanning(
             )
             row[i] = intern_id(previous)
         rows[j] = row
+        if meter is not None:
+            try:
+                meter.checkpoint(advance=sx, distinct=len(table))
+            except BudgetExceededError as exc:
+                if exc.partial is None:
+                    exc.partial = PartialDiagram(
+                        subcells,
+                        {jj: rows[jj].copy() for jj in range(j + 1)},
+                        list(table),
+                        boundary_exact=False,
+                    )
+                raise
     store = ResultStore((sx, sy), np.ascontiguousarray(rows.T), table)
     return DynamicDiagram(subcells, store, algorithm="scanning")
 

@@ -18,6 +18,7 @@ the tuple merge runs ``O(#combinations)`` times instead of once per cell.
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Callable, Sequence
 from heapq import merge as heap_merge
 
@@ -25,18 +26,44 @@ import numpy as np
 
 from repro.diagram.base import SkylineDiagram
 from repro.diagram.store import ResultStore
-from repro.errors import DimensionalityError
+from repro.errors import BudgetExceededError, DimensionalityError
 from repro.geometry.dominance import reflect_points
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, ensure_dataset
+from repro.resilience import BudgetMeter, BuildBudget, as_meter
 
 Algorithm = Callable[[Dataset], SkylineDiagram]
+
+
+def _call(
+    algorithm: Algorithm, dataset: Dataset, meter: BudgetMeter | None
+) -> SkylineDiagram:
+    """Invoke a construction algorithm, threading the meter when supported.
+
+    Budget-unaware algorithms (third-party or the ablation baselines) are
+    charged post-hoc in one lump checkpoint, so a shared budget still
+    bounds multi-build constructions — just at build granularity.
+    """
+    if meter is None:
+        return algorithm(dataset)
+    try:
+        parameters = inspect.signature(algorithm).parameters
+    except (TypeError, ValueError):  # builtins/partials without signatures
+        parameters = {}
+    if "budget" in parameters:
+        return algorithm(dataset, budget=meter)
+    diagram = algorithm(dataset)
+    meter.checkpoint(
+        advance=diagram.store.num_cells, distinct=diagram.store.distinct_count
+    )
+    return diagram
 
 
 def quadrant_diagram_for_mask(
     points: Dataset | Sequence[Sequence[float]],
     mask: int,
     algorithm: Algorithm,
+    budget: BuildBudget | BudgetMeter | None = None,
 ) -> SkylineDiagram:
     """First-quadrant algorithm applied to an arbitrary quadrant orientation.
 
@@ -46,8 +73,9 @@ def quadrant_diagram_for_mask(
     exactly a flip of the ``s + 1`` cells).
     """
     dataset = ensure_dataset(points)
+    meter = as_meter(budget)
     if mask == 0:
-        diagram = algorithm(dataset)
+        diagram = _call(algorithm, dataset, meter)
         return SkylineDiagram(
             diagram.grid,
             diagram.store,
@@ -56,7 +84,13 @@ def quadrant_diagram_for_mask(
             algorithm=diagram.algorithm,
         )
     reflected = Dataset(reflect_points(dataset.points, mask))
-    mirrored = algorithm(reflected)
+    try:
+        mirrored = _call(algorithm, reflected, meter)
+    except BudgetExceededError as exc:
+        # A partial built in reflected rank space would answer mirrored
+        # queries; don't let the ladder serve it for this orientation.
+        exc.partial = None
+        raise
     grid = Grid(dataset)
     flip_axes = [d for d in range(dataset.dim) if mask & (1 << d)]
     return SkylineDiagram(
@@ -71,11 +105,15 @@ def quadrant_diagram_for_mask(
 def global_diagram(
     points: Dataset | Sequence[Sequence[float]],
     algorithm: Algorithm | None = None,
+    budget: BuildBudget | BudgetMeter | None = None,
 ) -> SkylineDiagram:
     """Build the global skyline diagram (union of all quadrant diagrams).
 
     ``algorithm`` is any first-quadrant construction function (defaults to
     the scanning algorithm, the fastest exact 2-D cell-based method).
+    One shared meter charges all ``2^d`` sub-builds and the combination
+    merge against ``budget``; no partial survives exhaustion (a single
+    quadrant's rows cannot answer global queries).
 
     >>> diagram = global_diagram([(2, 8), (5, 4), (9, 1)])
     >>> diagram.result_at((1, 1))   # between the staircase points
@@ -92,10 +130,15 @@ def global_diagram(
 
         algorithm = quadrant_scanning
     dim = dataset.dim
-    quadrant_diagrams = [
-        quadrant_diagram_for_mask(dataset, mask, algorithm)
-        for mask in range(1 << dim)
-    ]
+    meter = as_meter(budget)
+    try:
+        quadrant_diagrams = [
+            quadrant_diagram_for_mask(dataset, mask, algorithm, budget=meter)
+            for mask in range(1 << dim)
+        ]
+    except BudgetExceededError as exc:
+        exc.partial = None
+        raise
     grid = quadrant_diagrams[0].grid
     # One column of per-cell ids per quadrant; identical id combinations
     # yield identical unions, so merge once per distinct combination.
@@ -117,6 +160,8 @@ def global_diagram(
             table.append(union)
             intern[union] = rid
         combo_ids[k] = rid
+        if meter is not None and k % 1024 == 1023:
+            meter.checkpoint(distinct=len(table))
     ids = combo_ids[inverse.reshape(-1)].reshape(grid.shape)
     store = ResultStore(grid.shape, np.ascontiguousarray(ids), table)
     return SkylineDiagram(

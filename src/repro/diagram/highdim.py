@@ -30,6 +30,7 @@ from repro.diagram.store import ResultStore
 from repro.dsg.graph import DirectedSkylineGraph
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, Point, ensure_dataset
+from repro.resilience import BudgetMeter, BuildBudget, as_meter
 from repro.skyline.algorithms import skyline
 from repro.skyline.queries import dynamic_skyline
 
@@ -136,6 +137,7 @@ def quadrant_dsg_nd(
 
 def quadrant_scanning_nd(
     points: Dataset | Sequence[Sequence[float]],
+    budget: BuildBudget | BudgetMeter | None = None,
 ) -> SkylineDiagram:
     """d-dimensional scanning diagram via the inclusion–exclusion identity.
 
@@ -146,11 +148,16 @@ def quadrant_scanning_nd(
     neighbour-id combination — repeated combinations hit a memo and cost a
     dict lookup.
 
+    ``budget`` checkpoints once per innermost-axis chunk of cells; no
+    partial survives exhaustion (flat-order coverage has no 2-D row
+    structure the ladder could serve from).
+
     >>> diagram = quadrant_scanning_nd([(1, 1, 1), (2, 2, 2)])
     >>> diagram.result_at((1, 1, 1))
     (1,)
     """
     dataset = ensure_dataset(points)
+    meter = as_meter(budget)
     grid = Grid(dataset)
     dim = grid.dim
     shape = grid.shape
@@ -171,7 +178,12 @@ def quadrant_scanning_nd(
     intern: dict[tuple[int, ...], int] = {(): 0}
     memo: dict[tuple[int, ...], int] = {}
     corner_index = grid._corner_index
+    chunk = max(1, shape[-1])
+    done = 0
     for cell in product(*(range(extent - 1, -1, -1) for extent in shape)):
+        done += 1
+        if meter is not None and done % chunk == 0:
+            meter.checkpoint(advance=chunk, distinct=len(table))
         flat = sum(c * s for c, s in zip(cell, strides))
         corner = corner_index.get(tuple(c + 1 for c in cell))
         if corner is not None:

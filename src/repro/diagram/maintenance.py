@@ -28,6 +28,7 @@ from repro.errors import QueryError
 from repro.geometry.dominance import dominates
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, as_point
+from repro.resilience import BudgetMeter, BuildBudget, as_meter
 
 
 def _check(diagram: SkylineDiagram) -> None:
@@ -62,11 +63,16 @@ def _column_origin(old_axis, new_axis) -> list[int]:
 
 
 def insert_point(
-    diagram: SkylineDiagram, point: Sequence[float]
+    diagram: SkylineDiagram,
+    point: Sequence[float],
+    budget: BuildBudget | BudgetMeter | None = None,
 ) -> SkylineDiagram:
     """Insert one point, updating only its lower-left block of cells.
 
-    The new point's id is ``len(old dataset)``.
+    The new point's id is ``len(old dataset)``.  ``budget`` checkpoints
+    once per cell column; the original diagram is untouched on
+    exhaustion (maintenance is copy-on-write), so a caller can fall back
+    to serving the stale snapshot or rebuilding.
 
     >>> from repro.diagram import quadrant_scanning
     >>> updated = insert_point(quadrant_scanning([(5, 5)]), (2, 2))
@@ -74,6 +80,7 @@ def insert_point(
     (1,)
     """
     _check(diagram)
+    meter = as_meter(budget)
     p = as_point(point)
     old = diagram.grid.dataset
     new_dataset = Dataset([*old.points, p])
@@ -96,6 +103,8 @@ def insert_point(
                     kept.append(new_id)
                     result = tuple(sorted(kept))
             results[(i, j)] = result
+        if meter is not None:
+            meter.checkpoint(advance=sy)
     return SkylineDiagram(
         new_grid,
         results,
@@ -105,10 +114,16 @@ def insert_point(
     )
 
 
-def delete_point(diagram: SkylineDiagram, point_id: int) -> SkylineDiagram:
+def delete_point(
+    diagram: SkylineDiagram,
+    point_id: int,
+    budget: BuildBudget | BudgetMeter | None = None,
+) -> SkylineDiagram:
     """Delete one point, repairing only its lower-left block of cells.
 
     Ids above ``point_id`` shift down by one (the dataset contracts).
+    ``budget`` checkpoints once per cell column, as in
+    :func:`insert_point`.
 
     >>> from repro.diagram import quadrant_scanning
     >>> diagram = quadrant_scanning([(1, 1), (2, 2)])
@@ -116,6 +131,7 @@ def delete_point(diagram: SkylineDiagram, point_id: int) -> SkylineDiagram:
     (0,)
     """
     _check(diagram)
+    meter = as_meter(budget)
     old = diagram.grid.dataset
     if not 0 <= point_id < len(old):
         raise QueryError(f"point id {point_id} out of range")
@@ -169,6 +185,8 @@ def delete_point(diagram: SkylineDiagram, point_id: int) -> SkylineDiagram:
                         survivors.append(candidate)
                 result = tuple(sorted(survivors))
             results[(i, j)] = tuple(sorted(remap(q) for q in result))
+        if meter is not None:
+            meter.checkpoint(advance=sy)
     return SkylineDiagram(
         new_grid,
         results,

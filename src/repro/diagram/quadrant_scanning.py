@@ -40,20 +40,30 @@ import numpy as np
 from repro._util import multiset_add_sub
 from repro.diagram.base import SkylineDiagram
 from repro.diagram.store import ResultStore
-from repro.errors import DimensionalityError
+from repro.errors import BudgetExceededError, DimensionalityError
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, ensure_dataset
+from repro.resilience import BudgetMeter, BuildBudget, PartialDiagram, as_meter
 
 
 def quadrant_scanning(
     points: Dataset | Sequence[Sequence[float]],
     intern_results: bool = True,
+    budget: BuildBudget | BudgetMeter | None = None,
 ) -> SkylineDiagram:
     """Build the first-quadrant skyline diagram with Algorithm 3.
 
     ``intern_results`` selects the id-based array engine (the default);
     turning it off falls back to the plain-tuple reference path — a pure
     ablation arm (E9c) producing an identical diagram.
+
+    ``budget`` bounds the construction cooperatively: the scan checkpoints
+    once per completed row, and on exhaustion raises
+    :class:`~repro.errors.BudgetExceededError` carrying a
+    :class:`~repro.resilience.PartialDiagram` over the rows already built
+    (the scan runs top row down, so the completed suffix is exact).  The
+    reference path ignores the budget — it exists for ablations, not
+    serving.
 
     >>> diagram = quadrant_scanning([(2, 8), (5, 4), (9, 1)])
     >>> diagram.result_at((0, 0))
@@ -66,6 +76,7 @@ def quadrant_scanning(
         )
     if not intern_results:
         return quadrant_scanning_reference(dataset, intern_results=False)
+    meter = as_meter(budget)
     grid = Grid(dataset)
     sx, sy = grid.shape
 
@@ -230,6 +241,18 @@ def quadrant_scanning(
         if run_end > 0:
             current[0:run_end] = [val] * run_end
         rows[j] = current[:sx]
+        if meter is not None:
+            try:
+                meter.checkpoint(advance=sx, distinct=len(table))
+            except BudgetExceededError as exc:
+                if exc.partial is None:
+                    exc.partial = PartialDiagram(
+                        grid,
+                        {jj: rows[jj].copy() for jj in range(j, sy)},
+                        list(table),
+                        boundary_exact=True,
+                    )
+                raise
         upper = current
         diff_events = next_diff
         diff_deltas = next_deltas

@@ -21,11 +21,14 @@ algorithms keep working unchanged through :meth:`from_dict`.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Mapping, Sequence
 from itertools import product
 from typing import Iterator
 
 import numpy as np
+
+from repro.errors import AuditError
 
 Cell = tuple[int, ...]
 Result = tuple[int, ...]
@@ -178,6 +181,77 @@ class ResultStore:
         for rid in ids:
             union.update(self.table[rid])
         return tuple(sorted(union))
+
+    # ------------------------------------------------------------------
+    # Audits
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the store (shape, id grid, result table).
+
+        Recorded when a diagram is attached to the serving engine and
+        re-checked by :meth:`audit`-driven health sweeps: any in-memory
+        mutation of the id grid or the table — including single-bit flips
+        that stay structurally valid — changes the digest.
+        """
+        digest = hashlib.sha256()
+        digest.update(repr(self.shape).encode())
+        digest.update(
+            np.ascontiguousarray(self.ids, dtype=np.int64).tobytes()
+        )
+        digest.update(repr(self.table).encode())
+        return digest.hexdigest()
+
+    def audit(self, num_points: int | None = None) -> str:
+        """Verify structural invariants; return the content fingerprint.
+
+        Raises :class:`~repro.errors.AuditError` on the first violation:
+        id-grid shape/range, canonical (sorted, deduplicated) table
+        entries, id range against ``num_points`` when given, duplicate
+        interned entries, a stale ``_intern`` acceleration map, and
+        unreferenced table slots.
+        """
+        if tuple(self.ids.shape) != self.shape:
+            raise AuditError(
+                f"id grid of shape {tuple(self.ids.shape)} for store shape "
+                f"{self.shape}"
+            )
+        if self.ids.size:
+            low = int(self.ids.min())
+            high = int(self.ids.max())
+            if low < 0 or high >= len(self.table):
+                raise AuditError(
+                    f"cell ids span [{low}, {high}] but the table has "
+                    f"{len(self.table)} entries"
+                )
+        seen: dict[tuple[int, ...], int] = {}
+        for rid, result in enumerate(self.table):
+            if not isinstance(result, tuple):
+                raise AuditError(f"table[{rid}] is not a tuple: {result!r}")
+            if list(result) != sorted(set(result)):
+                raise AuditError(
+                    f"table[{rid}] = {result} is not a sorted id set"
+                )
+            if result and (
+                result[0] < 0
+                or (num_points is not None and result[-1] >= num_points)
+            ):
+                raise AuditError(
+                    f"table[{rid}] = {result} references unknown points"
+                )
+            if result in seen:
+                raise AuditError(
+                    f"table[{rid}] duplicates table[{seen[result]}]"
+                )
+            seen[result] = rid
+        if self._intern is not None and self._intern != seen:
+            raise AuditError("intern map disagrees with the result table")
+        if self.ids.size:
+            referenced = np.zeros(len(self.table), dtype=bool)
+            referenced[self.ids.reshape(-1)] = True
+            if not referenced.all():
+                missing = int(np.nonzero(~referenced)[0][0])
+                raise AuditError(f"table[{missing}] is never referenced")
+        return self.fingerprint()
 
     # ------------------------------------------------------------------
     # Views

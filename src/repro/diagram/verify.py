@@ -28,7 +28,9 @@ dynamic bisectors, tied mapped distances) and cross-checks
 * every lookup path against direct from-scratch evaluation, for all
   query kinds, all ``2^d`` quadrant masks, skybands, and the sweeping
   diagram's polyomino walk,
-* batch point location against the per-query path.
+* batch point location against the per-query path,
+* the degradation ladder under an impossible build budget against direct
+  evaluation (degraded answers must stay exact).
 
 On a mismatch the failing dataset is shrunk to a minimal reproducer and
 reported as a :class:`Mismatch` whose :meth:`Mismatch.reproducer` is a
@@ -387,6 +389,55 @@ def _lookup_checks(
     return checks
 
 
+def _degraded_checks(
+    query: tuple[float, float]
+) -> list[tuple[str, Check, str]]:
+    """The degradation ladder vs direct evaluation, under a tiny budget.
+
+    A database whose builds exhaust a deliberately impossible budget must
+    still answer every query correctly — from the partial tier where one
+    exists, from scratch otherwise.
+    """
+    from repro.index.engine import SkylineDatabase
+    from repro.resilience import BuildBudget
+
+    checks: list[tuple[str, Check, str]] = []
+    template = (
+        "from repro.index.engine import SkylineDatabase\n"
+        "from repro.resilience import BuildBudget\n"
+        "db = SkylineDatabase(points, budget=BuildBudget(max_cells={cells}))\n"
+        "assert db.query(query, kind={kind!r}, k={k}) == "
+        "db.query_from_scratch(query, kind={kind!r}, k={k})"
+    )
+
+    def degraded(kind: str, cells: int, k: int = 1) -> Check:
+        def check(points: Points) -> tuple[object, object]:
+            db = SkylineDatabase(
+                points, budget=BuildBudget(max_cells=cells)
+            )
+            return (
+                db.query_from_scratch(query, kind=kind, k=k),
+                db.query(query, kind=kind, k=k),
+            )
+
+        return check
+
+    for kind, cells, k in (
+        ("quadrant", 2, 1),
+        ("dynamic", 4, 1),
+        ("global", 3, 1),
+        ("skyband", 2, 2),
+    ):
+        checks.append(
+            (
+                f"degraded:{kind}:cells{cells}",
+                degraded(kind, cells, k),
+                template.format(kind=kind, cells=cells, k=k),
+            )
+        )
+    return checks
+
+
 def _batch_checks(
     queries: list[tuple[float, float]]
 ) -> list[tuple[str, Check, str]]:
@@ -478,6 +529,9 @@ def differential_verify(
             round_checks.append((name, check, template, None))
         for query in queries:
             for name, check, template in _lookup_checks(query):
+                round_checks.append((name, check, template, query))
+        for query in queries[:2]:
+            for name, check, template in _degraded_checks(query):
                 round_checks.append((name, check, template, query))
         for name, check, template in _batch_checks(queries):
             round_checks.append((name, check, template, None))

@@ -28,6 +28,40 @@ class SerializationError(SkylineDiagramError):
     """Raised when a serialized diagram cannot be parsed or fails validation."""
 
 
+class BudgetExceededError(SkylineDiagramError):
+    """Raised when a diagram construction exhausts its build budget.
+
+    Attributes
+    ----------
+    budget:
+        The :class:`~repro.resilience.BuildBudget` that was exceeded
+        (``None`` for injected cancellations without a budget).
+    progress:
+        A :class:`~repro.resilience.BuildProgress` snapshot taken at the
+        checkpoint that tripped the limit.
+    partial:
+        A :class:`~repro.resilience.PartialDiagram` answering queries over
+        the region completed before interruption, when the construction
+        supports carrying one (``None`` otherwise).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        budget: object | None = None,
+        progress: object | None = None,
+        partial: object | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.budget = budget
+        self.progress = progress
+        self.partial = partial
+
+
+class AuditError(SkylineDiagramError):
+    """Raised when a self-audit finds a corrupted store or diagram."""
+
+
 class AuthenticationError(SkylineDiagramError):
     """Raised when verification of an outsourced skyline result fails."""
 

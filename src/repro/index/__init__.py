@@ -1,17 +1,22 @@
 """Query-time machinery: the precomputed-query engine and serialization."""
 
-from repro.index.engine import SkylineDatabase
+from repro.index.engine import QueryAnswer, SkylineDatabase
 from repro.index.serialize import (
     diagram_from_json,
     diagram_to_json,
     dynamic_diagram_from_json,
     dynamic_diagram_to_json,
+    load_diagram,
+    save_diagram,
 )
 
 __all__ = [
+    "QueryAnswer",
     "SkylineDatabase",
     "diagram_from_json",
     "diagram_to_json",
     "dynamic_diagram_from_json",
     "dynamic_diagram_to_json",
+    "load_diagram",
+    "save_diagram",
 ]

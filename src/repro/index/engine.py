@@ -1,4 +1,4 @@
-"""The user-facing query engine: precompute once, answer queries in O(log n).
+"""The user-facing query engine: precompute once, answer in O(log n).
 
 This is the diagram's raison d'être (paper Sec. I): like a k-th order
 Voronoi diagram for kNN queries, a precomputed skyline diagram answers
@@ -6,19 +6,48 @@ skyline queries in real time by point location instead of recomputation.
 :class:`SkylineDatabase` lazily builds one diagram per query semantics and
 dispatches lookups; the query-latency experiment (E8) measures lookup vs
 from-scratch evaluation through this class.
+
+Resilient serving
+-----------------
+Precomputation is only free when it finishes, so the database is built
+around a *degradation ladder*: every query is answered from the best
+available tier —
+
+1. ``diagram`` — the fully built diagram (O(log n) point location);
+2. ``partial`` — the rows a budget-interrupted build completed, exact
+   over the covered region (:class:`~repro.resilience.PartialDiagram`);
+3. ``scratch`` — direct :meth:`query_from_scratch` evaluation.
+
+All three tiers return the *same answer* (the fault-injection suite and
+the differential verifier enforce this); only the latency differs.  A
+:class:`~repro.resilience.BuildBudget` bounds construction; failed builds
+retry with exponential backoff, surfaced with the serving-tier counters
+through :meth:`health`, retried on demand with :meth:`rebuild`, and
+self-audited (with eviction of corrupted diagrams) through :meth:`audit`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.diagram.base import DynamicDiagram, SkylineDiagram
 from repro.diagram.dynamic_scanning import dynamic_scanning
 from repro.diagram.global_diagram import global_diagram, quadrant_diagram_for_mask
 from repro.diagram.highdim import quadrant_scanning_nd
 from repro.diagram.quadrant_scanning import quadrant_scanning
-from repro.errors import DimensionalityError, QueryError
+from repro.errors import (
+    AuditError,
+    BudgetExceededError,
+    DatasetError,
+    DimensionalityError,
+    QueryError,
+    SerializationError,
+)
 from repro.geometry.point import Dataset, ensure_dataset
+from repro.resilience import BuildBudget, CoverageMiss, as_meter
 from repro.skyline.queries import (
     dynamic_skyline,
     global_skyline,
@@ -26,7 +55,29 @@ from repro.skyline.queries import (
     quadrant_skyline,
 )
 
-KINDS = ("quadrant", "global", "dynamic")
+KINDS = ("quadrant", "global", "dynamic", "skyband")
+
+SERVING_TIERS = ("diagram", "partial", "scratch")
+
+
+class QueryAnswer(NamedTuple):
+    """A query result annotated with the ladder tier that produced it."""
+
+    result: tuple[int, ...]
+    served_from: str
+    key: str
+
+
+@dataclass
+class _BuildState:
+    """Per-diagram build bookkeeping behind :meth:`SkylineDatabase.health`."""
+
+    status: str = "unbuilt"  # unbuilt | ready | degraded | corrupt
+    error: str | None = None
+    attempts: int = 0
+    next_retry: float | None = None
+    partial: object | None = None
+    fingerprint: str | None = None
 
 
 class SkylineDatabase:
@@ -38,7 +89,19 @@ class SkylineDatabase:
         The dataset (2-D for dynamic queries; quadrant/global work for any
         dimensionality when a d-capable algorithm is passed).
     precompute:
-        Query kinds to build eagerly; everything else is built on first use.
+        Query kinds to build eagerly; everything else is built on first
+        use.  Under a budget, a precompute that exhausts it degrades
+        silently (recorded in :meth:`health`) instead of raising.
+    budget:
+        A :class:`~repro.resilience.BuildBudget` bounding every diagram
+        construction.  Budget-exhausted builds degrade to lower serving
+        tiers; queries stay correct.
+    clock:
+        Monotonic time source for budgets and retry backoff (injectable
+        for tests and fault drills).
+    backoff_base / backoff_cap:
+        Exponential retry backoff for failed builds, in seconds:
+        ``min(cap, base * 2**(attempts - 1))``.
 
     Examples
     --------
@@ -53,17 +116,75 @@ class SkylineDatabase:
         self,
         points: Dataset | Sequence[Sequence[float]],
         precompute: Sequence[str] = (),
+        budget: BuildBudget | None = None,
+        clock: Callable[[], float] | None = None,
+        backoff_base: float = 0.5,
+        backoff_cap: float = 60.0,
     ) -> None:
         self.dataset = ensure_dataset(points)
-        self._quadrant: dict[int, SkylineDiagram] = {}
-        self._global: SkylineDiagram | None = None
-        self._dynamic: DynamicDiagram | None = None
-        self._skyband: dict[int, SkylineDiagram] = {}
+        self.budget = budget
+        self._clock = clock if clock is not None else time.monotonic
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._diagrams: dict[str, SkylineDiagram | DynamicDiagram] = {}
+        self._states: dict[str, _BuildState] = {}
+        self._tiers: dict[str, int] = {tier: 0 for tier in SERVING_TIERS}
+        self._last_audit: dict[str, str] = {}
         for kind in precompute:
-            if kind not in KINDS:
-                raise QueryError(f"unknown query kind {kind!r}")
-            self._diagram_for(kind)
+            key, builder = self._plan(kind)
+            self._obtain(key, builder)
 
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _check_mask(self, mask: int) -> int:
+        try:
+            mask = int(mask)
+        except (TypeError, ValueError) as exc:
+            raise QueryError(f"mask must be an integer, got {mask!r}") from exc
+        if not 0 <= mask < (1 << self.dataset.dim):
+            raise QueryError(
+                f"mask {mask} out of range for {self.dataset.dim}-D data "
+                f"(valid: 0..{(1 << self.dataset.dim) - 1})"
+            )
+        return mask
+
+    def _check_k(self, k: int) -> int:
+        try:
+            k = int(k)
+        except (TypeError, ValueError) as exc:
+            raise QueryError(f"k must be an integer, got {k!r}") from exc
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        return k
+
+    def _check_query(self, query: Sequence[float]) -> tuple[float, ...]:
+        """Typed rejection of malformed queries before any numpy internals."""
+        if isinstance(query, (str, bytes)):
+            raise QueryError(
+                f"query must be a sequence of coordinates, got {query!r}"
+            )
+        try:
+            coords = tuple(float(c) for c in query)
+        except TypeError as exc:
+            raise QueryError(
+                f"query must be a sequence of numbers, got {query!r}"
+            ) from exc
+        except ValueError as exc:
+            raise QueryError(
+                f"query has non-numeric coordinates: {query!r}"
+            ) from exc
+        if len(coords) != self.dataset.dim:
+            raise QueryError(
+                f"query has {len(coords)} dimensions, dataset has "
+                f"{self.dataset.dim}"
+            )
+        if any(c != c for c in coords):
+            raise QueryError("query coordinates must not be NaN")
+        return coords
+
+    # ------------------------------------------------------------------
+    # Build planning and the budget-aware build path
     # ------------------------------------------------------------------
     def _quadrant_algorithm(self):
         """Scanning construction matched to the dataset's dimensionality."""
@@ -71,42 +192,153 @@ class SkylineDatabase:
             return quadrant_scanning
         return quadrant_scanning_nd
 
-    def quadrant_diagram(self, mask: int = 0) -> SkylineDiagram:
-        """The quadrant diagram for one orientation (built lazily)."""
-        if mask not in self._quadrant:
-            self._quadrant[mask] = quadrant_diagram_for_mask(
-                self.dataset, mask, self._quadrant_algorithm()
-            )
-        return self._quadrant[mask]
+    def _plan(self, kind: str, mask: int = 0, k: int = 1):
+        """Validate a query kind and return its ``(key, builder)`` pair.
 
-    def global_diagram(self) -> SkylineDiagram:
-        """The global diagram (built lazily)."""
-        if self._global is None:
-            self._global = global_diagram(
-                self.dataset, self._quadrant_algorithm()
-            )
-        return self._global
+        User errors (unknown kind, bad mask/k, unsupported
+        dimensionality) raise here — *before* the degradation ladder, so
+        they are never mistaken for build failures.
+        """
+        if kind == "quadrant":
+            mask = self._check_mask(mask)
 
-    def dynamic_diagram(self) -> DynamicDiagram:
-        """The dynamic diagram (built lazily with the scanning algorithm)."""
-        if self._dynamic is None:
+            def build(meter):
+                return quadrant_diagram_for_mask(
+                    self.dataset, mask, self._quadrant_algorithm(),
+                    budget=meter,
+                )
+
+            return f"quadrant:{mask}", build
+        if kind == "global":
+
+            def build(meter):
+                return global_diagram(
+                    self.dataset, self._quadrant_algorithm(), budget=meter
+                )
+
+            return "global", build
+        if kind == "dynamic":
             if self.dataset.dim != 2:
                 raise DimensionalityError(
                     "dynamic diagrams are 2-D; use "
                     "diagram.highdim.dynamic_baseline_nd for d > 2"
                 )
-            self._dynamic = dynamic_scanning(self.dataset)
-        return self._dynamic
+
+            def build(meter):
+                return dynamic_scanning(self.dataset, budget=meter)
+
+            return "dynamic", build
+        if kind == "skyband":
+            if self.dataset.dim != 2:
+                raise DimensionalityError("skyband diagrams are 2-D")
+            k = self._check_k(k)
+            from repro.diagram.skyband import skyband_sweep
+
+            def build(meter):
+                return skyband_sweep(self.dataset, k, budget=meter)
+
+            return f"skyband:{k}", build
+        raise QueryError(f"unknown query kind {kind!r}")
+
+    def _builder_for_key(self, key: str):
+        if key.startswith("quadrant:"):
+            return self._plan("quadrant", mask=int(key.split(":", 1)[1]))[1]
+        if key.startswith("skyband:"):
+            return self._plan("skyband", k=int(key.split(":", 1)[1]))[1]
+        return self._plan(key)[1]
+
+    def _obtain(self, key: str, builder, required: bool = False):
+        """The cached diagram for ``key``, building under the budget.
+
+        ``required=False`` (the ladder): a failed or backing-off build
+        returns ``None`` and the caller falls to a lower tier.
+        ``required=True`` (explicit diagram accessors): failures raise,
+        backoff is bypassed — but the failure is still recorded.
+        """
+        diagram = self._diagrams.get(key)
+        if diagram is not None:
+            return diagram
+        state = self._states.setdefault(key, _BuildState())
+        if (
+            not required
+            and state.next_retry is not None
+            and self._clock() < state.next_retry
+        ):
+            return None
+        return self._build(key, state, builder, required=required)
+
+    def _build(self, key: str, state: _BuildState, builder, required: bool):
+        state.attempts += 1
+        try:
+            diagram = builder(as_meter(self.budget, self._clock))
+        except BudgetExceededError as exc:
+            self._record_failure(state, f"budget exceeded: {exc}", exc.partial)
+            if required:
+                raise
+            return None
+        except (QueryError, DimensionalityError, DatasetError):
+            raise  # user errors, not build failures: never swallowed
+        except Exception as exc:  # build crash: degrade, keep serving
+            self._record_failure(
+                state, f"build failed: {type(exc).__name__}: {exc}", None
+            )
+            if required:
+                raise
+            return None
+        self._attach(key, state, diagram)
+        return diagram
+
+    def _record_failure(self, state: _BuildState, error: str, partial) -> None:
+        state.status = "degraded"
+        state.error = error
+        if partial is not None:
+            # A partial from an earlier interruption stays valid (the
+            # dataset is immutable), so only ever upgrade it.
+            state.partial = partial
+        delay = min(
+            self._backoff_cap,
+            self._backoff_base * (2 ** (state.attempts - 1)),
+        )
+        state.next_retry = self._clock() + delay
+
+    def _attach(self, key: str, state: _BuildState, diagram) -> None:
+        self._diagrams[key] = diagram
+        state.status = "ready"
+        state.error = None
+        state.partial = None
+        state.next_retry = None
+        state.fingerprint = diagram.store.fingerprint()
+
+    # ------------------------------------------------------------------
+    # Diagram accessors (compat properties first: tests and callers peek)
+    # ------------------------------------------------------------------
+    @property
+    def _global(self) -> SkylineDiagram | None:
+        return self._diagrams.get("global")
+
+    @property
+    def _dynamic(self) -> DynamicDiagram | None:
+        return self._diagrams.get("dynamic")
+
+    def quadrant_diagram(self, mask: int = 0) -> SkylineDiagram:
+        """The quadrant diagram for one orientation (built lazily)."""
+        key, builder = self._plan("quadrant", mask=mask)
+        return self._obtain(key, builder, required=True)
+
+    def global_diagram(self) -> SkylineDiagram:
+        """The global diagram (built lazily)."""
+        key, builder = self._plan("global")
+        return self._obtain(key, builder, required=True)
+
+    def dynamic_diagram(self) -> DynamicDiagram:
+        """The dynamic diagram (built lazily with the scanning algorithm)."""
+        key, builder = self._plan("dynamic")
+        return self._obtain(key, builder, required=True)
 
     def skyband_diagram(self, k: int) -> SkylineDiagram:
         """The k-skyband diagram (built lazily; 2-D, first quadrant)."""
-        if k not in self._skyband:
-            if self.dataset.dim != 2:
-                raise DimensionalityError("skyband diagrams are 2-D")
-            from repro.diagram.skyband import skyband_sweep
-
-            self._skyband[k] = skyband_sweep(self.dataset, k)
-        return self._skyband[k]
+        key, builder = self._plan("skyband", k=k)
+        return self._obtain(key, builder, required=True)
 
     def skyband(self, query: Sequence[float], k: int) -> tuple[int, ...]:
         """Answer a first-quadrant k-skyband query by point location.
@@ -116,18 +348,45 @@ class SkylineDatabase:
         on grid lines (the same argument that makes ``mask=0`` quadrant
         lookups exact extends to dominator counts).
         """
-        return self.skyband_diagram(k).query(query)
-
-    def _diagram_for(self, kind: str):
-        if kind == "quadrant":
-            return self.quadrant_diagram(0)
-        if kind == "global":
-            return self.global_diagram()
-        if kind == "dynamic":
-            return self.dynamic_diagram()
-        raise QueryError(f"unknown query kind {kind!r}")
+        return self.query(query, kind="skyband", k=k)
 
     # ------------------------------------------------------------------
+    # Queries: the degradation ladder
+    # ------------------------------------------------------------------
+    def query_annotated(
+        self,
+        query: Sequence[float],
+        kind: str = "dynamic",
+        mask: int = 0,
+        k: int = 1,
+    ) -> QueryAnswer:
+        """Answer one query, reporting which ladder tier served it.
+
+        The tiers agree on the answer by construction (partials are exact
+        over their coverage; scratch evaluation is the ground truth), so
+        ``served_from`` is a latency annotation, not a correctness
+        caveat.
+        """
+        key, builder = self._plan(kind, mask=mask, k=k)
+        coords = self._check_query(query)
+        diagram = self._obtain(key, builder)
+        if diagram is not None:
+            result = diagram.query(coords)
+            self._tiers["diagram"] += 1
+            return QueryAnswer(result, "diagram", key)
+        state = self._states[key]
+        if state.partial is not None:
+            try:
+                result = state.partial.query(coords)
+            except CoverageMiss:
+                pass
+            else:
+                self._tiers["partial"] += 1
+                return QueryAnswer(result, "partial", key)
+        result = self._scratch(coords, kind, mask, k)
+        self._tiers["scratch"] += 1
+        return QueryAnswer(result, "scratch", key)
+
     def query(
         self,
         query: Sequence[float],
@@ -144,18 +403,14 @@ class SkylineDatabase:
         resolve queries lying exactly on grid lines themselves (closed
         edge ownership per axis for quadrant orientations, candidate-set
         resolution for global/dynamic), so this always agrees with
-        :meth:`query_from_scratch`.  NaN coordinates raise
-        :class:`~repro.errors.QueryError`.
+        :meth:`query_from_scratch`.  Malformed queries (wrong
+        dimensionality, non-numeric, NaN) raise
+        :class:`~repro.errors.QueryError`.  When the diagram is missing
+        (budget exhausted, build failure), the answer transparently falls
+        back to a partial build or from-scratch evaluation — see
+        :meth:`query_annotated` and :meth:`health`.
         """
-        if kind == "quadrant":
-            return self.quadrant_diagram(mask).query(query)
-        if kind == "global":
-            return self.global_diagram().query(query)
-        if kind == "dynamic":
-            return self.dynamic_diagram().query(query)
-        if kind == "skyband":
-            return self.skyband_diagram(k).query(query)
-        raise QueryError(f"unknown query kind {kind!r}")
+        return self.query_annotated(query, kind=kind, mask=mask, k=k).result
 
     def query_exact(
         self,
@@ -189,17 +444,19 @@ class SkylineDatabase:
         with :meth:`query` query-for-query, including queries exactly on
         grid lines (boundary rows are detected vectorized and resolved
         per row).  NaN coordinates raise
-        :class:`~repro.errors.QueryError`.
+        :class:`~repro.errors.QueryError`.  When the diagram is
+        unavailable the batch degrades to per-query ladder answering.
         """
-        if kind == "quadrant":
-            return self.quadrant_diagram(mask).query_batch(queries)
-        if kind == "global":
-            return self.global_diagram().query_batch(queries)
-        if kind == "dynamic":
-            return self.dynamic_diagram().query_batch(queries)
-        if kind == "skyband":
-            return self.skyband_diagram(k).query_batch(queries)
-        raise QueryError(f"unknown query kind {kind!r}")
+        key, builder = self._plan(kind, mask=mask, k=k)
+        diagram = self._obtain(key, builder)
+        if diagram is not None:
+            results = diagram.query_batch(queries)
+            self._tiers["diagram"] += len(results)
+            return results
+        return [
+            self.query_annotated(q, kind=kind, mask=mask, k=k).result
+            for q in queries
+        ]
 
     def query_many(
         self,
@@ -215,6 +472,17 @@ class SkylineDatabase:
         """
         return self.query_batch(queries, kind=kind, mask=mask)
 
+    def _scratch(
+        self, coords: tuple[float, ...], kind: str, mask: int, k: int
+    ) -> tuple[int, ...]:
+        if kind == "quadrant":
+            return quadrant_skyline(self.dataset, coords, mask)
+        if kind == "global":
+            return global_skyline(self.dataset, coords)
+        if kind == "dynamic":
+            return dynamic_skyline(self.dataset, coords)
+        return quadrant_skyband(self.dataset, coords, k)
+
     def query_from_scratch(
         self,
         query: Sequence[float],
@@ -222,16 +490,138 @@ class SkylineDatabase:
         mask: int = 0,
         k: int = 1,
     ) -> tuple[int, ...]:
-        """Direct evaluation without the diagram (the E8 comparison arm)."""
+        """Direct evaluation without the diagram (the E8 comparison arm).
+
+        Also the bottom rung of the degradation ladder; malformed queries
+        raise the same typed :class:`~repro.errors.QueryError` as
+        :meth:`query`.
+        """
+        if kind not in KINDS:
+            raise QueryError(f"unknown query kind {kind!r}")
+        coords = self._check_query(query)
         if kind == "quadrant":
-            return quadrant_skyline(self.dataset, query, mask)
-        if kind == "global":
-            return global_skyline(self.dataset, query)
-        if kind == "dynamic":
-            return dynamic_skyline(self.dataset, query)
-        if kind == "skyband":
-            return quadrant_skyband(self.dataset, query, k)
-        raise QueryError(f"unknown query kind {kind!r}")
+            mask = self._check_mask(mask)
+        elif kind == "skyband":
+            k = self._check_k(k)
+        return self._scratch(coords, kind, mask, k)
+
+    # ------------------------------------------------------------------
+    # Health, recovery, audits
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """A JSON-ready report of build states and serving tiers.
+
+        ``ok`` is ``True`` when no build is degraded or corrupt;
+        ``tiers`` counts answers served per ladder tier; ``builds`` maps
+        each diagram key to its status, attempt count, remaining backoff
+        (``retry_in`` seconds) and partial coverage; ``last_audit`` holds
+        the most recent :meth:`audit` outcome per key.
+        """
+        now = self._clock()
+        builds: dict[str, dict] = {}
+        for key in sorted(self._states):
+            state = self._states[key]
+            entry: dict = {"status": state.status, "attempts": state.attempts}
+            if state.error is not None:
+                entry["error"] = state.error
+            if state.next_retry is not None:
+                entry["retry_in"] = max(0.0, state.next_retry - now)
+            if state.partial is not None:
+                entry["partial_coverage"] = round(state.partial.coverage, 4)
+            builds[key] = entry
+        degraded = sorted(
+            key
+            for key, state in self._states.items()
+            if state.status in ("degraded", "corrupt")
+        )
+        return {
+            "ok": not degraded,
+            "degraded": degraded,
+            "tiers": dict(self._tiers),
+            "builds": builds,
+            "last_audit": dict(self._last_audit),
+        }
+
+    def rebuild(
+        self,
+        kind: str | None = None,
+        mask: int = 0,
+        k: int = 1,
+        force: bool = False,
+    ) -> dict[str, str]:
+        """Retry failed builds, respecting exponential backoff.
+
+        With no ``kind``, every recorded non-ready build is retried.
+        Returns ``{key: outcome}`` with outcomes ``"ready"`` (built or
+        already present), ``"backoff"`` (retry not due yet; pass
+        ``force=True`` to override) or ``"degraded"`` (the retry failed
+        again — backoff doubles).
+        """
+        if kind is not None:
+            keys = [self._plan(kind, mask=mask, k=k)[0]]
+        else:
+            keys = sorted(
+                key
+                for key in self._states
+                if self._diagrams.get(key) is None
+            )
+        outcome: dict[str, str] = {}
+        for key in keys:
+            if self._diagrams.get(key) is not None:
+                outcome[key] = "ready"
+                continue
+            state = self._states.setdefault(key, _BuildState())
+            if (
+                not force
+                and state.next_retry is not None
+                and self._clock() < state.next_retry
+            ):
+                outcome[key] = "backoff"
+                continue
+            diagram = self._build(
+                key, state, self._builder_for_key(key), required=False
+            )
+            outcome[key] = "ready" if diagram is not None else "degraded"
+        return outcome
+
+    def audit(self, level: str = "structure") -> dict[str, str]:
+        """Audit every built diagram; evict and quarantine corrupt ones.
+
+        Each attached diagram runs its own :meth:`audit` (structural
+        invariants plus, at higher levels, from-scratch recomputation)
+        and its content fingerprint is compared against the one recorded
+        at attach time.  A failing diagram is *evicted* — queries drop to
+        lower ladder tiers, which stay correct — marked ``corrupt`` in
+        :meth:`health`, and its backoff cleared so the next query or
+        :meth:`rebuild` heals it immediately.  Returns ``{key: "ok" |
+        "corrupt: <reason>"}``.
+        """
+        outcome: dict[str, str] = {}
+        for key in sorted(self._diagrams):
+            diagram = self._diagrams[key]
+            state = self._states.setdefault(key, _BuildState())
+            try:
+                fingerprint = diagram.audit(level=level)
+                if (
+                    state.fingerprint is not None
+                    and fingerprint != state.fingerprint
+                ):
+                    raise AuditError(
+                        "content fingerprint drifted since attach "
+                        f"({fingerprint[:12]} != {state.fingerprint[:12]})"
+                    )
+            except (AuditError, SerializationError) as exc:
+                del self._diagrams[key]
+                state.status = "corrupt"
+                state.error = f"audit: {exc}"
+                state.partial = None
+                state.fingerprint = None
+                state.next_retry = None  # heal on the next query/rebuild
+                outcome[key] = f"corrupt: {exc}"
+            else:
+                outcome[key] = "ok"
+        self._last_audit = outcome
+        return outcome
 
     def __repr__(self) -> str:
         return f"SkylineDatabase(n={len(self.dataset)}, dim={self.dataset.dim})"

@@ -5,11 +5,30 @@ avoids rebuilding on restart and how the outsourced-computation application
 ships a diagram to an untrusted server.  The format stores the source points
 and the row-major cell results; grids are rebuilt deterministically from the
 points on load and validated against the recorded shape.
+
+Durability envelope
+-------------------
+:func:`save_diagram` wraps the JSON payload in a one-line versioned header
+carrying a SHA-256 checksum and the payload byte count::
+
+    repro.skyline-diagram/2 sha256=<hex> bytes=<n>
+    {"format": "repro.skyline-diagram", ...}
+
+and writes atomically (temp file in the target directory, fsync, rename),
+so a crash mid-save never leaves a half-written file at the destination.
+:func:`load_diagram` verifies the header before parsing: truncation is
+caught by the byte count, bit rot by the checksum, and both raise
+:class:`~repro.errors.SerializationError` with a ``salvage`` report
+describing what survived.  Bare-JSON files from before the envelope (v1)
+still load.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from typing import Any
 
 import numpy as np
@@ -23,10 +42,17 @@ from repro.geometry.subcell import SubcellGrid
 
 _FORMAT = "repro.skyline-diagram"
 _VERSION = 1
+_ENVELOPE_VERSION = 2
+_HEADER_PREFIX = b"repro.skyline-diagram/"
+
+# Seams for fault injection (repro.testing.faults patches these to simulate
+# IO failures at the worst moments).
+_replace = os.replace
+_fsync = os.fsync
 
 
 def diagram_to_json(diagram: SkylineDiagram) -> str:
-    """Serialize a quadrant/global diagram to a JSON string."""
+    """Serialize a quadrant/global/skyband diagram to a JSON string."""
     cells = _rows_from_store(diagram.store)
     payload = {
         "format": _FORMAT,
@@ -39,19 +65,34 @@ def diagram_to_json(diagram: SkylineDiagram) -> str:
         "shape": list(diagram.grid.shape),
         "cells": cells,
     }
+    k = getattr(diagram, "k", None)
+    if k is not None:
+        payload["k"] = int(k)
     return json.dumps(payload)
 
 
 def diagram_from_json(text: str) -> SkylineDiagram:
     """Parse a diagram serialized by :func:`diagram_to_json`."""
     payload = _load(text, expected="cell")
-    grid = Grid(Dataset(payload["points"]))
+    try:
+        grid = Grid(Dataset(payload["points"]))
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed points: {exc}") from exc
     if list(grid.shape) != payload["shape"]:
         raise SerializationError(
             f"grid shape {grid.shape} does not match recorded "
             f"{payload['shape']}"
         )
     results = _results_from_rows(grid.shape, payload["cells"])
+    if "k" in payload:
+        from repro.diagram.skyband import SkybandDiagram
+
+        k = payload["k"]
+        if not isinstance(k, int) or k < 1:
+            raise SerializationError(f"invalid skyband width k={k!r}")
+        return SkybandDiagram(
+            grid, results, k=k, algorithm=payload["algorithm"]
+        )
     return SkylineDiagram(
         grid,
         results,
@@ -79,7 +120,10 @@ def dynamic_diagram_to_json(diagram: DynamicDiagram) -> str:
 def dynamic_diagram_from_json(text: str) -> DynamicDiagram:
     """Parse a diagram serialized by :func:`dynamic_diagram_to_json`."""
     payload = _load(text, expected="dynamic")
-    subcells = SubcellGrid(Dataset(payload["points"]))
+    try:
+        subcells = SubcellGrid(Dataset(payload["points"]))
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed points: {exc}") from exc
     if list(subcells.shape) != payload["shape"]:
         raise SerializationError(
             f"subcell shape {subcells.shape} does not match recorded "
@@ -87,6 +131,166 @@ def dynamic_diagram_from_json(text: str) -> DynamicDiagram:
         )
     results = _results_from_rows(subcells.shape, payload["cells"])
     return DynamicDiagram(subcells, results, algorithm=payload["algorithm"])
+
+
+# ----------------------------------------------------------------------
+# Envelope (version 2): checksummed header + atomic file IO
+# ----------------------------------------------------------------------
+def envelope_bytes(payload: str) -> bytes:
+    """Wrap a serialized payload in the versioned, checksummed header."""
+    body = payload.encode("utf-8")
+    digest = hashlib.sha256(body).hexdigest()
+    header = (
+        f"{_HEADER_PREFIX.decode('ascii')}{_ENVELOPE_VERSION} "
+        f"sha256={digest} bytes={len(body)}\n"
+    )
+    return header.encode("ascii") + body
+
+
+def open_envelope(blob: bytes) -> str:
+    """Verify an envelope and return the payload text.
+
+    Bytes that do not start with the envelope header are treated as a
+    bare v1 payload (pre-envelope files keep loading).  Truncated or
+    corrupted envelopes raise :class:`SerializationError` whose
+    ``salvage`` attribute reports the recorded header, the expected and
+    actual byte counts/checksums, and whether the payload prefix is
+    still parseable.
+    """
+    if not blob.startswith(_HEADER_PREFIX):
+        try:
+            return blob.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise SerializationError(f"undecodable payload: {exc}") from exc
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise _salvage_error(
+            "envelope truncated inside the header", header=None, body=b""
+        )
+    header = blob[:newline].decode("ascii", errors="replace")
+    body = blob[newline + 1 :]
+    tokens = header.split()
+    fields = dict(
+        token.split("=", 1) for token in tokens[1:] if "=" in token
+    )
+    try:
+        version = int(tokens[0].split("/", 1)[1])
+    except (IndexError, ValueError) as exc:
+        raise _salvage_error(
+            f"malformed envelope header {header!r}", header, body
+        ) from exc
+    if version != _ENVELOPE_VERSION:
+        raise _salvage_error(
+            f"unsupported envelope version {version} "
+            f"(expected {_ENVELOPE_VERSION})",
+            header,
+            body,
+        )
+    try:
+        expected_bytes = int(fields["bytes"])
+        expected_sha = fields["sha256"]
+    except (KeyError, ValueError) as exc:
+        raise _salvage_error(
+            f"malformed envelope header {header!r}", header, body
+        ) from exc
+    if len(body) != expected_bytes:
+        raise _salvage_error(
+            f"payload truncated: {len(body)} bytes of {expected_bytes}",
+            header,
+            body,
+            expected_bytes=expected_bytes,
+        )
+    digest = hashlib.sha256(body).hexdigest()
+    if digest != expected_sha:
+        raise _salvage_error(
+            f"payload checksum mismatch (recorded {expected_sha[:12]}…, "
+            f"found {digest[:12]}…)",
+            header,
+            body,
+            expected_sha=expected_sha,
+            actual_sha=digest,
+        )
+    return body.decode("utf-8")
+
+
+def _salvage_error(
+    message: str,
+    header: str | None,
+    body: bytes,
+    **extra: Any,
+) -> SerializationError:
+    salvage: dict[str, Any] = {
+        "header": header,
+        "payload_bytes": len(body),
+        **extra,
+    }
+    try:
+        json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        salvage["payload_parseable"] = False
+    else:
+        salvage["payload_parseable"] = True
+    error = SerializationError(f"{message}; salvage report: {salvage}")
+    error.salvage = salvage
+    return error
+
+
+def save_diagram(
+    diagram: SkylineDiagram | DynamicDiagram, path: str
+) -> None:
+    """Atomically write a diagram to ``path`` with the v2 envelope.
+
+    The payload lands in a temp file in the destination directory, is
+    flushed and fsynced, then renamed over ``path`` — a crash or injected
+    IO error at any step leaves either the old file or nothing, never a
+    torn write.
+    """
+    if isinstance(diagram, DynamicDiagram):
+        payload = dynamic_diagram_to_json(diagram)
+    else:
+        payload = diagram_to_json(diagram)
+    blob = envelope_bytes(payload)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        prefix=".skyline-diagram-", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            _fsync(handle.fileno())
+        _replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_diagram(path: str) -> SkylineDiagram | DynamicDiagram:
+    """Load any diagram saved by :func:`save_diagram` (or a bare v1 file).
+
+    The envelope checksum and byte count are verified before any parsing;
+    corruption raises :class:`SerializationError` (with a ``salvage``
+    report when the envelope was present) instead of returning a diagram
+    built from damaged data.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except OSError as exc:
+        raise SerializationError(f"cannot read {path!r}: {exc}") from exc
+    text = open_envelope(blob)
+    try:
+        meta = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise SerializationError("not a serialized skyline diagram")
+    if meta.get("diagram") == "dynamic":
+        return dynamic_diagram_from_json(text)
+    return diagram_from_json(text)
 
 
 # ----------------------------------------------------------------------
@@ -123,15 +327,21 @@ def _results_from_rows(
     expected = 1
     for extent in shape:
         expected *= extent
-    if len(rows) != expected:
+    if not isinstance(rows, list) or len(rows) != expected:
         raise SerializationError(
-            f"{len(rows)} cell entries for {expected} cells"
+            f"{len(rows) if isinstance(rows, list) else type(rows).__name__}"
+            f" cell entries for {expected} cells"
         )
     flat = np.empty(expected, dtype=np.int32)
     table: list[tuple[int, ...]] = []
     intern: dict[tuple[int, ...], int] = {}
     for k, row in enumerate(rows):
-        result = tuple(int(i) for i in row)
+        try:
+            result = tuple(int(i) for i in row)
+        except (TypeError, ValueError) as exc:
+            raise SerializationError(
+                f"cell entry {k} is not a list of point ids: {row!r}"
+            ) from exc
         rid = intern.get(result)
         if rid is None:
             rid = len(table)

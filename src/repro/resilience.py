@@ -1,0 +1,273 @@
+"""Construction budgets and partial-build serving for the query engine.
+
+The paper's serving model is *precompute once, answer in real time*
+(Sec. I, E8) — but precomputation is only free when it finishes.  An
+anti-correlated workload can push diagram construction past any latency or
+memory target, so the construction algorithms accept a :class:`BuildBudget`
+and check it *cooperatively*: each scan row (or maintenance column, or
+merge chunk) calls :meth:`BudgetMeter.checkpoint`, and the first checkpoint
+past a limit raises a typed
+:class:`~repro.errors.BudgetExceededError` carrying a progress snapshot
+and, where the scan order allows it, a :class:`PartialDiagram` that keeps
+answering queries over the region completed before the interruption.
+
+The same checkpoints double as the fault-injection seam: a test hook
+installed with :func:`set_checkpoint_hook` runs before the limit checks,
+so `repro.testing.faults` can cancel or crash a build at an exact point
+in its execution without monkeypatching algorithm internals.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import BudgetExceededError
+
+__all__ = [
+    "BuildBudget",
+    "BuildProgress",
+    "BudgetMeter",
+    "CoverageMiss",
+    "PartialDiagram",
+    "as_meter",
+    "set_checkpoint_hook",
+]
+
+
+# The fault-injection seam.  When set, every checkpoint calls the hook
+# (with the meter) before its own limit checks; budget-less builds run an
+# unlimited meter so the hook still fires.
+_CHECKPOINT_HOOK: Callable[["BudgetMeter"], None] | None = None
+
+
+def set_checkpoint_hook(
+    hook: Callable[["BudgetMeter"], None] | None,
+) -> Callable[["BudgetMeter"], None] | None:
+    """Install (or clear, with ``None``) the checkpoint hook.
+
+    Returns the previously installed hook so callers can restore it.
+    """
+    global _CHECKPOINT_HOOK
+    previous = _CHECKPOINT_HOOK
+    _CHECKPOINT_HOOK = hook
+    return previous
+
+
+@dataclass(frozen=True)
+class BuildBudget:
+    """Admission-control limits for one diagram construction.
+
+    All limits are optional; ``None`` means unlimited.  ``max_seconds``
+    is wall-clock time from :meth:`start`, ``max_cells`` bounds the number
+    of cells resolved, ``max_distinct`` bounds the interned result table
+    (the store's memory driver).
+    """
+
+    max_seconds: float | None = None
+    max_cells: int | None = None
+    max_distinct: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_seconds is not None and not self.max_seconds > 0:
+            raise ValueError(f"max_seconds must be > 0, got {self.max_seconds}")
+        if self.max_cells is not None and self.max_cells < 1:
+            raise ValueError(f"max_cells must be >= 1, got {self.max_cells}")
+        if self.max_distinct is not None and self.max_distinct < 1:
+            raise ValueError(
+                f"max_distinct must be >= 1, got {self.max_distinct}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        return (
+            self.max_seconds is None
+            and self.max_cells is None
+            and self.max_distinct is None
+        )
+
+    def start(self, clock: Callable[[], float] | None = None) -> "BudgetMeter":
+        """A fresh meter charging against this budget from now."""
+        return BudgetMeter(self, clock=clock)
+
+
+@dataclass(frozen=True)
+class BuildProgress:
+    """Snapshot of how far a construction got when it was interrupted."""
+
+    cells_done: int
+    distinct: int
+    elapsed: float
+    checkpoints: int
+
+
+class BudgetMeter:
+    """Mutable spend tracker for one construction (or one shared group).
+
+    Global diagrams pass one meter through all ``2^d`` quadrant sub-builds
+    so the budget bounds the whole construction, not each piece.
+    """
+
+    __slots__ = ("budget", "cells_done", "distinct", "checkpoints", "_clock",
+                 "_started")
+
+    def __init__(
+        self,
+        budget: BuildBudget,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.budget = budget
+        self.cells_done = 0
+        self.distinct = 0
+        self.checkpoints = 0
+        self._clock = clock if clock is not None else time.monotonic
+        self._started = self._clock()
+
+    def progress(self) -> BuildProgress:
+        return BuildProgress(
+            cells_done=self.cells_done,
+            distinct=self.distinct,
+            elapsed=max(0.0, self._clock() - self._started),
+            checkpoints=self.checkpoints,
+        )
+
+    def checkpoint(self, advance: int = 0, distinct: int | None = None) -> None:
+        """Charge ``advance`` cells and re-check every limit.
+
+        Raises :class:`BudgetExceededError` (without a partial — the
+        construction that owns the partial attaches it) when a limit is
+        crossed.  The injected test hook, when installed, runs first.
+        """
+        self.checkpoints += 1
+        self.cells_done += advance
+        if distinct is not None:
+            self.distinct = distinct
+        if _CHECKPOINT_HOOK is not None:
+            _CHECKPOINT_HOOK(self)
+        budget = self.budget
+        if budget.max_cells is not None and self.cells_done > budget.max_cells:
+            raise self._exceeded(
+                f"cell budget exhausted: {self.cells_done} cells resolved, "
+                f"max_cells={budget.max_cells}"
+            )
+        if (
+            budget.max_distinct is not None
+            and self.distinct > budget.max_distinct
+        ):
+            raise self._exceeded(
+                f"distinct-result budget exhausted: {self.distinct} interned, "
+                f"max_distinct={budget.max_distinct}"
+            )
+        if budget.max_seconds is not None:
+            elapsed = self._clock() - self._started
+            if elapsed > budget.max_seconds:
+                raise self._exceeded(
+                    f"time budget exhausted: {elapsed:.3f}s elapsed, "
+                    f"max_seconds={budget.max_seconds}"
+                )
+
+    def _exceeded(self, message: str) -> BudgetExceededError:
+        return BudgetExceededError(
+            message, budget=self.budget, progress=self.progress()
+        )
+
+
+def as_meter(
+    budget: BuildBudget | BudgetMeter | None,
+    clock: Callable[[], float] | None = None,
+) -> BudgetMeter | None:
+    """Normalize a builder's ``budget`` argument to a running meter.
+
+    ``None`` normally stays ``None`` (checkpoints compile away), except
+    when a fault-injection hook is installed: then an unlimited meter is
+    returned so the hook observes budget-less builds too.
+    """
+    if budget is None:
+        if _CHECKPOINT_HOOK is not None:
+            return BuildBudget().start(clock)
+        return None
+    if isinstance(budget, BudgetMeter):
+        return budget
+    if isinstance(budget, BuildBudget):
+        return budget.start(clock)
+    raise TypeError(
+        f"budget must be a BuildBudget or BudgetMeter, got "
+        f"{type(budget).__name__}"
+    )
+
+
+class CoverageMiss(Exception):
+    """A query landed outside the region a partial diagram covers.
+
+    Deliberately *not* a :class:`~repro.errors.SkylineDiagramError`: it is
+    internal control flow of the degradation ladder (fall through to the
+    next tier), never an answer surfaced to callers.
+    """
+
+
+class PartialDiagram:
+    """Answers over the scan rows completed before a build was interrupted.
+
+    Both 2-D scanning constructions fill whole rows of the second axis at
+    a time, so the completed prefix is exact wherever it exists: ``_rows``
+    maps a row index ``j`` to the row's per-column entries.  Entries are
+    interned ids into ``table`` when a table is carried, or raw result
+    tuples when the interrupted construction had no table (skyband sweep).
+
+    ``boundary_exact`` distinguishes the two lookup conventions: quadrant
+    rows (mask 0) use the lower-side closed edge and are exact on grid
+    lines; dynamic subcell rows cannot resolve boundary queries from one
+    row alone, so those raise :class:`CoverageMiss` and fall through.
+    """
+
+    __slots__ = ("grid", "_rows", "_table", "_boundary_exact")
+
+    def __init__(
+        self,
+        grid,
+        rows: dict[int, Sequence],
+        table: list[tuple[int, ...]] | None,
+        boundary_exact: bool,
+    ) -> None:
+        self.grid = grid
+        self._rows = rows
+        self._table = table
+        self._boundary_exact = boundary_exact
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of scan rows completed before interruption."""
+        extent = self.grid.shape[1]
+        return len(self._rows) / extent if extent else 0.0
+
+    @property
+    def rows_built(self) -> int:
+        return len(self._rows)
+
+    def query(self, query: Sequence[float]) -> tuple[int, ...]:
+        """Exact answer when the query's row was built, else CoverageMiss."""
+        grid = self.grid
+        if self._boundary_exact:
+            cell = grid.locate(query, upper_mask=0)
+        else:
+            cell = grid.locate(query)
+            if grid.boundary_axes(query, cell):
+                raise CoverageMiss(
+                    "query on a subcell boundary of a partial diagram"
+                )
+        row = self._rows.get(cell[1])
+        if row is None:
+            raise CoverageMiss(
+                f"row {cell[1]} was not built before interruption"
+            )
+        entry = row[cell[0]]
+        if self._table is None:
+            return tuple(entry)
+        return self._table[int(entry)]
+
+    def __repr__(self) -> str:
+        return (
+            f"PartialDiagram(rows={len(self._rows)}/{self.grid.shape[1]}, "
+            f"coverage={self.coverage:.2f})"
+        )

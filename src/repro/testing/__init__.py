@@ -1,0 +1,21 @@
+"""Fault injection and chaos drills for the resilient serving layer."""
+
+from repro.testing.faults import (
+    SteppingClock,
+    cancel_build_after,
+    corrupt_file_byte,
+    crash_build_after,
+    flip_store_bit,
+    io_errors_on_save,
+    truncate_file,
+)
+
+__all__ = [
+    "SteppingClock",
+    "cancel_build_after",
+    "corrupt_file_byte",
+    "crash_build_after",
+    "flip_store_bit",
+    "io_errors_on_save",
+    "truncate_file",
+]

@@ -1,0 +1,320 @@
+"""Chaos drills: inject faults, assert the serving layer never lies.
+
+Each scenario arranges one failure mode from `repro.testing.faults` around
+a small adversarial dataset (reusing the differential verifier's
+generators) and asserts the serving-layer contract:
+
+* **cancelled-build** — a build killed mid-construction: every query must
+  equal from-scratch evaluation, zero answers may claim the ``diagram``
+  tier, and a forced rebuild recovers full service;
+* **tight-budget** — admission control refuses the build: same contract,
+  reached through the budget path;
+* **bitflip** — an attached store is corrupted in memory: ``db.audit()``
+  must flag and evict it, ``db.health()`` must report it, and the very
+  next query must be correct again (self-healing rebuild);
+* **corrupt-file** — a saved diagram is truncated, bit-flipped or
+  version-bumped on disk: ``load_diagram`` must raise
+  :class:`~repro.errors.SerializationError` (with a salvage report for
+  envelope damage), never return a diagram built from damaged bytes;
+* **atomic-save** — the save's rename fails: the previous file must
+  survive byte-for-byte and still load;
+* **clock-skew** — the monotonic clock jumps: backoff bookkeeping must
+  degrade gracefully (never crash, never serve wrong answers) and
+  recover once time moves forward;
+* **stale-maintenance** — incremental maintenance skips an update: the
+  per-step audits stay green (the stale diagram is internally
+  consistent!) but a differential cross-check against a from-scratch
+  rebuild must expose the drift, while the fully-applied control arm
+  matches the rebuild exactly.
+
+Driven by ``python -m repro chaos --cases N --seed S`` and by
+``tests/test_faults.py``; fully deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.diagram.maintenance import insert_point
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.diagram.verify import _generate_points, _generate_queries
+from repro.errors import SerializationError
+from repro.index.engine import SkylineDatabase
+from repro.index.serialize import load_diagram, save_diagram
+from repro.resilience import BuildBudget
+from repro.testing import faults
+
+_KINDS = ("quadrant", "global", "dynamic", "skyband")
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one :func:`run_chaos` campaign."""
+
+    seed: int
+    cases: int = 0
+    by_scenario: dict[str, int] = field(default_factory=dict)
+    failures: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} FAILURES"
+        counts = ", ".join(
+            f"{name}={count}"
+            for name, count in sorted(self.by_scenario.items())
+        )
+        lines = [
+            f"chaos [{status}]: {self.cases} cases (seed={self.seed}): "
+            f"{counts}"
+        ]
+        for failure in self.failures[:5]:
+            lines.append(
+                f"  {failure['scenario']} case {failure['case']} "
+                f"(seed={failure['seed']}): {failure['error']}"
+            )
+        if len(self.failures) > 5:
+            lines.append(f"  ... and {len(self.failures) - 5} more")
+        return "\n".join(lines)
+
+
+def _assert_ladder_exact(
+    db: SkylineDatabase,
+    points,
+    rng: random.Random,
+    kinds=_KINDS,
+    forbid_tier: str | None = None,
+) -> None:
+    """Every ladder answer equals from-scratch evaluation."""
+    for query in _generate_queries(rng, points, limit=4):
+        for kind in kinds:
+            k = 2 if kind == "skyband" else 1
+            answer = db.query_annotated(query, kind=kind, k=k)
+            expected = db.query_from_scratch(query, kind=kind, k=k)
+            assert answer.result == expected, (
+                f"{kind} query {query} served wrong answer from tier "
+                f"{answer.served_from!r}: {answer.result} != {expected}"
+            )
+            if forbid_tier is not None:
+                assert answer.served_from != forbid_tier, (
+                    f"{kind} query {query} claimed the {forbid_tier!r} tier "
+                    "while it was supposed to be unavailable"
+                )
+
+
+def _scenario_cancelled_build(rng, max_points, workdir) -> None:
+    points = _generate_points(rng, max_points)
+    # Cancel at the very first checkpoint: tiny datasets finish in two,
+    # and this drill requires that *no* build completes.
+    with faults.cancel_build_after(1):
+        db = SkylineDatabase(points)
+        _assert_ladder_exact(db, points, rng, forbid_tier="diagram")
+        health = db.health()
+        assert health["tiers"]["diagram"] == 0, health
+        assert not health["ok"], "health claims ok while every build fails"
+    outcome = db.rebuild(force=True)
+    assert outcome and all(v == "ready" for v in outcome.values()), outcome
+    answer = db.query_annotated((0.0, 0.0), kind="quadrant")
+    assert answer.served_from == "diagram", answer
+    assert db.health()["ok"]
+
+
+def _scenario_tight_budget(rng, max_points, workdir) -> None:
+    points = _generate_points(rng, max_points)
+    budget = BuildBudget(max_cells=rng.choice([1, 2, 5]))
+    db = SkylineDatabase(points, budget=budget)
+    _assert_ladder_exact(db, points, rng)
+    health = db.health()
+    for key, entry in health["builds"].items():
+        assert entry["status"] in ("ready", "degraded"), (key, entry)
+        if entry["status"] == "degraded":
+            assert "budget exceeded" in entry["error"], entry
+    # Lifting the budget and forcing a rebuild restores full service.
+    db.budget = None
+    outcome = db.rebuild(force=True)
+    assert all(v == "ready" for v in outcome.values()), outcome
+
+
+def _scenario_bitflip(rng, max_points, workdir) -> None:
+    points = _generate_points(rng, max_points)
+    db = SkylineDatabase(points)
+    kind = rng.choice(("quadrant", "global", "dynamic"))
+    key = "quadrant:0" if kind == "quadrant" else kind
+    query = _generate_queries(rng, points, limit=1)[0]
+    primed = db.query_annotated(query, kind=kind)
+    assert primed.served_from == "diagram"
+    faults.flip_store_bit(db._diagrams[key].store, seed=rng.randrange(2**31))
+    outcome = db.audit()
+    assert outcome[key].startswith("corrupt"), outcome
+    health = db.health()
+    assert key in health["degraded"], health
+    assert health["last_audit"][key].startswith("corrupt"), health
+    # The evicted diagram is rebuilt transparently; answers stay exact.
+    _assert_ladder_exact(db, points, rng, kinds=(kind,))
+    assert db.audit()[key] == "ok"
+
+
+def _scenario_corrupt_file(rng, max_points, workdir) -> None:
+    points = _generate_points(rng, max_points)
+    db = SkylineDatabase(points)
+    kind = rng.choice(("quadrant", "dynamic", "skyband"))
+    if kind == "quadrant":
+        diagram = db.quadrant_diagram()
+    elif kind == "dynamic":
+        diagram = db.dynamic_diagram()
+    else:
+        diagram = db.skyband_diagram(k=2)
+    path = os.path.join(workdir, "diagram.json")
+    save_diagram(diagram, path)
+    mode = rng.choice(("truncate", "bitflip", "version"))
+    if mode == "truncate":
+        # Keep at least the header prefix: shorter truncations degrade to
+        # the bare-v1 path, a different (also covered) failure mode.
+        prefix = len(b"repro.skyline-diagram/")
+        faults.truncate_file(
+            path, rng.randrange(prefix, os.path.getsize(path))
+        )
+    elif mode == "bitflip":
+        faults.corrupt_file_byte(path, seed=rng.randrange(2**31))
+    else:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(
+                blob.replace(b"repro.skyline-diagram/2", b"repro.skyline-diagram/9", 1)
+            )
+    try:
+        load_diagram(path)
+    except SerializationError as exc:
+        if mode in ("truncate", "version"):
+            assert getattr(exc, "salvage", None) is not None, (
+                f"{mode} damage should carry a salvage report: {exc}"
+            )
+    else:
+        raise AssertionError(f"{mode} damage loaded without an error")
+
+
+def _scenario_atomic_save(rng, max_points, workdir) -> None:
+    points = _generate_points(rng, max_points)
+    diagram = quadrant_scanning(points)
+    path = os.path.join(workdir, "diagram.json")
+    save_diagram(diagram, path)
+    with open(path, "rb") as handle:
+        original = handle.read()
+    with faults.io_errors_on_save():
+        try:
+            save_diagram(diagram, path)
+        except OSError:
+            pass
+        else:
+            raise AssertionError("injected IO error did not surface")
+    with open(path, "rb") as handle:
+        assert handle.read() == original, "failed save damaged the old file"
+    leftovers = [
+        name for name in os.listdir(workdir) if name.endswith(".tmp")
+    ]
+    assert not leftovers, f"failed save leaked temp files: {leftovers}"
+    reloaded = load_diagram(path)
+    assert reloaded.store == diagram.store
+
+
+def _scenario_clock_skew(rng, max_points, workdir) -> None:
+    points = _generate_points(rng, max_points)
+    clock = faults.SteppingClock()
+    db = SkylineDatabase(
+        points, budget=BuildBudget(max_cells=1), clock=clock
+    )
+    _assert_ladder_exact(db, points, rng, kinds=("quadrant",))
+    health = db.health()
+    assert health["builds"]["quadrant:0"]["status"] == "degraded", health
+    clock.skew(-rng.uniform(100.0, 10_000.0))
+    assert db.rebuild()["quadrant:0"] == "backoff"
+    _assert_ladder_exact(db, points, rng, kinds=("quadrant",))
+    assert db.health()["builds"]["quadrant:0"]["retry_in"] >= 0.0
+    clock.advance(1_000_000.0)
+    db.budget = None
+    assert db.rebuild()["quadrant:0"] == "ready"
+    assert db.health()["ok"]
+
+
+def _scenario_stale_maintenance(rng, max_points, workdir) -> None:
+    points = _generate_points(rng, max_points)
+    while len(points) < 3:
+        points = points + [(float(len(points)), float(len(points)))]
+    full = quadrant_scanning(points)
+    start = max(1, len(points) // 2)
+
+    # Control arm: every update applied, audited after each step, must
+    # match the from-scratch rebuild exactly.
+    applied = quadrant_scanning(points[:start])
+    for p in points[start:]:
+        applied = insert_point(applied, p)
+        applied.audit()
+    assert applied.store == full.store, "maintenance drifted from rebuild"
+
+    # Stale arm: one update is lost.  The diagram stays internally
+    # consistent (audits pass!) — only the differential rebuild
+    # cross-check exposes the drift, which is exactly why the stateful
+    # suite keeps both checks.
+    skipped = rng.randrange(start, len(points))
+    stale = quadrant_scanning(points[:start])
+    for index in range(start, len(points)):
+        if index == skipped:
+            continue
+        stale = insert_point(stale, points[index])
+    stale.audit()
+    assert len(stale.grid.dataset) != len(points) or stale.store != full.store, (
+        "stale maintenance was indistinguishable from a full rebuild"
+    )
+
+
+_SCENARIOS = (
+    ("cancelled-build", _scenario_cancelled_build),
+    ("tight-budget", _scenario_tight_budget),
+    ("bitflip", _scenario_bitflip),
+    ("corrupt-file", _scenario_corrupt_file),
+    ("atomic-save", _scenario_atomic_save),
+    ("clock-skew", _scenario_clock_skew),
+    ("stale-maintenance", _scenario_stale_maintenance),
+)
+
+
+def run_chaos(
+    cases: int = 200, seed: int = 0, max_points: int = 7
+) -> ChaosReport:
+    """Run ``cases`` fault-injection drills round-robin over the scenarios.
+
+    Deterministic in ``seed``; each case gets its own derived RNG and a
+    fresh scratch directory.  Failures are collected (not fail-fast) so
+    one report shows every scenario that broke.
+
+    >>> run_chaos(cases=7, seed=0).ok
+    True
+    """
+    rng = random.Random(seed)
+    report = ChaosReport(seed=seed)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
+        for case in range(cases):
+            name, scenario = _SCENARIOS[case % len(_SCENARIOS)]
+            case_seed = rng.randrange(2**63)
+            workdir = os.path.join(root, f"case-{case}")
+            os.mkdir(workdir)
+            report.cases += 1
+            report.by_scenario[name] = report.by_scenario.get(name, 0) + 1
+            try:
+                scenario(random.Random(case_seed), max_points, workdir)
+            except Exception as exc:  # collected, not fatal: report them all
+                report.failures.append(
+                    {
+                        "scenario": name,
+                        "case": case,
+                        "seed": case_seed,
+                        "error": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+    return report

@@ -1,0 +1,172 @@
+"""Fault injectors for the resilience drills.
+
+Each injector targets one seam the serving layer is supposed to survive:
+
+* :func:`cancel_build_after` / :func:`crash_build_after` — kill a diagram
+  construction at its n-th cooperative budget checkpoint (the same hook
+  every builder already calls), simulating mid-build cancellation or an
+  algorithm bug;
+* :func:`flip_store_bit` — silently corrupt an attached diagram's result
+  store in memory (a flipped cell id or a tampered interned result), the
+  corruption :meth:`~repro.diagram.store.ResultStore.audit` must catch;
+* :func:`SteppingClock` — an injectable monotonic clock for budget and
+  backoff drills, including skew (backward jumps);
+* :func:`io_errors_on_save` — make the atomic rename fail, verifying a
+  crashed save never clobbers the previous file;
+* :func:`truncate_file` / :func:`corrupt_file_byte` — damage a saved
+  diagram on disk the envelope checksum must detect.
+
+Injectors restore all patched state on exit; they are context managers
+where the fault must cover a region and plain functions where it is a
+single mutation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import random
+
+import numpy as np
+
+from repro.errors import BudgetExceededError
+from repro.index import serialize as _serialize
+from repro.resilience import BudgetMeter, set_checkpoint_hook
+
+
+@contextlib.contextmanager
+def cancel_build_after(checkpoints: int = 1):
+    """Raise ``BudgetExceededError`` at the n-th build checkpoint.
+
+    Simulates an operator cancelling a runaway build: constructors see an
+    ordinary budget exhaustion (with whatever partial progress they
+    salvage) even when no budget was configured.
+    """
+    seen = {"count": 0}
+
+    def hook(meter: BudgetMeter) -> None:
+        seen["count"] += 1
+        if seen["count"] >= checkpoints:
+            raise BudgetExceededError(
+                f"injected cancellation at checkpoint {seen['count']}",
+                budget=meter.budget,
+                progress=meter.progress(),
+            )
+
+    previous = set_checkpoint_hook(hook)
+    try:
+        yield seen
+    finally:
+        set_checkpoint_hook(previous)
+
+
+@contextlib.contextmanager
+def crash_build_after(checkpoints: int = 1, message: str = "injected crash"):
+    """Raise a non-budget ``RuntimeError`` at the n-th build checkpoint.
+
+    Unlike :func:`cancel_build_after` this models an algorithm bug, so
+    the ladder must treat it as a build failure (no partial tier).
+    """
+    seen = {"count": 0}
+
+    def hook(meter: BudgetMeter) -> None:
+        seen["count"] += 1
+        if seen["count"] >= checkpoints:
+            raise RuntimeError(message)
+
+    previous = set_checkpoint_hook(hook)
+    try:
+        yield seen
+    finally:
+        set_checkpoint_hook(previous)
+
+
+def flip_store_bit(store, seed: int = 0) -> str:
+    """Silently corrupt one entry of a result store, in place.
+
+    Two corruption modes, chosen by the seed: remap one cell to a
+    different (valid) interned result — undetectable structurally, caught
+    by the content fingerprint — or tamper an interned tuple with an
+    out-of-range member, which the structural audit flags.  Returns a
+    description of what was damaged.
+    """
+    rng = random.Random(seed)
+    distinct = store.distinct_count
+    if distinct > 1 and rng.random() < 0.5:
+        flat = rng.randrange(store.num_cells)
+        index = np.unravel_index(flat, store.shape)
+        old = int(store.ids[index])
+        store.ids[index] = (old + 1 + rng.randrange(distinct - 1)) % distinct
+        return f"cell {tuple(int(i) for i in index)} id {old} -> " f"{int(store.ids[index])}"
+    victim = rng.randrange(distinct)
+    store.table[victim] = store.table[victim] + (10**6,)
+    store._intern = None  # keep the lazy interned view consistent
+    return f"table entry {victim} grew an out-of-range member"
+
+
+class SteppingClock:
+    """A deterministic, manually advanced monotonic clock.
+
+    Passed as ``clock=`` to :class:`~repro.index.engine.SkylineDatabase`
+    or :meth:`~repro.resilience.BuildBudget.start` so budget and backoff
+    tests control time — including skew, which real monotonic clocks
+    forbid but broken virtualized ones exhibit.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def skew(self, seconds: float) -> None:
+        """Jump the clock by ``seconds`` (negative = backward skew)."""
+        self.now += seconds
+
+
+@contextlib.contextmanager
+def io_errors_on_save(message: str = "injected IO error"):
+    """Make :func:`~repro.index.serialize.save_diagram`'s rename fail.
+
+    The failure lands after the temp file is fully written — the worst
+    moment — so the drill verifies the destination file is untouched and
+    no temp file leaks.
+    """
+
+    def broken_replace(src: str, dst: str) -> None:
+        raise OSError(message)
+
+    previous = _serialize._replace
+    _serialize._replace = broken_replace
+    try:
+        yield
+    finally:
+        _serialize._replace = previous
+
+
+def truncate_file(path: str, keep: int) -> None:
+    """Truncate a file to its first ``keep`` bytes (simulated torn write)."""
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(min(keep, size))
+
+
+def corrupt_file_byte(path: str, seed: int = 0) -> int:
+    """Flip one bit of one byte of a file; returns the damaged offset.
+
+    Skips the header line so the damage lands in the checksummed payload
+    (header damage is a different failure mode, tested separately).
+    """
+    with open(path, "rb") as handle:
+        blob = handle.read()
+    start = blob.find(b"\n") + 1
+    if start <= 0 or start >= len(blob):
+        start = 0
+    offset = start + random.Random(seed).randrange(len(blob) - start)
+    damaged = blob[:offset] + bytes([blob[offset] ^ 0x20]) + blob[offset + 1 :]
+    with open(path, "wb") as handle:
+        handle.write(damaged)
+    return offset

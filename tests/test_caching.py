@@ -119,3 +119,62 @@ class TestCorrectness:
         for cell in diagram.grid.cells():
             cache.get(diagram.grid.representative(cell))
         assert len(calls) == len(diagram.polyominos())
+
+
+class TestBudgetedCache:
+    """Memory-pressure admission and eviction under a budget (ISSUE PR 3)."""
+
+    def test_admission_rejects_oversized_diagrams(self, staircase):
+        from repro.errors import BudgetExceededError
+        from repro.resilience import BuildBudget
+
+        diagram = quadrant_scanning(staircase)
+        with pytest.raises(BudgetExceededError, match="admission"):
+            PolyominoCache(
+                diagram, list, budget=BuildBudget(max_cells=3)
+            )
+
+    def test_admission_allows_within_budget(self, staircase):
+        from repro.resilience import BuildBudget
+
+        diagram = quadrant_scanning(staircase)
+        cache = PolyominoCache(
+            diagram, list, budget=BuildBudget(max_cells=diagram.store.num_cells)
+        )
+        assert cache.get((0, 0)) == [0, 1, 2]
+
+    def test_max_distinct_caps_capacity(self, staircase):
+        from repro.resilience import BuildBudget
+
+        cache = PolyominoCache(
+            quadrant_scanning(staircase),
+            list,
+            capacity=128,
+            budget=BuildBudget(max_distinct=2),
+        )
+        assert cache.capacity == 2
+
+    def test_eviction_under_memory_pressure(self, staircase):
+        """With the budget capping two regions, a third query evicts."""
+        from repro.resilience import BuildBudget
+
+        diagram = quadrant_scanning(staircase)
+        cache = PolyominoCache(
+            diagram, list, capacity=128, budget=BuildBudget(max_distinct=2)
+        )
+        # One query per distinct skyline region of the staircase:
+        # (0,1,2), (1,2), (2,), (0,), and the empty top-right region.
+        queries = [
+            (0.0, 0.0),
+            (2.5, 0.5),
+            (5.5, 0.5),
+            (0.5, 4.5),
+            (10.0, 10.0),
+        ]
+        regions = {cache.region_of(q) for q in queries}
+        assert len(regions) >= 3  # the workload really exceeds the cap
+        for q in queries:
+            payload = cache.get(q)
+            assert payload == list(diagram.query(q))  # pressure never lies
+            assert len(cache) <= 2
+        assert cache.evictions >= 1

@@ -5,6 +5,12 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.index.serialize import open_envelope
+
+
+def _payload(path):
+    """JSON payload of a saved diagram (verifying the envelope checksum)."""
+    return json.loads(open_envelope(path.read_bytes()))
 
 
 @pytest.fixture
@@ -69,7 +75,7 @@ class TestBuildAndQuery:
     def test_global_pipeline(self, tmp_path, points_csv, capsys):
         diagram = tmp_path / "g.json"
         assert main(["build", points_csv, str(diagram), "--kind", "global"]) == 0
-        assert json.loads(diagram.read_text())["kind"] == "global"
+        assert _payload(diagram)["kind"] == "global"
 
     def test_dynamic_pipeline(self, tmp_path, points_csv, capsys):
         diagram = tmp_path / "dyn.json"
@@ -84,7 +90,7 @@ class TestBuildAndQuery:
         b = tmp_path / "b.json"
         main(["build", points_csv, str(a), "--algorithm", "baseline"])
         main(["build", points_csv, str(b), "--algorithm", "scanning"])
-        pa, pb = json.loads(a.read_text()), json.loads(b.read_text())
+        pa, pb = _payload(a), _payload(b)
         assert pa["cells"] == pb["cells"]
         assert pa["algorithm"] == "baseline"
 

@@ -3,7 +3,9 @@
 import pytest
 
 from repro.errors import (
+    AuditError,
     AuthenticationError,
+    BudgetExceededError,
     DatasetError,
     DimensionalityError,
     ProtocolError,
@@ -13,7 +15,9 @@ from repro.errors import (
 )
 
 ALL_ERRORS = [
+    AuditError,
     AuthenticationError,
+    BudgetExceededError,
     DatasetError,
     DimensionalityError,
     ProtocolError,
@@ -38,3 +42,13 @@ def test_errors_carry_messages():
         raise QueryError("query has 3 dimensions")
     except SkylineDiagramError as exc:
         assert "3 dimensions" in str(exc)
+
+
+def test_budget_error_carries_progress():
+    from repro.resilience import BuildBudget
+
+    budget = BuildBudget(max_cells=5)
+    error = BudgetExceededError("out of cells", budget=budget)
+    assert error.budget is budget
+    assert error.progress is None
+    assert error.partial is None

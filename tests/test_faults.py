@@ -1,0 +1,189 @@
+"""Fault-injection gate: the acceptance scenarios from the robustness issue.
+
+Three properties must hold under injected faults:
+
+(a) a mid-build kill still yields correct answers, served from a lower
+    tier of the degradation ladder;
+(b) corrupted stores and corrupted files are detected (audit/checksum),
+    reported via ``db.health()``, and never served;
+(c) every degraded-tier answer matches ``query_from_scratch``.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.errors import BudgetExceededError, SerializationError
+from repro.index.engine import SkylineDatabase
+from repro.index.serialize import load_diagram, save_diagram
+from repro.resilience import BuildBudget
+from repro.testing import (
+    SteppingClock,
+    cancel_build_after,
+    corrupt_file_byte,
+    crash_build_after,
+    flip_store_bit,
+    io_errors_on_save,
+    truncate_file,
+)
+from repro.testing.chaos import run_chaos
+
+POINTS = [(2.0, 8.0), (5.0, 4.0), (9.0, 1.0), (1.0, 9.0), (7.0, 2.0)]
+QUERIES = [(0.0, 0.0), (3.0, 5.0), (6.0, 1.5), (100.0, 100.0)]
+
+
+class TestMidBuildKill:
+    """Acceptance (a): killed builds degrade, answers stay correct."""
+
+    def test_cancelled_build_serves_lower_tier(self):
+        db = SkylineDatabase(POINTS)
+        with cancel_build_after(1):
+            for query in QUERIES:
+                answer = db.query_annotated(query, kind="quadrant")
+                assert answer.served_from in ("partial", "scratch")
+                assert answer.result == db.query_from_scratch(
+                    query, kind="quadrant"
+                )
+        assert not db.health()["ok"]
+        assert "quadrant:0" in db.health()["degraded"]
+
+    def test_cancelled_build_recovers_after_rebuild(self):
+        db = SkylineDatabase(POINTS)
+        with cancel_build_after(1):
+            db.query((0.0, 0.0), kind="quadrant")
+        assert db.rebuild(force=True)["quadrant:0"] == "ready"
+        answer = db.query_annotated((0.0, 0.0), kind="quadrant")
+        assert answer.served_from == "diagram"
+        assert db.health()["ok"]
+
+    def test_cancellation_in_every_kind(self):
+        for kind in ("quadrant", "global", "dynamic", "skyband"):
+            k = 2 if kind == "skyband" else 1
+            db = SkylineDatabase(POINTS)
+            with cancel_build_after(1):
+                answer = db.query_annotated((3.0, 5.0), kind=kind, k=k)
+            assert answer.served_from != "diagram"
+            assert answer.result == db.query_from_scratch(
+                (3.0, 5.0), kind=kind, k=k
+            )
+
+    def test_crash_degrades_without_partial(self):
+        db = SkylineDatabase(POINTS)
+        with crash_build_after(1, message="simulated builder bug"):
+            answer = db.query_annotated((0.0, 0.0), kind="quadrant")
+        assert answer.served_from == "scratch"
+        state = db.health()["builds"]["quadrant:0"]
+        assert state["status"] == "degraded"
+        assert "partial_coverage" not in state
+        assert "simulated builder bug" in state["error"]
+
+
+class TestCorruptionNeverServed:
+    """Acceptance (b): corruption is detected, reported, never served."""
+
+    def test_flipped_store_bit_caught_by_audit(self):
+        db = SkylineDatabase(POINTS)
+        baseline = {
+            q: db.query(q, kind="quadrant") for q in QUERIES
+        }
+        flip_store_bit(db._diagrams["quadrant:0"].store, seed=3)
+        outcome = db.audit()
+        assert outcome["quadrant:0"].startswith("corrupt")
+        health = db.health()
+        assert not health["ok"]
+        assert "quadrant:0" in health["degraded"]
+        assert health["last_audit"]["quadrant:0"].startswith("corrupt")
+        # The corrupt diagram was evicted: answers are correct again.
+        for query, expected in baseline.items():
+            assert db.query(query, kind="quadrant") == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_flip_modes_always_detected(self, seed):
+        diagram = quadrant_scanning(POINTS)
+        db = SkylineDatabase(POINTS)
+        db.query((0.0, 0.0), kind="quadrant")
+        flip_store_bit(db._diagrams["quadrant:0"].store, seed=seed)
+        assert db._diagrams["quadrant:0"].store != diagram.store
+        assert db.audit()["quadrant:0"].startswith("corrupt")
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "d.skd"
+        save_diagram(quadrant_scanning(POINTS), path)
+        truncate_file(path, keep=os.path.getsize(path) - 10)
+        with pytest.raises(SerializationError, match="truncated") as info:
+            load_diagram(path)
+        salvage = info.value.salvage
+        assert salvage["payload_bytes"] < salvage["expected_bytes"]
+
+    def test_bit_rotted_file_rejected_by_checksum(self, tmp_path):
+        path = tmp_path / "d.skd"
+        save_diagram(quadrant_scanning(POINTS), path)
+        corrupt_file_byte(path, seed=1)
+        with pytest.raises(SerializationError, match="checksum"):
+            load_diagram(path)
+
+    def test_failed_save_is_atomic(self, tmp_path):
+        path = tmp_path / "d.skd"
+        save_diagram(quadrant_scanning(POINTS), path)
+        before = path.read_bytes()
+        with io_errors_on_save():
+            with pytest.raises(OSError):
+                save_diagram(quadrant_scanning(POINTS[:3]), path)
+        assert path.read_bytes() == before
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert load_diagram(path).store == quadrant_scanning(POINTS).store
+
+
+class TestDegradedMatchesScratch:
+    """Acceptance (c): degraded answers equal from-scratch evaluation."""
+
+    @pytest.mark.parametrize("kind", ["quadrant", "global", "dynamic", "skyband"])
+    def test_budget_starved_answers_match(self, kind):
+        k = 2 if kind == "skyband" else 1
+        db = SkylineDatabase(POINTS, budget=BuildBudget(max_cells=2))
+        for query in QUERIES:
+            answer = db.query_annotated(query, kind=kind, k=k)
+            assert answer.served_from != "diagram"
+            assert answer.result == db.query_from_scratch(query, kind=kind, k=k)
+
+    def test_differential_harness_covers_degraded_tier(self):
+        from repro.diagram.verify import differential_verify
+
+        report = differential_verify(seed=2, budget=300, max_points=5)
+        assert report.ok
+        assert report.by_check.get("degraded", 0) > 0
+
+
+class TestClockFaults:
+    def test_skewed_clock_never_blocks_recovery_forever(self):
+        clock = SteppingClock()
+        db = SkylineDatabase(
+            POINTS, budget=BuildBudget(max_cells=1), clock=clock
+        )
+        db.query((0.0, 0.0), kind="quadrant")
+        clock.skew(-5000.0)  # clock jumps backwards
+        assert db.rebuild() == {"quadrant:0": "backoff"}
+        assert db.health()["builds"]["quadrant:0"]["retry_in"] >= 0
+        clock.advance(10**6)
+        db.budget = None
+        assert db.rebuild() == {"quadrant:0": "ready"}
+
+
+class TestChaosHarness:
+    def test_chaos_run_is_deterministic(self):
+        a = run_chaos(cases=14, seed=5)
+        b = run_chaos(cases=14, seed=5)
+        assert a.by_scenario == b.by_scenario
+        assert a.failures == b.failures
+
+    def test_chaos_smoke_gate(self):
+        # The CI smoke target from the issue. Full 200 cases, seed 0.
+        assert main(["chaos", "--cases", "200", "--seed", "0"]) == 0
+
+    def test_chaos_reports_summary(self, capsys):
+        assert main(["chaos", "--cases", "7", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos [OK]" in out
+        assert "cases (seed=1)" in out

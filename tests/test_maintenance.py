@@ -120,3 +120,60 @@ class TestSkybandGuard:
             insert_point(diagram, (0, 0))
         with pytest.raises(QueryError, match="skyband"):
             delete_point(diagram, 0)
+
+
+class TestAuditedInterleaving:
+    """Stateful drill: audit after every maintenance step (ISSUE PR 3)."""
+
+    def test_interleaved_ops_audit_and_match_rebuild(self):
+        import random
+
+        from repro.skyline.queries import quadrant_skyline
+
+        rng = random.Random(42)
+        points = [(2.0, 8.0), (5.0, 4.0), (9.0, 1.0)]
+        diagram = quadrant_scanning(points)
+        for step in range(30):
+            if len(points) > 1 and rng.random() < 0.4:
+                victim = rng.randrange(len(points))
+                diagram = delete_point(diagram, victim)
+                del points[victim]
+            else:
+                p = (float(rng.randint(0, 9)), float(rng.randint(0, 9)))
+                diagram = insert_point(diagram, p)
+                points.append(p)
+            # Self-audit: structural invariants + recurrence samples.
+            fingerprint = diagram.audit()
+            assert isinstance(fingerprint, str) and len(fingerprint) == 64
+            # Differential: the maintained diagram equals a full rebuild.
+            assert _same(diagram, quadrant_scanning(points))
+            # Spot-check one query against direct evaluation.
+            q = (rng.uniform(-1, 10), rng.uniform(-1, 10))
+            assert diagram.query(q) == quadrant_skyline(points, q)
+
+    def test_budgeted_insert_raises_and_preserves_original(self):
+        from repro.errors import BudgetExceededError
+        from repro.resilience import BuildBudget
+
+        diagram = quadrant_scanning([(1.0, 5.0), (3.0, 3.0), (5.0, 1.0)])
+        before = dict(diagram.cells())
+        with pytest.raises(BudgetExceededError) as excinfo:
+            insert_point(diagram, (2.0, 2.0), budget=BuildBudget(max_cells=2))
+        assert excinfo.value.progress.cells_done > 2
+        # Copy-on-write: the original diagram is untouched.
+        assert dict(diagram.cells()) == before
+        diagram.audit()
+
+    def test_budgeted_delete_raises_and_preserves_original(self):
+        from repro.errors import BudgetExceededError
+        from repro.resilience import BuildBudget
+
+        diagram = quadrant_scanning([(1.0, 5.0), (3.0, 3.0), (5.0, 1.0)])
+        before = dict(diagram.cells())
+        with pytest.raises(BudgetExceededError):
+            delete_point(diagram, 0, budget=BuildBudget(max_cells=1))
+        assert dict(diagram.cells()) == before
+
+    def test_unbudgeted_maintenance_unchanged(self, staircase):
+        updated = insert_point(quadrant_scanning(staircase), (4.0, 4.0))
+        assert _same(updated, quadrant_scanning(staircase + [(4.0, 4.0)]))

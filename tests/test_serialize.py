@@ -97,3 +97,127 @@ class TestValidation:
         payload["shape"] = [1, 1]
         with pytest.raises(SerializationError, match="shape"):
             dynamic_diagram_from_json(json.dumps(payload))
+
+
+class TestEnvelope:
+    """Versioned, checksummed, atomically written files (ISSUE PR 3)."""
+
+    def _diagrams(self, staircase):
+        from repro.diagram.global_diagram import quadrant_diagram_for_mask
+        from repro.diagram.skyband import skyband_sweep
+
+        return {
+            "quadrant": quadrant_scanning(staircase),
+            "reflected": quadrant_diagram_for_mask(
+                staircase, 3, quadrant_scanning
+            ),
+            "global": global_diagram(staircase),
+            "dynamic": dynamic_scanning(staircase),
+            "skyband": skyband_sweep(staircase, k=2),
+        }
+
+    def test_round_trip_every_kind(self, staircase, tmp_path):
+        from repro.index.serialize import load_diagram, save_diagram
+
+        for name, diagram in self._diagrams(staircase).items():
+            path = tmp_path / f"{name}.json"
+            save_diagram(diagram, str(path))
+            restored = load_diagram(str(path))
+            assert restored.store == diagram.store, name
+            assert type(restored) is type(diagram), name
+
+    def test_skyband_round_trip_preserves_k(self, staircase, tmp_path):
+        from repro.diagram.skyband import skyband_sweep
+        from repro.index.serialize import load_diagram, save_diagram
+
+        path = tmp_path / "band.json"
+        save_diagram(skyband_sweep(staircase, k=2), str(path))
+        restored = load_diagram(str(path))
+        assert restored.k == 2
+        assert restored.query((0, 0)) == (0, 1, 2)
+
+    def test_rejects_invalid_skyband_k(self, staircase):
+        payload = json.loads(diagram_to_json(quadrant_scanning(staircase)))
+        payload["k"] = 0
+        with pytest.raises(SerializationError, match="k"):
+            diagram_from_json(json.dumps(payload))
+
+    def test_header_shape(self, staircase, tmp_path):
+        from repro.index.serialize import save_diagram
+
+        path = tmp_path / "d.json"
+        save_diagram(quadrant_scanning(staircase), str(path))
+        header, _, body = path.read_bytes().partition(b"\n")
+        assert header.startswith(b"repro.skyline-diagram/2 sha256=")
+        assert f"bytes={len(body)}".encode() in header
+
+    def test_bare_v1_file_still_loads(self, staircase, tmp_path):
+        from repro.index.serialize import load_diagram
+
+        diagram = quadrant_scanning(staircase)
+        path = tmp_path / "v1.json"
+        path.write_text(diagram_to_json(diagram))
+        assert load_diagram(str(path)).store == diagram.store
+
+    def test_truncation_detected_with_salvage(self, staircase, tmp_path):
+        from repro.index.serialize import load_diagram, save_diagram
+
+        path = tmp_path / "d.json"
+        save_diagram(quadrant_scanning(staircase), str(path))
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(SerializationError, match="truncated") as excinfo:
+            load_diagram(str(path))
+        salvage = excinfo.value.salvage
+        assert salvage["payload_bytes"] < salvage["expected_bytes"]
+        assert salvage["payload_parseable"] is False
+
+    def test_bit_rot_detected_by_checksum(self, staircase, tmp_path):
+        from repro.index.serialize import load_diagram, save_diagram
+
+        path = tmp_path / "d.json"
+        save_diagram(quadrant_scanning(staircase), str(path))
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0x01  # flip one payload bit; byte count is unchanged
+        path.write_bytes(bytes(blob))
+        with pytest.raises(SerializationError, match="checksum"):
+            load_diagram(str(path))
+
+    def test_envelope_version_mismatch(self, staircase, tmp_path):
+        from repro.index.serialize import load_diagram, save_diagram
+
+        path = tmp_path / "d.json"
+        save_diagram(quadrant_scanning(staircase), str(path))
+        blob = path.read_bytes().replace(
+            b"repro.skyline-diagram/2", b"repro.skyline-diagram/7", 1
+        )
+        path.write_bytes(blob)
+        with pytest.raises(SerializationError, match="version"):
+            load_diagram(str(path))
+
+    def test_missing_file_is_a_serialization_error(self, tmp_path):
+        from repro.index.serialize import load_diagram
+
+        with pytest.raises(SerializationError, match="cannot read"):
+            load_diagram(str(tmp_path / "absent.json"))
+
+    def test_malformed_cell_entries_are_typed(self, staircase):
+        payload = json.loads(diagram_to_json(quadrant_scanning(staircase)))
+        payload["cells"][0] = ["not-an-id"]
+        with pytest.raises(SerializationError, match="cell entry"):
+            diagram_from_json(json.dumps(payload))
+
+    def test_failed_save_preserves_previous_file(self, staircase, tmp_path):
+        from repro.index.serialize import load_diagram, save_diagram
+        from repro.testing.faults import io_errors_on_save
+
+        diagram = quadrant_scanning(staircase)
+        path = tmp_path / "d.json"
+        save_diagram(diagram, str(path))
+        original = path.read_bytes()
+        with io_errors_on_save():
+            with pytest.raises(OSError):
+                save_diagram(quadrant_scanning(staircase[:2]), str(path))
+        assert path.read_bytes() == original
+        assert load_diagram(str(path)).store == diagram.store
+        assert not list(tmp_path.glob("*.tmp"))

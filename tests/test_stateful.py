@@ -51,6 +51,13 @@ class MaintenanceMachine(RuleBasedStateMachine):
         assert self.diagram.grid.axes == rebuilt.grid.axes
         assert dict(self.diagram.cells()) == dict(rebuilt.cells())
 
+    @invariant()
+    def audit_passes(self):
+        # The self-audit (structural store checks + Theorem 1 recurrence
+        # samples) must stay green after every maintenance step.
+        if hasattr(self, "diagram"):
+            self.diagram.audit()
+
 
 MaintenanceMachine.TestCase.settings = settings(
     max_examples=25, stateful_step_count=8, deadline=None
