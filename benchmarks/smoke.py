@@ -8,9 +8,14 @@ the array-store engine —
 * a 10k-query workload answered with ``query_batch`` vs per-point
   ``query`` on the same diagram —
 
-and writes the results to ``BENCH_pr1.json`` at the repository root.  All
-timings are best-of-N wall clock (``repro.bench.harness.time_call``), the
-least noise-sensitive estimator on a shared machine.
+and writes the results to ``BENCH_pr1.json`` at the repository root,
+plus ``BENCH_pr4.json`` with the build-pipeline arms: serial vs
+process-pool construction at n=2000 (fingerprints asserted identical)
+and the per-phase ``BuildReport`` breakdown.  ``cpu_count`` is recorded
+alongside — on a single-core machine the process pool cannot win on
+wall clock and the numbers say so honestly.  All timings are best-of-N
+wall clock (``repro.bench.harness.time_call``), the least
+noise-sensitive estimator on a shared machine.
 
 Usage::
 
@@ -20,6 +25,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import random
 import sys
 from pathlib import Path
@@ -35,6 +41,7 @@ from repro.diagram import (  # noqa: E402
     quadrant_scanning,
     quadrant_sweeping,
 )
+from repro.diagram.pipeline import BuildOptions  # noqa: E402
 from repro.diagram.quadrant_scanning import (  # noqa: E402
     quadrant_scanning_reference,
 )
@@ -117,6 +124,39 @@ def headline_batch_query(n: int, batch: int) -> dict:
     }
 
 
+def pipeline_construction(n: int, workers: int) -> dict:
+    """Serial vs process-pool construction of the same diagram.
+
+    Fingerprints are asserted identical (the sharded build's byte-identity
+    contract), and both arms' per-phase ``BuildReport`` breakdowns are
+    recorded so the cost of sharding (pool spin-up, pickling, chunk-table
+    merge) is visible phase by phase.
+    """
+    points = dataset("independent", n)
+    options = BuildOptions(executor="process", workers=workers)
+    serial = quadrant_scanning(points)
+    parallel = quadrant_scanning(points, build_options=options)
+    assert serial.store.fingerprint() == parallel.store.fingerprint(), (
+        "process-pool build diverged from serial"
+    )
+    serial_s = time_call(lambda: quadrant_scanning(points), repeats=3)
+    parallel_s = time_call(
+        lambda: quadrant_scanning(points, build_options=options), repeats=3
+    )
+    return {
+        "n": n,
+        "distribution": "independent",
+        "cpu_count": os.cpu_count(),
+        "workers": workers,
+        "serial_s": serial_s,
+        "process_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "fingerprint_match": True,
+        "serial_report": serial.build_report.as_dict(),
+        "process_report": parallel.build_report.as_dict(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -144,9 +184,27 @@ def main(argv: list[str] | None = None) -> int:
         },
     }
     out = save_json(args.out, payload)
+
+    pipeline = {
+        "benchmark": "pr4-build-pipeline-smoke",
+        "timer": "best-of-N wall clock (time_call)",
+        "construction": pipeline_construction(
+            headline_n, workers=max(2, os.cpu_count() or 1)
+        ),
+    }
+    pr4_out = save_json(args.out.parent / "BENCH_pr4.json", pipeline)
+
     cons = payload["headline"]["construction"]
     batch = payload["headline"]["batch_query"]
+    pipe = pipeline["construction"]
     print(f"wrote {out}")
+    print(f"wrote {pr4_out}")
+    print(
+        f"pipeline n={pipe['n']} (cpus={pipe['cpu_count']}): "
+        f"serial {pipe['serial_s']:.2f}s vs process[{pipe['workers']}] "
+        f"{pipe['process_s']:.2f}s ({pipe['speedup']:.2f}x, "
+        f"fingerprints match)"
+    )
     print(
         f"construction n={cons['n']}: store {cons['array_store_s']:.2f}s "
         f"vs dict {cons['dict_reference_s']:.2f}s "

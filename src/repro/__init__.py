@@ -14,6 +14,8 @@ Quickstart
 from repro.diagram import (
     DYNAMIC_ALGORITHMS,
     QUADRANT_ALGORITHMS,
+    BuildOptions,
+    BuildReport,
     DynamicDiagram,
     SkylineDiagram,
     SweepDiagram,
@@ -49,6 +51,8 @@ __all__ = [
     "AuditError",
     "BudgetExceededError",
     "BuildBudget",
+    "BuildOptions",
+    "BuildReport",
     "DYNAMIC_ALGORITHMS",
     "Dataset",
     "DynamicDiagram",

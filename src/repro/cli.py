@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import csv
+import inspect
 import sys
 from pathlib import Path
 
@@ -66,16 +67,49 @@ def _quadrant_registry(dataset: Dataset) -> dict:
     }
 
 
+def _build_options(args: argparse.Namespace):
+    """BuildOptions from ``--parallel``/``--chunk-rows`` (None if unset)."""
+    parallel = getattr(args, "parallel", None)
+    chunk_rows = getattr(args, "chunk_rows", None)
+    if parallel is None and chunk_rows is None:
+        return None
+    from repro.diagram.pipeline import BuildOptions
+
+    return BuildOptions(
+        executor="process" if parallel else "serial",
+        workers=parallel,
+        chunk_rows=chunk_rows,
+    )
+
+
+def _call_builder(builder, dataset, options, **kwargs):
+    """Invoke a construction, threading build_options when supported."""
+    if options is not None:
+        try:
+            parameters = inspect.signature(builder).parameters
+        except (TypeError, ValueError):
+            parameters = {}
+        if "build_options" in parameters:
+            kwargs["build_options"] = options
+    return builder(dataset, **kwargs)
+
+
 def _build(args: argparse.Namespace):
     dataset = _read_points(args.points)
+    options = _build_options(args)
     if args.kind == "quadrant":
-        return _quadrant_registry(dataset)[args.algorithm](dataset)
+        return _call_builder(
+            _quadrant_registry(dataset)[args.algorithm], dataset, options
+        )
     if args.kind == "global":
-        return global_diagram(
-            dataset, _quadrant_registry(dataset)[args.algorithm]
+        return _call_builder(
+            global_diagram,
+            dataset,
+            options,
+            algorithm=_quadrant_registry(dataset)[args.algorithm],
         )
     algorithm = args.algorithm if args.algorithm in DYNAMIC_ALGORITHMS else "scanning"
-    return DYNAMIC_ALGORITHMS[algorithm](dataset)
+    return _call_builder(DYNAMIC_ALGORITHMS[algorithm], dataset, options)
 
 
 def _load_diagram(path: str):
@@ -107,6 +141,21 @@ def main(argv: list[str] | None = None) -> int:
         "--algorithm",
         default="scanning",
         help="construction algorithm (see repro.diagram registries)",
+    )
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="build with a process pool of N row workers (scanning "
+        "algorithms; the diagram is byte-identical to a serial build)",
+    )
+    p.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        metavar="R",
+        help="rows per shard (default: rows / workers)",
     )
 
     p = sub.add_parser("query", help="answer a skyline query from a diagram")
@@ -155,6 +204,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--cases", type=int, default=200)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-points", type=int, default=7)
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run the drills with a process pool of N row workers",
+    )
 
     args = parser.parse_args(argv)
     try:
@@ -177,8 +233,20 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"wrote {len(points)} {args.distribution} points to {args.output}")
         return 0
     if args.command == "build":
-        save_diagram(_build(args), args.output)
+        diagram = _build(args)
+        save_diagram(diagram, args.output)
         print(f"wrote {args.kind} diagram ({args.algorithm}) to {args.output}")
+        report = getattr(diagram, "build_report", None)
+        if report is not None and (
+            args.parallel is not None or args.chunk_rows is not None
+        ):
+            print(
+                f"executor: {report.executor} (workers={report.workers}), "
+                f"rows={report.rows_scanned}, "
+                f"distinct={report.distinct_results}"
+            )
+            for name, seconds in report.phases.items():
+                print(f"  {name}: {seconds * 1000:.1f} ms")
         return 0
     if args.command == "query":
         diagram = _load_diagram(args.diagram)
@@ -247,7 +315,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.testing.chaos import run_chaos
 
         report = run_chaos(
-            cases=args.cases, seed=args.seed, max_points=args.max_points
+            cases=args.cases,
+            seed=args.seed,
+            max_points=args.max_points,
+            build_options=_build_options(args),
         )
         print(report.summary())
         return 0 if report.ok else 1

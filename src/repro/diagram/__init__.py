@@ -29,6 +29,13 @@ from repro.diagram.dynamic_subset import dynamic_subset
 from repro.diagram.global_diagram import global_diagram, quadrant_diagram_for_mask
 from repro.diagram.maintenance import delete_point, insert_point
 from repro.diagram.merge import merge_cells, partition_signature
+from repro.diagram.pipeline import (
+    BuildContext,
+    BuildOptions,
+    BuildReport,
+    ProcessRowExecutor,
+    SerialRowExecutor,
+)
 from repro.diagram.quadrant_baseline import quadrant_baseline
 from repro.diagram.quadrant_dsg import quadrant_dsg
 from repro.diagram.quadrant_scanning import quadrant_scanning
@@ -61,9 +68,14 @@ DYNAMIC_ALGORITHMS = {
 }
 
 __all__ = [
+    "BuildContext",
+    "BuildOptions",
+    "BuildReport",
     "DYNAMIC_ALGORITHMS",
     "DynamicDiagram",
     "Mismatch",
+    "ProcessRowExecutor",
+    "SerialRowExecutor",
     "QUADRANT_ALGORITHMS",
     "ResultStore",
     "VerifyReport",

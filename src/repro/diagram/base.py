@@ -66,7 +66,15 @@ class SkylineDiagram:
         Name of the construction algorithm, for provenance.
     """
 
-    __slots__ = ("grid", "kind", "mask", "algorithm", "_store", "_polyominos")
+    __slots__ = (
+        "grid",
+        "kind",
+        "mask",
+        "algorithm",
+        "build_report",
+        "_store",
+        "_polyominos",
+    )
 
     def __init__(
         self,
@@ -95,6 +103,10 @@ class SkylineDiagram:
         self.kind = kind
         self.mask = mask
         self.algorithm = algorithm
+        # Per-build telemetry (a pipeline BuildReport) attached by
+        # BuildContext.finish(); None for diagrams built outside the
+        # pipeline (reference paths, deserialization).
+        self.build_report = None
         self._store = store
         self._polyominos: list[Polyomino] | None = None
 
@@ -312,7 +324,13 @@ class SkylineDiagram:
 class DynamicDiagram:
     """A dynamic skyline diagram over the skyline-subcell grid (2-D)."""
 
-    __slots__ = ("subcells", "algorithm", "_store", "_polyominos")
+    __slots__ = (
+        "subcells",
+        "algorithm",
+        "build_report",
+        "_store",
+        "_polyominos",
+    )
 
     def __init__(
         self,
@@ -336,6 +354,7 @@ class DynamicDiagram:
             store = ResultStore.from_dict(subcells.shape, results)
         self.subcells = subcells
         self.algorithm = algorithm
+        self.build_report = None
         self._store = store
         self._polyominos: list[Polyomino] | None = None
 

@@ -13,6 +13,14 @@ The sweep computes ``Sky(SC_{0,0})`` from scratch, then walks the first
 column bottom-up and each row left-to-right, re-skylining a candidate set
 whose size tracks the skyline size rather than n.  Results are interned
 directly into the array-backed :class:`~repro.diagram.store.ResultStore`.
+
+Construction runs through the shared
+:class:`~repro.diagram.pipeline.BuildContext` pipeline.  Rows are
+independent given their entering state — a chunk worker seeds its first
+row's column start with one from-scratch dynamic skyline at the row's
+representative point (exactly what the incremental boundary crossing would
+have produced) — so the sweep shards into ``[lo, hi)`` row chunks whose
+relabeled results merge byte-identically with the serial engine's.
 """
 
 from __future__ import annotations
@@ -22,54 +30,43 @@ from collections.abc import Sequence
 import numpy as np
 
 from repro.diagram.base import DynamicDiagram
+from repro.diagram.pipeline import (
+    BuildContext,
+    BuildOptions,
+    Interner,
+    merge_chunk_tables,
+    relabel_scan_order,
+)
 from repro.diagram.store import ResultStore
 from repro.errors import BudgetExceededError
 from repro.geometry.point import Dataset, ensure_dataset
 from repro.geometry.subcell import SubcellGrid
-from repro.resilience import (
-    BudgetMeter,
-    BuildBudget,
-    PartialDiagram,
-    as_meter,
-)
+from repro.resilience import BudgetMeter, BuildBudget, PartialDiagram
 from repro.skyline.queries import dynamic_skyline, dynamic_skyline_among
 
 
-def dynamic_scanning(
-    points: Dataset | Sequence[Sequence[float]],
-    budget: BuildBudget | BudgetMeter | None = None,
-) -> DynamicDiagram:
-    """Build the dynamic skyline diagram with Algorithm 7.
+def _scan_dynamic_rows(
+    dataset: Dataset,
+    subcells: SubcellGrid,
+    lo: int,
+    hi: int,
+    interner: Interner,
+    rows: np.ndarray,
+    base: int,
+    on_row=None,
+) -> None:
+    """The boundary-crossing row kernel: sweep rows ``lo`` to ``hi - 1``.
 
-    ``budget`` bounds the sweep cooperatively (one checkpoint per subcell
-    row); on exhaustion the raised
-    :class:`~repro.errors.BudgetExceededError` carries a
-    :class:`~repro.resilience.PartialDiagram` over the bottom rows
-    completed so far.
-
-    >>> diagram = dynamic_scanning([(0, 0), (10, 10)])
-    >>> diagram.query((4, 6))
-    (0, 1)
+    Row ``lo``'s column start is computed from scratch (one dynamic
+    skyline at the row's representative), so any row range runs
+    independently of the rows below it.  Row ``j`` is written to
+    ``rows[j - base]``; ``on_row(j)`` runs after each completed row.
     """
-    dataset = ensure_dataset(points)
-    meter = as_meter(budget)
-    subcells = SubcellGrid(dataset)
-    sx, sy = subcells.shape
-    table: list[tuple[int, ...]] = []
-    intern: dict[tuple[int, ...], int] = {}
-
-    def intern_id(result: tuple[int, ...]) -> int:
-        rid = intern.get(result)
-        if rid is None:
-            rid = len(table)
-            table.append(result)
-            intern[result] = rid
-        return rid
-
-    rows = np.empty((sy, sx), dtype=np.int32)  # row j contiguous; .T at end
-    column_start = dynamic_skyline(dataset, subcells.representative((0, 0)))
-    for j in range(sy):
-        if j > 0:
+    sx, _ = subcells.shape
+    intern_id = interner.intern
+    column_start = dynamic_skyline(dataset, subcells.representative((0, lo)))
+    for j in range(lo, hi):
+        if j > lo:
             # Cross the horizontal boundary below row j.
             candidates = _merge_candidates(
                 column_start, subcells.boundary_contributors(1, j)
@@ -88,21 +85,94 @@ def dynamic_scanning(
                 dataset, candidates, subcells.representative((i, j))
             )
             row[i] = intern_id(previous)
-        rows[j] = row
-        if meter is not None:
+        rows[j - base] = row
+        if on_row is not None:
+            on_row(j)
+
+
+def _dynamic_chunk_job(job):
+    """One row-chunk worker: picklable, sees only points + a row range."""
+    points, lo, hi = job
+    dataset = Dataset(points)
+    subcells = SubcellGrid(dataset)
+    sx, _ = subcells.shape
+    interner = Interner()
+    local = np.empty((hi - lo, sx), dtype=np.int32)
+    _scan_dynamic_rows(dataset, subcells, lo, hi, interner, local, lo)
+    return relabel_scan_order(local, interner.table, flip=False)
+
+
+def dynamic_scanning(
+    points: Dataset | Sequence[Sequence[float]],
+    budget: BuildBudget | BudgetMeter | None = None,
+    build_options: BuildOptions | None = None,
+) -> DynamicDiagram:
+    """Build the dynamic skyline diagram with Algorithm 7.
+
+    ``budget`` bounds the sweep cooperatively (one checkpoint per subcell
+    row); on exhaustion the raised
+    :class:`~repro.errors.BudgetExceededError` carries a
+    :class:`~repro.resilience.PartialDiagram` over the bottom rows
+    completed so far.  ``build_options`` selects the row executor and
+    chunking; sharded builds produce byte-identical stores but carry no
+    partial on interruption.
+
+    >>> diagram = dynamic_scanning([(0, 0), (10, 10)])
+    >>> diagram.query((4, 6))
+    (0, 1)
+    """
+    dataset = ensure_dataset(points)
+    ctx = BuildContext(
+        budget, build_options, algorithm="scanning", kind="dynamic"
+    )
+    with ctx.phase("rank_space"):
+        subcells = SubcellGrid(dataset)
+        sx, sy = subcells.shape
+    chunks = ctx.row_chunks(sy)
+    rows = np.empty((sy, sx), dtype=np.int32)  # row j contiguous; .T at end
+    if len(chunks) == 1:
+        interner = Interner()
+
+        def on_row(j: int) -> None:
             try:
-                meter.checkpoint(advance=sx, distinct=len(table))
+                ctx.checkpoint(advance=sx, distinct=len(interner))
             except BudgetExceededError as exc:
                 if exc.partial is None:
                     exc.partial = PartialDiagram(
                         subcells,
                         {jj: rows[jj].copy() for jj in range(j + 1)},
-                        list(table),
+                        list(interner.table),
                         boundary_exact=False,
                     )
                 raise
-    store = ResultStore((sx, sy), np.ascontiguousarray(rows.T), table)
-    return DynamicDiagram(subcells, store, algorithm="scanning")
+
+        with ctx.phase("row_scan"):
+            _scan_dynamic_rows(
+                dataset, subcells, 0, sy, interner, rows, 0, on_row
+            )
+            ctx.count_rows(sy)
+        with ctx.phase("intern"):
+            ctx.checkpoint(distinct=len(interner))
+            table = interner.table
+    else:
+        pts = dataset.points
+        jobs = [(pts, lo, hi) for lo, hi in chunks]
+
+        def on_chunk(job, result) -> None:
+            _, lo, hi = job
+            ctx.count_rows(hi - lo)
+            for _ in range(hi - lo):
+                ctx.checkpoint(advance=sx)
+
+        with ctx.phase("row_scan"):
+            parts = ctx.executor.run(_dynamic_chunk_job, jobs, on_chunk)
+        with ctx.phase("intern"):
+            table = merge_chunk_tables(chunks, parts, rows)
+            ctx.checkpoint(distinct=len(table))
+    with ctx.phase("assemble"):
+        store = ResultStore((sx, sy), np.ascontiguousarray(rows.T), table)
+        diagram = DynamicDiagram(subcells, store, algorithm="scanning")
+    return ctx.finish(diagram)
 
 
 def _merge_candidates(

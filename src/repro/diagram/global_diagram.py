@@ -14,6 +14,12 @@ Both steps run on the array-backed store: mirroring a quadrant diagram is a
 union is computed once per *distinct combination* of quadrant ids — the 2^d
 flat id arrays are stacked and deduplicated with ``np.unique(axis=0)``, so
 the tuple merge runs ``O(#combinations)`` times instead of once per cell.
+
+Construction runs through the shared
+:class:`~repro.diagram.pipeline.BuildContext`: the ``row_scan`` phase is
+the 2^d quadrant sub-builds (each threading the shared meter — and the
+``build_options``, so a parallel executor shards every sub-build's scan),
+the ``intern`` phase is the combination merge.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from heapq import merge as heap_merge
 import numpy as np
 
 from repro.diagram.base import SkylineDiagram
+from repro.diagram.pipeline import BuildContext, BuildOptions, Interner
 from repro.diagram.store import ResultStore
 from repro.errors import BudgetExceededError, DimensionalityError
 from repro.geometry.dominance import reflect_points
@@ -36,25 +43,39 @@ Algorithm = Callable[[Dataset], SkylineDiagram]
 
 
 def _call(
-    algorithm: Algorithm, dataset: Dataset, meter: BudgetMeter | None
+    algorithm: Algorithm,
+    dataset: Dataset,
+    meter: BudgetMeter | None,
+    build_options: BuildOptions | None = None,
 ) -> SkylineDiagram:
     """Invoke a construction algorithm, threading the meter when supported.
 
     Budget-unaware algorithms (third-party or the ablation baselines) are
-    charged post-hoc in one lump checkpoint, so a shared budget still
-    bounds multi-build constructions — just at build granularity.
+    charged post-hoc one scan row at a time — the same cadence the
+    budget-aware constructors use — so a shared budget trips within one
+    row of its limit instead of overshooting by an entire sub-build's
+    cell count in a single lump checkpoint.
     """
-    if meter is None:
-        return algorithm(dataset)
     try:
         parameters = inspect.signature(algorithm).parameters
     except (TypeError, ValueError):  # builtins/partials without signatures
         parameters = {}
+    kwargs = {}
+    if build_options is not None and "build_options" in parameters:
+        kwargs["build_options"] = build_options
+    if meter is None:
+        return algorithm(dataset, **kwargs)
     if "budget" in parameters:
-        return algorithm(dataset, budget=meter)
-    diagram = algorithm(dataset)
+        return algorithm(dataset, budget=meter, **kwargs)
+    diagram = algorithm(dataset, **kwargs)
+    cells = diagram.store.num_cells
+    step = max(1, diagram.store.shape[0])
+    charged = 0
+    while charged + step < cells:
+        meter.checkpoint(advance=step)
+        charged += step
     meter.checkpoint(
-        advance=diagram.store.num_cells, distinct=diagram.store.distinct_count
+        advance=cells - charged, distinct=diagram.store.distinct_count
     )
     return diagram
 
@@ -64,6 +85,7 @@ def quadrant_diagram_for_mask(
     mask: int,
     algorithm: Algorithm,
     budget: BuildBudget | BudgetMeter | None = None,
+    build_options: BuildOptions | None = None,
 ) -> SkylineDiagram:
     """First-quadrant algorithm applied to an arbitrary quadrant orientation.
 
@@ -75,17 +97,20 @@ def quadrant_diagram_for_mask(
     dataset = ensure_dataset(points)
     meter = as_meter(budget)
     if mask == 0:
-        diagram = _call(algorithm, dataset, meter)
-        return SkylineDiagram(
+        diagram = _call(algorithm, dataset, meter, build_options)
+        mirrored_report = getattr(diagram, "build_report", None)
+        diagram = SkylineDiagram(
             diagram.grid,
             diagram.store,
             kind="quadrant",
             mask=0,
             algorithm=diagram.algorithm,
         )
+        diagram.build_report = mirrored_report
+        return diagram
     reflected = Dataset(reflect_points(dataset.points, mask))
     try:
-        mirrored = _call(algorithm, reflected, meter)
+        mirrored = _call(algorithm, reflected, meter, build_options)
     except BudgetExceededError as exc:
         # A partial built in reflected rank space would answer mirrored
         # queries; don't let the ladder serve it for this orientation.
@@ -93,19 +118,22 @@ def quadrant_diagram_for_mask(
         raise
     grid = Grid(dataset)
     flip_axes = [d for d in range(dataset.dim) if mask & (1 << d)]
-    return SkylineDiagram(
+    diagram = SkylineDiagram(
         grid,
         mirrored.store.flip(flip_axes),
         kind="quadrant",
         mask=mask,
         algorithm=mirrored.algorithm,
     )
+    diagram.build_report = getattr(mirrored, "build_report", None)
+    return diagram
 
 
 def global_diagram(
     points: Dataset | Sequence[Sequence[float]],
     algorithm: Algorithm | None = None,
     budget: BuildBudget | BudgetMeter | None = None,
+    build_options: BuildOptions | None = None,
 ) -> SkylineDiagram:
     """Build the global skyline diagram (union of all quadrant diagrams).
 
@@ -113,7 +141,8 @@ def global_diagram(
     the scanning algorithm, the fastest exact 2-D cell-based method).
     One shared meter charges all ``2^d`` sub-builds and the combination
     merge against ``budget``; no partial survives exhaustion (a single
-    quadrant's rows cannot answer global queries).
+    quadrant's rows cannot answer global queries).  ``build_options``
+    threads through to every sub-build that supports it.
 
     >>> diagram = global_diagram([(2, 8), (5, 4), (9, 1)])
     >>> diagram.result_at((1, 1))   # between the staircase points
@@ -130,43 +159,53 @@ def global_diagram(
 
         algorithm = quadrant_scanning
     dim = dataset.dim
-    meter = as_meter(budget)
-    try:
-        quadrant_diagrams = [
-            quadrant_diagram_for_mask(dataset, mask, algorithm, budget=meter)
-            for mask in range(1 << dim)
-        ]
-    except BudgetExceededError as exc:
-        exc.partial = None
-        raise
+    ctx = BuildContext(budget, build_options, algorithm="global", kind="global")
+    with ctx.phase("row_scan"):
+        try:
+            quadrant_diagrams = [
+                quadrant_diagram_for_mask(
+                    dataset,
+                    mask,
+                    algorithm,
+                    budget=ctx.meter,
+                    build_options=build_options,
+                )
+                for mask in range(1 << dim)
+            ]
+        except BudgetExceededError as exc:
+            exc.partial = None
+            raise
+    ctx.report.algorithm = quadrant_diagrams[0].algorithm
     grid = quadrant_diagrams[0].grid
-    # One column of per-cell ids per quadrant; identical id combinations
-    # yield identical unions, so merge once per distinct combination.
-    stacked = np.stack(
-        [d.store.ids.reshape(-1) for d in quadrant_diagrams], axis=1
-    )
-    combos, inverse = np.unique(stacked, axis=0, return_inverse=True)
-    tables = [d.store.table for d in quadrant_diagrams]
-    table: list[tuple[int, ...]] = []
-    intern: dict[tuple[int, ...], int] = {}
-    combo_ids = np.empty(len(combos), dtype=np.int32)
-    for k, combo in enumerate(combos.tolist()):
-        # The quadrants partition the points around any cell-interior query,
-        # so the union is a merge of disjoint sorted tuples.
-        union = tuple(heap_merge(*(t[q] for t, q in zip(tables, combo))))
-        rid = intern.get(union)
-        if rid is None:
-            rid = len(table)
-            table.append(union)
-            intern[union] = rid
-        combo_ids[k] = rid
-        if meter is not None and k % 1024 == 1023:
-            meter.checkpoint(distinct=len(table))
-    ids = combo_ids[inverse.reshape(-1)].reshape(grid.shape)
-    store = ResultStore(grid.shape, np.ascontiguousarray(ids), table)
-    return SkylineDiagram(
-        grid,
-        store,
-        kind="global",
-        algorithm=quadrant_diagrams[0].algorithm,
-    )
+    ctx.count_rows(grid.shape[-1] * (1 << dim))
+    with ctx.phase("intern"):
+        # One column of per-cell ids per quadrant; identical id combinations
+        # yield identical unions, so merge once per distinct combination.
+        stacked = np.stack(
+            [d.store.ids.reshape(-1) for d in quadrant_diagrams], axis=1
+        )
+        combos, inverse = np.unique(stacked, axis=0, return_inverse=True)
+        tables = [d.store.table for d in quadrant_diagrams]
+        interner = Interner()
+        intern = interner.intern
+        combo_ids = np.empty(len(combos), dtype=np.int32)
+        for k, combo in enumerate(combos.tolist()):
+            # The quadrants partition the points around any cell-interior
+            # query, so the union is a merge of disjoint sorted tuples.
+            combo_ids[k] = intern(
+                tuple(heap_merge(*(t[q] for t, q in zip(tables, combo))))
+            )
+            if k % 1024 == 1023:
+                ctx.checkpoint(distinct=len(interner))
+        table = interner.table
+        ctx.checkpoint(distinct=len(table))
+    with ctx.phase("assemble"):
+        ids = combo_ids[inverse.reshape(-1)].reshape(grid.shape)
+        store = ResultStore(grid.shape, np.ascontiguousarray(ids), table)
+        diagram = SkylineDiagram(
+            grid,
+            store,
+            kind="global",
+            algorithm=quadrant_diagrams[0].algorithm,
+        )
+    return ctx.finish(diagram)

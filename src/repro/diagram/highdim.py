@@ -26,11 +26,12 @@ from itertools import product
 import numpy as np
 
 from repro.diagram.base import SkylineDiagram
+from repro.diagram.pipeline import BuildContext, BuildOptions, Interner
 from repro.diagram.store import ResultStore
 from repro.dsg.graph import DirectedSkylineGraph
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, Point, ensure_dataset
-from repro.resilience import BudgetMeter, BuildBudget, as_meter
+from repro.resilience import BudgetMeter, BuildBudget
 from repro.skyline.algorithms import skyline
 from repro.skyline.queries import dynamic_skyline
 
@@ -138,6 +139,7 @@ def quadrant_dsg_nd(
 def quadrant_scanning_nd(
     points: Dataset | Sequence[Sequence[float]],
     budget: BuildBudget | BudgetMeter | None = None,
+    build_options: BuildOptions | None = None,
 ) -> SkylineDiagram:
     """d-dimensional scanning diagram via the inclusion–exclusion identity.
 
@@ -157,80 +159,89 @@ def quadrant_scanning_nd(
     (1,)
     """
     dataset = ensure_dataset(points)
-    meter = as_meter(budget)
-    grid = Grid(dataset)
-    dim = grid.dim
-    shape = grid.shape
-    pts = dataset.points
-    strides = [1] * dim
-    for d in range(dim - 2, -1, -1):
-        strides[d] = strides[d + 1] * shape[d + 1]
-    total = strides[0] * shape[0]
-    offsets: list[tuple[int, int, int]] = []
-    for bits in range(1, 1 << dim):
-        offset = tuple((bits >> d) & 1 for d in range(dim))
-        sign = 1 if bin(bits).count("1") % 2 == 1 else -1
-        delta = sum(o * s for o, s in zip(offset, strides))
-        offsets.append((sign, bits, delta))
+    # Flat C-order with a running memo over neighbour ids: sequential, so
+    # the context pins the executor to serial regardless of the options.
+    ctx = BuildContext(
+        budget,
+        build_options,
+        algorithm="scanning",
+        kind="quadrant-nd",
+        serial_only=True,
+    )
+    with ctx.phase("rank_space"):
+        grid = Grid(dataset)
+        dim = grid.dim
+        shape = grid.shape
+        strides = [1] * dim
+        for d in range(dim - 2, -1, -1):
+            strides[d] = strides[d + 1] * shape[d + 1]
+        total = strides[0] * shape[0]
+        offsets: list[tuple[int, int, int]] = []
+        for bits in range(1, 1 << dim):
+            offset = tuple((bits >> d) & 1 for d in range(dim))
+            sign = 1 if bin(bits).count("1") % 2 == 1 else -1
+            delta = sum(o * s for o, s in zip(offset, strides))
+            offsets.append((sign, bits, delta))
 
+    pts = dataset.points
     ids = [0] * total  # id 0 = the empty result of off-grid neighbours
-    table: list[tuple[int, ...]] = [()]
-    intern: dict[tuple[int, ...], int] = {(): 0}
+    interner = Interner(seed_empty=True)
+    table = interner.table
+    intern_id = interner.intern
     memo: dict[tuple[int, ...], int] = {}
     corner_index = grid._corner_index
     chunk = max(1, shape[-1])
     done = 0
-    for cell in product(*(range(extent - 1, -1, -1) for extent in shape)):
-        done += 1
-        if meter is not None and done % chunk == 0:
-            meter.checkpoint(advance=chunk, distinct=len(table))
-        flat = sum(c * s for c, s in zip(cell, strides))
-        corner = corner_index.get(tuple(c + 1 for c in cell))
-        if corner is not None:
-            rid = intern.get(corner)
-            if rid is None:
-                rid = len(table)
-                table.append(corner)
-                intern[corner] = rid
-            ids[flat] = rid
-            continue
-        # Bitmask of axes where the cell touches the upper grid boundary;
-        # neighbours stepping over it contribute the empty skyline.
-        edge = 0
-        for d in range(dim):
-            if cell[d] + 1 == shape[d]:
-                edge |= 1 << d
-        key = tuple(
-            0 if bits & edge else ids[flat + delta]
-            for _, bits, delta in offsets
-        )
-        rid = memo.get(key)
-        if rid is None:
-            counts: dict[int, int] = {}
-            for (sign, _, _), nid in zip(offsets, key):
-                if nid:
-                    for pid in table[nid]:
-                        counts[pid] = counts.get(pid, 0) + sign
-            candidates = sorted(
-                pid for pid, count in counts.items() if count >= 1
+    with ctx.phase("row_scan"):
+        for cell in product(*(range(extent - 1, -1, -1) for extent in shape)):
+            done += 1
+            if done % chunk == 0:
+                ctx.checkpoint(advance=chunk, distinct=len(table))
+                ctx.count_rows(1)
+            flat = sum(c * s for c, s in zip(cell, strides))
+            corner = corner_index.get(tuple(c + 1 for c in cell))
+            if corner is not None:
+                ids[flat] = intern_id(corner)
+                continue
+            # Bitmask of axes where the cell touches the upper grid
+            # boundary; neighbours stepping over it contribute the empty
+            # skyline.
+            edge = 0
+            for d in range(dim):
+                if cell[d] + 1 == shape[d]:
+                    edge |= 1 << d
+            key = tuple(
+                0 if bits & edge else ids[flat + delta]
+                for _, bits, delta in offsets
             )
-            if dim == 2:
-                result = tuple(candidates)
-            else:
-                # For d > 2 the expression may retain dominated points; the
-                # paper's formula removes them with an outer Skyline pass.
-                local = skyline([pts[k] for k in candidates])
-                result = tuple(candidates[k] for k in local)
-            rid = intern.get(result)
+            rid = memo.get(key)
             if rid is None:
-                rid = len(table)
-                table.append(result)
-                intern[result] = rid
-            memo[key] = rid
-        ids[flat] = rid
-    arr = np.asarray(ids, dtype=np.int32).reshape(shape)
-    store = ResultStore(shape, arr, table)
-    return SkylineDiagram(grid, store, kind="quadrant", algorithm="scanning")
+                counts: dict[int, int] = {}
+                for (sign, _, _), nid in zip(offsets, key):
+                    if nid:
+                        for pid in table[nid]:
+                            counts[pid] = counts.get(pid, 0) + sign
+                candidates = sorted(
+                    pid for pid, count in counts.items() if count >= 1
+                )
+                if dim == 2:
+                    result = tuple(candidates)
+                else:
+                    # For d > 2 the expression may retain dominated points;
+                    # the paper's formula removes them with an outer
+                    # Skyline pass.
+                    local = skyline([pts[k] for k in candidates])
+                    result = tuple(candidates[k] for k in local)
+                rid = intern_id(result)
+                memo[key] = rid
+            ids[flat] = rid
+    with ctx.phase("assemble"):
+        arr = np.asarray(ids, dtype=np.int32).reshape(shape)
+        store = ResultStore(shape, arr, table)
+        diagram = SkylineDiagram(
+            grid, store, kind="quadrant", algorithm="scanning"
+        )
+    return ctx.finish(diagram)
 
 
 class DynamicDiagramND:

@@ -24,11 +24,12 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.diagram.base import SkylineDiagram
+from repro.diagram.pipeline import BuildContext, BuildOptions
 from repro.errors import QueryError
 from repro.geometry.dominance import dominates
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, as_point
-from repro.resilience import BudgetMeter, BuildBudget, as_meter
+from repro.resilience import BudgetMeter, BuildBudget
 
 
 def _check(diagram: SkylineDiagram) -> None:
@@ -66,6 +67,7 @@ def insert_point(
     diagram: SkylineDiagram,
     point: Sequence[float],
     budget: BuildBudget | BudgetMeter | None = None,
+    build_options: BuildOptions | None = None,
 ) -> SkylineDiagram:
     """Insert one point, updating only its lower-left block of cells.
 
@@ -80,44 +82,59 @@ def insert_point(
     (1,)
     """
     _check(diagram)
-    meter = as_meter(budget)
+    # Copy-on-write over the old diagram's cells: sequential by nature, so
+    # the context pins the executor to serial regardless of the options.
+    ctx = BuildContext(
+        budget,
+        build_options,
+        algorithm=f"{diagram.algorithm}+insert",
+        kind="maintenance",
+        serial_only=True,
+    )
     p = as_point(point)
     old = diagram.grid.dataset
-    new_dataset = Dataset([*old.points, p])
-    new_grid = Grid(new_dataset)
-    new_id = len(old)
-    rx, ry = new_grid.rank_of(new_id)
-    x_origin = _column_origin(diagram.grid.axes[0], new_grid.axes[0])
-    y_origin = _column_origin(diagram.grid.axes[1], new_grid.axes[1])
+    with ctx.phase("rank_space"):
+        new_dataset = Dataset([*old.points, p])
+        new_grid = Grid(new_dataset)
+        new_id = len(old)
+        rx, ry = new_grid.rank_of(new_id)
+        x_origin = _column_origin(diagram.grid.axes[0], new_grid.axes[0])
+        y_origin = _column_origin(diagram.grid.axes[1], new_grid.axes[1])
 
     sx, sy = new_grid.shape
     results: dict[tuple[int, int], tuple[int, ...]] = {}
     pts = old.points
-    for i in range(sx):
-        for j in range(sy):
-            result = diagram.result_at((x_origin[i], y_origin[j]))
-            if i < rx and j < ry:
-                # p is a candidate of this cell.
-                if not any(dominates(pts[q], p) for q in result):
-                    kept = [q for q in result if not dominates(p, pts[q])]
-                    kept.append(new_id)
-                    result = tuple(sorted(kept))
-            results[(i, j)] = result
-        if meter is not None:
-            meter.checkpoint(advance=sy)
-    return SkylineDiagram(
-        new_grid,
-        results,
-        kind="quadrant",
-        mask=0,
-        algorithm=f"{diagram.algorithm}+insert",
-    )
+    with ctx.phase("row_scan"):
+        for i in range(sx):
+            for j in range(sy):
+                result = diagram.result_at((x_origin[i], y_origin[j]))
+                if i < rx and j < ry:
+                    # p is a candidate of this cell.
+                    if not any(dominates(pts[q], p) for q in result):
+                        kept = [
+                            q for q in result if not dominates(p, pts[q])
+                        ]
+                        kept.append(new_id)
+                        result = tuple(sorted(kept))
+                results[(i, j)] = result
+            ctx.checkpoint(advance=sy)
+        ctx.count_rows(sx)
+    with ctx.phase("assemble"):
+        updated = SkylineDiagram(
+            new_grid,
+            results,
+            kind="quadrant",
+            mask=0,
+            algorithm=f"{diagram.algorithm}+insert",
+        )
+    return ctx.finish(updated)
 
 
 def delete_point(
     diagram: SkylineDiagram,
     point_id: int,
     budget: BuildBudget | BudgetMeter | None = None,
+    build_options: BuildOptions | None = None,
 ) -> SkylineDiagram:
     """Delete one point, repairing only its lower-left block of cells.
 
@@ -131,16 +148,23 @@ def delete_point(
     (0,)
     """
     _check(diagram)
-    meter = as_meter(budget)
+    ctx = BuildContext(
+        budget,
+        build_options,
+        algorithm=f"{diagram.algorithm}+delete",
+        kind="maintenance",
+        serial_only=True,
+    )
     old = diagram.grid.dataset
     if not 0 <= point_id < len(old):
         raise QueryError(f"point id {point_id} out of range")
     if len(old) == 1:
         raise QueryError("cannot delete the last point of a diagram")
     p = old[point_id]
-    remaining = [q for i, q in enumerate(old.points) if i != point_id]
-    new_dataset = Dataset(remaining)
-    new_grid = Grid(new_dataset)
+    with ctx.phase("rank_space"):
+        remaining = [q for i, q in enumerate(old.points) if i != point_id]
+        new_dataset = Dataset(remaining)
+        new_grid = Grid(new_dataset)
 
     def remap(old_pid: int) -> int:
         return old_pid if old_pid < point_id else old_pid - 1
@@ -168,29 +192,33 @@ def delete_point(
 
     sx, sy = new_grid.shape
     results: dict[tuple[int, int], tuple[int, ...]] = {}
-    for i in range(sx):
-        old_i = x_source[i]
-        for j in range(sy):
-            old_j = y_source[j]
-            result = diagram.result_at((old_i, old_j))
-            if point_id in result:
-                survivors = [q for q in result if q != point_id]
-                for candidate in hidden:
-                    crx, cry = old_ranks[candidate]
-                    if crx <= old_i or cry <= old_j:
-                        continue  # not a candidate of this cell
-                    if not any(
-                        dominates(pts[s], pts[candidate]) for s in survivors
-                    ):
-                        survivors.append(candidate)
-                result = tuple(sorted(survivors))
-            results[(i, j)] = tuple(sorted(remap(q) for q in result))
-        if meter is not None:
-            meter.checkpoint(advance=sy)
-    return SkylineDiagram(
-        new_grid,
-        results,
-        kind="quadrant",
-        mask=0,
-        algorithm=f"{diagram.algorithm}+delete",
-    )
+    with ctx.phase("row_scan"):
+        for i in range(sx):
+            old_i = x_source[i]
+            for j in range(sy):
+                old_j = y_source[j]
+                result = diagram.result_at((old_i, old_j))
+                if point_id in result:
+                    survivors = [q for q in result if q != point_id]
+                    for candidate in hidden:
+                        crx, cry = old_ranks[candidate]
+                        if crx <= old_i or cry <= old_j:
+                            continue  # not a candidate of this cell
+                        if not any(
+                            dominates(pts[s], pts[candidate])
+                            for s in survivors
+                        ):
+                            survivors.append(candidate)
+                    result = tuple(sorted(survivors))
+                results[(i, j)] = tuple(sorted(remap(q) for q in result))
+            ctx.checkpoint(advance=sy)
+        ctx.count_rows(sx)
+    with ctx.phase("assemble"):
+        updated = SkylineDiagram(
+            new_grid,
+            results,
+            kind="quadrant",
+            mask=0,
+            algorithm=f"{diagram.algorithm}+delete",
+        )
+    return ctx.finish(updated)

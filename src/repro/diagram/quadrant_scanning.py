@@ -24,10 +24,21 @@ upper line, or a column where the upper row's id changes (``up == upright``
 makes the expression collapse to the right neighbour everywhere else) — so
 whole constant runs are filled with one slice assignment, and each event
 resolves either to an integer fast path or to the small-delta set identity
-``sky = (right − sub) ∪ add`` derived in :func:`quadrant_scanning`.  The
+``sky = (right − sub) ∪ add`` derived in :func:`_scan_rows`.  The
 seed dict-based implementation is kept as
 :func:`quadrant_scanning_reference` for cross-validation and the E9c/E9d
 ablations.
+
+Construction runs through the shared
+:class:`~repro.diagram.pipeline.BuildContext` pipeline.  Because a row
+depends only on the row above it, and any row can be recomputed directly
+from the dataset (:func:`_seed_state` — a single staircase sweep over the
+points above it), the row scan shards into independent ``[lo, hi)`` row
+chunks executed by the context's
+:class:`~repro.diagram.pipeline.RowExecutor`.  Each chunk seeds its own
+entering state, scans top-down, and is relabeled into scan-order ids
+(:func:`~repro.diagram.pipeline.relabel_scan_order`) so the merged grid
+and interned table are byte-identical to the serial engine's.
 """
 
 from __future__ import annotations
@@ -39,96 +50,151 @@ import numpy as np
 
 from repro._util import multiset_add_sub
 from repro.diagram.base import SkylineDiagram
+from repro.diagram.pipeline import (
+    BuildContext,
+    BuildOptions,
+    merge_chunk_tables,
+    relabel_scan_order,
+)
 from repro.diagram.store import ResultStore
 from repro.errors import BudgetExceededError, DimensionalityError
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, ensure_dataset
-from repro.resilience import BudgetMeter, BuildBudget, PartialDiagram, as_meter
+from repro.resilience import BudgetMeter, BuildBudget, PartialDiagram
 
 
-def quadrant_scanning(
-    points: Dataset | Sequence[Sequence[float]],
-    intern_results: bool = True,
-    budget: BuildBudget | BudgetMeter | None = None,
-) -> SkylineDiagram:
-    """Build the first-quadrant skyline diagram with Algorithm 3.
+def _corner_rows(
+    grid: Grid,
+) -> tuple[list[dict[int, tuple[int, ...]]], list[list[int]]]:
+    """Point corners per cell row, with columns descending (the scan order).
 
-    ``intern_results`` selects the id-based array engine (the default);
-    turning it off falls back to the plain-tuple reference path — a pure
-    ablation arm (E9c) producing an identical diagram.
-
-    ``budget`` bounds the construction cooperatively: the scan checkpoints
-    once per completed row, and on exhaustion raises
-    :class:`~repro.errors.BudgetExceededError` carrying a
-    :class:`~repro.resilience.PartialDiagram` over the rows already built
-    (the scan runs top row down, so the completed suffix is exact).  The
-    reference path ignores the budget — it exists for ablations, not
-    serving.
-
-    >>> diagram = quadrant_scanning([(2, 8), (5, 4), (9, 1)])
-    >>> diagram.result_at((0, 0))
-    (0, 1, 2)
+    The cell (i, j) owns the grid intersection at ranks (i + 1, j + 1), so
+    a point with ranks (rx, ry) is the corner of cell (rx - 1, ry - 1).
     """
-    dataset = ensure_dataset(points)
-    if dataset.dim != 2:
-        raise DimensionalityError(
-            "quadrant_scanning is 2-D; use diagram.highdim for d > 2"
-        )
-    if not intern_results:
-        return quadrant_scanning_reference(dataset, intern_results=False)
-    meter = as_meter(budget)
-    grid = Grid(dataset)
     sx, sy = grid.shape
-
-    # Point corners per cell row: the cell (i, j) owns the grid intersection
-    # at ranks (i + 1, j + 1), so a point with ranks (rx, ry) is the corner
-    # of cell (rx - 1, ry - 1).  Columns are kept descending, the scan order.
     row_corners: list[dict[int, tuple[int, ...]]] = [{} for _ in range(sy)]
     for (rx, ry), pids in grid._corner_index.items():
         row_corners[ry - 1][rx - 1] = pids
     row_corner_cols: list[list[int]] = [
         sorted(cols, reverse=True) for cols in row_corners
     ]
+    return row_corners, row_corner_cols
 
-    # Interned results, addressed by id.  ``table`` holds the canonical
-    # sorted tuples, on which the recurrence runs directly.  Cell results
-    # are always id-*sets* (duplicate points get distinct ids), so the
-    # saturating multiset expression ``right + up - up_right`` admits a
-    # delta form: writing the upper row's transition at column i as exact
-    # set deltas ``up = up_right + add - sub`` (``add = up − up_right`` and
-    # ``sub = up_right − up``), a membership-count case split gives
-    #
-    #     sky = (right − sub) ∪ add
-    #
-    # — an id of ``add`` is in two additive terms, so one subtraction can
-    # never cancel it (1 + 1 − 1, clamped); an id of ``sub`` is subtracted
-    # once against at most one addition; all other ids follow ``right``.
-    # ``add``/``sub`` are tiny (a point entering/leaving the skyline), so
-    # the new result is built by deleting/insorting a couple of ids in the
-    # already-sorted right neighbour — no sort, no set objects — and the
-    # cell's own deltas against its right neighbour come out in
-    # small-operand scans: ``sky − right = add − right`` and
-    # ``right − sky = (right ∩ sub) − add``.
+
+def _seed_state(
+    grid: Grid, hi: int
+) -> tuple[
+    list[int],
+    list[int],
+    list[tuple[tuple[int, ...], tuple[int, ...]]],
+    list[tuple[int, ...]],
+    dict[tuple[int, ...], int],
+]:
+    """Scan state entering row ``hi - 1``: row ``hi`` rebuilt independently.
+
+    The top-down scan carries three things between rows: the upper row's
+    ids, the columns where that row's value changes, and the change's
+    ``(add, sub)`` deltas.  A chunk worker entering the grid at row
+    ``hi - 1`` recomputes all three for row ``hi`` from the dataset alone:
+    ``Sky(C_{i,hi})`` is the rank-space staircase of the points strictly
+    above the row (ranks ``ry > hi``) restricted to columns right of
+    ``i``, so one descending sweep maintaining the staircase yields every
+    transition — the entrant group is the exact ``add``, the staircase
+    members it evicts are the exact ``sub``.
+
+    Returns ``(upper, diff_events, diff_deltas, table, intern)`` with
+    table/intern holding the seed row's interned values (id 0 is the empty
+    result, as everywhere).
+    """
+    sx, sy = grid.shape
     table: list[tuple[int, ...]] = [()]
     intern: dict[tuple[int, ...], int] = {(): 0}
-    table_append = table.append
-    intern_get = intern.get
-    rows = np.empty((sy, sx), dtype=np.int32)  # row j contiguous; .T at end
-    # upper[i] holds the id of Sky(C_{i,j+1}); index sx is the off-grid
-    # sentinel column whose skyline is empty (id 0), as is the whole
-    # conceptual row above the grid.  Runs average only a couple of cells
-    # on fragmented diagrams, so rows are plain Python lists: per-cell list
-    # writes beat numpy's per-slice overhead at that granularity.
     upper: list[int] = [0] * (sx + 1)
-    # Columns (descending) where the upper row's id differs from its right
-    # neighbour, with the transition's ``(add, sub)`` delta pair in an
-    # aligned list.  The diagram rows are produced right-to-left, so the
-    # next row's diff columns fall out of the scan for free: a value can
-    # only change where this row had an event.
     diff_events: list[int] = []
     diff_deltas: list[tuple[tuple[int, ...], tuple[int, ...]]] = []
+    if hi >= sy:  # the conceptual row above the grid: all empty
+        return upper, diff_events, diff_deltas, table, intern
+    # Candidates, bucketed by cell column.  Within a column only the lowest
+    # duplicate group can appear in the row (it dominates the others).
+    by_col: dict[int, tuple[int, tuple[int, ...]]] = {}
+    for (rx, ry), pids in grid._corner_index.items():
+        if ry > hi:
+            col = rx - 1
+            cur = by_col.get(col)
+            if cur is None or ry < cur[0]:
+                by_col[col] = (ry, pids)
+    stair: list[tuple[int, tuple[int, ...]]] = []  # ry ascending
+    transitions: list[tuple[int, int]] = []  # (column, interned id), desc
+    for col in sorted(by_col, reverse=True):
+        min_ry, group = by_col[col]
+        evicted: list[int] = []
+        while stair and stair[-1][0] >= min_ry:
+            evicted.extend(stair.pop()[1])
+        stair.append((min_ry, group))
+        sky = tuple(sorted(pid for _, pids in stair for pid in pids))
+        rid = intern.get(sky)
+        if rid is None:
+            rid = len(table)
+            table.append(sky)
+            intern[sky] = rid
+        diff_events.append(col)
+        diff_deltas.append((group, tuple(sorted(evicted))))
+        transitions.append((col, rid))
+    prev_col: int | None = None
+    prev_rid = 0
+    for col, rid in transitions:
+        if prev_col is not None:
+            for i in range(col + 1, prev_col + 1):
+                upper[i] = prev_rid
+        prev_col, prev_rid = col, rid
+    if prev_col is not None:
+        for i in range(prev_col + 1):
+            upper[i] = prev_rid
+    return upper, diff_events, diff_deltas, table, intern
+
+
+def _scan_rows(
+    sx: int,
+    row_corners: list[dict[int, tuple[int, ...]]],
+    row_corner_cols: list[list[int]],
+    lo: int,
+    hi: int,
+    upper: list[int],
+    diff_events: list[int],
+    diff_deltas: list[tuple[tuple[int, ...], tuple[int, ...]]],
+    table: list[tuple[int, ...]],
+    intern: dict[tuple[int, ...], int],
+    rows: np.ndarray,
+    base: int,
+    on_row=None,
+) -> None:
+    """The delta-form row kernel: scan rows ``hi - 1`` down to ``lo``.
+
+    Cell results are always id-*sets* (duplicate points get distinct ids),
+    so the saturating multiset expression ``right + up - up_right`` admits
+    a delta form: writing the upper row's transition at column i as exact
+    set deltas ``up = up_right + add - sub`` (``add = up − up_right`` and
+    ``sub = up_right − up``), a membership-count case split gives
+
+        sky = (right − sub) ∪ add
+
+    — an id of ``add`` is in two additive terms, so one subtraction can
+    never cancel it (1 + 1 − 1, clamped); an id of ``sub`` is subtracted
+    once against at most one addition; all other ids follow ``right``.
+    ``add``/``sub`` are tiny (a point entering/leaving the skyline), so
+    the new result is built by deleting/insorting a couple of ids in the
+    already-sorted right neighbour — no sort, no set objects — and the
+    cell's own deltas against its right neighbour come out in
+    small-operand scans: ``sky − right = add − right`` and
+    ``right − sky = (right ∩ sub) − add``.
+
+    Row ``j`` is written to ``rows[j - base]``; ``on_row(j)`` runs after
+    each completed row (the serial path's budget checkpoint).
+    """
+    table_append = table.append
+    intern_get = intern.get
     empty: tuple[int, ...] = ()
-    for j in range(sy - 1, -1, -1):
+    for j in range(hi - 1, lo - 1, -1):
         current = [0] * (sx + 1)
         corner_at = row_corners[j]
         corner_cols = row_corner_cols[j]
@@ -240,10 +306,98 @@ def quadrant_scanning(
             run_end = i
         if run_end > 0:
             current[0:run_end] = [val] * run_end
-        rows[j] = current[:sx]
-        if meter is not None:
+        rows[j - base] = current[:sx]
+        if on_row is not None:
+            on_row(j)
+        upper = current
+        diff_events = next_diff
+        diff_deltas = next_deltas
+
+
+def _quadrant_chunk_job(job):
+    """One row-chunk worker: picklable, sees only points + a row range.
+
+    Rebuilds the grid (rank compression is cheap relative to the scan),
+    seeds the entering state for its chunk, scans, and relabels its local
+    ids into scan-order-first-occurrence so chunks merge deterministically.
+    """
+    points, lo, hi = job
+    grid = Grid(Dataset(points))
+    sx, _ = grid.shape
+    row_corners, row_corner_cols = _corner_rows(grid)
+    upper, diff_events, diff_deltas, table, intern = _seed_state(grid, hi)
+    local = np.empty((hi - lo, sx), dtype=np.int32)
+    _scan_rows(
+        sx,
+        row_corners,
+        row_corner_cols,
+        lo,
+        hi,
+        upper,
+        diff_events,
+        diff_deltas,
+        table,
+        intern,
+        local,
+        lo,
+    )
+    return relabel_scan_order(local, table, flip=True)
+
+
+def quadrant_scanning(
+    points: Dataset | Sequence[Sequence[float]],
+    intern_results: bool = True,
+    budget: BuildBudget | BudgetMeter | None = None,
+    build_options: BuildOptions | None = None,
+) -> SkylineDiagram:
+    """Build the first-quadrant skyline diagram with Algorithm 3.
+
+    ``intern_results`` selects the id-based array engine (the default);
+    turning it off falls back to the plain-tuple reference path — a pure
+    ablation arm (E9c) producing an identical diagram.
+
+    ``budget`` bounds the construction cooperatively: the scan checkpoints
+    once per completed row, and on exhaustion raises
+    :class:`~repro.errors.BudgetExceededError` carrying a
+    :class:`~repro.resilience.PartialDiagram` over the rows already built
+    (the scan runs top row down, so the completed suffix is exact).  The
+    reference path ignores the budget — it exists for ablations, not
+    serving.
+
+    ``build_options`` selects the row executor (serial or process pool)
+    and chunking; sharded builds produce byte-identical stores but carry
+    no partial on interruption (chunk results are not a serving-ordered
+    row prefix), so the degradation ladder falls through to scratch.
+
+    >>> diagram = quadrant_scanning([(2, 8), (5, 4), (9, 1)])
+    >>> diagram.result_at((0, 0))
+    (0, 1, 2)
+    """
+    dataset = ensure_dataset(points)
+    if dataset.dim != 2:
+        raise DimensionalityError(
+            "quadrant_scanning is 2-D; use diagram.highdim for d > 2"
+        )
+    if not intern_results:
+        return quadrant_scanning_reference(dataset, intern_results=False)
+    ctx = BuildContext(
+        budget, build_options, algorithm="scanning", kind="quadrant"
+    )
+    with ctx.phase("rank_space"):
+        grid = Grid(dataset)
+        sx, sy = grid.shape
+        row_corners, row_corner_cols = _corner_rows(grid)
+    chunks = ctx.row_chunks(sy, topmost_first=True)
+    rows = np.empty((sy, sx), dtype=np.int32)
+    if len(chunks) == 1:
+        # Unsharded fast path: per-row checkpoints carry an exact partial
+        # over the completed row suffix.
+        table: list[tuple[int, ...]] = [()]
+        intern: dict[tuple[int, ...], int] = {(): 0}
+
+        def on_row(j: int) -> None:
             try:
-                meter.checkpoint(advance=sx, distinct=len(table))
+                ctx.checkpoint(advance=sx, distinct=len(table))
             except BudgetExceededError as exc:
                 if exc.partial is None:
                     exc.partial = PartialDiagram(
@@ -253,11 +407,47 @@ def quadrant_scanning(
                         boundary_exact=True,
                     )
                 raise
-        upper = current
-        diff_events = next_diff
-        diff_deltas = next_deltas
-    store = ResultStore((sx, sy), np.ascontiguousarray(rows.T), table)
-    return SkylineDiagram(grid, store, kind="quadrant", algorithm="scanning")
+
+        with ctx.phase("row_scan"):
+            _scan_rows(
+                sx,
+                row_corners,
+                row_corner_cols,
+                0,
+                sy,
+                [0] * (sx + 1),
+                [],
+                [],
+                table,
+                intern,
+                rows,
+                0,
+                on_row,
+            )
+            ctx.count_rows(sy)
+        with ctx.phase("intern"):
+            ctx.checkpoint(distinct=len(table))
+    else:
+        pts = dataset.points
+        jobs = [(pts, lo, hi) for lo, hi in chunks]
+
+        def on_chunk(job, result) -> None:
+            _, lo, hi = job
+            ctx.count_rows(hi - lo)
+            for _ in range(hi - lo):
+                ctx.checkpoint(advance=sx)
+
+        with ctx.phase("row_scan"):
+            parts = ctx.executor.run(_quadrant_chunk_job, jobs, on_chunk)
+        with ctx.phase("intern"):
+            table = merge_chunk_tables(chunks, parts, rows)
+            ctx.checkpoint(distinct=len(table))
+    with ctx.phase("assemble"):
+        store = ResultStore((sx, sy), np.ascontiguousarray(rows.T), table)
+        diagram = SkylineDiagram(
+            grid, store, kind="quadrant", algorithm="scanning"
+        )
+    return ctx.finish(diagram)
 
 
 def quadrant_scanning_reference(

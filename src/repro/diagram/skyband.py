@@ -24,12 +24,13 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.diagram.base import SkylineDiagram
+from repro.diagram.pipeline import BuildContext, BuildOptions
 from repro.dsg.graph import DirectedSkylineGraph
 from repro.errors import AuditError, BudgetExceededError, DimensionalityError
 from repro.geometry.dominance import dominates
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, ensure_dataset
-from repro.resilience import BudgetMeter, BuildBudget, PartialDiagram, as_meter
+from repro.resilience import BudgetMeter, BuildBudget, PartialDiagram
 
 
 class SkybandDiagram(SkylineDiagram):
@@ -85,6 +86,7 @@ def skyband_baseline(
     points: Dataset | Sequence[Sequence[float]],
     k: int,
     budget: BuildBudget | BudgetMeter | None = None,
+    build_options: BuildOptions | None = None,
 ) -> SkybandDiagram:
     """Per-cell dominator counting (the Algorithm 1 analogue), O(n^4).
 
@@ -94,34 +96,47 @@ def skyband_baseline(
     """
     dataset = ensure_dataset(points)
     _validate(dataset, k)
-    meter = as_meter(budget)
-    grid = Grid(dataset)
-    sx, sy = grid.shape
+    # Column-major with per-cell recomputation: inherently sequential, so
+    # the context pins the executor to serial regardless of the options.
+    ctx = BuildContext(
+        budget,
+        build_options,
+        algorithm="baseline",
+        kind="skyband",
+        serial_only=True,
+    )
+    with ctx.phase("rank_space"):
+        grid = Grid(dataset)
+        sx, sy = grid.shape
     pts = dataset.points
     ranks = grid.ranks
     results: dict[tuple[int, int], tuple[int, ...]] = {}
-    for i in range(sx):
-        column = [pid for pid in range(len(pts)) if ranks[pid][0] > i]
-        for j in range(sy):
-            candidates = [pid for pid in column if ranks[pid][1] > j]
-            band: list[int] = []
-            for a in candidates:
-                dominators = sum(
-                    1 for b in candidates if dominates(pts[b], pts[a])
-                )
-                if dominators < k:
-                    band.append(a)
-            results[(i, j)] = tuple(band)
-        if meter is not None:
+    with ctx.phase("row_scan"):
+        for i in range(sx):
+            column = [pid for pid in range(len(pts)) if ranks[pid][0] > i]
+            for j in range(sy):
+                candidates = [pid for pid in column if ranks[pid][1] > j]
+                band: list[int] = []
+                for a in candidates:
+                    dominators = sum(
+                        1 for b in candidates if dominates(pts[b], pts[a])
+                    )
+                    if dominators < k:
+                        band.append(a)
+                results[(i, j)] = tuple(band)
             # Column-major fill: no whole completed query rows to salvage.
-            meter.checkpoint(advance=sy)
-    return SkybandDiagram(grid, results, k=k, algorithm="baseline")
+            ctx.checkpoint(advance=sy)
+        ctx.count_rows(sx)
+    with ctx.phase("assemble"):
+        diagram = SkybandDiagram(grid, results, k=k, algorithm="baseline")
+    return ctx.finish(diagram)
 
 
 def skyband_sweep(
     points: Dataset | Sequence[Sequence[float]],
     k: int,
     budget: BuildBudget | BudgetMeter | None = None,
+    build_options: BuildOptions | None = None,
 ) -> SkybandDiagram:
     """Incremental dominator-count sweep (the Algorithm 2 analogue).
 
@@ -141,33 +156,42 @@ def skyband_sweep(
     """
     dataset = ensure_dataset(points)
     _validate(dataset, k)
-    meter = as_meter(budget)
-    grid = Grid(dataset)
-    dsg = DirectedSkylineGraph(dataset, links="full", threshold=k)
-    sx, sy = grid.shape
-    on_vline: list[list[int]] = [[] for _ in range(sx)]
-    on_hline: list[list[int]] = [[] for _ in range(sy)]
-    for pid, (rx, ry) in enumerate(grid.ranks):
-        on_vline[rx].append(pid)
-        on_hline[ry].append(pid)
+    # The sweep mutates one shared dominance graph row to row — a
+    # sequential dependency — so the executor is pinned to serial.
+    ctx = BuildContext(
+        budget,
+        build_options,
+        algorithm="sweep",
+        kind="skyband",
+        serial_only=True,
+    )
+    with ctx.phase("rank_space"):
+        grid = Grid(dataset)
+        dsg = DirectedSkylineGraph(dataset, links="full", threshold=k)
+        sx, sy = grid.shape
+        on_vline: list[list[int]] = [[] for _ in range(sx)]
+        on_hline: list[list[int]] = [[] for _ in range(sy)]
+        for pid, (rx, ry) in enumerate(grid.ranks):
+            on_vline[rx].append(pid)
+            on_hline[ry].append(pid)
 
     results: dict[tuple[int, int], tuple[int, ...]] = {}
-    row_band = set(dsg.skyline())
-    base = dsg.checkpoint()
-    for j in range(sy):
-        band = set(row_band)
-        row_checkpoint = dsg.checkpoint()
-        for i in range(sx):
-            results[(i, j)] = tuple(sorted(band))
-            if i + 1 < sx:
-                crossing = on_vline[i + 1]
-                exposed = dsg.remove_batch(crossing)
-                band.difference_update(crossing)
-                band.update(exposed)
-        dsg.rollback(row_checkpoint)
-        if meter is not None:
+    with ctx.phase("row_scan"):
+        row_band = set(dsg.skyline())
+        base = dsg.checkpoint()
+        for j in range(sy):
+            band = set(row_band)
+            row_checkpoint = dsg.checkpoint()
+            for i in range(sx):
+                results[(i, j)] = tuple(sorted(band))
+                if i + 1 < sx:
+                    crossing = on_vline[i + 1]
+                    exposed = dsg.remove_batch(crossing)
+                    band.difference_update(crossing)
+                    band.update(exposed)
+            dsg.rollback(row_checkpoint)
             try:
-                meter.checkpoint(advance=sx)
+                ctx.checkpoint(advance=sx)
             except BudgetExceededError as exc:
                 if exc.partial is None:
                     exc.partial = PartialDiagram(
@@ -180,10 +204,13 @@ def skyband_sweep(
                         boundary_exact=True,
                     )
                 raise
-        if j + 1 < sy:
-            crossing = on_hline[j + 1]
-            exposed = dsg.remove_batch(crossing)
-            row_band.difference_update(crossing)
-            row_band.update(exposed)
-    dsg.rollback(base)
-    return SkybandDiagram(grid, results, k=k, algorithm="sweep")
+            if j + 1 < sy:
+                crossing = on_hline[j + 1]
+                exposed = dsg.remove_batch(crossing)
+                row_band.difference_update(crossing)
+                row_band.update(exposed)
+        dsg.rollback(base)
+        ctx.count_rows(sy)
+    with ctx.phase("assemble"):
+        diagram = SkybandDiagram(grid, results, k=k, algorithm="sweep")
+    return ctx.finish(diagram)

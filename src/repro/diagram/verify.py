@@ -276,6 +276,26 @@ def _pair_checks() -> list[tuple[str, Check, str]]:
             return (True, True)
         return (a.store.to_dict(), b.store.to_dict())
 
+    def chunked(build) -> Check:
+        from repro.diagram.pipeline import BuildOptions
+
+        options = BuildOptions(chunk_rows=2)
+
+        def check(points: Points) -> tuple[object, object]:
+            a = build(points)
+            b = build(points, build_options=options)
+            if a == b:
+                return (True, True)
+            return (a.store.to_dict(), b.store.to_dict())
+
+        return check
+
+    chunk_template = (
+        "from repro.diagram import BuildOptions, {a}\n"
+        "assert {a}(points) == "
+        "{a}(points, build_options=BuildOptions(chunk_rows=2))"
+    )
+
     template = (
         "from repro.diagram import {a}, {b}\n"
         "assert {a}(points) == {b}(points)"
@@ -316,6 +336,16 @@ def _pair_checks() -> list[tuple[str, Check, str]]:
             "quadrant_scanning\n"
             "assert global_diagram(points, quadrant_scanning) == "
             "global_diagram(points, quadrant_baseline)",
+        ),
+        (
+            "pair:quadrant:serial==chunked",
+            chunked(quadrant_scanning),
+            chunk_template.format(a="quadrant_scanning"),
+        ),
+        (
+            "pair:dynamic:serial==chunked",
+            chunked(dynamic_scanning),
+            chunk_template.format(a="dynamic_scanning"),
         ),
     ]
 

@@ -29,6 +29,7 @@ self-audited (with eviction of corrupted diagrams) through :meth:`audit`.
 from __future__ import annotations
 
 import time
+import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 from typing import NamedTuple
@@ -37,6 +38,7 @@ from repro.diagram.base import DynamicDiagram, SkylineDiagram
 from repro.diagram.dynamic_scanning import dynamic_scanning
 from repro.diagram.global_diagram import global_diagram, quadrant_diagram_for_mask
 from repro.diagram.highdim import quadrant_scanning_nd
+from repro.diagram.pipeline import BuildOptions
 from repro.diagram.quadrant_scanning import quadrant_scanning
 from repro.errors import (
     AuditError,
@@ -61,11 +63,18 @@ SERVING_TIERS = ("diagram", "partial", "scratch")
 
 
 class QueryAnswer(NamedTuple):
-    """A query result annotated with the ladder tier that produced it."""
+    """A query result annotated with the ladder tier that produced it.
+
+    ``report`` carries the serving diagram's
+    :class:`~repro.diagram.pipeline.BuildReport` when the ``diagram`` tier
+    answered (``None`` for partial/scratch tiers and pipeline-less
+    diagrams).
+    """
 
     result: tuple[int, ...]
     served_from: str
     key: str
+    report: object = None
 
 
 @dataclass
@@ -78,6 +87,7 @@ class _BuildState:
     next_retry: float | None = None
     partial: object | None = None
     fingerprint: str | None = None
+    report: object | None = None  # pipeline BuildReport of the last build
 
 
 class SkylineDatabase:
@@ -102,6 +112,12 @@ class SkylineDatabase:
     backoff_base / backoff_cap:
         Exponential retry backoff for failed builds, in seconds:
         ``min(cap, base * 2**(attempts - 1))``.
+    build_options:
+        A :class:`~repro.diagram.pipeline.BuildOptions` threaded into
+        every diagram construction — row executor (serial or process
+        pool), chunking and telemetry sink.  Executors never change the
+        built diagram (sharded builds are byte-identical), only how the
+        construction runs.
 
     Examples
     --------
@@ -120,9 +136,11 @@ class SkylineDatabase:
         clock: Callable[[], float] | None = None,
         backoff_base: float = 0.5,
         backoff_cap: float = 60.0,
+        build_options: BuildOptions | None = None,
     ) -> None:
         self.dataset = ensure_dataset(points)
         self.budget = budget
+        self.build_options = build_options
         self._clock = clock if clock is not None else time.monotonic
         self._backoff_base = backoff_base
         self._backoff_cap = backoff_cap
@@ -205,7 +223,7 @@ class SkylineDatabase:
             def build(meter):
                 return quadrant_diagram_for_mask(
                     self.dataset, mask, self._quadrant_algorithm(),
-                    budget=meter,
+                    budget=meter, build_options=self.build_options,
                 )
 
             return f"quadrant:{mask}", build
@@ -213,7 +231,8 @@ class SkylineDatabase:
 
             def build(meter):
                 return global_diagram(
-                    self.dataset, self._quadrant_algorithm(), budget=meter
+                    self.dataset, self._quadrant_algorithm(), budget=meter,
+                    build_options=self.build_options,
                 )
 
             return "global", build
@@ -225,7 +244,10 @@ class SkylineDatabase:
                 )
 
             def build(meter):
-                return dynamic_scanning(self.dataset, budget=meter)
+                return dynamic_scanning(
+                    self.dataset, budget=meter,
+                    build_options=self.build_options,
+                )
 
             return "dynamic", build
         if kind == "skyband":
@@ -235,7 +257,10 @@ class SkylineDatabase:
             from repro.diagram.skyband import skyband_sweep
 
             def build(meter):
-                return skyband_sweep(self.dataset, k, budget=meter)
+                return skyband_sweep(
+                    self.dataset, k, budget=meter,
+                    build_options=self.build_options,
+                )
 
             return f"skyband:{k}", build
         raise QueryError(f"unknown query kind {kind!r}")
@@ -308,6 +333,7 @@ class SkylineDatabase:
         state.partial = None
         state.next_retry = None
         state.fingerprint = diagram.store.fingerprint()
+        state.report = getattr(diagram, "build_report", None)
 
     # ------------------------------------------------------------------
     # Diagram accessors (compat properties first: tests and callers peek)
@@ -373,7 +399,10 @@ class SkylineDatabase:
         if diagram is not None:
             result = diagram.query(coords)
             self._tiers["diagram"] += 1
-            return QueryAnswer(result, "diagram", key)
+            return QueryAnswer(
+                result, "diagram", key,
+                getattr(diagram, "build_report", None),
+            )
         state = self._states[key]
         if state.partial is not None:
             try:
@@ -428,6 +457,12 @@ class SkylineDatabase:
         candidate-set boundary resolution), so the recompute fallback is
         retired and this simply delegates.
         """
+        warnings.warn(
+            "SkylineDatabase.query_exact is deprecated: query() is "
+            "boundary-exact; call query() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.query(query, kind=kind, mask=mask, k=k)
 
     def query_batch(
@@ -528,6 +563,8 @@ class SkylineDatabase:
                 entry["retry_in"] = max(0.0, state.next_retry - now)
             if state.partial is not None:
                 entry["partial_coverage"] = round(state.partial.coverage, 4)
+            if state.report is not None:
+                entry["report"] = state.report.as_dict()
             builds[key] = entry
         degraded = sorted(
             key

@@ -25,7 +25,14 @@ generators) and asserts the serving-layer contract:
   per-step audits stay green (the stale diagram is internally
   consistent!) but a differential cross-check against a from-scratch
   rebuild must expose the drift, while the fully-applied control arm
-  matches the rebuild exactly.
+  matches the rebuild exactly;
+* **parallel-consistency** — the same dataset is built serially and with
+  a sharded row executor: the ResultStores must be byte-identical and
+  the budget accounting must agree.
+
+``run_chaos(..., build_options=...)`` (CLI: ``--parallel N``) reruns the
+whole campaign with every database build going through the given
+executor, proving the fault-handling contract holds under sharding too.
 
 Driven by ``python -m repro chaos --cases N --seed S`` and by
 ``tests/test_faults.py``; fully deterministic in the seed.
@@ -38,7 +45,9 @@ import random
 import tempfile
 from dataclasses import dataclass, field
 
+from repro.diagram.dynamic_scanning import dynamic_scanning
 from repro.diagram.maintenance import insert_point
+from repro.diagram.pipeline import BuildOptions
 from repro.diagram.quadrant_scanning import quadrant_scanning
 from repro.diagram.verify import _generate_points, _generate_queries
 from repro.errors import SerializationError
@@ -107,12 +116,12 @@ def _assert_ladder_exact(
                 )
 
 
-def _scenario_cancelled_build(rng, max_points, workdir) -> None:
+def _scenario_cancelled_build(rng, max_points, workdir, options=None) -> None:
     points = _generate_points(rng, max_points)
     # Cancel at the very first checkpoint: tiny datasets finish in two,
     # and this drill requires that *no* build completes.
     with faults.cancel_build_after(1):
-        db = SkylineDatabase(points)
+        db = SkylineDatabase(points, build_options=options)
         _assert_ladder_exact(db, points, rng, forbid_tier="diagram")
         health = db.health()
         assert health["tiers"]["diagram"] == 0, health
@@ -124,10 +133,10 @@ def _scenario_cancelled_build(rng, max_points, workdir) -> None:
     assert db.health()["ok"]
 
 
-def _scenario_tight_budget(rng, max_points, workdir) -> None:
+def _scenario_tight_budget(rng, max_points, workdir, options=None) -> None:
     points = _generate_points(rng, max_points)
     budget = BuildBudget(max_cells=rng.choice([1, 2, 5]))
-    db = SkylineDatabase(points, budget=budget)
+    db = SkylineDatabase(points, budget=budget, build_options=options)
     _assert_ladder_exact(db, points, rng)
     health = db.health()
     for key, entry in health["builds"].items():
@@ -140,9 +149,9 @@ def _scenario_tight_budget(rng, max_points, workdir) -> None:
     assert all(v == "ready" for v in outcome.values()), outcome
 
 
-def _scenario_bitflip(rng, max_points, workdir) -> None:
+def _scenario_bitflip(rng, max_points, workdir, options=None) -> None:
     points = _generate_points(rng, max_points)
-    db = SkylineDatabase(points)
+    db = SkylineDatabase(points, build_options=options)
     kind = rng.choice(("quadrant", "global", "dynamic"))
     key = "quadrant:0" if kind == "quadrant" else kind
     query = _generate_queries(rng, points, limit=1)[0]
@@ -159,9 +168,9 @@ def _scenario_bitflip(rng, max_points, workdir) -> None:
     assert db.audit()[key] == "ok"
 
 
-def _scenario_corrupt_file(rng, max_points, workdir) -> None:
+def _scenario_corrupt_file(rng, max_points, workdir, options=None) -> None:
     points = _generate_points(rng, max_points)
-    db = SkylineDatabase(points)
+    db = SkylineDatabase(points, build_options=options)
     kind = rng.choice(("quadrant", "dynamic", "skyband"))
     if kind == "quadrant":
         diagram = db.quadrant_diagram()
@@ -199,9 +208,9 @@ def _scenario_corrupt_file(rng, max_points, workdir) -> None:
         raise AssertionError(f"{mode} damage loaded without an error")
 
 
-def _scenario_atomic_save(rng, max_points, workdir) -> None:
+def _scenario_atomic_save(rng, max_points, workdir, options=None) -> None:
     points = _generate_points(rng, max_points)
-    diagram = quadrant_scanning(points)
+    diagram = quadrant_scanning(points, build_options=options)
     path = os.path.join(workdir, "diagram.json")
     save_diagram(diagram, path)
     with open(path, "rb") as handle:
@@ -223,11 +232,14 @@ def _scenario_atomic_save(rng, max_points, workdir) -> None:
     assert reloaded.store == diagram.store
 
 
-def _scenario_clock_skew(rng, max_points, workdir) -> None:
+def _scenario_clock_skew(rng, max_points, workdir, options=None) -> None:
     points = _generate_points(rng, max_points)
     clock = faults.SteppingClock()
     db = SkylineDatabase(
-        points, budget=BuildBudget(max_cells=1), clock=clock
+        points,
+        budget=BuildBudget(max_cells=1),
+        clock=clock,
+        build_options=options,
     )
     _assert_ladder_exact(db, points, rng, kinds=("quadrant",))
     health = db.health()
@@ -242,7 +254,7 @@ def _scenario_clock_skew(rng, max_points, workdir) -> None:
     assert db.health()["ok"]
 
 
-def _scenario_stale_maintenance(rng, max_points, workdir) -> None:
+def _scenario_stale_maintenance(rng, max_points, workdir, options=None) -> None:
     points = _generate_points(rng, max_points)
     while len(points) < 3:
         points = points + [(float(len(points)), float(len(points)))]
@@ -273,6 +285,29 @@ def _scenario_stale_maintenance(rng, max_points, workdir) -> None:
     )
 
 
+def _scenario_parallel_consistency(
+    rng, max_points, workdir, options=None
+) -> None:
+    points = _generate_points(rng, max_points)
+    chunked = BuildOptions(chunk_rows=rng.choice((1, 2, 3)))
+    for build in (quadrant_scanning, dynamic_scanning):
+        serial = build(points)
+        sharded = build(points, build_options=chunked)
+        assert serial.store == sharded.store, (
+            f"{build.__name__} chunked build diverged from serial"
+        )
+        assert sharded.build_report.checkpoints == (
+            serial.build_report.checkpoints
+        ), (serial.build_report, sharded.build_report)
+        if rng.random() < 0.3:
+            pooled = build(
+                points, build_options=BuildOptions(executor="process", workers=2)
+            )
+            assert serial.store == pooled.store, (
+                f"{build.__name__} process build diverged from serial"
+            )
+
+
 _SCENARIOS = (
     ("cancelled-build", _scenario_cancelled_build),
     ("tight-budget", _scenario_tight_budget),
@@ -281,19 +316,25 @@ _SCENARIOS = (
     ("atomic-save", _scenario_atomic_save),
     ("clock-skew", _scenario_clock_skew),
     ("stale-maintenance", _scenario_stale_maintenance),
+    ("parallel-consistency", _scenario_parallel_consistency),
 )
 
 
 def run_chaos(
-    cases: int = 200, seed: int = 0, max_points: int = 7
+    cases: int = 200,
+    seed: int = 0,
+    max_points: int = 7,
+    build_options: BuildOptions | None = None,
 ) -> ChaosReport:
     """Run ``cases`` fault-injection drills round-robin over the scenarios.
 
     Deterministic in ``seed``; each case gets its own derived RNG and a
     fresh scratch directory.  Failures are collected (not fail-fast) so
-    one report shows every scenario that broke.
+    one report shows every scenario that broke.  ``build_options``
+    threads a row executor through every database construction, reusing
+    the same drills to exercise the sharded build paths.
 
-    >>> run_chaos(cases=7, seed=0).ok
+    >>> run_chaos(cases=8, seed=0).ok
     True
     """
     rng = random.Random(seed)
@@ -307,7 +348,12 @@ def run_chaos(
             report.cases += 1
             report.by_scenario[name] = report.by_scenario.get(name, 0) + 1
             try:
-                scenario(random.Random(case_seed), max_points, workdir)
+                scenario(
+                    random.Random(case_seed),
+                    max_points,
+                    workdir,
+                    options=build_options,
+                )
             except Exception as exc:  # collected, not fatal: report them all
                 report.failures.append(
                     {

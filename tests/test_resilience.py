@@ -176,7 +176,13 @@ class TestDegradationLadder:
     def test_diagram_tier_when_budget_suffices(self):
         db = SkylineDatabase(self.POINTS, budget=BuildBudget(max_cells=10**6))
         answer = db.query_annotated((1.0, 2.0), kind="quadrant")
-        assert answer == ((0, 1), "diagram", "quadrant:0")
+        assert (answer.result, answer.served_from, answer.key) == (
+            (0, 1),
+            "diagram",
+            "quadrant:0",
+        )
+        assert answer.report is not None
+        assert answer.report.executor == "serial"
 
     def test_tier_counters_accumulate(self):
         db = SkylineDatabase(self.POINTS, budget=BuildBudget(max_cells=1))
