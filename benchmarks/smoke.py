@@ -13,9 +13,14 @@ plus ``BENCH_pr4.json`` with the build-pipeline arms: serial vs
 process-pool construction at n=2000 (fingerprints asserted identical)
 and the per-phase ``BuildReport`` breakdown.  ``cpu_count`` is recorded
 alongside — on a single-core machine the process pool cannot win on
-wall clock and the numbers say so honestly.  All timings are best-of-N
-wall clock (``repro.bench.harness.time_call``), the least
-noise-sensitive estimator on a shared machine.
+wall clock and the numbers say so honestly.  ``BENCH_pr5.json`` adds
+the query-runtime arms: single vs batch answering through
+``SkylineDatabase`` (one planner, batch-of-1 semantics asserted equal)
+and the degraded ladder under an impossible build budget, with the
+``MetricsRegistry`` snapshot recorded so per-kind/per-tier latency
+ships with the numbers.  All timings are best-of-N wall clock
+(``repro.bench.harness.time_call``), the least noise-sensitive
+estimator on a shared machine.
 
 Usage::
 
@@ -157,6 +162,57 @@ def pipeline_construction(n: int, workers: int) -> dict:
     }
 
 
+def query_runtime(n: int, batch: int) -> dict:
+    """Single vs batch vs degraded answering through the planner.
+
+    All three arms run against ``SkylineDatabase`` so the measured path
+    is the unified runtime (planner -> kernel), not the raw diagram.
+    Batch and single answers are asserted equal, and the degraded arm
+    (impossible build budget, no partial) is pure from-scratch ladder
+    cost.  The shared registry's snapshot is returned alongside the
+    timings.
+    """
+    from repro.index.engine import SkylineDatabase
+    from repro.query.metrics import MetricsRegistry
+    from repro.resilience import BuildBudget
+
+    points = dataset("independent", n)
+    rng = random.Random(batch)
+    queries = [(rng.random(), rng.random()) for _ in range(batch)]
+    registry = MetricsRegistry()
+    db = SkylineDatabase(points, metrics=registry)
+    kind = "quadrant"
+    db.query(queries[0], kind=kind)  # warm; builds are not query latency
+    assert db.query_batch(queries, kind=kind) == [
+        db.query(q, kind=kind) for q in queries
+    ], "planner batch answers diverged from single answers"
+    single_s = time_call(
+        lambda: [db.query(q, kind=kind) for q in queries], repeats=3
+    )
+    batch_s = time_call(
+        lambda: db.query_batch(queries, kind=kind), repeats=5
+    )
+    degraded = SkylineDatabase(
+        points, budget=BuildBudget(max_cells=1), metrics=registry
+    )
+    degraded_queries = queries[: max(1, batch // 100)]
+    degraded_s = time_call(
+        lambda: [degraded.query(q, kind=kind) for q in degraded_queries],
+        repeats=3,
+    )
+    return {
+        "n": n,
+        "queries": batch,
+        "single_s": single_s,
+        "batch_s": batch_s,
+        "batch_speedup": single_s / batch_s,
+        "degraded_queries": len(degraded_queries),
+        "degraded_s": degraded_s,
+        "degraded_per_query_s": degraded_s / len(degraded_queries),
+        "metrics": registry.snapshot(),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -194,11 +250,22 @@ def main(argv: list[str] | None = None) -> int:
     }
     pr4_out = save_json(args.out.parent / "BENCH_pr4.json", pipeline)
 
+    runtime = {
+        "benchmark": "pr5-query-runtime-smoke",
+        "timer": "best-of-N wall clock (time_call)",
+        "query_runtime": query_runtime(
+            512 if args.quick else 1024, 1000 if args.quick else 10_000
+        ),
+    }
+    pr5_out = save_json(args.out.parent / "BENCH_pr5.json", runtime)
+
     cons = payload["headline"]["construction"]
     batch = payload["headline"]["batch_query"]
     pipe = pipeline["construction"]
+    run = runtime["query_runtime"]
     print(f"wrote {out}")
     print(f"wrote {pr4_out}")
+    print(f"wrote {pr5_out}")
     print(
         f"pipeline n={pipe['n']} (cpus={pipe['cpu_count']}): "
         f"serial {pipe['serial_s']:.2f}s vs process[{pipe['workers']}] "
@@ -215,6 +282,13 @@ def main(argv: list[str] | None = None) -> int:
         f"batch {batch['batch_s'] * 1e3:.1f}ms vs per-point "
         f"{batch['per_point_s'] * 1e3:.1f}ms ({batch['speedup']:.2f}x, "
         f"{batch['batch_queries_per_s']:.0f} q/s)"
+    )
+    print(
+        f"query runtime n={run['n']}, {run['queries']} queries: "
+        f"single {run['single_s'] * 1e3:.1f}ms vs batch "
+        f"{run['batch_s'] * 1e3:.1f}ms ({run['batch_speedup']:.2f}x); "
+        f"degraded {run['degraded_per_query_s'] * 1e6:.0f}us/query "
+        f"over {run['degraded_queries']} queries"
     )
     return 0
 

@@ -116,6 +116,69 @@ def _load_diagram(path: str):
     return load_diagram(path)
 
 
+def _stats_chaos(args: argparse.Namespace) -> int:
+    """Run a chaos campaign and print its query-runtime metrics."""
+    from repro.query.metrics import MetricsRegistry, format_snapshot
+    from repro.testing.chaos import run_chaos
+
+    registry = MetricsRegistry()
+    report = run_chaos(
+        cases=args.cases,
+        seed=args.seed,
+        build_options=_build_options(args),
+        metrics=registry,
+    )
+    print(report.summary())
+    print(format_snapshot(registry.snapshot()))
+    return 0 if report.ok else 1
+
+
+def _stats_workload(args: argparse.Namespace) -> int:
+    """Synthetic single/batch/degraded workload; print the snapshot."""
+    import random
+
+    from repro.index.engine import SkylineDatabase
+    from repro.query.metrics import MetricsRegistry, format_snapshot
+    from repro.resilience import BuildBudget
+
+    rng = random.Random(args.seed)
+    points = generate_points(
+        "independent", args.n, dim=2, seed=args.seed
+    )
+    queries = [(rng.random(), rng.random()) for _ in range(args.workload)]
+    registry = MetricsRegistry()
+    options = _build_options(args)
+    db = SkylineDatabase(
+        points, build_options=options, metrics=registry
+    )
+    for kind in ("quadrant", "global"):
+        for query in queries[: max(1, len(queries) // 4)]:
+            db.query(query, kind=kind)
+        db.query_batch(queries, kind=kind)
+    # The dynamic diagram's subcell grid is quadratic in n along each
+    # axis, so its arm runs on a capped prefix of the dataset.
+    dynamic_db = SkylineDatabase(
+        list(points)[: min(args.n, 32)],
+        build_options=options,
+        metrics=registry,
+    )
+    for query in queries[: max(1, len(queries) // 4)]:
+        dynamic_db.query(query, kind="dynamic")
+    dynamic_db.query_batch(queries, kind="dynamic")
+    # The degraded arm: an impossible budget forces the ladder's lower
+    # tiers into the same registry.
+    degraded = SkylineDatabase(
+        points,
+        budget=BuildBudget(max_cells=1),
+        build_options=options,
+        metrics=registry,
+    )
+    for query in queries[: max(1, len(queries) // 8)]:
+        degraded.query(query, kind="quadrant")
+    print(format_snapshot(registry.snapshot()))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="skyline-diagram",
@@ -169,8 +232,39 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("info", help="summarize a dataset or saved diagram")
     p.add_argument("path", help="CSV dataset or JSON diagram")
 
-    p = sub.add_parser("stats", help="structural statistics of a diagram")
-    p.add_argument("diagram", help="JSON diagram produced by 'build'")
+    p = sub.add_parser(
+        "stats",
+        help="diagram statistics, or query-runtime metrics "
+        "(--chaos / --workload)",
+    )
+    p.add_argument(
+        "diagram",
+        nargs="?",
+        help="JSON diagram produced by 'build' (structural statistics)",
+    )
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run a chaos campaign and print its query-runtime metrics",
+    )
+    p.add_argument(
+        "--workload",
+        type=int,
+        default=None,
+        metavar="M",
+        help="run an M-query synthetic workload (single + batch + degraded "
+        "tiers) and print the metrics snapshot",
+    )
+    p.add_argument("--cases", type=int, default=64, help="chaos cases")
+    p.add_argument("--n", type=int, default=256, help="workload dataset size")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="thread a process-pool row executor through the builds",
+    )
 
     p = sub.add_parser("skyband", help="answer a k-skyband query from CSV")
     p.add_argument("points", help="CSV file of points")
@@ -269,6 +363,14 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(ascii_diagram(diagram))
         return 0
     if args.command == "stats":
+        if args.chaos:
+            return _stats_chaos(args)
+        if args.workload is not None:
+            return _stats_workload(args)
+        if args.diagram is None:
+            raise ValueError(
+                "stats needs a diagram path, --chaos, or --workload M"
+            )
         from repro.diagram.statistics import diagram_statistics
 
         stats = diagram_statistics(_load_diagram(args.diagram))

@@ -9,6 +9,11 @@ construction algorithms are cross-validated.
 A :class:`DynamicDiagram` is the same thing over the bisector-augmented
 :class:`~repro.geometry.subcell.SubcellGrid`.
 
+Both classes are thin wrappers around the shared lookup runtime: every
+query — single, vectorized batch, boundary-exact detour — delegates to
+one :class:`~repro.query.kernel.QueryKernel`, parameterized only by
+orientation/edge-ownership mode (``closed_edge`` for quadrant/skyband,
+``global_union`` for global, ``dynamic_union`` for dynamic diagrams).
 Lookups are *boundary-exact*: a query lying exactly on a grid line gets
 the same answer as from-scratch evaluation.  Every grid edge is owned by
 (closed on) exactly one of its two adjacent cells per axis — the lower
@@ -33,20 +38,134 @@ from __future__ import annotations
 from collections.abc import Sequence
 from typing import Iterator
 
-import numpy as np
-
 from repro._util import multiset_add_sub
 from repro.diagram.store import ResultStore
 from repro.errors import AuditError, QueryError, SerializationError
-from repro.geometry.grid import Grid, as_query_array
+from repro.geometry.grid import Grid
 from repro.geometry.polyomino import Polyomino
 from repro.geometry.subcell import SubcellGrid
+from repro.query.kernel import QueryKernel
 
 Cell = tuple[int, ...]
 Result = tuple[int, ...]
 
 
-class SkylineDiagram:
+class _StoreBackedDiagram:
+    """Shared plumbing behind both diagram classes.
+
+    Subclasses own construction, equality, and the semantic audit hook
+    (:meth:`_audit_semantics`, overridden e.g. by ``SkybandDiagram``);
+    every lookup goes through the one shared
+    :class:`~repro.query.kernel.QueryKernel` that
+    :meth:`_make_kernel` configures per diagram flavour.
+    """
+
+    __slots__ = ()
+
+    # -- subclass contract --------------------------------------------
+    def _make_kernel(self) -> QueryKernel:
+        raise NotImplementedError
+
+    def _audit_semantics(self, level: str, sample_stride: int) -> None:
+        raise NotImplementedError
+
+    # -- store views ---------------------------------------------------
+    @property
+    def store(self) -> ResultStore:
+        """The compact array-backed result store."""
+        return self._store
+
+    def result_at(self, cell: Cell) -> Result:
+        """Canonical skyline result of one cell."""
+        return self._store.result_at(cell)
+
+    def cells(self) -> Iterator[tuple[Cell, Result]]:
+        """Iterate over ``(cell, result)`` pairs (row-major order)."""
+        return self._store.items()
+
+    def distinct_results(self) -> set[Result]:
+        """The set of distinct results across all cells."""
+        return self._store.distinct_results()
+
+    # -- the query runtime ---------------------------------------------
+    @property
+    def kernel(self) -> QueryKernel:
+        """The diagram's lookup kernel (created lazily, then cached)."""
+        kernel = self._kernel
+        if kernel is None:
+            kernel = self._kernel = self._make_kernel()
+        return kernel
+
+    def query(self, query: Sequence[float]) -> Result:
+        """Answer one query by point location (O(d log n)).
+
+        Boundary-exact: agrees with from-scratch evaluation everywhere,
+        including queries exactly on grid lines.  Quadrant diagrams get
+        this for free from the per-axis closed side; global and dynamic
+        diagrams resolve boundary queries from the adjacent cells'
+        candidate union (see :class:`~repro.query.kernel.QueryKernel`).
+        """
+        return self.kernel.query(query)
+
+    def query_batch(
+        self, queries: Sequence[Sequence[float]]
+    ) -> list[Result]:
+        """Answer many queries in one vectorized point-location pass.
+
+        One ``np.searchsorted`` per axis over the whole batch plus a
+        fancy-indexed gather from the store — the serving-side hot path.
+        Agrees with :meth:`query` query-for-query; the (rare) rows
+        exactly on a grid line are detected vectorized and resolved per
+        row by the kernel's boundary resolution.
+        """
+        return self.kernel.query_batch(queries)
+
+    def query_points(self, query: Sequence[float]) -> list[tuple[float, ...]]:
+        """Like :meth:`query` but returning point coordinates."""
+        return [self.grid.dataset[i] for i in self.query(query)]
+
+    # -- polyominos ----------------------------------------------------
+    def polyominos(self) -> list[Polyomino]:
+        """Merge cells into skyline polyominos (2-D only; cached)."""
+        if len(self._store.shape) != 2:
+            raise QueryError("polyomino merging is only defined for 2-D grids")
+        if self._polyominos is None:
+            from repro.diagram.merge import merge_cells
+
+            self._polyominos = merge_cells(
+                self._store.shape, self._store.to_dict()
+            )
+        return self._polyominos
+
+    # -- audits --------------------------------------------------------
+    def audit(self, level: str = "structure", sample_stride: int = 7) -> str:
+        """Self-check the diagram; return the store's content fingerprint.
+
+        ``structure`` verifies the store invariants (id bounds, canonical
+        interned table, intern-map consistency) plus each diagram
+        flavour's own semantic laws (:meth:`_audit_semantics`);
+        ``sampled``/``full`` additionally recompute cells from scratch
+        via :func:`~repro.diagram.verify.validate_diagram`.  Raises
+        :class:`~repro.errors.AuditError` on any violation.
+        """
+        fingerprint = self._store.audit(num_points=len(self.grid.dataset))
+        self._audit_semantics(level, sample_stride)
+        return fingerprint
+
+    def _validate(self, level: str, sample_stride: int) -> None:
+        """Shared from-scratch recomputation step of the audit."""
+        if level != "structure":
+            from repro.diagram.verify import validate_diagram
+
+            try:
+                validate_diagram(
+                    self, level=level, sample_stride=sample_stride
+                )
+            except SerializationError as exc:
+                raise AuditError(str(exc)) from exc
+
+
+class SkylineDiagram(_StoreBackedDiagram):
     """A quadrant or global skyline diagram over the skyline-cell grid.
 
     Parameters
@@ -74,6 +193,7 @@ class SkylineDiagram:
         "build_report",
         "_store",
         "_polyominos",
+        "_kernel",
     )
 
     def __init__(
@@ -109,25 +229,13 @@ class SkylineDiagram:
         self.build_report = None
         self._store = store
         self._polyominos: list[Polyomino] | None = None
+        self._kernel: QueryKernel | None = None
 
     # ------------------------------------------------------------------
     @property
     def dim(self) -> int:
         """Dimensionality of the underlying grid."""
         return self.grid.dim
-
-    @property
-    def store(self) -> ResultStore:
-        """The compact array-backed result store."""
-        return self._store
-
-    def result_at(self, cell: Cell) -> Result:
-        """Canonical skyline result of one cell."""
-        return self._store.result_at(cell)
-
-    def cells(self) -> Iterator[tuple[Cell, Result]]:
-        """Iterate over ``(cell, result)`` pairs (row-major order)."""
-        return self._store.items()
 
     @property
     def edge_ownership(self) -> tuple[str, ...]:
@@ -145,124 +253,18 @@ class SkylineDiagram:
             )
         return tuple("mixed" for _ in range(self.dim))
 
-    def query(self, query: Sequence[float]) -> Result:
-        """Answer a skyline query by point location (O(d log n)).
-
-        Boundary-exact: agrees with from-scratch evaluation everywhere,
-        including queries exactly on grid lines.  Quadrant diagrams get
-        this for free from the per-axis closed side (candidates and mapped
-        distances on the closed side match the boundary's non-strict
-        Definition 3 semantics exactly); global diagrams resolve boundary
-        queries from the adjacent cells' candidate union.
-        """
+    def _make_kernel(self) -> QueryKernel:
         if self.kind == "quadrant":
-            return self._store.result_at(
-                self.grid.locate(query, upper_mask=self.mask)
+            return QueryKernel(
+                self.grid, self._store, "closed_edge", upper_mask=self.mask
             )
-        cell = self.grid.locate(query)
-        bits = self.grid.boundary_axes(query, cell)
-        if bits:
-            return self._boundary_result(query, cell, bits)
-        return self._store.result_at(cell)
-
-    def _boundary_result(
-        self, query: Sequence[float], cell: Cell, bits: int
-    ) -> Result:
-        """Exact global result for a query on the grid lines in ``bits``.
-
-        Per quadrant, the boundary result equals the result stored on the
-        quadrant's closed side, so the true global result is covered by
-        the union of the ``2^b`` adjacent cells; one restricted skyline
-        pass over that candidate set recovers it exactly.
-        """
-        axes = [d for d in range(self.dim) if bits >> d & 1]
-        candidates = self._store.union_at_corners(cell, axes)
-        from repro.skyline.queries import global_skyline_among
-
-        return global_skyline_among(self.grid.dataset, candidates, query)
-
-    def query_batch(
-        self, queries: Sequence[Sequence[float]]
-    ) -> list[Result]:
-        """Answer many skyline queries in one vectorized pass.
-
-        Point location runs as one ``np.searchsorted`` per axis over the
-        whole batch and the per-query results are reads of the interned
-        table — the serving-side hot path.  Agrees with :meth:`query`
-        query-for-query: quadrant diagrams use the per-axis closed side
-        directly in ``searchsorted``; for global diagrams the (rare) rows
-        exactly on a grid line are detected vectorized and resolved per
-        row from the adjacent cells' candidate union.
-        """
-        if self.kind == "quadrant":
-            return self._store.lookup_batch(
-                self.grid.locate_batch(queries, upper_mask=self.mask)
-            )
-        q = as_query_array(queries, self.dim)
-        cells, boundary = self.grid.locate_batch(q, return_boundary=True)
-        results = self._store.lookup_batch(cells)
-        if boundary.any():
-            for r in np.nonzero(boundary.any(axis=1))[0].tolist():
-                bits = 0
-                for d in range(self.dim):
-                    if boundary[r, d]:
-                        bits |= 1 << d
-                results[r] = self._boundary_result(
-                    tuple(q[r].tolist()), tuple(cells[r].tolist()), bits
-                )
-        return results
-
-    def query_points(self, query: Sequence[float]) -> list[tuple[float, ...]]:
-        """Like :meth:`query` but returning point coordinates."""
-        return [self.grid.dataset[i] for i in self.query(query)]
-
-    def distinct_results(self) -> set[Result]:
-        """The set of distinct skyline results across all cells."""
-        return self._store.distinct_results()
-
-    def polyominos(self) -> list[Polyomino]:
-        """Merge cells into skyline polyominos (2-D only; cached)."""
-        if self.dim != 2:
-            raise QueryError("polyomino merging is only defined for 2-D grids")
-        if self._polyominos is None:
-            from repro.diagram.merge import merge_cells
-
-            self._polyominos = merge_cells(
-                self.grid.shape, self._store.to_dict()
-            )
-        return self._polyominos
+        return QueryKernel(self.grid, self._store, "global_union")
 
     # ------------------------------------------------------------------
-    def audit(self, level: str = "structure", sample_stride: int = 7) -> str:
-        """Self-check the diagram; return the store's content fingerprint.
-
-        ``structure`` verifies the store invariants (id bounds, canonical
-        interned table, intern-map consistency) plus, for first-quadrant
-        2-D diagrams, the Theorem-1 scanning recurrence on a deterministic
-        cell sample — each sampled cell must equal the saturating multiset
-        expression over its upper/right neighbours, which subsumes the
-        per-cell staircase monotonicity law.  ``sampled``/``full``
-        additionally recompute cells from scratch via
-        :func:`~repro.diagram.verify.validate_diagram`.
-
-        Raises :class:`~repro.errors.AuditError` on any violation.
-        """
-        fingerprint = self._store.audit(num_points=len(self.grid.dataset))
-        self._audit_semantics(level, sample_stride)
-        return fingerprint
-
     def _audit_semantics(self, level: str, sample_stride: int) -> None:
         if self.kind == "quadrant" and self.mask == 0 and self.dim == 2:
             self._audit_recurrence(sample_stride)
-        if level != "structure":
-            from repro.diagram.verify import validate_diagram
-
-            try:
-                validate_diagram(
-                    self, level=level, sample_stride=sample_stride
-                )
-            except SerializationError as exc:
-                raise AuditError(str(exc)) from exc
+        self._validate(level, sample_stride)
 
     def _audit_recurrence(self, sample_stride: int) -> None:
         """Check ``Sky(C_ij) = sat(right + up - upright)`` on a cell sample."""
@@ -321,7 +323,7 @@ class SkylineDiagram:
         )
 
 
-class DynamicDiagram:
+class DynamicDiagram(_StoreBackedDiagram):
     """A dynamic skyline diagram over the skyline-subcell grid (2-D)."""
 
     __slots__ = (
@@ -330,6 +332,7 @@ class DynamicDiagram:
         "build_report",
         "_store",
         "_polyominos",
+        "_kernel",
     )
 
     def __init__(
@@ -357,6 +360,7 @@ class DynamicDiagram:
         self.build_report = None
         self._store = store
         self._polyominos: list[Polyomino] | None = None
+        self._kernel: QueryKernel | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -365,127 +369,21 @@ class DynamicDiagram:
         return self.subcells
 
     @property
-    def store(self) -> ResultStore:
-        """The compact array-backed result store."""
-        return self._store
-
-    def result_at(self, subcell: tuple[int, int]) -> Result:
-        """Canonical dynamic skyline result of one subcell."""
-        return self._store.result_at(subcell)
-
-    def cells(self) -> Iterator[tuple[tuple[int, int], Result]]:
-        """Iterate over ``(subcell, result)`` pairs (row-major order)."""
-        return self._store.items()
-
-    @property
     def edge_ownership(self) -> tuple[str, str]:
         """Dynamic grid lines are ``"mixed"``: ties resolve from both sides."""
         return ("mixed", "mixed")
 
-    def query(self, query: Sequence[float]) -> Result:
-        """Answer a dynamic skyline query by point location.
+    def _make_kernel(self) -> QueryKernel:
+        return QueryKernel(self.subcells, self._store, "dynamic_union")
 
-        Boundary-exact: a query exactly on a point line or pair bisector
-        (where mapped coordinates tie) is resolved from the adjacent
-        subcells' results plus the line's contributing points, not by
-        recomputation — mapped-distance ties on a boundary can only
-        involve the points whose line or bisector *is* that boundary.
-        """
-        subcell = self.subcells.locate(query)
-        bits = self.subcells.boundary_axes(query, subcell)
-        if bits:
-            return self._boundary_result(query, subcell, bits)
-        return self._store.result_at(subcell)
-
-    def _boundary_result(
-        self, query: Sequence[float], subcell: tuple[int, int], bits: int
-    ) -> Result:
-        """Exact dynamic result for a query on the grid lines in ``bits``.
-
-        Every member of the true boundary result either survives in an
-        adjacent subcell or is mapped-identical (at the boundary) to a
-        survivor — and two distinct points with tied mapped distance have
-        the query on their pair bisector, making both of them recorded
-        contributors of that grid value.  The union of adjacent results
-        and boundary contributors therefore covers the true result, and
-        one restricted dynamic skyline recovers it exactly.
-        """
-        from repro.skyline.queries import dynamic_skyline_among
-
-        axes = [d for d in range(2) if bits >> d & 1]
-        candidates = set(self._store.union_at_corners(subcell, axes))
-        for d in axes:
-            candidates.update(
-                self.subcells.boundary_contributors(d, subcell[d] + 1)
-            )
-        return dynamic_skyline_among(
-            self.subcells.dataset, sorted(candidates), query
-        )
-
-    def query_batch(
-        self, queries: Sequence[Sequence[float]]
-    ) -> list[Result]:
-        """Answer many dynamic skyline queries in one vectorized pass.
-
-        Agrees with :meth:`query` query-for-query: rows exactly on a grid
-        line are detected vectorized and resolved per row from the
-        adjacent subcells and boundary contributors.
-        """
-        q = as_query_array(queries, 2)
-        cells, boundary = self.subcells.locate_batch(q, return_boundary=True)
-        results = self._store.lookup_batch(cells)
-        if boundary.any():
-            for r in np.nonzero(boundary.any(axis=1))[0].tolist():
-                bits = int(boundary[r, 0]) | int(boundary[r, 1]) << 1
-                results[r] = self._boundary_result(
-                    tuple(q[r].tolist()), tuple(cells[r].tolist()), bits
-                )
-        return results
-
-    def query_points(self, query: Sequence[float]) -> list[tuple[float, ...]]:
-        """Like :meth:`query` but returning point coordinates."""
-        return [self.subcells.dataset[i] for i in self.query(query)]
-
-    def distinct_results(self) -> set[Result]:
-        """The set of distinct dynamic skyline results across subcells."""
-        return self._store.distinct_results()
-
-    def polyominos(self) -> list[Polyomino]:
-        """Merge subcells into polyominos (cached)."""
-        if self._polyominos is None:
-            from repro.diagram.merge import merge_cells
-
-            self._polyominos = merge_cells(
-                self.subcells.shape, self._store.to_dict()
-            )
-        return self._polyominos
-
-    def audit(self, level: str = "structure", sample_stride: int = 7) -> str:
-        """Self-check the diagram; return the store's content fingerprint.
-
-        ``structure`` verifies the store invariants plus the dynamic-only
-        law that no subcell's skyline is empty; ``sampled``/``full``
-        recompute subcells from scratch.  Raises
-        :class:`~repro.errors.AuditError` on any violation.
-        """
-        fingerprint = self._store.audit(
-            num_points=len(self.subcells.dataset)
-        )
+    def _audit_semantics(self, level: str, sample_stride: int) -> None:
+        # The dynamic-only law: no subcell's skyline is ever empty.
         for rid, result in enumerate(self._store.table):
             if not result:
                 raise AuditError(
                     f"table[{rid}]: dynamic skylines are never empty"
                 )
-        if level != "structure":
-            from repro.diagram.verify import validate_diagram
-
-            try:
-                validate_diagram(
-                    self, level=level, sample_stride=sample_stride
-                )
-            except SerializationError as exc:
-                raise AuditError(str(exc)) from exc
-        return fingerprint
+        self._validate(level, sample_stride)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DynamicDiagram):

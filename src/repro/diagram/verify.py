@@ -30,7 +30,12 @@ dynamic bisectors, tied mapped distances) and cross-checks
   diagram's polyomino walk,
 * batch point location against the per-query path,
 * the degradation ladder under an impossible build budget against direct
-  evaluation (degraded answers must stay exact).
+  evaluation (degraded answers must stay exact),
+* the unified query runtime (``runtime:*``): planner-routed single and
+  batch answers against from-scratch evaluation for every kind/mask/k,
+  the degraded (no-diagram) tier, report/tier consistency of every
+  ``QueryAnswer``, and serial- vs chunked-built diagrams queried through
+  the planner.
 
 On a mismatch the failing dataset is shrunk to a minimal reproducer and
 reported as a :class:`Mismatch` whose :meth:`Mismatch.reproducer` is a
@@ -509,6 +514,161 @@ def _batch_checks(
     return checks
 
 
+def _runtime_checks(
+    queries: list[tuple[float, float]]
+) -> list[tuple[str, Check, str]]:
+    """The unified query runtime: planner answers vs from-scratch truth.
+
+    Every answer must match direct evaluation *and* carry a
+    ``QueryReport`` whose tier equals ``served_from``; under an
+    impossible budget the diagram tier must never appear; and a diagram
+    built in row chunks must answer identically to a serial build when
+    queried through the planner.
+    """
+    from repro.diagram.pipeline import BuildOptions
+    from repro.index.engine import SkylineDatabase
+    from repro.resilience import BuildBudget
+
+    checks: list[tuple[str, Check, str]] = []
+
+    def planner(
+        kind: str, mask: int = 0, k: int = 1, budget_cells: int | None = None
+    ) -> Check:
+        def check(points: Points) -> tuple[object, object]:
+            budget = (
+                BuildBudget(max_cells=budget_cells)
+                if budget_cells is not None
+                else None
+            )
+            db = SkylineDatabase(points, budget=budget)
+            expected: list[object] = [
+                db.query_from_scratch(q, kind=kind, mask=mask, k=k)
+                for q in queries
+            ]
+            answers = [
+                db.query_annotated(q, kind=kind, mask=mask, k=k)
+                for q in queries
+            ]
+            batch = db.query_batch(queries, kind=kind, mask=mask, k=k)
+            actual: list[object] = []
+            for answer, batched in zip(answers, batch):
+                report = answer.query_report
+                if report is None or report.tier != answer.served_from:
+                    actual.append(("missing-or-wrong-report", answer))
+                elif budget_cells is not None and (
+                    answer.served_from == "diagram"
+                ):
+                    actual.append(("diagram-tier-under-impossible-budget",))
+                elif answer.result != batched:
+                    actual.append(
+                        ("batch!=single", answer.result, batched)
+                    )
+                else:
+                    actual.append(answer.result)
+            return (expected, actual)
+
+        return check
+
+    template = (
+        "from repro.index.engine import SkylineDatabase\n"
+        f"queries = {queries!r}\n"
+        "db = SkylineDatabase(points)\n"
+        "for q in queries:\n"
+        "    a = db.query_annotated(q, kind={kind!r}, mask={mask}, k={k})\n"
+        "    assert a.result == "
+        "db.query_from_scratch(q, kind={kind!r}, mask={mask}, k={k})\n"
+        "    assert a.query_report.tier == a.served_from"
+    )
+    degraded_template = (
+        "from repro.index.engine import SkylineDatabase\n"
+        "from repro.resilience import BuildBudget\n"
+        f"queries = {queries!r}\n"
+        "db = SkylineDatabase(points, budget=BuildBudget(max_cells={cells}))\n"
+        "for q in queries:\n"
+        "    a = db.query_annotated(q, kind={kind!r}, k={k})\n"
+        "    assert a.served_from != 'diagram'\n"
+        "    assert a.result == db.query_from_scratch(q, kind={kind!r}, "
+        "k={k})"
+    )
+
+    for mask in range(4):
+        checks.append(
+            (
+                f"runtime:planner:quadrant:mask{mask}",
+                planner("quadrant", mask=mask),
+                template.format(kind="quadrant", mask=mask, k=1),
+            )
+        )
+    checks.append(
+        (
+            "runtime:planner:global",
+            planner("global"),
+            template.format(kind="global", mask=0, k=1),
+        )
+    )
+    checks.append(
+        (
+            "runtime:planner:dynamic",
+            planner("dynamic"),
+            template.format(kind="dynamic", mask=0, k=1),
+        )
+    )
+    checks.append(
+        (
+            "runtime:planner:skyband:k2",
+            planner("skyband", k=2),
+            template.format(kind="skyband", mask=0, k=2),
+        )
+    )
+    for kind, cells, k in (
+        ("quadrant", 2, 1),
+        ("dynamic", 3, 1),
+        ("skyband", 2, 2),
+    ):
+        checks.append(
+            (
+                f"runtime:degraded:{kind}",
+                planner(kind, k=k, budget_cells=cells),
+                degraded_template.format(kind=kind, cells=cells, k=k),
+            )
+        )
+
+    chunked_options = BuildOptions(chunk_rows=2)
+    chunk_template = (
+        "from repro.diagram.pipeline import BuildOptions\n"
+        "from repro.index.engine import SkylineDatabase\n"
+        f"queries = {queries!r}\n"
+        "serial = SkylineDatabase(points)\n"
+        "chunked = SkylineDatabase(points, "
+        "build_options=BuildOptions(chunk_rows=2))\n"
+        "assert serial.query_batch(queries, kind={kind!r}) == "
+        "chunked.query_batch(queries, kind={kind!r})"
+    )
+
+    def chunked(kind: str) -> Check:
+        def check(points: Points) -> tuple[object, object]:
+            serial_db = SkylineDatabase(points)
+            chunked_db = SkylineDatabase(
+                points, build_options=chunked_options
+            )
+            return (
+                serial_db.query_batch(queries, kind=kind),
+                chunked_db.query_batch(queries, kind=kind),
+            )
+
+        return check
+
+    for kind in ("quadrant", "dynamic"):
+        checks.append(
+            (
+                f"runtime:chunked:{kind}",
+                chunked(kind),
+                chunk_template.format(kind=kind),
+            )
+        )
+    return checks
+
+
 def _minimize(points: Points, check: Check) -> Points:
     """Greedy shrink: drop points while the check still fails."""
 
@@ -564,6 +724,8 @@ def differential_verify(
             for name, check, template in _degraded_checks(query):
                 round_checks.append((name, check, template, query))
         for name, check, template in _batch_checks(queries):
+            round_checks.append((name, check, template, None))
+        for name, check, template in _runtime_checks(queries):
             round_checks.append((name, check, template, None))
         report.rounds += 1
         for name, check, template, query in round_checks:

@@ -7,6 +7,20 @@ skyline queries in real time by point location instead of recomputation.
 dispatches lookups; the query-latency experiment (E8) measures lookup vs
 from-scratch evaluation through this class.
 
+The unified query runtime
+-------------------------
+Every entry point — :meth:`query`, :meth:`query_annotated`,
+:meth:`query_batch`, :meth:`query_many`, :meth:`skyband` — funnels into
+one :class:`~repro.query.planner.QueryPlanner`: the request is validated
+and resolved to an immutable plan once, a single query runs as a batch
+of one, and diagram lookups go through the diagram's shared
+:class:`~repro.query.kernel.QueryKernel`.  Each answer carries a
+:class:`~repro.query.metrics.QueryReport` (the lookup counterpart of the
+build pipeline's ``BuildReport``), and the database's
+:class:`~repro.query.metrics.MetricsRegistry` aggregates per-kind/
+per-tier latency histograms and counters — surfaced through
+:meth:`health` and the ``repro stats`` CLI.
+
 Resilient serving
 -----------------
 Precomputation is only free when it finishes, so the database is built
@@ -19,7 +33,9 @@ available tier —
 3. ``scratch`` — direct :meth:`query_from_scratch` evaluation.
 
 All three tiers return the *same answer* (the fault-injection suite and
-the differential verifier enforce this); only the latency differs.  A
+the differential verifier enforce this); only the latency differs.  The
+ladder is applied once per batch — the plan, diagram cache, backoff
+state and partial are resolved a single time, not per query.  A
 :class:`~repro.resilience.BuildBudget` bounds construction; failed builds
 retry with exponential backoff, surfaced with the serving-tier counters
 through :meth:`health`, retried on demand with :meth:`rebuild`, and
@@ -29,14 +45,10 @@ self-audited (with eviction of corrupted diagrams) through :meth:`audit`.
 from __future__ import annotations
 
 import time
-import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
-from typing import NamedTuple
 
 from repro.diagram.base import DynamicDiagram, SkylineDiagram
-from repro.diagram.dynamic_scanning import dynamic_scanning
-from repro.diagram.global_diagram import global_diagram, quadrant_diagram_for_mask
 from repro.diagram.highdim import quadrant_scanning_nd
 from repro.diagram.pipeline import BuildOptions
 from repro.diagram.quadrant_scanning import quadrant_scanning
@@ -49,7 +61,14 @@ from repro.errors import (
     SerializationError,
 )
 from repro.geometry.point import Dataset, ensure_dataset
-from repro.resilience import BuildBudget, CoverageMiss, as_meter
+from repro.query import (
+    KINDS,
+    MetricsRegistry,
+    QueryAnswer,
+    QueryPlanner,
+)
+from repro.query.metrics import TIERS as SERVING_TIERS
+from repro.resilience import BuildBudget, as_meter
 from repro.skyline.queries import (
     dynamic_skyline,
     global_skyline,
@@ -57,24 +76,12 @@ from repro.skyline.queries import (
     quadrant_skyline,
 )
 
-KINDS = ("quadrant", "global", "dynamic", "skyband")
-
-SERVING_TIERS = ("diagram", "partial", "scratch")
-
-
-class QueryAnswer(NamedTuple):
-    """A query result annotated with the ladder tier that produced it.
-
-    ``report`` carries the serving diagram's
-    :class:`~repro.diagram.pipeline.BuildReport` when the ``diagram`` tier
-    answered (``None`` for partial/scratch tiers and pipeline-less
-    diagrams).
-    """
-
-    result: tuple[int, ...]
-    served_from: str
-    key: str
-    report: object = None
+__all__ = [
+    "KINDS",
+    "SERVING_TIERS",
+    "QueryAnswer",
+    "SkylineDatabase",
+]
 
 
 @dataclass
@@ -107,8 +114,8 @@ class SkylineDatabase:
         construction.  Budget-exhausted builds degrade to lower serving
         tiers; queries stay correct.
     clock:
-        Monotonic time source for budgets and retry backoff (injectable
-        for tests and fault drills).
+        Monotonic time source for budgets, retry backoff and query
+        latency metrics (injectable for tests and fault drills).
     backoff_base / backoff_cap:
         Exponential retry backoff for failed builds, in seconds:
         ``min(cap, base * 2**(attempts - 1))``.
@@ -118,6 +125,11 @@ class SkylineDatabase:
         pool), chunking and telemetry sink.  Executors never change the
         built diagram (sharded builds are byte-identical), only how the
         construction runs.
+    metrics:
+        A :class:`~repro.query.metrics.MetricsRegistry` to aggregate
+        query telemetry into (one is created when omitted).  Pass a
+        shared registry to collect metrics across several databases —
+        the chaos harness does exactly that.
 
     Examples
     --------
@@ -137,20 +149,22 @@ class SkylineDatabase:
         backoff_base: float = 0.5,
         backoff_cap: float = 60.0,
         build_options: BuildOptions | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.dataset = ensure_dataset(points)
         self.budget = budget
         self.build_options = build_options
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._clock = clock if clock is not None else time.monotonic
         self._backoff_base = backoff_base
         self._backoff_cap = backoff_cap
         self._diagrams: dict[str, SkylineDiagram | DynamicDiagram] = {}
         self._states: dict[str, _BuildState] = {}
-        self._tiers: dict[str, int] = {tier: 0 for tier in SERVING_TIERS}
         self._last_audit: dict[str, str] = {}
+        self._planner = QueryPlanner(self)
         for kind in precompute:
-            key, builder = self._plan(kind)
-            self._obtain(key, builder)
+            plan = self._planner.plan(kind)
+            self._obtain(plan.key, plan.builder)
 
     # ------------------------------------------------------------------
     # Validation
@@ -202,75 +216,13 @@ class SkylineDatabase:
         return coords
 
     # ------------------------------------------------------------------
-    # Build planning and the budget-aware build path
+    # The budget-aware build path (plan resolution lives in the planner)
     # ------------------------------------------------------------------
     def _quadrant_algorithm(self):
         """Scanning construction matched to the dataset's dimensionality."""
         if self.dataset.dim == 2:
             return quadrant_scanning
         return quadrant_scanning_nd
-
-    def _plan(self, kind: str, mask: int = 0, k: int = 1):
-        """Validate a query kind and return its ``(key, builder)`` pair.
-
-        User errors (unknown kind, bad mask/k, unsupported
-        dimensionality) raise here — *before* the degradation ladder, so
-        they are never mistaken for build failures.
-        """
-        if kind == "quadrant":
-            mask = self._check_mask(mask)
-
-            def build(meter):
-                return quadrant_diagram_for_mask(
-                    self.dataset, mask, self._quadrant_algorithm(),
-                    budget=meter, build_options=self.build_options,
-                )
-
-            return f"quadrant:{mask}", build
-        if kind == "global":
-
-            def build(meter):
-                return global_diagram(
-                    self.dataset, self._quadrant_algorithm(), budget=meter,
-                    build_options=self.build_options,
-                )
-
-            return "global", build
-        if kind == "dynamic":
-            if self.dataset.dim != 2:
-                raise DimensionalityError(
-                    "dynamic diagrams are 2-D; use "
-                    "diagram.highdim.dynamic_baseline_nd for d > 2"
-                )
-
-            def build(meter):
-                return dynamic_scanning(
-                    self.dataset, budget=meter,
-                    build_options=self.build_options,
-                )
-
-            return "dynamic", build
-        if kind == "skyband":
-            if self.dataset.dim != 2:
-                raise DimensionalityError("skyband diagrams are 2-D")
-            k = self._check_k(k)
-            from repro.diagram.skyband import skyband_sweep
-
-            def build(meter):
-                return skyband_sweep(
-                    self.dataset, k, budget=meter,
-                    build_options=self.build_options,
-                )
-
-            return f"skyband:{k}", build
-        raise QueryError(f"unknown query kind {kind!r}")
-
-    def _builder_for_key(self, key: str):
-        if key.startswith("quadrant:"):
-            return self._plan("quadrant", mask=int(key.split(":", 1)[1]))[1]
-        if key.startswith("skyband:"):
-            return self._plan("skyband", k=int(key.split(":", 1)[1]))[1]
-        return self._plan(key)[1]
 
     def _obtain(self, key: str, builder, required: bool = False):
         """The cached diagram for ``key``, building under the budget.
@@ -348,23 +300,23 @@ class SkylineDatabase:
 
     def quadrant_diagram(self, mask: int = 0) -> SkylineDiagram:
         """The quadrant diagram for one orientation (built lazily)."""
-        key, builder = self._plan("quadrant", mask=mask)
-        return self._obtain(key, builder, required=True)
+        plan = self._planner.plan("quadrant", mask=mask)
+        return self._obtain(plan.key, plan.builder, required=True)
 
     def global_diagram(self) -> SkylineDiagram:
         """The global diagram (built lazily)."""
-        key, builder = self._plan("global")
-        return self._obtain(key, builder, required=True)
+        plan = self._planner.plan("global")
+        return self._obtain(plan.key, plan.builder, required=True)
 
     def dynamic_diagram(self) -> DynamicDiagram:
         """The dynamic diagram (built lazily with the scanning algorithm)."""
-        key, builder = self._plan("dynamic")
-        return self._obtain(key, builder, required=True)
+        plan = self._planner.plan("dynamic")
+        return self._obtain(plan.key, plan.builder, required=True)
 
     def skyband_diagram(self, k: int) -> SkylineDiagram:
         """The k-skyband diagram (built lazily; 2-D, first quadrant)."""
-        key, builder = self._plan("skyband", k=k)
-        return self._obtain(key, builder, required=True)
+        plan = self._planner.plan("skyband", k=k)
+        return self._obtain(plan.key, plan.builder, required=True)
 
     def skyband(self, query: Sequence[float], k: int) -> tuple[int, ...]:
         """Answer a first-quadrant k-skyband query by point location.
@@ -377,7 +329,7 @@ class SkylineDatabase:
         return self.query(query, kind="skyband", k=k)
 
     # ------------------------------------------------------------------
-    # Queries: the degradation ladder
+    # Queries: everything funnels into the planner
     # ------------------------------------------------------------------
     def query_annotated(
         self,
@@ -388,33 +340,16 @@ class SkylineDatabase:
     ) -> QueryAnswer:
         """Answer one query, reporting which ladder tier served it.
 
-        The tiers agree on the answer by construction (partials are exact
-        over their coverage; scratch evaluation is the ground truth), so
-        ``served_from`` is a latency annotation, not a correctness
-        caveat.
+        A batch of one through the planner.  The tiers agree on the
+        answer by construction (partials are exact over their coverage;
+        scratch evaluation is the ground truth), so ``served_from`` is a
+        latency annotation, not a correctness caveat.  The answer's
+        ``query_report`` carries the lookup telemetry
+        (:class:`~repro.query.metrics.QueryReport`).
         """
-        key, builder = self._plan(kind, mask=mask, k=k)
+        plan = self._planner.plan(kind, mask=mask, k=k)
         coords = self._check_query(query)
-        diagram = self._obtain(key, builder)
-        if diagram is not None:
-            result = diagram.query(coords)
-            self._tiers["diagram"] += 1
-            return QueryAnswer(
-                result, "diagram", key,
-                getattr(diagram, "build_report", None),
-            )
-        state = self._states[key]
-        if state.partial is not None:
-            try:
-                result = state.partial.query(coords)
-            except CoverageMiss:
-                pass
-            else:
-                self._tiers["partial"] += 1
-                return QueryAnswer(result, "partial", key)
-        result = self._scratch(coords, kind, mask, k)
-        self._tiers["scratch"] += 1
-        return QueryAnswer(result, "scratch", key)
+        return self._planner.execute(plan, [coords])[0]
 
     def query(
         self,
@@ -428,11 +363,11 @@ class SkylineDatabase:
         ``kind`` is ``"quadrant"`` (with quadrant ``mask``), ``"global"``,
         ``"dynamic"`` or ``"skyband"`` (with band width ``k``).
 
-        Lookups are boundary-exact for every kind and mask: the diagrams
-        resolve queries lying exactly on grid lines themselves (closed
-        edge ownership per axis for quadrant orientations, candidate-set
-        resolution for global/dynamic), so this always agrees with
-        :meth:`query_from_scratch`.  Malformed queries (wrong
+        Lookups are boundary-exact for every kind and mask: the shared
+        query kernel resolves queries lying exactly on grid lines itself
+        (closed edge ownership per axis for quadrant orientations,
+        candidate-set resolution for global/dynamic), so this always
+        agrees with :meth:`query_from_scratch`.  Malformed queries (wrong
         dimensionality, non-numeric, NaN) raise
         :class:`~repro.errors.QueryError`.  When the diagram is missing
         (budget exhausted, build failure), the answer transparently falls
@@ -441,29 +376,22 @@ class SkylineDatabase:
         """
         return self.query_annotated(query, kind=kind, mask=mask, k=k).result
 
-    def query_exact(
+    def query_batch_annotated(
         self,
-        query: Sequence[float],
+        queries: Sequence[Sequence[float]],
         kind: str = "dynamic",
         mask: int = 0,
         k: int = 1,
-    ) -> tuple[int, ...]:
-        """Deprecated alias of :meth:`query`, which is now boundary-exact.
+    ) -> list[QueryAnswer]:
+        """Answer a batch of queries, each annotated with its ladder tier.
 
-        Historically the lookup path was only correct off the grid lines
-        for reflected quadrants, global and dynamic queries, and this
-        method recomputed from scratch on boundaries.  The tie handling
-        now lives in the diagrams themselves (per-axis closed edges and
-        candidate-set boundary resolution), so the recompute fallback is
-        retired and this simply delegates.
+        One plan resolution for the whole batch.  On the ``diagram`` tier
+        all answers share one vectorized execution (and one
+        ``query_report`` with ``batch == len(queries)``); otherwise each
+        query walks the ladder against the state resolved up front.
         """
-        warnings.warn(
-            "SkylineDatabase.query_exact is deprecated: query() is "
-            "boundary-exact; call query() instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.query(query, kind=kind, mask=mask, k=k)
+        plan = self._planner.plan(kind, mask=mask, k=k)
+        return self._planner.execute(plan, queries)
 
     def query_batch(
         self,
@@ -474,38 +402,33 @@ class SkylineDatabase:
     ) -> list[tuple[int, ...]]:
         """Answer a batch of queries in one vectorized point-location pass.
 
-        Dispatches to the diagram's ``query_batch`` — one
-        ``np.searchsorted`` per axis over the whole batch — and agrees
-        with :meth:`query` query-for-query, including queries exactly on
-        grid lines (boundary rows are detected vectorized and resolved
-        per row).  NaN coordinates raise
+        Dispatches through the planner to the diagram kernel's batch path
+        — one ``np.searchsorted`` per axis over the whole batch — and
+        agrees with :meth:`query` query-for-query, including queries
+        exactly on grid lines (boundary rows are detected vectorized and
+        resolved per row).  NaN coordinates raise
         :class:`~repro.errors.QueryError`.  When the diagram is
-        unavailable the batch degrades to per-query ladder answering.
+        unavailable the batch degrades to per-query ladder answering
+        under the *same* plan resolution (the diagram cache, backoff and
+        partial are checked once, not per query).
         """
-        key, builder = self._plan(kind, mask=mask, k=k)
-        diagram = self._obtain(key, builder)
-        if diagram is not None:
-            results = diagram.query_batch(queries)
-            self._tiers["diagram"] += len(results)
-            return results
-        return [
-            self.query_annotated(q, kind=kind, mask=mask, k=k).result
-            for q in queries
-        ]
+        plan = self._planner.plan(kind, mask=mask, k=k)
+        return [a.result for a in self._planner.execute(plan, queries)]
 
     def query_many(
         self,
         queries: Sequence[Sequence[float]],
         kind: str = "dynamic",
         mask: int = 0,
+        k: int = 1,
     ) -> list[tuple[int, ...]]:
         """Answer a batch of queries (shares one diagram build).
 
         Kept as the historical name; delegates to :meth:`query_batch`,
-        forwarding ``mask`` so reflected-quadrant batches answer against
-        the requested orientation.
+        forwarding ``mask`` and ``k`` so reflected-quadrant and skyband
+        batches answer against the requested orientation and band width.
         """
-        return self.query_batch(queries, kind=kind, mask=mask)
+        return self.query_batch(queries, kind=kind, mask=mask, k=k)
 
     def _scratch(
         self, coords: tuple[float, ...], kind: str, mask: int, k: int
@@ -544,13 +467,17 @@ class SkylineDatabase:
     # Health, recovery, audits
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        """A JSON-ready report of build states and serving tiers.
+        """A JSON-ready report of build states and the query runtime.
 
         ``ok`` is ``True`` when no build is degraded or corrupt;
-        ``tiers`` counts answers served per ladder tier; ``builds`` maps
-        each diagram key to its status, attempt count, remaining backoff
-        (``retry_in`` seconds) and partial coverage; ``last_audit`` holds
-        the most recent :meth:`audit` outcome per key.
+        ``tiers`` counts answers served per ladder tier (from the metrics
+        registry — the single tier-accounting choke point); ``queries``
+        is the full :meth:`~repro.query.metrics.MetricsRegistry.snapshot`
+        (latency histograms, counters, build-phase timings); ``builds``
+        maps each diagram key to its status, attempt count, remaining
+        backoff (``retry_in`` seconds) and partial coverage;
+        ``last_audit`` holds the most recent :meth:`audit` outcome per
+        key.
         """
         now = self._clock()
         builds: dict[str, dict] = {}
@@ -574,7 +501,8 @@ class SkylineDatabase:
         return {
             "ok": not degraded,
             "degraded": degraded,
-            "tiers": dict(self._tiers),
+            "tiers": self.metrics.tier_counts(),
+            "queries": self.metrics.snapshot(),
             "builds": builds,
             "last_audit": dict(self._last_audit),
         }
@@ -595,7 +523,7 @@ class SkylineDatabase:
         again — backoff doubles).
         """
         if kind is not None:
-            keys = [self._plan(kind, mask=mask, k=k)[0]]
+            keys = [self._planner.plan(kind, mask=mask, k=k).key]
         else:
             keys = sorted(
                 key
@@ -616,7 +544,10 @@ class SkylineDatabase:
                 outcome[key] = "backoff"
                 continue
             diagram = self._build(
-                key, state, self._builder_for_key(key), required=False
+                key,
+                state,
+                self._planner.plan_for_key(key).builder,
+                required=False,
             )
             outcome[key] = "ready" if diagram is not None else "degraded"
         return outcome

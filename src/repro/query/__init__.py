@@ -1,0 +1,38 @@
+"""The unified query runtime — the lookup-side mirror of the build pipeline.
+
+Three pieces (see ``docs/ARCHITECTURE.md``, "Query runtime"):
+
+* :class:`~repro.query.kernel.QueryKernel` — the one grid-locate →
+  boundary-resolve → store-lookup sequence behind every diagram lookup,
+  parameterized by orientation/edge-ownership mode;
+* :class:`~repro.query.planner.QueryPlanner` — one plan resolution and
+  one degradation-ladder application per batch (a single query is a
+  batch of one), producing :class:`~repro.query.planner.QueryAnswer`\\ s;
+* :class:`~repro.query.metrics.MetricsRegistry` — per-kind/per-tier
+  latency histograms and counters, the single choke point for ladder
+  tier accounting, speaking the same telemetry-sink protocol as
+  ``BuildContext``; each answer carries a
+  :class:`~repro.query.metrics.QueryReport`.
+"""
+
+from repro.query.kernel import MODES, QueryKernel
+from repro.query.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    QueryReport,
+    format_snapshot,
+)
+from repro.query.planner import KINDS, QueryAnswer, QueryPlan, QueryPlanner
+
+__all__ = [
+    "KINDS",
+    "MODES",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "QueryAnswer",
+    "QueryKernel",
+    "QueryPlan",
+    "QueryPlanner",
+    "QueryReport",
+    "format_snapshot",
+]

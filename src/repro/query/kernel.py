@@ -1,0 +1,183 @@
+"""The shared lookup kernel: grid-locate -> boundary-resolve -> store-lookup.
+
+Every diagram lookup in the library — single query, vectorized batch,
+boundary-exact detour — goes through one :class:`QueryKernel`.  The two
+diagram classes in ``repro.diagram.base`` differ only in *orientation*
+(which axes read reflected grids with upper-closed edges) and in how a
+query that lands exactly on a grid line is resolved; the kernel captures
+that variation in a ``mode`` parameter instead of duplicated class
+bodies:
+
+``closed_edge``
+    Quadrant (and skyband) diagrams.  Edge ownership is encoded in the
+    locate step itself: axis ``d`` uses the upper-side cell when bit
+    ``d`` of ``upper_mask`` is set (a reflected axis), the lower-side
+    cell otherwise.  Every query, boundary or not, is a pure store read.
+
+``global_union``
+    Global diagrams.  Cells are located on the lower side; a query on a
+    grid line belongs to no single cell, so the kernel unions the
+    results at the adjacent cell corners and re-evaluates the global
+    skyline among that candidate set only.
+
+``dynamic_union``
+    Dynamic diagrams over bisector subcells.  Like ``global_union``,
+    plus the bisector *contributors* of each boundary line — a point
+    whose bisector defines the line can enter the answer exactly on it.
+
+The kernel also keeps cumulative counters (queries served, batches,
+boundary hits) that the query planner reads as deltas to build
+per-answer :class:`~repro.query.metrics.QueryReport` telemetry.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.geometry.grid import as_query_array
+
+Result = tuple[int, ...]
+
+#: Recognised kernel modes (see module docstring).
+MODES = ("closed_edge", "global_union", "dynamic_union")
+
+
+class QueryKernel:
+    """One lookup engine per diagram: locate, resolve boundaries, read.
+
+    Parameters
+    ----------
+    grid:
+        A ``Grid`` (closed_edge / global_union) or ``SubcellGrid``
+        (dynamic_union); must expose ``locate``, ``locate_batch``,
+        ``boundary_axes`` and ``dataset``.
+    store:
+        The diagram's ``ResultStore``.
+    mode:
+        One of :data:`MODES`.
+    upper_mask:
+        closed_edge only — bit ``d`` set means axis ``d`` is reflected
+        and owns its upper edge.
+    """
+
+    __slots__ = (
+        "grid",
+        "store",
+        "mode",
+        "upper_mask",
+        "dim",
+        "served",
+        "batches",
+        "boundary_hits",
+    )
+
+    def __init__(self, grid, store, mode: str, upper_mask: int = 0) -> None:
+        if mode not in MODES:
+            raise ValueError(
+                f"unknown kernel mode {mode!r}; expected one of {MODES}"
+            )
+        self.grid = grid
+        self.store = store
+        self.mode = mode
+        self.upper_mask = upper_mask
+        self.dim = len(store.shape)
+        self.served = 0
+        self.batches = 0
+        self.boundary_hits = 0
+
+    # ------------------------------------------------------------------
+    # Single query
+    # ------------------------------------------------------------------
+
+    def query(self, query: Sequence[float]) -> Result:
+        """Answer one query with exact boundary semantics."""
+        self.served += 1
+        if self.mode == "closed_edge":
+            cell = self.grid.locate(query, upper_mask=self.upper_mask)
+            return self.store.result_at(cell)
+        cell = self.grid.locate(query)
+        bits = self.grid.boundary_axes(query, cell)
+        if bits:
+            axes = [d for d in range(self.dim) if bits >> d & 1]
+            return self._boundary_result(query, cell, axes)
+        return self.store.result_at(cell)
+
+    # ------------------------------------------------------------------
+    # Batch
+    # ------------------------------------------------------------------
+
+    def query_batch(self, queries) -> list[Result]:
+        """Answer m queries with one locate/gather; boundary rows detour.
+
+        The vectorized path is one ``searchsorted`` per axis plus one
+        fancy-indexed gather from the store; only rows flagged on a grid
+        line (measure zero for continuous query distributions) take the
+        per-row exact resolution.
+        """
+        self.batches += 1
+        if self.mode == "closed_edge":
+            cells = self.grid.locate_batch(queries, upper_mask=self.upper_mask)
+            self.served += int(cells.shape[0])
+            return self.store.lookup_batch(cells)
+        coords = as_query_array(queries, self.dim)
+        cells, on_boundary = self.grid.locate_batch(
+            coords, return_boundary=True
+        )
+        self.served += int(cells.shape[0])
+        results = self.store.lookup_batch(cells)
+        if cells.shape[0] and on_boundary.any():
+            for row in np.nonzero(on_boundary.any(axis=1))[0].tolist():
+                axes = [
+                    d for d in range(self.dim) if bool(on_boundary[row, d])
+                ]
+                results[row] = self._boundary_result(
+                    tuple(coords[row].tolist()),
+                    tuple(int(c) for c in cells[row]),
+                    axes,
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    # Boundary resolution — the single implementation repo-wide
+    # ------------------------------------------------------------------
+
+    def _boundary_result(self, query, cell, axes) -> Result:
+        """Exact answer for a query lying on the grid lines in ``axes``.
+
+        A boundary query belongs to every cell incident to it, so the
+        candidate set is the union of results at the adjacent cell
+        corners; re-running the skyline operator on those candidates
+        alone is exact because any point outside the union is dominated
+        in each incident cell and hence at the shared boundary too.  In
+        ``dynamic_union`` mode the points *contributing* a crossed
+        bisector line are added as well — a point at distance exactly
+        equal along the bisector enters the dynamic skyline there.
+        """
+        self.boundary_hits += 1
+        if self.mode == "global_union":
+            from repro.skyline.queries import global_skyline_among
+
+            candidates = self.store.union_at_corners(cell, axes)
+            return global_skyline_among(self.grid.dataset, candidates, query)
+        if self.mode == "dynamic_union":
+            from repro.skyline.queries import dynamic_skyline_among
+
+            candidates = set(self.store.union_at_corners(cell, axes))
+            for d in axes:
+                candidates.update(
+                    self.grid.boundary_contributors(d, cell[d] + 1)
+                )
+            return dynamic_skyline_among(
+                self.grid.dataset, sorted(candidates), query
+            )
+        raise AssertionError(
+            f"mode {self.mode!r} performs no boundary resolution"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryKernel(mode={self.mode!r}, dim={self.dim}, "
+            f"served={self.served}, boundary_hits={self.boundary_hits})"
+        )

@@ -1,0 +1,239 @@
+"""One query planner for single, batch, and degraded-ladder answering.
+
+``SkylineDatabase`` used to route single queries, batches, skyband, and
+the degradation ladder through four separate code paths, re-resolving
+the plan (and re-checking the diagram cache, backoff state, and partial)
+for *every* query of a degraded batch.  The planner replaces all of
+them:
+
+* :meth:`QueryPlanner.plan` validates a ``(kind, mask, k)`` request once
+  and returns an immutable :class:`QueryPlan` — the diagram key plus the
+  budget-aware builder (user errors raise here, before the ladder, so
+  they are never mistaken for build failures);
+* :meth:`QueryPlanner.execute` answers a batch of queries under one plan
+  resolution: obtain the diagram once, and either run the kernel's
+  vectorized batch path or walk each query down the ladder
+  (partial → scratch) against the *same* resolved state.
+
+A single query is a batch of one.  Every answer carries a
+:class:`~repro.query.metrics.QueryReport`, and every execution is folded
+into the database's :class:`~repro.query.metrics.MetricsRegistry` — the
+single choke point for tier accounting.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from repro.errors import DimensionalityError, QueryError
+from repro.query.metrics import QueryReport
+from repro.resilience import CoverageMiss
+
+#: Query kinds the planner understands.
+KINDS = ("quadrant", "global", "dynamic", "skyband")
+
+_MISS = object()  # sentinel: () is a valid query result
+
+
+class QueryAnswer(NamedTuple):
+    """A query result annotated with the ladder tier that produced it.
+
+    ``report`` carries the serving diagram's
+    :class:`~repro.diagram.pipeline.BuildReport` when the ``diagram``
+    tier answered (``None`` for partial/scratch tiers and pipeline-less
+    diagrams).  ``query_report`` is the lookup-side
+    :class:`~repro.query.metrics.QueryReport` and is always present on
+    answers produced by the planner.
+    """
+
+    result: tuple[int, ...]
+    served_from: str
+    key: str
+    report: object = None
+    query_report: QueryReport | None = None
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An immutable resolved query request: key, parameters, builder."""
+
+    kind: str
+    key: str
+    mask: int = 0
+    k: int = 1
+    builder: object = None
+
+
+class QueryPlanner:
+    """Resolves and executes query plans for one :class:`SkylineDatabase`."""
+
+    __slots__ = ("_db",)
+
+    def __init__(self, db) -> None:
+        self._db = db
+
+    # ------------------------------------------------------------------
+    # Plan resolution
+    # ------------------------------------------------------------------
+    def plan(self, kind: str, mask: int = 0, k: int = 1) -> QueryPlan:
+        """Validate a query kind and resolve its :class:`QueryPlan`.
+
+        User errors (unknown kind, bad mask/k, unsupported
+        dimensionality) raise here — *before* the degradation ladder, so
+        they are never mistaken for build failures.
+        """
+        db = self._db
+        if kind == "quadrant":
+            mask = db._check_mask(mask)
+
+            def build(meter, mask=mask):
+                from repro.diagram.global_diagram import (
+                    quadrant_diagram_for_mask,
+                )
+
+                return quadrant_diagram_for_mask(
+                    db.dataset, mask, db._quadrant_algorithm(),
+                    budget=meter, build_options=db.build_options,
+                )
+
+            return QueryPlan("quadrant", f"quadrant:{mask}", mask, 1, build)
+        if kind == "global":
+
+            def build(meter):
+                from repro.diagram.global_diagram import global_diagram
+
+                return global_diagram(
+                    db.dataset, db._quadrant_algorithm(), budget=meter,
+                    build_options=db.build_options,
+                )
+
+            return QueryPlan("global", "global", 0, 1, build)
+        if kind == "dynamic":
+            if db.dataset.dim != 2:
+                raise DimensionalityError(
+                    "dynamic diagrams are 2-D; use "
+                    "diagram.highdim.dynamic_baseline_nd for d > 2"
+                )
+
+            def build(meter):
+                from repro.diagram.dynamic_scanning import dynamic_scanning
+
+                return dynamic_scanning(
+                    db.dataset, budget=meter,
+                    build_options=db.build_options,
+                )
+
+            return QueryPlan("dynamic", "dynamic", 0, 1, build)
+        if kind == "skyband":
+            if db.dataset.dim != 2:
+                raise DimensionalityError("skyband diagrams are 2-D")
+            k = db._check_k(k)
+
+            def build(meter, k=k):
+                from repro.diagram.skyband import skyband_sweep
+
+                return skyband_sweep(
+                    db.dataset, k, budget=meter,
+                    build_options=db.build_options,
+                )
+
+            return QueryPlan("skyband", f"skyband:{k}", 0, k, build)
+        raise QueryError(f"unknown query kind {kind!r}")
+
+    def plan_for_key(self, key: str) -> QueryPlan:
+        """Re-resolve a plan from a recorded diagram key (rebuild path)."""
+        if key.startswith("quadrant:"):
+            return self.plan("quadrant", mask=int(key.split(":", 1)[1]))
+        if key.startswith("skyband:"):
+            return self.plan("skyband", k=int(key.split(":", 1)[1]))
+        return self.plan(key)
+
+    # ------------------------------------------------------------------
+    # Execution: the degradation ladder, once per batch
+    # ------------------------------------------------------------------
+    def execute(
+        self, plan: QueryPlan, queries: Sequence[Sequence[float]]
+    ) -> list[QueryAnswer]:
+        """Answer ``queries`` under one plan resolution.
+
+        The diagram is obtained (and, if needed, built) exactly once for
+        the whole batch.  If it is available, the kernel's vectorized
+        batch path answers everything and all answers share one
+        :class:`QueryReport`; otherwise each query falls down the ladder
+        (partial → scratch) against the state resolved up front, with a
+        per-query report.  The tiers agree on the answer by construction
+        — ``served_from`` is a latency annotation, not a correctness
+        caveat.
+        """
+        db = self._db
+        clock = db._clock
+        cached = db._diagrams.get(plan.key) is not None
+        diagram = db._obtain(plan.key, plan.builder)
+        # Latency windows start *after* the obtain: construction cost is
+        # build-side telemetry (BuildReport / the registry's phase sink),
+        # not lookup latency — a cold first query should not skew the
+        # per-query histograms by the whole build.
+        start = clock()
+        if diagram is not None:
+            kernel = diagram.kernel
+            hits_before = kernel.boundary_hits
+            if len(queries) == 1:
+                # Batch-of-1: the scalar kernel path skips the numpy
+                # round-trip a one-row locate_batch would pay.  Validate
+                # here — multi-row batches get their typed errors from
+                # locate_batch, and the scalar path must match.
+                results = [diagram.query(db._check_query(queries[0]))]
+            else:
+                results = diagram.query_batch(queries)
+            seconds = max(0.0, clock() - start)
+            m = len(results)
+            query_report = QueryReport(
+                kind=plan.kind,
+                key=plan.key,
+                tier="diagram",
+                batch=m,
+                seconds=seconds,
+                per_query_s=seconds / m if m else 0.0,
+                boundary_hits=kernel.boundary_hits - hits_before,
+                cache_hit=cached,
+            )
+            db.metrics.observe_query(query_report)
+            build_report = getattr(diagram, "build_report", None)
+            return [
+                QueryAnswer(result, "diagram", plan.key, build_report,
+                            query_report)
+                for result in results
+            ]
+        # Degraded: the plan (cache miss, backoff, partial) was resolved
+        # once above; each query now walks partial -> scratch against it.
+        partial = db._states[plan.key].partial
+        answers: list[QueryAnswer] = []
+        for query in queries:
+            coords = db._check_query(query)
+            started = clock()
+            result = _MISS
+            tier = "scratch"
+            if partial is not None:
+                try:
+                    result = partial.query(coords)
+                    tier = "partial"
+                except CoverageMiss:
+                    result = _MISS
+            if result is _MISS:
+                result = db._scratch(coords, plan.kind, plan.mask, plan.k)
+            seconds = max(0.0, clock() - started)
+            query_report = QueryReport(
+                kind=plan.kind,
+                key=plan.key,
+                tier=tier,
+                batch=1,
+                seconds=seconds,
+                per_query_s=seconds,
+            )
+            db.metrics.observe_query(query_report)
+            answers.append(
+                QueryAnswer(result, tier, plan.key, None, query_report)
+            )
+        return answers

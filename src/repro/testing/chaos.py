@@ -53,6 +53,7 @@ from repro.diagram.verify import _generate_points, _generate_queries
 from repro.errors import SerializationError
 from repro.index.engine import SkylineDatabase
 from repro.index.serialize import load_diagram, save_diagram
+from repro.query.metrics import MetricsRegistry
 from repro.resilience import BuildBudget
 from repro.testing import faults
 
@@ -67,6 +68,7 @@ class ChaosReport:
     cases: int = 0
     by_scenario: dict[str, int] = field(default_factory=dict)
     failures: list[dict] = field(default_factory=list)
+    metrics: dict | None = None  # MetricsRegistry.snapshot() of the campaign
 
     @property
     def ok(self) -> bool:
@@ -89,6 +91,12 @@ class ChaosReport:
             )
         if len(self.failures) > 5:
             lines.append(f"  ... and {len(self.failures) - 5} more")
+        if self.metrics is not None:
+            tiers = self.metrics.get("tiers", {})
+            lines.append(
+                "  query tiers: "
+                + "  ".join(f"{t}={n}" for t, n in sorted(tiers.items()))
+            )
         return "\n".join(lines)
 
 
@@ -116,15 +124,18 @@ def _assert_ladder_exact(
                 )
 
 
-def _scenario_cancelled_build(rng, max_points, workdir, options=None) -> None:
+def _scenario_cancelled_build(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
     points = _generate_points(rng, max_points)
     # Cancel at the very first checkpoint: tiny datasets finish in two,
     # and this drill requires that *no* build completes.
+    served_before = metrics.tier_counts()["diagram"] if metrics else 0
     with faults.cancel_build_after(1):
-        db = SkylineDatabase(points, build_options=options)
+        db = SkylineDatabase(points, build_options=options, metrics=metrics)
         _assert_ladder_exact(db, points, rng, forbid_tier="diagram")
         health = db.health()
-        assert health["tiers"]["diagram"] == 0, health
+        assert health["tiers"]["diagram"] == served_before, health
         assert not health["ok"], "health claims ok while every build fails"
     outcome = db.rebuild(force=True)
     assert outcome and all(v == "ready" for v in outcome.values()), outcome
@@ -133,10 +144,14 @@ def _scenario_cancelled_build(rng, max_points, workdir, options=None) -> None:
     assert db.health()["ok"]
 
 
-def _scenario_tight_budget(rng, max_points, workdir, options=None) -> None:
+def _scenario_tight_budget(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
     points = _generate_points(rng, max_points)
     budget = BuildBudget(max_cells=rng.choice([1, 2, 5]))
-    db = SkylineDatabase(points, budget=budget, build_options=options)
+    db = SkylineDatabase(
+        points, budget=budget, build_options=options, metrics=metrics
+    )
     _assert_ladder_exact(db, points, rng)
     health = db.health()
     for key, entry in health["builds"].items():
@@ -149,9 +164,11 @@ def _scenario_tight_budget(rng, max_points, workdir, options=None) -> None:
     assert all(v == "ready" for v in outcome.values()), outcome
 
 
-def _scenario_bitflip(rng, max_points, workdir, options=None) -> None:
+def _scenario_bitflip(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
     points = _generate_points(rng, max_points)
-    db = SkylineDatabase(points, build_options=options)
+    db = SkylineDatabase(points, build_options=options, metrics=metrics)
     kind = rng.choice(("quadrant", "global", "dynamic"))
     key = "quadrant:0" if kind == "quadrant" else kind
     query = _generate_queries(rng, points, limit=1)[0]
@@ -168,9 +185,11 @@ def _scenario_bitflip(rng, max_points, workdir, options=None) -> None:
     assert db.audit()[key] == "ok"
 
 
-def _scenario_corrupt_file(rng, max_points, workdir, options=None) -> None:
+def _scenario_corrupt_file(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
     points = _generate_points(rng, max_points)
-    db = SkylineDatabase(points, build_options=options)
+    db = SkylineDatabase(points, build_options=options, metrics=metrics)
     kind = rng.choice(("quadrant", "dynamic", "skyband"))
     if kind == "quadrant":
         diagram = db.quadrant_diagram()
@@ -208,7 +227,9 @@ def _scenario_corrupt_file(rng, max_points, workdir, options=None) -> None:
         raise AssertionError(f"{mode} damage loaded without an error")
 
 
-def _scenario_atomic_save(rng, max_points, workdir, options=None) -> None:
+def _scenario_atomic_save(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
     points = _generate_points(rng, max_points)
     diagram = quadrant_scanning(points, build_options=options)
     path = os.path.join(workdir, "diagram.json")
@@ -232,7 +253,9 @@ def _scenario_atomic_save(rng, max_points, workdir, options=None) -> None:
     assert reloaded.store == diagram.store
 
 
-def _scenario_clock_skew(rng, max_points, workdir, options=None) -> None:
+def _scenario_clock_skew(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
     points = _generate_points(rng, max_points)
     clock = faults.SteppingClock()
     db = SkylineDatabase(
@@ -240,6 +263,7 @@ def _scenario_clock_skew(rng, max_points, workdir, options=None) -> None:
         budget=BuildBudget(max_cells=1),
         clock=clock,
         build_options=options,
+        metrics=metrics,
     )
     _assert_ladder_exact(db, points, rng, kinds=("quadrant",))
     health = db.health()
@@ -254,7 +278,9 @@ def _scenario_clock_skew(rng, max_points, workdir, options=None) -> None:
     assert db.health()["ok"]
 
 
-def _scenario_stale_maintenance(rng, max_points, workdir, options=None) -> None:
+def _scenario_stale_maintenance(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
     points = _generate_points(rng, max_points)
     while len(points) < 3:
         points = points + [(float(len(points)), float(len(points)))]
@@ -286,7 +312,7 @@ def _scenario_stale_maintenance(rng, max_points, workdir, options=None) -> None:
 
 
 def _scenario_parallel_consistency(
-    rng, max_points, workdir, options=None
+    rng, max_points, workdir, options=None, metrics=None
 ) -> None:
     points = _generate_points(rng, max_points)
     chunked = BuildOptions(chunk_rows=rng.choice((1, 2, 3)))
@@ -325,6 +351,7 @@ def run_chaos(
     seed: int = 0,
     max_points: int = 7,
     build_options: BuildOptions | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> ChaosReport:
     """Run ``cases`` fault-injection drills round-robin over the scenarios.
 
@@ -332,12 +359,17 @@ def run_chaos(
     fresh scratch directory.  Failures are collected (not fail-fast) so
     one report shows every scenario that broke.  ``build_options``
     threads a row executor through every database construction, reusing
-    the same drills to exercise the sharded build paths.
+    the same drills to exercise the sharded build paths.  One shared
+    :class:`~repro.query.metrics.MetricsRegistry` (pass your own via
+    ``metrics``) collects the query-runtime telemetry of every database
+    the drills construct; its snapshot is attached as
+    ``report.metrics`` and printed by ``repro stats --chaos``.
 
     >>> run_chaos(cases=8, seed=0).ok
     True
     """
     rng = random.Random(seed)
+    registry = metrics if metrics is not None else MetricsRegistry()
     report = ChaosReport(seed=seed)
     with tempfile.TemporaryDirectory(prefix="repro-chaos-") as root:
         for case in range(cases):
@@ -353,6 +385,7 @@ def run_chaos(
                     max_points,
                     workdir,
                     options=build_options,
+                    metrics=registry,
                 )
             except Exception as exc:  # collected, not fatal: report them all
                 report.failures.append(
@@ -363,4 +396,5 @@ def run_chaos(
                         "error": f"{type(exc).__name__}: {exc}",
                     }
                 )
+    report.metrics = registry.snapshot()
     return report

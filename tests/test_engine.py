@@ -103,7 +103,7 @@ class TestQueries:
     @settings(max_examples=20, deadline=None)
     def test_exact_lookup_equals_from_scratch_for_dynamic(self, pts, q):
         db = SkylineDatabase(pts)
-        assert db.query_exact(q, kind="dynamic") == db.query_from_scratch(
+        assert db.query(q, kind="dynamic") == db.query_from_scratch(
             q, kind="dynamic"
         )
 
@@ -116,17 +116,11 @@ class TestBoundaryExactness:
         db = SkylineDatabase([(0, 0), (10, 10)])
         assert db.query((5, 5), kind="dynamic") == (0, 1)
 
-    def test_query_exact_is_an_alias_of_query(self):
+    def test_query_exact_alias_is_gone(self):
+        # Removed after two releases as a deprecated no-op alias: query()
+        # has been boundary-exact since the kernel owns tie resolution.
         db = SkylineDatabase([(0, 0), (10, 10)])
-        assert db.query_exact((5, 5), kind="dynamic") == db.query(
-            (5, 5), kind="dynamic"
-        )
-
-    def test_query_exact_off_boundary_matches_query(self, staircase):
-        db = SkylineDatabase(staircase)
-        assert db.query_exact((4.5, 3.5), kind="dynamic") == db.query(
-            (4.5, 3.5), kind="dynamic"
-        )
+        assert not hasattr(db, "query_exact")
 
     def test_reflected_quadrant_on_grid_line(self):
         # Query on the grid line x=5: for mask 1 (negative x side) the
@@ -191,7 +185,6 @@ class TestSkybandQueries:
         db = SkylineDatabase(staircase)
         q = (0, 0)
         assert db.query(q, kind="skyband", k=2) == db.skyband(q, 2)
-        assert db.query_exact(q, kind="skyband", k=2) == db.skyband(q, 2)
         assert db.query_from_scratch(q, kind="skyband", k=2) == db.skyband(
             q, 2
         )

@@ -68,7 +68,7 @@ class TestHotelScenario:
         db = SkylineDatabase(paper_like_hotels)
         for q in [(0, 0), (10, 40), (5, 100), (25, 5), (12, 24)]:
             for kind in ("quadrant", "global", "dynamic"):
-                assert db.query_exact(q, kind=kind) == db.query_from_scratch(
+                assert db.query(q, kind=kind) == db.query_from_scratch(
                     q, kind=kind
                 )
 

@@ -378,11 +378,10 @@ class TestEngineIntegration:
         assert "row_scan" in entry["report"]["phases"]
         json.dumps(health["builds"]["quadrant:0"]["report"])
 
-    def test_query_exact_warns_deprecation(self):
+    def test_query_exact_alias_removed(self):
+        # Deprecated (warning-only) for two releases; now gone for good.
         db = SkylineDatabase(DATASETS[3])
-        with pytest.warns(DeprecationWarning, match="query_exact"):
-            result = db.query_exact((1.0, 2.0))
-        assert result == db.query((1.0, 2.0))
+        assert not hasattr(db, "query_exact")
 
 
 class TestCli:
