@@ -18,9 +18,18 @@ the query-runtime arms: single vs batch answering through
 ``SkylineDatabase`` (one planner, batch-of-1 semantics asserted equal)
 and the degraded ladder under an impossible build budget, with the
 ``MetricsRegistry`` snapshot recorded so per-kind/per-tier latency
-ships with the numbers.  All timings are best-of-N wall clock
-(``repro.bench.harness.time_call``), the least noise-sensitive
-estimator on a shared machine.
+ships with the numbers.  ``BENCH_pr6.json`` adds the vectorized-executor
+arms: whole-row numpy construction vs serial at n=2000 (continuous) and
+n=10000 (1024-value integer domain), fingerprints asserted identical,
+plus the fused scalar lookup's per-query latency distribution (p50/p99
+over a large query sample) and batch throughput on a vectorized-built
+diagram.  Every envelope carries ``env`` provenance
+(``repro.bench.harness.env_metadata``: python/numpy/numba versions, CPU
+count) and the executor that produced each arm.  All timings are
+best-of-N wall clock (``repro.bench.harness.time_call``), the least
+noise-sensitive estimator on a shared machine; the construction arms
+drop and ``gc.collect()`` the previous diagram between builds so one
+arm's live garbage never inflates the other's clock.
 
 Usage::
 
@@ -30,16 +39,19 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import os
 import random
+import statistics
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from conftest import dataset  # noqa: E402
 
-from repro.bench.harness import save_json, time_call  # noqa: E402
+from repro.bench.harness import env_metadata, save_json, time_call  # noqa: E402
 from repro.diagram import (  # noqa: E402
     quadrant_baseline,
     quadrant_dsg,
@@ -213,6 +225,94 @@ def query_runtime(n: int, batch: int) -> dict:
     }
 
 
+def vectorized_construction(
+    n: int, domain: int | None = None, repeats: int = 2
+) -> dict:
+    """Whole-row numpy construction vs serial, byte-identity asserted.
+
+    The serial arm runs first and its diagram is dropped (plus an
+    explicit ``gc.collect()``) before the vectorized arm is timed:
+    with ~n**2 live result tuples on the heap, generational GC passes
+    triggered *during* the other arm's build would otherwise bill one
+    engine for the other's garbage.
+    """
+    points = dataset("independent", n, domain=domain)
+    vector = BuildOptions(executor="vectorized")
+    serial_d = quadrant_scanning(points)
+    vector_d = quadrant_scanning(points, build_options=vector)
+    assert vector_d.build_report.executor == "vectorized", (
+        vector_d.build_report
+    )
+    assert serial_d.store.fingerprint() == vector_d.store.fingerprint(), (
+        "vectorized build diverged from serial"
+    )
+    serial_report = serial_d.build_report.as_dict()
+    vector_report = vector_d.build_report.as_dict()
+    del serial_d, vector_d
+    gc.collect()
+    serial_s = time_call(lambda: quadrant_scanning(points), repeats=repeats)
+    gc.collect()
+    vector_s = time_call(
+        lambda: quadrant_scanning(points, build_options=vector),
+        repeats=repeats,
+    )
+    gc.collect()
+    return {
+        "n": n,
+        "distribution": "independent",
+        "domain": domain,
+        "serial_s": serial_s,
+        "vectorized_s": vector_s,
+        "speedup": serial_s / vector_s,
+        "fingerprint_match": True,
+        "serial_report": serial_report,
+        "vectorized_report": vector_report,
+    }
+
+
+def fused_single_query(n: int, batch: int) -> dict:
+    """Per-query latency distribution of the fused scalar lookup.
+
+    Queries a vectorized-built diagram (so the lazy result table is the
+    one in play), timing each ``diagram.query`` call individually to get
+    a p50/p99 rather than an amortized mean; answers are cross-checked
+    against a serial-built diagram first.  Batch throughput on the same
+    diagram rides along for the single-vs-batch ratio.
+    """
+    points = dataset("independent", n)
+    diagram = quadrant_scanning(
+        points, build_options=BuildOptions(executor="vectorized")
+    )
+    rng = random.Random(batch)
+    queries = [(rng.random(), rng.random()) for _ in range(batch)]
+    serial_d = quadrant_scanning(points)
+    probe = queries[: min(200, batch)]
+    assert [diagram.query(q) for q in probe] == [
+        serial_d.query(q) for q in probe
+    ], "fused lookup diverged from the serial-built diagram"
+    del serial_d
+    gc.collect()
+    query = diagram.query
+    clock = time.perf_counter
+    samples = []
+    for q in queries:
+        start = clock()
+        query(q)
+        samples.append(clock() - start)
+    samples.sort()
+    batch_s = time_call(lambda: diagram.query_batch(queries), repeats=5)
+    return {
+        "n": n,
+        "queries": batch,
+        "executor": "vectorized",
+        "single_p50_s": statistics.median(samples),
+        "single_p99_s": samples[min(len(samples) - 1, (len(samples) * 99) // 100)],
+        "single_mean_s": statistics.fmean(samples),
+        "batch_s": batch_s,
+        "batch_per_query_s": batch_s / batch,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -226,12 +326,20 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="shrink the headline construction size (for CI smoke runs)",
     )
+    parser.add_argument(
+        "--assert-speedup",
+        action="store_true",
+        help="fail unless the vectorized executor builds strictly faster "
+        "than serial at n=2000 (CI regression gate)",
+    )
     args = parser.parse_args(argv)
 
+    env = env_metadata()
     headline_n = 500 if args.quick else 2000
     payload = {
         "benchmark": "pr1-array-store-smoke",
         "timer": "best-of-N wall clock (time_call)",
+        "env": env,
         "e1_construction_small": e1_construction_small((64, 128)),
         "e8_query_small": e8_lookup_small(256, 100),
         "headline": {
@@ -244,6 +352,8 @@ def main(argv: list[str] | None = None) -> int:
     pipeline = {
         "benchmark": "pr4-build-pipeline-smoke",
         "timer": "best-of-N wall clock (time_call)",
+        "env": env,
+        "executor": "process",
         "construction": pipeline_construction(
             headline_n, workers=max(2, os.cpu_count() or 1)
         ),
@@ -253,11 +363,31 @@ def main(argv: list[str] | None = None) -> int:
     runtime = {
         "benchmark": "pr5-query-runtime-smoke",
         "timer": "best-of-N wall clock (time_call)",
+        "env": env,
+        "executor": "serial",
         "query_runtime": query_runtime(
             512 if args.quick else 1024, 1000 if args.quick else 10_000
         ),
     }
     pr5_out = save_json(args.out.parent / "BENCH_pr5.json", runtime)
+
+    # The vectorized arms run at n=2000 even under --quick: the CI
+    # speedup gate is defined at that size and the build is fast enough.
+    vector_arms = [vectorized_construction(2000)]
+    if not args.quick:
+        vector_arms.append(vectorized_construction(10_000, domain=1024))
+    vectorized = {
+        "benchmark": "pr6-vectorized-executor-smoke",
+        "timer": "best-of-N wall clock (time_call); "
+        "per-query perf_counter samples for the latency distribution",
+        "env": env,
+        "executor": "vectorized",
+        "construction": vector_arms,
+        "fused_query": fused_single_query(
+            2000, 2_000 if args.quick else 20_000
+        ),
+    }
+    pr6_out = save_json(args.out.parent / "BENCH_pr6.json", vectorized)
 
     cons = payload["headline"]["construction"]
     batch = payload["headline"]["batch_query"]
@@ -266,6 +396,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"wrote {out}")
     print(f"wrote {pr4_out}")
     print(f"wrote {pr5_out}")
+    print(f"wrote {pr6_out}")
     print(
         f"pipeline n={pipe['n']} (cpus={pipe['cpu_count']}): "
         f"serial {pipe['serial_s']:.2f}s vs process[{pipe['workers']}] "
@@ -290,6 +421,32 @@ def main(argv: list[str] | None = None) -> int:
         f"degraded {run['degraded_per_query_s'] * 1e6:.0f}us/query "
         f"over {run['degraded_queries']} queries"
     )
+    for arm in vector_arms:
+        domain = arm["domain"] if arm["domain"] is not None else "continuous"
+        print(
+            f"vectorized build n={arm['n']} ({domain}): "
+            f"serial {arm['serial_s']:.2f}s vs vectorized "
+            f"{arm['vectorized_s']:.2f}s ({arm['speedup']:.2f}x, "
+            f"fingerprints match)"
+        )
+    fused = vectorized["fused_query"]
+    print(
+        f"fused query n={fused['n']}, {fused['queries']} queries: "
+        f"p50 {fused['single_p50_s'] * 1e6:.2f}us, "
+        f"p99 {fused['single_p99_s'] * 1e6:.2f}us single; "
+        f"batch {fused['batch_per_query_s'] * 1e6:.2f}us/query"
+    )
+    if args.assert_speedup:
+        gate = vector_arms[0]
+        assert gate["vectorized_s"] < gate["serial_s"], (
+            f"vectorized executor regression: {gate['vectorized_s']:.3f}s "
+            f"is not faster than serial {gate['serial_s']:.3f}s at "
+            f"n={gate['n']}"
+        )
+        print(
+            f"speedup gate: vectorized {gate['speedup']:.2f}x faster "
+            f"than serial at n={gate['n']} (pass)"
+        )
     return 0
 
 

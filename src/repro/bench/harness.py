@@ -34,6 +34,34 @@ def throughput(
     return items / best if best > 0 else float("inf")
 
 
+def env_metadata() -> dict[str, Any]:
+    """Provenance for benchmark envelopes: interpreter, libs, hardware.
+
+    Recorded with every BENCH JSON so a number can be traced to the
+    environment that produced it.  ``numba`` is ``None`` when the
+    optional JIT is not installed — the vectorized executor's kernel
+    then runs as pure numpy, and the envelope says so.
+    """
+    import os
+    import platform
+
+    import numpy
+
+    try:
+        import numba
+
+        numba_version: str | None = numba.__version__
+    except Exception:
+        numba_version = None
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "numba": numba_version,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+    }
+
+
 def save_json(path: str | Path, payload: dict[str, Any]) -> Path:
     """Write a benchmark result payload as indented JSON; returns the path."""
     path = Path(path)

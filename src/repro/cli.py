@@ -68,15 +68,23 @@ def _quadrant_registry(dataset: Dataset) -> dict:
 
 
 def _build_options(args: argparse.Namespace):
-    """BuildOptions from ``--parallel``/``--chunk-rows`` (None if unset)."""
+    """BuildOptions from ``--executor``/``--parallel``/``--chunk-rows``.
+
+    Returns ``None`` when no build-shaping flag was given, so commands
+    keep their zero-configuration default path.  ``--parallel N``
+    remains a shorthand for ``--executor process`` with N workers.
+    """
+    executor = getattr(args, "executor", None)
     parallel = getattr(args, "parallel", None)
     chunk_rows = getattr(args, "chunk_rows", None)
-    if parallel is None and chunk_rows is None:
+    if executor is None and parallel is None and chunk_rows is None:
         return None
     from repro.diagram.pipeline import BuildOptions
 
+    if executor is None:
+        executor = "process" if parallel else "serial"
     return BuildOptions(
-        executor="process" if parallel else "serial",
+        executor=executor,
         workers=parallel,
         chunk_rows=chunk_rows,
     )
@@ -206,6 +214,14 @@ def main(argv: list[str] | None = None) -> int:
         help="construction algorithm (see repro.diagram registries)",
     )
     p.add_argument(
+        "--executor",
+        choices=("serial", "process", "vectorized"),
+        default=None,
+        help="row executor for scanning builds; all three produce "
+        "byte-identical diagrams (constructions without a matching "
+        "kernel fall back to serial and report what ran)",
+    )
+    p.add_argument(
         "--parallel",
         type=int,
         default=None,
@@ -265,6 +281,12 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="thread a process-pool row executor through the builds",
     )
+    p.add_argument(
+        "--executor",
+        choices=("serial", "process", "vectorized"),
+        default=None,
+        help="thread this row executor through every build",
+    )
 
     p = sub.add_parser("skyband", help="answer a k-skyband query from CSV")
     p.add_argument("points", help="CSV file of points")
@@ -290,6 +312,13 @@ def main(argv: list[str] | None = None) -> int:
         help="approximate number of comparisons to run",
     )
     p.add_argument("--max-points", type=int, default=8)
+    p.add_argument(
+        "--executor",
+        choices=("serial", "process", "vectorized"),
+        default=None,
+        help="thread this row executor through the planner-arm builds "
+        "(the executor cross-checks always run regardless)",
+    )
 
     p = sub.add_parser(
         "chaos",
@@ -304,6 +333,12 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="N",
         help="run the drills with a process pool of N row workers",
+    )
+    p.add_argument(
+        "--executor",
+        choices=("serial", "process", "vectorized"),
+        default=None,
+        help="run the drills with this row executor on every build",
     )
 
     args = parser.parse_args(argv)
@@ -332,7 +367,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"wrote {args.kind} diagram ({args.algorithm}) to {args.output}")
         report = getattr(diagram, "build_report", None)
         if report is not None and (
-            args.parallel is not None or args.chunk_rows is not None
+            args.executor is not None
+            or args.parallel is not None
+            or args.chunk_rows is not None
         ):
             print(
                 f"executor: {report.executor} (workers={report.workers}), "
@@ -405,7 +442,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.diagram.verify import differential_verify
 
         report = differential_verify(
-            seed=args.seed, budget=args.budget, max_points=args.max_points
+            seed=args.seed,
+            budget=args.budget,
+            max_points=args.max_points,
+            build_options=_build_options(args),
         )
         print(report.summary())
         if not report.ok:

@@ -47,14 +47,29 @@ concurrently.  The :class:`RowExecutor` contract is deliberately narrow:
   and budget accounting stay deterministic per row: serial and sharded
   builds charge the same number of checkpoints and cells.
 
-Two implementations are provided: :class:`SerialRowExecutor` (in-process,
-also used with ``chunk_rows`` to exercise the shard/seed/merge machinery
-deterministically) and :class:`ProcessRowExecutor` (a
-``concurrent.futures`` process pool, ``fork`` start method where
-available).  Budget-interrupted sharded builds carry no
-:class:`~repro.resilience.PartialDiagram` — chunk results are not a
+Three implementations are registered in :data:`EXECUTOR_REGISTRY`:
+:class:`SerialRowExecutor` (in-process, also used with ``chunk_rows`` to
+exercise the shard/seed/merge machinery deterministically),
+:class:`ProcessRowExecutor` (a ``concurrent.futures`` process pool,
+``fork`` start method where available) and :class:`VectorizedRowExecutor`
+(the numpy sparse-event engine).  Budget-interrupted sharded builds carry
+no :class:`~repro.resilience.PartialDiagram` — chunk results are not a
 serving-ordered row prefix — so the degradation ladder falls through to
 from-scratch evaluation instead.
+
+The vectorized executor is a *capability marker* rather than a job
+runner: a constructor that implements a sparse array kernel declares
+``vector_capable=True`` to its :class:`BuildContext` and, when the
+resolved executor is vectorized, runs that kernel in place of the
+per-cell scan.  Constructors without such a kernel (the dynamic subcell
+scan, the column-major high-dimensional builders) silently resolve
+``executor="vectorized"`` to the serial executor, and the
+:class:`BuildReport` records the executor that actually ran — honesty
+over aspiration.  Budget checkpoints for the vectorized engine run per
+*row block* (``chunk_rows`` rows, default :data:`VECTOR_BLOCK_ROWS`)
+instead of per row: coarser granularity is the documented price of
+taking the Python interpreter out of the inner loop, and the completed
+row suffix still ships as an exact partial on exhaustion.
 """
 
 from __future__ import annotations
@@ -74,16 +89,24 @@ __all__ = [
     "BuildContext",
     "BuildOptions",
     "BuildReport",
+    "EXECUTORS",
+    "EXECUTOR_REGISTRY",
     "Interner",
     "PHASES",
     "ProcessRowExecutor",
     "SerialRowExecutor",
+    "VECTOR_BLOCK_ROWS",
+    "VectorizedRowExecutor",
     "relabel_scan_order",
 ]
 
 PHASES = ("rank_space", "row_scan", "intern", "assemble")
 
-EXECUTORS = ("serial", "process")
+EXECUTORS = ("serial", "process", "vectorized")
+
+#: Default rows per budget-checkpoint block for the vectorized executor
+#: (overridden by ``BuildOptions.chunk_rows``).
+VECTOR_BLOCK_ROWS = 256
 
 
 @dataclass(frozen=True)
@@ -93,18 +116,23 @@ class BuildOptions:
     Parameters
     ----------
     executor:
-        ``"serial"`` (default) or ``"process"``.  Only the row-independent
-        scanning constructions shard their ``row_scan`` phase; the
-        inherently sequential builders (skyband sweep, high-dimensional
-        scan, maintenance) accept options for the phases/telemetry and run
-        serially regardless.
+        ``"serial"`` (default), ``"process"`` or ``"vectorized"``.  Only
+        the row-independent scanning constructions shard their
+        ``row_scan`` phase, and only constructions with a sparse array
+        kernel honour ``"vectorized"``; every other builder (skyband
+        sweep, high-dimensional scan, maintenance, the dynamic subcell
+        scan) accepts the options for the phases/telemetry and runs
+        serially regardless — the attached ``BuildReport`` names the
+        executor that actually ran.
     workers:
         Process-pool size for the ``process`` executor (default: the CPU
         count).
     chunk_rows:
         Rows per shard.  Defaults to an even split over the workers; with
         the serial executor, setting this forces in-process sharding —
-        the cheapest way to exercise the seed/relabel/merge path.
+        the cheapest way to exercise the seed/relabel/merge path.  The
+        vectorized executor uses it as the rows-per-budget-checkpoint
+        block (default :data:`VECTOR_BLOCK_ROWS`).
     telemetry:
         Optional sink called as ``telemetry(phase_name, payload)`` after
         every phase, with ``payload`` carrying at least ``seconds``.
@@ -251,9 +279,47 @@ class ProcessRowExecutor:
         return results
 
 
-def _make_executor(options: BuildOptions):
+class VectorizedRowExecutor:
+    """Marker executor for the numpy sparse-event row kernels.
+
+    The vectorized engines do not fan row chunks out to workers — they
+    replace the per-cell Python loop with sparse transition events and
+    whole-grid array materialization — so ``run`` simply executes jobs
+    in order (the serial contract).  Its value is the *name*: a
+    ``BuildContext`` resolving to this executor tells a
+    ``vector_capable`` constructor to take its array path, and the
+    ``BuildReport`` then records ``executor="vectorized"``.
+    """
+
+    name = "vectorized"
+
+    def __init__(self, workers: int = 1) -> None:
+        self.workers = max(1, workers)
+
+    def run(self, worker, jobs: Sequence, on_chunk=None) -> list:
+        out = []
+        for job in jobs:
+            result = worker(job)
+            if on_chunk is not None:
+                on_chunk(job, result)
+            out.append(result)
+        return out
+
+
+#: The row-executor registry: ``BuildOptions.executor`` name -> class.
+#: :data:`EXECUTORS` (the validated option values) is its key view.
+EXECUTOR_REGISTRY = {
+    "serial": SerialRowExecutor,
+    "process": ProcessRowExecutor,
+    "vectorized": VectorizedRowExecutor,
+}
+
+
+def _make_executor(options: BuildOptions, vector_capable: bool = False):
     if options.executor == "process":
         return ProcessRowExecutor(options.workers)
+    if options.executor == "vectorized" and vector_capable:
+        return VectorizedRowExecutor(options.workers or 1)
     return SerialRowExecutor(options.workers or 1)
 
 
@@ -270,7 +336,10 @@ class BuildContext:
 
     ``serial_only`` pins the executor to serial for builders whose scan
     has a sequential dependency; the options' phases/telemetry still
-    apply.
+    apply.  ``vector_capable`` declares that the constructor implements
+    a sparse array kernel: only then does ``executor="vectorized"``
+    resolve to a :class:`VectorizedRowExecutor` — otherwise it degrades
+    to serial and the report says so.
     """
 
     def __init__(
@@ -281,6 +350,7 @@ class BuildContext:
         algorithm: str = "unknown",
         kind: str = "quadrant",
         serial_only: bool = False,
+        vector_capable: bool = False,
     ) -> None:
         self.options = options if options is not None else BuildOptions()
         self.meter = as_meter(budget, clock)
@@ -290,7 +360,7 @@ class BuildContext:
         if serial_only:
             self.executor = SerialRowExecutor()
         else:
-            self.executor = _make_executor(self.options)
+            self.executor = _make_executor(self.options, vector_capable)
         self.report = BuildReport(
             algorithm=algorithm,
             kind=kind,
@@ -349,14 +419,19 @@ class BuildContext:
         """Shard ``[0, total_rows)`` into the executor's row chunks.
 
         Serial without ``chunk_rows`` returns the single full-range chunk
-        (the unsharded fast path).  ``topmost_first`` orders chunks for
-        the quadrant scan, which consumes rows top-down.
+        (the unsharded fast path); the vectorized executor defaults to
+        :data:`VECTOR_BLOCK_ROWS`-row budget-checkpoint blocks.
+        ``topmost_first`` orders chunks for the quadrant scan, which
+        consumes rows top-down.
         """
         chunk = self.options.chunk_rows
         if chunk is None:
             if self.executor.name == "serial":
                 return [(0, total_rows)]
-            chunk = -(-total_rows // self.executor.workers)  # ceil division
+            if self.executor.name == "vectorized":
+                chunk = VECTOR_BLOCK_ROWS
+            else:
+                chunk = -(-total_rows // self.executor.workers)  # ceil div
         chunk = max(1, chunk)
         chunks = [
             (lo, min(lo + chunk, total_rows))

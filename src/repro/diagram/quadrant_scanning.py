@@ -39,6 +39,29 @@ chunks executed by the context's
 entering state, scans top-down, and is relabeled into scan-order ids
 (:func:`~repro.diagram.pipeline.relabel_scan_order`) so the merged grid
 and interned table are byte-identical to the serial engine's.
+
+``BuildOptions(executor="vectorized")`` selects a third engine built on
+a different decomposition of the same recurrence.  In rank space every
+cell result is a monotone staircase: the groups visible from the cell,
+columns ascending, row-ranks strictly descending — i.e. a path in a
+*cons forest* where each node is ``(group, parent)`` and a node's parent
+is the staircase member at the nearest column to the right whose rank is
+strictly smaller (the classic previous-smaller-element structure).  Row
+over row that structure is persistent: the corners entering a row carry
+the globally minimal rank, so only columns left of the rightmost new
+corner change, their new parent link is ``min(old link, nearest new
+corner to the right)``, and everything else is inherited — all of which
+is a handful of ``searchsorted``/``minimum`` array ops per row
+(:func:`_quadrant_vectorized`).  Interning then vanishes from the build
+entirely: every emitted node is provably distinct (each contains a
+corner group introduced in its own row — see :func:`_vector_finalize`),
+so node ids in scan order *are* the serial engine's intern ids, the
+forest itself becomes the result table
+(:class:`~repro.diagram.store.ConsForestTable`, materialized lazily),
+and the id grid materializes with one run-length ``np.repeat`` decode
+(:func:`_vector_decode`).  An optional numba JIT (:func:`_fill_runs`)
+compiles the decode; without numba the numpy fallback produces the
+identical artifact.
 """
 
 from __future__ import annotations
@@ -56,11 +79,19 @@ from repro.diagram.pipeline import (
     merge_chunk_tables,
     relabel_scan_order,
 )
-from repro.diagram.store import ResultStore
+from repro.diagram.store import ConsForestTable, ResultStore
 from repro.errors import BudgetExceededError, DimensionalityError
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, ensure_dataset
 from repro.resilience import BudgetMeter, BuildBudget, PartialDiagram
+
+try:  # pragma: no cover - numba is an optional accelerator
+    from numba import njit as _njit
+
+    HAVE_NUMBA = True
+except ImportError:  # the container path: pure numpy, same artifact
+    _njit = None
+    HAVE_NUMBA = False
 
 
 def _corner_rows(
@@ -314,6 +345,263 @@ def _scan_rows(
         diff_deltas = next_deltas
 
 
+#: "No smaller-rank staircase member to the right" sentinel column for
+#: the vectorized engine's previous-smaller-element links.
+_PSE_NONE = np.iinfo(np.int64).max
+
+
+def _vector_corner_rows(
+    row_corners: list[dict[int, tuple[int, ...]]],
+) -> tuple[list, list[tuple[int, ...]]]:
+    """Array form of the corner index for the vectorized engine.
+
+    Returns ``(per_row, group_tuples)``: ``per_row[j]`` is ``None`` for
+    rows without corners, else ``(cols, gidx)`` int64 arrays ascending
+    by cell column, and ``group_tuples[g]`` is group ``g``'s sorted
+    point-id tuple — the corner tuples the serial engine interns
+    verbatim.
+    """
+    per_row: list = [None] * len(row_corners)
+    group_tuples: list[tuple[int, ...]] = []
+    g = 0
+    for j, corner_at in enumerate(row_corners):
+        if not corner_at:
+            continue
+        cols = sorted(corner_at)
+        group_tuples.extend(corner_at[col] for col in cols)
+        per_row[j] = (
+            np.asarray(cols, dtype=np.int64),
+            np.arange(g, g + len(cols), dtype=np.int64),
+        )
+        g += len(cols)
+    return per_row, group_tuples
+
+
+def _vector_finalize(
+    prov_rep_chunks: list[np.ndarray],
+    prov_par_chunks: list[np.ndarray],
+    group_tuples: list[tuple[int, ...]],
+) -> ConsForestTable:
+    """Assemble the emitted cons forest into the interned result table.
+
+    Node ``k`` (ids ascend in scan order: rows top-down, columns
+    right-to-left within a row) is the staircase ``group prov_rep[k]``
+    consed onto parent ``prov_par[k]`` (``-1`` is the empty staircase).
+    No deduplication pass is needed — the nodes are pairwise distinct:
+
+    * A row's rightmost new corner carries the globally minimal row rank
+      seen so far, so no later staircase member ever pops it and it is
+      visible from every changed column.  Every node therefore contains
+      a corner group introduced in its own row.
+    * Point ids partition across corner groups, so a node can never
+      equal one emitted in an earlier row (whose members all predate
+      this row's groups).
+    * Within a row, each changed column's staircase leads with the group
+      *at* that column, which no staircase further right contains.
+
+    Table id ``k + 1`` is therefore exactly the serial engine's intern
+    id (the empty result is pre-seeded as id 0), and the table itself
+    is the forest, materialized lazily by :class:`ConsForestTable`.
+    """
+    if not prov_rep_chunks:
+        empty = np.empty(0, dtype=np.int64)
+        return ConsForestTable(empty, empty, group_tuples)
+    return ConsForestTable(
+        np.concatenate(prov_rep_chunks),
+        np.concatenate(prov_par_chunks),
+        group_tuples,
+    )
+
+
+if HAVE_NUMBA:  # pragma: no cover - exercised only where numba exists
+
+    @_njit(cache=True)
+    def _fill_runs_jit(values, counts, out):  # pragma: no cover
+        pos = 0
+        for k in range(values.shape[0]):
+            v = values[k]
+            for _ in range(counts[k]):
+                out[pos] = v
+                pos += 1
+
+
+def _fill_runs(values: list[int], counts: list[int], total: int) -> np.ndarray:
+    """Run-length decode ``values``/``counts`` into a flat int32 array.
+
+    The one inner kernel worth a JIT: with numba present it runs as
+    compiled machine code, without it ``np.repeat`` does the same fill at
+    C speed — the artifact is identical either way.
+    """
+    vals = np.asarray(values, dtype=np.int32)
+    lens = np.asarray(counts, dtype=np.int64)
+    if HAVE_NUMBA:  # pragma: no cover - optional accelerator
+        out = np.empty(total, dtype=np.int32)
+        _fill_runs_jit(vals, lens, out)
+        return out
+    return np.repeat(vals, lens)
+
+
+def _vector_decode(
+    run_vals: list[np.ndarray],
+    run_cnts: list[np.ndarray],
+    nrows: int,
+    sx: int,
+) -> np.ndarray:
+    """Materialize the scanned rows as a dense ``(nrows, sx)`` final-id grid.
+
+    ``run_vals``/``run_cnts`` hold one run-length row per scanned row in
+    scan order (top row first), with cons-forest node values (``-1`` the
+    empty result).  Final ids are node ids shifted by one, so the whole
+    grid decodes with one add and one ``np.repeat``, returned with row
+    indices ascending.
+    """
+    vals = np.concatenate(run_vals) + 1
+    cnts = np.concatenate(run_cnts)
+    return _fill_runs(vals, cnts, nrows * sx).reshape(nrows, sx)[::-1]
+
+
+def _quadrant_vectorized(
+    ctx: BuildContext,
+    grid: Grid,
+    row_corners: list[dict[int, tuple[int, ...]]],
+) -> SkylineDiagram:
+    """The ``executor="vectorized"`` build path of :func:`quadrant_scanning`.
+
+    Maintains the staircase structure of the module docstring as parallel
+    arrays over the active columns — ``act_rep`` the visible group per
+    column, ``act_pse`` the column of the nearest smaller-rank staircase
+    member to the right (:data:`_PSE_NONE` when none), ``act_node`` the
+    provisional cons node — and updates all of them with a handful of
+    array ops per row: corners entering a row carry the minimal rank, so
+    they reset their column's link, every active column left of the
+    rightmost corner re-links to ``min(old link, nearest new corner)``,
+    and columns to the right are untouched.  Each changed column emits
+    one provisional node; rows emit their run-length encoding for the
+    final decode.
+
+    The budget checkpoint fires once per row block (``chunk_rows`` rows,
+    default :data:`~repro.diagram.pipeline.VECTOR_BLOCK_ROWS`) with
+    ``advance = rows * sx``, so cooperative cancellation and the
+    fault-injection hook keep working at block granularity; ``distinct``
+    reports the emitted node count plus the empty result — the exact
+    table size, since every node is a distinct interned result.  On
+    exhaustion the completed row suffix is finalized into an
+    exact :class:`~repro.resilience.PartialDiagram`, same as the serial
+    path.
+    """
+    sx, sy = grid.shape
+    with ctx.phase("rank_space"):
+        per_row, group_tuples = _vector_corner_rows(row_corners)
+    sent = _PSE_NONE
+    act_cols = np.empty(0, dtype=np.int64)
+    act_rep = np.empty(0, dtype=np.int64)
+    act_pse = np.empty(0, dtype=np.int64)
+    act_node = np.empty(0, dtype=np.int64)
+    next_id = 0
+    prov_rep_chunks: list[np.ndarray] = []
+    prov_par_chunks: list[np.ndarray] = []
+    run_vals: list[np.ndarray] = []
+    run_cnts: list[np.ndarray] = []
+    left_edge = np.asarray([-1], dtype=np.int64)
+    right_edge = np.asarray([sx - 1], dtype=np.int64)
+    rows_done = 0
+    with ctx.phase("row_scan"):
+        for lo, hi in ctx.row_chunks(sy, topmost_first=True):
+            for j in range(hi - 1, lo - 1, -1):
+                corners = per_row[j]
+                if corners is not None:
+                    ccols, cg = corners
+                    m0 = act_cols.size
+                    if m0:
+                        pos = np.searchsorted(act_cols, ccols)
+                        exist = (
+                            act_cols[np.minimum(pos, m0 - 1)] == ccols
+                        )
+                        if exist.any():
+                            act_rep[pos[exist]] = cg[exist]
+                        new = ~exist
+                        if new.any():
+                            ins = pos[new]
+                            act_cols = np.insert(act_cols, ins, ccols[new])
+                            act_rep = np.insert(act_rep, ins, cg[new])
+                            act_pse = np.insert(act_pse, ins, sent)
+                            act_node = np.insert(act_node, ins, -1)
+                    else:
+                        act_cols = ccols.copy()
+                        act_rep = cg.copy()
+                        act_pse = np.full(ccols.size, sent, dtype=np.int64)
+                        act_node = np.full(ccols.size, -1, dtype=np.int64)
+                    nchanged = int(
+                        np.searchsorted(act_cols, ccols[-1], side="right")
+                    )
+                    cpos = np.searchsorted(act_cols, ccols)
+                    nidx = np.searchsorted(
+                        ccols, act_cols[:nchanged], side="right"
+                    )
+                    nsc = np.where(
+                        nidx < ccols.size,
+                        ccols[np.minimum(nidx, ccols.size - 1)],
+                        sent,
+                    )
+                    pse = np.minimum(act_pse[:nchanged], nsc)
+                    pse[cpos] = sent
+                    act_pse[:nchanged] = pse
+                    act_node[:nchanged] = np.arange(
+                        next_id + nchanged - 1,
+                        next_id - 1,
+                        -1,
+                        dtype=np.int64,
+                    )
+                    ppos = np.minimum(
+                        np.searchsorted(act_cols, pse), act_cols.size - 1
+                    )
+                    pnode = np.where(pse != sent, act_node[ppos], -1)
+                    prov_rep_chunks.append(act_rep[nchanged - 1 :: -1].copy())
+                    prov_par_chunks.append(pnode[::-1].copy())
+                    next_id += nchanged
+                run_vals.append(np.append(act_node, np.int64(-1)))
+                run_cnts.append(
+                    np.diff(
+                        np.concatenate((left_edge, act_cols, right_edge))
+                    )
+                )
+            rows_done = sy - lo
+            ctx.count_rows(hi - lo)
+            try:
+                ctx.checkpoint(advance=(hi - lo) * sx, distinct=next_id + 1)
+            except BudgetExceededError as exc:
+                if exc.partial is None:
+                    table = _vector_finalize(
+                        prov_rep_chunks, prov_par_chunks, group_tuples
+                    )
+                    dense = _vector_decode(
+                        run_vals, run_cnts, rows_done, sx
+                    )
+                    exc.partial = PartialDiagram(
+                        grid,
+                        {jj: dense[jj - lo] for jj in range(lo, sy)},
+                        table,
+                        boundary_exact=True,
+                    )
+                raise
+    with ctx.phase("intern"):
+        table = _vector_finalize(
+            prov_rep_chunks, prov_par_chunks, group_tuples
+        )
+        ctx.checkpoint(distinct=len(table))
+    with ctx.phase("assemble"):
+        rows = _vector_decode(run_vals, run_cnts, sy, sx)
+        store = ResultStore(
+            (sx, sy),
+            np.ascontiguousarray(rows.T.astype(np.int32, copy=False)),
+            table,
+        )
+        diagram = SkylineDiagram(
+            grid, store, kind="quadrant", algorithm="scanning"
+        )
+    return ctx.finish(diagram)
+
+
 def _quadrant_chunk_job(job):
     """One row-chunk worker: picklable, sees only points + a row range.
 
@@ -364,10 +652,13 @@ def quadrant_scanning(
     reference path ignores the budget — it exists for ablations, not
     serving.
 
-    ``build_options`` selects the row executor (serial or process pool)
-    and chunking; sharded builds produce byte-identical stores but carry
-    no partial on interruption (chunk results are not a serving-ordered
-    row prefix), so the degradation ladder falls through to scratch.
+    ``build_options`` selects the row executor (serial, process pool or
+    vectorized) and chunking; sharded builds produce byte-identical
+    stores but carry no partial on interruption (chunk results are not a
+    serving-ordered row prefix), so the degradation ladder falls through
+    to scratch.  The vectorized executor runs the staircase array engine
+    (:func:`_quadrant_vectorized`), checkpoints the budget once per row
+    block, and keeps the serial partial-on-exhaustion contract.
 
     >>> diagram = quadrant_scanning([(2, 8), (5, 4), (9, 1)])
     >>> diagram.result_at((0, 0))
@@ -381,12 +672,18 @@ def quadrant_scanning(
     if not intern_results:
         return quadrant_scanning_reference(dataset, intern_results=False)
     ctx = BuildContext(
-        budget, build_options, algorithm="scanning", kind="quadrant"
+        budget,
+        build_options,
+        algorithm="scanning",
+        kind="quadrant",
+        vector_capable=True,
     )
     with ctx.phase("rank_space"):
         grid = Grid(dataset)
         sx, sy = grid.shape
         row_corners, row_corner_cols = _corner_rows(grid)
+    if ctx.executor.name == "vectorized":
+        return _quadrant_vectorized(ctx, grid, row_corners)
     chunks = ctx.row_chunks(sy, topmost_first=True)
     rows = np.empty((sy, sx), dtype=np.int32)
     if len(chunks) == 1:

@@ -22,6 +22,7 @@ algorithms keep working unchanged through :meth:`from_dict`.
 from __future__ import annotations
 
 import hashlib
+from bisect import insort
 from collections.abc import Mapping, Sequence
 from itertools import product
 from typing import Iterator
@@ -32,6 +33,89 @@ from repro.errors import AuditError
 
 Cell = tuple[int, ...]
 Result = tuple[int, ...]
+
+
+class ConsForestTable:
+    """An interned result table stored as a cons forest, materialized lazily.
+
+    Node ``rid >= 1`` holds the result of corner group ``rep[rid - 1]``
+    merged into the result of its parent node ``par[rid - 1] + 1``
+    (``par == -1`` points at the empty result, id 0).  Parents always
+    have smaller ids than their children, so the whole table materializes
+    in a single forward pass and a single node materializes by walking
+    its parent chain to the nearest already-built ancestor.
+
+    The vectorized quadrant executor emits this forest directly: every
+    provisional scan node is provably distinct (each contains a corner
+    group introduced in its own scan row, and point ids partition across
+    corner groups), so the forest *is* the interned table and building
+    the Python result tuples can be deferred until something reads them.
+    :class:`ResultStore` upgrades the forest to a plain list the first
+    time ``store.table`` is accessed; id-level queries go through
+    :meth:`result` and touch only the chains they need.
+    """
+
+    __slots__ = ("_rep", "_par", "_groups", "_cache")
+
+    def __init__(
+        self,
+        rep: np.ndarray,
+        par: np.ndarray,
+        groups: Sequence[Result],
+    ) -> None:
+        self._rep = rep
+        self._par = par
+        self._groups = groups
+        self._cache: list[Result | None] | None = None
+
+    def __len__(self) -> int:
+        return int(self._rep.size) + 1
+
+    def result(self, rid: int) -> Result:
+        """Result tuple of one id, materializing (and caching) its chain."""
+        if rid == 0:
+            return ()
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = [None] * (int(self._rep.size) + 1)
+            cache[0] = ()
+        got = cache[rid]
+        if got is not None:
+            return got
+        par = self._par.item
+        chain: list[int] = []
+        node = rid
+        while cache[node] is None:
+            chain.append(node)
+            node = par(node - 1) + 1
+        merged = list(cache[node])
+        groups = self._groups
+        rep = self._rep.item
+        for node in reversed(chain):
+            for pid in groups[rep(node - 1)]:
+                insort(merged, pid)
+            cache[node] = tuple(merged)
+        return cache[rid]
+
+    def __getitem__(self, rid: int) -> Result:
+        return self.result(int(rid))
+
+    def materialize(self) -> list[Result]:
+        """The full table as a plain list, built in one forward pass."""
+        groups = self._groups
+        table: list[Result] = [()]
+        append = table.append
+        for gi, p in zip(self._rep.tolist(), self._par.tolist()):
+            group = groups[gi]
+            if p < 0:
+                tup = group
+            else:
+                merged = list(table[p + 1])
+                for pid in group:
+                    insort(merged, pid)
+                tup = tuple(merged)
+            append(tup)
+        return table
 
 
 class ResultStore:
@@ -59,13 +143,13 @@ class ResultStore:
     2
     """
 
-    __slots__ = ("shape", "ids", "table", "_intern")
+    __slots__ = ("shape", "ids", "_table", "_intern")
 
     def __init__(
         self,
         shape: Sequence[int],
         ids: np.ndarray | None = None,
-        table: list[Result] | None = None,
+        table: list[Result] | ConsForestTable | None = None,
     ) -> None:
         self.shape: tuple[int, ...] = tuple(int(extent) for extent in shape)
         if ids is None:
@@ -79,8 +163,36 @@ class ResultStore:
                 f"{self.shape}"
             )
         self.ids: np.ndarray = ids
-        self.table: list[Result] = table if table is not None else [()]
+        self._table: list[Result] | ConsForestTable = (
+            table if table is not None else [()]
+        )
         self._intern: dict[Result, int] | None = None
+
+    @property
+    def table(self) -> list[Result]:
+        """The interned result tuples, indexed by id.
+
+        A :class:`ConsForestTable` backing is upgraded to a plain list on
+        first access, so every list-level consumer (audits, equality,
+        serialization, fault injection) sees the same materialized table
+        a list-building constructor would have produced.  Id-level reads
+        that should stay lazy go through :meth:`result_tuple`.
+        """
+        table = self._table
+        if type(table) is not list:
+            table = self._table = table.materialize()
+        return table
+
+    @table.setter
+    def table(self, value: list[Result] | ConsForestTable) -> None:
+        self._table = value
+
+    def result_tuple(self, rid: int) -> Result:
+        """Result tuple of one id without materializing a lazy table."""
+        table = self._table
+        if type(table) is list:
+            return table[rid]
+        return table.result(rid)
 
     # ------------------------------------------------------------------
     # Construction
@@ -131,7 +243,7 @@ class ResultStore:
     @property
     def distinct_count(self) -> int:
         """Number of distinct results — an O(1) read of the table size."""
-        return len(self.table)
+        return len(self._table)
 
     def id_at(self, cell: Cell) -> int:
         """Result id of one cell (``KeyError`` outside the grid)."""
@@ -144,14 +256,17 @@ class ResultStore:
 
     def result_at(self, cell: Cell) -> Result:
         """Canonical result of one cell (``KeyError`` outside the grid)."""
-        return self.table[self.id_at(cell)]
+        return self.result_tuple(self.id_at(cell))
 
     def lookup_batch(self, cells: np.ndarray) -> list[Result]:
         """Results for an ``(m, d)`` array of cell indices, in one pass."""
         if cells.shape[0] == 0:
             return []
         ids = self.ids[tuple(cells.T)]
-        table = self.table
+        table = self._table
+        if type(table) is not list:
+            result = table.result
+            return [result(i) for i in ids.tolist()]
         return [table[i] for i in ids.tolist()]
 
     def union_at_corners(
@@ -176,10 +291,10 @@ class ResultStore:
                     probe[axis] += 1
             ids.add(self.id_at(tuple(probe)))
         if len(ids) == 1:
-            return self.table[ids.pop()]
+            return self.result_tuple(ids.pop())
         union: set[int] = set()
         for rid in ids:
-            union.update(self.table[rid])
+            union.update(self.result_tuple(rid))
         return tuple(sorted(union))
 
     # ------------------------------------------------------------------

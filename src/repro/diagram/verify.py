@@ -295,10 +295,33 @@ def _pair_checks() -> list[tuple[str, Check, str]]:
 
         return check
 
+    def vectorized(build) -> Check:
+        from repro.diagram.pipeline import BuildOptions
+
+        # chunk_rows=2 forces multi-block state carry across checkpoints.
+        options = BuildOptions(executor="vectorized", chunk_rows=2)
+
+        def check(points: Points) -> tuple[object, object]:
+            a = build(points)
+            b = build(points, build_options=options)
+            # The vectorized engine promises byte identity, not just
+            # semantic equality: same id numbering, same table order.
+            if a.store.fingerprint() == b.store.fingerprint():
+                return (True, True)
+            return (a.store.to_dict(), b.store.to_dict())
+
+        return check
+
     chunk_template = (
         "from repro.diagram import BuildOptions, {a}\n"
         "assert {a}(points) == "
         "{a}(points, build_options=BuildOptions(chunk_rows=2))"
+    )
+    vector_template = (
+        "from repro.diagram import BuildOptions, {a}\n"
+        "assert {a}(points).store.fingerprint() == {a}(points, "
+        "build_options=BuildOptions(executor='vectorized', "
+        "chunk_rows=2)).store.fingerprint()"
     )
 
     template = (
@@ -351,6 +374,11 @@ def _pair_checks() -> list[tuple[str, Check, str]]:
             "pair:dynamic:serial==chunked",
             chunked(dynamic_scanning),
             chunk_template.format(a="dynamic_scanning"),
+        ),
+        (
+            "pair:quadrant:serial==vectorized",
+            vectorized(quadrant_scanning),
+            vector_template.format(a="quadrant_scanning"),
         ),
     ]
 
@@ -515,7 +543,8 @@ def _batch_checks(
 
 
 def _runtime_checks(
-    queries: list[tuple[float, float]]
+    queries: list[tuple[float, float]],
+    build_options=None,
 ) -> list[tuple[str, Check, str]]:
     """The unified query runtime: planner answers vs from-scratch truth.
 
@@ -524,6 +553,11 @@ def _runtime_checks(
     impossible budget the diagram tier must never appear; and a diagram
     built in row chunks must answer identically to a serial build when
     queried through the planner.
+
+    ``build_options`` (CLI: ``--executor``) threads a row executor
+    through the planner-arm builds so the whole campaign can run under
+    a chosen executor; the executor cross-checks below always pit
+    serial against their own fixed options regardless.
     """
     from repro.diagram.pipeline import BuildOptions
     from repro.index.engine import SkylineDatabase
@@ -540,7 +574,9 @@ def _runtime_checks(
                 if budget_cells is not None
                 else None
             )
-            db = SkylineDatabase(points, budget=budget)
+            db = SkylineDatabase(
+                points, budget=budget, build_options=build_options
+            )
             expected: list[object] = [
                 db.query_from_scratch(q, kind=kind, mask=mask, k=k)
                 for q in queries
@@ -666,6 +702,40 @@ def _runtime_checks(
                 chunk_template.format(kind=kind),
             )
         )
+
+    vector_options = BuildOptions(executor="vectorized")
+    vector_template = (
+        "from repro.diagram.pipeline import BuildOptions\n"
+        "from repro.index.engine import SkylineDatabase\n"
+        f"queries = {queries!r}\n"
+        "serial = SkylineDatabase(points)\n"
+        "vector = SkylineDatabase(points, "
+        "build_options=BuildOptions(executor='vectorized'))\n"
+        "assert serial.query_batch(queries, kind={kind!r}) == "
+        "vector.query_batch(queries, kind={kind!r})"
+    )
+
+    def vectorized(kind: str) -> Check:
+        def check(points: Points) -> tuple[object, object]:
+            serial_db = SkylineDatabase(points)
+            vector_db = SkylineDatabase(points, build_options=vector_options)
+            return (
+                serial_db.query_batch(queries, kind=kind),
+                vector_db.query_batch(queries, kind=kind),
+            )
+
+        return check
+
+    # "dynamic" exercises the honest fallback: constructors that cannot
+    # vectorize must serve serial-built answers, not fail.
+    for kind in ("quadrant", "dynamic"):
+        checks.append(
+            (
+                f"runtime:vectorized:{kind}",
+                vectorized(kind),
+                vector_template.format(kind=kind),
+            )
+        )
     return checks
 
 
@@ -698,6 +768,7 @@ def differential_verify(
     budget: int = 2000,
     max_points: int = 8,
     query_limit: int = 8,
+    build_options=None,
 ) -> VerifyReport:
     """Run the seeded differential fuzzer for about ``budget`` cases.
 
@@ -705,6 +776,11 @@ def differential_verify(
     from-scratch evaluation, or one batch-vs-per-query sweep.  The run is
     fully deterministic in ``seed``.  Stops early at the first mismatch,
     with the failing dataset minimized into ``report.mismatch``.
+
+    ``build_options`` (CLI: ``--executor``) runs the planner arms of the
+    runtime checks under the given row executor; every executor
+    cross-check (serial==chunked, serial==vectorized) still runs with
+    its own fixed options.
 
     >>> differential_verify(seed=1, budget=50).ok
     True
@@ -725,7 +801,7 @@ def differential_verify(
                 round_checks.append((name, check, template, query))
         for name, check, template in _batch_checks(queries):
             round_checks.append((name, check, template, None))
-        for name, check, template in _runtime_checks(queries):
+        for name, check, template in _runtime_checks(queries, build_options):
             round_checks.append((name, check, template, None))
         report.rounds += 1
         for name, check, template, query in round_checks:

@@ -32,10 +32,12 @@ per-answer :class:`~repro.query.metrics.QueryReport` telemetry.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections.abc import Sequence
 
 import numpy as np
 
+from repro.errors import QueryError
 from repro.geometry.grid import as_query_array
 
 Result = tuple[int, ...]
@@ -71,6 +73,8 @@ class QueryKernel:
         "served",
         "batches",
         "boundary_hits",
+        "_fused",
+        "_flat_ids",
     )
 
     def __init__(self, grid, store, mode: str, upper_mask: int = 0) -> None:
@@ -86,6 +90,47 @@ class QueryKernel:
         self.served = 0
         self.batches = 0
         self.boundary_hits = 0
+        self._fused = self._make_fused()
+        self._flat_ids = (
+            store.ids.reshape(-1) if self._fused is not None else None
+        )
+
+    def _make_fused(self):
+        """Precompile the scalar ``closed_edge`` lookup into one flat read.
+
+        In ``closed_edge`` mode edge ownership is entirely inside the
+        per-axis bisect side, so a scalar query is exactly: one bisect
+        per axis over the grid's Python-tuple axes, a stride
+        multiply-accumulate into the C-order flat id array, and one
+        table read.  Fusing those into a single loop (no tuple cell, no
+        per-cell bounds re-checks — bisect results are always in range)
+        removes most of the interpreter overhead that separated the
+        scalar path from the batch kernel.  Returns ``None`` — and the
+        scalar path falls back to locate/result_at — for union modes or
+        a non-C-contiguous id array.
+        """
+        if self.mode != "closed_edge":
+            return None
+        ids = self.store.ids
+        if not ids.flags.c_contiguous or tuple(ids.shape) != self.store.shape:
+            return None
+        axes = self.grid.axes
+        if len(axes) != self.dim:
+            return None
+        strides = []
+        stride = 1
+        for extent in reversed(self.store.shape):
+            strides.append(stride)
+            stride *= extent
+        strides.reverse()
+        return tuple(
+            (
+                axes[d],
+                bisect_right if self.upper_mask >> d & 1 else bisect_left,
+                strides[d],
+            )
+            for d in range(self.dim)
+        )
 
     # ------------------------------------------------------------------
     # Single query
@@ -94,6 +139,19 @@ class QueryKernel:
     def query(self, query: Sequence[float]) -> Result:
         """Answer one query with exact boundary semantics."""
         self.served += 1
+        fused = self._fused
+        if fused is not None:
+            if len(query) != self.dim:
+                raise QueryError(
+                    f"query has {len(query)} dimensions, grid has {self.dim}"
+                )
+            flat = 0
+            for coord, (axis, locate, stride) in zip(query, fused):
+                x = float(coord)
+                if x != x:
+                    raise QueryError("query coordinates must not be NaN")
+                flat += locate(axis, x) * stride
+            return self.store.result_tuple(self._flat_ids.item(flat))
         if self.mode == "closed_edge":
             cell = self.grid.locate(query, upper_mask=self.upper_mask)
             return self.store.result_at(cell)

@@ -28,7 +28,12 @@ generators) and asserts the serving-layer contract:
   matches the rebuild exactly;
 * **parallel-consistency** — the same dataset is built serially and with
   a sharded row executor: the ResultStores must be byte-identical and
-  the budget accounting must agree.
+  the budget accounting must agree;
+* **vectorized-executor** — the same dataset is built serially and with
+  the numpy delta-recurrence engine: store fingerprints must be
+  byte-identical, a budget wall at a row block must still yield a
+  truthful partial diagram, and a constructor with no vectorized
+  kernel must report the executor that actually ran.
 
 ``run_chaos(..., build_options=...)`` (CLI: ``--parallel N``) reruns the
 whole campaign with every database build going through the given
@@ -50,11 +55,11 @@ from repro.diagram.maintenance import insert_point
 from repro.diagram.pipeline import BuildOptions
 from repro.diagram.quadrant_scanning import quadrant_scanning
 from repro.diagram.verify import _generate_points, _generate_queries
-from repro.errors import SerializationError
+from repro.errors import BudgetExceededError, SerializationError
 from repro.index.engine import SkylineDatabase
 from repro.index.serialize import load_diagram, save_diagram
 from repro.query.metrics import MetricsRegistry
-from repro.resilience import BuildBudget
+from repro.resilience import BuildBudget, CoverageMiss
 from repro.testing import faults
 
 _KINDS = ("quadrant", "global", "dynamic", "skyband")
@@ -334,6 +339,51 @@ def _scenario_parallel_consistency(
             )
 
 
+def _scenario_vectorized_executor(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
+    """The vectorized engine under chaos: byte identity, budgets, fallback.
+
+    Fuzzes the array engine against the serial one on random degenerate
+    datasets and random block sizes (byte-identical fingerprints, not
+    just semantic equality), drives it into a budget wall to confirm the
+    partial-diagram contract holds at row-block granularity, and checks
+    the honest fallback: a constructor with no vectorized kernel must
+    report the executor that actually ran.
+    """
+    points = _generate_points(rng, max_points)
+    vector = BuildOptions(
+        executor="vectorized", chunk_rows=rng.choice((None, 1, 2, 3))
+    )
+    serial = quadrant_scanning(points)
+    vectorized = quadrant_scanning(points, build_options=vector)
+    assert vectorized.build_report.executor == "vectorized", (
+        vectorized.build_report
+    )
+    assert serial.store.fingerprint() == vectorized.store.fingerprint(), (
+        "vectorized build is not byte-identical to serial"
+    )
+    fallback = dynamic_scanning(points, build_options=vector)
+    assert fallback.build_report.executor == "serial", (
+        "dynamic scanning cannot vectorize and must report what ran"
+    )
+    budget = BuildBudget(max_cells=1)
+    try:
+        quadrant_scanning(points, budget=budget, build_options=vector)
+    except BudgetExceededError as exc:
+        if exc.partial is not None:
+            for query in _generate_queries(rng, points):
+                try:
+                    answer = exc.partial.query(query)
+                except CoverageMiss:
+                    continue
+                assert answer == serial.query(query), (
+                    "vectorized partial diverged from the full diagram"
+                )
+    else:
+        raise AssertionError("max_cells=1 budget did not interrupt the build")
+
+
 _SCENARIOS = (
     ("cancelled-build", _scenario_cancelled_build),
     ("tight-budget", _scenario_tight_budget),
@@ -343,6 +393,7 @@ _SCENARIOS = (
     ("clock-skew", _scenario_clock_skew),
     ("stale-maintenance", _scenario_stale_maintenance),
     ("parallel-consistency", _scenario_parallel_consistency),
+    ("vectorized-executor", _scenario_vectorized_executor),
 )
 
 

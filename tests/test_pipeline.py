@@ -21,6 +21,7 @@ from repro.diagram.global_diagram import global_diagram, quadrant_diagram_for_ma
 from repro.diagram.highdim import quadrant_scanning_nd
 from repro.diagram.maintenance import delete_point, insert_point
 from repro.diagram.pipeline import (
+    EXECUTORS,
     BuildContext,
     BuildOptions,
     BuildReport,
@@ -193,6 +194,145 @@ class TestExecutorIdentity:
         with pytest.raises(BudgetExceededError) as info:
             quadrant_scanning(points, budget=BuildBudget(max_cells=5))
         assert info.value.partial is not None
+
+
+DEGENERATE_DATASETS = {
+    "duplicates": [(3.0, 4.0)] * 5 + [(1.0, 6.0), (6.0, 1.0), (3.0, 4.0)],
+    "collinear": [(float(i), float(i)) for i in range(9)],
+    "single": [(2.0, 3.0)],
+    "boundary-heavy": [
+        (float(x), float(y)) for x in range(4) for y in range(4)
+    ],
+    "vertical-stack": [(2.0, float(y)) for y in range(7)],
+}
+
+
+class TestVectorizedExecutor:
+    """The whole-row numpy engine must be byte-identical to serial."""
+
+    def test_registry_lists_all_three(self):
+        assert EXECUTORS == ("serial", "process", "vectorized")
+        BuildOptions(executor="vectorized")  # accepted by validation
+
+    @pytest.mark.parametrize(
+        "points",
+        list(DEGENERATE_DATASETS.values()),
+        ids=list(DEGENERATE_DATASETS),
+    )
+    @pytest.mark.parametrize("chunk_rows", [None, 1, 2, 3])
+    def test_degenerate_byte_identity(self, points, chunk_rows):
+        serial = quadrant_scanning(points)
+        chunked = quadrant_scanning(
+            points, build_options=BuildOptions(chunk_rows=chunk_rows)
+        )
+        vectorized = quadrant_scanning(
+            points,
+            build_options=BuildOptions(
+                executor="vectorized", chunk_rows=chunk_rows
+            ),
+        )
+        _assert_same_store(serial, chunked)
+        _assert_same_store(serial, vectorized)
+        assert vectorized.build_report.executor == "vectorized"
+
+    @pytest.mark.parametrize("points", DATASETS)
+    def test_random_byte_identity(self, points):
+        serial = quadrant_scanning(points)
+        vectorized = quadrant_scanning(
+            points, build_options=BuildOptions(executor="vectorized")
+        )
+        _assert_same_store(serial, vectorized)
+
+    def test_checkpoint_accounting_parity(self):
+        points = DATASETS[0]
+        serial = quadrant_scanning(points)
+        vectorized = quadrant_scanning(
+            points,
+            build_options=BuildOptions(executor="vectorized", chunk_rows=3),
+        )
+        # Per-block checkpoints differ in granularity but the final
+        # accounting (cells advanced, rows scanned, distinct results)
+        # must agree with the serial build's.
+        assert (
+            serial.build_report.cells == vectorized.build_report.cells
+        )
+        assert (
+            serial.build_report.rows_scanned
+            == vectorized.build_report.rows_scanned
+        )
+        assert (
+            serial.build_report.distinct_results
+            == vectorized.build_report.distinct_results
+        )
+
+    def test_fallback_is_honest(self):
+        points = DATASETS[0]
+        serial = dynamic_scanning(points)
+        fallback = dynamic_scanning(
+            points, build_options=BuildOptions(executor="vectorized")
+        )
+        _assert_same_store(serial, fallback)
+        assert fallback.build_report.executor == "serial"
+
+    def test_budget_trips_at_row_block_boundary(self):
+        from repro.resilience import CoverageMiss
+
+        points = DEGENERATE_DATASETS["boundary-heavy"]
+        serial = quadrant_scanning(points)
+        sx, sy = serial.store.shape
+        # Allow exactly one 2-row block of cells: the second block's
+        # checkpoint must trip, and the partial must cover a whole
+        # number of blocks (budget enforcement is per row block).
+        chunk_rows = 2
+        budget = BuildBudget(max_cells=chunk_rows * sx)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            quadrant_scanning(
+                points,
+                budget=budget,
+                build_options=BuildOptions(
+                    executor="vectorized", chunk_rows=chunk_rows
+                ),
+            )
+        partial = excinfo.value.partial
+        assert partial is not None
+        # The scan consumes blocks topmost-first, so the covered prefix
+        # must end exactly on a block boundary: sy - lo for some block
+        # start lo (never a torn block).
+        block_aligned = {sy - lo for lo in range(0, sy, chunk_rows)}
+        assert partial.rows_built in block_aligned
+        assert 0 < partial.rows_built < sy
+        hits = 0
+        for x in range(8):
+            for y in range(8):
+                query = (x + 0.5, y + 0.5)
+                try:
+                    answer = partial.query(query)
+                except CoverageMiss:
+                    continue
+                hits += 1
+                assert answer == serial.query(query)
+        assert hits > 0, "partial diagram answered nothing in its region"
+
+    def test_lazy_table_matches_materialized(self):
+        from repro.diagram.store import ConsForestTable
+
+        points = DATASETS[1]
+        vectorized = quadrant_scanning(
+            points, build_options=BuildOptions(executor="vectorized")
+        )
+        store = vectorized.store
+        lazy = store._table
+        assert isinstance(lazy, ConsForestTable)
+        distinct = store.distinct_count  # O(1); must not materialize
+        assert isinstance(store._table, ConsForestTable)
+        per_id = [store.result_tuple(rid) for rid in range(distinct)]
+        # Accessing .table upgrades the forest to a plain list in place.
+        table = store.table
+        assert isinstance(store._table, list)
+        assert table == per_id
+        assert len(table) == distinct
+        serial = quadrant_scanning(points)
+        assert table == serial.store.table
 
 
 class TestBudgetKwargCompat:
@@ -403,3 +543,24 @@ class TestCli:
         plain = tmp_path / "serial.json"
         assert main(["build", str(csv), str(plain)]) == 0
         assert out.read_bytes() == plain.read_bytes()
+
+    def test_build_executor_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        csv = tmp_path / "points.csv"
+        csv.write_text("2,8\n5,4\n9,1\n")
+        out = tmp_path / "vectorized.json"
+        assert main(
+            ["build", str(csv), str(out), "--executor", "vectorized"]
+        ) == 0
+        stdout = capsys.readouterr().out
+        assert "executor: vectorized" in stdout
+        plain = tmp_path / "serial.json"
+        assert main(["build", str(csv), str(plain)]) == 0
+        assert out.read_bytes() == plain.read_bytes()
+
+    def test_executor_flag_rejects_unknown(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["build", "x.csv", "y.json", "--executor", "threads"])

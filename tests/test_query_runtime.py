@@ -85,6 +85,50 @@ class TestQueryKernel:
         assert kernel.boundary_hits >= 1
 
 
+class TestFusedScalarLookup:
+    """The fused closed_edge scalar path: same answers, same errors."""
+
+    def test_fused_active_only_for_closed_edge(self):
+        quadrant = quadrant_scanning(POINTS)
+        dynamic = dynamic_scanning(POINTS[:5])
+        assert quadrant.kernel._fused is not None
+        assert global_diagram(POINTS).kernel._fused is None
+        assert dynamic.kernel._fused is None
+
+    @pytest.mark.parametrize("mask", range(4))
+    def test_fused_equals_batch_on_boundary_heavy_queries(self, mask):
+        from repro.diagram.global_diagram import quadrant_diagram_for_mask
+
+        diagram = quadrant_diagram_for_mask(POINTS, mask, quadrant_scanning)
+        assert diagram.kernel._fused is not None
+        queries = boundary_heavy_queries(POINTS)
+        singles = [diagram.query(q) for q in queries]
+        assert singles == diagram.query_batch(queries)
+
+    def test_fused_on_vectorized_built_diagram(self):
+        serial = quadrant_scanning(POINTS)
+        vectorized = quadrant_scanning(
+            POINTS, build_options=BuildOptions(executor="vectorized")
+        )
+        assert vectorized.kernel._fused is not None
+        for q in boundary_heavy_queries(POINTS):
+            assert vectorized.query(q) == serial.query(q)
+
+    @pytest.mark.parametrize("executor", ["serial", "vectorized"])
+    def test_error_parity(self, executor):
+        from repro.errors import QueryError
+
+        diagram = quadrant_scanning(
+            POINTS, build_options=BuildOptions(executor=executor)
+        )
+        with pytest.raises(
+            QueryError, match="query has 3 dimensions, grid has 2"
+        ):
+            diagram.query((1.0, 2.0, 3.0))
+        with pytest.raises(QueryError, match="must not be NaN"):
+            diagram.query((float("nan"), 2.0))
+
+
 class TestPlannerParity:
     """Planner answers == from-scratch, boundary-heavy, every tier."""
 

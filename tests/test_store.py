@@ -209,3 +209,51 @@ def test_dynamic_store_survives_dict_roundtrip(points):
         diagram.subcells, dict(diagram.cells()), algorithm=diagram.algorithm
     )
     assert diagram == rebuilt
+
+
+class TestConsForestTable:
+    """The lazy cons-forest table behind vectorized builds."""
+
+    def _forest(self):
+        from repro.diagram.store import ConsForestTable
+
+        # Three corner groups; node 1 = group 0 at the root, node 2
+        # merges group 1 into node 1, node 3 = group 2 standalone.
+        rep = np.asarray([0, 1, 2], dtype=np.int64)
+        par = np.asarray([-1, 0, -1], dtype=np.int64)
+        groups = [(4,), (1, 7), (2,)]
+        return ConsForestTable(rep, par, groups)
+
+    def test_lazy_results_match_materialize(self):
+        table = self._forest()
+        assert len(table) == 4
+        expected = [(), (4,), (1, 4, 7), (2,)]
+        assert table.materialize() == expected
+        assert [table.result(rid) for rid in range(4)] == expected
+        assert [table[rid] for rid in range(4)] == expected
+
+    def test_chain_cache_is_order_independent(self):
+        # Deep chains resolve through the nearest cached ancestor; the
+        # answer must not depend on which id is asked first.
+        eager = self._forest().materialize()
+        deep_first = self._forest()
+        assert deep_first.result(2) == eager[2]
+        assert deep_first.result(1) == eager[1]
+        shallow_first = self._forest()
+        assert shallow_first.result(1) == eager[1]
+        assert shallow_first.result(2) == eager[2]
+
+    def test_store_upgrades_lazy_table_on_access(self):
+        from repro.diagram.pipeline import BuildOptions
+        from repro.diagram.store import ConsForestTable
+
+        points = [(2.0, 8.0), (5.0, 4.0), (9.0, 1.0), (5.0, 4.0)]
+        store = quadrant_scanning(
+            points, build_options=BuildOptions(executor="vectorized")
+        ).store
+        assert isinstance(store._table, ConsForestTable)
+        distinct = store.distinct_count  # O(1) on the lazy forest
+        lazy = [store.result_tuple(rid) for rid in range(distinct)]
+        assert store.table == lazy  # property access materializes
+        assert isinstance(store._table, list)
+        assert store == quadrant_scanning(points).store
