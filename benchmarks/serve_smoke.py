@@ -1,0 +1,150 @@
+"""CI smoke for ``repro serve``: start, load, assert p99, clean exit.
+
+Launches the real CLI entry point (``python -m repro serve``) on an
+ephemeral port over a freshly saved binary snapshot, drives it with
+several concurrent client threads doing sequential round trips (so the
+recorded latency is honest per-request latency, not pipelined
+throughput), checks every answer against in-process evaluation, then
+requests shutdown over the protocol and asserts the server exits 0.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serve_smoke.py \
+        [--clients 4] [--requests 50] [--p99-budget 0.25]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import re
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from conftest import dataset  # noqa: E402
+
+from repro.diagram.pipeline import BuildOptions  # noqa: E402
+from repro.diagram.quadrant_scanning import quadrant_scanning  # noqa: E402
+from repro.index.serialize import save_diagram  # noqa: E402
+
+
+def _client_loop(host, port, queries, expected, latencies, failures):
+    try:
+        with socket.create_connection((host, port), timeout=30.0) as sock:
+            stream = sock.makefile("rwb")
+            clock = time.perf_counter
+            for index, query in enumerate(queries):
+                request = {"op": "query", "id": index, "query": list(query)}
+                start = clock()
+                stream.write(json.dumps(request).encode() + b"\n")
+                stream.flush()
+                reply = json.loads(stream.readline())
+                latencies.append(clock() - start)
+                if tuple(reply["result"]) != expected[query]:
+                    raise AssertionError(
+                        f"wrong answer for {query}: {reply}"
+                    )
+    except Exception as exc:
+        failures.append(exc)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=50)
+    parser.add_argument(
+        "--p99-budget",
+        type=float,
+        default=0.25,
+        help="max acceptable p99 round-trip seconds (generous: CI runners)",
+    )
+    args = parser.parse_args(argv)
+
+    points = dataset("independent", 500)
+    diagram = quadrant_scanning(
+        points, build_options=BuildOptions(executor="vectorized")
+    )
+    rng = random.Random(7)
+    queries = [(rng.random(), rng.random()) for _ in range(32)]
+    expected = {
+        q: tuple(r) for q, r in zip(queries, diagram.query_batch(queries))
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = str(Path(tmp) / "snapshot.bin")
+        save_diagram(diagram, path)
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", path,
+                "--port", "0", "--workers", "2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"on ([\d.]+):(\d+)", banner)
+            assert match, f"no address in server banner: {banner!r}"
+            host, port = match.group(1), int(match.group(2))
+
+            latencies: list[float] = []
+            failures: list[Exception] = []
+            plans = [
+                [queries[(c + i) % len(queries)] for i in range(args.requests)]
+                for c in range(args.clients)
+            ]
+            threads = [
+                threading.Thread(
+                    target=_client_loop,
+                    args=(host, port, plan, expected, latencies, failures),
+                )
+                for plan in plans
+            ]
+            begin = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120.0)
+            wall = time.perf_counter() - begin
+            assert not failures, failures
+            total = args.clients * args.requests
+            assert len(latencies) == total, (len(latencies), total)
+            latencies.sort()
+            p50 = latencies[len(latencies) // 2]
+            p99 = latencies[min(len(latencies) - 1, (len(latencies) * 99) // 100)]
+            print(
+                f"{total} requests from {args.clients} clients: "
+                f"{total / wall:.0f} req/s, p50 {p50 * 1e3:.2f}ms, "
+                f"p99 {p99 * 1e3:.2f}ms"
+            )
+            assert p99 <= args.p99_budget, (
+                f"p99 {p99:.3f}s over budget {args.p99_budget}s"
+            )
+
+            with socket.create_connection((host, port), timeout=30.0) as sock:
+                stream = sock.makefile("rwb")
+                stream.write(b'{"op": "shutdown", "id": 0}\n')
+                stream.flush()
+                reply = json.loads(stream.readline())
+                assert reply.get("ok") is True, reply
+            code = proc.wait(timeout=30.0)
+            assert code == 0, f"server exited {code}"
+            print("shutdown clean (exit 0)")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

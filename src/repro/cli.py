@@ -3,8 +3,9 @@
 Commands
 --------
 ``generate``   write a synthetic dataset to CSV
-``build``      build a diagram from CSV points and save it as JSON
+``build``      build a diagram from CSV points and save a snapshot
 ``query``      answer a skyline query from a saved diagram (or from CSV)
+``serve``      serve a snapshot over TCP from N zero-copy worker processes
 ``render``     render a diagram to SVG or terminal ASCII
 ``info``       summarize a dataset or a saved diagram
 ``stats``      print structural statistics of a saved diagram
@@ -202,9 +203,17 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--domain", type=int, default=None)
 
-    p = sub.add_parser("build", help="build a diagram and save it as JSON")
+    p = sub.add_parser(
+        "build", help="build a diagram and save it as a snapshot"
+    )
     p.add_argument("points", help="CSV file of points")
-    p.add_argument("output", help="JSON file to write")
+    p.add_argument("output", help="snapshot file to write")
+    p.add_argument(
+        "--format",
+        choices=("binary", "json"),
+        default="binary",
+        help="binary (v3, mmap-servable, the default) or legacy JSON",
+    )
     p.add_argument(
         "--kind", choices=("quadrant", "global", "dynamic"), default="quadrant"
     )
@@ -238,8 +247,35 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     p = sub.add_parser("query", help="answer a skyline query from a diagram")
-    p.add_argument("diagram", help="JSON diagram produced by 'build'")
+    p.add_argument("diagram", help="diagram snapshot produced by 'build'")
     p.add_argument("coordinates", nargs="+", type=float)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a snapshot over TCP from N zero-copy worker processes",
+    )
+    p.add_argument("snapshot", help="binary snapshot produced by 'build'")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7591)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes mapping the snapshot (default 2)",
+    )
+    p.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="flush a coalesced batch at this size",
+    )
+    p.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=2.0,
+        help="flush a partial batch after this many milliseconds",
+    )
 
     p = sub.add_parser("render", help="render a diagram (SVG or ASCII)")
     p.add_argument("diagram", help="JSON diagram produced by 'build'")
@@ -363,7 +399,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "build":
         diagram = _build(args)
-        save_diagram(diagram, args.output)
+        save_diagram(diagram, args.output, format=args.format)
         print(f"wrote {args.kind} diagram ({args.algorithm}) to {args.output}")
         report = getattr(diagram, "build_report", None)
         if report is not None and (
@@ -386,6 +422,22 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"skyline ids: {list(result)}")
         print(f"skyline points: {[tuple(diagram.grid.dataset[i]) for i in result]}")
         print(f"names: {names}")
+        return 0
+    if args.command == "serve":
+        import asyncio
+
+        from repro.serve.server import serve_forever
+
+        asyncio.run(
+            serve_forever(
+                args.snapshot,
+                host=args.host,
+                port=args.port,
+                workers=args.workers,
+                max_batch=args.max_batch,
+                max_delay=args.max_delay_ms / 1000.0,
+            )
+        )
         return 0
     if args.command == "render":
         diagram = _load_diagram(args.diagram)
@@ -466,7 +518,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0 if report.ok else 1
     if args.command == "info":
         path = Path(args.path)
-        if path.suffix == ".json":
+        with open(path, "rb") as handle:
+            head = handle.read(32)
+        if path.suffix == ".json" or head.startswith(
+            b"repro.skyline-diagram/"
+        ):
             diagram = _load_diagram(args.path)
             print(repr(diagram))
         else:

@@ -272,7 +272,9 @@ class SkylineDiagram(_StoreBackedDiagram):
         store = self._store
         sx, sy = grid.shape
         ids = store.ids
-        table = store.table
+        # table_view, not store.table: a health sweep over a lazily
+        # interned (vectorized-built) diagram must not upgrade it.
+        table = store.table_view()
         empty: Result = ()
 
         def result(i: int, j: int) -> Result:
@@ -378,7 +380,7 @@ class DynamicDiagram(_StoreBackedDiagram):
 
     def _audit_semantics(self, level: str, sample_stride: int) -> None:
         # The dynamic-only law: no subcell's skyline is ever empty.
-        for rid, result in enumerate(self._store.table):
+        for rid, result in enumerate(self._store.table_view()):
             if not result:
                 raise AuditError(
                     f"table[{rid}]: dynamic skylines are never empty"

@@ -118,6 +118,55 @@ class ConsForestTable:
         return table
 
 
+class PackedTable:
+    """An interned result table stored as packed (CSR) index arrays.
+
+    ``values[offsets[rid]:offsets[rid + 1]]`` holds the sorted point ids
+    of result ``rid``.  This is the zero-copy on-disk layout of the v3
+    snapshot format: both arrays may be views straight into an mmapped
+    save envelope, so N serving workers share one physical copy of the
+    table.  Tuples are built lazily per id (and cached), exactly like
+    :class:`ConsForestTable`; ``store.table`` access upgrades to a plain
+    list via :meth:`materialize`.
+    """
+
+    __slots__ = ("_offsets", "_values", "_cache")
+
+    def __init__(self, offsets: np.ndarray, values: np.ndarray) -> None:
+        self._offsets = offsets
+        self._values = values
+        self._cache: list[Result | None] | None = None
+
+    def __len__(self) -> int:
+        return int(self._offsets.size) - 1
+
+    def result(self, rid: int) -> Result:
+        """Result tuple of one id, materializing (and caching) it."""
+        cache = self._cache
+        if cache is None:
+            cache = self._cache = [None] * (int(self._offsets.size) - 1)
+        got = cache[rid]
+        if got is not None:
+            return got
+        lo = int(self._offsets[rid])
+        hi = int(self._offsets[rid + 1])
+        tup = tuple(self._values[lo:hi].tolist())
+        cache[rid] = tup
+        return tup
+
+    def __getitem__(self, rid: int) -> Result:
+        return self.result(int(rid))
+
+    def materialize(self) -> list[Result]:
+        """The full table as a plain list, in one pass over the arrays."""
+        offsets = self._offsets.tolist()
+        values = self._values.tolist()
+        return [
+            tuple(values[offsets[rid] : offsets[rid + 1]])
+            for rid in range(len(offsets) - 1)
+        ]
+
+
 class ResultStore:
     """Interned per-cell results over a dense integer grid.
 
@@ -143,13 +192,13 @@ class ResultStore:
     2
     """
 
-    __slots__ = ("shape", "ids", "_table", "_intern")
+    __slots__ = ("shape", "ids", "_table", "_intern", "_mmap")
 
     def __init__(
         self,
         shape: Sequence[int],
         ids: np.ndarray | None = None,
-        table: list[Result] | ConsForestTable | None = None,
+        table: list[Result] | ConsForestTable | PackedTable | None = None,
     ) -> None:
         self.shape: tuple[int, ...] = tuple(int(extent) for extent in shape)
         if ids is None:
@@ -163,10 +212,13 @@ class ResultStore:
                 f"{self.shape}"
             )
         self.ids: np.ndarray = ids
-        self._table: list[Result] | ConsForestTable = (
+        self._table: list[Result] | ConsForestTable | PackedTable = (
             table if table is not None else [()]
         )
         self._intern: dict[Result, int] | None = None
+        # Keeps an mmap alive when the arrays are views into a mapped
+        # snapshot (set by repro.index.serialize.map_diagram).
+        self._mmap = None
 
     @property
     def table(self) -> list[Result]:
@@ -184,7 +236,9 @@ class ResultStore:
         return table
 
     @table.setter
-    def table(self, value: list[Result] | ConsForestTable) -> None:
+    def table(
+        self, value: list[Result] | ConsForestTable | PackedTable
+    ) -> None:
         self._table = value
 
     def result_tuple(self, rid: int) -> Result:
@@ -193,6 +247,22 @@ class ResultStore:
         if type(table) is list:
             return table[rid]
         return table.result(rid)
+
+    def table_view(self) -> list[Result]:
+        """The interned table as a list, *without* upgrading a lazy backing.
+
+        Read-only sweeps (fingerprints, audits, iteration, equality) go
+        through this view: a :class:`ConsForestTable`/:class:`PackedTable`
+        backing is materialized transiently for the caller but
+        ``self._table`` stays lazy, so a routine health sweep never
+        defeats the vectorized builder's deferred interning.  Mutating
+        consumers (:meth:`intern`, fault injection) use the upgrading
+        :attr:`table` property instead.
+        """
+        table = self._table
+        if type(table) is list:
+            return table
+        return table.materialize()
 
     # ------------------------------------------------------------------
     # Construction
@@ -306,14 +376,17 @@ class ResultStore:
         Recorded when a diagram is attached to the serving engine and
         re-checked by :meth:`audit`-driven health sweeps: any in-memory
         mutation of the id grid or the table — including single-bit flips
-        that stay structurally valid — changes the digest.
+        that stay structurally valid — changes the digest.  Computed over
+        :meth:`table_view`, so fingerprinting a lazily interned store
+        never upgrades it and the digest is identical before and after
+        materialization.
         """
         digest = hashlib.sha256()
         digest.update(repr(self.shape).encode())
         digest.update(
             np.ascontiguousarray(self.ids, dtype=np.int64).tobytes()
         )
-        digest.update(repr(self.table).encode())
+        digest.update(repr(self.table_view()).encode())
         return digest.hexdigest()
 
     def audit(self, num_points: int | None = None) -> str:
@@ -323,23 +396,26 @@ class ResultStore:
         id-grid shape/range, canonical (sorted, deduplicated) table
         entries, id range against ``num_points`` when given, duplicate
         interned entries, a stale ``_intern`` acceleration map, and
-        unreferenced table slots.
+        unreferenced table slots.  Reads the table through
+        :meth:`table_view`, so auditing a lazily interned store leaves it
+        lazy.
         """
         if tuple(self.ids.shape) != self.shape:
             raise AuditError(
                 f"id grid of shape {tuple(self.ids.shape)} for store shape "
                 f"{self.shape}"
             )
+        entries = self.table_view()
         if self.ids.size:
             low = int(self.ids.min())
             high = int(self.ids.max())
-            if low < 0 or high >= len(self.table):
+            if low < 0 or high >= len(entries):
                 raise AuditError(
                     f"cell ids span [{low}, {high}] but the table has "
-                    f"{len(self.table)} entries"
+                    f"{len(entries)} entries"
                 )
         seen: dict[tuple[int, ...], int] = {}
-        for rid, result in enumerate(self.table):
+        for rid, result in enumerate(entries):
             if not isinstance(result, tuple):
                 raise AuditError(f"table[{rid}] is not a tuple: {result!r}")
             if list(result) != sorted(set(result)):
@@ -361,7 +437,7 @@ class ResultStore:
         if self._intern is not None and self._intern != seen:
             raise AuditError("intern map disagrees with the result table")
         if self.ids.size:
-            referenced = np.zeros(len(self.table), dtype=bool)
+            referenced = np.zeros(len(entries), dtype=bool)
             referenced[self.ids.reshape(-1)] = True
             if not referenced.all():
                 missing = int(np.nonzero(~referenced)[0][0])
@@ -373,7 +449,7 @@ class ResultStore:
     # ------------------------------------------------------------------
     def items(self) -> Iterator[tuple[Cell, Result]]:
         """Iterate ``(cell, result)`` pairs in row-major order."""
-        table = self.table
+        table = self.table_view()
         flat = self.ids.reshape(-1)
         for cell, rid in zip(
             product(*(range(e) for e in self.shape)), flat.tolist()
@@ -386,7 +462,7 @@ class ResultStore:
 
     def distinct_results(self) -> set[Result]:
         """The set of distinct results (the table, as a set)."""
-        return set(self.table)
+        return set(self.table_view())
 
     def flip(self, axes: Sequence[int]) -> "ResultStore":
         """A store with the id array mirrored along ``axes`` (shared table).
@@ -397,9 +473,11 @@ class ResultStore:
         """
         axes = tuple(axes)
         if not axes:
-            return ResultStore(self.shape, self.ids.copy(), list(self.table))
+            return ResultStore(
+                self.shape, self.ids.copy(), list(self.table_view())
+            )
         flipped = np.ascontiguousarray(np.flip(self.ids, axis=axes))
-        return ResultStore(self.shape, flipped, list(self.table))
+        return ResultStore(self.shape, flipped, list(self.table_view()))
 
     # ------------------------------------------------------------------
     # Equality
@@ -414,7 +492,8 @@ class ResultStore:
         rank = np.empty(len(uniq), dtype=np.int64)
         rank[order] = np.arange(len(uniq))
         canon_ids = rank[inverse.reshape(-1)]
-        canon_table = [self.table[int(uniq[k])] for k in order]
+        table = self.table_view()
+        canon_table = [table[int(uniq[k])] for k in order]
         return canon_ids, canon_table
 
     def __eq__(self, other: object) -> bool:
@@ -422,7 +501,9 @@ class ResultStore:
             return NotImplemented
         if self.shape != other.shape:
             return False
-        if self.table == other.table and np.array_equal(self.ids, other.ids):
+        if self.table_view() == other.table_view() and np.array_equal(
+            self.ids, other.ids
+        ):
             return True
         a_ids, a_table = self._canonical()
         b_ids, b_table = other._canonical()

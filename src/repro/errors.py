@@ -62,6 +62,10 @@ class AuditError(SkylineDiagramError):
     """Raised when a self-audit finds a corrupted store or diagram."""
 
 
+class ServeError(SkylineDiagramError):
+    """Raised by the serving layer (worker crash, timeout, closed pool)."""
+
+
 class AuthenticationError(SkylineDiagramError):
     """Raised when verification of an outsourced skyline result fails."""
 

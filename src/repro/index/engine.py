@@ -513,6 +513,7 @@ class SkylineDatabase:
         mask: int = 0,
         k: int = 1,
         force: bool = False,
+        refresh: bool = False,
     ) -> dict[str, str]:
         """Retry failed builds, respecting exponential backoff.
 
@@ -521,9 +522,20 @@ class SkylineDatabase:
         already present), ``"backoff"`` (retry not due yet; pass
         ``force=True`` to override) or ``"degraded"`` (the retry failed
         again — backoff doubles).
+
+        With ``refresh=True``, *ready* diagrams are rebuilt as well —
+        generation-swap style: the old diagram keeps answering queries
+        while the replacement is constructed and audited aside, and only
+        a replacement whose audit passes is swapped in (one atomic
+        reference assignment, so a concurrent reader sees either the old
+        or the new generation, never a mix).  A failed refresh keeps the
+        old generation serving and reports ``"kept"``; a successful swap
+        reports ``"refreshed"``.
         """
         if kind is not None:
             keys = [self._planner.plan(kind, mask=mask, k=k).key]
+        elif refresh:
+            keys = sorted(set(self._states) | set(self._diagrams))
         else:
             keys = sorted(
                 key
@@ -533,7 +545,10 @@ class SkylineDatabase:
         outcome: dict[str, str] = {}
         for key in keys:
             if self._diagrams.get(key) is not None:
-                outcome[key] = "ready"
+                if refresh:
+                    outcome[key] = self._refresh(key)
+                else:
+                    outcome[key] = "ready"
                 continue
             state = self._states.setdefault(key, _BuildState())
             if (
@@ -551,6 +566,37 @@ class SkylineDatabase:
             )
             outcome[key] = "ready" if diagram is not None else "degraded"
         return outcome
+
+    def _refresh(self, key: str) -> str:
+        """Rebuild one ready diagram aside and swap it in atomically.
+
+        The currently attached diagram is never touched until the
+        replacement has been fully built *and* passed its own audit —
+        queries running concurrently (in other threads) keep resolving
+        ``self._diagrams[key]`` to a complete generation throughout.
+        """
+        state = self._states.setdefault(key, _BuildState())
+        builder = self._planner.plan_for_key(key).builder
+        try:
+            fresh = builder(as_meter(self.budget, self._clock))
+            fingerprint = fresh.audit()
+        except (QueryError, DimensionalityError, DatasetError):
+            raise  # user errors, not build failures: never swallowed
+        except Exception as exc:
+            # Old generation keeps serving; record why the swap was
+            # withheld without degrading the (still healthy) build state.
+            state.error = (
+                f"refresh withheld: {type(exc).__name__}: {exc}"
+            )
+            return "kept"
+        self._diagrams[key] = fresh  # atomic swap under the GIL
+        state.status = "ready"
+        state.error = None
+        state.partial = None
+        state.next_retry = None
+        state.fingerprint = fingerprint
+        state.report = getattr(fresh, "build_report", None)
+        return "refreshed"
 
     def audit(self, level: str = "structure") -> dict[str, str]:
         """Audit every built diagram; evict and quarantine corrupt ones.

@@ -1,32 +1,47 @@
-"""JSON serialization of precomputed diagrams.
+"""Serialization of precomputed diagrams: binary v3 snapshots + legacy JSON.
 
 Diagrams are precomputation artifacts; persisting them is how a service
-avoids rebuilding on restart and how the outsourced-computation application
-ships a diagram to an untrusted server.  The format stores the source points
-and the row-major cell results; grids are rebuilt deterministically from the
-points on load and validated against the recorded shape.
+avoids rebuilding on restart and how N worker processes share one
+zero-copy snapshot.  Two payload formats live behind one envelope:
+
+* **v3 (binary, the default)** — a one-line JSON meta header followed by
+  64-byte-aligned raw array sections: the ``int32``/``uint`` id grid, the
+  interned result table (either the vectorized builder's cons forest —
+  ``rep``/``par`` node arrays plus the tiny corner groups — or a packed
+  CSR ``lengths``/``values`` pair), the per-axis grid values, and the
+  source points.  Sections load as ``np.frombuffer`` views straight into
+  the file bytes, so :func:`map_diagram` serves a diagram from an mmap
+  without copying the grid or the table, and the store's lazy table
+  backing (:class:`~repro.diagram.store.ConsForestTable` /
+  :class:`~repro.diagram.store.PackedTable`) survives the round trip.
+  This also fixes the legacy writer's ``O(cells x |result|)`` payload
+  blowup: the id grid and the interned table are written once each.
+* **v1 JSON (legacy)** — source points plus one expanded result list per
+  cell; still produced by :func:`diagram_to_json` and loaded forever.
 
 Durability envelope
 -------------------
-:func:`save_diagram` wraps the JSON payload in a one-line versioned header
+:func:`save_diagram` wraps the payload in a one-line versioned header
 carrying a SHA-256 checksum and the payload byte count::
 
-    repro.skyline-diagram/2 sha256=<hex> bytes=<n>
-    {"format": "repro.skyline-diagram", ...}
+    repro.skyline-diagram/3 sha256=<hex> bytes=<n>
+    <binary v3 payload>
 
-and writes atomically (temp file in the target directory, fsync, rename),
-so a crash mid-save never leaves a half-written file at the destination.
-:func:`load_diagram` verifies the header before parsing: truncation is
-caught by the byte count, bit rot by the checksum, and both raise
+(JSON payloads keep the historical ``/2`` header) and writes atomically
+(temp file in the target directory, fsync, rename), so a crash mid-save
+never leaves a half-written file at the destination.  :func:`load_diagram`
+verifies the header before parsing: truncation is caught by the byte
+count, bit rot by the checksum, and both raise
 :class:`~repro.errors.SerializationError` with a ``salvage`` report
 describing what survived.  Bare-JSON files from before the envelope (v1)
-still load.
+and ``/2`` JSON envelopes still load byte-compatibly.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import mmap
 import os
 import tempfile
 from typing import Any
@@ -34,7 +49,7 @@ from typing import Any
 import numpy as np
 
 from repro.diagram.base import DynamicDiagram, SkylineDiagram
-from repro.diagram.store import ResultStore
+from repro.diagram.store import ConsForestTable, PackedTable, ResultStore
 from repro.errors import SerializationError
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset
@@ -42,8 +57,11 @@ from repro.geometry.subcell import SubcellGrid
 
 _FORMAT = "repro.skyline-diagram"
 _VERSION = 1
-_ENVELOPE_VERSION = 2
+_JSON_ENVELOPE_VERSION = 2
+_BINARY_ENVELOPE_VERSION = 3
+_ENVELOPE_VERSION = _JSON_ENVELOPE_VERSION  # historical alias (JSON payloads)
 _HEADER_PREFIX = b"repro.skyline-diagram/"
+_ALIGN = 64
 
 # Seams for fault injection (repro.testing.faults patches these to simulate
 # IO failures at the worst moments).
@@ -134,41 +152,53 @@ def dynamic_diagram_from_json(text: str) -> DynamicDiagram:
 
 
 # ----------------------------------------------------------------------
-# Envelope (version 2): checksummed header + atomic file IO
+# Envelope (versions 2 and 3): checksummed header + atomic file IO
 # ----------------------------------------------------------------------
-def envelope_bytes(payload: str) -> bytes:
-    """Wrap a serialized payload in the versioned, checksummed header."""
-    body = payload.encode("utf-8")
+def envelope_bytes(payload: str | bytes) -> bytes:
+    """Wrap a serialized payload in the versioned, checksummed header.
+
+    ``str`` payloads (JSON) get the historical ``/2`` header; ``bytes``
+    payloads (binary v3 snapshots) get ``/3``.
+    """
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        version = _JSON_ENVELOPE_VERSION
+    else:
+        body = payload
+        version = _BINARY_ENVELOPE_VERSION
     digest = hashlib.sha256(body).hexdigest()
     header = (
-        f"{_HEADER_PREFIX.decode('ascii')}{_ENVELOPE_VERSION} "
+        f"{_HEADER_PREFIX.decode('ascii')}{version} "
         f"sha256={digest} bytes={len(body)}\n"
     )
     return header.encode("ascii") + body
 
 
-def open_envelope(blob: bytes) -> str:
-    """Verify an envelope and return the payload text.
+def verify_envelope(
+    blob: bytes | memoryview,
+) -> tuple[int | None, memoryview, str | None]:
+    """Verify an envelope; return ``(version, payload, sha256)``.
 
-    Bytes that do not start with the envelope header are treated as a
-    bare v1 payload (pre-envelope files keep loading).  Truncated or
-    corrupted envelopes raise :class:`SerializationError` whose
-    ``salvage`` attribute reports the recorded header, the expected and
-    actual byte counts/checksums, and whether the payload prefix is
-    still parseable.
+    ``version`` is ``None`` for bare v1 payloads (no header, no
+    checksum), 2 for JSON envelopes and 3 for binary snapshots; the
+    payload is returned as a zero-copy ``memoryview`` into ``blob``.
+    Truncated or corrupted envelopes raise :class:`SerializationError`
+    whose ``salvage`` attribute reports the recorded header, the
+    expected and actual byte counts/checksums, and whether the payload
+    prefix is still parseable.
     """
-    if not blob.startswith(_HEADER_PREFIX):
-        try:
-            return blob.decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise SerializationError(f"undecodable payload: {exc}") from exc
-    newline = blob.find(b"\n")
+    view = memoryview(blob)
+    if bytes(view[: len(_HEADER_PREFIX)]) != _HEADER_PREFIX:
+        return None, view, None
+    newline = bytes(view[:256]).find(b"\n")
+    if newline < 0:
+        newline = bytes(view).find(b"\n")
     if newline < 0:
         raise _salvage_error(
             "envelope truncated inside the header", header=None, body=b""
         )
-    header = blob[:newline].decode("ascii", errors="replace")
-    body = blob[newline + 1 :]
+    header = bytes(view[:newline]).decode("ascii", errors="replace")
+    body = view[newline + 1 :]
     tokens = header.split()
     fields = dict(
         token.split("=", 1) for token in tokens[1:] if "=" in token
@@ -179,10 +209,11 @@ def open_envelope(blob: bytes) -> str:
         raise _salvage_error(
             f"malformed envelope header {header!r}", header, body
         ) from exc
-    if version != _ENVELOPE_VERSION:
+    if version not in (_JSON_ENVELOPE_VERSION, _BINARY_ENVELOPE_VERSION):
         raise _salvage_error(
             f"unsupported envelope version {version} "
-            f"(expected {_ENVELOPE_VERSION})",
+            f"(expected {_JSON_ENVELOPE_VERSION} or "
+            f"{_BINARY_ENVELOPE_VERSION})",
             header,
             body,
         )
@@ -210,13 +241,33 @@ def open_envelope(blob: bytes) -> str:
             expected_sha=expected_sha,
             actual_sha=digest,
         )
-    return body.decode("utf-8")
+    return version, body, expected_sha
+
+
+def open_envelope(blob: bytes) -> str:
+    """Verify an envelope and return a *text* payload.
+
+    Bytes that do not start with the envelope header are treated as a
+    bare v1 payload (pre-envelope files keep loading).  Binary v3
+    snapshots have no text payload and raise; use :func:`load_diagram`
+    or :func:`map_diagram` for those.
+    """
+    version, body, _ = verify_envelope(blob)
+    if version == _BINARY_ENVELOPE_VERSION:
+        raise SerializationError(
+            "binary v3 snapshot payloads are not text; "
+            "use load_diagram/map_diagram"
+        )
+    try:
+        return bytes(body).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SerializationError(f"undecodable payload: {exc}") from exc
 
 
 def _salvage_error(
     message: str,
     header: str | None,
-    body: bytes,
+    body: bytes | memoryview,
     **extra: Any,
 ) -> SerializationError:
     salvage: dict[str, Any] = {
@@ -225,7 +276,7 @@ def _salvage_error(
         **extra,
     }
     try:
-        json.loads(body.decode("utf-8"))
+        json.loads(bytes(body).decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError):
         salvage["payload_parseable"] = False
     else:
@@ -235,20 +286,296 @@ def _salvage_error(
     return error
 
 
-def save_diagram(
-    diagram: SkylineDiagram | DynamicDiagram, path: str
-) -> None:
-    """Atomically write a diagram to ``path`` with the v2 envelope.
+# ----------------------------------------------------------------------
+# Binary v3 payload: JSON meta line + 64-byte-aligned raw array sections
+# ----------------------------------------------------------------------
+def _min_uint_dtype(max_value: int) -> np.dtype:
+    """Smallest unsigned dtype holding values in ``[0, max_value]``."""
+    for candidate in (np.uint8, np.uint16, np.uint32):
+        if max_value <= np.iinfo(candidate).max:
+            return np.dtype(candidate)
+    return np.dtype(np.int64)
 
-    The payload lands in a temp file in the destination directory, is
-    flushed and fsynced, then renamed over ``path`` — a crash or injected
-    IO error at any step leaves either the old file or nothing, never a
-    torn write.
+
+def _packed_arrays(
+    entries, id_dtype: np.dtype
+) -> tuple[np.ndarray, np.ndarray]:
+    """CSR ``(lengths, values)`` arrays of a sequence of result tuples."""
+    lengths = np.fromiter(
+        (len(t) for t in entries), dtype=np.int64, count=len(entries)
+    )
+    total = int(lengths.sum())
+    values = np.fromiter(
+        (pid for t in entries for pid in t), dtype=np.int64, count=total
+    )
+    max_len = int(lengths.max()) if lengths.size else 0
+    return lengths.astype(_min_uint_dtype(max_len)), values.astype(id_dtype)
+
+
+def diagram_to_v3_bytes(
+    diagram: SkylineDiagram | DynamicDiagram,
+) -> bytes:
+    """Serialize any diagram to the binary v3 snapshot payload.
+
+    The id grid and the interned result table are written once each —
+    the save payload is ``O(cells + table)``, not the legacy JSON
+    writer's ``O(cells x |result|)`` per-cell expansion.  A lazy
+    :class:`~repro.diagram.store.ConsForestTable` backing is written as
+    its cons forest (``rep``/``par`` plus the corner groups) without
+    upgrading the store; list and :class:`PackedTable` backings are
+    written packed (CSR).
     """
+    store = diagram.store
+    meta: dict[str, Any] = {
+        "format": _FORMAT,
+        "version": 3,
+        "algorithm": diagram.algorithm,
+        "shape": list(store.shape),
+    }
     if isinstance(diagram, DynamicDiagram):
-        payload = dynamic_diagram_to_json(diagram)
+        meta["diagram"] = "dynamic"
+        grid = diagram.subcells
     else:
-        payload = diagram_to_json(diagram)
+        meta["diagram"] = "cell"
+        meta["kind"] = diagram.kind
+        meta["mask"] = int(diagram.mask)
+        k = getattr(diagram, "k", None)
+        if k is not None:
+            meta["k"] = int(k)
+        grid = diagram.grid
+    n = len(grid.dataset)
+    pid_dtype = _min_uint_dtype(max(0, n - 1))
+    sections: list[tuple[str, np.ndarray]] = [
+        ("points", np.asarray(grid.dataset.points, dtype=np.float64)),
+        (
+            "ids",
+            np.ascontiguousarray(
+                store.ids,
+                dtype=_min_uint_dtype(max(0, store.distinct_count - 1)),
+            ),
+        ),
+    ]
+    for d, axis in enumerate(grid.axes):
+        sections.append((f"axis{d}", np.asarray(axis, dtype=np.float64)))
+    table = store._table
+    if type(table) is ConsForestTable:
+        meta["table"] = "forest"
+        glen, gval = _packed_arrays(table._groups, pid_dtype)
+        sections += [
+            ("table_rep", np.ascontiguousarray(table._rep, dtype=np.int32)),
+            ("table_par", np.ascontiguousarray(table._par, dtype=np.int32)),
+            ("group_lengths", glen),
+            ("group_values", gval),
+        ]
+    else:
+        meta["table"] = "packed"
+        entries = store.table_view()
+        lengths, values = _packed_arrays(entries, pid_dtype)
+        sections += [
+            ("table_lengths", lengths),
+            ("table_values", values),
+        ]
+    toc = []
+    offset = 0
+    for name, array in sections:
+        array = np.ascontiguousarray(array)
+        offset = -(-offset // _ALIGN) * _ALIGN
+        toc.append(
+            {
+                "name": name,
+                "dtype": array.dtype.str,
+                "shape": list(array.shape),
+                "offset": offset,
+            }
+        )
+        offset += array.nbytes
+    meta["sections"] = toc
+    meta_line = json.dumps(meta, separators=(",", ":")).encode("utf-8") + b"\n"
+    base = -(-len(meta_line) // _ALIGN) * _ALIGN
+    parts = [meta_line, b"\0" * (base - len(meta_line))]
+    position = 0
+    for entry, (_, array) in zip(toc, sections):
+        parts.append(b"\0" * (entry["offset"] - position))
+        parts.append(np.ascontiguousarray(array).tobytes())
+        position = entry["offset"] + array.nbytes
+    return b"".join(parts)
+
+
+def _v3_meta(payload: bytes | memoryview) -> tuple[dict, int]:
+    """Parse the v3 meta line; return ``(meta, section_base_offset)``."""
+    view = memoryview(payload)
+    probe = bytes(view[: 1 << 20])
+    newline = probe.find(b"\n")
+    if newline < 0:
+        raise SerializationError("v3 snapshot is missing its meta line")
+    try:
+        meta = json.loads(probe[:newline].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"invalid v3 meta line: {exc}") from exc
+    if not isinstance(meta, dict) or meta.get("format") != _FORMAT:
+        raise SerializationError("not a serialized skyline diagram")
+    if meta.get("version") != 3:
+        raise SerializationError(
+            f"unsupported version {meta.get('version')!r}"
+        )
+    for key in ("diagram", "shape", "sections", "table"):
+        if key not in meta:
+            raise SerializationError(f"missing field {key!r}")
+    return meta, -(-(newline + 1) // _ALIGN) * _ALIGN
+
+
+def _v3_sections(
+    payload: bytes | memoryview, meta: dict, base: int
+) -> dict[str, np.ndarray]:
+    """Zero-copy ``np.frombuffer`` views of every section of a payload."""
+    arrays: dict[str, np.ndarray] = {}
+    size = len(payload)
+    for entry in meta["sections"]:
+        try:
+            name = entry["name"]
+            dtype = np.dtype(entry["dtype"])
+            shape = tuple(int(e) for e in entry["shape"])
+            offset = base + int(entry["offset"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(
+                f"malformed v3 section entry {entry!r}: {exc}"
+            ) from exc
+        count = 1
+        for extent in shape:
+            count *= extent
+        if offset < 0 or offset + count * dtype.itemsize > size:
+            raise SerializationError(
+                f"v3 section {name!r} overruns the payload "
+                f"({offset}+{count * dtype.itemsize} > {size})"
+            )
+        arrays[name] = np.frombuffer(
+            payload, dtype=dtype, count=count, offset=offset
+        ).reshape(shape)
+    return arrays
+
+
+def _v3_table(meta: dict, arrays: dict[str, np.ndarray], n: int):
+    """Reconstruct the (lazy) interned table of a v3 payload."""
+    try:
+        if meta["table"] == "forest":
+            lengths = arrays["group_lengths"].astype(np.int64)
+            offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=offsets[1:])
+            values = arrays["group_values"]
+            groups = [
+                tuple(values[offsets[g] : offsets[g + 1]].tolist())
+                for g in range(lengths.size)
+            ]
+            return ConsForestTable(
+                arrays["table_rep"], arrays["table_par"], groups
+            )
+        if meta["table"] == "packed":
+            lengths = arrays["table_lengths"].astype(np.int64)
+            offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=offsets[1:])
+            return PackedTable(offsets, arrays["table_values"])
+    except KeyError as exc:
+        raise SerializationError(
+            f"v3 payload is missing table section {exc}"
+        ) from exc
+    raise SerializationError(
+        f"unknown v3 table encoding {meta['table']!r}"
+    )
+
+
+def diagram_from_v3(
+    payload: bytes | memoryview,
+) -> SkylineDiagram | DynamicDiagram:
+    """Parse a binary v3 snapshot payload into a diagram.
+
+    The id grid and the table's index arrays are ``np.frombuffer`` views
+    into ``payload`` — no copy is made, so parsing an mmapped file
+    yields a diagram whose hot arrays are shared, read-only pages.  The
+    grid is rebuilt deterministically from the stored points and
+    validated against the recorded shape and axis sections.
+    """
+    meta, base = _v3_meta(payload)
+    arrays = _v3_sections(payload, meta, base)
+    for required in ("points", "ids"):
+        if required not in arrays:
+            raise SerializationError(f"v3 payload has no {required!r} section")
+    try:
+        dataset = Dataset([tuple(row) for row in arrays["points"].tolist()])
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed points: {exc}") from exc
+    if meta["diagram"] == "dynamic":
+        grid = SubcellGrid(dataset)
+    else:
+        grid = Grid(dataset)
+    shape = tuple(int(e) for e in meta["shape"])
+    if tuple(grid.shape) != shape:
+        raise SerializationError(
+            f"grid shape {grid.shape} does not match recorded {list(shape)}"
+        )
+    for d, axis in enumerate(grid.axes):
+        stored = arrays.get(f"axis{d}")
+        if stored is not None and not np.array_equal(
+            stored, np.asarray(axis, dtype=np.float64)
+        ):
+            raise SerializationError(
+                f"axis {d} grid values do not match the stored points"
+            )
+    ids = arrays["ids"]
+    if tuple(ids.shape) != shape:
+        raise SerializationError(
+            f"id grid of shape {tuple(ids.shape)} for recorded shape "
+            f"{list(shape)}"
+        )
+    table = _v3_table(meta, arrays, len(dataset))
+    if ids.size and int(ids.max()) >= len(table):
+        raise SerializationError(
+            f"cell ids reference result {int(ids.max())} but the table "
+            f"has {len(table)} entries"
+        )
+    store = ResultStore(shape, ids, table)
+    if meta["diagram"] == "dynamic":
+        return DynamicDiagram(grid, store, algorithm=meta["algorithm"])
+    if "k" in meta:
+        from repro.diagram.skyband import SkybandDiagram
+
+        k = meta["k"]
+        if not isinstance(k, int) or k < 1:
+            raise SerializationError(f"invalid skyband width k={k!r}")
+        return SkybandDiagram(grid, store, k=k, algorithm=meta["algorithm"])
+    return SkylineDiagram(
+        grid,
+        store,
+        kind=meta["kind"],
+        mask=meta["mask"],
+        algorithm=meta["algorithm"],
+    )
+
+
+def save_diagram(
+    diagram: SkylineDiagram | DynamicDiagram,
+    path: str,
+    format: str = "binary",
+) -> None:
+    """Atomically write a diagram to ``path`` inside the sha256 envelope.
+
+    ``format="binary"`` (the default) writes the v3 snapshot payload —
+    the format :func:`map_diagram` serves zero-copy; ``format="json"``
+    writes the legacy v1 JSON payload in a ``/2`` envelope.  Either way
+    the payload lands in a temp file in the destination directory, is
+    flushed and fsynced, then renamed over ``path`` — a crash or
+    injected IO error at any step leaves either the old file or
+    nothing, never a torn write.
+    """
+    payload: str | bytes
+    if format == "binary":
+        payload = diagram_to_v3_bytes(diagram)
+    elif format == "json":
+        if isinstance(diagram, DynamicDiagram):
+            payload = dynamic_diagram_to_json(diagram)
+        else:
+            payload = diagram_to_json(diagram)
+    else:
+        raise ValueError(f"unknown save format {format!r}")
     blob = envelope_bytes(payload)
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(
@@ -281,7 +608,13 @@ def load_diagram(path: str) -> SkylineDiagram | DynamicDiagram:
             blob = handle.read()
     except OSError as exc:
         raise SerializationError(f"cannot read {path!r}: {exc}") from exc
-    text = open_envelope(blob)
+    version, body, _ = verify_envelope(blob)
+    if version == _BINARY_ENVELOPE_VERSION:
+        return diagram_from_v3(body)
+    try:
+        text = bytes(body).decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SerializationError(f"undecodable payload: {exc}") from exc
     try:
         meta = json.loads(text)
     except json.JSONDecodeError as exc:
@@ -291,6 +624,45 @@ def load_diagram(path: str) -> SkylineDiagram | DynamicDiagram:
     if meta.get("diagram") == "dynamic":
         return dynamic_diagram_from_json(text)
     return diagram_from_json(text)
+
+
+def map_diagram(
+    path: str,
+) -> tuple[SkylineDiagram | DynamicDiagram, str]:
+    """Memory-map a binary v3 snapshot; return ``(diagram, sha256)``.
+
+    The file is mapped read-only and the diagram's id grid and table
+    index arrays are views into the mapping, so N processes mapping the
+    same snapshot share one copy of the hot pages — this is the worker
+    side of the serving subsystem.  The mapping stays alive for the
+    diagram's lifetime via a reference on the store.  Only binary v3
+    envelopes can be mapped; JSON envelopes raise (load those with
+    :func:`load_diagram`).
+    """
+    try:
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    except (OSError, ValueError) as exc:
+        raise SerializationError(f"cannot map {path!r}: {exc}") from exc
+    try:
+        version, body, sha = verify_envelope(mapped)
+        if version != _BINARY_ENVELOPE_VERSION:
+            raise SerializationError(
+                f"only binary v3 snapshots can be mapped; {path!r} holds "
+                f"{'a bare v1 payload' if version is None else f'a v{version} envelope'}"
+            )
+        diagram = diagram_from_v3(body)
+    except BaseException:
+        try:
+            mapped.close()
+        except BufferError:
+            # The in-flight exception still holds payload views; the
+            # mapping is reclaimed when they are garbage collected.
+            pass
+        raise
+    # Anchor the mapping to the store so the pages outlive this frame.
+    diagram.store._mmap = mapped
+    return diagram, sha
 
 
 # ----------------------------------------------------------------------
@@ -317,7 +689,7 @@ def _load(text: str, expected: str) -> dict[str, Any]:
 
 def _rows_from_store(store: ResultStore) -> list[list[int]]:
     """Row-major per-cell results as JSON-ready lists (one table read each)."""
-    table = [list(result) for result in store.table]
+    table = [list(result) for result in store.table_view()]
     return [table[i] for i in store.ids.reshape(-1).tolist()]
 
 

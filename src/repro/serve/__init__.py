@@ -1,0 +1,29 @@
+"""Shared-memory multi-worker serving of one diagram snapshot.
+
+The paper's whole premise is amortizing one expensive precomputation
+over massive query traffic; this package is the serving half of that
+bargain.  A diagram saved in the binary v3 snapshot format
+(:func:`repro.index.serialize.save_diagram`) is mapped — not read — by
+every worker process (:class:`SnapshotManager` /
+:func:`repro.index.serialize.map_diagram`), so N workers share one
+physical copy of the id grid and result table through the page cache.
+An asyncio front-end (:class:`SkylineServer`, ``repro serve``) coalesces
+concurrent single queries into planner-style batches
+(:class:`QueryBatcher`) because the batch lookup path is an order of
+magnitude cheaper per query (BENCH_pr5), and a generation swap keeps
+queries on the old snapshot until a replacement file's checksum and
+payload verify (:meth:`SnapshotManager.refresh`).
+"""
+
+from repro.serve.batcher import QueryBatcher
+from repro.serve.pool import SnapshotWorkerPool
+from repro.serve.server import SkylineServer
+from repro.serve.snapshot import Snapshot, SnapshotManager
+
+__all__ = [
+    "QueryBatcher",
+    "SkylineServer",
+    "Snapshot",
+    "SnapshotManager",
+    "SnapshotWorkerPool",
+]

@@ -1,0 +1,136 @@
+"""Coalesce concurrent single queries into planner-style batches.
+
+The batch lookup path answers queries an order of magnitude cheaper
+per query than singles (one ``searchsorted`` per axis for the whole
+batch — BENCH_pr5 measured 13.6x), but network clients send singles.
+:class:`QueryBatcher` is the adapter: every ``submit`` parks on a
+future, and the accumulated batch is flushed to the executor when it
+reaches ``max_batch`` *or* when the oldest parked query has waited
+``max_delay`` seconds — whichever comes first.  Under load the size
+threshold dominates (big batches, amortized cost); when idle the timer
+bounds added latency to ``max_delay``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable
+
+#: Executes one coalesced batch; returns (results, generation_tag).
+BatchRunner = Callable[
+    [list[tuple[float, ...]]],
+    Awaitable[tuple[list[tuple[int, ...]], str]],
+]
+
+
+class QueryBatcher:
+    """Batch single queries behind one async ``submit`` call.
+
+    Parameters
+    ----------
+    run_batch:
+        Async callable answering one batch; its result tuple is
+        ``(results, generation)`` with ``results`` aligned to the
+        submitted order.  An exception rejects every parked future of
+        that batch (each caller sees the failure, none hang).
+    max_batch:
+        Flush as soon as this many queries are parked.
+    max_delay:
+        Flush this many seconds after the *first* query of a batch
+        parked, even if the batch is small.
+    """
+
+    def __init__(
+        self,
+        run_batch: BatchRunner,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self._run_batch = run_batch
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._pending: list[
+            tuple[tuple[float, ...], asyncio.Future]
+        ] = []
+        self._timer: asyncio.TimerHandle | None = None
+        # Telemetry: how the coalescing actually behaved under load.
+        self.batches = 0
+        self.queries = 0
+        self.size_flushes = 0
+        self.timer_flushes = 0
+        self.largest_batch = 0
+
+    async def submit(
+        self, query: tuple[float, ...]
+    ) -> tuple[tuple[int, ...], str]:
+        """Park one query; return ``(result, generation)`` when answered."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((query, future))
+        if len(self._pending) >= self.max_batch:
+            self.size_flushes += 1
+            self._flush_now(loop)
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.max_delay, self._timer_fired, loop
+            )
+        return await future
+
+    def _timer_fired(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._timer = None
+        if self._pending:
+            self.timer_flushes += 1
+            self._flush_now(loop)
+
+    def _flush_now(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        batch = self._pending
+        self._pending = []
+        self.batches += 1
+        self.queries += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        loop.create_task(self._run(batch))
+
+    async def _run(
+        self,
+        batch: list[tuple[tuple[float, ...], asyncio.Future]],
+    ) -> None:
+        queries = [query for query, _ in batch]
+        try:
+            results, generation = await self._run_batch(queries)
+            if len(results) != len(queries):
+                raise RuntimeError(
+                    f"batch runner returned {len(results)} results "
+                    f"for {len(queries)} queries"
+                )
+        except Exception as exc:
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result((result, generation))
+
+    async def drain(self) -> None:
+        """Flush anything parked and yield until the loop settles."""
+        if self._pending:
+            self._flush_now(asyncio.get_running_loop())
+        await asyncio.sleep(0)
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready coalescing telemetry."""
+        return {
+            "batches": self.batches,
+            "queries": self.queries,
+            "size_flushes": self.size_flushes,
+            "timer_flushes": self.timer_flushes,
+            "largest_batch": self.largest_batch,
+            "mean_batch": (
+                round(self.queries / self.batches, 2) if self.batches else 0.0
+            ),
+        }

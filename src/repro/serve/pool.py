@@ -1,0 +1,256 @@
+"""A process pool whose workers serve one mmapped snapshot zero-copy.
+
+Each worker process opens its own :class:`~repro.serve.snapshot.
+SnapshotManager` over the same snapshot path, so the id grid and the
+interned table exist once in the page cache no matter how many workers
+serve them — the ResultStore is flat arrays precisely so this works.
+Workers answer whole batches (the batcher upstream has already
+coalesced singles) and re-check the snapshot's stat identity before
+every batch, which is how a generation swap propagates: a batch is
+answered entirely by one generation, never a mix, and the answer
+carries that generation's sha so callers can observe the swap.
+
+Transport is one duplex pipe per worker — deliberately *not* a shared
+``multiprocessing.Queue``: a queue's cross-process locks can be left
+held forever by a worker killed at the wrong instant (the feeder thread
+dies holding the write lock), deadlocking every surviving worker.  With
+per-worker pipes each direction has exactly one reader and one writer,
+so a SIGKILL strands only that worker's in-flight batches — which the
+timeout path resubmits to a live worker after respawning the dead one.
+The chaos harness kills workers mid-load to enforce exactly this.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import threading
+import time
+from multiprocessing import connection as mp_connection
+from typing import Any
+
+from repro.errors import SerializationError, ServeError
+from repro.serve.snapshot import SnapshotManager
+
+
+def _worker_main(path: str, conn) -> None:
+    """Worker loop: map the snapshot, answer batches until poisoned.
+
+    Module-level so every multiprocessing start method can target it.
+    The manager refreshes per batch — a swapped snapshot file is picked
+    up at the next batch boundary, and a corrupt replacement keeps the
+    old generation serving (the manager records, the batch still
+    answers).
+    """
+    manager = SnapshotManager(path)
+    try:
+        # Map eagerly while the file is known-good (the pool verified it
+        # at construction): a worker that has a generation in hand keeps
+        # serving it even if the file is later damaged in place.  A
+        # respawn racing a bad file falls back to retrying per batch.
+        manager.load()
+    except SerializationError:
+        pass
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        task_id, queries = item
+        try:
+            snapshot = manager.refresh()
+            answers = snapshot.diagram.query_batch(queries)
+            reply = (task_id, "ok", snapshot.generation, answers)
+        except Exception as exc:  # surface, don't kill the worker
+            reply = (task_id, "error", None, f"{type(exc).__name__}: {exc}")
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return
+
+
+class SnapshotWorkerPool:
+    """N processes answering query batches from one mmapped snapshot.
+
+    ``query_batch`` is safe to call from several threads at once (the
+    asyncio server drives it through a thread-pool executor); in-flight
+    batches are matched back to callers by task id under one condition
+    variable, and one caller at a time multiplexes the worker pipes
+    with ``multiprocessing.connection.wait``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        workers: int = 2,
+        start_method: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        # Verify the snapshot up front: a pool over an unloadable file
+        # should fail at construction, not on the first query.
+        SnapshotManager(path).load()
+        self.path = path
+        self.workers = workers
+        method = start_method or (
+            "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        )
+        self._ctx = mp.get_context(method)
+        self._procs: list[Any] = []
+        self._conns: list[Any] = []  # parent end of each worker's pipe
+        self._task_ids = itertools.count(1)
+        self._rr = itertools.count()  # round-robin dispatch cursor
+        self._send_lock = threading.Lock()
+        self._cond = threading.Condition()
+        self._waiting: set[int] = set()
+        self._done: dict[int, tuple[str, str | None, Any]] = {}
+        self._draining = False
+        self._closed = False
+        self.respawns = 0
+        for index in range(workers):
+            self._spawn(index)
+
+    def _spawn(self, index: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self.path, child_conn),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # the worker holds its own copy
+        if index < len(self._procs):
+            self._conns[index].close()
+            self._procs[index] = proc
+            self._conns[index] = parent_conn
+        else:
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    def _dispatch(self, task: tuple[int, list]) -> None:
+        """Round-robin the task to a live worker."""
+        with self._send_lock:
+            for _ in range(len(self._procs)):
+                index = next(self._rr) % len(self._procs)
+                if not self._procs[index].is_alive():
+                    continue
+                try:
+                    self._conns[index].send(task)
+                    return
+                except (BrokenPipeError, OSError):
+                    continue
+        raise ServeError("no live worker accepted the batch")
+
+    # ------------------------------------------------------------------
+    def ensure_alive(self) -> int:
+        """Respawn dead workers; return how many were replaced."""
+        replaced = 0
+        with self._send_lock:
+            for index, proc in enumerate(self._procs):
+                if not proc.is_alive():
+                    self._spawn(index)
+                    replaced += 1
+        self.respawns += replaced
+        return replaced
+
+    def query_batch(
+        self,
+        queries: list[tuple[float, ...]],
+        timeout: float = 30.0,
+    ) -> tuple[list[tuple[int, ...]], str]:
+        """Answer one batch; return ``(results, generation_sha)``.
+
+        Blocks until a worker answers.  If no answer arrives promptly,
+        dead workers are respawned and the batch resubmitted — a killed
+        worker loses at most the batches it was holding, and those are
+        retried, not dropped (duplicate completions are idempotent and
+        discarded).
+        """
+        if self._closed:
+            raise ServeError("pool is closed")
+        task_id = next(self._task_ids)
+        with self._cond:
+            self._waiting.add(task_id)
+        try:
+            self._dispatch((task_id, queries))
+            deadline = time.monotonic() + timeout
+            resubmit_at = time.monotonic() + min(1.0, timeout / 3)
+            while True:
+                with self._cond:
+                    done = self._done.pop(task_id, None)
+                    if done is not None:
+                        status, generation, payload = done
+                        if status == "ok":
+                            return [tuple(r) for r in payload], generation
+                        raise ServeError(f"worker failed: {payload}")
+                    if self._draining:
+                        self._cond.wait(0.05)
+                        continue
+                    self._draining = True
+                items = []
+                try:
+                    for conn in mp_connection.wait(
+                        list(self._conns), timeout=0.05
+                    ):
+                        try:
+                            items.append(conn.recv())
+                        except (EOFError, OSError):
+                            pass  # dead worker; the sweep below respawns
+                    if not items:
+                        now = time.monotonic()
+                        if now >= deadline:
+                            raise ServeError(
+                                f"batch {task_id} timed out after {timeout}s"
+                            )
+                        if now >= resubmit_at:
+                            resubmit_at = now + min(1.0, timeout / 3)
+                            if self.ensure_alive():
+                                # A worker died holding batches; retry.
+                                self._dispatch((task_id, queries))
+                finally:
+                    with self._cond:
+                        self._draining = False
+                        for item in items:
+                            if item[0] in self._waiting:
+                                self._done[item[0]] = item[1:]
+                        self._cond.notify_all()
+        finally:
+            with self._cond:
+                self._waiting.discard(task_id)
+                self._done.pop(task_id, None)
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-ready pool state for health endpoints."""
+        return {
+            "workers": self.workers,
+            "alive": sum(1 for p in self._procs if p.is_alive()),
+            "respawns": self.respawns,
+        }
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Poison every worker, join, terminate stragglers."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._send_lock:
+            for conn in self._conns:
+                try:
+                    conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        deadline = time.monotonic() + timeout
+        for proc in self._procs:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(1.0)
+        for conn in self._conns:
+            conn.close()
+
+    def __enter__(self) -> "SnapshotWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

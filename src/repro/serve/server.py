@@ -1,0 +1,229 @@
+"""The asyncio JSON-lines front-end tying batcher, pool and snapshot.
+
+``repro serve`` runs this server: clients connect over TCP and send one
+JSON object per line; every query parks in the :class:`~repro.serve.
+batcher.QueryBatcher`, coalesced batches run on the
+:class:`~repro.serve.pool.SnapshotWorkerPool` via the default thread
+executor (so N batches ride N worker processes concurrently), and every
+answer names the snapshot generation that produced it.
+
+Protocol (one JSON object per line, newline terminated)::
+
+    -> {"op": "query", "id": 1, "query": [4.0, 3.0]}
+    <- {"id": 1, "result": [0, 2], "generation": "9f86d08..."}
+
+    -> {"op": "health", "id": 2}
+    <- {"id": 2, "health": {...pool/batcher/snapshot stats...}}
+
+    -> {"op": "shutdown", "id": 3}
+    <- {"id": 3, "ok": true}          (then the server drains and stops)
+
+Malformed requests are answered with ``{"id": ..., "error": "..."}`` on
+the same connection; they never tear it down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any
+
+from repro.serve.batcher import QueryBatcher
+from repro.serve.pool import SnapshotWorkerPool
+
+
+class SkylineServer:
+    """Serve one diagram snapshot to many clients from N worker processes."""
+
+    def __init__(
+        self,
+        snapshot_path: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        pool: SnapshotWorkerPool | None = None,
+    ) -> None:
+        self.snapshot_path = snapshot_path
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._pool = pool
+        self._owns_pool = pool is None
+        self._server: asyncio.AbstractServer | None = None
+        self._batcher: QueryBatcher | None = None
+        self._stopping: asyncio.Event | None = None
+        self.requests = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Start the pool and the listener; return the bound address."""
+        loop = asyncio.get_running_loop()
+        if self._pool is None:
+            self._pool = await loop.run_in_executor(
+                None,
+                lambda: SnapshotWorkerPool(
+                    self.snapshot_path, workers=self.workers
+                ),
+            )
+
+        async def run_batch(queries):
+            return await loop.run_in_executor(
+                None, self._pool.query_batch, queries
+            )
+
+        self._batcher = QueryBatcher(
+            run_batch, max_batch=self.max_batch, max_delay=self.max_delay
+        )
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        address = self._server.sockets[0].getsockname()
+        self.host, self.port = address[0], address[1]
+        return self.host, self.port
+
+    async def serve_until_stopped(self) -> None:
+        """Block until a shutdown request (or :meth:`stop`) lands."""
+        if self._stopping is None:
+            raise RuntimeError("server not started")
+        await self._stopping.wait()
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Stop listening, drain in-flight batches, close the pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._batcher is not None:
+            await self._batcher.drain()
+        if self._stopping is not None:
+            self._stopping.set()
+        if self._owns_pool and self._pool is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._pool.close)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        # Every request line becomes its own task so pipelined queries on
+        # one connection park in the batcher *concurrently* — that is
+        # what gives the batcher something to coalesce.  A per-writer
+        # lock keeps response lines whole (responses carry the request
+        # id, so ordering is the client's concern, framing is ours).
+        write_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
+        try:
+            while not reader.at_eof():
+                line = await reader.readline()
+                if not line:
+                    break
+                task = asyncio.create_task(
+                    self._respond(line, writer, write_lock)
+                )
+                inflight.add(task)
+                task.add_done_callback(inflight.discard)
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown after a shutdown request; exit quietly.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        response = await self._dispatch(line)
+        shutdown = response.pop("_shutdown", False)
+        try:
+            async with write_lock:
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            return
+        if shutdown:
+            self._stopping.set()
+
+    async def _dispatch(self, line: bytes) -> dict[str, Any] | None:
+        self.requests += 1
+        request_id = None
+        try:
+            request = json.loads(line)
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op", "query")
+            if op == "query":
+                query = tuple(float(c) for c in request["query"])
+                result, generation = await self._batcher.submit(query)
+                return {
+                    "id": request_id,
+                    "result": list(result),
+                    "generation": generation,
+                }
+            if op == "health":
+                return {"id": request_id, "health": self.health()}
+            if op == "shutdown":
+                return {"id": request_id, "ok": True, "_shutdown": True}
+            raise ValueError(f"unknown op {op!r}")
+        except Exception as exc:
+            self.errors += 1
+            return {
+                "id": request_id,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+
+    def health(self) -> dict[str, Any]:
+        """JSON-ready server/pool/batcher state."""
+        return {
+            "snapshot": self.snapshot_path,
+            "requests": self.requests,
+            "errors": self.errors,
+            "pool": self._pool.stats() if self._pool else None,
+            "batcher": self._batcher.stats() if self._batcher else None,
+        }
+
+
+async def serve_forever(
+    snapshot_path: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 2,
+    max_batch: int = 64,
+    max_delay: float = 0.002,
+    ready: asyncio.Event | None = None,
+) -> None:
+    """Run a :class:`SkylineServer` until a client requests shutdown."""
+    server = SkylineServer(
+        snapshot_path,
+        host=host,
+        port=port,
+        workers=workers,
+        max_batch=max_batch,
+        max_delay=max_delay,
+    )
+    bound_host, bound_port = await server.start()
+    print(f"serving {snapshot_path} on {bound_host}:{bound_port} "
+          f"({workers} workers)")
+    if ready is not None:
+        ready.set()
+    await server.serve_until_stopped()

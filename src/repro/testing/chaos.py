@@ -33,7 +33,14 @@ generators) and asserts the serving-layer contract:
   the numpy delta-recurrence engine: store fingerprints must be
   byte-identical, a budget wall at a row block must still yield a
   truthful partial diagram, and a constructor with no vectorized
-  kernel must report the executor that actually ran.
+  kernel must report the executor that actually ran;
+* **kill-worker** — a snapshot-serving worker process is SIGKILLed
+  mid-load: every later batch must still answer exactly (same snapshot
+  generation), and the pool must respawn back to full strength;
+* **corrupt-snapshot** — the snapshot file a pool is serving is damaged
+  in place: workers must keep the verified old generation (every answer
+  matches exactly one published generation, never a mix) until a good
+  replacement file swaps in.
 
 ``run_chaos(..., build_options=...)`` (CLI: ``--parallel N``) reruns the
 whole campaign with every database build going through the given
@@ -60,6 +67,7 @@ from repro.index.engine import SkylineDatabase
 from repro.index.serialize import load_diagram, save_diagram
 from repro.query.metrics import MetricsRegistry
 from repro.resilience import BuildBudget, CoverageMiss
+from repro.serve.pool import SnapshotWorkerPool
 from repro.testing import faults
 
 _KINDS = ("quadrant", "global", "dynamic", "skyband")
@@ -219,7 +227,7 @@ def _scenario_corrupt_file(
             blob = handle.read()
         with open(path, "wb") as handle:
             handle.write(
-                blob.replace(b"repro.skyline-diagram/2", b"repro.skyline-diagram/9", 1)
+                blob.replace(b"repro.skyline-diagram/3", b"repro.skyline-diagram/9", 1)
             )
     try:
         load_diagram(path)
@@ -384,6 +392,85 @@ def _scenario_vectorized_executor(
         raise AssertionError("max_cells=1 budget did not interrupt the build")
 
 
+def _scenario_kill_worker(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
+    """SIGKILL a serving worker mid-load: answers survive, pool heals.
+
+    The pool's transport is per-worker pipes precisely so a kill cannot
+    strand a shared lock; this drill enforces the resulting contract —
+    every batch after the kill still answers exactly (from the same
+    generation), and ``ensure_alive`` restores full strength.
+    """
+    points = _generate_points(rng, max_points)
+    diagram = quadrant_scanning(points, build_options=options)
+    path = os.path.join(workdir, "snapshot.bin")
+    save_diagram(diagram, path)
+    queries = [tuple(q) for q in _generate_queries(rng, points, limit=4)]
+    expected = [tuple(r) for r in diagram.query_batch(queries)]
+    with SnapshotWorkerPool(path, workers=2) as pool:
+        answers, generation = pool.query_batch(queries, timeout=30.0)
+        assert answers == expected, "pool diverged from direct evaluation"
+        victim = rng.randrange(2)
+        pool._procs[victim].kill()
+        pool._procs[victim].join(5.0)
+        for _ in range(2):
+            answers, tag = pool.query_batch(queries, timeout=30.0)
+            assert answers == expected, "answers drifted after worker kill"
+            assert tag == generation, "generation changed without a swap"
+        pool.ensure_alive()
+        assert pool.stats()["alive"] == 2, pool.stats()
+        answers, _ = pool.query_batch(queries, timeout=30.0)
+        assert answers == expected, "respawned worker answered wrong"
+
+
+def _scenario_corrupt_snapshot(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
+    """Damage the live snapshot under a serving pool: old generation holds.
+
+    Workers re-verify the file before every swap, so in-place damage
+    must be *rejected* (the mapped generation keeps answering, batches
+    never mix generations) and a good republished file must then swap
+    in — observable through the generation tag every answer carries.
+    """
+    points = _generate_points(rng, max_points)
+    diagram_a = quadrant_scanning(points, build_options=options)
+    extra = tuple(
+        max(p[d] for p in points) + 1.0 + d for d in range(len(points[0]))
+    )
+    diagram_b = quadrant_scanning(points + [extra], build_options=options)
+    queries = [tuple(q) for q in _generate_queries(rng, points, limit=4)]
+    expected_a = [tuple(r) for r in diagram_a.query_batch(queries)]
+    expected_b = [tuple(r) for r in diagram_b.query_batch(queries)]
+    path = os.path.join(workdir, "snapshot.bin")
+    save_diagram(diagram_a, path)
+    with SnapshotWorkerPool(path, workers=2) as pool:
+        # Prime both round-robin workers so each holds generation A
+        # before the damage lands.
+        for _ in range(2):
+            answers, generation_a = pool.query_batch(queries, timeout=30.0)
+            assert answers == expected_a
+        faults.corrupt_file_byte(path, seed=rng.randrange(2**31))
+        for _ in range(3):
+            answers, tag = pool.query_batch(queries, timeout=30.0)
+            assert (answers, tag) == (expected_a, generation_a), (
+                "a corrupt replacement leaked into the serving path"
+            )
+        save_diagram(diagram_b, path)
+        swapped = None
+        for _ in range(8):  # every worker swaps at its next batch boundary
+            answers, tag = pool.query_batch(queries, timeout=30.0)
+            # The invariant under swap: each answer matches *one*
+            # complete published generation, never a mix of two.
+            if tag == generation_a:
+                assert answers == expected_a, "mixed-generation answer"
+            else:
+                assert answers == expected_b, "mixed-generation answer"
+                swapped = tag
+        assert swapped is not None, "republished snapshot never swapped in"
+
+
 _SCENARIOS = (
     ("cancelled-build", _scenario_cancelled_build),
     ("tight-budget", _scenario_tight_budget),
@@ -394,6 +481,8 @@ _SCENARIOS = (
     ("stale-maintenance", _scenario_stale_maintenance),
     ("parallel-consistency", _scenario_parallel_consistency),
     ("vectorized-executor", _scenario_vectorized_executor),
+    ("kill-worker", _scenario_kill_worker),
+    ("corrupt-snapshot", _scenario_corrupt_snapshot),
 )
 
 

@@ -1,16 +1,14 @@
 """End-to-end tests for the command line interface."""
 
-import json
-
 import pytest
 
 from repro.cli import main
-from repro.index.serialize import open_envelope
+from repro.index.serialize import load_diagram
 
 
-def _payload(path):
-    """JSON payload of a saved diagram (verifying the envelope checksum)."""
-    return json.loads(open_envelope(path.read_bytes()))
+def _reload(path):
+    """The saved diagram (verifying the envelope checksum on load)."""
+    return load_diagram(str(path))
 
 
 @pytest.fixture
@@ -75,7 +73,7 @@ class TestBuildAndQuery:
     def test_global_pipeline(self, tmp_path, points_csv, capsys):
         diagram = tmp_path / "g.json"
         assert main(["build", points_csv, str(diagram), "--kind", "global"]) == 0
-        assert _payload(diagram)["kind"] == "global"
+        assert _reload(diagram).kind == "global"
 
     def test_dynamic_pipeline(self, tmp_path, points_csv, capsys):
         diagram = tmp_path / "dyn.json"
@@ -90,9 +88,9 @@ class TestBuildAndQuery:
         b = tmp_path / "b.json"
         main(["build", points_csv, str(a), "--algorithm", "baseline"])
         main(["build", points_csv, str(b), "--algorithm", "scanning"])
-        pa, pb = _payload(a), _payload(b)
-        assert pa["cells"] == pb["cells"]
-        assert pa["algorithm"] == "baseline"
+        pa, pb = _reload(a), _reload(b)
+        assert pa.store == pb.store
+        assert pa.algorithm == "baseline"
 
     def test_unknown_algorithm_fails(self, tmp_path, points_csv, capsys):
         code = main(

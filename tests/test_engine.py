@@ -219,3 +219,80 @@ class TestSkybandQueries:
         db = SkylineDatabase([(1, 1, 1)])
         with pytest.raises(DimensionalityError):
             db.skyband((0, 0, 0), 2)
+
+
+class TestLazyTableThroughEngine:
+    """stats/health/audit must not force a vectorized store (ISSUE PR 7)."""
+
+    POINTS = [(2.0, 8.0), (5.0, 4.0), (9.0, 1.0), (5.0, 4.0)]
+
+    def _vectorized_db(self):
+        from repro.diagram.pipeline import BuildOptions
+
+        return SkylineDatabase(
+            self.POINTS, build_options=BuildOptions(executor="vectorized")
+        )
+
+    def test_attach_and_audit_leave_table_lazy(self):
+        from repro.diagram.store import ConsForestTable
+
+        db = self._vectorized_db()
+        db.query((0.0, 0.0), kind="quadrant")  # builds and attaches
+        assert db.audit()["quadrant:0"] == "ok"
+        assert type(
+            db._diagrams["quadrant:0"].store._table
+        ) is ConsForestTable
+
+    def test_health_leaves_table_lazy(self):
+        from repro.diagram.store import ConsForestTable
+
+        db = self._vectorized_db()
+        db.query((0.0, 0.0), kind="quadrant")
+        assert db.health()["ok"]
+        assert type(
+            db._diagrams["quadrant:0"].store._table
+        ) is ConsForestTable
+
+
+class TestRefreshSwap:
+    """rebuild(refresh=True) generation swaps (ISSUE PR 7)."""
+
+    POINTS = [(2.0, 8.0), (5.0, 4.0), (9.0, 1.0)]
+
+    def test_refresh_swaps_in_an_equivalent_diagram(self):
+        db = SkylineDatabase(self.POINTS)
+        before = db.query((0.0, 0.0), kind="quadrant")
+        old = db._diagrams["quadrant:0"]
+        assert db.rebuild(refresh=True) == {"quadrant:0": "refreshed"}
+        new = db._diagrams["quadrant:0"]
+        assert new is not old  # a genuinely fresh generation
+        assert new.store == old.store
+        assert db.query((0.0, 0.0), kind="quadrant") == before
+        assert db.health()["ok"]
+
+    def test_refresh_covers_every_ready_key(self):
+        db = SkylineDatabase(self.POINTS)
+        db.query((0.0, 0.0), kind="quadrant")
+        db.query((0.0, 0.0), kind="dynamic")
+        outcome = db.rebuild(refresh=True)
+        assert outcome == {
+            "quadrant:0": "refreshed",
+            "dynamic": "refreshed",
+        }
+
+    def test_failed_refresh_keeps_the_old_generation(self):
+        from repro.resilience import BuildBudget
+
+        db = SkylineDatabase(self.POINTS)
+        before = db.query((0.0, 0.0), kind="quadrant")
+        old = db._diagrams["quadrant:0"]
+        # Choke the replacement build: the refresh must fail *aside*,
+        # leaving the attached generation serving untouched.
+        db.budget = BuildBudget(max_cells=1)
+        assert db.rebuild(refresh=True) == {"quadrant:0": "kept"}
+        assert db._diagrams["quadrant:0"] is old
+        assert db.query((0.0, 0.0), kind="quadrant") == before
+        health = db.health()
+        assert "refresh withheld" in (
+            health["builds"]["quadrant:0"].get("error") or ""
+        )

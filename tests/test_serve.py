@@ -1,0 +1,389 @@
+"""The serving stack: snapshots, worker pool, batcher, TCP server.
+
+The contract under test (ISSUE PR 7): many worker processes answer
+query batches from one mmapped snapshot; a snapshot swap is atomic per
+batch (every answer matches exactly one published generation, never a
+mix); a killed worker costs retries, not wrong answers; and the asyncio
+front-end coalesces concurrent singles into batches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.diagram.quadrant_scanning import quadrant_scanning
+from repro.errors import SerializationError, ServeError
+from repro.index.serialize import save_diagram
+from repro.serve.batcher import QueryBatcher
+from repro.serve.pool import SnapshotWorkerPool
+from repro.serve.server import SkylineServer
+from repro.serve.snapshot import SnapshotManager
+
+POINTS_A = [(2.0, 8.0), (5.0, 4.0), (9.0, 1.0), (5.0, 4.0)]
+POINTS_B = [(1.0, 7.0), (3.0, 3.0), (8.0, 2.0)]
+QUERIES = [(0.0, 0.0), (6.0, 5.0), (9.5, 9.5), (4.0, 0.5)]
+
+
+def _snapshot(tmp_path, points, name="snapshot.bin"):
+    diagram = quadrant_scanning(points)
+    path = tmp_path / name
+    save_diagram(diagram, str(path))
+    return diagram, str(path)
+
+
+def _expected(diagram):
+    return [tuple(r) for r in diagram.query_batch(QUERIES)]
+
+
+# ----------------------------------------------------------------------
+# SnapshotManager
+# ----------------------------------------------------------------------
+class TestSnapshotManager:
+    def test_load_publishes_a_generation(self, tmp_path):
+        diagram, path = _snapshot(tmp_path, POINTS_A)
+        manager = SnapshotManager(path)
+        snapshot = manager.load()
+        assert snapshot.diagram == diagram
+        assert len(snapshot.generation) == 64  # sha256 hex
+        assert manager.current is snapshot
+        assert manager.stats()["swaps"] == 1
+
+    def test_refresh_is_a_noop_on_unchanged_file(self, tmp_path):
+        _, path = _snapshot(tmp_path, POINTS_A)
+        manager = SnapshotManager(path)
+        first = manager.load()
+        assert manager.refresh() is first
+        assert manager.stats()["swaps"] == 1
+
+    def test_refresh_swaps_on_replacement(self, tmp_path):
+        _, path = _snapshot(tmp_path, POINTS_A)
+        manager = SnapshotManager(path)
+        generation_a = manager.load().generation
+        diagram_b = quadrant_scanning(POINTS_B)
+        save_diagram(diagram_b, path)
+        snapshot = manager.refresh()
+        assert snapshot.generation != generation_a
+        assert snapshot.diagram == diagram_b
+        assert manager.stats()["swaps"] == 2
+
+    def test_corrupt_replacement_keeps_old_generation(self, tmp_path):
+        from repro.testing.faults import corrupt_file_byte
+
+        _, path = _snapshot(tmp_path, POINTS_A)
+        manager = SnapshotManager(path)
+        first = manager.load()
+        corrupt_file_byte(path, seed=7)
+        assert manager.refresh() is first
+        stats = manager.stats()
+        assert stats["rejected"] == 1
+        assert "checksum" in stats["last_error"]
+        # A good file published afterwards swaps in and clears the error.
+        save_diagram(quadrant_scanning(POINTS_B), path)
+        assert manager.refresh() is not first
+        assert manager.stats()["last_error"] is None
+
+    def test_vanished_file_keeps_old_generation(self, tmp_path):
+        import os
+
+        _, path = _snapshot(tmp_path, POINTS_A)
+        manager = SnapshotManager(path)
+        first = manager.load()
+        os.unlink(path)
+        assert manager.refresh() is first
+        assert manager.stats()["rejected"] == 1
+
+    def test_first_load_failure_propagates(self, tmp_path):
+        manager = SnapshotManager(str(tmp_path / "absent.bin"))
+        with pytest.raises(SerializationError):
+            manager.refresh()
+
+
+# ----------------------------------------------------------------------
+# SnapshotWorkerPool
+# ----------------------------------------------------------------------
+class TestWorkerPool:
+    def test_batch_matches_direct_evaluation(self, tmp_path):
+        diagram, path = _snapshot(tmp_path, POINTS_A)
+        with SnapshotWorkerPool(path, workers=2) as pool:
+            answers, generation = pool.query_batch(QUERIES)
+            assert answers == _expected(diagram)
+            assert len(generation) == 64
+
+    def test_rejects_unloadable_snapshot_at_construction(self, tmp_path):
+        with pytest.raises(SerializationError):
+            SnapshotWorkerPool(str(tmp_path / "absent.bin"), workers=1)
+
+    def test_killed_worker_never_costs_an_answer(self, tmp_path):
+        diagram, path = _snapshot(tmp_path, POINTS_A)
+        expected = _expected(diagram)
+        with SnapshotWorkerPool(path, workers=2) as pool:
+            _, generation = pool.query_batch(QUERIES)
+            pool._procs[0].kill()
+            pool._procs[0].join(5.0)
+            for _ in range(3):
+                answers, tag = pool.query_batch(QUERIES, timeout=30.0)
+                assert answers == expected
+                assert tag == generation
+            pool.ensure_alive()
+            assert pool.stats()["alive"] == 2
+
+    def test_closed_pool_raises(self, tmp_path):
+        _, path = _snapshot(tmp_path, POINTS_A)
+        pool = SnapshotWorkerPool(path, workers=1)
+        pool.close()
+        with pytest.raises(ServeError, match="closed"):
+            pool.query_batch(QUERIES)
+
+    def test_no_mixed_generation_during_concurrent_swap(self, tmp_path):
+        """Queries racing a snapshot swap see one generation per batch.
+
+        Threads hammer the pool while the main thread republishes the
+        snapshot; every (answers, generation) pair must match exactly
+        one of the two published generations — any cross-pairing means
+        a worker answered from a half-swapped store.
+        """
+        diagram_a, path = _snapshot(tmp_path, POINTS_A)
+        diagram_b = quadrant_scanning(POINTS_B)
+        expected = {}
+        observed = []
+        failures = []
+        stop = threading.Event()
+
+        with SnapshotWorkerPool(path, workers=2) as pool:
+            _, generation_a = pool.query_batch(QUERIES)
+            expected[generation_a] = _expected(diagram_a)
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        observed.append(pool.query_batch(QUERIES))
+                    except Exception as exc:  # pragma: no cover
+                        failures.append(exc)
+                        return
+
+            threads = [threading.Thread(target=hammer) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            save_diagram(diagram_b, path)
+            # Wait until every worker has swapped to B.
+            deadline = 100
+            generation_b = None
+            while deadline and generation_b is None:
+                _, tag = pool.query_batch(QUERIES)
+                if tag != generation_a:
+                    generation_b = tag
+                deadline -= 1
+            stop.set()
+            for thread in threads:
+                thread.join(10.0)
+            assert not failures, failures
+            assert generation_b is not None, "swap never propagated"
+            expected[generation_b] = _expected(diagram_b)
+            for answers, tag in observed:
+                assert tag in expected, f"unknown generation {tag}"
+                assert answers == expected[tag], "mixed-generation answer"
+
+
+# ----------------------------------------------------------------------
+# QueryBatcher
+# ----------------------------------------------------------------------
+class TestQueryBatcher:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    def test_size_flush_coalesces_a_full_batch(self):
+        async def scenario():
+            calls = []
+
+            async def run_batch(queries):
+                calls.append(list(queries))
+                return [tuple(int(c) for c in q) for q in queries], "gen"
+
+            batcher = QueryBatcher(run_batch, max_batch=4, max_delay=60.0)
+            results = await asyncio.gather(
+                *(batcher.submit((float(i), 0.0)) for i in range(4))
+            )
+            assert [r for r, _ in results] == [
+                (i, 0) for i in range(4)
+            ]
+            assert all(tag == "gen" for _, tag in results)
+            return calls, batcher.stats()
+
+        calls, stats = self._run(scenario())
+        assert len(calls) == 1 and len(calls[0]) == 4
+        assert stats["size_flushes"] == 1
+        assert stats["timer_flushes"] == 0
+        assert stats["largest_batch"] == 4
+
+    def test_timer_flush_bounds_latency_for_small_batches(self):
+        async def scenario():
+            async def run_batch(queries):
+                return list(queries), "gen"
+
+            batcher = QueryBatcher(run_batch, max_batch=64, max_delay=0.005)
+            result, _ = await asyncio.wait_for(
+                batcher.submit((1.0, 2.0)), timeout=5.0
+            )
+            assert result == (1.0, 2.0)
+            return batcher.stats()
+
+        stats = self._run(scenario())
+        assert stats["timer_flushes"] == 1
+        assert stats["batches"] == 1
+
+    def test_batch_failure_rejects_every_parked_future(self):
+        async def scenario():
+            async def run_batch(queries):
+                raise RuntimeError("backend down")
+
+            batcher = QueryBatcher(run_batch, max_batch=2, max_delay=60.0)
+            results = await asyncio.gather(
+                batcher.submit((0.0, 0.0)),
+                batcher.submit((1.0, 1.0)),
+                return_exceptions=True,
+            )
+            assert all(
+                isinstance(r, RuntimeError) for r in results
+            ), results
+
+        self._run(scenario())
+
+    def test_length_mismatch_is_an_error(self):
+        async def scenario():
+            async def run_batch(queries):
+                return [], "gen"  # wrong arity
+
+            batcher = QueryBatcher(run_batch, max_batch=1)
+            with pytest.raises(RuntimeError, match="results"):
+                await batcher.submit((0.0, 0.0))
+
+        self._run(scenario())
+
+    def test_rejects_nonpositive_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            QueryBatcher(lambda queries: None, max_batch=0)
+
+
+# ----------------------------------------------------------------------
+# SkylineServer (TCP round trip)
+# ----------------------------------------------------------------------
+class TestSkylineServer:
+    def _run(self, coro):
+        return asyncio.run(coro)
+
+    async def _request(self, reader, writer, payload):
+        writer.write(json.dumps(payload).encode() + b"\n")
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout=30.0)
+        return json.loads(line)
+
+    def test_query_health_shutdown_round_trip(self, tmp_path):
+        diagram, path = _snapshot(tmp_path, POINTS_A)
+
+        async def scenario():
+            server = SkylineServer(path, workers=1, max_delay=0.001)
+            host, port = await server.start()
+            runner = asyncio.create_task(server.serve_until_stopped())
+            reader, writer = await asyncio.open_connection(host, port)
+            try:
+                reply = await self._request(
+                    reader, writer,
+                    {"op": "query", "id": 1, "query": list(QUERIES[0])},
+                )
+                assert reply["id"] == 1
+                assert tuple(reply["result"]) == diagram.query(QUERIES[0])
+                assert len(reply["generation"]) == 64
+
+                health = await self._request(
+                    reader, writer, {"op": "health", "id": 2}
+                )
+                assert health["health"]["pool"]["alive"] == 1
+                assert health["health"]["requests"] >= 2
+
+                bad = await self._request(
+                    reader, writer, {"op": "nope", "id": 3}
+                )
+                assert "unknown op" in bad["error"]
+
+                done = await self._request(
+                    reader, writer, {"op": "shutdown", "id": 4}
+                )
+                assert done == {"id": 4, "ok": True}
+            finally:
+                writer.close()
+            await asyncio.wait_for(runner, timeout=30.0)
+
+        self._run(scenario())
+
+    def test_pipelined_queries_coalesce(self, tmp_path):
+        diagram, path = _snapshot(tmp_path, POINTS_A)
+
+        async def scenario():
+            server = SkylineServer(
+                path, workers=1, max_batch=8, max_delay=0.05
+            )
+            host, port = await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                count = 24
+                for i in range(count):
+                    query = QUERIES[i % len(QUERIES)]
+                    writer.write(
+                        json.dumps(
+                            {"op": "query", "id": i, "query": list(query)}
+                        ).encode() + b"\n"
+                    )
+                await writer.drain()
+                replies = {}
+                for _ in range(count):
+                    line = await asyncio.wait_for(
+                        reader.readline(), timeout=30.0
+                    )
+                    reply = json.loads(line)
+                    replies[reply["id"]] = tuple(reply["result"])
+                writer.close()
+                for i in range(count):
+                    assert replies[i] == diagram.query(
+                        QUERIES[i % len(QUERIES)]
+                    )
+                stats = server._batcher.stats()
+                assert stats["queries"] == count
+                # Coalescing is the point: far fewer batches than queries.
+                assert stats["batches"] < count / 2, stats
+            finally:
+                await server.stop()
+
+        self._run(scenario())
+
+    def test_malformed_line_answers_error_without_dropping_connection(
+        self, tmp_path
+    ):
+        diagram, path = _snapshot(tmp_path, POINTS_A)
+
+        async def scenario():
+            server = SkylineServer(path, workers=1, max_delay=0.001)
+            host, port = await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"{not json\n")
+                await writer.drain()
+                reply = json.loads(
+                    await asyncio.wait_for(reader.readline(), timeout=30.0)
+                )
+                assert "error" in reply
+                follow_up = await self._request(
+                    reader, writer,
+                    {"op": "query", "id": 9, "query": list(QUERIES[1])},
+                )
+                assert tuple(follow_up["result"]) == diagram.query(
+                    QUERIES[1]
+                )
+                writer.close()
+            finally:
+                await server.stop()
+
+        self._run(scenario())

@@ -257,3 +257,44 @@ class TestConsForestTable:
         assert store.table == lazy  # property access materializes
         assert isinstance(store._table, list)
         assert store == quadrant_scanning(points).store
+
+
+class TestLazyFingerprint:
+    """fingerprint/audit must not force a lazy table (ISSUE PR 7)."""
+
+    def _lazy_store(self):
+        from repro.diagram.pipeline import BuildOptions
+
+        points = [(2.0, 8.0), (5.0, 4.0), (9.0, 1.0), (5.0, 4.0)]
+        return quadrant_scanning(
+            points, build_options=BuildOptions(executor="vectorized")
+        ).store
+
+    def test_fingerprint_leaves_table_lazy(self):
+        from repro.diagram.store import ConsForestTable
+
+        store = self._lazy_store()
+        digest = store.fingerprint()
+        assert type(store._table) is ConsForestTable
+        _ = store.table  # force materialization
+        assert isinstance(store._table, list)
+        assert store.fingerprint() == digest
+
+    def test_audit_leaves_table_lazy(self):
+        from repro.diagram.pipeline import BuildOptions
+        from repro.diagram.store import ConsForestTable
+
+        points = [(2.0, 8.0), (5.0, 4.0), (9.0, 1.0), (5.0, 4.0)]
+        diagram = quadrant_scanning(
+            points, build_options=BuildOptions(executor="vectorized")
+        )
+        diagram.audit()
+        assert type(diagram.store._table) is ConsForestTable
+
+    def test_table_view_does_not_upgrade(self):
+        from repro.diagram.store import ConsForestTable
+
+        store = self._lazy_store()
+        view = store.table_view()
+        assert type(store._table) is ConsForestTable
+        assert list(view) == store.table  # upgrade happens only here
