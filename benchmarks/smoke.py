@@ -30,7 +30,14 @@ adds the serving arms: v3 binary snapshot vs legacy JSON size and save
 time at n=2000 (the 5x gate asserted), and sustained qps with batch
 p50/p99 from a 2-worker shared-snapshot pool — in steady state and
 while the snapshot is republished mid-load (every answer cross-checked
-against the generation it claims).  All timings are
+against the generation it claims).  ``BENCH_pr8.json`` adds the
+streaming-update arms: single-point incremental insert/delete vs full
+serial and vectorized rebuilds at n=2000 and n=10000 (1024-value
+domain), panelled by the update's y-rank quantile since the dirty
+region is everything below it (stores asserted byte-identical to fresh
+builds first), plus serving p99 from the PR 7 pool harness while a
+sustained stream of incremental updates republishes the snapshot.
+All timings are
 best-of-N wall clock (``repro.bench.harness.time_call``), the least
 noise-sensitive estimator on a shared machine; the construction arms
 drop and ``gc.collect()`` the previous diagram between builds so one
@@ -473,6 +480,223 @@ def serve_throughput(
     }
 
 
+def update_vs_rebuild(
+    n: int, domain: int | None = None, repeats: int = 2
+) -> dict:
+    """Single-point incremental maintenance vs full rebuild.
+
+    The dirty region of an update is everything below the point's
+    y-rank, so the rank *is* the workload: inserts land at the 5th,
+    25th, 50th and 90th y percentile of the data (plus a matching
+    delete panel) and each op is timed best-of-N against the serial
+    and vectorized rebuilds of the same updated dataset.  One insert
+    and one delete are asserted byte-identical to their fresh builds
+    before any timing, so the speedups compare equal artifacts.
+    """
+    from repro.diagram.maintenance import delete_point, insert_point
+
+    points = list(dataset("independent", n, domain=domain))
+    diagram = quadrant_scanning(points)
+    serial_s = time_call(lambda: quadrant_scanning(points), repeats=repeats)
+    gc.collect()
+    vector = BuildOptions(executor="vectorized")
+    vector_s = time_call(
+        lambda: quadrant_scanning(points, build_options=vector),
+        repeats=repeats,
+    )
+    gc.collect()
+    rng = random.Random(n)
+    span = float(domain) if domain is not None else 1.0
+    ys = sorted(p[1] for p in points)
+    by_y = sorted(range(len(points)), key=lambda i: points[i][1])
+
+    checked = insert_point(diagram, (span / 2, ys[len(ys) // 2]))
+    fresh = quadrant_scanning(points + [(span / 2, ys[len(ys) // 2])])
+    assert checked.store.fingerprint() == fresh.store.fingerprint(), (
+        "incremental insert diverged from fresh build"
+    )
+    victim = by_y[len(points) // 2]
+    checked = delete_point(diagram, victim)
+    fresh = quadrant_scanning(
+        [q for i, q in enumerate(points) if i != victim]
+    )
+    assert checked.store.fingerprint() == fresh.store.fingerprint(), (
+        "incremental delete diverged from fresh build"
+    )
+    del checked, fresh
+    gc.collect()
+
+    inserts = []
+    for quantile in (0.05, 0.25, 0.5, 0.9):
+        p = (
+            rng.uniform(0, span),
+            ys[int(quantile * len(ys))] + span * 1e-4,
+        )
+        report = insert_point(diagram, p).build_report
+        gc.collect()
+        update_s = time_call(
+            lambda p=p: insert_point(diagram, p), repeats=repeats
+        )
+        gc.collect()
+        inserts.append(
+            {
+                "quantile": quantile,
+                "update_s": update_s,
+                "rows_scanned": report.rows_scanned,
+                "rows_total": diagram.grid.shape[1],
+                "speedup_vs_serial": serial_s / update_s,
+                "speedup_vs_vectorized": vector_s / update_s,
+            }
+        )
+    deletes = []
+    for quantile in (0.05, 0.5, 0.9):
+        victim = by_y[int(quantile * len(points))]
+        report = delete_point(diagram, victim).build_report
+        gc.collect()
+        update_s = time_call(
+            lambda victim=victim: delete_point(diagram, victim),
+            repeats=repeats,
+        )
+        gc.collect()
+        deletes.append(
+            {
+                "quantile": quantile,
+                "update_s": update_s,
+                "rows_scanned": report.rows_scanned,
+                "speedup_vs_serial": serial_s / update_s,
+                "speedup_vs_vectorized": vector_s / update_s,
+            }
+        )
+    median_insert = inserts[2]
+    return {
+        "n": n,
+        "distribution": "independent",
+        "domain": domain,
+        "serial_rebuild_s": serial_s,
+        "vectorized_rebuild_s": vector_s,
+        "fingerprint_match": True,
+        "inserts": inserts,
+        "deletes": deletes,
+        "median_insert_speedup_vs_serial": median_insert[
+            "speedup_vs_serial"
+        ],
+    }
+
+
+def serve_under_updates(
+    n: int, workers: int, updates_to_publish: int, batch_size: int
+) -> dict:
+    """Serving p99 while a sustained update stream republishes snapshots.
+
+    The PR 7 harness under a harsher schedule: ``workers`` driver
+    threads saturate a :class:`~repro.serve.pool.SnapshotWorkerPool`
+    for as long as the main thread keeps applying incremental inserts
+    (:func:`~repro.diagram.maintenance.insert_point`) and republishing
+    the snapshot — the query storm spans exactly ``updates_to_publish``
+    republish cycles, however long those take on the host.  Every
+    answer is cross-checked against the expected answers of exactly the
+    generation it names — a mixed or stale-wrong answer fails the run —
+    and the latency distribution is reported for the whole update
+    storm.
+    """
+    import tempfile
+    import threading
+
+    from repro.diagram.maintenance import insert_point
+    from repro.index.serialize import save_diagram
+    from repro.serve.pool import SnapshotWorkerPool
+
+    points = list(dataset("independent", n))
+    diagram = quadrant_scanning(
+        points, build_options=BuildOptions(executor="vectorized")
+    )
+    rng = random.Random(n + 1)
+    queries = [(rng.random(), rng.random()) for _ in range(batch_size)]
+
+    def envelope_sha(path: str) -> str:
+        with open(path, "rb") as fh:
+            header = fh.readline().decode("ascii")
+        return header.split("sha256=")[1].split()[0]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "snapshot.bin")
+        save_diagram(diagram, path)
+        expected = {
+            envelope_sha(path): [tuple(r) for r in diagram.query_batch(queries)]
+        }
+        latencies: list[float] = []
+        observed: list = []
+        clock = time.perf_counter
+
+        done = threading.Event()
+
+        def worker_loop():
+            while not done.is_set():
+                start = clock()
+                answers, generation = pool.query_batch(queries)
+                latencies.append(clock() - start)
+                observed.append((generation, answers))
+
+        with SnapshotWorkerPool(path, workers=workers) as pool:
+            pool.query_batch(queries)  # warm the pool before timing
+            threads = [
+                threading.Thread(target=worker_loop)
+                for _ in range(workers)
+            ]
+            begin = clock()
+            for thread in threads:
+                thread.start()
+            update_seconds = []
+            for _ in range(updates_to_publish):
+                p = (rng.random(), rng.random())
+                start = clock()
+                diagram = insert_point(diagram, p)
+                update_seconds.append(clock() - start)
+                save_diagram(diagram, path)
+                expected[envelope_sha(path)] = [
+                    tuple(r) for r in diagram.query_batch(queries)
+                ]
+            done.set()
+            for thread in threads:
+                thread.join()
+            wall = clock() - begin
+            updates = updates_to_publish
+            # Poll (uncounted) until the last published generation is
+            # demonstrably served, proving the stream swapped in.
+            last = envelope_sha(path)
+            for _ in range(100):
+                answers, generation = pool.query_batch(queries)
+                observed.append((generation, answers))
+                if generation == last:
+                    break
+
+    generations = set()
+    for generation, answers in observed:
+        assert generation in expected, "answer from an unpublished generation"
+        assert answers == expected[generation], (
+            "served answer diverged from its generation"
+        )
+        generations.add(generation)
+    assert len(generations) >= 2, (
+        "update stream never swapped a new generation in under load"
+    )
+
+    total = len(latencies) * batch_size
+    return {
+        "n": n,
+        "workers": workers,
+        "batch_size": batch_size,
+        "updates_published": updates,
+        "generations_served": len(generations),
+        "update_p50_s": _percentile(update_seconds, 0.50),
+        "qps": total / wall,
+        "batch_p50_s": _percentile(latencies, 0.50),
+        "batch_p99_s": _percentile(latencies, 0.99),
+        "query_p99_s": _percentile(latencies, 0.99) / batch_size,
+        "answers_cross_checked": True,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -566,6 +790,29 @@ def main(argv: list[str] | None = None) -> int:
     }
     pr7_out = save_json(args.out.parent / "BENCH_pr7.json", serving)
 
+    # Update arms: n=2000 always; the n=10k panel (where the 5x
+    # single-point expectation is defined) only on full runs.
+    update_arms = [update_vs_rebuild(2000, domain=1024)]
+    if not args.quick:
+        update_arms.append(update_vs_rebuild(10_000, domain=1024))
+    updates = {
+        "benchmark": "pr8-streaming-updates-smoke",
+        "timer": "best-of-N wall clock (time_call); "
+        "per-batch perf_counter for the serving distribution",
+        "env": env,
+        "update_vs_rebuild": update_arms,
+        # The query storm spans exactly this many republish cycles (one
+        # incremental update + republish costs ~1.5s at n=2000), so the
+        # stream is sustained regardless of how fast the pool drains.
+        "serving_under_updates": serve_under_updates(
+            2000,
+            workers=2,
+            updates_to_publish=2 if args.quick else 5,
+            batch_size=64,
+        ),
+    }
+    pr8_out = save_json(args.out.parent / "BENCH_pr8.json", updates)
+
     cons = payload["headline"]["construction"]
     batch = payload["headline"]["batch_query"]
     pipe = pipeline["construction"]
@@ -630,6 +877,35 @@ def main(argv: list[str] | None = None) -> int:
             f"{srv['batch_p99_s'] * 1e3:.1f}ms "
             f"({serving['serving']['batch_size']} queries/batch)"
         )
+    print(f"wrote {pr8_out}")
+    for arm in update_arms:
+        parts = ", ".join(
+            f"q{int(ins['quantile'] * 100):02d} "
+            f"{ins['update_s'] * 1e3:.0f}ms "
+            f"({ins['speedup_vs_serial']:.1f}x)"
+            for ins in arm["inserts"]
+        )
+        print(
+            f"update n={arm['n']} (domain={arm['domain']}): serial rebuild "
+            f"{arm['serial_rebuild_s']:.2f}s; insert {parts} "
+            f"(fingerprints match)"
+        )
+        parts = ", ".join(
+            f"q{int(dl['quantile'] * 100):02d} "
+            f"{dl['update_s'] * 1e3:.0f}ms "
+            f"({dl['speedup_vs_serial']:.1f}x)"
+            for dl in arm["deletes"]
+        )
+        print(f"  delete {parts}")
+    upd = updates["serving_under_updates"]
+    print(
+        f"serving under updates n={upd['n']}: {upd['qps']:.0f} q/s, "
+        f"batch p50 {upd['batch_p50_s'] * 1e3:.1f}ms / p99 "
+        f"{upd['batch_p99_s'] * 1e3:.1f}ms across "
+        f"{upd['updates_published']} republishes "
+        f"({upd['generations_served']} generations served, "
+        f"answers cross-checked)"
+    )
     if args.assert_speedup:
         gate = vector_arms[0]
         assert gate["vectorized_s"] < gate["serial_s"], (

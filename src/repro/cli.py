@@ -5,6 +5,7 @@ Commands
 ``generate``   write a synthetic dataset to CSV
 ``build``      build a diagram from CSV points and save a snapshot
 ``query``      answer a skyline query from a saved diagram (or from CSV)
+``update``     apply point inserts/deletes to a snapshot incrementally
 ``serve``      serve a snapshot over TCP from N zero-copy worker processes
 ``render``     render a diagram to SVG or terminal ASCII
 ``info``       summarize a dataset or a saved diagram
@@ -123,6 +124,63 @@ def _build(args: argparse.Namespace):
 
 def _load_diagram(path: str):
     return load_diagram(path)
+
+
+def _parse_update_ops(specs: list[str]):
+    """``insert:x,y`` / ``delete:ID`` specs into maintenance ops."""
+    ops = []
+    for spec in specs:
+        kind, _, rest = spec.partition(":")
+        if kind == "insert":
+            ops.append(("insert", tuple(float(c) for c in rest.split(","))))
+        elif kind == "delete":
+            ops.append(("delete", int(rest)))
+        else:
+            raise ValueError(
+                f"bad --op {spec!r}; expected 'insert:x,y' or 'delete:ID'"
+            )
+    if not ops:
+        raise ValueError("update needs at least one --op")
+    return ops
+
+
+def _update(args: argparse.Namespace) -> int:
+    """Incrementally maintain a saved snapshot and republish it."""
+    from repro.diagram.maintenance import delete_point, insert_point
+    from repro.serve.snapshot import SnapshotManager
+
+    ops = _parse_update_ops(args.op)
+    diagram = _load_diagram(args.snapshot)
+    for op, value in ops:
+        if op == "insert":
+            diagram = insert_point(diagram, value)
+        else:
+            diagram = delete_point(diagram, value)
+        report = getattr(diagram, "build_report", None)
+        rows = report.rows_scanned if report is not None else "?"
+        print(f"{op} {value}: re-scanned {rows} of "
+              f"{diagram.grid.shape[1]} rows")
+    if args.verify:
+        from repro.diagram.quadrant_scanning import quadrant_scanning
+
+        fresh = quadrant_scanning(diagram.grid.dataset)
+        incremental = diagram.store.fingerprint()
+        scratch = fresh.store.fingerprint()
+        if incremental != scratch:
+            print(
+                f"verify FAILED: incremental {incremental[:12]} != "
+                f"fresh {scratch[:12]}",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"verify: incremental == fresh ({incremental[:12]})")
+    target = args.output if args.output is not None else args.snapshot
+    snapshot = SnapshotManager(target).publish(diagram)
+    print(
+        f"republished {target} (n={len(diagram.grid.dataset)}, "
+        f"generation {snapshot.generation[:12]})"
+    )
+    return 0
 
 
 def _stats_chaos(args: argparse.Namespace) -> int:
@@ -249,6 +307,35 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("query", help="answer a skyline query from a diagram")
     p.add_argument("diagram", help="diagram snapshot produced by 'build'")
     p.add_argument("coordinates", nargs="+", type=float)
+
+    p = sub.add_parser(
+        "update",
+        help="apply point inserts/deletes to a snapshot incrementally "
+        "(dirty-region re-scan, byte-identical to a fresh build)",
+    )
+    p.add_argument(
+        "snapshot", help="quadrant snapshot produced by 'build' (2-D)"
+    )
+    p.add_argument(
+        "--op",
+        action="append",
+        default=[],
+        metavar="OP",
+        help="'insert:x,y' or 'delete:ID'; repeatable, applied in order "
+        "(delete ids refer to the dataset after the preceding ops)",
+    )
+    p.add_argument(
+        "--verify",
+        action="store_true",
+        help="assert the maintained store is fingerprint-byte-identical "
+        "to a from-scratch build over the updated dataset",
+    )
+    p.add_argument(
+        "--output",
+        default=None,
+        help="write the updated snapshot here instead of republishing "
+        "in place",
+    )
 
     p = sub.add_parser(
         "serve",
@@ -423,6 +510,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(f"skyline points: {[tuple(diagram.grid.dataset[i]) for i in result]}")
         print(f"names: {names}")
         return 0
+    if args.command == "update":
+        return _update(args)
     if args.command == "serve":
         import asyncio
 

@@ -1,35 +1,64 @@
 """Incremental maintenance of quadrant skyline diagrams.
 
 A practical extension beyond the paper: inserting or deleting one point
-does not require rebuilding the whole diagram.  A point ``p`` is a
-candidate only for cells strictly below-left of it, so
+does not require rebuilding the whole diagram.  A point ``p`` with ranks
+``(rx, ry)`` is a candidate only for the cells strictly below-left of it
+(``i < rx`` and ``j < ry``), so an update *dirties* exactly that
+lower-left block and every other cell keeps its result verbatim (modulo
+the one split/merged grid line and, for deletion, the id renumbering).
 
-* **insert**: only the lower-left block of ``p`` changes, and each affected
-  cell updates in O(|result|) — ``p`` either joins the staircase (evicting
-  the members it dominates) or is dominated and changes nothing.  Cells in
-  a split column/row inherit the split cell's result.
-* **delete**: again only the lower-left block; cells that did not list
-  ``p`` keep their result (anything ``p`` dominated is also dominated by
-  ``p``'s own dominator), and cells that did are repaired by re-admitting
-  the points ``p`` directly hid.
+Both operations run directly on the :class:`~repro.diagram.store.
+ResultStore` arrays through the shared build pipeline:
 
-Both operations return a new :class:`SkylineDiagram` (diagrams are
-immutable); deletion renumbers ids above the removed one, mirroring how
-the dataset shrinks.  Only first-quadrant (``mask=0``) diagrams are
-supported — other orientations maintain their reflections.
+* the **clean rows** (``j >= ry``) are copied from the old id grid in one
+  vectorized fancy-index over the remapped columns — no per-cell Python
+  work;
+* the **dirty rows** (``j < ry``) are re-scanned with the same delta-form
+  row kernel the scanning constructor uses: :func:`~repro.diagram.
+  quadrant_scanning._seed_state` rebuilds the entering scan state at the
+  dirty boundary from the dataset alone, and :func:`~repro.diagram.
+  quadrant_scanning._scan_rows` sweeps only the ``ry`` dirty rows;
+* the two blocks then merge in global scan order
+  (:func:`~repro.diagram.pipeline.relabel_scan_order` +
+  :func:`_merge_at_boundary`, which deduplicates the dirty chunk against
+  only the clean block's bottom row instead of hashing the whole clean
+  table), so the updated store is **byte-identical** (content
+  fingerprint) to a from-scratch serial build over the updated dataset —
+  incremental maintenance never changes the artifact.
+
+Updates are copy-on-write and budget-aware: a
+:class:`~repro.resilience.BuildBudget` checkpoints per re-scanned row,
+and on exhaustion the raised :class:`~repro.errors.BudgetExceededError`
+carries an exact :class:`~repro.resilience.PartialDiagram` over the rows
+completed before the interruption while the original diagram stays
+untouched.  Only first-quadrant (``mask=0``) 2-D diagrams are supported —
+other orientations maintain their reflections.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 
+import numpy as np
+
 from repro.diagram.base import SkylineDiagram
-from repro.diagram.pipeline import BuildContext, BuildOptions
-from repro.errors import QueryError
-from repro.geometry.dominance import dominates
+from repro.diagram.pipeline import (
+    BuildContext,
+    BuildOptions,
+    relabel_scan_order,
+)
+from repro.diagram.quadrant_scanning import (
+    _corner_rows,
+    _scan_rows,
+    _seed_state,
+)
+from repro.diagram.store import ResultStore
+from repro.errors import BudgetExceededError, QueryError
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, as_point
-from repro.resilience import BudgetMeter, BuildBudget
+from repro.resilience import BudgetMeter, BuildBudget, PartialDiagram
+
+__all__ = ["delete_point", "insert_point"]
 
 
 def _check(diagram: SkylineDiagram) -> None:
@@ -63,18 +92,362 @@ def _column_origin(old_axis, new_axis) -> list[int]:
     return origins
 
 
+def _splice_dirty(
+    ctx: BuildContext,
+    new_grid: Grid,
+    new_id: int,
+    old_store: ResultStore,
+    old_table,
+    x_origin: list[int],
+    y_origin: list[int],
+    dirty_hi: int,
+    dirty_rows: np.ndarray,
+    partial_rows,
+) -> list | None:
+    """Insert fast path: splice the new point into copies of the old rows.
+
+    A new point ``p`` *changes* a dirty cell only where it enters the
+    result — the cells seeing no strict dominator of ``p``.  Per dirty
+    row that is one column interval ``[lo(j), rx)`` where ``lo(j)`` is
+    the largest x-rank among dominators whose y-rank exceeds the row
+    (the dominator staircase).  On those cells ``p`` is undominated
+    among the candidates, so
+
+        ``Sky(C ∪ {p}) = {p} ∪ {s ∈ Sky(C) : p does not dominate s}``
+
+    — a pure splice of the copied old result that needs no re-scan; the
+    non-splice clause holds because any non-skyline candidate stays
+    dominated by a surviving maximal point (domination is transitive).
+    Every other dirty cell keeps the old column-remapped result
+    verbatim, by the same covering-column argument as the clean block.
+
+    Returns the dirty rows' lookup table (the old table plus the spliced
+    tail), or ``None`` when the appearance region references so many
+    distinct results that the row kernel is the cheaper engine (the
+    splice pays one Python tuple rebuild per distinct region result; the
+    kernel pays per dirty cell).
+
+    Budget checkpoints run once per completed row, matching the kernel
+    path's semantics (``partial_rows`` sees rows ``[j, dirty_hi)``).
+    """
+    sx = new_grid.shape[0]
+    rxp, _ = new_grid.rank_of(new_id)
+    ranks = np.asarray(new_grid.ranks, dtype=np.int64)
+    rx, ry = ranks[:, 0], ranks[:, 1]
+    ryp = int(ry[new_id])
+    dom = (rx <= rxp) & (ry <= ryp) & ((rx < rxp) | (ry < ryp))
+    dom[new_id] = False
+    dom_ids = np.nonzero(dom)[0]
+    if len(dom_ids):
+        d_rx = rx[dom_ids]
+        d_ry = ry[dom_ids]
+        order = np.argsort(d_ry, kind="stable")
+        ry_sorted = d_ry[order]
+        suffix_max = np.maximum.accumulate(d_rx[order][::-1])[::-1]
+        pos = np.searchsorted(ry_sorted, np.arange(dirty_hi), side="right")
+        lo = np.where(
+            pos < len(dom_ids),
+            suffix_max[np.minimum(pos, len(dom_ids) - 1)],
+            0,
+        )
+        lo = np.minimum(lo, rxp)
+    else:
+        lo = np.zeros(dirty_hi, dtype=np.int64)
+    base = np.ascontiguousarray(
+        old_store.ids[np.ix_(x_origin, y_origin[:dirty_hi])].T,
+        dtype=np.int32,
+    )
+    segments = [
+        base[j, lo[j] : rxp] for j in range(dirty_hi) if lo[j] < rxp
+    ]
+    used = (
+        np.unique(np.concatenate(segments))
+        if segments
+        else np.empty(0, dtype=np.int64)
+    )
+    if len(used) * 8 > dirty_hi * sx:
+        return None
+    # Points the new point dominates — these leave any result p joins.
+    shadowed = (rx >= rxp) & (ry >= ryp) & ((rx > rxp) | (ry > ryp))
+    dom_set = set(np.nonzero(shadowed)[0].tolist())
+    map_arr = np.zeros(max(1, len(old_table)), dtype=np.int32)
+    tail: list[tuple[int, ...]] = []
+    seen: dict[tuple[int, ...], int] = {}
+    next_id = len(old_table)
+    for u in used.tolist():
+        # The new id is the largest, so appending keeps the tuple sorted.
+        spliced = tuple(
+            s for s in old_table[u] if s not in dom_set
+        ) + (new_id,)
+        hit = seen.get(spliced)
+        if hit is None:
+            seen[spliced] = hit = next_id
+            tail.append(spliced)
+            next_id += 1
+        map_arr[u] = hit
+    table = list(old_table) + tail
+    dirty_rows[:] = base
+    for j in range(dirty_hi - 1, -1, -1):
+        if lo[j] < rxp:
+            segment = dirty_rows[j, lo[j] : rxp]
+            dirty_rows[j, lo[j] : rxp] = map_arr[segment]
+        try:
+            ctx.checkpoint(advance=sx, distinct=len(table))
+        except BudgetExceededError as exc:
+            if exc.partial is None:
+                exc.partial = PartialDiagram(
+                    new_grid,
+                    partial_rows(j, dirty_rows, table),
+                    None,
+                    boundary_exact=True,
+                )
+            raise
+    return table
+
+
+def _merge_at_boundary(
+    clean_local: np.ndarray,
+    clean_table: list,
+    dirty_local: np.ndarray,
+    dirty_table: list,
+    dirty_hi: int,
+    rows_out: np.ndarray,
+) -> list:
+    """Merge the clean and dirty chunks without hashing the clean table.
+
+    The clean chunk leads the global scan order and its table entries are
+    distinct (an injective id remap of distinct old results), so its
+    merged ids are ``0..C-1`` verbatim.  The dirty chunk only needs
+    deduplication against the clean results that can recur below the
+    boundary — and those all appear in the clean block's *bottom* row
+    (``j = dirty_hi``):
+
+    A cell's candidate set is antitone in its position, and for nested
+    candidate sets ``A ⊇ B ⊇ C`` with ``Sky(A) = Sky(C) = S``, also
+    ``Sky(B) = S`` (each point of ``S`` is undominated in ``A`` hence in
+    ``B``; each point of ``B \\ S`` lies in ``A`` and is strictly
+    dominated by some maximal point of ``A``, i.e. by ``S`` — with or
+    without duplicate points).  So if a dirty cell ``(i1, j1)`` and a
+    clean cell ``(i2, j2)`` share result ``S``, the corner cell
+    ``(min(i1, i2), j)`` is sandwiched for every ``j1 <= j <= j2`` and
+    carries ``S`` across row ``dirty_hi``.  Deduplicating against that
+    one row's results replaces a dict over the full clean table (about
+    as large as the cell count) with one over at most ``sx`` entries.
+    """
+    rows_out[dirty_hi:] = clean_local
+    boundary: dict = {}
+    if rows_out.shape[0] > dirty_hi:
+        for i in np.unique(clean_local[0]).tolist():
+            boundary[clean_table[i]] = i
+    next_id = len(clean_table)
+    mapping = np.empty(max(1, len(dirty_table)), dtype=np.int32)
+    tail = []
+    for k, result in enumerate(dirty_table):
+        hit = boundary.get(result)
+        if hit is None:
+            mapping[k] = next_id
+            tail.append(result)
+            next_id += 1
+        else:
+            mapping[k] = hit
+    rows_out[:dirty_hi] = mapping[dirty_local]
+    return clean_table + tail
+
+
+def _rescan_update(
+    ctx: BuildContext,
+    diagram: SkylineDiagram,
+    new_grid: Grid,
+    x_origin: list[int],
+    y_origin: list[int],
+    dirty_hi: int,
+    remap_table,
+    new_point_id: int | None = None,
+) -> SkylineDiagram:
+    """Shared dirty-region engine behind both maintenance operations.
+
+    Rows ``[dirty_hi, sy)`` of the new grid are clean: they are the old
+    rows ``y_origin[j]`` with columns remapped through ``x_origin``, so
+    one fancy-index copies the whole block.  Rows ``[0, dirty_hi)`` are
+    re-scanned from the new dataset with the scanning constructor's own
+    row kernel.  ``remap_table`` post-processes the clean block's
+    restricted result table (deletion renumbers ids; insertion is the
+    identity).  Both blocks merge in global scan order, which makes the
+    result byte-identical to a fresh serial build.
+    """
+    old_store = diagram.store
+    sx, sy = new_grid.shape
+    with ctx.phase("row_scan"):
+        # Clean block first — it is the *top* of the scan order.  The
+        # copy is one vectorized gather; the checkpoint charges its cells
+        # so time/cell budgets account for the whole update honestly.
+        clean_rows = old_store.ids[np.ix_(x_origin, y_origin[dirty_hi:])].T
+        clean_rows = np.ascontiguousarray(clean_rows, dtype=np.int32)
+        old_table = old_store.table_view()
+
+        def partial_rows(upto: int, scan_rows, scan_table) -> dict:
+            """Completed-suffix rows as raw tuples (mixed id spaces)."""
+            remapped = remap_table(
+                [old_table[i] for i in range(len(old_table))]
+            )
+            rows: dict[int, list] = {}
+            for jj in range(dirty_hi, sy):
+                rows[jj] = [
+                    remapped[i]
+                    for i in clean_rows[jj - dirty_hi].tolist()
+                ]
+            for jj in range(upto, dirty_hi):
+                rows[jj] = [
+                    scan_table[i] for i in scan_rows[jj].tolist()
+                ]
+            return rows
+
+        try:
+            ctx.checkpoint(advance=(sy - dirty_hi) * sx)
+        except BudgetExceededError as exc:
+            if exc.partial is None:
+                exc.partial = PartialDiagram(
+                    new_grid,
+                    partial_rows(dirty_hi, None, None),
+                    None,
+                    boundary_exact=True,
+                )
+            raise
+
+        # Dirty block: an insert first tries the splice fast path —
+        # overwrite only the new point's appearance staircase in a copy
+        # of the old rows; otherwise re-scan rows [0, dirty_hi) with the
+        # delta-form kernel, seeded at the dirty boundary from the
+        # dataset alone.
+        dirty_rows = np.empty((dirty_hi, sx), dtype=np.int32)
+        table = None
+        if new_point_id is not None:
+            table = _splice_dirty(
+                ctx,
+                new_grid,
+                new_point_id,
+                old_store,
+                old_table,
+                x_origin,
+                y_origin,
+                dirty_hi,
+                dirty_rows,
+                partial_rows,
+            )
+        if table is None:
+            row_corners, row_corner_cols = _corner_rows(new_grid)
+            upper, diff_events, diff_deltas, table, intern = _seed_state(
+                new_grid, dirty_hi
+            )
+
+            def on_row(j: int) -> None:
+                try:
+                    ctx.checkpoint(advance=sx, distinct=len(table))
+                except BudgetExceededError as exc:
+                    if exc.partial is None:
+                        exc.partial = PartialDiagram(
+                            new_grid,
+                            partial_rows(j, dirty_rows, table),
+                            None,
+                            boundary_exact=True,
+                        )
+                    raise
+
+            _scan_rows(
+                sx,
+                row_corners,
+                row_corner_cols,
+                0,
+                dirty_hi,
+                upper,
+                diff_events,
+                diff_deltas,
+                table,
+                intern,
+                dirty_rows,
+                0,
+                on_row,
+            )
+        ctx.count_rows(dirty_hi)
+    with ctx.phase("intern"):
+        # Treat the clean copy and the re-scan as two chunks of a sharded
+        # build: relabel each into scan-order-first-occurrence ids, then
+        # merge topmost first — exactly the path that makes process-pool
+        # builds byte-identical to serial.
+        #
+        # The clean block usually gets a cheaper relabel: the old store's
+        # table is already in scan-first-occurrence order (every build
+        # path guarantees byte-identity with serial), and a column map
+        # that never *drops* a column (insert always; delete when the
+        # victim shares its x grid line) preserves the relative order of
+        # first occurrences — duplicated columns sit adjacent in scan
+        # order and cannot reorder anything.  Ascending old id therefore
+        # IS first-occurrence order, and a presence mask replaces the
+        # O(cells log cells) sort inside relabel_scan_order.  A dropped
+        # column can move an id's first occurrence past another's, so
+        # that case keeps the general relabel.
+        if sx >= old_store.ids.shape[0]:
+            counts = np.bincount(
+                clean_rows.ravel(), minlength=len(old_table)
+            )
+            used = np.nonzero(counts)[0]
+            rank = np.zeros(max(1, len(old_table)), dtype=np.int32)
+            rank[used] = np.arange(len(used), dtype=np.int32)
+            clean_local = rank[clean_rows]
+            if len(used) == len(old_table):
+                clean_table = list(old_table)
+            else:
+                clean_table = list(
+                    map(old_table.__getitem__, used.tolist())
+                )
+        else:
+            clean_local, clean_table = relabel_scan_order(
+                clean_rows, old_table, flip=True
+            )
+        clean_table = remap_table(clean_table)
+        dirty_local, dirty_table = relabel_scan_order(
+            dirty_rows, table, flip=True
+        )
+        rows_out = np.empty((sy, sx), dtype=np.int32)
+        merged = _merge_at_boundary(
+            clean_local,
+            clean_table,
+            dirty_local,
+            dirty_table,
+            dirty_hi,
+            rows_out,
+        )
+        ctx.checkpoint(distinct=len(merged))
+    with ctx.phase("assemble"):
+        store = ResultStore(
+            (sx, sy), np.ascontiguousarray(rows_out.T), merged
+        )
+        updated = SkylineDiagram(
+            new_grid,
+            store,
+            kind="quadrant",
+            mask=0,
+            algorithm=ctx.report.algorithm,
+        )
+    return ctx.finish(updated)
+
+
 def insert_point(
     diagram: SkylineDiagram,
     point: Sequence[float],
     budget: BuildBudget | BudgetMeter | None = None,
     build_options: BuildOptions | None = None,
 ) -> SkylineDiagram:
-    """Insert one point, updating only its lower-left block of cells.
+    """Insert one point, re-scanning only its dirty lower-left rows.
 
-    The new point's id is ``len(old dataset)``.  ``budget`` checkpoints
-    once per cell column; the original diagram is untouched on
-    exhaustion (maintenance is copy-on-write), so a caller can fall back
-    to serving the stale snapshot or rebuilding.
+    The new point's id is ``len(old dataset)``.  Only rows strictly below
+    the point's y-rank are re-scanned (``build_report.rows_scanned``
+    counts exactly those); everything above is a vectorized copy of the
+    old store.  The returned diagram's store is byte-identical to a fresh
+    serial build over the extended dataset.  ``budget`` checkpoints once
+    per re-scanned row; the original diagram is untouched on exhaustion
+    (maintenance is copy-on-write) and the raised error carries an exact
+    partial over the completed rows.
 
     >>> from repro.diagram import quadrant_scanning
     >>> updated = insert_point(quadrant_scanning([(5, 5)]), (2, 2))
@@ -82,8 +455,6 @@ def insert_point(
     (1,)
     """
     _check(diagram)
-    # Copy-on-write over the old diagram's cells: sequential by nature, so
-    # the context pins the executor to serial regardless of the options.
     ctx = BuildContext(
         budget,
         build_options,
@@ -97,37 +468,21 @@ def insert_point(
         new_dataset = Dataset([*old.points, p])
         new_grid = Grid(new_dataset)
         new_id = len(old)
-        rx, ry = new_grid.rank_of(new_id)
+        _, ry = new_grid.rank_of(new_id)
         x_origin = _column_origin(diagram.grid.axes[0], new_grid.axes[0])
         y_origin = _column_origin(diagram.grid.axes[1], new_grid.axes[1])
-
-    sx, sy = new_grid.shape
-    results: dict[tuple[int, int], tuple[int, ...]] = {}
-    pts = old.points
-    with ctx.phase("row_scan"):
-        for i in range(sx):
-            for j in range(sy):
-                result = diagram.result_at((x_origin[i], y_origin[j]))
-                if i < rx and j < ry:
-                    # p is a candidate of this cell.
-                    if not any(dominates(pts[q], p) for q in result):
-                        kept = [
-                            q for q in result if not dominates(p, pts[q])
-                        ]
-                        kept.append(new_id)
-                        result = tuple(sorted(kept))
-                results[(i, j)] = result
-            ctx.checkpoint(advance=sy)
-        ctx.count_rows(sx)
-    with ctx.phase("assemble"):
-        updated = SkylineDiagram(
-            new_grid,
-            results,
-            kind="quadrant",
-            mask=0,
-            algorithm=f"{diagram.algorithm}+insert",
-        )
-    return ctx.finish(updated)
+    # Point ids are append-only on insert, so the clean block's table
+    # entries carry over verbatim.
+    return _rescan_update(
+        ctx,
+        diagram,
+        new_grid,
+        x_origin,
+        y_origin,
+        ry,
+        lambda table: table,
+        new_point_id=new_id,
+    )
 
 
 def delete_point(
@@ -136,11 +491,13 @@ def delete_point(
     budget: BuildBudget | BudgetMeter | None = None,
     build_options: BuildOptions | None = None,
 ) -> SkylineDiagram:
-    """Delete one point, repairing only its lower-left block of cells.
+    """Delete one point, re-scanning only its dirty lower-left rows.
 
-    Ids above ``point_id`` shift down by one (the dataset contracts).
-    ``budget`` checkpoints once per cell column, as in
-    :func:`insert_point`.
+    Ids above ``point_id`` shift down by one (the dataset contracts); the
+    victim never appears in a clean cell's result (a point is only listed
+    where it is a candidate, and its candidate region *is* the dirty
+    block), so the clean block carries over with a pure id renumbering.
+    ``budget`` checkpoints as in :func:`insert_point`.
 
     >>> from repro.diagram import quadrant_scanning
     >>> diagram = quadrant_scanning([(1, 1), (2, 2)])
@@ -160,65 +517,30 @@ def delete_point(
         raise QueryError(f"point id {point_id} out of range")
     if len(old) == 1:
         raise QueryError("cannot delete the last point of a diagram")
-    p = old[point_id]
     with ctx.phase("rank_space"):
+        _, victim_ry = diagram.grid.rank_of(point_id)
         remaining = [q for i, q in enumerate(old.points) if i != point_id]
-        new_dataset = Dataset(remaining)
-        new_grid = Grid(new_dataset)
-
-    def remap(old_pid: int) -> int:
-        return old_pid if old_pid < point_id else old_pid - 1
-
-    # The points p hid: any cell candidate dominated by p whose other
-    # dominators are all gone resurfaces.  Lexicographic order guarantees a
-    # resurfacing dominator is re-admitted before the points it dominates,
-    # so checking against the growing survivor list below is sound.
-    hidden = sorted(
-        (
-            i
-            for i, q in enumerate(old.points)
-            if i != point_id and dominates(p, q)
-        ),
-        key=lambda i: old.points[i],
-    )
-    old_ranks = diagram.grid.ranks
-    pts = old.points
-
-    # For each new cell column, a representative old column covering it
-    # (when p's grid line vanishes, the two merged old columns agree after
-    # the repair, so either representative works).
-    x_source = _column_origin(diagram.grid.axes[0], new_grid.axes[0])
-    y_source = _column_origin(diagram.grid.axes[1], new_grid.axes[1])
-
-    sx, sy = new_grid.shape
-    results: dict[tuple[int, int], tuple[int, ...]] = {}
-    with ctx.phase("row_scan"):
-        for i in range(sx):
-            old_i = x_source[i]
-            for j in range(sy):
-                old_j = y_source[j]
-                result = diagram.result_at((old_i, old_j))
-                if point_id in result:
-                    survivors = [q for q in result if q != point_id]
-                    for candidate in hidden:
-                        crx, cry = old_ranks[candidate]
-                        if crx <= old_i or cry <= old_j:
-                            continue  # not a candidate of this cell
-                        if not any(
-                            dominates(pts[s], pts[candidate])
-                            for s in survivors
-                        ):
-                            survivors.append(candidate)
-                    result = tuple(sorted(survivors))
-                results[(i, j)] = tuple(sorted(remap(q) for q in result))
-            ctx.checkpoint(advance=sy)
-        ctx.count_rows(sx)
-    with ctx.phase("assemble"):
-        updated = SkylineDiagram(
-            new_grid,
-            results,
-            kind="quadrant",
-            mask=0,
-            algorithm=f"{diagram.algorithm}+delete",
+        new_grid = Grid(Dataset(remaining))
+        x_origin = _column_origin(diagram.grid.axes[0], new_grid.axes[0])
+        y_origin = _column_origin(diagram.grid.axes[1], new_grid.axes[1])
+        # New rows whose interval lies below the victim's y grid line are
+        # dirty; y_origin is monotone, so they form the prefix of rows
+        # mapping to old rows < victim_ry.
+        sy = new_grid.shape[1]
+        dirty_hi = next(
+            (j for j in range(sy) if y_origin[j] >= victim_ry), sy
         )
-    return ctx.finish(updated)
+
+    def remap_table(table):
+        # Results are sorted, so a max id below the victim means no id
+        # shifts — keep the tuple (the common case for late victims).
+        return [
+            result
+            if not result or result[-1] < point_id
+            else tuple(q - 1 if q > point_id else q for q in result)
+            for result in table
+        ]
+
+    return _rescan_update(
+        ctx, diagram, new_grid, x_origin, y_origin, dirty_hi, remap_table
+    )

@@ -25,6 +25,13 @@ dynamic bisectors, tied mapped distances) and cross-checks
 * every diagram construction pair — quadrant baseline/dsg/scanning (and
   the dict-backed scanning reference), dynamic baseline/subset/scanning,
   global over two quadrant algorithms — for whole-diagram equality,
+* incremental maintenance (``maintenance:*``): chains of
+  :func:`~repro.diagram.maintenance.insert_point` /
+  :func:`~repro.diagram.maintenance.delete_point` against a fresh build
+  over the final point set — store *fingerprints* must be byte-identical
+  (same id numbering, same table order), under fuzzed op sequences that
+  deliberately include exact duplicates and boundary-coincident points
+  (new points sharing a grid line with survivors),
 * every lookup path against direct from-scratch evaluation, for all
   query kinds, all ``2^d`` quadrant masks, skybands, and the sweeping
   diagram's polyomino walk,
@@ -380,6 +387,112 @@ def _pair_checks() -> list[tuple[str, Check, str]]:
             vectorized(quadrant_scanning),
             vector_template.format(a="quadrant_scanning"),
         ),
+    ]
+
+
+def _maintenance_sequence(
+    seed: int, points: Points, style: str = "mixed", steps: int = 4
+) -> list[tuple[str, object]]:
+    """A deterministic fuzzed update sequence for ``points``.
+
+    Returns ``("insert", point)`` / ``("delete", id)`` ops.  Inserts are
+    adversarial on purpose: exact duplicates of surviving points and
+    boundary-coincident points (one coordinate copied from a survivor,
+    so the new point lands exactly on an existing grid line).  Delete
+    ids are valid at the moment the op applies, and the sequence never
+    empties the dataset.
+    """
+    rng = random.Random(seed)
+    pts = [tuple(float(c) for c in p) for p in points]
+    ops: list[tuple[str, object]] = []
+    for _ in range(steps):
+        deletable = len(pts) > 1
+        wants_delete = style == "delete" or (
+            style == "mixed" and rng.random() < 0.4
+        )
+        if wants_delete:
+            if not deletable:
+                break
+            victim = rng.randrange(len(pts))
+            ops.append(("delete", victim))
+            del pts[victim]
+            continue
+        roll = rng.random()
+        if roll < 0.35:  # exact duplicate of a survivor
+            new = rng.choice(pts)
+        elif roll < 0.6:  # boundary-coincident: share one grid line
+            base = rng.choice(pts)
+            if rng.random() < 0.5:
+                new = (base[0], float(rng.randint(0, 6)))
+            else:
+                new = (float(rng.randint(0, 6)), base[1])
+        else:
+            new = (float(rng.randint(0, 6)), float(rng.randint(0, 6)))
+        ops.append(("insert", new))
+        pts.append(new)
+    return ops
+
+
+def _maintenance_checks(seq_seed: int) -> list[tuple[str, Check, str]]:
+    """Incremental maintenance vs fresh builds: byte-identical stores.
+
+    Each check replays a fuzzed insert/delete sequence through
+    :func:`~repro.diagram.maintenance.insert_point` /
+    :func:`~repro.diagram.maintenance.delete_point` and demands the
+    maintained store's *fingerprint* — not just semantic equality —
+    match a from-scratch serial build over the final point set.
+    """
+    from repro.diagram.maintenance import delete_point, insert_point
+    from repro.diagram.quadrant_scanning import quadrant_scanning
+
+    def maintained(style: str) -> Check:
+        def check(points: Points) -> tuple[object, object]:
+            pts = [tuple(float(c) for c in p) for p in points]
+            diagram = quadrant_scanning(pts)
+            for op, value in _maintenance_sequence(
+                seq_seed, points, style=style
+            ):
+                if op == "insert":
+                    diagram = insert_point(diagram, value)
+                    pts.append(tuple(float(c) for c in value))
+                else:
+                    diagram = delete_point(diagram, value)
+                    del pts[value]
+            fresh = quadrant_scanning(pts)
+            if diagram.store.fingerprint() == fresh.store.fingerprint():
+                return (True, True)
+            return (fresh.store.to_dict(), diagram.store.to_dict())
+
+        return check
+
+    template = (
+        "from repro.diagram.maintenance import delete_point, insert_point\n"
+        "from repro.diagram.quadrant_scanning import quadrant_scanning\n"
+        "from repro.diagram.verify import _maintenance_sequence\n"
+        "pts = [tuple(map(float, p)) for p in points]\n"
+        "diagram = quadrant_scanning(pts)\n"
+        "for op, value in _maintenance_sequence({seed}, points, "
+        "style={style!r}):\n"
+        "    if op == 'insert':\n"
+        "        diagram = insert_point(diagram, value)\n"
+        "        pts.append(tuple(map(float, value)))\n"
+        "    else:\n"
+        "        diagram = delete_point(diagram, value)\n"
+        "        del pts[value]\n"
+        "assert diagram.store.fingerprint() == "
+        "quadrant_scanning(pts).store.fingerprint()"
+    )
+    return [
+        (
+            f"maintenance:{label}==fresh",
+            maintained(style),
+            template.format(seed=seq_seed, style=style),
+        )
+        for label, style in (
+            ("incremental", "mixed"),
+            ("insert-only", "insert"),
+            ("delete-only", "delete"),
+        )
     ]
 
 
@@ -792,6 +905,9 @@ def differential_verify(
         queries = _generate_queries(rng, points, limit=query_limit)
         round_checks: list[tuple[str, Check, str, tuple | None]] = []
         for name, check, template in _pair_checks():
+            round_checks.append((name, check, template, None))
+        seq_seed = rng.randrange(1 << 30)
+        for name, check, template in _maintenance_checks(seq_seed):
             round_checks.append((name, check, template, None))
         for query in queries:
             for name, check, template in _lookup_checks(query):

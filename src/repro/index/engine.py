@@ -40,10 +40,30 @@ state and partial are resolved a single time, not per query.  A
 retry with exponential backoff, surfaced with the serving-tier counters
 through :meth:`health`, retried on demand with :meth:`rebuild`, and
 self-audited (with eviction of corrupted diagrams) through :meth:`audit`.
+
+Streaming updates
+-----------------
+The dataset is no longer frozen at construction: :meth:`apply_update`
+journals point inserts/deletes into an :class:`UpdateQueue` and
+:meth:`flush_updates` applies the journal as one batch.  Everything a
+query touches — dataset, diagram cache, build states — lives in one
+:class:`_Generation` holder, and applying a batch builds the *next*
+generation aside (the 2-D first-quadrant diagram maintained
+incrementally through :mod:`repro.diagram.maintenance`, other diagrams
+rebuilt lazily on first use) and installs it with **one atomic reference
+assignment**.  Concurrent ``query_batch`` calls capture the generation
+once per batch, so readers always see a single consistent generation —
+never a mixed dataset/diagram pair.  A failed flush (budget exhaustion,
+crash) leaves the old generation serving, keeps the journal replayable,
+and backs off exponentially with the same machinery failed builds use;
+answers produced while updates are pending carry the journal depth in
+``QueryReport.pending_updates``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import threading
 import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
@@ -60,6 +80,7 @@ from repro.errors import (
     QueryError,
     SerializationError,
 )
+from repro.diagram.maintenance import delete_point, insert_point
 from repro.geometry.point import Dataset, ensure_dataset
 from repro.query import (
     KINDS,
@@ -81,6 +102,8 @@ __all__ = [
     "SERVING_TIERS",
     "QueryAnswer",
     "SkylineDatabase",
+    "UpdateOp",
+    "UpdateQueue",
 ]
 
 
@@ -95,6 +118,105 @@ class _BuildState:
     partial: object | None = None
     fingerprint: str | None = None
     report: object | None = None  # pipeline BuildReport of the last build
+
+
+def _dataset_sha(dataset: Dataset) -> str:
+    """Content sha identifying one dataset generation."""
+    payload = repr([tuple(p) for p in dataset.points]).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass
+class _Generation:
+    """One immutable serving generation: dataset plus everything derived.
+
+    The diagram cache and build states are *per generation* — a swapped-in
+    generation starts with exactly the diagrams the update batch
+    maintained, and everything else rebuilds lazily against the new
+    dataset.  Readers capture ``db._gen`` once per batch and resolve
+    dataset, diagrams, states and partials against that single object, so
+    an update swap mid-batch can never mix generations.
+    """
+
+    seq: int
+    sha: str
+    dataset: Dataset
+    diagrams: dict
+    states: dict
+
+
+@dataclass(frozen=True)
+class UpdateOp:
+    """One journalled dataset update.
+
+    ``op`` is ``"insert"`` (``value`` is the point tuple; its id will be
+    the dataset length at apply time) or ``"delete"`` (``value`` is the
+    point id *in the journal-prospective dataset* — ids shift down past
+    earlier pending deletes exactly as they will when applied).
+    """
+
+    op: str
+    value: tuple | int
+
+
+class UpdateQueue:
+    """A coalescing journal of pending dataset updates.
+
+    Appended entries wait until :meth:`SkylineDatabase.flush_updates`
+    applies them as one batch; a failed flush keeps the journal intact
+    (replayable) and backs off exponentially.  Coalescing: a delete of a
+    point whose insert is still pending cancels both entries — the pair
+    is a no-op on the applied generation.
+    """
+
+    def __init__(self) -> None:
+        self.journal: list[UpdateOp] = []
+        self.attempts = 0
+        self.next_retry: float | None = None
+        self.last_error: str | None = None
+        self.applied = 0  # ops applied over the database lifetime
+        self.batches = 0  # applied batches == generation swaps
+
+    @property
+    def depth(self) -> int:
+        """Pending (journalled, not yet applied) update count."""
+        return len(self.journal)
+
+    def net(self, upto: int | None = None) -> int:
+        """Net dataset-size delta of the journal (or its prefix)."""
+        entries = self.journal if upto is None else self.journal[:upto]
+        return sum(1 if e.op == "insert" else -1 for e in entries)
+
+    def append(self, entry: UpdateOp, base_size: int) -> str:
+        """Journal ``entry``; returns ``"journalled"`` or ``"coalesced"``.
+
+        ``base_size`` is the applied generation's dataset size, used to
+        compute the prospective id of the last pending insert.
+        """
+        if (
+            entry.op == "delete"
+            and self.journal
+            and self.journal[-1].op == "insert"
+            and entry.value == base_size + self.net(len(self.journal) - 1)
+        ):
+            self.journal.pop()
+            return "coalesced"
+        self.journal.append(entry)
+        return "journalled"
+
+    def stats(self, now: float) -> dict:
+        """JSON-ready queue state for :meth:`SkylineDatabase.health`."""
+        entry: dict = {
+            "pending": self.depth,
+            "applied": self.applied,
+            "batches": self.batches,
+            "attempts": self.attempts,
+        }
+        if self.last_error is not None:
+            entry["error"] = self.last_error
+        if self.next_retry is not None:
+            entry["retry_in"] = max(0.0, self.next_retry - now)
+        return entry
 
 
 class SkylineDatabase:
@@ -151,20 +273,55 @@ class SkylineDatabase:
         build_options: BuildOptions | None = None,
         metrics: MetricsRegistry | None = None,
     ) -> None:
-        self.dataset = ensure_dataset(points)
+        dataset = ensure_dataset(points)
         self.budget = budget
         self.build_options = build_options
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._clock = clock if clock is not None else time.monotonic
         self._backoff_base = backoff_base
         self._backoff_cap = backoff_cap
-        self._diagrams: dict[str, SkylineDiagram | DynamicDiagram] = {}
-        self._states: dict[str, _BuildState] = {}
+        self._gen = _Generation(
+            seq=0,
+            sha=_dataset_sha(dataset),
+            dataset=dataset,
+            diagrams={},
+            states={},
+        )
+        self._updates = UpdateQueue()
+        # Serializes journal appends and batch applies; readers never
+        # take it (they only capture the ``_gen`` reference).
+        self._update_lock = threading.Lock()
         self._last_audit: dict[str, str] = {}
         self._planner = QueryPlanner(self)
         for kind in precompute:
             plan = self._planner.plan(kind)
             self._obtain(plan.key, plan.builder)
+
+    # ------------------------------------------------------------------
+    # The serving generation (dataset + diagrams swap as one unit)
+    # ------------------------------------------------------------------
+    @property
+    def dataset(self) -> Dataset:
+        """The current generation's dataset (updates swap the whole set)."""
+        return self._gen.dataset
+
+    @property
+    def _diagrams(self) -> dict[str, SkylineDiagram | DynamicDiagram]:
+        return self._gen.diagrams
+
+    @property
+    def _states(self) -> dict[str, _BuildState]:
+        return self._gen.states
+
+    @property
+    def generation(self) -> dict:
+        """The serving generation's sequence number and content sha."""
+        return {"seq": self._gen.seq, "sha": self._gen.sha}
+
+    @property
+    def pending_updates(self) -> int:
+        """Journalled updates not yet applied to the serving generation."""
+        return self._updates.depth
 
     # ------------------------------------------------------------------
     # Validation
@@ -224,30 +381,37 @@ class SkylineDatabase:
             return quadrant_scanning
         return quadrant_scanning_nd
 
-    def _obtain(self, key: str, builder, required: bool = False):
+    def _obtain(self, key: str, builder, required: bool = False, gen=None):
         """The cached diagram for ``key``, building under the budget.
 
         ``required=False`` (the ladder): a failed or backing-off build
         returns ``None`` and the caller falls to a lower tier.
         ``required=True`` (explicit diagram accessors): failures raise,
         backoff is bypassed — but the failure is still recorded.
+        ``gen`` pins the generation the build reads from and attaches to
+        (the planner passes its captured generation so a concurrent
+        update swap cannot mix datasets mid-batch); default is current.
         """
-        diagram = self._diagrams.get(key)
+        gen = gen if gen is not None else self._gen
+        diagram = gen.diagrams.get(key)
         if diagram is not None:
             return diagram
-        state = self._states.setdefault(key, _BuildState())
+        state = gen.states.setdefault(key, _BuildState())
         if (
             not required
             and state.next_retry is not None
             and self._clock() < state.next_retry
         ):
             return None
-        return self._build(key, state, builder, required=required)
+        return self._build(key, state, builder, required=required, gen=gen)
 
-    def _build(self, key: str, state: _BuildState, builder, required: bool):
+    def _build(
+        self, key: str, state: _BuildState, builder, required: bool, gen=None
+    ):
+        gen = gen if gen is not None else self._gen
         state.attempts += 1
         try:
-            diagram = builder(as_meter(self.budget, self._clock))
+            diagram = builder(as_meter(self.budget, self._clock), gen.dataset)
         except BudgetExceededError as exc:
             self._record_failure(state, f"budget exceeded: {exc}", exc.partial)
             if required:
@@ -262,24 +426,27 @@ class SkylineDatabase:
             if required:
                 raise
             return None
-        self._attach(key, state, diagram)
+        self._attach(gen, key, state, diagram)
         return diagram
+
+    def _backoff_delay(self, attempts: int) -> float:
+        """Exponential backoff shared by failed builds and failed flushes."""
+        return min(
+            self._backoff_cap,
+            self._backoff_base * (2 ** (attempts - 1)),
+        )
 
     def _record_failure(self, state: _BuildState, error: str, partial) -> None:
         state.status = "degraded"
         state.error = error
         if partial is not None:
             # A partial from an earlier interruption stays valid (the
-            # dataset is immutable), so only ever upgrade it.
+            # generation's dataset is immutable), so only ever upgrade it.
             state.partial = partial
-        delay = min(
-            self._backoff_cap,
-            self._backoff_base * (2 ** (state.attempts - 1)),
-        )
-        state.next_retry = self._clock() + delay
+        state.next_retry = self._clock() + self._backoff_delay(state.attempts)
 
-    def _attach(self, key: str, state: _BuildState, diagram) -> None:
-        self._diagrams[key] = diagram
+    def _attach(self, gen, key: str, state: _BuildState, diagram) -> None:
+        gen.diagrams[key] = diagram
         state.status = "ready"
         state.error = None
         state.partial = None
@@ -431,15 +598,21 @@ class SkylineDatabase:
         return self.query_batch(queries, kind=kind, mask=mask, k=k)
 
     def _scratch(
-        self, coords: tuple[float, ...], kind: str, mask: int, k: int
+        self,
+        coords: tuple[float, ...],
+        kind: str,
+        mask: int,
+        k: int,
+        dataset: Dataset | None = None,
     ) -> tuple[int, ...]:
+        dataset = dataset if dataset is not None else self.dataset
         if kind == "quadrant":
-            return quadrant_skyline(self.dataset, coords, mask)
+            return quadrant_skyline(dataset, coords, mask)
         if kind == "global":
-            return global_skyline(self.dataset, coords)
+            return global_skyline(dataset, coords)
         if kind == "dynamic":
-            return dynamic_skyline(self.dataset, coords)
-        return quadrant_skyband(self.dataset, coords, k)
+            return dynamic_skyline(dataset, coords)
+        return quadrant_skyband(dataset, coords, k)
 
     def query_from_scratch(
         self,
@@ -464,6 +637,201 @@ class SkylineDatabase:
         return self._scratch(coords, kind, mask, k)
 
     # ------------------------------------------------------------------
+    # Streaming updates: journal, batch apply, atomic generation swap
+    # ------------------------------------------------------------------
+    def apply_update(self, op: str, value, flush: bool = True) -> dict:
+        """Journal one dataset update and (by default) try to apply it.
+
+        ``op`` is ``"insert"`` (``value`` is a point of the dataset's
+        dimensionality) or ``"delete"`` (``value`` is a point id in the
+        journal-prospective dataset — the dataset as it will look once
+        every already-journalled update has applied).  Malformed updates
+        raise :class:`~repro.errors.QueryError` at journal time, so the
+        journal itself is always applyable.
+
+        With ``flush=True`` the journal is applied immediately unless a
+        previous failure is still backing off; ``flush=False`` only
+        journals (batch several updates, then :meth:`flush_updates`
+        once).  Returns the journal status merged with the flush outcome.
+        """
+        if op not in ("insert", "delete"):
+            raise QueryError(
+                f"unknown update op {op!r}; expected 'insert' or 'delete'"
+            )
+        queue = self._updates
+        with self._update_lock:
+            base_size = len(self._gen.dataset)
+            prospective = base_size + queue.net()
+            if op == "insert":
+                entry = UpdateOp("insert", self._check_query(value))
+            else:
+                try:
+                    point_id = int(value)
+                except (TypeError, ValueError) as exc:
+                    raise QueryError(
+                        f"delete takes a point id, got {value!r}"
+                    ) from exc
+                if not 0 <= point_id < prospective:
+                    raise QueryError(
+                        f"point id {point_id} out of range for prospective "
+                        f"dataset of {prospective} points"
+                    )
+                if prospective <= 1:
+                    raise QueryError("cannot delete the last point")
+                entry = UpdateOp("delete", point_id)
+            status = queue.append(entry, base_size)
+        outcome = {"status": status, "pending": queue.depth}
+        if flush:
+            outcome.update(self.flush_updates())
+        outcome["generation"] = self._gen.sha
+        return outcome
+
+    def flush_updates(self, force: bool = False) -> dict:
+        """Apply the journalled updates as one batch, swapping generations.
+
+        The whole batch builds the next generation *aside*: the 2-D
+        first-quadrant diagram is maintained incrementally (dirty-region
+        re-scan under the database budget), other diagrams rebuild
+        lazily against the new dataset on first use.  Success installs
+        the new generation with one atomic reference assignment and
+        clears the applied journal prefix.  Failure (budget exhaustion,
+        crash) leaves the old generation serving, keeps the journal
+        replayable, and schedules an exponential-backoff retry — the
+        next query or explicit flush past the deadline retries
+        (``force=True`` bypasses the backoff).
+        """
+        return self._flush(force=force, blocking=True)
+
+    def _flush(self, force: bool, blocking: bool) -> dict:
+        queue = self._updates
+        if not queue.journal:
+            return {"applied": 0, "pending": 0}
+        now = self._clock()
+        if (
+            not force
+            and queue.next_retry is not None
+            and now < queue.next_retry
+        ):
+            return {
+                "applied": 0,
+                "pending": queue.depth,
+                "backoff": max(0.0, queue.next_retry - now),
+            }
+        # One applier at a time; a reader's opportunistic poke never
+        # blocks behind an in-flight apply — it serves the old
+        # generation (annotated stale) instead.
+        if not self._update_lock.acquire(blocking=blocking):
+            return {"applied": 0, "pending": queue.depth, "busy": True}
+        try:
+            if not queue.journal:
+                return {"applied": 0, "pending": 0}
+            gen = self._gen
+            ops = list(queue.journal)
+            try:
+                new_gen = self._apply_batch(gen, ops)
+            except Exception as exc:
+                # Includes BudgetExceededError: the old generation is
+                # untouched and fully built, so there is nothing to
+                # degrade — serving simply stays on the previous
+                # generation while the journal waits out the same
+                # backoff failed builds use.
+                queue.attempts += 1
+                queue.last_error = f"{type(exc).__name__}: {exc}"
+                delay = self._backoff_delay(queue.attempts)
+                queue.next_retry = self._clock() + delay
+                return {
+                    "applied": 0,
+                    "pending": queue.depth,
+                    "error": queue.last_error,
+                    "retry_in": delay,
+                }
+            self._gen = new_gen  # THE atomic generation swap
+            del queue.journal[: len(ops)]  # concurrent appends survive
+            queue.attempts = 0
+            queue.next_retry = None
+            queue.last_error = None
+            queue.applied += len(ops)
+            queue.batches += 1
+        finally:
+            self._update_lock.release()
+        self.metrics.record_update(new_gen.sha, len(ops))
+        return {"applied": len(ops), "pending": queue.depth}
+
+    def _apply_batch(self, gen: _Generation, ops: list[UpdateOp]):
+        """Build the generation after ``ops``, without touching ``gen``.
+
+        When the generation has a built 2-D first-quadrant diagram it is
+        maintained incrementally op by op — each step re-scans only the
+        dirty quadrant, byte-identical to a fresh build — under a single
+        budget meter for the whole batch.  Without one, only the dataset
+        swaps and every diagram rebuilds lazily on first use.
+        """
+        meter = as_meter(self.budget, self._clock)
+        diagram = None
+        if gen.dataset.dim == 2:
+            diagram = gen.diagrams.get("quadrant:0")
+        points = None if diagram is not None else list(gen.dataset.points)
+        for entry in ops:
+            if diagram is not None:
+                if entry.op == "insert":
+                    diagram = insert_point(
+                        diagram,
+                        entry.value,
+                        budget=meter,
+                        build_options=self.build_options,
+                    )
+                else:
+                    diagram = delete_point(
+                        diagram,
+                        entry.value,
+                        budget=meter,
+                        build_options=self.build_options,
+                    )
+            elif entry.op == "insert":
+                points.append(tuple(float(c) for c in entry.value))
+            else:
+                del points[entry.value]
+        if diagram is not None:
+            dataset = diagram.grid.dataset
+            state = _BuildState(
+                status="ready",
+                attempts=1,
+                fingerprint=diagram.store.fingerprint(),
+                report=getattr(diagram, "build_report", None),
+            )
+            diagrams = {"quadrant:0": diagram}
+            states = {"quadrant:0": state}
+        else:
+            dataset = Dataset(points)
+            diagrams, states = {}, {}
+        return _Generation(
+            seq=gen.seq + 1,
+            sha=_dataset_sha(dataset),
+            dataset=dataset,
+            diagrams=diagrams,
+            states=states,
+        )
+
+    def _poke_updates(self) -> None:
+        """Opportunistic retry hook: apply due updates before serving.
+
+        Called by the planner ahead of each batch — this is what turns a
+        backed-off failed flush into a *background* retry: the first
+        query past the retry deadline applies the journal, and every
+        query before it serves the old generation annotated with the
+        pending depth.
+        """
+        queue = self._updates
+        if not queue.journal:
+            return
+        if (
+            queue.next_retry is not None
+            and self._clock() < queue.next_retry
+        ):
+            return
+        self._flush(force=False, blocking=False)
+
+    # ------------------------------------------------------------------
     # Health, recovery, audits
     # ------------------------------------------------------------------
     def health(self) -> dict:
@@ -480,9 +848,10 @@ class SkylineDatabase:
         key.
         """
         now = self._clock()
+        gen = self._gen
         builds: dict[str, dict] = {}
-        for key in sorted(self._states):
-            state = self._states[key]
+        for key in sorted(gen.states):
+            state = gen.states[key]
             entry: dict = {"status": state.status, "attempts": state.attempts}
             if state.error is not None:
                 entry["error"] = state.error
@@ -495,12 +864,14 @@ class SkylineDatabase:
             builds[key] = entry
         degraded = sorted(
             key
-            for key, state in self._states.items()
+            for key, state in gen.states.items()
             if state.status in ("degraded", "corrupt")
         )
         return {
             "ok": not degraded,
             "degraded": degraded,
+            "generation": {"seq": gen.seq, "sha": gen.sha},
+            "updates": self._updates.stats(now),
             "tiers": self.metrics.tier_counts(),
             "queries": self.metrics.snapshot(),
             "builds": builds,
@@ -532,25 +903,26 @@ class SkylineDatabase:
         old generation serving and reports ``"kept"``; a successful swap
         reports ``"refreshed"``.
         """
+        gen = self._gen
         if kind is not None:
             keys = [self._planner.plan(kind, mask=mask, k=k).key]
         elif refresh:
-            keys = sorted(set(self._states) | set(self._diagrams))
+            keys = sorted(set(gen.states) | set(gen.diagrams))
         else:
             keys = sorted(
                 key
-                for key in self._states
-                if self._diagrams.get(key) is None
+                for key in gen.states
+                if gen.diagrams.get(key) is None
             )
         outcome: dict[str, str] = {}
         for key in keys:
-            if self._diagrams.get(key) is not None:
+            if gen.diagrams.get(key) is not None:
                 if refresh:
-                    outcome[key] = self._refresh(key)
+                    outcome[key] = self._refresh(key, gen)
                 else:
                     outcome[key] = "ready"
                 continue
-            state = self._states.setdefault(key, _BuildState())
+            state = gen.states.setdefault(key, _BuildState())
             if (
                 not force
                 and state.next_retry is not None
@@ -563,11 +935,12 @@ class SkylineDatabase:
                 state,
                 self._planner.plan_for_key(key).builder,
                 required=False,
+                gen=gen,
             )
             outcome[key] = "ready" if diagram is not None else "degraded"
         return outcome
 
-    def _refresh(self, key: str) -> str:
+    def _refresh(self, key: str, gen=None) -> str:
         """Rebuild one ready diagram aside and swap it in atomically.
 
         The currently attached diagram is never touched until the
@@ -575,10 +948,11 @@ class SkylineDatabase:
         queries running concurrently (in other threads) keep resolving
         ``self._diagrams[key]`` to a complete generation throughout.
         """
-        state = self._states.setdefault(key, _BuildState())
+        gen = gen if gen is not None else self._gen
+        state = gen.states.setdefault(key, _BuildState())
         builder = self._planner.plan_for_key(key).builder
         try:
-            fresh = builder(as_meter(self.budget, self._clock))
+            fresh = builder(as_meter(self.budget, self._clock), gen.dataset)
             fingerprint = fresh.audit()
         except (QueryError, DimensionalityError, DatasetError):
             raise  # user errors, not build failures: never swallowed
@@ -589,7 +963,7 @@ class SkylineDatabase:
                 f"refresh withheld: {type(exc).__name__}: {exc}"
             )
             return "kept"
-        self._diagrams[key] = fresh  # atomic swap under the GIL
+        gen.diagrams[key] = fresh  # atomic swap under the GIL
         state.status = "ready"
         state.error = None
         state.partial = None
@@ -610,10 +984,11 @@ class SkylineDatabase:
         :meth:`rebuild` heals it immediately.  Returns ``{key: "ok" |
         "corrupt: <reason>"}``.
         """
+        gen = self._gen
         outcome: dict[str, str] = {}
-        for key in sorted(self._diagrams):
-            diagram = self._diagrams[key]
-            state = self._states.setdefault(key, _BuildState())
+        for key in sorted(gen.diagrams):
+            diagram = gen.diagrams[key]
+            state = gen.states.setdefault(key, _BuildState())
             try:
                 fingerprint = diagram.audit(level=level)
                 if (
@@ -625,7 +1000,7 @@ class SkylineDatabase:
                         f"({fingerprint[:12]} != {state.fingerprint[:12]})"
                     )
             except (AuditError, SerializationError) as exc:
-                del self._diagrams[key]
+                del gen.diagrams[key]
                 state.status = "corrupt"
                 state.error = f"audit: {exc}"
                 state.partial = None

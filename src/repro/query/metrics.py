@@ -109,6 +109,13 @@ class QueryReport:
     cache_hit:
         True when the diagram was already attached (no build attempt
         was needed to serve this plan).
+    pending_updates:
+        Depth of the database's update journal when the answer was
+        produced.  Non-zero means the answer is *stale*: it reflects the
+        generation last swapped in, not the journalled updates still
+        waiting to be applied (e.g. during update-failure backoff).
+    generation:
+        Content sha of the dataset generation that served the answer.
     """
 
     kind: str
@@ -119,6 +126,8 @@ class QueryReport:
     per_query_s: float = 0.0
     boundary_hits: int = 0
     cache_hit: bool = False
+    pending_updates: int = 0
+    generation: str | None = None
 
     def as_dict(self) -> dict:
         """JSON-ready form."""
@@ -131,6 +140,8 @@ class QueryReport:
             "per_query_s": self.per_query_s,
             "boundary_hits": self.boundary_hits,
             "cache_hit": self.cache_hit,
+            "pending_updates": self.pending_updates,
+            "generation": self.generation,
         }
 
 
@@ -144,6 +155,8 @@ class MetricsRegistry:
     )
     _counters: dict = field(default_factory=dict)
     _build_phases: dict = field(default_factory=dict)
+    _serving: dict = field(default_factory=dict)
+    _updates: dict = field(default_factory=dict)
 
     # -- query side ----------------------------------------------------
 
@@ -165,12 +178,39 @@ class MetricsRegistry:
         self._bump("boundary_hits", report.boundary_hits)
         if report.tier == "diagram":
             self._bump("cache_hits" if report.cache_hit else "cache_misses")
+        if report.pending_updates:
+            self._bump("stale_answers", report.batch)
         hist = self._latency.get((report.kind, report.tier))
         if hist is None:
             hist = self._latency[(report.kind, report.tier)] = (
                 LatencyHistogram()
             )
         hist.observe(report.per_query_s, weight=report.batch)
+        if report.generation is not None:
+            self.observe_serving(
+                report.generation, report.per_query_s, weight=report.batch
+            )
+
+    def observe_serving(
+        self, generation: str, seconds: float, weight: int = 1
+    ) -> None:
+        """Fold serving latency into the per-generation histogram.
+
+        ``generation`` is the dataset-content sha of the generation that
+        produced the answers; the serving layer (``repro serve`` health)
+        reports these histograms so a latency regression can be pinned to
+        the generation swap that introduced it.
+        """
+        hist = self._serving.get(generation)
+        if hist is None:
+            hist = self._serving[generation] = LatencyHistogram()
+        hist.observe(seconds, weight=weight)
+
+    def record_update(self, generation: str, ops: int) -> None:
+        """Count ``ops`` journalled updates applied into ``generation``."""
+        self._bump("updates_applied", ops)
+        self._bump("update_batches")
+        self._updates[generation] = self._updates.get(generation, 0) + ops
 
     def _bump(self, name: str, amount: int = 1) -> None:
         self._counters[name] = self._counters.get(name, 0) + amount
@@ -204,6 +244,11 @@ class MetricsRegistry:
                 name: dict(entry)
                 for name, entry in sorted(self._build_phases.items())
             },
+            "serving_by_generation": {
+                sha: hist.as_dict()
+                for sha, hist in sorted(self._serving.items())
+            },
+            "updates_by_generation": dict(sorted(self._updates.items())),
         }
 
 
@@ -243,6 +288,25 @@ def format_snapshot(snapshot: dict) -> str:
         for label, hist in latency.items():
             lines.append(
                 f"    {label:<18} {hist['count']:>7} "
+                f"{_fmt_seconds(hist['mean_s']):>9} "
+                f"{_fmt_seconds(hist['p50_s']):>9} "
+                f"{_fmt_seconds(hist['p99_s']):>9} "
+                f"{_fmt_seconds(hist['max_s']):>9}"
+            )
+    updates = snapshot.get("updates_by_generation", {})
+    if updates:
+        lines.append(
+            "  updates:  "
+            + "  ".join(
+                f"{sha[:12]}=+{ops}" for sha, ops in updates.items()
+            )
+        )
+    serving = snapshot.get("serving_by_generation", {})
+    if serving:
+        lines.append("  serving latency by generation:")
+        for sha, hist in serving.items():
+            lines.append(
+                f"    {sha[:12]:<18} {hist['count']:>7} "
                 f"{_fmt_seconds(hist['mean_s']):>9} "
                 f"{_fmt_seconds(hist['p50_s']):>9} "
                 f"{_fmt_seconds(hist['p99_s']):>9} "

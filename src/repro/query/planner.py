@@ -85,27 +85,32 @@ class QueryPlanner:
         they are never mistaken for build failures.
         """
         db = self._db
+        # Builders take the dataset explicitly: the engine pins a
+        # generation's dataset so a concurrent update swap can never mix
+        # a new dataset into an old generation's diagram cache.
         if kind == "quadrant":
             mask = db._check_mask(mask)
 
-            def build(meter, mask=mask):
+            def build(meter, dataset=None, mask=mask):
                 from repro.diagram.global_diagram import (
                     quadrant_diagram_for_mask,
                 )
 
                 return quadrant_diagram_for_mask(
-                    db.dataset, mask, db._quadrant_algorithm(),
+                    dataset if dataset is not None else db.dataset,
+                    mask, db._quadrant_algorithm(),
                     budget=meter, build_options=db.build_options,
                 )
 
             return QueryPlan("quadrant", f"quadrant:{mask}", mask, 1, build)
         if kind == "global":
 
-            def build(meter):
+            def build(meter, dataset=None):
                 from repro.diagram.global_diagram import global_diagram
 
                 return global_diagram(
-                    db.dataset, db._quadrant_algorithm(), budget=meter,
+                    dataset if dataset is not None else db.dataset,
+                    db._quadrant_algorithm(), budget=meter,
                     build_options=db.build_options,
                 )
 
@@ -117,11 +122,12 @@ class QueryPlanner:
                     "diagram.highdim.dynamic_baseline_nd for d > 2"
                 )
 
-            def build(meter):
+            def build(meter, dataset=None):
                 from repro.diagram.dynamic_scanning import dynamic_scanning
 
                 return dynamic_scanning(
-                    db.dataset, budget=meter,
+                    dataset if dataset is not None else db.dataset,
+                    budget=meter,
                     build_options=db.build_options,
                 )
 
@@ -131,11 +137,12 @@ class QueryPlanner:
                 raise DimensionalityError("skyband diagrams are 2-D")
             k = db._check_k(k)
 
-            def build(meter, k=k):
+            def build(meter, dataset=None, k=k):
                 from repro.diagram.skyband import skyband_sweep
 
                 return skyband_sweep(
-                    db.dataset, k, budget=meter,
+                    dataset if dataset is not None else db.dataset,
+                    k, budget=meter,
                     build_options=db.build_options,
                 )
 
@@ -169,8 +176,16 @@ class QueryPlanner:
         """
         db = self._db
         clock = db._clock
-        cached = db._diagrams.get(plan.key) is not None
-        diagram = db._obtain(plan.key, plan.builder)
+        # Apply due journalled updates before serving (the cooperative
+        # "background" retry), then capture the serving generation ONCE:
+        # every lookup below — diagram, partial, scratch — resolves
+        # against this object, so a concurrent update swap can never
+        # produce a mixed-generation answer within the batch.
+        db._poke_updates()
+        gen = db._gen
+        pending = db._updates.depth
+        cached = gen.diagrams.get(plan.key) is not None
+        diagram = db._obtain(plan.key, plan.builder, gen=gen)
         # Latency windows start *after* the obtain: construction cost is
         # build-side telemetry (BuildReport / the registry's phase sink),
         # not lookup latency — a cold first query should not skew the
@@ -198,6 +213,8 @@ class QueryPlanner:
                 per_query_s=seconds / m if m else 0.0,
                 boundary_hits=kernel.boundary_hits - hits_before,
                 cache_hit=cached,
+                pending_updates=pending,
+                generation=gen.sha,
             )
             db.metrics.observe_query(query_report)
             build_report = getattr(diagram, "build_report", None)
@@ -208,7 +225,7 @@ class QueryPlanner:
             ]
         # Degraded: the plan (cache miss, backoff, partial) was resolved
         # once above; each query now walks partial -> scratch against it.
-        partial = db._states[plan.key].partial
+        partial = gen.states[plan.key].partial
         answers: list[QueryAnswer] = []
         for query in queries:
             coords = db._check_query(query)
@@ -222,7 +239,9 @@ class QueryPlanner:
                 except CoverageMiss:
                     result = _MISS
             if result is _MISS:
-                result = db._scratch(coords, plan.kind, plan.mask, plan.k)
+                result = db._scratch(
+                    coords, plan.kind, plan.mask, plan.k, dataset=gen.dataset
+                )
             seconds = max(0.0, clock() - started)
             query_report = QueryReport(
                 kind=plan.kind,
@@ -231,6 +250,8 @@ class QueryPlanner:
                 batch=1,
                 seconds=seconds,
                 per_query_s=seconds,
+                pending_updates=pending,
+                generation=gen.sha,
             )
             db.metrics.observe_query(query_report)
             answers.append(

@@ -26,14 +26,25 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Any
 
+from repro.query.metrics import MetricsRegistry
 from repro.serve.batcher import QueryBatcher
 from repro.serve.pool import SnapshotWorkerPool
 
 
 class SkylineServer:
-    """Serve one diagram snapshot to many clients from N worker processes."""
+    """Serve one diagram snapshot to many clients from N worker processes.
+
+    Every answered query folds its end-to-end serving latency (queueing
+    in the batcher included) into ``metrics`` under the snapshot
+    generation that produced the answer, so :meth:`health` exposes
+    per-generation latency histograms — a p99 regression can be pinned
+    to the generation swap that introduced it.  Pass the registry an
+    engine shares (``SkylineDatabase(metrics=...)``) and the same health
+    payload also carries the update-applied counters per generation sha.
+    """
 
     def __init__(
         self,
@@ -44,6 +55,7 @@ class SkylineServer:
         max_batch: int = 64,
         max_delay: float = 0.002,
         pool: SnapshotWorkerPool | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.snapshot_path = snapshot_path
         self.host = host
@@ -51,6 +63,7 @@ class SkylineServer:
         self.workers = workers
         self.max_batch = max_batch
         self.max_delay = max_delay
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._pool = pool
         self._owns_pool = pool is None
         self._server: asyncio.AbstractServer | None = None
@@ -174,7 +187,11 @@ class SkylineServer:
             op = request.get("op", "query")
             if op == "query":
                 query = tuple(float(c) for c in request["query"])
+                started = time.monotonic()
                 result, generation = await self._batcher.submit(query)
+                self.metrics.observe_serving(
+                    generation, time.monotonic() - started
+                )
                 return {
                     "id": request_id,
                     "result": list(result),
@@ -193,13 +210,21 @@ class SkylineServer:
             }
 
     def health(self) -> dict[str, Any]:
-        """JSON-ready server/pool/batcher state."""
+        """JSON-ready server/pool/batcher state plus serving metrics.
+
+        ``metrics`` is the registry snapshot: per-generation serving
+        latency histograms (``serving_by_generation``) and — when the
+        registry is shared with an engine applying updates — the
+        update-applied counters per generation sha
+        (``updates_by_generation``).
+        """
         return {
             "snapshot": self.snapshot_path,
             "requests": self.requests,
             "errors": self.errors,
             "pool": self._pool.stats() if self._pool else None,
             "batcher": self._batcher.stats() if self._batcher else None,
+            "metrics": self.metrics.snapshot(),
         }
 
 

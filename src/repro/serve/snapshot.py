@@ -124,6 +124,21 @@ class SnapshotManager:
             stat_key=stat_key,
         )
 
+    def publish(self, diagram, format: str = "binary") -> Snapshot:
+        """Write ``diagram`` as the next generation and republish it.
+
+        The update path's save-side counterpart of :meth:`refresh`: an
+        incrementally maintained diagram (``repro update``, the engine's
+        ``flush_updates``) is written to the watched path atomically
+        (temp file + rename, so concurrent readers of the old mapping
+        are undisturbed) and the manager swaps to the new generation
+        only after the fresh file maps and verifies.
+        """
+        from repro.index.serialize import save_diagram
+
+        save_diagram(diagram, self.path, format=format)
+        return self.refresh()
+
     def _publish(self, snapshot: Snapshot) -> None:
         self._current = snapshot  # atomic under the GIL
         self.last_error = None

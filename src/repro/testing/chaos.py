@@ -40,7 +40,19 @@ generators) and asserts the serving-layer contract:
 * **corrupt-snapshot** — the snapshot file a pool is serving is damaged
   in place: workers must keep the verified old generation (every answer
   matches exactly one published generation, never a mix) until a good
-  replacement file swaps in.
+  replacement file swaps in;
+* **query-during-update** — reader threads batch-query while updates
+  stream in: every answer must match a from-scratch oracle over the
+  dataset of the generation that served it (the atomic-swap contract —
+  no batch ever mixes generations);
+* **crash-mid-update** — an injected cancellation kills the incremental
+  re-scan partway: the old generation keeps serving exactly (annotated
+  with the pending depth), the journal survives, and a later replay is
+  byte-identical to a fresh build;
+* **update-budget-exhausted** — the update budget is impossible: flushes
+  fail and back off honestly while stale-but-exact answers flow, and
+  once the budget lifts the *query path itself* applies the journal in
+  the background.
 
 ``run_chaos(..., build_options=...)`` (CLI: ``--parallel N``) reruns the
 whole campaign with every database build going through the given
@@ -471,6 +483,180 @@ def _scenario_corrupt_snapshot(
         assert swapped is not None, "republished snapshot never swapped in"
 
 
+def _random_updates(rng, db, steps: int, record) -> None:
+    """Apply ``steps`` random inserts/deletes, recording each generation."""
+    for _ in range(steps):
+        if rng.random() < 0.7 or len(db.dataset) <= 2:
+            value = tuple(
+                rng.uniform(0.0, 10.0) for _ in range(db.dataset.dim)
+            )
+            db.apply_update("insert", value)
+        else:
+            db.apply_update("delete", rng.randrange(len(db.dataset)))
+        record(db)
+
+
+def _scenario_query_during_update(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
+    """Concurrent readers under a live update stream: no mixed generations.
+
+    Reader threads batch-query while the main thread applies updates.
+    Every answer names the generation that served it; cross-checking each
+    answer against a from-scratch oracle over *that generation's*
+    dataset proves a batch never mixes an old diagram with a new dataset
+    (or vice versa) — the atomic-swap contract, observed from outside.
+    """
+    import threading
+
+    from repro.skyline.queries import quadrant_skyline
+    from repro.geometry.point import Dataset
+
+    points = _generate_points(rng, max_points)
+    db = SkylineDatabase(
+        points,
+        precompute=["quadrant"],
+        build_options=options,
+        metrics=metrics,
+    )
+    datasets = {db.generation["sha"]: db.dataset}
+
+    def record(database):
+        datasets[database.generation["sha"]] = database.dataset
+
+    queries = [tuple(q) for q in _generate_queries(rng, points, limit=3)]
+    stop = threading.Event()
+    observed: list[tuple[str, tuple, tuple]] = []
+    errors: list[BaseException] = []
+
+    def reader() -> None:
+        try:
+            while not stop.is_set():
+                answers = db.query_batch_annotated(queries, kind="quadrant")
+                for query, answer in zip(queries, answers):
+                    observed.append(
+                        (
+                            answer.query_report.generation,
+                            query,
+                            tuple(answer.result),
+                        )
+                    )
+        except BaseException as exc:  # surfaced after join
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(2)]
+    for thread in threads:
+        thread.start()
+    try:
+        _random_updates(rng, db, steps=4, record=record)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join()
+    assert not errors, f"reader crashed during updates: {errors[0]!r}"
+    assert observed, "readers never got an answer in"
+    for sha, query, result in observed:
+        dataset = datasets.get(sha)
+        assert dataset is not None, f"answer from unpublished generation {sha}"
+        assert result == quadrant_skyline(dataset, query, 0), (
+            f"generation {sha[:12]} answer for {query} does not match its "
+            "own dataset — a mixed-generation answer leaked"
+        )
+
+
+def _scenario_crash_mid_update(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
+    """A crash mid-re-scan: old generation serves on, journal replayable.
+
+    An injected cancellation kills the incremental re-scan partway
+    through.  The contract: the swap never happens (readers keep the old,
+    fully consistent generation; answers stay exact and are annotated
+    with the pending depth), the journal survives intact, and replaying
+    it once the fault clears produces a store byte-identical to a fresh
+    build over the updated dataset.
+    """
+    points = _generate_points(rng, max_points)
+    db = SkylineDatabase(
+        points,
+        precompute=["quadrant"],
+        clock=faults.SteppingClock(),  # backoff can't expire mid-drill
+        build_options=options,
+        metrics=metrics,
+    )
+    before = db.generation
+    extra = tuple(rng.uniform(0.0, 10.0) for _ in range(db.dataset.dim))
+    with faults.cancel_build_after(1):
+        outcome = db.apply_update("insert", extra)
+    assert outcome["applied"] == 0 and outcome["pending"] == 1, outcome
+    assert db.generation == before, "a crashed apply swapped generations"
+    assert len(db.dataset) == len(points), "dataset mutated by crashed apply"
+    # Old generation keeps serving — exact for its dataset, stale-marked.
+    query = tuple(_generate_queries(rng, points, limit=1)[0])
+    answer = db.query_annotated(query, kind="quadrant")
+    assert answer.result == db.query_from_scratch(query, kind="quadrant")
+    assert answer.query_report.pending_updates == 1, answer.query_report
+    health = db.health()
+    assert health["updates"]["pending"] == 1, health["updates"]
+    assert "error" in health["updates"], health["updates"]
+    # The journal replays once the fault is gone: byte-identical result.
+    replay = db.flush_updates(force=True)
+    assert replay["applied"] == 1, replay
+    fresh = quadrant_scanning(list(points) + [extra])
+    assert (
+        db._diagrams["quadrant:0"].store.fingerprint()
+        == fresh.store.fingerprint()
+    ), "replayed journal diverged from a fresh build"
+    assert db.pending_updates == 0
+
+
+def _scenario_update_budget_exhausted(
+    rng, max_points, workdir, options=None, metrics=None
+) -> None:
+    """Budget-starved updates: honest degradation, background completion.
+
+    With an impossible budget the flush fails and backs off; queries keep
+    serving the old generation exactly, annotated stale.  Once the budget
+    lifts and the backoff expires (deterministic clock), the *query path
+    itself* retries the journal — background completion needs no explicit
+    flush call — and the maintained store is byte-identical to fresh.
+    """
+    points = _generate_points(rng, max_points)
+    clock = faults.SteppingClock()
+    db = SkylineDatabase(
+        points,
+        precompute=["quadrant"],
+        clock=clock,
+        build_options=options,
+        metrics=metrics,
+    )
+    db.budget = BuildBudget(max_cells=1)
+    extra = tuple(rng.uniform(0.0, 10.0) for _ in range(db.dataset.dim))
+    outcome = db.apply_update("insert", extra)
+    assert outcome["applied"] == 0, outcome
+    assert "BudgetExceededError" in outcome["error"], outcome
+    # During backoff: stale but exact, honestly annotated everywhere.
+    query = tuple(_generate_queries(rng, points, limit=1)[0])
+    answer = db.query_annotated(query, kind="quadrant")
+    assert answer.result == db.query_from_scratch(query, kind="quadrant")
+    assert answer.query_report.pending_updates == 1
+    assert db.flush_updates().get("backoff", 0.0) > 0.0, (
+        "flush ignored the retry backoff"
+    )
+    # Budget lifts, backoff expires: the next query applies the journal.
+    db.budget = None
+    clock.advance(3600.0)
+    seq_before = db.generation["seq"]
+    healed = db.query_annotated(query, kind="quadrant")
+    assert healed.query_report.pending_updates == 0, healed.query_report
+    assert db.generation["seq"] == seq_before + 1
+    fresh = quadrant_scanning(list(points) + [extra])
+    assert (
+        db._diagrams["quadrant:0"].store.fingerprint()
+        == fresh.store.fingerprint()
+    ), "background-applied update diverged from a fresh build"
+
+
 _SCENARIOS = (
     ("cancelled-build", _scenario_cancelled_build),
     ("tight-budget", _scenario_tight_budget),
@@ -483,6 +669,9 @@ _SCENARIOS = (
     ("vectorized-executor", _scenario_vectorized_executor),
     ("kill-worker", _scenario_kill_worker),
     ("corrupt-snapshot", _scenario_corrupt_snapshot),
+    ("query-during-update", _scenario_query_during_update),
+    ("crash-mid-update", _scenario_crash_mid_update),
+    ("update-budget-exhausted", _scenario_update_budget_exhausted),
 )
 
 

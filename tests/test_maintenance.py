@@ -177,3 +177,221 @@ class TestAuditedInterleaving:
     def test_unbudgeted_maintenance_unchanged(self, staircase):
         updated = insert_point(quadrant_scanning(staircase), (4.0, 4.0))
         assert _same(updated, quadrant_scanning(staircase + [(4.0, 4.0)]))
+
+
+class TestDirtyRegionScan:
+    """Regression: re-scan work is proportional to the dirty region.
+
+    Maintenance promises to re-scan *only* the dirty lower-left block —
+    for an insert, the rows strictly below the new point's y-rank; for a
+    delete, the row prefix below the victim's y grid line.  The build
+    report's ``rows_scanned`` is the witness.
+    """
+
+    # Anti-diagonal staircase: distinct coordinates, so ranks are easy
+    # to reason about (y values 1..8 → y-rank == y).
+    POINTS = [(float(i), float(9 - i)) for i in range(1, 9)]
+
+    def test_insert_scans_exactly_the_rows_below_the_new_rank(self):
+        diagram = quadrant_scanning(self.POINTS)
+        for newp, expected in (((4.5, 0.5), 1), ((4.5, 4.5), 5),
+                               ((4.5, 8.5), 9)):
+            updated = insert_point(diagram, newp)
+            _, ry = updated.grid.rank_of(len(self.POINTS))
+            assert updated.build_report.rows_scanned == ry == expected
+            assert updated.build_report.rows_scanned < updated.grid.shape[1]
+
+    def test_delete_scans_exactly_the_prefix_below_the_victim(self):
+        diagram = quadrant_scanning(self.POINTS)
+        # victim id → y coordinate 8, 4, 1 → dirty prefix 8, 4, 1 rows.
+        for victim, expected in ((0, 8), (4, 4), (7, 1)):
+            updated = delete_point(diagram, victim)
+            assert updated.build_report.rows_scanned == expected
+
+    def test_low_insert_beats_full_rebuild_rows(self):
+        # A fresh build scans every row; inserting a bottom point must
+        # scan only the single dirty row however large the diagram is.
+        diagram = quadrant_scanning(self.POINTS)
+        fresh = quadrant_scanning(self.POINTS + [(4.5, 0.5)])
+        updated = insert_point(diagram, (4.5, 0.5))
+        assert updated.build_report.rows_scanned == 1
+        assert fresh.build_report.rows_scanned == fresh.grid.shape[1]
+        assert _same(updated, fresh)
+
+
+class TestStreamingUpdates:
+    """Engine-level update journal: coalescing, atomic swap, backoff."""
+
+    POINTS = [(2.0, 8.0), (5.0, 4.0), (9.0, 1.0)]
+
+    def _db(self, **kwargs):
+        from repro.index.engine import SkylineDatabase
+
+        return SkylineDatabase(
+            list(self.POINTS), precompute=["quadrant"], **kwargs
+        )
+
+    def test_insert_swaps_generation_and_matches_fresh_build(self):
+        db = self._db()
+        before = db.generation
+        outcome = db.apply_update("insert", (3.0, 3.0))
+        assert outcome["status"] == "journalled"
+        assert outcome["applied"] == 1 and outcome["pending"] == 0
+        after = db.generation
+        assert after["seq"] == before["seq"] + 1
+        assert after["sha"] != before["sha"]
+        assert len(db.dataset) == 4
+        maintained = db._gen.diagrams["quadrant:0"]
+        fresh = quadrant_scanning(self.POINTS + [(3.0, 3.0)])
+        assert maintained.store.fingerprint() == fresh.store.fingerprint()
+
+    def test_delete_coalesces_with_its_pending_insert(self):
+        db = self._db()
+        db.apply_update("insert", (3.0, 3.0), flush=False)
+        assert db.pending_updates == 1
+        # Deleting the prospective id of the journalled insert cancels
+        # both entries without ever touching the diagram.
+        outcome = db.apply_update("delete", len(self.POINTS), flush=False)
+        assert outcome["status"] == "coalesced"
+        assert db.pending_updates == 0
+        assert db.generation["seq"] == 0
+
+    def test_malformed_updates_rejected_at_journal_time(self):
+        db = self._db()
+        with pytest.raises(QueryError):
+            db.apply_update("upsert", (1.0, 1.0))
+        with pytest.raises(QueryError):
+            db.apply_update("insert", (1.0,))  # wrong dimensionality
+        with pytest.raises(QueryError):
+            db.apply_update("delete", 99)
+        assert db.pending_updates == 0
+
+    def test_failed_flush_serves_old_generation_stale_annotated(self):
+        from repro.resilience import BuildBudget
+        from repro.testing import faults
+
+        clock = faults.SteppingClock()
+        db = self._db(clock=clock)
+        db.budget = BuildBudget(max_cells=1)  # updates now impossible
+        outcome = db.apply_update("insert", (3.0, 3.0))
+        assert outcome["applied"] == 0 and outcome["pending"] == 1
+        assert "BudgetExceededError" in outcome["error"]
+        assert db.generation["seq"] == 0
+        assert len(db.dataset) == 3  # old dataset serves on
+        # Queries stay exact against the OLD dataset, annotated stale.
+        answer = db.query_annotated((10.0, 10.0), kind="quadrant")
+        assert answer.result == db.query_from_scratch(
+            (10.0, 10.0), kind="quadrant"
+        )
+        assert len(self.POINTS) not in answer.result  # no phantom new id
+        assert answer.query_report.pending_updates == 1
+        assert answer.served_from == "diagram"
+        # A non-forced flush inside the backoff window is a no-op.
+        retry = db.flush_updates()
+        assert retry["applied"] == 0 and retry["backoff"] > 0
+        # Lifting the budget and forcing heals byte-identically.
+        db.budget = None
+        healed = db.flush_updates(force=True)
+        assert healed["applied"] == 1 and db.pending_updates == 0
+        maintained = db._gen.diagrams["quadrant:0"]
+        fresh = quadrant_scanning(self.POINTS + [(3.0, 3.0)])
+        assert maintained.store.fingerprint() == fresh.store.fingerprint()
+
+    def test_query_poke_applies_due_updates(self):
+        from repro.resilience import BuildBudget
+        from repro.testing import faults
+
+        clock = faults.SteppingClock()
+        db = self._db(clock=clock)
+        db.budget = BuildBudget(max_cells=1)
+        db.apply_update("insert", (3.0, 3.0))
+        assert db.pending_updates == 1
+        db.budget = None
+        clock.advance(3600.0)  # well past the backoff deadline
+        answer = db.query_annotated((10.0, 10.0), kind="quadrant")
+        # The first query past the deadline applied the journal.
+        assert answer.query_report.pending_updates == 0
+        assert db.generation["seq"] == 1
+        assert len(db.dataset) == 4
+
+    def test_batched_updates_apply_as_one_generation(self):
+        db = self._db()
+        db.apply_update("insert", (3.0, 3.0), flush=False)
+        db.apply_update("insert", (1.0, 1.0), flush=False)
+        db.apply_update("delete", 0, flush=False)
+        assert db.pending_updates == 3
+        outcome = db.flush_updates()
+        assert outcome["applied"] == 3
+        assert db.generation["seq"] == 1  # one swap for the whole batch
+        final = [p for i, p in enumerate(
+            self.POINTS + [(3.0, 3.0), (1.0, 1.0)]
+        ) if i != 0]
+        maintained = db._gen.diagrams["quadrant:0"]
+        fresh = quadrant_scanning(final)
+        assert maintained.store.fingerprint() == fresh.store.fingerprint()
+
+    def test_health_and_metrics_expose_update_state(self):
+        db = self._db()
+        db.apply_update("insert", (3.0, 3.0))
+        health = db.health()
+        assert health["generation"]["seq"] == 1
+        assert health["updates"]["pending"] == 0
+        assert health["updates"]["applied"] == 1
+        assert health["updates"]["batches"] == 1
+        snapshot = db.metrics.snapshot()
+        assert snapshot["counters"]["updates_applied"] == 1
+        assert snapshot["updates_by_generation"] == {
+            db.generation["sha"]: 1
+        }
+
+
+class TestUpdateChaosScenarios:
+    """The three PR 8 chaos drills, invoked directly (seeded)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_query_during_update(self, seed, tmp_path):
+        import random
+
+        from repro.testing.chaos import _scenario_query_during_update
+
+        _scenario_query_during_update(
+            random.Random(seed), 7, str(tmp_path)
+        )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_crash_mid_update(self, seed, tmp_path):
+        import random
+
+        from repro.testing.chaos import _scenario_crash_mid_update
+
+        _scenario_crash_mid_update(random.Random(seed), 7, str(tmp_path))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_update_budget_exhausted(self, seed, tmp_path):
+        import random
+
+        from repro.testing.chaos import _scenario_update_budget_exhausted
+
+        _scenario_update_budget_exhausted(
+            random.Random(seed), 7, str(tmp_path)
+        )
+
+    def test_campaign_includes_update_scenarios(self):
+        from repro.testing.chaos import run_chaos
+
+        report = run_chaos(cases=28, seed=5, max_points=6)
+        assert report.ok, report.summary()
+        for name in ("query-during-update", "crash-mid-update",
+                     "update-budget-exhausted"):
+            assert report.by_scenario.get(name, 0) >= 1
+
+
+class TestMaintenanceDifferential:
+    """The maintenance:* verify family stays green on a smoke budget."""
+
+    def test_fuzzed_sequences_fingerprint_identical(self):
+        from repro.diagram.verify import differential_verify
+
+        report = differential_verify(seed=11, budget=60)
+        assert report.ok, report.mismatch.reproducer()
+        assert report.by_check.get("maintenance", 0) >= 3

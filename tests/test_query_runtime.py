@@ -181,9 +181,9 @@ class TestPlanOnce:
         calls = []
         original = SkylineDatabase._obtain
 
-        def counting_obtain(self, key, builder):
+        def counting_obtain(self, key, builder, **kwargs):
             calls.append(key)
-            return original(self, key, builder)
+            return original(self, key, builder, **kwargs)
 
         monkeypatch.setattr(SkylineDatabase, "_obtain", counting_obtain)
         queries = boundary_heavy_queries(POINTS)[:6]
@@ -196,9 +196,9 @@ class TestPlanOnce:
         calls = []
         original = SkylineDatabase._obtain
 
-        def counting_obtain(self, key, builder):
+        def counting_obtain(self, key, builder, **kwargs):
             calls.append(key)
-            return original(self, key, builder)
+            return original(self, key, builder, **kwargs)
 
         monkeypatch.setattr(SkylineDatabase, "_obtain", counting_obtain)
         db.query_batch(boundary_heavy_queries(POINTS), kind="global")
@@ -235,7 +235,7 @@ class TestQueryReports:
         assert report.seconds >= 0.0
         assert set(report.as_dict()) == {
             "kind", "key", "tier", "batch", "seconds", "per_query_s",
-            "boundary_hits", "cache_hit",
+            "boundary_hits", "cache_hit", "pending_updates", "generation",
         }
 
     def test_batch_answers_share_one_report(self):

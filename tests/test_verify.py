@@ -110,7 +110,7 @@ class TestDifferentialHarness:
     def test_every_check_family_exercised(self):
         report = differential_verify(seed=1, budget=400, max_points=6)
         assert set(report.by_check) == {
-            "pair", "lookup", "batch", "degraded", "runtime",
+            "pair", "lookup", "batch", "degraded", "runtime", "maintenance",
         }
         assert all(count > 0 for count in report.by_check.values())
 
