@@ -37,6 +37,11 @@ domain), panelled by the update's y-rank quantile since the dirty
 region is everything below it (stores asserted byte-identical to fresh
 builds first), plus serving p99 from the PR 7 pool harness while a
 sustained stream of incremental updates republishes the snapshot.
+``BENCH_pr9.json`` adds the query-spec arms: constrained (closed-box),
+diversified (max-min selection) and combined batch latency vs the plain
+quadrant batch on one database, with the plain arm's ratio to the PR 5
+baseline measured in the same run recorded — the QuerySpec refactor's
+overhead on the unspecced path, gated at 5% in CI.
 All timings are
 best-of-N wall clock (``repro.bench.harness.time_call``), the least
 noise-sensitive estimator on a shared machine; the construction arms
@@ -697,6 +702,74 @@ def serve_under_updates(
     }
 
 
+def spec_query_runtime(
+    n: int, batch: int, plain_baseline_s: float | None = None
+) -> dict:
+    """Constrained/diversified batch latency vs the plain quadrant batch.
+
+    All four arms run through ``SkylineDatabase.query_batch`` on one
+    database, so the measured path is the refactored spec runtime
+    (registry dispatch -> kernel, box clamp + one-sided filter for
+    constrained, greedy max-min selection for diversified).  Batch
+    answers are asserted equal to singles on a probe prefix first.
+    ``plain_baseline_s`` is the PR 5 plain-quadrant batch time measured
+    earlier in the same run (same machine, same n) — the recorded
+    ratio is the QuerySpec refactor's overhead on the unspecced path,
+    gated at 5% in CI.
+    """
+    from repro.index.engine import SkylineDatabase
+
+    points = dataset("independent", n)
+    # Same rng seed as query_runtime: the plain arm answers the very
+    # query set the PR 5 baseline timed, on a database holding only the
+    # quadrant diagram, so the ratio isolates the dispatch layer.
+    rng = random.Random(batch)
+    queries = [(rng.random(), rng.random()) for _ in range(batch)]
+    db = SkylineDatabase(points)
+    box = ((0.25, 0.25), (0.75, 0.75))
+    arms = {
+        "plain": dict(kind="quadrant"),
+        "constrained": dict(kind="constrained", box=box),
+        "diversified": dict(kind="diversified", k=2, diversify=3),
+        "combined": dict(kind="constrained", k=2, box=box, diversify=2),
+    }
+    probe = queries[:64]
+    timings = {}
+    for label, kwargs in arms.items():
+        db.query(probe[0], **kwargs)  # warm: builds are not query latency
+        assert db.query_batch(probe, **kwargs) == [
+            db.query(q, **kwargs) for q in probe
+        ], f"{label} batch answers diverged from singles"
+        # Timed immediately (plain first, before the skyband diagram of
+        # the k>1 arms exists): with several n^2-cell diagrams live,
+        # generational GC passes would bill the earlier arms for the
+        # later arms' heap.
+        gc.collect()
+        timings[label] = time_call(
+            lambda kw=kwargs: db.query_batch(queries, **kw), repeats=5
+        )
+    out = {
+        "n": n,
+        "queries": batch,
+        "box": box,
+        **{f"{label}_batch_s": s for label, s in timings.items()},
+        **{
+            f"{label}_per_query_s": s / batch
+            for label, s in timings.items()
+        },
+        "constrained_overhead_vs_plain": (
+            timings["constrained"] / timings["plain"]
+        ),
+        "diversified_overhead_vs_plain": (
+            timings["diversified"] / timings["plain"]
+        ),
+    }
+    if plain_baseline_s is not None:
+        out["plain_baseline_s"] = plain_baseline_s
+        out["plain_vs_baseline"] = timings["plain"] / plain_baseline_s
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -754,6 +827,23 @@ def main(argv: list[str] | None = None) -> int:
         ),
     }
     pr5_out = save_json(args.out.parent / "BENCH_pr5.json", runtime)
+
+    # Same n/batch as the PR 5 runtime arm, and measured immediately
+    # after it: the plain-vs-baseline ratio is only meaningful when
+    # both sides run under the same process state (the serving and
+    # update arms below churn the heap enough to skew a best-of-5 by
+    # 20% on their own).
+    spec_smoke = {
+        "benchmark": "pr9-query-spec-smoke",
+        "timer": "best-of-N wall clock (time_call)",
+        "env": env,
+        "spec_query_runtime": spec_query_runtime(
+            512 if args.quick else 1024,
+            1000 if args.quick else 10_000,
+            plain_baseline_s=runtime["query_runtime"]["batch_s"],
+        ),
+    }
+    pr9_out = save_json(args.out.parent / "BENCH_pr9.json", spec_smoke)
 
     # The vectorized arms run at n=2000 even under --quick: the CI
     # speedup gate is defined at that size and the build is fast enough.
@@ -906,7 +996,28 @@ def main(argv: list[str] | None = None) -> int:
         f"({upd['generations_served']} generations served, "
         f"answers cross-checked)"
     )
+    print(f"wrote {pr9_out}")
+    spec = spec_smoke["spec_query_runtime"]
+    print(
+        f"spec batch n={spec['n']}, {spec['queries']} queries: "
+        f"plain {spec['plain_batch_s'] * 1e3:.1f}ms "
+        f"({spec['plain_vs_baseline']:.2f}x of the pr5 baseline), "
+        f"constrained {spec['constrained_batch_s'] * 1e3:.1f}ms "
+        f"({spec['constrained_overhead_vs_plain']:.2f}x), "
+        f"diversified {spec['diversified_batch_s'] * 1e3:.1f}ms "
+        f"({spec['diversified_overhead_vs_plain']:.2f}x), "
+        f"combined {spec['combined_batch_s'] * 1e3:.1f}ms"
+    )
     if args.assert_speedup:
+        ratio = spec["plain_vs_baseline"]
+        assert ratio <= 1.05, (
+            f"QuerySpec refactor regressed the plain quadrant batch: "
+            f"{ratio:.3f}x of the baseline measured this run (gate 1.05)"
+        )
+        print(
+            f"spec gate: plain quadrant batch at {ratio:.2f}x of its "
+            f"pre-spec baseline (pass, gate 1.05)"
+        )
         gate = vector_arms[0]
         assert gate["vectorized_s"] < gate["serial_s"], (
             f"vectorized executor regression: {gate['vectorized_s']:.3f}s "

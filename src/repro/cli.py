@@ -183,6 +183,50 @@ def _update(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_box(text: str) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """Parse ``"lo1,lo2,...:hi1,hi2,..."`` into a (lo, hi) pair."""
+    try:
+        lo_text, hi_text = text.split(":")
+        lo = tuple(float(c) for c in lo_text.split(","))
+        hi = tuple(float(c) for c in hi_text.split(","))
+    except ValueError as exc:
+        raise ValueError(
+            "--box takes 'lo1,lo2,...:hi1,hi2,...' "
+            "(two corner points separated by ':')"
+        ) from exc
+    return (lo, hi)
+
+
+def _cli_query(diagram, query, box_text, diversify):
+    """Answer one CLI query, optionally constrained and/or diversified.
+
+    The spec is validated through :class:`~repro.query.QuerySpec`
+    exactly as the engine would, then applied on the loaded snapshot
+    via the kernel's restricted lookup and the shared diversified
+    selection — the same code paths serving traffic uses.
+    """
+    if box_text is None and diversify is None:
+        return diagram.query(query)
+    from repro.query.spec import QuerySpec
+    from repro.skyline.queries import diversified_select
+
+    box = _parse_box(box_text) if box_text is not None else None
+    kind = "constrained" if box is not None else "diversified"
+    spec = QuerySpec(kind=kind, box=box, diversify=diversify).validated(
+        len(query)
+    )
+    if spec.box is not None:
+        lo, hi = spec.box
+        result = diagram.kernel.query_restricted(query, lo, hi)
+    else:
+        result = diagram.query(query)
+    if spec.diversify is not None:
+        result = diversified_select(
+            diagram.grid.dataset, result, spec.diversify
+        )
+    return result
+
+
 def _stats_chaos(args: argparse.Namespace) -> int:
     """Run a chaos campaign and print its query-runtime metrics."""
     from repro.query.metrics import MetricsRegistry, format_snapshot
@@ -222,6 +266,23 @@ def _stats_workload(args: argparse.Namespace) -> int:
         for query in queries[: max(1, len(queries) // 4)]:
             db.query(query, kind=kind)
         db.query_batch(queries, kind=kind)
+    # Constrained/diversified arms ride the same quadrant diagrams, so
+    # their spec overhead lands in the per-kind histograms.
+    box = ((0.2, 0.2), (0.8, 0.8))
+    for query in queries[: max(1, len(queries) // 4)]:
+        db.query(query, kind="constrained", box=box)
+    db.query_batch(queries, kind="constrained", box=box)
+    for query in queries[: max(1, len(queries) // 4)]:
+        db.query(query, kind="diversified", k=2, diversify=3)
+    db.query_batch(queries, kind="diversified", k=2, diversify=3)
+    # One deliberately malformed request, so the rejected-request
+    # counter is exercised and visible in the printed snapshot.
+    from repro.errors import QueryError
+
+    try:
+        db.query(queries[0], kind="quadrant", box=box)
+    except QueryError:
+        pass
     # The dynamic diagram's subcell grid is quadratic in n along each
     # axis, so its arm runs on a capped prefix of the dataset.
     dynamic_db = SkylineDatabase(
@@ -307,6 +368,21 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("query", help="answer a skyline query from a diagram")
     p.add_argument("diagram", help="diagram snapshot produced by 'build'")
     p.add_argument("coordinates", nargs="+", type=float)
+    p.add_argument(
+        "--box",
+        default=None,
+        metavar="LO1,LO2:HI1,HI2",
+        help="restrict the lookup to this closed box "
+        "(the 'constrained' query kind)",
+    )
+    p.add_argument(
+        "--diversify",
+        type=int,
+        default=None,
+        metavar="M",
+        help="keep at most M result points by greedy max-min "
+        "diversification (the 'diversified' query kind)",
+    )
 
     p = sub.add_parser(
         "update",
@@ -362,6 +438,14 @@ def main(argv: list[str] | None = None) -> int:
         type=float,
         default=2.0,
         help="flush a partial batch after this many milliseconds",
+    )
+    p.add_argument(
+        "--max-line",
+        type=int,
+        default=1 << 20,
+        metavar="BYTES",
+        help="cap request lines at this many bytes (oversized lines get "
+        "one structured error, then the connection closes)",
     )
 
     p = sub.add_parser("render", help="render a diagram (SVG or ASCII)")
@@ -442,6 +526,13 @@ def main(argv: list[str] | None = None) -> int:
         help="thread this row executor through the planner-arm builds "
         "(the executor cross-checks always run regardless)",
     )
+    p.add_argument(
+        "--families",
+        default=None,
+        metavar="A,B,...",
+        help="run only these check families (comma-separated prefixes, "
+        "e.g. 'spec' or 'pair,maintenance'); default: all",
+    )
 
     p = sub.add_parser(
         "chaos",
@@ -504,7 +595,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
     if args.command == "query":
         diagram = _load_diagram(args.diagram)
-        result = diagram.query(tuple(args.coordinates))
+        query = tuple(args.coordinates)
+        result = _cli_query(diagram, query, args.box, args.diversify)
         names = [diagram.grid.dataset.name_of(i) for i in result]
         print(f"skyline ids: {list(result)}")
         print(f"skyline points: {[tuple(diagram.grid.dataset[i]) for i in result]}")
@@ -525,6 +617,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 max_batch=args.max_batch,
                 max_delay=args.max_delay_ms / 1000.0,
+                max_line=args.max_line,
             )
         )
         return 0
@@ -582,11 +675,17 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "verify":
         from repro.diagram.verify import differential_verify
 
+        families = (
+            tuple(f.strip() for f in args.families.split(",") if f.strip())
+            if args.families
+            else None
+        )
         report = differential_verify(
             seed=args.seed,
             budget=args.budget,
             max_points=args.max_points,
             build_options=_build_options(args),
+            families=families,
         )
         print(report.summary())
         if not report.ok:

@@ -42,7 +42,16 @@ dynamic bisectors, tied mapped distances) and cross-checks
   batch answers against from-scratch evaluation for every kind/mask/k,
   the degraded (no-diagram) tier, report/tier consistency of every
   ``QueryAnswer``, and serial- vs chunked-built diagrams queried through
-  the planner.
+  the planner,
+* the composable query specs (``spec:*``): ``constrained`` and
+  ``diversified`` kinds — per-mask boxes whose faces sit exactly on
+  data coordinates (degenerate ``lo == hi`` included), constrained
+  skybands, diversified selection, the box+k+diversify combination,
+  batch vs per-query, and the degraded tier under an impossible
+  budget — all against from-scratch evaluation.
+
+``differential_verify(families=("spec",))`` (CLI: ``--families spec``)
+restricts a run to name-prefix-matched check families.
 
 On a mismatch the failing dataset is shrunk to a minimal reproducer and
 reported as a :class:`Mismatch` whose :meth:`Mismatch.reproducer` is a
@@ -852,6 +861,193 @@ def _runtime_checks(
     return checks
 
 
+def _spec_boxes(
+    rng: random.Random, points: Points, count: int = 3
+) -> list[tuple[tuple[float, float], tuple[float, float]]]:
+    """Fuzzed constraint boxes whose faces sit on data coordinates.
+
+    Corners are drawn from the point coordinate pool (plus a few
+    off-grid values), so box faces coincide with grid lines and data
+    points on purpose — the closed-box semantics are exactly where a
+    half-open implementation would slip.  Degenerate ``lo == hi`` boxes
+    are included deliberately.
+    """
+    xs = sorted({p[0] for p in points}) or [0.0]
+    ys = sorted({p[1] for p in points}) or [0.0]
+    x_pool = xs + [min(xs) - 1.0, max(xs) + 1.0, rng.uniform(-1.0, 10.0)]
+    y_pool = ys + [min(ys) - 1.0, max(ys) + 1.0, rng.uniform(-1.0, 10.0)]
+    boxes = []
+    for _ in range(count):
+        if rng.random() < 0.2:  # degenerate: a single line or point
+            x = rng.choice(x_pool)
+            x_lo = x_hi = x
+        else:
+            x_lo, x_hi = sorted((rng.choice(x_pool), rng.choice(x_pool)))
+        if rng.random() < 0.2:
+            y = rng.choice(y_pool)
+            y_lo = y_hi = y
+        else:
+            y_lo, y_hi = sorted((rng.choice(y_pool), rng.choice(y_pool)))
+        boxes.append(
+            ((float(x_lo), float(y_lo)), (float(x_hi), float(y_hi)))
+        )
+    return boxes
+
+
+def _spec_checks(
+    rng: random.Random,
+    points: Points,
+    queries: list[tuple[float, float]],
+) -> list[tuple[str, Check, str]]:
+    """Constrained/diversified query specs vs from-scratch evaluation.
+
+    Boxes and queries are fixed inside the closures (so ``_minimize``
+    shrinks only the dataset); every arm runs the full engine path —
+    planner dispatch, box-restricted kernel lookup or degraded-tier
+    fallback, diversified selection — against
+    :meth:`SkylineDatabase.query_from_scratch`.
+    """
+    from repro.index.engine import SkylineDatabase
+    from repro.resilience import BuildBudget
+
+    boxes = _spec_boxes(rng, points)
+    box = boxes[0]
+    checks: list[tuple[str, Check, str]] = []
+
+    def spec_lookup(
+        query: tuple[float, float],
+        kind: str,
+        mask: int = 0,
+        k: int = 1,
+        spec_box=None,
+        diversify: int | None = None,
+        budget_cells: int | None = None,
+    ) -> Check:
+        def check(points: Points) -> tuple[object, object]:
+            budget = (
+                BuildBudget(max_cells=budget_cells)
+                if budget_cells is not None
+                else None
+            )
+            db = SkylineDatabase(points, budget=budget)
+            kwargs = dict(
+                kind=kind, mask=mask, k=k, box=spec_box, diversify=diversify
+            )
+            return (
+                db.query_from_scratch(query, **kwargs),
+                db.query(query, **kwargs),
+            )
+
+        return check
+
+    template = (
+        "from repro.index.engine import SkylineDatabase\n"
+        "db = SkylineDatabase(points)\n"
+        "kwargs = dict(kind={kind!r}, mask={mask}, k={k}, box={box!r}, "
+        "diversify={diversify!r})\n"
+        "assert db.query(query, **kwargs) == "
+        "db.query_from_scratch(query, **kwargs)"
+    )
+    degraded_template = (
+        "from repro.index.engine import SkylineDatabase\n"
+        "from repro.resilience import BuildBudget\n"
+        "db = SkylineDatabase(points, budget=BuildBudget(max_cells={cells}))\n"
+        "kwargs = dict(kind={kind!r}, mask={mask}, k={k}, box={box!r}, "
+        "diversify={diversify!r})\n"
+        "assert db.query(query, **kwargs) == "
+        "db.query_from_scratch(query, **kwargs)"
+    )
+
+    query = queries[0]
+    for mask, mask_box in zip(range(4), (boxes * 2)[:4]):
+        checks.append(
+            (
+                f"spec:constrained:mask{mask}",
+                spec_lookup(query, "constrained", mask=mask,
+                            spec_box=mask_box),
+                template.format(kind="constrained", mask=mask, k=1,
+                                box=mask_box, diversify=None),
+            )
+        )
+    for k in (2, 3):
+        checks.append(
+            (
+                f"spec:constrained:skyband:k{k}",
+                spec_lookup(query, "constrained", k=k, spec_box=box),
+                template.format(kind="constrained", mask=0, k=k, box=box,
+                                diversify=None),
+            )
+        )
+    for diversify in (1, 2):
+        checks.append(
+            (
+                f"spec:diversified:k2:m{diversify}",
+                spec_lookup(query, "diversified", k=2, diversify=diversify),
+                template.format(kind="diversified", mask=0, k=2, box=None,
+                                diversify=diversify),
+            )
+        )
+    checks.append(
+        (
+            "spec:combined:box+k2+m2",
+            spec_lookup(query, "constrained", k=2, spec_box=box,
+                        diversify=2),
+            template.format(kind="constrained", mask=0, k=2, box=box,
+                            diversify=2),
+        )
+    )
+    for kind, mask, k, spec_box, diversify in (
+        ("constrained", 0, 2, box, None),
+        ("constrained", 3, 1, boxes[1], 2),
+        ("diversified", 0, 1, None, 2),
+    ):
+        checks.append(
+            (
+                f"spec:degraded:{kind}:mask{mask}:k{k}",
+                spec_lookup(query, kind, mask=mask, k=k, spec_box=spec_box,
+                            diversify=diversify, budget_cells=2),
+                degraded_template.format(kind=kind, mask=mask, k=k,
+                                         box=spec_box, diversify=diversify,
+                                         cells=2),
+            )
+        )
+
+    batch_template = (
+        "from repro.index.engine import SkylineDatabase\n"
+        f"queries = {queries!r}\n"
+        "db = SkylineDatabase(points)\n"
+        "kwargs = dict(kind={kind!r}, box={box!r}, diversify={diversify!r})\n"
+        "assert db.query_batch(queries, **kwargs) == "
+        "[db.query(q, **kwargs) for q in queries]"
+    )
+
+    def spec_batch(kind: str, spec_box, diversify) -> Check:
+        def check(points: Points) -> tuple[object, object]:
+            db = SkylineDatabase(points)
+            kwargs = dict(kind=kind, box=spec_box, diversify=diversify)
+            return (
+                [db.query(q, **kwargs) for q in queries],
+                db.query_batch(queries, **kwargs),
+            )
+
+        return check
+
+    for kind, spec_box, diversify in (
+        ("constrained", box, None),
+        ("constrained", boxes[2], 2),
+        ("diversified", None, 2),
+    ):
+        checks.append(
+            (
+                f"spec:batch:{kind}:div{diversify}",
+                spec_batch(kind, spec_box, diversify),
+                batch_template.format(kind=kind, box=spec_box,
+                                      diversify=diversify),
+            )
+        )
+    return checks
+
+
 def _minimize(points: Points, check: Check) -> Points:
     """Greedy shrink: drop points while the check still fails."""
 
@@ -882,6 +1078,7 @@ def differential_verify(
     max_points: int = 8,
     query_limit: int = 8,
     build_options=None,
+    families: tuple[str, ...] | None = None,
 ) -> VerifyReport:
     """Run the seeded differential fuzzer for about ``budget`` cases.
 
@@ -895,11 +1092,31 @@ def differential_verify(
     cross-check (serial==chunked, serial==vectorized) still runs with
     its own fixed options.
 
+    ``families`` (CLI: ``--families``) restricts the run to checks whose
+    name starts with one of the given prefixes — ``("spec",)`` runs only
+    the constrained/diversified spec checks, ``("spec:batch",)`` narrows
+    further.  Point/query/box generation consumes the rng identically
+    either way, so a family run fuzzes the same workloads the full
+    campaign would.
+
     >>> differential_verify(seed=1, budget=50).ok
+    True
+    >>> report = differential_verify(seed=1, budget=40, families=("spec",))
+    >>> report.ok and set(report.by_check) == {"spec"}
     True
     """
     rng = random.Random(seed)
     report = VerifyReport(seed=seed, budget=budget)
+
+    def wanted(name: str) -> bool:
+        if families is None:
+            return True
+        return any(
+            name == prefix or name.startswith(prefix + ":")
+            or name.startswith(prefix)
+            for prefix in families
+        )
+
     while report.cases < budget:
         points = _generate_points(rng, max_points)
         queries = _generate_queries(rng, points, limit=query_limit)
@@ -919,6 +1136,13 @@ def differential_verify(
             round_checks.append((name, check, template, None))
         for name, check, template in _runtime_checks(queries, build_options):
             round_checks.append((name, check, template, None))
+        for name, check, template in _spec_checks(rng, points, queries):
+            round_checks.append((name, check, template, queries[0]))
+        round_checks = [rc for rc in round_checks if wanted(rc[0])]
+        if not round_checks:
+            raise ValueError(
+                f"no checks match families {families!r}"
+            )
         report.rounds += 1
         for name, check, template, query in round_checks:
             expected, actual = check(points)

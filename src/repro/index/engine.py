@@ -87,15 +87,11 @@ from repro.query import (
     MetricsRegistry,
     QueryAnswer,
     QueryPlanner,
+    QuerySpec,
 )
 from repro.query.metrics import TIERS as SERVING_TIERS
+from repro.query.spec import handler_for
 from repro.resilience import BuildBudget, as_meter
-from repro.skyline.queries import (
-    dynamic_skyline,
-    global_skyline,
-    quadrant_skyband,
-    quadrant_skyline,
-)
 
 __all__ = [
     "KINDS",
@@ -498,12 +494,49 @@ class SkylineDatabase:
     # ------------------------------------------------------------------
     # Queries: everything funnels into the planner
     # ------------------------------------------------------------------
+    def _resolve_plan(
+        self,
+        kind,
+        mask: int,
+        k: int,
+        box,
+        diversify,
+        spec: QuerySpec | None,
+    ):
+        """Build the request spec and plan it, counting rejections.
+
+        ``spec`` (when given) wins over the legacy keywords.  A
+        validation failure is recorded in the metrics registry as a
+        rejected request before the typed error propagates.
+        """
+        request = (
+            spec
+            if spec is not None
+            else QuerySpec.of(kind, mask=mask, k=k, box=box, diversify=diversify)
+        )
+        try:
+            return self._planner.plan(request)
+        except QueryError:
+            self.metrics.record_rejected()
+            raise
+
+    def _checked_coords(self, query: Sequence[float]) -> tuple[float, ...]:
+        """Like :meth:`_check_query`, but counts rejections."""
+        try:
+            return self._check_query(query)
+        except QueryError:
+            self.metrics.record_rejected()
+            raise
+
     def query_annotated(
         self,
         query: Sequence[float],
         kind: str = "dynamic",
         mask: int = 0,
         k: int = 1,
+        box=None,
+        diversify: int | None = None,
+        spec: QuerySpec | None = None,
     ) -> QueryAnswer:
         """Answer one query, reporting which ladder tier served it.
 
@@ -513,9 +546,13 @@ class SkylineDatabase:
         latency annotation, not a correctness caveat.  The answer's
         ``query_report`` carries the lookup telemetry
         (:class:`~repro.query.metrics.QueryReport`).
+
+        Accepts either a full :class:`~repro.query.QuerySpec` via
+        ``spec`` or the legacy keywords (which build one); ``box`` and
+        ``diversify`` serve the ``constrained``/``diversified`` kinds.
         """
-        plan = self._planner.plan(kind, mask=mask, k=k)
-        coords = self._check_query(query)
+        plan = self._resolve_plan(kind, mask, k, box, diversify, spec)
+        coords = self._checked_coords(query)
         return self._planner.execute(plan, [coords])[0]
 
     def query(
@@ -524,11 +561,18 @@ class SkylineDatabase:
         kind: str = "dynamic",
         mask: int = 0,
         k: int = 1,
+        box=None,
+        diversify: int | None = None,
+        spec: QuerySpec | None = None,
     ) -> tuple[int, ...]:
         """Answer one skyline query by point location.
 
         ``kind`` is ``"quadrant"`` (with quadrant ``mask``), ``"global"``,
-        ``"dynamic"`` or ``"skyband"`` (with band width ``k``).
+        ``"dynamic"``, ``"skyband"`` (with band width ``k``),
+        ``"constrained"`` (quadrant/skyband restricted to the closed
+        ``box=(lo, hi)``) or ``"diversified"`` (greedy max-min selection
+        of at most ``diversify`` result points).  A full
+        :class:`~repro.query.QuerySpec` may be passed via ``spec``.
 
         Lookups are boundary-exact for every kind and mask: the shared
         query kernel resolves queries lying exactly on grid lines itself
@@ -541,7 +585,10 @@ class SkylineDatabase:
         back to a partial build or from-scratch evaluation — see
         :meth:`query_annotated` and :meth:`health`.
         """
-        return self.query_annotated(query, kind=kind, mask=mask, k=k).result
+        return self.query_annotated(
+            query, kind=kind, mask=mask, k=k, box=box,
+            diversify=diversify, spec=spec,
+        ).result
 
     def query_batch_annotated(
         self,
@@ -549,6 +596,9 @@ class SkylineDatabase:
         kind: str = "dynamic",
         mask: int = 0,
         k: int = 1,
+        box=None,
+        diversify: int | None = None,
+        spec: QuerySpec | None = None,
     ) -> list[QueryAnswer]:
         """Answer a batch of queries, each annotated with its ladder tier.
 
@@ -557,7 +607,7 @@ class SkylineDatabase:
         ``query_report`` with ``batch == len(queries)``); otherwise each
         query walks the ladder against the state resolved up front.
         """
-        plan = self._planner.plan(kind, mask=mask, k=k)
+        plan = self._resolve_plan(kind, mask, k, box, diversify, spec)
         return self._planner.execute(plan, queries)
 
     def query_batch(
@@ -566,6 +616,9 @@ class SkylineDatabase:
         kind: str = "dynamic",
         mask: int = 0,
         k: int = 1,
+        box=None,
+        diversify: int | None = None,
+        spec: QuerySpec | None = None,
     ) -> list[tuple[int, ...]]:
         """Answer a batch of queries in one vectorized point-location pass.
 
@@ -579,7 +632,7 @@ class SkylineDatabase:
         under the *same* plan resolution (the diagram cache, backoff and
         partial are checked once, not per query).
         """
-        plan = self._planner.plan(kind, mask=mask, k=k)
+        plan = self._resolve_plan(kind, mask, k, box, diversify, spec)
         return [a.result for a in self._planner.execute(plan, queries)]
 
     def query_many(
@@ -588,14 +641,21 @@ class SkylineDatabase:
         kind: str = "dynamic",
         mask: int = 0,
         k: int = 1,
+        box=None,
+        diversify: int | None = None,
+        spec: QuerySpec | None = None,
     ) -> list[tuple[int, ...]]:
         """Answer a batch of queries (shares one diagram build).
 
         Kept as the historical name; delegates to :meth:`query_batch`,
-        forwarding ``mask`` and ``k`` so reflected-quadrant and skyband
-        batches answer against the requested orientation and band width.
+        forwarding every spec parameter so reflected-quadrant, skyband,
+        constrained and diversified batches answer against the requested
+        semantics.
         """
-        return self.query_batch(queries, kind=kind, mask=mask, k=k)
+        return self.query_batch(
+            queries, kind=kind, mask=mask, k=k, box=box,
+            diversify=diversify, spec=spec,
+        )
 
     def _scratch(
         self,
@@ -604,15 +664,14 @@ class SkylineDatabase:
         mask: int,
         k: int,
         dataset: Dataset | None = None,
+        box=None,
+        diversify: int | None = None,
     ) -> tuple[int, ...]:
+        # Compatibility shim: the kind's registered handler owns the
+        # from-scratch oracle now.
         dataset = dataset if dataset is not None else self.dataset
-        if kind == "quadrant":
-            return quadrant_skyline(dataset, coords, mask)
-        if kind == "global":
-            return global_skyline(dataset, coords)
-        if kind == "dynamic":
-            return dynamic_skyline(dataset, coords)
-        return quadrant_skyband(dataset, coords, k)
+        spec = QuerySpec(kind=kind, mask=mask, k=k, box=box, diversify=diversify)
+        return handler_for(kind).scratch(dataset, coords, spec)
 
     def query_from_scratch(
         self,
@@ -620,21 +679,32 @@ class SkylineDatabase:
         kind: str = "dynamic",
         mask: int = 0,
         k: int = 1,
+        box=None,
+        diversify: int | None = None,
+        spec: QuerySpec | None = None,
     ) -> tuple[int, ...]:
         """Direct evaluation without the diagram (the E8 comparison arm).
 
         Also the bottom rung of the degradation ladder; malformed queries
         raise the same typed :class:`~repro.errors.QueryError` as
-        :meth:`query`.
+        :meth:`query`.  Unlike the diagram path this imposes no
+        dimensionality limits beyond the dataset's own: scratch oracles
+        work in any d, so e.g. ``kind="dynamic"`` evaluates directly on
+        3-D datasets the dynamic *diagram* would refuse.
         """
-        if kind not in KINDS:
-            raise QueryError(f"unknown query kind {kind!r}")
-        coords = self._check_query(query)
-        if kind == "quadrant":
-            mask = self._check_mask(mask)
-        elif kind == "skyband":
-            k = self._check_k(k)
-        return self._scratch(coords, kind, mask, k)
+        request = (
+            spec
+            if spec is not None
+            else QuerySpec.of(kind, mask=mask, k=k, box=box, diversify=diversify)
+        )
+        try:
+            handler = handler_for(request.kind)
+            request = handler.validate_params(request, self.dataset.dim)
+            coords = self._check_query(query)
+        except QueryError:
+            self.metrics.record_rejected()
+            raise
+        return handler.scratch(self.dataset, coords, request)
 
     # ------------------------------------------------------------------
     # Streaming updates: journal, batch apply, atomic generation swap
@@ -873,6 +943,7 @@ class SkylineDatabase:
             "generation": {"seq": gen.seq, "sha": gen.sha},
             "updates": self._updates.stats(now),
             "tiers": self.metrics.tier_counts(),
+            "rejected": self.metrics.rejected_count(),
             "queries": self.metrics.snapshot(),
             "builds": builds,
             "last_audit": dict(self._last_audit),

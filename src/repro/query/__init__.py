@@ -1,10 +1,16 @@
 """The unified query runtime — the lookup-side mirror of the build pipeline.
 
-Three pieces (see ``docs/ARCHITECTURE.md``, "Query runtime"):
+Four pieces (see ``docs/ARCHITECTURE.md``, "Query runtime"):
 
+* :class:`~repro.query.spec.QuerySpec` — one frozen, validating value
+  object describing any supported lookup (kind + mask + k + optional
+  constraint box + optional diversification), with a registry of
+  per-kind :class:`~repro.query.spec.KindHandler`\\ s owning validation,
+  planning, the scratch oracle, and metrics labeling;
 * :class:`~repro.query.kernel.QueryKernel` — the one grid-locate →
   boundary-resolve → store-lookup sequence behind every diagram lookup,
-  parameterized by orientation/edge-ownership mode;
+  parameterized by orientation/edge-ownership mode, including the
+  box-restricted lookups of the ``constrained`` kind;
 * :class:`~repro.query.planner.QueryPlanner` — one plan resolution and
   one degradation-ladder application per batch (a single query is a
   batch of one), producing :class:`~repro.query.planner.QueryAnswer`\\ s;
@@ -23,10 +29,18 @@ from repro.query.metrics import (
     format_snapshot,
 )
 from repro.query.planner import KINDS, QueryAnswer, QueryPlan, QueryPlanner
+from repro.query.spec import (
+    KindHandler,
+    QuerySpec,
+    handler_for,
+    register_kind,
+    registered_kinds,
+)
 
 __all__ = [
     "KINDS",
     "MODES",
+    "KindHandler",
     "LatencyHistogram",
     "MetricsRegistry",
     "QueryAnswer",
@@ -34,5 +48,9 @@ __all__ = [
     "QueryPlan",
     "QueryPlanner",
     "QueryReport",
+    "QuerySpec",
     "format_snapshot",
+    "handler_for",
+    "register_kind",
+    "registered_kinds",
 ]

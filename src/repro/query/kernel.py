@@ -198,6 +198,66 @@ class QueryKernel:
         return results
 
     # ------------------------------------------------------------------
+    # Box-restricted lookups (the `constrained` kind)
+    # ------------------------------------------------------------------
+
+    def _require_closed_edge(self) -> None:
+        if self.mode != "closed_edge":
+            raise QueryError(
+                "box-restricted lookups are quadrant-family only "
+                f"(kernel mode {self.mode!r})"
+            )
+
+    def query_restricted(
+        self, query: Sequence[float], lo: Sequence[float], hi: Sequence[float]
+    ) -> Result:
+        """Answer one query restricted to the closed box ``[lo, hi]``.
+
+        Locates at the box-adjusted coordinates (per axis: clamp up to
+        ``lo`` on normal axes, down to ``hi`` on reflected axes) and
+        drops result points beyond the box's far face.  Exact for
+        skylines and skybands alike — see ``repro.query.spec`` for the
+        reduction argument.
+        """
+        from repro.query.spec import box_filter, restrict_coords
+
+        self._require_closed_edge()
+        if len(query) != self.dim:
+            raise QueryError(
+                f"query has {len(query)} dimensions, grid has {self.dim}"
+            )
+        adjusted = restrict_coords(
+            tuple(float(c) for c in query), (tuple(lo), tuple(hi)),
+            self.upper_mask,
+        )
+        result = self.query(adjusted)
+        return box_filter(
+            self.grid.dataset.points, result, (tuple(lo), tuple(hi)),
+            self.upper_mask,
+        )
+
+    def query_batch_restricted(
+        self, queries, lo: Sequence[float], hi: Sequence[float]
+    ) -> list[Result]:
+        """Batch variant of :meth:`query_restricted` (one clamp per axis)."""
+        from repro.query.spec import box_filter
+
+        self._require_closed_edge()
+        coords = np.array(as_query_array(queries, self.dim), copy=True)
+        for d in range(self.dim):
+            if self.upper_mask >> d & 1:
+                np.minimum(coords[:, d], float(hi[d]), out=coords[:, d])
+            else:
+                np.maximum(coords[:, d], float(lo[d]), out=coords[:, d])
+        results = self.query_batch(coords)
+        box = (tuple(float(c) for c in lo), tuple(float(c) for c in hi))
+        points = self.grid.dataset.points
+        return [
+            box_filter(points, result, box, self.upper_mask)
+            for result in results
+        ]
+
+    # ------------------------------------------------------------------
     # Boundary resolution — the single implementation repo-wide
     # ------------------------------------------------------------------
 

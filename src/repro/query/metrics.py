@@ -206,6 +206,21 @@ class MetricsRegistry:
             hist = self._serving[generation] = LatencyHistogram()
         hist.observe(seconds, weight=weight)
 
+    def record_rejected(self, amount: int = 1) -> None:
+        """Count a request rejected at validation time.
+
+        A rejection is a typed :class:`~repro.errors.QueryError` raised
+        by plan/spec validation — malformed kind, mask, k, box,
+        diversify, or query coordinates — before the ladder ever runs.
+        Counting them makes malformed traffic visible in ``health()``
+        and ``repro stats`` instead of silent.
+        """
+        self._bump("rejected_requests", amount)
+
+    def rejected_count(self) -> int:
+        """Requests rejected at validation time so far."""
+        return int(self._counters.get("rejected_requests", 0))
+
     def record_update(self, generation: str, ops: int) -> None:
         """Count ``ops`` journalled updates applied into ``generation``."""
         self._bump("updates_applied", ops)

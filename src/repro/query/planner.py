@@ -6,8 +6,10 @@ the plan (and re-checking the diagram cache, backoff state, and partial)
 for *every* query of a degraded batch.  The planner replaces all of
 them:
 
-* :meth:`QueryPlanner.plan` validates a ``(kind, mask, k)`` request once
-  and returns an immutable :class:`QueryPlan` — the diagram key plus the
+* :meth:`QueryPlanner.plan` validates a :class:`~repro.query.spec.QuerySpec`
+  (or the legacy ``(kind, mask, k)`` keywords, which build one) through
+  the kind's registered :class:`~repro.query.spec.KindHandler` and
+  returns an immutable :class:`QueryPlan` — the diagram key plus the
   budget-aware builder (user errors raise here, before the ladder, so
   they are never mistaken for build failures);
 * :meth:`QueryPlanner.execute` answers a batch of queries under one plan
@@ -19,20 +21,35 @@ A single query is a batch of one.  Every answer carries a
 :class:`~repro.query.metrics.QueryReport`, and every execution is folded
 into the database's :class:`~repro.query.metrics.MetricsRegistry` — the
 single choke point for tier accounting.
+
+The planner itself is kind-agnostic: adding a query kind means
+registering a handler in ``repro.query.spec``, not editing this module.
+The handler owns validation, the diagram key, the builder and the
+scratch oracle; the two spec-only features — box restriction and
+diversified selection — are applied here uniformly for whatever kind
+carries them.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import NamedTuple
 
-from repro.errors import DimensionalityError, QueryError
 from repro.query.metrics import QueryReport
+from repro.query.spec import (
+    Builder,
+    KindHandler,
+    QuerySpec,
+    box_filter,
+    handler_for,
+    registered_kinds,
+    restrict_coords,
+)
 from repro.resilience import CoverageMiss
 
-#: Query kinds the planner understands.
-KINDS = ("quadrant", "global", "dynamic", "skyband")
+#: Query kinds the planner understands (the registry's kinds).
+KINDS = registered_kinds()
 
 _MISS = object()  # sentinel: () is a valid query result
 
@@ -57,13 +74,29 @@ class QueryAnswer(NamedTuple):
 
 @dataclass(frozen=True)
 class QueryPlan:
-    """An immutable resolved query request: key, parameters, builder."""
+    """An immutable resolved query request: spec, key, builder, handler.
 
-    kind: str
+    The historical ``kind``/``mask``/``k`` attributes remain as
+    read-only views onto the spec for callers written against the old
+    triple.
+    """
+
+    spec: QuerySpec
     key: str
-    mask: int = 0
-    k: int = 1
-    builder: object = None
+    builder: Builder | None = None
+    handler: KindHandler = field(default_factory=lambda: handler_for("dynamic"))
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    @property
+    def mask(self) -> int:
+        return self.spec.mask
+
+    @property
+    def k(self) -> int:
+        return self.spec.k
 
 
 class QueryPlanner:
@@ -77,77 +110,35 @@ class QueryPlanner:
     # ------------------------------------------------------------------
     # Plan resolution
     # ------------------------------------------------------------------
-    def plan(self, kind: str, mask: int = 0, k: int = 1) -> QueryPlan:
-        """Validate a query kind and resolve its :class:`QueryPlan`.
+    def plan(
+        self,
+        kind: str | QuerySpec = "dynamic",
+        mask: int = 0,
+        k: int = 1,
+        box=None,
+        diversify: int | None = None,
+    ) -> QueryPlan:
+        """Validate a query spec and resolve its :class:`QueryPlan`.
 
-        User errors (unknown kind, bad mask/k, unsupported
-        dimensionality) raise here — *before* the degradation ladder, so
-        they are never mistaken for build failures.
+        Accepts either a :class:`QuerySpec` in the ``kind`` position or
+        the legacy keywords (which build one).  User errors (unknown
+        kind, bad mask/k/box/diversify, unsupported dimensionality)
+        raise here — *before* the degradation ladder, so they are never
+        mistaken for build failures.
         """
         db = self._db
+        spec = QuerySpec.of(kind, mask=mask, k=k, box=box, diversify=diversify)
+        handler = handler_for(spec.kind)
+        spec = handler.validate(spec, db.dataset.dim)
         # Builders take the dataset explicitly: the engine pins a
         # generation's dataset so a concurrent update swap can never mix
         # a new dataset into an old generation's diagram cache.
-        if kind == "quadrant":
-            mask = db._check_mask(mask)
-
-            def build(meter, dataset=None, mask=mask):
-                from repro.diagram.global_diagram import (
-                    quadrant_diagram_for_mask,
-                )
-
-                return quadrant_diagram_for_mask(
-                    dataset if dataset is not None else db.dataset,
-                    mask, db._quadrant_algorithm(),
-                    budget=meter, build_options=db.build_options,
-                )
-
-            return QueryPlan("quadrant", f"quadrant:{mask}", mask, 1, build)
-        if kind == "global":
-
-            def build(meter, dataset=None):
-                from repro.diagram.global_diagram import global_diagram
-
-                return global_diagram(
-                    dataset if dataset is not None else db.dataset,
-                    db._quadrant_algorithm(), budget=meter,
-                    build_options=db.build_options,
-                )
-
-            return QueryPlan("global", "global", 0, 1, build)
-        if kind == "dynamic":
-            if db.dataset.dim != 2:
-                raise DimensionalityError(
-                    "dynamic diagrams are 2-D; use "
-                    "diagram.highdim.dynamic_baseline_nd for d > 2"
-                )
-
-            def build(meter, dataset=None):
-                from repro.diagram.dynamic_scanning import dynamic_scanning
-
-                return dynamic_scanning(
-                    dataset if dataset is not None else db.dataset,
-                    budget=meter,
-                    build_options=db.build_options,
-                )
-
-            return QueryPlan("dynamic", "dynamic", 0, 1, build)
-        if kind == "skyband":
-            if db.dataset.dim != 2:
-                raise DimensionalityError("skyband diagrams are 2-D")
-            k = db._check_k(k)
-
-            def build(meter, dataset=None, k=k):
-                from repro.diagram.skyband import skyband_sweep
-
-                return skyband_sweep(
-                    dataset if dataset is not None else db.dataset,
-                    k, budget=meter,
-                    build_options=db.build_options,
-                )
-
-            return QueryPlan("skyband", f"skyband:{k}", 0, k, build)
-        raise QueryError(f"unknown query kind {kind!r}")
+        return QueryPlan(
+            spec=spec,
+            key=handler.diagram_key(spec),
+            builder=handler.make_builder(db, spec),
+            handler=handler,
+        )
 
     def plan_for_key(self, key: str) -> QueryPlan:
         """Re-resolve a plan from a recorded diagram key (rebuild path)."""
@@ -176,6 +167,7 @@ class QueryPlanner:
         """
         db = self._db
         clock = db._clock
+        spec = plan.spec
         # Apply due journalled updates before serving (the cooperative
         # "background" retry), then capture the serving generation ONCE:
         # every lookup below — diagram, partial, scratch — resolves
@@ -194,7 +186,17 @@ class QueryPlanner:
         if diagram is not None:
             kernel = diagram.kernel
             hits_before = kernel.boundary_hits
-            if len(queries) == 1:
+            if spec.box is not None:
+                lo, hi = spec.box
+                if len(queries) == 1:
+                    results = [
+                        kernel.query_restricted(
+                            db._check_query(queries[0]), lo, hi
+                        )
+                    ]
+                else:
+                    results = kernel.query_batch_restricted(queries, lo, hi)
+            elif len(queries) == 1:
                 # Batch-of-1: the scalar kernel path skips the numpy
                 # round-trip a one-row locate_batch would pay.  Validate
                 # here — multi-row batches get their typed errors from
@@ -202,10 +204,17 @@ class QueryPlanner:
                 results = [diagram.query(db._check_query(queries[0]))]
             else:
                 results = diagram.query_batch(queries)
+            if spec.diversify is not None:
+                from repro.skyline.queries import diversified_select
+
+                results = [
+                    diversified_select(gen.dataset, result, spec.diversify)
+                    for result in results
+                ]
             seconds = max(0.0, clock() - start)
             m = len(results)
             query_report = QueryReport(
-                kind=plan.kind,
+                kind=plan.handler.metrics_kind(spec),
                 key=plan.key,
                 tier="diagram",
                 batch=m,
@@ -225,6 +234,9 @@ class QueryPlanner:
             ]
         # Degraded: the plan (cache miss, backoff, partial) was resolved
         # once above; each query now walks partial -> scratch against it.
+        # Partials only exist for first-quadrant (mask 0) builds —
+        # quadrant_diagram_for_mask drops reflected partials — so the
+        # lower-closed partial locate matches the spec's box semantics.
         partial = gen.states[plan.key].partial
         answers: list[QueryAnswer] = []
         for query in queries:
@@ -233,18 +245,32 @@ class QueryPlanner:
             result = _MISS
             tier = "scratch"
             if partial is not None:
+                lookup = (
+                    coords
+                    if spec.box is None
+                    else restrict_coords(coords, spec.box, spec.mask)
+                )
                 try:
-                    result = partial.query(coords)
+                    found = partial.query(lookup)
+                    if spec.box is not None:
+                        found = box_filter(
+                            gen.dataset.points, found, spec.box, spec.mask
+                        )
+                    if spec.diversify is not None:
+                        from repro.skyline.queries import diversified_select
+
+                        found = diversified_select(
+                            gen.dataset, found, spec.diversify
+                        )
+                    result = found
                     tier = "partial"
                 except CoverageMiss:
                     result = _MISS
             if result is _MISS:
-                result = db._scratch(
-                    coords, plan.kind, plan.mask, plan.k, dataset=gen.dataset
-                )
+                result = plan.handler.scratch(gen.dataset, coords, spec)
             seconds = max(0.0, clock() - started)
             query_report = QueryReport(
-                kind=plan.kind,
+                kind=plan.handler.metrics_kind(spec),
                 key=plan.key,
                 tier=tier,
                 batch=1,

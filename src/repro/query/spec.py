@@ -1,0 +1,562 @@
+"""The composable query spec: one value describing any supported lookup.
+
+Historically a query was the positional triple ``(kind, mask, k)``,
+hand-validated in a 60-line if/elif chain inside ``QueryPlanner.plan``
+and re-threaded through every layer — engine entry points, the scratch
+oracle, the serve protocol, the CLI and the differential verifier — so
+every new query kind meant touching seven call signatures.
+:class:`QuerySpec` replaces the triple with one frozen, validating value
+object, and a registry of per-kind :class:`KindHandler`\\ s owns what the
+if/elif chain used to hard-code:
+
+* **validation** — masks, band widths, constraint boxes and
+  diversification counts are checked once, with typed
+  :class:`~repro.errors.QueryError`\\ s, before the degradation ladder
+  ever runs;
+* **planning** — which diagram key serves the spec and how to build it
+  (``constrained``/``diversified`` specs deliberately map onto the
+  *existing* ``quadrant:{mask}`` / ``skyband:{k}`` diagram keys: a box
+  restriction or a diversification pass never changes the precomputed
+  structure, only the lookup);
+* **the scratch oracle** — the from-scratch ground truth of the bottom
+  ladder tier, so every tier answers the same spec identically;
+* **metrics labeling** — the per-kind histogram key.
+
+Registering a new kind is one :func:`register_kind` call — the planner,
+the engine entry points, the serve schema and ``differential_verify``
+all dispatch through the registry and need no edits.
+
+Constrained lookups are exact by a reduction, not by re-filtering the
+dataset: for quadrant orientation ``mask`` and a closed box ``[lo, hi]``,
+locate the diagram at the *adjusted* query ``q'`` with ``q'_d =
+max(q_d, lo_d)`` on normal axes and ``q'_d = min(q_d, hi_d)`` on
+reflected axes, then drop result points outside the box on the remaining
+side (:func:`box_filter`).  Every dominator of an in-box point of
+``quadrant(q')`` is itself in-box (dominance moves coordinates toward
+the query, never past the far box face), so skyline membership *and*
+skyband dominator counts are preserved exactly — including queries and
+box faces lying on grid lines, where the closed-edge locate matches the
+closed box semantics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, replace
+from typing import Any, Callable
+
+from repro.errors import DimensionalityError, QueryError
+
+Coords = tuple[float, ...]
+Box = tuple[Coords, Coords]
+Result = tuple[int, ...]
+#: A budget-aware diagram builder: ``builder(meter, dataset=None)``.
+Builder = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One immutable description of a skyline query.
+
+    Attributes
+    ----------
+    kind:
+        A registered query kind (:func:`registered_kinds`).  The four
+        classic kinds are ``quadrant``, ``global``, ``dynamic`` and
+        ``skyband``; ``constrained`` restricts a quadrant-family lookup
+        to a closed box and ``diversified`` post-selects a max-min
+        diverse subset of a skyband result.  The two compose: one spec
+        may carry both a box and a diversification count.
+    mask:
+        Quadrant orientation — bit ``d`` set means the negative side of
+        dimension ``d``.  Only quadrant-family kinds honour it.
+    k:
+        Skyband width (``k=1`` is the plain skyline).
+    box:
+        Optional closed constraint box ``(lo, hi)``; candidate points
+        must satisfy ``lo_d <= p_d <= hi_d`` on every axis.
+    diversify:
+        Optional diversified-selection count: keep at most this many
+        result points by greedy max-min distance in value space
+        (deterministic lowest-id seeding and tie-breaks).
+    """
+
+    kind: str = "dynamic"
+    mask: int = 0
+    k: int = 1
+    box: Box | None = None
+    diversify: int | None = None
+
+    @classmethod
+    def of(
+        cls,
+        kind: "str | QuerySpec" = "dynamic",
+        mask: int = 0,
+        k: int = 1,
+        box: Box | None = None,
+        diversify: int | None = None,
+    ) -> "QuerySpec":
+        """Build a spec from the legacy keyword surface.
+
+        Accepts an existing :class:`QuerySpec` in the ``kind`` position
+        (returned as-is), which is what lets every engine entry point
+        keep its historical ``(kind, mask, k)`` keywords as a thin
+        compatibility shim.
+        """
+        if isinstance(kind, QuerySpec):
+            return kind
+        return cls(kind=kind, mask=mask, k=k, box=box, diversify=diversify)
+
+    def validated(self, dim: int) -> "QuerySpec":
+        """A normalized copy, or a typed error (see the kind's handler)."""
+        return handler_for(self.kind).validate(self, dim)
+
+    def cache_key(self) -> str:
+        """A canonical identity string (batch grouping, cache labels).
+
+        Specs that answer identically share a key; the key is *finer*
+        than the diagram key (a box changes the lookup, not the
+        diagram).
+        """
+        parts = [self.kind, f"mask{self.mask}", f"k{self.k}"]
+        if self.box is not None:
+            lo, hi = self.box
+            parts.append(
+                "box[" + ",".join(repr(c) for c in lo) + "]:["
+                + ",".join(repr(c) for c in hi) + "]"
+            )
+        if self.diversify is not None:
+            parts.append(f"div{self.diversify}")
+        return "|".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Field validation helpers (shared by the handlers and the serve layer)
+# ----------------------------------------------------------------------
+
+def check_mask(mask: Any, dim: int) -> int:
+    """``mask`` as an int in ``[0, 2^dim)``, or :class:`QueryError`."""
+    try:
+        mask = int(mask)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"mask must be an integer, got {mask!r}") from exc
+    if not 0 <= mask < (1 << dim):
+        raise QueryError(
+            f"mask {mask} out of range for {dim}-D data "
+            f"(valid: 0..{(1 << dim) - 1})"
+        )
+    return mask
+
+
+def check_k(k: Any) -> int:
+    """``k`` as an int ``>= 1``, or :class:`QueryError`."""
+    try:
+        k = int(k)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(f"k must be an integer, got {k!r}") from exc
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    return k
+
+
+def check_diversify(diversify: Any) -> int:
+    """``diversify`` as an int ``>= 1``, or :class:`QueryError`."""
+    try:
+        diversify = int(diversify)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(
+            f"diversify must be an integer, got {diversify!r}"
+        ) from exc
+    if diversify < 1:
+        raise QueryError(f"diversify must be >= 1, got {diversify}")
+    return diversify
+
+
+def _check_corner(corner: Any, dim: int, label: str) -> Coords:
+    if isinstance(corner, (str, bytes)):
+        raise QueryError(f"box {label} corner must be a point, got {corner!r}")
+    try:
+        coords = tuple(float(c) for c in corner)
+    except (TypeError, ValueError) as exc:
+        raise QueryError(
+            f"box {label} corner must be numeric, got {corner!r}"
+        ) from exc
+    if len(coords) != dim:
+        raise QueryError(
+            f"box {label} corner has {len(coords)} dimensions, "
+            f"dataset has {dim}"
+        )
+    if any(c != c for c in coords):
+        raise QueryError("box corners must not contain NaN")
+    return coords
+
+
+def check_box(box: Any, dim: int) -> Box:
+    """``box`` as a normalized ``(lo, hi)`` pair, or :class:`QueryError`."""
+    try:
+        lo_raw, hi_raw = box
+    except (TypeError, ValueError) as exc:
+        raise QueryError(
+            f"box must be a (lo, hi) pair of corner points, got {box!r}"
+        ) from exc
+    lo = _check_corner(lo_raw, dim, "lo")
+    hi = _check_corner(hi_raw, dim, "hi")
+    for d in range(dim):
+        if lo[d] > hi[d]:
+            raise QueryError(
+                f"box is empty on axis {d}: lo {lo[d]} > hi {hi[d]}"
+            )
+    return (lo, hi)
+
+
+# ----------------------------------------------------------------------
+# The box reduction (shared by the kernel, the planner's partial tier,
+# and the serve workers)
+# ----------------------------------------------------------------------
+
+def restrict_coords(coords: Coords, box: Box, mask: int) -> Coords:
+    """The adjusted locate coordinates for a box-restricted lookup.
+
+    Per axis ``d``: ``max(q_d, lo_d)`` on a normal axis (the box's low
+    face joins the quadrant's own lower bound), ``min(q_d, hi_d)`` on a
+    reflected axis.  Locating the diagram here yields exactly the
+    candidates satisfying the near-side box constraint; the far side is
+    applied by :func:`box_filter`.
+    """
+    lo, hi = box
+    return tuple(
+        min(c, hi[d]) if mask >> d & 1 else max(c, lo[d])
+        for d, c in enumerate(coords)
+    )
+
+
+def box_filter(
+    points: Sequence[Sequence[float]], result: Result, box: Box, mask: int
+) -> Result:
+    """Drop result ids outside the box's far face per axis.
+
+    Only the side not already absorbed into :func:`restrict_coords`
+    needs checking: ``p_d <= hi_d`` on normal axes, ``p_d >= lo_d`` on
+    reflected axes.  Exact for skylines *and* skyband dominator counts
+    — every dominator of an in-box point is itself in-box.
+    """
+    lo, hi = box
+    dim = len(lo)
+    kept = []
+    for pid in result:
+        p = points[pid]
+        for d in range(dim):
+            if (p[d] < lo[d]) if mask >> d & 1 else (p[d] > hi[d]):
+                break
+        else:
+            kept.append(pid)
+    return tuple(kept)
+
+
+# ----------------------------------------------------------------------
+# Per-kind handlers
+# ----------------------------------------------------------------------
+
+def _quadrant_builder(db: Any, mask: int) -> Builder:
+    def build(meter: Any, dataset: Any = None) -> Any:
+        from repro.diagram.global_diagram import quadrant_diagram_for_mask
+
+        return quadrant_diagram_for_mask(
+            dataset if dataset is not None else db.dataset,
+            mask,
+            db._quadrant_algorithm(),
+            budget=meter,
+            build_options=db.build_options,
+        )
+
+    return build
+
+
+def _skyband_builder(db: Any, k: int) -> Builder:
+    def build(meter: Any, dataset: Any = None) -> Any:
+        from repro.diagram.skyband import skyband_sweep
+
+        return skyband_sweep(
+            dataset if dataset is not None else db.dataset,
+            k,
+            budget=meter,
+            build_options=db.build_options,
+        )
+
+    return build
+
+
+class KindHandler:
+    """Everything the runtime needs to know about one query kind.
+
+    Subclasses set :attr:`kind` and override the hooks; the base class
+    implements the shared parameter validation.  ``validate`` gates the
+    full diagram-backed plan space (dimensionality limits included);
+    ``validate_params`` checks only the spec's own fields — the scratch
+    oracle works in any dimension, so ``query_from_scratch`` stays more
+    permissive than the diagram path, exactly as it always has.
+    """
+
+    kind: str = ""
+    #: Does the kind honour a quadrant mask?  (Others normalize to 0.)
+    allows_mask: bool = False
+    #: Does the kind honour a band width ``k``?  (Others normalize to 1.)
+    allows_k: bool = False
+    allows_box: bool = False
+    allows_diversify: bool = False
+    requires_box: bool = False
+    requires_diversify: bool = False
+
+    # -- validation ----------------------------------------------------
+
+    def validate_params(self, spec: QuerySpec, dim: int) -> QuerySpec:
+        """Field checks only; no diagram dimensionality constraints."""
+        mask = check_mask(spec.mask, dim) if self.allows_mask else 0
+        k = check_k(spec.k) if self.allows_k else 1
+        box: Box | None = None
+        if spec.box is not None:
+            if not self.allows_box:
+                raise QueryError(
+                    f"kind {self.kind!r} takes no constraint box; "
+                    "use kind='constrained'"
+                )
+            box = check_box(spec.box, dim)
+        elif self.requires_box:
+            raise QueryError(f"kind {self.kind!r} requires a (lo, hi) box")
+        diversify: int | None = None
+        if spec.diversify is not None:
+            if not self.allows_diversify:
+                raise QueryError(
+                    f"kind {self.kind!r} takes no diversify count; "
+                    "use kind='diversified'"
+                )
+            diversify = check_diversify(spec.diversify)
+        elif self.requires_diversify:
+            raise QueryError(
+                f"kind {self.kind!r} requires a diversify count"
+            )
+        return replace(
+            spec, mask=mask, k=k, box=box, diversify=diversify
+        )
+
+    def validate(self, spec: QuerySpec, dim: int) -> QuerySpec:
+        """Full plan-space validation (diagram constraints included)."""
+        return self.validate_params(spec, dim)
+
+    # -- planning ------------------------------------------------------
+
+    def diagram_key(self, spec: QuerySpec) -> str:
+        raise NotImplementedError
+
+    def make_builder(self, db: Any, spec: QuerySpec) -> Builder:
+        raise NotImplementedError
+
+    # -- ladder bottom + telemetry ------------------------------------
+
+    def scratch(self, dataset: Any, coords: Coords, spec: QuerySpec) -> Result:
+        """Direct from-scratch evaluation — the ground-truth oracle."""
+        raise NotImplementedError
+
+    def metrics_kind(self, spec: QuerySpec) -> str:
+        """The per-kind histogram label for answers under this spec."""
+        return self.kind
+
+
+class _QuadrantHandler(KindHandler):
+    kind = "quadrant"
+    allows_mask = True
+
+    def diagram_key(self, spec: QuerySpec) -> str:
+        return f"quadrant:{spec.mask}"
+
+    def make_builder(self, db: Any, spec: QuerySpec) -> Builder:
+        return _quadrant_builder(db, spec.mask)
+
+    def scratch(self, dataset: Any, coords: Coords, spec: QuerySpec) -> Result:
+        from repro.skyline.queries import quadrant_skyline
+
+        return quadrant_skyline(dataset, coords, spec.mask)
+
+
+class _GlobalHandler(KindHandler):
+    kind = "global"
+
+    def diagram_key(self, spec: QuerySpec) -> str:
+        return "global"
+
+    def make_builder(self, db: Any, spec: QuerySpec) -> Builder:
+        def build(meter: Any, dataset: Any = None) -> Any:
+            from repro.diagram.global_diagram import global_diagram
+
+            return global_diagram(
+                dataset if dataset is not None else db.dataset,
+                db._quadrant_algorithm(),
+                budget=meter,
+                build_options=db.build_options,
+            )
+
+        return build
+
+    def scratch(self, dataset: Any, coords: Coords, spec: QuerySpec) -> Result:
+        from repro.skyline.queries import global_skyline
+
+        return global_skyline(dataset, coords)
+
+
+class _DynamicHandler(KindHandler):
+    kind = "dynamic"
+
+    def validate(self, spec: QuerySpec, dim: int) -> QuerySpec:
+        if dim != 2:
+            raise DimensionalityError(
+                "dynamic diagrams are 2-D; use "
+                "diagram.highdim.dynamic_baseline_nd for d > 2"
+            )
+        return self.validate_params(spec, dim)
+
+    def diagram_key(self, spec: QuerySpec) -> str:
+        return "dynamic"
+
+    def make_builder(self, db: Any, spec: QuerySpec) -> Builder:
+        def build(meter: Any, dataset: Any = None) -> Any:
+            from repro.diagram.dynamic_scanning import dynamic_scanning
+
+            return dynamic_scanning(
+                dataset if dataset is not None else db.dataset,
+                budget=meter,
+                build_options=db.build_options,
+            )
+
+        return build
+
+    def scratch(self, dataset: Any, coords: Coords, spec: QuerySpec) -> Result:
+        from repro.skyline.queries import dynamic_skyline
+
+        return dynamic_skyline(dataset, coords)
+
+
+class _SkybandHandler(KindHandler):
+    kind = "skyband"
+    allows_k = True
+
+    def validate(self, spec: QuerySpec, dim: int) -> QuerySpec:
+        if dim != 2:
+            raise DimensionalityError("skyband diagrams are 2-D")
+        return self.validate_params(spec, dim)
+
+    def diagram_key(self, spec: QuerySpec) -> str:
+        return f"skyband:{spec.k}"
+
+    def make_builder(self, db: Any, spec: QuerySpec) -> Builder:
+        return _skyband_builder(db, spec.k)
+
+    def scratch(self, dataset: Any, coords: Coords, spec: QuerySpec) -> Result:
+        from repro.skyline.queries import quadrant_skyband
+
+        return quadrant_skyband(dataset, coords, spec.k)
+
+
+class _SpecFamilyHandler(KindHandler):
+    """Shared machinery of ``constrained`` and ``diversified``.
+
+    Both ride the existing quadrant/skyband diagrams: the spec's
+    ``k``/``mask`` pick the diagram key exactly as the plain kinds
+    would, and the box/diversify parts only change the lookup.
+    """
+
+    allows_mask = True
+    allows_k = True
+    allows_box = True
+    allows_diversify = True
+
+    def validate(self, spec: QuerySpec, dim: int) -> QuerySpec:
+        spec = self.validate_params(spec, dim)
+        if spec.k > 1:
+            # k > 1 serves from a skyband diagram: 2-D, first quadrant.
+            if dim != 2:
+                raise DimensionalityError("skyband diagrams are 2-D")
+            if spec.mask != 0:
+                raise QueryError(
+                    f"k={spec.k} requires mask=0 "
+                    "(skyband diagrams are first-quadrant)"
+                )
+        return spec
+
+    def diagram_key(self, spec: QuerySpec) -> str:
+        if spec.k > 1:
+            return f"skyband:{spec.k}"
+        return f"quadrant:{spec.mask}"
+
+    def make_builder(self, db: Any, spec: QuerySpec) -> Builder:
+        if spec.k > 1:
+            return _skyband_builder(db, spec.k)
+        return _quadrant_builder(db, spec.mask)
+
+    def scratch(self, dataset: Any, coords: Coords, spec: QuerySpec) -> Result:
+        from repro.skyline.queries import (
+            constrained_skyband,
+            diversified_select,
+            quadrant_skyband,
+            quadrant_skyline,
+        )
+
+        if spec.box is not None:
+            result = constrained_skyband(
+                dataset, coords, spec.k, mask=spec.mask, box=spec.box
+            )
+        elif spec.k > 1:
+            result = quadrant_skyband(dataset, coords, spec.k, mask=spec.mask)
+        else:
+            result = quadrant_skyline(dataset, coords, spec.mask)
+        if spec.diversify is not None:
+            result = diversified_select(dataset, result, spec.diversify)
+        return result
+
+
+class _ConstrainedHandler(_SpecFamilyHandler):
+    kind = "constrained"
+    requires_box = True
+
+
+class _DiversifiedHandler(_SpecFamilyHandler):
+    kind = "diversified"
+    requires_diversify = True
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: dict[str, KindHandler] = {}
+
+
+def register_kind(handler: KindHandler) -> KindHandler:
+    """Register (or replace) the handler serving ``handler.kind``."""
+    if not handler.kind:
+        raise ValueError("handler must name its kind")
+    _REGISTRY[handler.kind] = handler
+    return handler
+
+
+def handler_for(kind: str) -> KindHandler:
+    """The registered handler, or :class:`QueryError` for unknown kinds."""
+    handler = _REGISTRY.get(kind)
+    if handler is None:
+        raise QueryError(f"unknown query kind {kind!r}")
+    return handler
+
+
+def registered_kinds() -> tuple[str, ...]:
+    """Every registered query kind, in registration order."""
+    return tuple(_REGISTRY)
+
+
+for _handler in (
+    _QuadrantHandler(),
+    _GlobalHandler(),
+    _DynamicHandler(),
+    _SkybandHandler(),
+    _ConstrainedHandler(),
+    _DiversifiedHandler(),
+):
+    register_kind(_handler)

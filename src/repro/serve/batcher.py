@@ -9,16 +9,22 @@ reaches ``max_batch`` *or* when the oldest parked query has waited
 ``max_delay`` seconds — whichever comes first.  Under load the size
 threshold dominates (big batches, amortized cost); when idle the timer
 bounds added latency to ``max_delay``.
+
+Queries carrying different specs (a constraint box, a diversify count)
+cannot share a vectorized batch, so pending queries are grouped by a
+hashable spec key: each group flushes as its own batch, plain queries
+(``spec=None``) coalesce exactly as before, and one shared timer bounds
+the wait of the oldest parked query across all groups.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Awaitable, Callable
+from typing import Any, Awaitable, Callable, Hashable
 
-#: Executes one coalesced batch; returns (results, generation_tag).
+#: Executes one coalesced batch (queries, spec) -> (results, generation).
 BatchRunner = Callable[
-    [list[tuple[float, ...]]],
+    [list[tuple[float, ...]], Hashable],
     Awaitable[tuple[list[tuple[int, ...]], str]],
 ]
 
@@ -29,15 +35,16 @@ class QueryBatcher:
     Parameters
     ----------
     run_batch:
-        Async callable answering one batch; its result tuple is
-        ``(results, generation)`` with ``results`` aligned to the
-        submitted order.  An exception rejects every parked future of
-        that batch (each caller sees the failure, none hang).
+        Async callable answering one batch: ``run_batch(queries, spec)``
+        returns ``(results, generation)`` with ``results`` aligned to
+        the submitted order.  An exception rejects every parked future
+        of that batch (each caller sees the failure, none hang).
     max_batch:
-        Flush as soon as this many queries are parked.
+        Flush a spec group as soon as this many of its queries are
+        parked.
     max_delay:
-        Flush this many seconds after the *first* query of a batch
-        parked, even if the batch is small.
+        Flush everything parked this many seconds after the *first*
+        query of the current accumulation parked, even if small.
     """
 
     def __init__(
@@ -51,9 +58,9 @@ class QueryBatcher:
         self._run_batch = run_batch
         self.max_batch = max_batch
         self.max_delay = max_delay
-        self._pending: list[
-            tuple[tuple[float, ...], asyncio.Future]
-        ] = []
+        self._pending: dict[
+            Hashable, list[tuple[tuple[float, ...], asyncio.Future]]
+        ] = {}
         self._timer: asyncio.TimerHandle | None = None
         # Telemetry: how the coalescing actually behaved under load.
         self.batches = 0
@@ -61,17 +68,24 @@ class QueryBatcher:
         self.size_flushes = 0
         self.timer_flushes = 0
         self.largest_batch = 0
+        self.spec_batches = 0
 
     async def submit(
-        self, query: tuple[float, ...]
+        self, query: tuple[float, ...], spec: Hashable = None
     ) -> tuple[tuple[int, ...], str]:
-        """Park one query; return ``(result, generation)`` when answered."""
+        """Park one query; return ``(result, generation)`` when answered.
+
+        ``spec`` is an opaque *hashable* grouping key forwarded to the
+        batch runner — queries coalesce only with queries of the same
+        spec.  ``None`` is the plain (unspecced) group.
+        """
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
-        self._pending.append((query, future))
-        if len(self._pending) >= self.max_batch:
+        group = self._pending.setdefault(spec, [])
+        group.append((query, future))
+        if len(group) >= self.max_batch:
             self.size_flushes += 1
-            self._flush_now(loop)
+            self._flush_group(loop, spec)
         elif self._timer is None:
             self._timer = loop.call_later(
                 self.max_delay, self._timer_fired, loop
@@ -82,26 +96,33 @@ class QueryBatcher:
         self._timer = None
         if self._pending:
             self.timer_flushes += 1
-            self._flush_now(loop)
+            for spec in list(self._pending):
+                self._flush_group(loop, spec)
 
-    def _flush_now(self, loop: asyncio.AbstractEventLoop) -> None:
-        if self._timer is not None:
+    def _flush_group(
+        self, loop: asyncio.AbstractEventLoop, spec: Hashable
+    ) -> None:
+        batch = self._pending.pop(spec, [])
+        if not batch:
+            return
+        if not self._pending and self._timer is not None:
             self._timer.cancel()
             self._timer = None
-        batch = self._pending
-        self._pending = []
         self.batches += 1
         self.queries += len(batch)
         self.largest_batch = max(self.largest_batch, len(batch))
-        loop.create_task(self._run(batch))
+        if spec is not None:
+            self.spec_batches += 1
+        loop.create_task(self._run(batch, spec))
 
     async def _run(
         self,
         batch: list[tuple[tuple[float, ...], asyncio.Future]],
+        spec: Hashable,
     ) -> None:
         queries = [query for query, _ in batch]
         try:
-            results, generation = await self._run_batch(queries)
+            results, generation = await self._run_batch(queries, spec)
             if len(results) != len(queries):
                 raise RuntimeError(
                     f"batch runner returned {len(results)} results "
@@ -119,7 +140,9 @@ class QueryBatcher:
     async def drain(self) -> None:
         """Flush anything parked and yield until the loop settles."""
         if self._pending:
-            self._flush_now(asyncio.get_running_loop())
+            loop = asyncio.get_running_loop()
+            for spec in list(self._pending):
+                self._flush_group(loop, spec)
         await asyncio.sleep(0)
 
     def stats(self) -> dict[str, Any]:
@@ -130,6 +153,7 @@ class QueryBatcher:
             "size_flushes": self.size_flushes,
             "timer_flushes": self.timer_flushes,
             "largest_batch": self.largest_batch,
+            "spec_batches": self.spec_batches,
             "mean_batch": (
                 round(self.queries / self.batches, 2) if self.batches else 0.0
             ),

@@ -58,10 +58,32 @@ def _worker_main(path: str, conn) -> None:
             return
         if item is None:
             return
-        task_id, queries = item
+        # Tasks are (task_id, queries) or (task_id, queries, spec) with
+        # spec = (box, diversify) for constrained/diversified serving.
+        task_id, queries = item[0], item[1]
+        spec = item[2] if len(item) > 2 else None
         try:
             snapshot = manager.refresh()
-            answers = snapshot.diagram.query_batch(queries)
+            diagram = snapshot.diagram
+            if spec is None:
+                answers = diagram.query_batch(queries)
+            else:
+                box, diversify = spec
+                if box is not None:
+                    lo, hi = box
+                    answers = diagram.kernel.query_batch_restricted(
+                        queries, lo, hi
+                    )
+                else:
+                    answers = diagram.query_batch(queries)
+                if diversify is not None:
+                    from repro.skyline.queries import diversified_select
+
+                    dataset = diagram.grid.dataset
+                    answers = [
+                        diversified_select(dataset, result, diversify)
+                        for result in answers
+                    ]
             reply = (task_id, "ok", snapshot.generation, answers)
         except Exception as exc:  # surface, don't kill the worker
             reply = (task_id, "error", None, f"{type(exc).__name__}: {exc}")
@@ -129,7 +151,7 @@ class SnapshotWorkerPool:
             self._procs.append(proc)
             self._conns.append(parent_conn)
 
-    def _dispatch(self, task: tuple[int, list]) -> None:
+    def _dispatch(self, task: tuple) -> None:
         """Round-robin the task to a live worker."""
         with self._send_lock:
             for _ in range(len(self._procs)):
@@ -159,8 +181,14 @@ class SnapshotWorkerPool:
         self,
         queries: list[tuple[float, ...]],
         timeout: float = 30.0,
+        spec: tuple | None = None,
     ) -> tuple[list[tuple[int, ...]], str]:
         """Answer one batch; return ``(results, generation_sha)``.
+
+        ``spec`` is an optional ``(box, diversify)`` pair the worker
+        applies on top of the snapshot diagram (box-restricted lookup,
+        diversified selection) — the serve-side counterpart of the
+        engine's constrained/diversified kinds.
 
         Blocks until a worker answers.  If no answer arrives promptly,
         dead workers are respawned and the batch resubmitted — a killed
@@ -171,10 +199,13 @@ class SnapshotWorkerPool:
         if self._closed:
             raise ServeError("pool is closed")
         task_id = next(self._task_ids)
+        task = (
+            (task_id, queries) if spec is None else (task_id, queries, spec)
+        )
         with self._cond:
             self._waiting.add(task_id)
         try:
-            self._dispatch((task_id, queries))
+            self._dispatch(task)
             deadline = time.monotonic() + timeout
             resubmit_at = time.monotonic() + min(1.0, timeout / 3)
             while True:
@@ -208,7 +239,7 @@ class SnapshotWorkerPool:
                             resubmit_at = now + min(1.0, timeout / 3)
                             if self.ensure_alive():
                                 # A worker died holding batches; retry.
-                                self._dispatch((task_id, queries))
+                                self._dispatch(task)
                 finally:
                     with self._cond:
                         self._draining = False

@@ -12,14 +12,28 @@ Protocol (one JSON object per line, newline terminated)::
     -> {"op": "query", "id": 1, "query": [4.0, 3.0]}
     <- {"id": 1, "result": [0, 2], "generation": "9f86d08..."}
 
-    -> {"op": "health", "id": 2}
-    <- {"id": 2, "health": {...pool/batcher/snapshot stats...}}
+    -> {"op": "query", "id": 2, "query": [4.0, 3.0],
+        "box": [[2.0, 0.0], [9.0, 9.0]], "diversify": 3}
+    <- {"id": 2, "result": [0], "generation": "9f86d08..."}
 
-    -> {"op": "shutdown", "id": 3}
-    <- {"id": 3, "ok": true}          (then the server drains and stops)
+    -> {"op": "health", "id": 3}
+    <- {"id": 3, "health": {...pool/batcher/snapshot stats...}}
+
+    -> {"op": "shutdown", "id": 4}
+    <- {"id": 4, "ok": true}          (then the server drains and stops)
+
+``box`` restricts the lookup to the closed ``[lo, hi]`` rectangle and
+``diversify`` post-selects a max-min diverse subset — the serve-side
+surface of the engine's ``constrained``/``diversified`` query kinds;
+both are validated through :class:`~repro.query.QuerySpec` before the
+query is ever batched.
 
 Malformed requests are answered with ``{"id": ..., "error": "..."}`` on
-the same connection; they never tear it down.
+the same connection; they never tear it down.  The one exception is a
+request line longer than ``max_line`` bytes: the client gets a single
+structured error and the connection closes (the oversized line cannot
+be framed, so nothing after it can be trusted) — ``readline`` is capped
+so one abusive client cannot buffer unbounded memory server-side.
 """
 
 from __future__ import annotations
@@ -29,7 +43,9 @@ import json
 import time
 from typing import Any
 
+from repro.errors import QueryError
 from repro.query.metrics import MetricsRegistry
+from repro.query.spec import QuerySpec
 from repro.serve.batcher import QueryBatcher
 from repro.serve.pool import SnapshotWorkerPool
 
@@ -56,13 +72,17 @@ class SkylineServer:
         max_delay: float = 0.002,
         pool: SnapshotWorkerPool | None = None,
         metrics: MetricsRegistry | None = None,
+        max_line: int = 1 << 20,
     ) -> None:
+        if max_line < 1:
+            raise ValueError(f"max_line must be >= 1, got {max_line}")
         self.snapshot_path = snapshot_path
         self.host = host
         self.port = port
         self.workers = workers
         self.max_batch = max_batch
         self.max_delay = max_delay
+        self.max_line = max_line
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._pool = pool
         self._owns_pool = pool is None
@@ -84,17 +104,20 @@ class SkylineServer:
                 ),
             )
 
-        async def run_batch(queries):
+        async def run_batch(queries, spec=None):
+            pool = self._pool
             return await loop.run_in_executor(
-                None, self._pool.query_batch, queries
+                None, lambda: pool.query_batch(queries, spec=spec)
             )
 
         self._batcher = QueryBatcher(
             run_batch, max_batch=self.max_batch, max_delay=self.max_delay
         )
         self._stopping = asyncio.Event()
+        # `limit` caps StreamReader buffering: readline() on a line
+        # longer than max_line raises instead of buffering the world.
         self._server = await asyncio.start_server(
-            self._handle_client, self.host, self.port
+            self._handle_client, self.host, self.port, limit=self.max_line
         )
         address = self._server.sockets[0].getsockname()
         self.host, self.port = address[0], address[1]
@@ -137,7 +160,27 @@ class SkylineServer:
         inflight: set[asyncio.Task] = set()
         try:
             while not reader.at_eof():
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Request line exceeded max_line.  The reader has
+                    # dropped the oversized data, so the stream can no
+                    # longer be framed: answer once, then hang up.
+                    self.requests += 1
+                    self.errors += 1
+                    self.metrics.record_rejected()
+                    async with write_lock:
+                        writer.write(
+                            json.dumps({
+                                "id": None,
+                                "error": (
+                                    "RequestTooLarge: request line over "
+                                    f"{self.max_line} bytes"
+                                ),
+                            }).encode() + b"\n"
+                        )
+                        await writer.drain()
+                    break
                 if not line:
                     break
                 task = asyncio.create_task(
@@ -187,8 +230,11 @@ class SkylineServer:
             op = request.get("op", "query")
             if op == "query":
                 query = tuple(float(c) for c in request["query"])
+                spec = self._request_spec(request, len(query))
                 started = time.monotonic()
-                result, generation = await self._batcher.submit(query)
+                result, generation = await self._batcher.submit(
+                    query, spec=spec
+                )
                 self.metrics.observe_serving(
                     generation, time.monotonic() - started
                 )
@@ -204,10 +250,34 @@ class SkylineServer:
             raise ValueError(f"unknown op {op!r}")
         except Exception as exc:
             self.errors += 1
+            if isinstance(exc, QueryError):
+                self.metrics.record_rejected()
             return {
                 "id": request_id,
                 "error": f"{type(exc).__name__}: {exc}",
             }
+
+    @staticmethod
+    def _request_spec(
+        request: dict[str, Any], dim: int
+    ) -> tuple[Any, Any] | None:
+        """Validate a request's box/diversify into a batcher spec key.
+
+        Returns ``None`` for plain queries (so they coalesce exactly as
+        before) or a hashable ``(box, diversify)`` pair — the grouping
+        key the batcher uses and the payload the pool workers apply.
+        Validation runs through :class:`QuerySpec`, so malformed boxes
+        raise the same typed errors the engine would.
+        """
+        box = request.get("box")
+        diversify = request.get("diversify")
+        if box is None and diversify is None:
+            return None
+        kind = "constrained" if box is not None else "diversified"
+        spec = QuerySpec(
+            kind=kind, box=box, diversify=diversify
+        ).validated(dim)
+        return (spec.box, spec.diversify)
 
     def health(self) -> dict[str, Any]:
         """JSON-ready server/pool/batcher state plus serving metrics.
@@ -222,6 +292,7 @@ class SkylineServer:
             "snapshot": self.snapshot_path,
             "requests": self.requests,
             "errors": self.errors,
+            "rejected": self.metrics.rejected_count(),
             "pool": self._pool.stats() if self._pool else None,
             "batcher": self._batcher.stats() if self._batcher else None,
             "metrics": self.metrics.snapshot(),
@@ -236,6 +307,7 @@ async def serve_forever(
     max_batch: int = 64,
     max_delay: float = 0.002,
     ready: asyncio.Event | None = None,
+    max_line: int = 1 << 20,
 ) -> None:
     """Run a :class:`SkylineServer` until a client requests shutdown."""
     server = SkylineServer(
@@ -245,6 +317,7 @@ async def serve_forever(
         workers=workers,
         max_batch=max_batch,
         max_delay=max_delay,
+        max_line=max_line,
     )
     bound_host, bound_port = await server.start()
     print(f"serving {snapshot_path} on {bound_host}:{bound_port} "

@@ -117,8 +117,10 @@ def skyline_bnl(points, window_size: int | None = None) -> tuple[int, ...]:
     confirmed: list[int] = []
     while remaining:
         window: list[int] = []
+        entered_at: dict[int, int] = {}
         overflow: list[int] = []
-        for i in remaining:
+        first_overflow: int | None = None
+        for order, i in enumerate(remaining):
             p = pts[i]
             dominated = False
             survivors: list[int] = []
@@ -134,17 +136,26 @@ def skyline_bnl(points, window_size: int | None = None) -> tuple[int, ...]:
             window = survivors
             if window_size is not None and len(window) >= window_size:
                 overflow.append(i)
+                if first_overflow is None:
+                    first_overflow = order
             else:
                 window.append(i)
-        # Window members were compared against every point of this pass, so
-        # they are globally undominated among `remaining` — confirm them.
-        confirmed.extend(window)
-        remaining = overflow
-        if overflow and window_size is not None:
+                entered_at[i] = order
+        # A window member is only guaranteed globally undominated if it was
+        # compared against every point of this pass — i.e. it entered the
+        # window before the first point overflowed.  Later entrants never met
+        # the overflow points, so they go back into the next pass.
+        if first_overflow is None:
+            confirmed.extend(window)
+            remaining = []
+        else:
+            safe = [w for w in window if entered_at[w] < first_overflow]
+            confirmed.extend(safe)
+            carry = [w for w in window if entered_at[w] >= first_overflow]
             # Overflow points still need to beat confirmed points next pass.
             remaining = [
                 i
-                for i in overflow
+                for i in carry + overflow
                 if not any(dominates(pts[c], pts[i]) for c in confirmed)
             ]
     return tuple(sorted(confirmed))

@@ -173,6 +173,112 @@ def quadrant_skyband(
     return tuple(result)
 
 
+def constrained_skyband(
+    points,
+    query: Sequence[float],
+    k: int = 1,
+    mask: int = 0,
+    box: tuple[Sequence[float], Sequence[float]] | None = None,
+) -> tuple[int, ...]:
+    """Quadrant k-skyband restricted to a closed axis-aligned box.
+
+    Candidates must lie in the query's quadrant *and* inside
+    ``box = (lo, hi)`` (closed on every face: ``lo_d <= p_d <= hi_d``).
+    Dominator counts are taken among that candidate set, so ``k=1`` is
+    the constrained skyline of SNIPPETS' ``skyline_constrained``.  With
+    ``box=None`` this degenerates to :func:`quadrant_skyband`.
+
+    This is the ground-truth oracle for the ``constrained`` query kind;
+    the diagram path must byte-agree with it.
+
+    >>> pts = [(1, 4), (2, 2), (4, 1)]
+    >>> constrained_skyband(pts, (0, 0), box=((2, 0), (9, 9)))
+    (1, 2)
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    pts = _coords(points)
+    query = tuple(float(c) for c in query)
+    dim = len(query)
+    if box is None:
+        lo = hi = None
+    else:
+        lo = tuple(float(c) for c in box[0])
+        hi = tuple(float(c) for c in box[1])
+    candidates: list[int] = []
+    mapped: list[tuple[float, ...]] = []
+    for i, p in enumerate(pts):
+        keep = True
+        for d in range(dim):
+            if lo is not None and hi is not None and not lo[d] <= p[d] <= hi[d]:
+                keep = False
+                break
+            diff = p[d] - query[d]
+            if mask & (1 << d):
+                if diff > 0:
+                    keep = False
+                    break
+            elif diff < 0:
+                keep = False
+                break
+        if keep:
+            candidates.append(i)
+            mapped.append(map_point_to_query(p, query))
+    result = []
+    for a, pid in enumerate(candidates):
+        dominators = sum(
+            1 for b in range(len(candidates)) if dominates(mapped[b], mapped[a])
+        )
+        if dominators < k:
+            result.append(pid)
+    return tuple(result)
+
+
+def diversified_select(
+    points, candidate_ids: Sequence[int], limit: int
+) -> tuple[int, ...]:
+    """Pick at most ``limit`` candidates by greedy max-min diversification.
+
+    Diversity is measured in value space (squared Euclidean distance
+    between the points themselves).  Fully deterministic: the seed is
+    the lowest candidate id, each round adds the candidate maximizing
+    its distance to the nearest already-selected point, and distance
+    ties break toward the lower id.  Candidate sets of size ``<= limit``
+    are returned whole.  Output is a sorted id tuple.
+
+    Both the diagram tier and the scratch oracle call this same
+    function on their (identical) skyband results, so diversified
+    answers byte-agree across tiers by construction.
+
+    >>> diversified_select([(0, 0), (1, 1), (9, 9)], (0, 1, 2), 2)
+    (0, 2)
+    """
+    limit = int(limit)
+    if limit < 1:
+        raise ValueError(f"limit must be >= 1, got {limit}")
+    ids = sorted(int(i) for i in candidate_ids)
+    if len(ids) <= limit:
+        return tuple(ids)
+    pts = _coords(points)
+
+    def sq_dist(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+        return sum((a[d] - b[d]) ** 2 for d in range(len(a)))
+
+    selected = [ids[0]]
+    rest = ids[1:]
+    # Min squared distance from each remaining candidate to the selection.
+    gap = {i: sq_dist(pts[i], pts[ids[0]]) for i in rest}
+    while len(selected) < limit:
+        best = max(rest, key=lambda i: (gap[i], -i))
+        selected.append(best)
+        rest.remove(best)
+        for i in rest:
+            d = sq_dist(pts[i], pts[best])
+            if d < gap[i]:
+                gap[i] = d
+    return tuple(sorted(selected))
+
+
 def is_skyline_member(points, query: Sequence[float], target: int) -> bool:
     """True iff point ``target`` is in the dynamic skyline of ``query``.
 

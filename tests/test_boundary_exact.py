@@ -91,6 +91,119 @@ class TestLookupEqualsScratchOnBoundaries:
             ], (pts, mask)
 
 
+def _boundary_boxes(db: SkylineDatabase):
+    """Constraint boxes whose faces sit exactly on grid lines."""
+    xs, ys = SubcellGrid(db.dataset).axes
+    full = ((xs[0], ys[0]), (xs[-1], ys[-1]))
+    half = ((xs[len(xs) // 2], ys[0]), (xs[-1], ys[len(ys) // 2]))
+    line = ((xs[0], ys[0]), (xs[0], ys[-1]))  # degenerate: zero width
+    return [
+        tuple(tuple(float(c) for c in corner) for corner in box)
+        for box in (full, half, line)
+    ]
+
+
+def _brute_constrained(points, query, k, mask, box):
+    """Independent O(n^2) oracle for the constrained k-skyband."""
+    lo, hi = box
+    dim = len(query)
+    cands = []
+    for i, p in enumerate(points):
+        ok = all(lo[d] <= p[d] <= hi[d] for d in range(dim)) and all(
+            p[d] <= query[d] if mask >> d & 1 else p[d] >= query[d]
+            for d in range(dim)
+        )
+        if ok:
+            cands.append((i, tuple(abs(p[d] - query[d]) for d in range(dim))))
+    kept = []
+    for i, mi in cands:
+        dominators = sum(
+            1
+            for _, mj in cands
+            if mj != mi and all(a <= b for a, b in zip(mj, mi))
+        )
+        if dominators < k:
+            kept.append(i)
+    return tuple(kept)
+
+
+class TestConstrainedDiversifiedBoundaries:
+    """Every mask orientation x k in {1,2,3}, on measure-zero queries.
+
+    Box faces coincide with grid lines and data coordinates, and the
+    queries sit on vertices/edges/data points, so every closed-boundary
+    decision (box face, quadrant edge, skyband tie) is exercised at
+    once.  The engine path covers the combinations its diagrams admit
+    (any mask at k=1, any k at mask 0); the from-scratch path is pinned
+    against an independent brute-force oracle for *all* mask x k
+    combinations, reflected skybands included.
+    """
+
+    @given(points_2d(max_size=5))
+    @settings(max_examples=10, deadline=None)
+    def test_constrained_every_mask_and_k(self, pts):
+        db = SkylineDatabase(pts)
+        boxes = _boundary_boxes(db)[:2]
+        for q in _boundary_queries(db, limit=4):
+            for box in boxes:
+                for mask in range(4):
+                    for k in (1, 2, 3):
+                        expected = _brute_constrained(
+                            db.dataset, q, k, mask, box
+                        )
+                        assert db.query_from_scratch(
+                            q, kind="constrained", mask=mask, k=k, box=box
+                        ) == expected, (pts, q, mask, k, box)
+                        if k == 1 or mask == 0:
+                            assert db.query(
+                                q, kind="constrained",
+                                mask=mask, k=k, box=box,
+                            ) == expected, (pts, q, mask, k, box)
+
+    @given(points_2d(max_size=5))
+    @settings(max_examples=10, deadline=None)
+    def test_degenerate_box_on_boundaries(self, pts):
+        # A zero-width box lying exactly on a grid line: the closed
+        # semantics must keep points *on* the line, on every mask.
+        db = SkylineDatabase(pts)
+        box = _boundary_boxes(db)[2]
+        for q in _boundary_queries(db, limit=6):
+            for mask in range(4):
+                assert db.query(
+                    q, kind="constrained", mask=mask, box=box
+                ) == db.query_from_scratch(
+                    q, kind="constrained", mask=mask, box=box
+                ), (pts, q, mask)
+
+    @given(points_2d(max_size=5), st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_diversified_on_boundaries(self, pts, m):
+        db = SkylineDatabase(pts)
+        for q in _boundary_queries(db, limit=6):
+            for k in (1, 2, 3):
+                assert db.query(
+                    q, kind="diversified", k=k, diversify=m
+                ) == db.query_from_scratch(
+                    q, kind="diversified", k=k, diversify=m
+                ), (pts, q, k, m)
+
+    @given(points_2d(max_size=5))
+    @settings(max_examples=10, deadline=None)
+    def test_spec_batch_matches_per_query_on_boundaries(self, pts):
+        db = SkylineDatabase(pts)
+        queries = _boundary_queries(db, limit=6)
+        box = _boundary_boxes(db)[1]
+        for kwargs in (
+            dict(kind="constrained", box=box),
+            dict(kind="constrained", mask=3, box=box),
+            dict(kind="constrained", k=2, box=box, diversify=2),
+            dict(kind="diversified", k=2, diversify=2),
+        ):
+            assert db.query_batch(queries, **kwargs) == [
+                db.query(q, **kwargs) for q in queries
+            ], (pts, kwargs)
+
+
 class TestBatchEdgeCases:
     @pytest.mark.parametrize("kind", KINDS)
     def test_empty_batch(self, kind):

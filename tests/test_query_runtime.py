@@ -157,9 +157,15 @@ class TestPlannerParity:
     def test_batch_equals_singles_everywhere(self):
         db = SkylineDatabase(POINTS)
         queries = boundary_heavy_queries(POINTS)
+        # The registry's new kinds require their spec parameters.
+        params = {
+            "constrained": {"box": ((3.0, 2.0), (9.0, 7.0))},
+            "diversified": {"k": 2, "diversify": 2},
+        }
         for kind in KINDS:
-            assert db.query_batch(queries, kind=kind) == [
-                db.query(q, kind=kind) for q in queries
+            kwargs = params.get(kind, {})
+            assert db.query_batch(queries, kind=kind, **kwargs) == [
+                db.query(q, kind=kind, **kwargs) for q in queries
             ]
 
     @pytest.mark.parametrize("kind", ["quadrant", "dynamic", "skyband"])

@@ -1,0 +1,341 @@
+"""QuerySpec: the composable plan space and its new query kinds.
+
+The contract under test (ISSUE PR 9): every query is a validated,
+frozen :class:`~repro.query.QuerySpec`; per-kind handlers in a registry
+own planning and validation; the ``constrained`` (closed-box) and
+``diversified`` (max-min selection) kinds compose with masks and
+skyband widths; answers byte-agree with from-scratch evaluation on
+every tier of the degradation ladder; and rejected requests are
+counted, not silently dropped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.errors import DimensionalityError, QueryError
+from repro.index.engine import SkylineDatabase
+from repro.query import KINDS, QuerySpec, handler_for, registered_kinds
+from repro.query.spec import box_filter, check_box, restrict_coords
+from repro.resilience import BuildBudget
+from repro.skyline.queries import (
+    constrained_skyband,
+    diversified_select,
+    quadrant_skyline,
+)
+
+POINTS = [
+    (1.0, 8.0), (3.0, 5.0), (5.0, 5.0),
+    (7.0, 2.0), (2.0, 2.0), (5.0, 5.0),  # duplicate on purpose
+]
+BOX = ((2.0, 2.0), (6.0, 6.0))  # faces on data coordinates on purpose
+QUERIES = [
+    (0.0, 0.0),
+    (2.0, 2.0),   # exactly on a box corner AND a data point
+    (6.0, 5.0),   # on the hi face
+    (4.0, 9.0),
+    (9.5, 9.5),
+]
+
+
+# ----------------------------------------------------------------------
+# The spec itself: validation, normalization, canonical keys
+# ----------------------------------------------------------------------
+class TestSpecValidation:
+    def test_registry_serves_every_kind(self):
+        assert registered_kinds() == KINDS
+        assert set(KINDS) == {
+            "quadrant", "global", "dynamic", "skyband",
+            "constrained", "diversified",
+        }
+        for kind in KINDS:
+            assert handler_for(kind).kind == kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(QueryError, match="unknown query kind"):
+            handler_for("voronoi")
+        db = SkylineDatabase(POINTS)
+        with pytest.raises(QueryError, match="unknown query kind"):
+            db.query(QUERIES[0], kind="voronoi")
+
+    def test_plain_kinds_reject_box_with_pointer(self):
+        for kind in ("quadrant", "global", "dynamic", "skyband"):
+            with pytest.raises(QueryError, match="use kind='constrained'"):
+                QuerySpec(kind=kind, box=BOX).validated(2)
+
+    def test_plain_kinds_reject_diversify_with_pointer(self):
+        for kind in ("quadrant", "global", "dynamic", "skyband"):
+            with pytest.raises(QueryError, match="use kind='diversified'"):
+                QuerySpec(kind=kind, diversify=2).validated(2)
+
+    def test_constrained_requires_box(self):
+        with pytest.raises(QueryError, match="requires a .lo, hi. box"):
+            QuerySpec(kind="constrained").validated(2)
+
+    def test_diversified_requires_count(self):
+        with pytest.raises(QueryError, match="requires a diversify count"):
+            QuerySpec(kind="diversified").validated(2)
+
+    @pytest.mark.parametrize(
+        "box",
+        [
+            ((3.0, 0.0), (1.0, 9.0)),          # lo > hi on one axis
+            ((0.0,), (1.0,)),                   # wrong dimensionality
+            ((0.0, 0.0, 0.0), (1.0, 1.0, 1.0)),
+            ((float("nan"), 0.0), (1.0, 1.0)),  # NaN corner
+            (1.0, 2.0),                         # corners are not points
+            ((0.0, 0.0),),                      # not a (lo, hi) pair
+        ],
+    )
+    def test_malformed_boxes(self, box):
+        with pytest.raises(QueryError):
+            QuerySpec(kind="constrained", box=box).validated(2)
+
+    def test_degenerate_box_is_legal(self):
+        spec = QuerySpec(
+            kind="constrained", box=((3.0, 5.0), (3.0, 5.0))
+        ).validated(2)
+        assert spec.box == ((3.0, 5.0), (3.0, 5.0))
+
+    def test_bad_mask_k_diversify(self):
+        with pytest.raises(QueryError, match="mask"):
+            QuerySpec(kind="quadrant", mask=4).validated(2)
+        with pytest.raises(QueryError, match="mask"):
+            QuerySpec(kind="quadrant", mask=-1).validated(2)
+        with pytest.raises(QueryError, match="k must be"):
+            QuerySpec(kind="skyband", k=0).validated(2)
+        with pytest.raises(QueryError, match="diversify"):
+            QuerySpec(kind="diversified", k=2, diversify=0).validated(2)
+
+    def test_band_with_reflected_mask_is_rejected(self):
+        # Skyband diagrams exist for the first quadrant only.
+        with pytest.raises(QueryError, match="requires mask=0"):
+            QuerySpec(kind="constrained", mask=1, k=2, box=BOX).validated(2)
+
+    def test_plain_kinds_normalize_ignored_fields(self):
+        # Historical behavior, preserved: quadrant ignores k, global and
+        # skyband ignore the mask — normalized, not errors.
+        assert QuerySpec(kind="quadrant", k=5).validated(2).k == 1
+        spec = QuerySpec(kind="global", mask=3, k=7).validated(2)
+        assert (spec.mask, spec.k) == (0, 1)
+        assert QuerySpec(kind="skyband", mask=2, k=2).validated(2).mask == 0
+
+    def test_cache_key_is_canonical(self):
+        a = QuerySpec(kind="constrained", box=BOX, k=2).validated(2)
+        b = QuerySpec(
+            kind="constrained", box=(list(BOX[0]), list(BOX[1])), k=2
+        ).validated(2)
+        assert a.cache_key() == b.cache_key()
+        c = QuerySpec(kind="constrained", box=BOX, k=3).validated(2)
+        assert a.cache_key() != c.cache_key()
+        assert a.cache_key() != QuerySpec(kind="skyband", k=2).cache_key()
+
+    def test_spec_is_frozen_and_hashable(self):
+        spec = QuerySpec(kind="constrained", box=BOX).validated(2)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.k = 3
+        assert hash(spec) == hash(
+            QuerySpec(kind="constrained", box=BOX).validated(2)
+        )
+
+    def test_of_passes_existing_spec_through(self):
+        spec = QuerySpec(kind="skyband", k=2)
+        assert QuerySpec.of(spec) is spec
+        assert QuerySpec.of("skyband", k=2) == spec
+
+    def test_restrict_and_filter_helpers(self):
+        # Normal axes clamp up to lo; reflected axes clamp down to hi.
+        assert restrict_coords((0.0, 9.0), BOX, mask=0) == (2.0, 9.0)
+        assert restrict_coords((9.0, 9.0), BOX, mask=1) == (6.0, 9.0)
+        # NaN must survive the clamp so the kernel's typed check fires.
+        adjusted = restrict_coords((float("nan"), 0.0), BOX, mask=0)
+        assert math.isnan(adjusted[0])
+        # The filter is one-sided: it drops only far-face violations
+        # (the near side is absorbed into restrict_coords).
+        pts = [(1.0, 3.0), (3.0, 3.0), (7.0, 3.0)]
+        assert box_filter(pts, (0, 1, 2), BOX, mask=0) == (0, 1)
+        assert box_filter(pts, (0, 1, 2), BOX, mask=1) == (1, 2)
+        assert check_box(BOX, 2) == BOX
+
+
+# ----------------------------------------------------------------------
+# Tier parity: diagram == partial/scratch ladder == from-scratch oracle
+# ----------------------------------------------------------------------
+def _dbs():
+    healthy = SkylineDatabase(POINTS)
+    degraded = SkylineDatabase(POINTS, budget=BuildBudget(max_cells=1))
+    return healthy, degraded
+
+
+class TestTierParity:
+    def test_constrained_every_mask(self):
+        healthy, degraded = _dbs()
+        for db in (healthy, degraded):
+            for mask in range(4):
+                for q in QUERIES:
+                    expected = db.query_from_scratch(
+                        q, kind="constrained", mask=mask, box=BOX
+                    )
+                    assert db.query(
+                        q, kind="constrained", mask=mask, box=BOX
+                    ) == expected, (mask, q)
+                    assert expected == constrained_skyband(
+                        POINTS, q, 1, mask, BOX
+                    )
+
+    def test_constrained_skyband_widths(self):
+        healthy, degraded = _dbs()
+        for db in (healthy, degraded):
+            for k in (1, 2, 3):
+                for q in QUERIES:
+                    assert db.query(
+                        q, kind="constrained", k=k, box=BOX
+                    ) == db.query_from_scratch(
+                        q, kind="constrained", k=k, box=BOX
+                    ), (k, q)
+
+    def test_diversified(self):
+        healthy, degraded = _dbs()
+        for db in (healthy, degraded):
+            for k in (1, 2):
+                for m in (1, 2, 3):
+                    for q in QUERIES:
+                        got = db.query(
+                            q, kind="diversified", k=k, diversify=m
+                        )
+                        assert got == db.query_from_scratch(
+                            q, kind="diversified", k=k, diversify=m
+                        ), (k, m, q)
+                        assert len(got) <= m
+
+    def test_diversified_selects_max_min_subset(self):
+        db = SkylineDatabase(POINTS)
+        q = (0.0, 0.0)
+        band = db.query(q, kind="skyband", k=3)
+        got = db.query(q, kind="diversified", k=3, diversify=2)
+        assert got == diversified_select(POINTS, band, 2)
+        assert set(got) <= set(band)
+
+    def test_combined_box_band_diversify(self):
+        healthy, degraded = _dbs()
+        for db in (healthy, degraded):
+            for q in QUERIES:
+                kwargs = dict(kind="constrained", k=2, box=BOX, diversify=2)
+                assert db.query(q, **kwargs) == db.query_from_scratch(
+                    q, **kwargs
+                ), q
+
+    def test_batch_equals_singles_for_spec_kinds(self):
+        healthy, degraded = _dbs()
+        for db in (healthy, degraded):
+            for kwargs in (
+                dict(kind="constrained", box=BOX),
+                dict(kind="constrained", mask=3, box=BOX),
+                dict(kind="constrained", k=2, box=BOX, diversify=2),
+                dict(kind="diversified", k=2, diversify=2),
+            ):
+                assert db.query_batch(QUERIES, **kwargs) == [
+                    db.query(q, **kwargs) for q in QUERIES
+                ], kwargs
+
+    def test_spec_object_equals_keyword_form(self):
+        db = SkylineDatabase(POINTS)
+        spec = QuerySpec(kind="constrained", k=2, box=BOX, diversify=2)
+        for q in QUERIES:
+            assert db.query(q, spec=spec) == db.query(
+                q, kind="constrained", k=2, box=BOX, diversify=2
+            )
+        assert db.query_batch(QUERIES, spec=spec) == db.query_batch(
+            QUERIES, kind="constrained", k=2, box=BOX, diversify=2
+        )
+        assert db.query_many(QUERIES, spec=spec) == db.query_batch(
+            QUERIES, spec=spec
+        )
+
+    def test_tier_reporting(self):
+        healthy, degraded = _dbs()
+        a = healthy.query_annotated(QUERIES[0], kind="constrained", box=BOX)
+        assert a.served_from == "diagram"
+        assert a.query_report.tier == "diagram"
+        b = degraded.query_annotated(QUERIES[0], kind="constrained", box=BOX)
+        assert b.served_from != "diagram"
+        assert b.result == a.result
+
+    def test_full_span_box_degenerates_to_plain_quadrant(self):
+        db = SkylineDatabase(POINTS)
+        span = ((1.0, 2.0), (7.0, 8.0))  # exact dataset extent, closed
+        for q in QUERIES:
+            assert db.query(q, kind="constrained", box=span) == db.query(
+                q, kind="quadrant"
+            ), q
+            assert db.query(q, kind="quadrant") == quadrant_skyline(
+                POINTS, q
+            )
+
+    def test_empty_box_answers_empty(self):
+        db = SkylineDatabase(POINTS)
+        nowhere = ((100.0, 100.0), (200.0, 200.0))
+        for q in QUERIES:
+            assert db.query(q, kind="constrained", box=nowhere) == ()
+
+
+# ----------------------------------------------------------------------
+# Scratch stays dimension-permissive; the diagram path does not
+# ----------------------------------------------------------------------
+class TestScratchDimensionality:
+    POINTS_3D = [(1.0, 2.0, 3.0), (3.0, 1.0, 2.0), (2.0, 3.0, 1.0)]
+
+    def test_dynamic_3d_scratch_works_diagram_refuses(self):
+        db = SkylineDatabase(self.POINTS_3D)
+        q = (2.0, 2.0, 2.0)
+        assert db.query_from_scratch(q, kind="dynamic") != ()
+        with pytest.raises(DimensionalityError):
+            db.query(q, kind="dynamic")
+
+    def test_constrained_3d_scratch_matches_oracle(self):
+        db = SkylineDatabase(self.POINTS_3D)
+        box = ((1.0, 1.0, 1.0), (3.0, 3.0, 3.0))
+        q = (0.0, 0.0, 0.0)
+        for mask in (0, 5):
+            assert db.query_from_scratch(
+                q, kind="constrained", mask=mask, box=box
+            ) == constrained_skyband(self.POINTS_3D, q, 1, mask, box)
+
+
+# ----------------------------------------------------------------------
+# Rejected requests are counted
+# ----------------------------------------------------------------------
+class TestRejectionMetrics:
+    def test_query_errors_increment_the_counter(self):
+        db = SkylineDatabase(POINTS)
+        assert db.metrics.rejected_count() == 0
+        for bad in (
+            lambda: db.query(QUERIES[0], kind="voronoi"),
+            lambda: db.query(QUERIES[0], kind="quadrant", box=BOX),
+            lambda: db.query(QUERIES[0], kind="constrained"),
+            lambda: db.query_batch(QUERIES, kind="quadrant", mask=9),
+            lambda: db.query_from_scratch(
+                QUERIES[0], kind="constrained",
+                box=((5.0, 5.0), (1.0, 1.0)),
+            ),
+        ):
+            with pytest.raises(QueryError):
+                bad()
+        assert db.metrics.rejected_count() == 5
+        assert db.health()["rejected"] == 5
+
+    def test_successful_queries_do_not_count(self):
+        db = SkylineDatabase(POINTS)
+        db.query(QUERIES[0], kind="constrained", box=BOX)
+        db.query_batch(QUERIES, kind="diversified", diversify=2)
+        assert db.metrics.rejected_count() == 0
+        assert "rejected_requests" not in db.metrics.snapshot()["counters"]
+
+    def test_rejections_survive_in_snapshot_counters(self):
+        db = SkylineDatabase(POINTS)
+        with pytest.raises(QueryError):
+            db.query(QUERIES[0], kind="skyband", k=0)
+        assert db.metrics.snapshot()["counters"]["rejected_requests"] == 1

@@ -199,7 +199,7 @@ class TestQueryBatcher:
         async def scenario():
             calls = []
 
-            async def run_batch(queries):
+            async def run_batch(queries, spec=None):
                 calls.append(list(queries))
                 return [tuple(int(c) for c in q) for q in queries], "gen"
 
@@ -221,7 +221,7 @@ class TestQueryBatcher:
 
     def test_timer_flush_bounds_latency_for_small_batches(self):
         async def scenario():
-            async def run_batch(queries):
+            async def run_batch(queries, spec=None):
                 return list(queries), "gen"
 
             batcher = QueryBatcher(run_batch, max_batch=64, max_delay=0.005)
@@ -237,7 +237,7 @@ class TestQueryBatcher:
 
     def test_batch_failure_rejects_every_parked_future(self):
         async def scenario():
-            async def run_batch(queries):
+            async def run_batch(queries, spec=None):
                 raise RuntimeError("backend down")
 
             batcher = QueryBatcher(run_batch, max_batch=2, max_delay=60.0)
@@ -254,7 +254,7 @@ class TestQueryBatcher:
 
     def test_length_mismatch_is_an_error(self):
         async def scenario():
-            async def run_batch(queries):
+            async def run_batch(queries, spec=None):
                 return [], "gen"  # wrong arity
 
             batcher = QueryBatcher(run_batch, max_batch=1)
@@ -265,7 +265,7 @@ class TestQueryBatcher:
 
     def test_rejects_nonpositive_max_batch(self):
         with pytest.raises(ValueError, match="max_batch"):
-            QueryBatcher(lambda queries: None, max_batch=0)
+            QueryBatcher(lambda queries, spec=None: None, max_batch=0)
 
 
 # ----------------------------------------------------------------------
@@ -387,3 +387,145 @@ class TestSkylineServer:
                 await server.stop()
 
         self._run(scenario())
+
+    def test_oversized_request_line_is_capped(self, tmp_path):
+        # Satellite of ISSUE PR 9: readline() must not buffer an
+        # unbounded request line.  One abusive line gets a structured
+        # error, is counted as rejected, and closes the connection
+        # (nothing after an unframeable line can be trusted).
+        _, path = _snapshot(tmp_path, POINTS_A)
+
+        async def scenario():
+            server = SkylineServer(
+                path, workers=1, max_delay=0.001, max_line=256
+            )
+            host, port = await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b'{"op": "query", "pad": "' + b"x" * 4096)
+                writer.write(b'"}\n')
+                await writer.drain()
+                reply = json.loads(
+                    await asyncio.wait_for(reader.readline(), timeout=30.0)
+                )
+                assert "RequestTooLarge" in reply["error"]
+                assert reply["id"] is None
+                # The connection is gone: EOF, not another reply.
+                tail = await asyncio.wait_for(reader.read(), timeout=30.0)
+                assert tail == b""
+                writer.close()
+                assert server.errors == 1
+                assert server.metrics.rejected_count() == 1
+                assert server.health()["rejected"] == 1
+
+                # A fresh connection with a sane line still answers.
+                reader2, writer2 = await asyncio.open_connection(host, port)
+                reply2 = await self._request(
+                    reader2, writer2,
+                    {"op": "query", "id": 1, "query": list(QUERIES[0])},
+                )
+                assert "result" in reply2
+                writer2.close()
+            finally:
+                await server.stop()
+
+        self._run(scenario())
+
+    def test_rejects_nonpositive_max_line(self, tmp_path):
+        _, path = _snapshot(tmp_path, POINTS_A)
+        with pytest.raises(ValueError, match="max_line"):
+            SkylineServer(path, max_line=0)
+
+    def test_box_and_diversify_requests(self, tmp_path):
+        from repro.skyline.queries import diversified_select
+
+        diagram, path = _snapshot(tmp_path, POINTS_A)
+        box = ((3.0, 0.0), (9.0, 9.0))
+        lo, hi = box
+
+        async def scenario():
+            server = SkylineServer(path, workers=1, max_delay=0.001)
+            host, port = await server.start()
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                q = (0.0, 0.0)
+                constrained = await self._request(
+                    reader, writer,
+                    {"op": "query", "id": 1, "query": list(q),
+                     "box": [list(lo), list(hi)]},
+                )
+                assert tuple(constrained["result"]) == (
+                    diagram.kernel.query_restricted(q, lo, hi)
+                )
+                diversified = await self._request(
+                    reader, writer,
+                    {"op": "query", "id": 2, "query": list(q),
+                     "diversify": 1},
+                )
+                assert tuple(diversified["result"]) == diversified_select(
+                    POINTS_A, diagram.query(q), 1
+                )
+                combined = await self._request(
+                    reader, writer,
+                    {"op": "query", "id": 3, "query": list(q),
+                     "box": [list(lo), list(hi)], "diversify": 1},
+                )
+                assert tuple(combined["result"]) == diversified_select(
+                    POINTS_A, diagram.kernel.query_restricted(q, lo, hi), 1
+                )
+                # Specced queries coalesce into their own batches.
+                assert server._batcher.stats()["spec_batches"] >= 3
+
+                # A malformed box is a per-request error: counted as
+                # rejected, connection intact.
+                bad = await self._request(
+                    reader, writer,
+                    {"op": "query", "id": 4, "query": list(q),
+                     "box": [[9.0, 9.0], [0.0, 0.0]]},
+                )
+                assert "error" in bad
+                assert server.metrics.rejected_count() == 1
+                follow_up = await self._request(
+                    reader, writer,
+                    {"op": "query", "id": 5, "query": list(q)},
+                )
+                assert tuple(follow_up["result"]) == diagram.query(q)
+                writer.close()
+            finally:
+                await server.stop()
+
+        self._run(scenario())
+
+
+class TestBatcherSpecGroups:
+    def test_specs_flush_as_separate_batches(self):
+        async def scenario():
+            seen = []
+
+            async def run_batch(queries, spec=None):
+                seen.append((tuple(queries), spec))
+                return [(0,) for _ in queries], "gen"
+
+            batcher = QueryBatcher(run_batch, max_batch=64, max_delay=60.0)
+            plain = [
+                asyncio.ensure_future(batcher.submit((float(i), 0.0)))
+                for i in range(3)
+            ]
+            spec = ((((1.0, 1.0), (2.0, 2.0)), None))
+            specced = [
+                asyncio.ensure_future(
+                    batcher.submit((float(i), 1.0), spec=spec)
+                )
+                for i in range(2)
+            ]
+            await batcher.drain()
+            await asyncio.gather(*plain, *specced)
+            assert len(seen) == 2  # one batch per spec group
+            by_spec = {s: qs for qs, s in seen}
+            assert len(by_spec[None]) == 3
+            assert len(by_spec[spec]) == 2
+            stats = batcher.stats()
+            assert stats["batches"] == 2
+            assert stats["spec_batches"] == 1
+
+        asyncio.run(scenario())

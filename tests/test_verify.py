@@ -110,9 +110,20 @@ class TestDifferentialHarness:
     def test_every_check_family_exercised(self):
         report = differential_verify(seed=1, budget=400, max_points=6)
         assert set(report.by_check) == {
-            "pair", "lookup", "batch", "degraded", "runtime", "maintenance",
+            "pair", "lookup", "batch", "degraded", "runtime",
+            "maintenance", "spec",
         }
         assert all(count > 0 for count in report.by_check.values())
+
+    def test_families_filter_restricts_the_run(self):
+        report = differential_verify(
+            seed=1, budget=60, max_points=6, families=("spec",)
+        )
+        assert report.ok
+        assert set(report.by_check) == {"spec"}
+        assert report.cases == 60
+        with pytest.raises(ValueError, match="no checks match"):
+            differential_verify(seed=1, budget=10, families=("nope",))
 
     def test_injected_bug_is_caught_and_minimized(self, monkeypatch):
         # Reintroduce the old lower-side-only dynamic lookup; the harness
