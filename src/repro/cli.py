@@ -70,7 +70,8 @@ def _quadrant_registry(dataset: Dataset) -> dict:
 
 
 def _build_options(args: argparse.Namespace):
-    """BuildOptions from ``--executor``/``--parallel``/``--chunk-rows``.
+    """BuildOptions from ``--executor``/``--parallel``/``--chunk-rows``/
+    ``--backend``/``--quad-error``.
 
     Returns ``None`` when no build-shaping flag was given, so commands
     keep their zero-configuration default path.  ``--parallel N``
@@ -79,16 +80,30 @@ def _build_options(args: argparse.Namespace):
     executor = getattr(args, "executor", None)
     parallel = getattr(args, "parallel", None)
     chunk_rows = getattr(args, "chunk_rows", None)
-    if executor is None and parallel is None and chunk_rows is None:
+    backend = getattr(args, "backend", None)
+    quad_error = getattr(args, "quad_error", None)
+    if (
+        executor is None
+        and parallel is None
+        and chunk_rows is None
+        and backend is None
+        and quad_error is None
+    ):
         return None
     from repro.diagram.pipeline import BuildOptions
 
     if executor is None:
         executor = "process" if parallel else "serial"
+    kwargs: dict = {}
+    if backend is not None:
+        kwargs["backend"] = backend
+    if quad_error is not None:
+        kwargs["quad_error"] = quad_error
     return BuildOptions(
         executor=executor,
         workers=parallel,
         chunk_rows=chunk_rows,
+        **kwargs,
     )
 
 
@@ -146,21 +161,50 @@ def _parse_update_ops(specs: list[str]):
 
 def _update(args: argparse.Namespace) -> int:
     """Incrementally maintain a saved snapshot and republish it."""
-    from repro.diagram.maintenance import delete_point, insert_point
+    from repro.diagram.maintenance import (
+        apply_ops,
+        delete_point,
+        insert_point,
+    )
     from repro.serve.snapshot import SnapshotManager
 
     ops = _parse_update_ops(args.op)
     diagram = _load_diagram(args.snapshot)
-    for op, value in ops:
-        if op == "insert":
-            diagram = insert_point(diagram, value)
-        else:
-            diagram = delete_point(diagram, value)
+    options = _build_options(args)
+    if len(ops) > 1:
+        # One union dirty-block re-scan for the whole batch instead of
+        # one pass per op; byte-identical either way.
+        diagram = apply_ops(diagram, ops, build_options=options)
         report = getattr(diagram, "build_report", None)
         rows = report.rows_scanned if report is not None else "?"
-        print(f"{op} {value}: re-scanned {rows} of "
-              f"{diagram.grid.shape[1]} rows")
-    if args.verify:
+        print(
+            f"batched {len(ops)} ops into one union re-scan: "
+            f"{rows} of {diagram.grid.shape[1]} rows"
+        )
+    else:
+        for op, value in ops:
+            if op == "insert":
+                diagram = insert_point(diagram, value, build_options=options)
+            else:
+                diagram = delete_point(diagram, value, build_options=options)
+            report = getattr(diagram, "build_report", None)
+            rows = report.rows_scanned if report is not None else "?"
+            print(f"{op} {value}: re-scanned {rows} of "
+                  f"{diagram.grid.shape[1]} rows")
+    report = getattr(diagram, "build_report", None)
+    if report is not None and report.backend_fallback is not None:
+        print(
+            f"backend: {diagram.store.backend_kind} "
+            f"(maintained via {report.backend_fallback})"
+        )
+    if args.verify and diagram.store.approx_error is not None:
+        print(
+            "verify: skipped — approximate backend "
+            f"({diagram.store.backend_kind}, "
+            f"error={diagram.store.approx_error:.4f}) has no exact "
+            "fingerprint to compare"
+        )
+    elif args.verify:
         from repro.diagram.quadrant_scanning import quadrant_scanning
 
         fresh = quadrant_scanning(diagram.grid.dataset)
@@ -364,6 +408,23 @@ def main(argv: list[str] | None = None) -> int:
         metavar="R",
         help="rows per shard (default: rows / workers)",
     )
+    p.add_argument(
+        "--backend",
+        choices=("dense", "rle", "quad"),
+        default=None,
+        help="grid backend for the saved store: dense int32 array, "
+        "per-row run-length encoding (exact, byte-identical "
+        "fingerprint, mmaps zero-copy), or quadtree cell merging "
+        "(approximate within --quad-error)",
+    )
+    p.add_argument(
+        "--quad-error",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="mismatched-cell fraction tolerated by --backend quad "
+        "(default 0.05)",
+    )
 
     p = sub.add_parser("query", help="answer a skyline query from a diagram")
     p.add_argument("diagram", help="diagram snapshot produced by 'build'")
@@ -412,6 +473,20 @@ def main(argv: list[str] | None = None) -> int:
         help="write the updated snapshot here instead of republishing "
         "in place",
     )
+    p.add_argument(
+        "--backend",
+        choices=("dense", "rle", "quad"),
+        default=None,
+        help="grid backend for the updated store (default: keep the "
+        "snapshot's backend)",
+    )
+    p.add_argument(
+        "--quad-error",
+        type=float,
+        default=None,
+        metavar="EPS",
+        help="error bound when converting to the quad backend",
+    )
 
     p = sub.add_parser(
         "serve",
@@ -446,6 +521,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="BYTES",
         help="cap request lines at this many bytes (oversized lines get "
         "one structured error, then the connection closes)",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("dense", "rle", "quad"),
+        default=None,
+        help="convert the mapped store to this grid backend in every "
+        "worker (default: serve the snapshot's backend as stored; "
+        "dense and rle snapshots map zero-copy)",
     )
 
     p = sub.add_parser("render", help="render a diagram (SVG or ASCII)")
@@ -618,6 +701,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                 max_batch=args.max_batch,
                 max_delay=args.max_delay_ms / 1000.0,
                 max_line=args.max_line,
+                backend=args.backend,
             )
         )
         return 0
@@ -644,12 +728,19 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         from repro.diagram.statistics import diagram_statistics
 
-        stats = diagram_statistics(_load_diagram(args.diagram))
+        diagram = _load_diagram(args.diagram)
+        stats = diagram_statistics(diagram)
         for key, value in stats.as_dict().items():
             if isinstance(value, float):
                 print(f"{key}: {value:.3f}")
             else:
                 print(f"{key}: {value}")
+        store = getattr(diagram, "store", None)
+        if store is not None and hasattr(store, "backend_kind"):
+            print(f"backend: {store.backend_kind}")
+            print(f"store_nbytes: {store.nbytes}")
+            if store.approx_error is not None:
+                print(f"approx_error: {store.approx_error:.4f}")
         return 0
     if args.command == "skyband":
         from repro.skyline.queries import quadrant_skyband

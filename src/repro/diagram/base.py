@@ -271,7 +271,7 @@ class SkylineDiagram(_StoreBackedDiagram):
         grid = self.grid
         store = self._store
         sx, sy = grid.shape
-        ids = store.ids
+        id_at = store.backend.id_at
         # table_view, not store.table: a health sweep over a lazily
         # interned (vectorized-built) diagram must not upgrade it.
         table = store.table_view()
@@ -280,7 +280,7 @@ class SkylineDiagram(_StoreBackedDiagram):
         def result(i: int, j: int) -> Result:
             if i >= sx or j >= sy:
                 return empty
-            return table[int(ids[i, j])]
+            return table[id_at((i, j))]
 
         stride = max(1, sample_stride)
         index = 0

@@ -24,6 +24,7 @@ the ``intern`` phase is the combination merge.
 
 from __future__ import annotations
 
+import dataclasses
 import inspect
 from collections.abc import Callable, Sequence
 from heapq import merge as heap_merge
@@ -160,6 +161,11 @@ def global_diagram(
         algorithm = quadrant_scanning
     dim = dataset.dim
     ctx = BuildContext(budget, build_options, algorithm="global", kind="global")
+    # Sub-diagrams feed the dense combination merge (and a quad sub-build
+    # would be lossy before the union); only the merged store converts.
+    sub_options = build_options
+    if build_options is not None and build_options.backend != "dense":
+        sub_options = dataclasses.replace(build_options, backend="dense")
     with ctx.phase("row_scan"):
         try:
             quadrant_diagrams = [
@@ -168,7 +174,7 @@ def global_diagram(
                     mask,
                     algorithm,
                     budget=ctx.meter,
-                    build_options=build_options,
+                    build_options=sub_options,
                 )
                 for mask in range(1 << dim)
             ]
@@ -182,7 +188,8 @@ def global_diagram(
         # One column of per-cell ids per quadrant; identical id combinations
         # yield identical unions, so merge once per distinct combination.
         stacked = np.stack(
-            [d.store.ids.reshape(-1) for d in quadrant_diagrams], axis=1
+            [d.store.dense_ids().reshape(-1) for d in quadrant_diagrams],
+            axis=1,
         )
         combos, inverse = np.unique(stacked, axis=0, return_inverse=True)
         tables = [d.store.table for d in quadrant_diagrams]

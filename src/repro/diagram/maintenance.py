@@ -52,13 +52,35 @@ from repro.diagram.quadrant_scanning import (
     _scan_rows,
     _seed_state,
 )
-from repro.diagram.store import ResultStore
+from repro.diagram.store import ResultStore, _RLERowBuilder
 from repro.errors import BudgetExceededError, QueryError
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, as_point
 from repro.resilience import BudgetMeter, BuildBudget, PartialDiagram
 
-__all__ = ["delete_point", "insert_point"]
+__all__ = ["apply_ops", "delete_point", "insert_point"]
+
+
+def _default_options(
+    diagram: SkylineDiagram, build_options: BuildOptions | None
+) -> BuildOptions | None:
+    """Maintenance preserves the input store's backend unless told not to.
+
+    With no explicit ``build_options`` an update of an RLE diagram stays
+    RLE (taking the run-domain path when eligible) and a quad diagram
+    re-merges at its own epsilon; passing options with a different
+    ``backend`` converts the updated store instead.
+    """
+    if build_options is not None:
+        return build_options
+    kind = diagram.store.backend_kind
+    if kind == "dense":
+        return None
+    if kind == "quad":
+        return BuildOptions(
+            backend="quad", quad_error=diagram.store.backend.epsilon
+        )
+    return BuildOptions(backend=kind)
 
 
 def _check(diagram: SkylineDiagram) -> None:
@@ -90,6 +112,127 @@ def _column_origin(old_axis, new_axis) -> list[int]:
                 old_i += 1
         origins.append(old_i)
     return origins
+
+
+def _gather_block(
+    store: ResultStore, x_origin: Sequence[int], y_cols: Sequence[int]
+) -> np.ndarray:
+    """Gather old cells ``(x_origin[i], y_cols[jj])`` as a rows-of-y block.
+
+    Shape ``(len(y_cols), len(x_origin))`` int32 — row ``jj`` is scan row
+    ``jj``, column ``i`` is store row ``i`` — matching the dense
+    ``ids[np.ix_(x_origin, y_cols)].T`` gather.  RLE stores stay in the
+    run domain: one ``searchsorted`` per referenced old row
+    (``O(m log runs)`` instead of materializing the ``O(cells)`` grid).
+    """
+    if store.backend_kind == "dense":
+        block = store.ids[np.ix_(x_origin, y_cols)].T
+        return np.ascontiguousarray(block, dtype=np.int32)
+    backend = store.backend
+    xo = list(x_origin)
+    y_arr = np.asarray(y_cols, dtype=np.int64)
+    out = np.empty((y_arr.size, len(xo)), dtype=np.int32)
+    cache: dict[int, np.ndarray] = {}
+    for i, r in enumerate(xo):
+        col = cache.get(r)
+        if col is None:
+            if backend.kind == "rle":
+                vals, ends = backend.row_runs(r)
+                col = vals[np.searchsorted(ends, y_arr, side="right")]
+            else:
+                col = backend.row_view(r)[y_arr]
+            cache[r] = col
+        out[:, i] = col
+    return out
+
+
+def _rle_suffix_runs(
+    backend, x_origin: Sequence[int], y_origin: Sequence[int],
+    dirty_hi: int, sy: int,
+):
+    """Clip each referenced old row's runs to the clean suffix, run-domain.
+
+    The clean suffix of a new store row with origin ``r`` holds old row
+    ``r``'s values at columns ``y_origin[dirty_hi:]``.  In the run
+    domain that resampling is: map each old run end ``e`` to
+    ``dirty_hi + #{sampled columns < e}`` (one ``searchsorted``) and
+    keep the runs still covering at least one sampled column.  Returns
+
+    * ``suffix``: old row -> ``(vals, ends)`` with *raw old* run values
+      and new-row ends in ``(dirty_hi, sy]``;
+    * ``used``: ascending unique raw ids over all suffixes — exactly the
+      ids the dense gather would have seen, in the same order, so the
+      presence relabel built on it is byte-identical to the dense path;
+    * ``boundary_raw``: per new store row, the raw id at scan row
+      ``dirty_hi`` (empty when there is no clean block).
+    """
+    xo = list(x_origin)
+    y_arr = np.asarray(y_origin[dirty_hi:], dtype=np.int64)
+    suffix: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    chunks = []
+    for r in dict.fromkeys(xo):
+        vals, ends = backend.row_runs(r)
+        ne = np.searchsorted(y_arr, ends, side="left").astype(np.int64)
+        ne += dirty_hi
+        keep = np.empty(ne.size, dtype=bool)
+        if ne.size:
+            keep[0] = ne[0] > dirty_hi
+            keep[1:] = ne[1:] > ne[:-1]
+        sv = np.ascontiguousarray(vals[keep])
+        suffix[r] = (sv, np.ascontiguousarray(ne[keep]))
+        chunks.append(sv)
+    used = (
+        np.unique(np.concatenate(chunks))
+        if chunks
+        else np.empty(0, dtype=np.int64)
+    )
+    if y_arr.size:
+        boundary_raw = np.asarray(
+            [int(suffix[r][0][0]) for r in xo], dtype=np.int64
+        )
+    else:
+        boundary_raw = np.empty(0, dtype=np.int64)
+    return suffix, used, boundary_raw
+
+
+def _rle_assemble(
+    x_origin: Sequence[int],
+    suffix: dict,
+    rank: np.ndarray,
+    dirty_final: np.ndarray,
+    dirty_hi: int,
+    sx: int,
+    sy: int,
+):
+    """Stitch dirty-prefix columns and remapped clean suffixes per row.
+
+    Each new store row is the compressed column ``i`` of the merged
+    dirty block followed by its old row's clipped suffix runs remapped
+    through ``rank`` (raw old id -> merged id), fusing the boundary run
+    when the two sides agree at ``dirty_hi``.  The builder's row-delta
+    sharing then matches what a fresh compressed build would produce.
+    """
+    builder = _RLERowBuilder((sx, sy))
+    dirty_cols = np.ascontiguousarray(dirty_final.T) if dirty_hi else None
+    for i, r in enumerate(x_origin):
+        sv, se = suffix[r]
+        sv = rank[sv]
+        if dirty_cols is not None:
+            col = dirty_cols[i]
+            change = np.nonzero(col[1:] != col[:-1])[0]
+            pv = np.empty(change.size + 1, dtype=np.int32)
+            pe = np.empty(change.size + 1, dtype=np.int64)
+            pv[:-1] = col[change]
+            pe[:-1] = change + 1
+            pv[-1] = col[-1]
+            pe[-1] = dirty_hi
+            if sv.size and pv[-1] == sv[0]:
+                pv = pv[:-1]
+                pe = pe[:-1]
+            sv = np.concatenate((pv, sv))
+            se = np.concatenate((pe, se))
+        builder.add_row(sv, se)
+    return builder.build()
 
 
 def _splice_dirty(
@@ -153,10 +296,7 @@ def _splice_dirty(
         lo = np.minimum(lo, rxp)
     else:
         lo = np.zeros(dirty_hi, dtype=np.int64)
-    base = np.ascontiguousarray(
-        old_store.ids[np.ix_(x_origin, y_origin[:dirty_hi])].T,
-        dtype=np.int32,
-    )
+    base = _gather_block(old_store, x_origin, y_origin[:dirty_hi])
     segments = [
         base[j, lo[j] : rxp] for j in range(dirty_hi) if lo[j] < rxp
     ]
@@ -235,10 +375,26 @@ def _merge_at_boundary(
     as large as the cell count) with one over at most ``sx`` entries.
     """
     rows_out[dirty_hi:] = clean_local
-    boundary: dict = {}
-    if rows_out.shape[0] > dirty_hi:
-        for i in np.unique(clean_local[0]).tolist():
-            boundary[clean_table[i]] = i
+    boundary_ids = (
+        np.unique(clean_local[0]).tolist()
+        if rows_out.shape[0] > dirty_hi
+        else []
+    )
+    mapping, merged = _merge_tables(boundary_ids, clean_table, dirty_table)
+    rows_out[:dirty_hi] = mapping[dirty_local]
+    return merged
+
+
+def _merge_tables(
+    boundary_ids: list, clean_table: list, dirty_table: list
+) -> tuple[np.ndarray, list]:
+    """Dedup the dirty table against the clean boundary results.
+
+    Returns ``(mapping, merged)``: ``mapping[k]`` is the merged id of
+    dirty-local id ``k``, and ``merged`` extends ``clean_table`` with
+    the genuinely new dirty results in dirty scan order.
+    """
+    boundary = {clean_table[i]: i for i in boundary_ids}
     next_id = len(clean_table)
     mapping = np.empty(max(1, len(dirty_table)), dtype=np.int32)
     tail = []
@@ -250,8 +406,7 @@ def _merge_at_boundary(
             next_id += 1
         else:
             mapping[k] = hit
-    rows_out[:dirty_hi] = mapping[dirty_local]
-    return clean_table + tail
+    return mapping, clean_table + tail
 
 
 def _rescan_update(
@@ -277,12 +432,30 @@ def _rescan_update(
     """
     old_store = diagram.store
     sx, sy = new_grid.shape
+    # Run-domain fast path: an RLE store updating toward an RLE target
+    # splices the clean suffix run-by-run — the old grid is never
+    # materialized.  It requires the cheap presence relabel below, which
+    # in turn requires a column map that never drops a column.
+    direct_rle = (
+        old_store.backend_kind == "rle"
+        and ctx.options.backend == "rle"
+        and sx >= old_store.shape[0]
+    )
+    if old_store.backend_kind != "dense" and not direct_rle:
+        # Honest accounting: a compressed/approximate store that cannot
+        # take the run-domain path is densified here, modified, and
+        # recompressed to the target backend by ``ctx.finish``.
+        ctx.report.backend_fallback = "densify"
     with ctx.phase("row_scan"):
         # Clean block first — it is the *top* of the scan order.  The
-        # copy is one vectorized gather; the checkpoint charges its cells
-        # so time/cell budgets account for the whole update honestly.
-        clean_rows = old_store.ids[np.ix_(x_origin, y_origin[dirty_hi:])].T
-        clean_rows = np.ascontiguousarray(clean_rows, dtype=np.int32)
+        # copy is one vectorized gather (skipped entirely on the
+        # run-domain path); the checkpoint charges its cells so
+        # time/cell budgets account for the whole update honestly.
+        clean_rows = (
+            None
+            if direct_rle
+            else _gather_block(old_store, x_origin, y_origin[dirty_hi:])
+        )
         old_table = old_store.table_view()
 
         def partial_rows(upto: int, scan_rows, scan_table) -> dict:
@@ -290,11 +463,16 @@ def _rescan_update(
             remapped = remap_table(
                 [old_table[i] for i in range(len(old_table))]
             )
+            block = (
+                clean_rows
+                if clean_rows is not None
+                else _gather_block(old_store, x_origin, y_origin[dirty_hi:])
+            )
             rows: dict[int, list] = {}
             for jj in range(dirty_hi, sy):
                 rows[jj] = [
                     remapped[i]
-                    for i in clean_rows[jj - dirty_hi].tolist()
+                    for i in block[jj - dirty_hi].tolist()
                 ]
             for jj in range(upto, dirty_hi):
                 rows[jj] = [
@@ -386,7 +564,23 @@ def _rescan_update(
         # O(cells log cells) sort inside relabel_scan_order.  A dropped
         # column can move an id's first occurrence past another's, so
         # that case keeps the general relabel.
-        if sx >= old_store.ids.shape[0]:
+        clean_local = None
+        if direct_rle:
+            # Same presence relabel, computed over run values instead of
+            # cells; ``used`` is ascending either way, so the clean ids
+            # come out byte-identical to the dense gather's.
+            suffix_runs, used, boundary_raw = _rle_suffix_runs(
+                old_store.backend, x_origin, y_origin, dirty_hi, sy
+            )
+            rank = np.zeros(max(1, len(old_table)), dtype=np.int32)
+            rank[used] = np.arange(len(used), dtype=np.int32)
+            if len(used) == len(old_table):
+                clean_table = list(old_table)
+            else:
+                clean_table = list(
+                    map(old_table.__getitem__, used.tolist())
+                )
+        elif sx >= old_store.shape[0]:
             counts = np.bincount(
                 clean_rows.ravel(), minlength=len(old_table)
             )
@@ -408,20 +602,38 @@ def _rescan_update(
         dirty_local, dirty_table = relabel_scan_order(
             dirty_rows, table, flip=True
         )
-        rows_out = np.empty((sy, sx), dtype=np.int32)
-        merged = _merge_at_boundary(
-            clean_local,
-            clean_table,
-            dirty_local,
-            dirty_table,
-            dirty_hi,
-            rows_out,
-        )
+        if direct_rle:
+            boundary_ids = (
+                np.unique(rank[boundary_raw]).tolist()
+                if sy > dirty_hi
+                else []
+            )
+            mapping, merged = _merge_tables(
+                boundary_ids, clean_table, dirty_table
+            )
+            dirty_final = mapping[dirty_local]
+            rows_out = None
+        else:
+            rows_out = np.empty((sy, sx), dtype=np.int32)
+            merged = _merge_at_boundary(
+                clean_local,
+                clean_table,
+                dirty_local,
+                dirty_table,
+                dirty_hi,
+                rows_out,
+            )
         ctx.checkpoint(distinct=len(merged))
     with ctx.phase("assemble"):
-        store = ResultStore(
-            (sx, sy), np.ascontiguousarray(rows_out.T), merged
-        )
+        if direct_rle:
+            backend = _rle_assemble(
+                x_origin, suffix_runs, rank, dirty_final, dirty_hi, sx, sy
+            )
+            store = ResultStore((sx, sy), backend, merged)
+        else:
+            store = ResultStore(
+                (sx, sy), np.ascontiguousarray(rows_out.T), merged
+            )
         updated = SkylineDiagram(
             new_grid,
             store,
@@ -457,7 +669,7 @@ def insert_point(
     _check(diagram)
     ctx = BuildContext(
         budget,
-        build_options,
+        _default_options(diagram, build_options),
         algorithm=f"{diagram.algorithm}+insert",
         kind="maintenance",
         serial_only=True,
@@ -507,7 +719,7 @@ def delete_point(
     _check(diagram)
     ctx = BuildContext(
         budget,
-        build_options,
+        _default_options(diagram, build_options),
         algorithm=f"{diagram.algorithm}+delete",
         kind="maintenance",
         serial_only=True,
@@ -539,6 +751,112 @@ def delete_point(
             if not result or result[-1] < point_id
             else tuple(q - 1 if q > point_id else q for q in result)
             for result in table
+        ]
+
+    return _rescan_update(
+        ctx, diagram, new_grid, x_origin, y_origin, dirty_hi, remap_table
+    )
+
+
+def apply_ops(
+    diagram: SkylineDiagram,
+    ops: Sequence[tuple[str, Sequence[float] | int]],
+    budget: BuildBudget | BudgetMeter | None = None,
+    build_options: BuildOptions | None = None,
+) -> SkylineDiagram:
+    """Apply a batch of updates with *one* union dirty-block re-scan.
+
+    ``ops`` is a sequence of ``("insert", point)`` / ``("delete", id)``
+    pairs in journal order, delete ids addressing the journal-prospective
+    dataset exactly as the update queue records them.  Instead of ``k``
+    sequential maintenance passes the ops compose: the final dataset is
+    computed directly, the dirty region is the **union** of every
+    surviving op's lower-left block (an insert later deleted cancels
+    entirely and dirties nothing), and a single re-scan covers the
+    union while the complement carries over from the old store with a
+    composed id renumbering.  The result is byte-identical (content
+    fingerprint) to applying the ops one at a time — and to a fresh
+    serial build over the final dataset.
+
+    >>> from repro.diagram import quadrant_scanning
+    >>> d = apply_ops(
+    ...     quadrant_scanning([(5, 5), (1, 9)]),
+    ...     [("insert", (2, 2)), ("delete", 0)],
+    ... )
+    >>> d.result_at((0, 0))
+    (1,)
+    """
+    _check(diagram)
+    old = diagram.grid.dataset
+    # Replay the journal over position labels: survivors keep their
+    # relative order, inserts append, and a delete of a still-pending
+    # insert cancels the pair.
+    labels: list[tuple[bool, int]] = [(False, i) for i in range(len(old))]
+    inserted: list = []
+    for op, value in ops:
+        if op == "insert":
+            labels.append((True, len(inserted)))
+            inserted.append(as_point(value))
+        elif op == "delete":
+            idx = int(value)
+            if not 0 <= idx < len(labels):
+                raise QueryError(f"point id {idx} out of range")
+            if len(labels) == 1:
+                raise QueryError(
+                    "cannot delete the last point of a diagram"
+                )
+            del labels[idx]
+        else:
+            raise QueryError(f"unknown update op {op!r}")
+    if len(labels) == len(old) and not any(is_new for is_new, _ in labels):
+        return diagram  # every op cancelled against another
+    ctx = BuildContext(
+        budget,
+        _default_options(diagram, build_options),
+        algorithm=f"{diagram.algorithm}+batch",
+        kind="maintenance",
+        serial_only=True,
+    )
+    with ctx.phase("rank_space"):
+        points = []
+        final_of_old: dict[int, int] = {}
+        for pos, (is_new, i) in enumerate(labels):
+            if is_new:
+                points.append(inserted[i])
+            else:
+                points.append(old.points[i])
+                final_of_old[i] = pos
+        new_dataset = Dataset(points)
+        new_grid = Grid(new_dataset)
+        x_origin = _column_origin(diagram.grid.axes[0], new_grid.axes[0])
+        y_origin = _column_origin(diagram.grid.axes[1], new_grid.axes[1])
+        sy = new_grid.shape[1]
+        # Union of the dirty lower-left blocks: a point only changes
+        # results strictly below its y grid line, so the union of row
+        # prefixes is the row prefix of the max bound.
+        dirty_hi = 0
+        for pos, (is_new, _) in enumerate(labels):
+            if is_new:
+                dirty_hi = max(dirty_hi, new_grid.rank_of(pos)[1])
+        for victim in set(range(len(old))) - set(final_of_old):
+            victim_ry = diagram.grid.rank_of(victim)[1]
+            bound = next(
+                (j for j in range(sy) if y_origin[j] >= victim_ry), sy
+            )
+            dirty_hi = max(dirty_hi, bound)
+        # Composed renumbering of surviving old ids (monotone, so the
+        # remapped result tuples stay sorted); victims never appear in
+        # clean results — their candidate regions are inside the union.
+        identity = all(i == pos for i, pos in final_of_old.items())
+        shift = np.zeros(max(1, len(old)), dtype=np.int64)
+        for i, pos in final_of_old.items():
+            shift[i] = pos
+
+    def remap_table(table):
+        if identity:
+            return table if isinstance(table, list) else list(table)
+        return [
+            tuple(int(shift[q]) for q in result) for result in table
         ]
 
     return _rescan_update(

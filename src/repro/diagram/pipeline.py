@@ -82,6 +82,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.diagram.store import BACKENDS
 from repro.errors import BudgetExceededError
 from repro.resilience import BudgetMeter, BuildBudget, as_meter
 
@@ -136,12 +137,23 @@ class BuildOptions:
     telemetry:
         Optional sink called as ``telemetry(phase_name, payload)`` after
         every phase, with ``payload`` carrying at least ``seconds``.
+    backend:
+        Grid backend for the finished store: ``"dense"`` (default),
+        ``"rle"`` (run-length compressed, content-identical to dense) or
+        ``"quad"`` (quadtree-merged, approximate within ``quad_error``).
+        Constructors that assemble a dense store are converted in
+        ``BuildContext.finish``; the vectorized quadrant executor writes
+        RLE runs natively, skipping the dense grid entirely.
+    quad_error:
+        Mismatched-cell fraction budget for ``backend="quad"``.
     """
 
     executor: str = "serial"
     workers: int | None = None
     chunk_rows: int | None = None
     telemetry: Callable[[str, dict], None] | None = None
+    backend: str = "dense"
+    quad_error: float = 0.05
 
     def __post_init__(self) -> None:
         if self.executor not in EXECUTORS:
@@ -153,6 +165,14 @@ class BuildOptions:
         if self.chunk_rows is not None and self.chunk_rows < 1:
             raise ValueError(
                 f"chunk_rows must be >= 1, got {self.chunk_rows}"
+            )
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if not 0.0 <= self.quad_error < 1.0:
+            raise ValueError(
+                f"quad_error must be in [0, 1), got {self.quad_error}"
             )
 
 
@@ -176,6 +196,9 @@ class BuildReport:
     distinct_results: int = 0
     checkpoints: int = 0
     elapsed: float = 0.0
+    backend: str = "dense"
+    backend_fallback: str | None = None
+    store_nbytes: int = 0
 
     def as_dict(self) -> dict:
         """A JSON-ready copy (health endpoints, benchmark records)."""
@@ -190,6 +213,9 @@ class BuildReport:
             "distinct_results": self.distinct_results,
             "checkpoints": self.checkpoints,
             "elapsed": round(self.elapsed, 6),
+            "backend": self.backend,
+            "backend_fallback": self.backend_fallback,
+            "store_nbytes": self.store_nbytes,
         }
 
 
@@ -442,12 +468,34 @@ class BuildContext:
         return chunks
 
     def finish(self, diagram):
-        """Stamp final counters and attach the report to the diagram."""
-        self.report.elapsed = max(0.0, self._clock() - self._started)
+        """Stamp final counters and attach the report to the diagram.
+
+        The single backend-conversion choke point: any constructor that
+        assembled a dense store while the options asked for a compressed
+        or approximate one is converted here (timed as the ``backend``
+        phase), so every build path honours ``BuildOptions(backend=...)``
+        without per-constructor plumbing.  Paths that already produced
+        the target backend (the vectorized executor's native RLE runs)
+        pass through untouched.
+        """
         store = getattr(diagram, "store", None)
+        target = self.options.backend
+        if (
+            store is not None
+            and target != "dense"
+            and store.backend_kind != target
+        ):
+            with self.phase("backend"):
+                diagram._store = store = store.convert(
+                    target, max_error=self.options.quad_error
+                )
+            diagram._kernel = None
+        self.report.elapsed = max(0.0, self._clock() - self._started)
         if store is not None:
             self.report.cells = store.num_cells
             self.report.distinct_results = store.distinct_count
+            self.report.backend = store.backend_kind
+            self.report.store_nbytes = store.nbytes
         if self.meter is not None:
             self.report.checkpoints = self.meter.checkpoints
         diagram.build_report = self.report

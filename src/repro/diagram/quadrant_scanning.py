@@ -79,7 +79,12 @@ from repro.diagram.pipeline import (
     merge_chunk_tables,
     relabel_scan_order,
 )
-from repro.diagram.store import ConsForestTable, ResultStore
+from repro.diagram.store import (
+    ConsForestTable,
+    ResultStore,
+    RLEBackend,
+    _multi_arange,
+)
 from repro.errors import BudgetExceededError, DimensionalityError
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset, ensure_dataset
@@ -460,6 +465,80 @@ def _vector_decode(
     return _fill_runs(vals, cnts, nrows * sx).reshape(nrows, sx)[::-1]
 
 
+def _emit_state_events(
+    act_cols: np.ndarray,
+    act_node: np.ndarray,
+    limit: int,
+    y: int,
+    events: tuple[list, list, list, list],
+) -> None:
+    """Append change events for the active-state runs with ``x <= limit``.
+
+    The native-RLE emission records the diagram as *change events* in
+    store orientation: one event says column ``x`` reads node ``val``
+    from trailing coordinate ``y`` up to that column's next event.  The
+    current staircase state *is* a run encoding over ``x`` (run ``i``
+    covers ``(act_cols[i-1], act_cols[i]]`` with node ``act_node[i]``,
+    the final run the empty result), and a corner row changes every
+    column up to its rightmost corner and none beyond — so the run
+    prefix clipped at ``limit``, stamped with the boundary coordinate
+    ``y``, captures exactly the cells whose value the corner row ends.
+    """
+    m = act_cols.size
+    t = int(np.searchsorted(act_cols, limit, side="left")) if m else 0
+    starts = np.empty(t + 1, dtype=np.int64)
+    starts[0] = 0
+    starts[1:] = act_cols[:t] + 1
+    stops = np.empty(t + 1, dtype=np.int64)
+    stops[:t] = act_cols[:t]
+    stops[t] = limit
+    vals = np.empty(t + 1, dtype=np.int64)
+    vals[:t] = act_node[:t]
+    vals[t] = act_node[t] if t < m else -1
+    ev_xa, ev_len, ev_val, ev_y = events
+    ev_xa.append(starts)
+    ev_len.append(stops - starts + 1)
+    ev_val.append(vals)
+    ev_y.append(np.full(starts.size, y, dtype=np.int64))
+
+
+def _events_to_rle(
+    events: tuple[list, list, list, list],
+    sx: int,
+    width: int,
+    y0: int = 0,
+) -> RLEBackend:
+    """Assemble accumulated change events into a packed x-major RLE grid.
+
+    Expanding each event interval to per-column points and sorting by
+    ``(x, y)`` *is* the run-length encoding of the transposed grid: run
+    ``i`` of store row ``x`` holds its event's final id (node id plus
+    one) from its own ``y`` up to the next event's ``y`` (``width`` for
+    the last — the y-``0`` seeding event guarantees every column has
+    one).  The event count equals the run count, so assembly stays
+    proportional to the *compressed* size — the dense grid is never
+    materialized.
+    """
+    lens = np.concatenate(events[1])
+    xs = _multi_arange(np.concatenate(events[0]), lens)
+    ys = np.repeat(np.concatenate(events[3]), lens) - y0
+    vs = np.repeat(np.concatenate(events[2]), lens)
+    order = np.lexsort((ys, xs))
+    ys = ys[order]
+    vs = vs[order]
+    row_nruns = np.bincount(xs, minlength=sx).astype(np.int32)
+    row_start = np.concatenate(
+        ([0], np.cumsum(row_nruns[:-1], dtype=np.int64))
+    )
+    ends = np.empty(ys.size, dtype=np.int32)
+    if ys.size:
+        ends[:-1] = ys[1:]
+        ends[row_start + row_nruns - 1] = width
+    vals = (vs + 1).astype(np.int32)
+    packed = RLEBackend((sx, width), row_start, row_nruns, vals, ends)
+    return packed._dedup_rows()
+
+
 def _quadrant_vectorized(
     ctx: BuildContext,
     grid: Grid,
@@ -490,6 +569,8 @@ def _quadrant_vectorized(
     path.
     """
     sx, sy = grid.shape
+    native_rle = ctx.options.backend == "rle"
+    events: tuple[list, list, list, list] = ([], [], [], [])
     with ctx.phase("rank_space"):
         per_row, group_tuples = _vector_corner_rows(row_corners)
     sent = _PSE_NONE
@@ -509,6 +590,10 @@ def _quadrant_vectorized(
         for lo, hi in ctx.row_chunks(sy, topmost_first=True):
             for j in range(hi - 1, lo - 1, -1):
                 corners = per_row[j]
+                if native_rle and corners is not None and j + 1 < sy:
+                    _emit_state_events(
+                        act_cols, act_node, int(corners[0][-1]), j + 1, events
+                    )
                 if corners is not None:
                     ccols, cg = corners
                     m0 = act_cols.size
@@ -559,12 +644,13 @@ def _quadrant_vectorized(
                     prov_rep_chunks.append(act_rep[nchanged - 1 :: -1].copy())
                     prov_par_chunks.append(pnode[::-1].copy())
                     next_id += nchanged
-                run_vals.append(np.append(act_node, np.int64(-1)))
-                run_cnts.append(
-                    np.diff(
-                        np.concatenate((left_edge, act_cols, right_edge))
+                if not native_rle:
+                    run_vals.append(np.append(act_node, np.int64(-1)))
+                    run_cnts.append(
+                        np.diff(
+                            np.concatenate((left_edge, act_cols, right_edge))
+                        )
                     )
-                )
             rows_done = sy - lo
             ctx.count_rows(hi - lo)
             try:
@@ -574,9 +660,16 @@ def _quadrant_vectorized(
                     table = _vector_finalize(
                         prov_rep_chunks, prov_par_chunks, group_tuples
                     )
-                    dense = _vector_decode(
-                        run_vals, run_cnts, rows_done, sx
-                    )
+                    if native_rle:
+                        _emit_state_events(
+                            act_cols, act_node, sx - 1, lo, events
+                        )
+                        packed = _events_to_rle(events, sx, sy - lo, y0=lo)
+                        dense = np.ascontiguousarray(packed.to_dense().T)
+                    else:
+                        dense = _vector_decode(
+                            run_vals, run_cnts, rows_done, sx
+                        )
                     exc.partial = PartialDiagram(
                         grid,
                         {jj: dense[jj - lo] for jj in range(lo, sy)},
@@ -590,12 +683,18 @@ def _quadrant_vectorized(
         )
         ctx.checkpoint(distinct=len(table))
     with ctx.phase("assemble"):
-        rows = _vector_decode(run_vals, run_cnts, sy, sx)
-        store = ResultStore(
-            (sx, sy),
-            np.ascontiguousarray(rows.T.astype(np.int32, copy=False)),
-            table,
-        )
+        if native_rle:
+            _emit_state_events(act_cols, act_node, sx - 1, 0, events)
+            store = ResultStore(
+                (sx, sy), _events_to_rle(events, sx, sy), table
+            )
+        else:
+            rows = _vector_decode(run_vals, run_cnts, sy, sx)
+            store = ResultStore(
+                (sx, sy),
+                np.ascontiguousarray(rows.T.astype(np.int32, copy=False)),
+                table,
+            )
         diagram = SkylineDiagram(
             grid, store, kind="quadrant", algorithm="scanning"
         )

@@ -9,14 +9,32 @@ comparison walks a result tuple).
 
 :class:`ResultStore` exploits this redundancy: the distinct results are
 *interned* once into a table (position = result id) and the per-cell
-assignment is a dense ``int32`` ndarray of shape ``grid.shape``.  Result
-equality becomes integer equality, cell lookup becomes an array read, and
-batch point location reduces to one fancy-indexing expression.  The store
-is the shared backing of :class:`~repro.diagram.base.SkylineDiagram` and
+assignment lives behind a :class:`GridBackend`.  Result equality becomes
+integer equality, cell lookup becomes a backend read, and batch point
+location reduces to one backend gather.  The store is the shared backing
+of :class:`~repro.diagram.base.SkylineDiagram` and
 :class:`~repro.diagram.base.DynamicDiagram`; the historical
 ``dict[cell, result]`` interface survives as iteration (:meth:`items`) and
 conversion (:meth:`to_dict`) views, so dict-producing construction
 algorithms keep working unchanged through :meth:`from_dict`.
+
+Three backends implement the id-grid contract:
+
+* :class:`DenseBackend` — the historical ``int32`` ndarray, zero-copy
+  compatible with mmapped snapshots and the fused scalar lookup.
+* :class:`RLEBackend` — per-row run-length encoding with row-delta
+  sharing (identical adjacent rows alias one run slice).  Rows of a
+  skyline diagram are long constant runs by Theorem 1, so this is
+  typically 10-100x smaller than dense and is how grids with ``O(n^2)``
+  cells at n >= 100k stay representable at all.  Content-identical to
+  dense: fingerprints match byte for byte.
+* :class:`QuadBackend` — quadtree cell merging with a per-node dominant
+  id and a *measured* error bound: a node collapses to a leaf when its
+  dominant id covers at least ``1 - max_error`` of its cells, so the
+  global mismatched-cell fraction is <= ``max_error`` by construction
+  (disjoint leaves each contribute <= ``max_error`` of their own area).
+  Lookups are approximate; the planner serves them from the ``approx``
+  tier with the measured error attached.
 """
 
 from __future__ import annotations
@@ -167,6 +185,719 @@ class PackedTable:
         ]
 
 
+#: Recognised grid backends, in `convert()`/`BuildOptions(backend=...)` order.
+BACKENDS = ("dense", "rle", "quad")
+
+
+def _table_nbytes(
+    table: "list[Result] | ConsForestTable | PackedTable",
+) -> int:
+    """Approximate resident bytes of an interned table backing.
+
+    Lazy backings report their array footprint without materializing;
+    plain lists use the CPython tuple-of-ints size formula.
+    """
+    if isinstance(table, PackedTable):
+        return int(table._offsets.nbytes + table._values.nbytes)
+    if isinstance(table, ConsForestTable):
+        groups = sum(56 + 8 * len(g) for g in table._groups)
+        return int(table._rep.nbytes + table._par.nbytes + groups)
+    return sum(56 + 8 * len(t) for t in table)
+
+
+def _multi_arange(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(s, s + l)`` for paired arrays, vectorized."""
+    starts = np.asarray(starts, dtype=np.int64)
+    lens = np.asarray(lens, dtype=np.int64)
+    keep = lens > 0
+    if not bool(keep.all()):
+        starts, lens = starts[keep], lens[keep]
+    if lens.size == 0:
+        return np.empty(0, dtype=np.int64)
+    steps = np.ones(int(lens.sum()), dtype=np.int64)
+    ends = np.cumsum(lens)
+    steps[0] = starts[0]
+    steps[ends[:-1]] = starts[1:] - starts[:-1] - lens[:-1] + 1
+    return np.cumsum(steps)
+
+
+class GridBackend:
+    """Storage contract for the per-cell id grid of a :class:`ResultStore`.
+
+    A backend views the grid as ``num_rows`` rows of ``row_width`` cells
+    (the trailing axis; leading axes are flattened in C order), so the
+    row-streaming default implementations of :meth:`fingerprint_section`
+    and :meth:`to_dense` produce exactly the bytes of the dense C-order
+    array — which is what keeps fingerprints backend-independent for the
+    exact backends.
+
+    Subclasses implement: ``id_at``, ``lookup_batch_ids``, ``row_view``,
+    ``set_row_runs``, ``nbytes``, ``min_max``, ``mark_referenced``,
+    ``flip`` and ``copy``; ``exact`` is False for lossy backends (their
+    stores skip the unreferenced-table-slot audit and report a measured
+    :attr:`error`).
+    """
+
+    kind: str = "abstract"
+    exact: bool = True
+    __slots__ = ("shape",)
+
+    def __init__(self, shape: Sequence[int]) -> None:
+        self.shape: tuple[int, ...] = tuple(int(e) for e in shape)
+
+    @property
+    def num_rows(self) -> int:
+        rows = 1
+        for extent in self.shape[:-1]:
+            rows *= extent
+        return rows
+
+    @property
+    def row_width(self) -> int:
+        return self.shape[-1] if self.shape else 1
+
+    @property
+    def num_cells(self) -> int:
+        cells = 1
+        for extent in self.shape:
+            cells *= extent
+        return cells
+
+    @property
+    def error(self) -> float | None:
+        """Measured mismatched-cell fraction; ``None`` for exact backends."""
+        return None
+
+    # -- the per-cell contract -----------------------------------------
+    def id_at(self, cell: Cell) -> int:
+        raise NotImplementedError
+
+    def lookup_batch_ids(self, cells: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def row_view(self, row: int) -> np.ndarray:
+        """Row ``row`` (flat leading index) as a dense 1-D id array."""
+        raise NotImplementedError
+
+    def set_row_runs(
+        self, row: int, vals: np.ndarray, ends: np.ndarray
+    ) -> None:
+        """Overwrite one row with runs ``vals`` ending at ``ends``."""
+        raise NotImplementedError
+
+    def nbytes(self) -> int:
+        raise NotImplementedError
+
+    def min_max(self) -> tuple[int, int]:
+        """Smallest and largest referenced id (grid must be non-empty)."""
+        raise NotImplementedError
+
+    def mark_referenced(self, mask: np.ndarray) -> None:
+        """Set ``mask[rid] = True`` for every id referenced by a cell."""
+        raise NotImplementedError
+
+    def flip(self, axes: tuple[int, ...]) -> "GridBackend":
+        raise NotImplementedError
+
+    def copy(self) -> "GridBackend":
+        raise NotImplementedError
+
+    # -- shared row-streaming defaults ---------------------------------
+    def fingerprint_section(self, digest) -> None:
+        """Feed the C-order int64 grid bytes into ``digest``, row by row."""
+        for row in range(self.num_rows):
+            digest.update(
+                np.ascontiguousarray(
+                    self.row_view(row), dtype=np.int64
+                ).tobytes()
+            )
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the full dense id array (C order)."""
+        out = np.empty((self.num_rows, self.row_width), dtype=np.int32)
+        for row in range(self.num_rows):
+            out[row] = self.row_view(row)
+        return out.reshape(self.shape)
+
+
+class DenseBackend(GridBackend):
+    """The historical dense integer ndarray — one id per cell.
+
+    ``array`` keeps whatever integer dtype it arrives with (mmapped v3
+    snapshots store the minimal unsigned dtype), so wrapping a mapped
+    view stays zero-copy.
+    """
+
+    kind = "dense"
+    __slots__ = ("array",)
+
+    def __init__(self, array: np.ndarray) -> None:
+        super().__init__(array.shape)
+        self.array = array
+
+    def id_at(self, cell: Cell) -> int:
+        return int(self.array[tuple(cell)])
+
+    def lookup_batch_ids(self, cells: np.ndarray) -> np.ndarray:
+        return self.array[tuple(cells.T)]
+
+    def row_view(self, row: int) -> np.ndarray:
+        return self.array.reshape(self.num_rows, self.row_width)[row]
+
+    def set_row_runs(
+        self, row: int, vals: np.ndarray, ends: np.ndarray
+    ) -> None:
+        ends = np.asarray(ends, dtype=np.int64)
+        counts = np.diff(ends, prepend=0)
+        self.array.reshape(self.num_rows, self.row_width)[row] = np.repeat(
+            np.asarray(vals), counts
+        )
+
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def min_max(self) -> tuple[int, int]:
+        return int(self.array.min()), int(self.array.max())
+
+    def mark_referenced(self, mask: np.ndarray) -> None:
+        mask[self.array.reshape(-1)] = True
+
+    def fingerprint_section(self, digest) -> None:
+        digest.update(
+            np.ascontiguousarray(self.array, dtype=np.int64).tobytes()
+        )
+
+    def to_dense(self) -> np.ndarray:
+        return self.array
+
+    def flip(self, axes: tuple[int, ...]) -> "DenseBackend":
+        return DenseBackend(
+            np.ascontiguousarray(np.flip(self.array, axis=axes))
+        )
+
+    def copy(self) -> "DenseBackend":
+        return DenseBackend(self.array.copy())
+
+
+class _RLERowBuilder:
+    """Accumulate rows of runs into one packed :class:`RLEBackend`.
+
+    Consecutive identical rows are detected here (row-delta sharing):
+    a repeat contributes only a row pointer, no run storage.
+    """
+
+    def __init__(self, shape: Sequence[int]) -> None:
+        self.shape = tuple(int(e) for e in shape)
+        self._vals: list[np.ndarray] = []
+        self._ends: list[np.ndarray] = []
+        self._row_start: list[int] = []
+        self._row_nruns: list[int] = []
+        self._total = 0
+        self._prev: tuple[np.ndarray, np.ndarray, int] | None = None
+
+    def add_row(self, vals: np.ndarray, ends: np.ndarray) -> None:
+        vals = np.asarray(vals, dtype=np.int32)
+        ends = np.asarray(ends, dtype=np.int32)
+        prev = self._prev
+        if (
+            prev is not None
+            and prev[0].size == vals.size
+            and np.array_equal(prev[0], vals)
+            and np.array_equal(prev[1], ends)
+        ):
+            self._row_start.append(prev[2])
+            self._row_nruns.append(int(vals.size))
+            return
+        start = self._total
+        self._row_start.append(start)
+        self._row_nruns.append(int(vals.size))
+        self._vals.append(vals)
+        self._ends.append(ends)
+        self._prev = (vals, ends, start)
+        self._total += int(vals.size)
+
+    def build(self) -> "RLEBackend":
+        empty = np.empty(0, dtype=np.int32)
+        return RLEBackend(
+            self.shape,
+            np.asarray(self._row_start, dtype=np.int64),
+            np.asarray(self._row_nruns, dtype=np.int32),
+            np.concatenate(self._vals) if self._vals else empty,
+            np.concatenate(self._ends) if self._ends else empty,
+        )
+
+
+class RLEBackend(GridBackend):
+    """Per-row run-length encoding of the id grid, with row-delta sharing.
+
+    Row ``r`` (a flat leading index) is the run slice
+    ``run_vals[s : s + k]`` / ``run_ends[s : s + k]`` with
+    ``s = row_start[r]``, ``k = row_nruns[r]``: run ``i`` holds id
+    ``run_vals[i]`` on cells ``[run_ends[i - 1], run_ends[i])`` of the
+    trailing axis (the last end is always ``row_width``).  Identical
+    adjacent rows share one slice.  All four arrays serialize as v4
+    sections and may be read-only mmap views; mutation
+    (:meth:`set_row_runs`) is append-and-repoint, never in-place.
+    """
+
+    kind = "rle"
+    __slots__ = ("row_start", "row_nruns", "run_vals", "run_ends")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        row_start: np.ndarray,
+        row_nruns: np.ndarray,
+        run_vals: np.ndarray,
+        run_ends: np.ndarray,
+    ) -> None:
+        super().__init__(shape)
+        if row_start.shape != (self.num_rows,) or row_nruns.shape != (
+            self.num_rows,
+        ):
+            raise ValueError(
+                f"row index arrays of shapes {row_start.shape}/"
+                f"{row_nruns.shape} for {self.num_rows} rows"
+            )
+        if run_vals.shape != run_ends.shape:
+            raise ValueError("run value/end arrays differ in shape")
+        self.row_start = row_start
+        self.row_nruns = row_nruns
+        self.run_vals = run_vals
+        self.run_ends = run_ends
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_dense(cls, ids: np.ndarray) -> "RLEBackend":
+        """Compress a dense id array (vectorized, then row-delta dedup)."""
+        shape = tuple(int(e) for e in ids.shape)
+        width = shape[-1] if shape else 1
+        rows = 1
+        for extent in shape[:-1]:
+            rows *= extent
+        empty = np.empty(0, dtype=np.int32)
+        if width == 0 or rows == 0:
+            return cls(
+                shape,
+                np.zeros(rows, dtype=np.int64),
+                np.zeros(rows, dtype=np.int32),
+                empty,
+                empty,
+            )
+        flat = np.ascontiguousarray(ids, dtype=np.int32).reshape(rows, width)
+        starts_mask = np.ones((rows, width), dtype=bool)
+        if width > 1:
+            starts_mask[:, 1:] = flat[:, 1:] != flat[:, :-1]
+        flat_idx = np.nonzero(starts_mask.reshape(-1))[0]
+        pos = flat_idx % width
+        row_of = flat_idx // width
+        run_vals = flat.reshape(-1)[flat_idx]
+        run_ends = np.empty(flat_idx.size, dtype=np.int32)
+        if flat_idx.size > 1:
+            run_ends[:-1] = np.where(
+                row_of[1:] == row_of[:-1], pos[1:], width
+            )
+        run_ends[-1] = width
+        row_nruns = np.bincount(row_of, minlength=rows).astype(np.int32)
+        row_start = np.concatenate(
+            ([0], np.cumsum(row_nruns[:-1], dtype=np.int64))
+        )
+        packed = cls(shape, row_start, row_nruns, run_vals, run_ends)
+        return packed._dedup_rows()
+
+    def _dedup_rows(self) -> "RLEBackend":
+        """Share run storage between identical adjacent rows (vectorized)."""
+        rows = self.num_rows
+        nruns = self.row_nruns.astype(np.int64)
+        if rows <= 1 or self.run_vals.size == 0:
+            return self
+        cand = np.nonzero(nruns[1:] == nruns[:-1])[0] + 1
+        if cand.size == 0:
+            return self
+        lens = nruns[cand]
+        cur = _multi_arange(self.row_start[cand], lens)
+        prev = _multi_arange(self.row_start[cand - 1], lens)
+        eq = (self.run_vals[cur] == self.run_vals[prev]) & (
+            self.run_ends[cur] == self.run_ends[prev]
+        )
+        bounds = np.concatenate(([0], np.cumsum(lens)))
+        dup = np.ones(cand.size, dtype=bool)
+        nonzero = np.nonzero(lens > 0)[0]
+        if nonzero.size:
+            # Zero-length segments collapse their bounds, so reduceat over
+            # the non-empty segment starts still covers exactly each one.
+            dup[nonzero] = np.logical_and.reduceat(eq, bounds[nonzero])
+        is_dup = np.zeros(rows, dtype=bool)
+        is_dup[cand] = dup
+        if not bool(is_dup.any()):
+            return self
+        keep = ~is_dup
+        keep_lens = nruns[keep]
+        take = _multi_arange(self.row_start[keep], keep_lens)
+        new_vals = np.ascontiguousarray(self.run_vals[take])
+        new_ends = np.ascontiguousarray(self.run_ends[take])
+        starts_kept = np.concatenate(
+            ([0], np.cumsum(keep_lens[:-1]))
+        ).astype(np.int64)
+        new_start = np.zeros(rows, dtype=np.int64)
+        new_start[keep] = starts_kept
+        anchor = np.maximum.accumulate(
+            np.where(keep, np.arange(rows), -1)
+        )
+        return RLEBackend(
+            self.shape,
+            new_start[anchor],
+            self.row_nruns.astype(np.int32),
+            new_vals,
+            new_ends,
+        )
+
+    # -- lookups -------------------------------------------------------
+    def _row_index(self, cell: Cell) -> int:
+        row = 0
+        for c, extent in zip(cell[:-1], self.shape[:-1]):
+            row = row * extent + int(c)
+        return row
+
+    def id_at(self, cell: Cell) -> int:
+        row = self._row_index(cell)
+        start = int(self.row_start[row])
+        count = int(self.row_nruns[row])
+        k = start + int(
+            np.searchsorted(
+                self.run_ends[start : start + count],
+                int(cell[-1]),
+                side="right",
+            )
+        )
+        return int(self.run_vals[k])
+
+    def lookup_batch_ids(self, cells: np.ndarray) -> np.ndarray:
+        m = int(cells.shape[0])
+        out = np.empty(m, dtype=np.int64)
+        if m == 0:
+            return out
+        lead = self.shape[:-1]
+        if lead:
+            rows = np.ravel_multi_index(
+                tuple(cells[:, :-1].astype(np.int64).T), lead
+            )
+        else:
+            rows = np.zeros(m, dtype=np.int64)
+        starts = self.row_start[rows].tolist()
+        counts = self.row_nruns[rows].tolist()
+        ys = cells[:, -1].tolist()
+        ends = self.run_ends
+        vals = self.run_vals
+        searchsorted = np.searchsorted
+        for i in range(m):
+            s = starts[i]
+            k = s + int(
+                searchsorted(ends[s : s + counts[i]], ys[i], side="right")
+            )
+            out[i] = vals[k]
+        return out
+
+    def row_view(self, row: int) -> np.ndarray:
+        start = int(self.row_start[row])
+        count = int(self.row_nruns[row])
+        ends = self.run_ends[start : start + count].astype(np.int64)
+        counts = np.diff(ends, prepend=0)
+        return np.repeat(
+            self.run_vals[start : start + count], counts
+        ).astype(np.int32, copy=False)
+
+    def row_runs(self, row: int) -> tuple[np.ndarray, np.ndarray]:
+        """One row's ``(vals, ends)`` run slice (views, do not mutate)."""
+        start = int(self.row_start[row])
+        count = int(self.row_nruns[row])
+        return (
+            self.run_vals[start : start + count],
+            self.run_ends[start : start + count],
+        )
+
+    def set_row_runs(
+        self, row: int, vals: np.ndarray, ends: np.ndarray
+    ) -> None:
+        """Repoint ``row`` at freshly appended runs (mmap-safe: no
+        in-place writes; rows sharing the old slice are untouched)."""
+        vals = np.asarray(vals, dtype=np.int32)
+        ends = np.asarray(ends, dtype=np.int32)
+        if vals.shape != ends.shape or vals.ndim != 1:
+            raise ValueError("row runs need matching 1-D value/end arrays")
+        if self.row_width:
+            if vals.size == 0 or int(ends[-1]) != self.row_width:
+                raise ValueError(
+                    f"row runs must end at {self.row_width}, got "
+                    f"{ends[-1] if ends.size else 'nothing'}"
+                )
+            if ends.size > 1 and bool((np.diff(ends) <= 0).any()):
+                raise ValueError("run ends must be strictly increasing")
+        start = int(self.run_vals.size)
+        self.run_vals = np.concatenate((self.run_vals, vals))
+        self.run_ends = np.concatenate((self.run_ends, ends))
+        row_start = np.array(self.row_start)
+        row_start[row] = start
+        self.row_start = row_start
+        row_nruns = np.array(self.row_nruns)
+        row_nruns[row] = vals.size
+        self.row_nruns = row_nruns
+
+    # -- bookkeeping ---------------------------------------------------
+    def nbytes(self) -> int:
+        return int(
+            self.row_start.nbytes
+            + self.row_nruns.nbytes
+            + self.run_vals.nbytes
+            + self.run_ends.nbytes
+        )
+
+    def _used_indices(self) -> np.ndarray:
+        return _multi_arange(self.row_start, self.row_nruns)
+
+    def min_max(self) -> tuple[int, int]:
+        used = self.run_vals[self._used_indices()]
+        return int(used.min()), int(used.max())
+
+    def mark_referenced(self, mask: np.ndarray) -> None:
+        mask[self.run_vals[self._used_indices()]] = True
+
+    def flip(self, axes: tuple[int, ...]) -> "RLEBackend":
+        ndim = len(self.shape)
+        normalized = {a % ndim for a in axes}
+        flip_last = (ndim - 1) in normalized
+        lead_axes = tuple(a for a in sorted(normalized) if a != ndim - 1)
+        if lead_axes:
+            order = np.arange(self.num_rows).reshape(self.shape[:-1])
+            order = np.flip(order, axis=lead_axes).reshape(-1)
+        else:
+            order = np.arange(self.num_rows)
+        width = self.row_width
+        builder = _RLERowBuilder(self.shape)
+        for row in order.tolist():
+            vals, ends = self.row_runs(row)
+            if flip_last and vals.size:
+                starts = np.concatenate(([0], ends[:-1]))
+                vals = vals[::-1]
+                ends = (width - starts)[::-1]
+            builder.add_row(vals, ends)
+        return builder.build()
+
+    def copy(self) -> "RLEBackend":
+        return RLEBackend(
+            self.shape,
+            self.row_start.copy(),
+            self.row_nruns.copy(),
+            self.run_vals.copy(),
+            self.run_ends.copy(),
+        )
+
+
+class QuadBackend(GridBackend):
+    """Quadtree cell merging with per-node dominant ids (2-D, lossy).
+
+    Built top-down from a dense grid: a node becomes a leaf carrying its
+    *dominant* id as soon as the dominant covers at least
+    ``1 - max_error`` of the node's cells (always true for single
+    cells), otherwise it splits at the midpoints.  Merged-away minority
+    cells are counted exactly during the build, so :attr:`error` is the
+    *measured* global mismatch fraction — <= ``max_error`` because the
+    leaves partition the grid and each contributes at most ``max_error``
+    of its own area.
+
+    ``children[node, q]`` is the child for quadrant ``q = 2 * xhalf +
+    yhalf`` (-1 when absent); ``node_ids[node]`` is the leaf id, -1 for
+    internal nodes.  Axes of extent 1 never split, mirroring the
+    descent in :meth:`id_at`.
+    """
+
+    kind = "quad"
+    exact = False
+    __slots__ = ("children", "node_ids", "epsilon", "mismatches")
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        children: np.ndarray,
+        node_ids: np.ndarray,
+        epsilon: float,
+        mismatches: int,
+    ) -> None:
+        super().__init__(shape)
+        if len(self.shape) != 2:
+            raise ValueError("quad backend is 2-D only")
+        self.children = children
+        self.node_ids = node_ids
+        self.epsilon = float(epsilon)
+        self.mismatches = int(mismatches)
+
+    @property
+    def error(self) -> float | None:
+        cells = self.num_cells
+        return self.mismatches / cells if cells else 0.0
+
+    @classmethod
+    def from_dense(
+        cls, ids: np.ndarray, max_error: float = 0.05
+    ) -> "QuadBackend":
+        if ids.ndim != 2:
+            raise ValueError("quad backend is 2-D only")
+        if not 0.0 <= max_error < 1.0:
+            raise ValueError(f"max_error {max_error!r} outside [0, 1)")
+        ids = np.ascontiguousarray(ids, dtype=np.int32)
+        sx, sy = (int(e) for e in ids.shape)
+        children: list[list[int]] = []
+        node_ids: list[int] = []
+        mismatches = 0
+        if sx and sy:
+            children.append([-1, -1, -1, -1])
+            node_ids.append(-1)
+            stack = [(0, 0, sx, 0, sy)]
+            while stack:
+                node, x0, x1, y0, y1 = stack.pop()
+                block = ids[x0:x1, y0:y1]
+                vals, counts = np.unique(block, return_counts=True)
+                top = int(np.argmax(counts))
+                wrong = int(block.size - counts[top])
+                if wrong <= max_error * block.size:
+                    node_ids[node] = int(vals[top])
+                    mismatches += wrong
+                    continue
+                mx = (x0 + x1) // 2 if x1 - x0 > 1 else x1
+                my = (y0 + y1) // 2 if y1 - y0 > 1 else y1
+                quads = (
+                    (x0, mx, y0, my),
+                    (x0, mx, my, y1),
+                    (mx, x1, y0, my),
+                    (mx, x1, my, y1),
+                )
+                for q, (a, b, c, d) in enumerate(quads):
+                    if a >= b or c >= d:
+                        continue
+                    child = len(children)
+                    children.append([-1, -1, -1, -1])
+                    node_ids.append(-1)
+                    children[node][q] = child
+                    stack.append((child, a, b, c, d))
+        return cls(
+            (sx, sy),
+            np.asarray(children, dtype=np.int32).reshape(-1, 4),
+            np.asarray(node_ids, dtype=np.int32),
+            max_error,
+            mismatches,
+        )
+
+    # -- lookups -------------------------------------------------------
+    def id_at(self, cell: Cell) -> int:
+        x, y = int(cell[0]), int(cell[1])
+        node = 0
+        x0, x1 = 0, self.shape[0]
+        y0, y1 = 0, self.shape[1]
+        node_ids = self.node_ids
+        children = self.children
+        while True:
+            nid = int(node_ids[node])
+            if nid >= 0:
+                return nid
+            q = 0
+            if x1 - x0 > 1:
+                mx = (x0 + x1) // 2
+                if x >= mx:
+                    q += 2
+                    x0 = mx
+                else:
+                    x1 = mx
+            if y1 - y0 > 1:
+                my = (y0 + y1) // 2
+                if y >= my:
+                    q += 1
+                    y0 = my
+                else:
+                    y1 = my
+            node = int(children[node, q])
+
+    def lookup_batch_ids(self, cells: np.ndarray) -> np.ndarray:
+        out = np.empty(int(cells.shape[0]), dtype=np.int64)
+        for i, cell in enumerate(cells.tolist()):
+            out[i] = self.id_at(tuple(cell))
+        return out
+
+    def _leaves(self):
+        """Yield ``(node_id, x0, x1, y0, y1)`` over all leaf regions."""
+        if not self.node_ids.size:
+            return
+        stack = [(0, 0, self.shape[0], 0, self.shape[1])]
+        node_ids = self.node_ids
+        children = self.children
+        while stack:
+            node, x0, x1, y0, y1 = stack.pop()
+            nid = int(node_ids[node])
+            if nid >= 0:
+                yield nid, x0, x1, y0, y1
+                continue
+            mx = (x0 + x1) // 2 if x1 - x0 > 1 else x1
+            my = (y0 + y1) // 2 if y1 - y0 > 1 else y1
+            quads = (
+                (x0, mx, y0, my),
+                (x0, mx, my, y1),
+                (mx, x1, y0, my),
+                (mx, x1, my, y1),
+            )
+            for q, (a, b, c, d) in enumerate(quads):
+                child = int(children[node, q])
+                if child >= 0:
+                    stack.append((child, a, b, c, d))
+
+    def row_view(self, row: int) -> np.ndarray:
+        out = np.empty(self.shape[1], dtype=np.int32)
+        for nid, x0, x1, y0, y1 in self._leaves():
+            if x0 <= row < x1:
+                out[y0:y1] = nid
+        return out
+
+    def to_dense(self) -> np.ndarray:
+        out = np.empty(self.shape, dtype=np.int32)
+        for nid, x0, x1, y0, y1 in self._leaves():
+            out[x0:x1, y0:y1] = nid
+        return out
+
+    def set_row_runs(
+        self, row: int, vals: np.ndarray, ends: np.ndarray
+    ) -> None:
+        raise TypeError(
+            "quad backend is immutable; convert to 'dense' or 'rle' first"
+        )
+
+    # -- bookkeeping ---------------------------------------------------
+    def nbytes(self) -> int:
+        return int(self.children.nbytes + self.node_ids.nbytes)
+
+    def min_max(self) -> tuple[int, int]:
+        leaves = self.node_ids[self.node_ids >= 0]
+        return int(leaves.min()), int(leaves.max())
+
+    def mark_referenced(self, mask: np.ndarray) -> None:
+        mask[self.node_ids[self.node_ids >= 0]] = True
+
+    def flip(self, axes: tuple[int, ...]) -> "QuadBackend":
+        # Re-merge over the materialized grid; the measured error
+        # composes (mismatch vs the original <= old + new measurement).
+        flipped = QuadBackend.from_dense(
+            np.flip(self.to_dense(), axis=axes), self.epsilon
+        )
+        flipped.mismatches += self.mismatches
+        return flipped
+
+    def copy(self) -> "QuadBackend":
+        return QuadBackend(
+            self.shape,
+            self.children.copy(),
+            self.node_ids.copy(),
+            self.epsilon,
+            self.mismatches,
+        )
+
+
 class ResultStore:
     """Interned per-cell results over a dense integer grid.
 
@@ -175,13 +906,14 @@ class ResultStore:
     shape:
         Cells per axis.
     ids:
-        ``int32`` ndarray of that shape; ``ids[cell]`` indexes ``table``.
-        Defaults to all-zero with a one-entry table holding the empty
-        result.
+        ``int32`` ndarray of that shape (wrapped in a
+        :class:`DenseBackend`) or any :class:`GridBackend`;
+        ``ids[cell]`` indexes ``table``.  Defaults to all-zero with a
+        one-entry table holding the empty result.
     table:
         The interned result tuples, indexed by id.  Entries must be unique;
         every entry should be referenced by at least one cell (builders in
-        this package guarantee both).
+        this package guarantee both; lossy backends may orphan slots).
 
     Examples
     --------
@@ -192,26 +924,33 @@ class ResultStore:
     2
     """
 
-    __slots__ = ("shape", "ids", "_table", "_intern", "_mmap")
+    __slots__ = ("shape", "_backend", "_table", "_intern", "_mmap")
 
     def __init__(
         self,
         shape: Sequence[int],
-        ids: np.ndarray | None = None,
+        ids: np.ndarray | GridBackend | None = None,
         table: list[Result] | ConsForestTable | PackedTable | None = None,
     ) -> None:
         self.shape: tuple[int, ...] = tuple(int(extent) for extent in shape)
+        backend: GridBackend
         if ids is None:
-            ids = np.zeros(self.shape, dtype=np.int32)
+            backend = DenseBackend(np.zeros(self.shape, dtype=np.int32))
             table = [()]
-        elif table is None:
-            raise ValueError("ids without a result table")
-        if tuple(ids.shape) != self.shape:
+        elif isinstance(ids, GridBackend):
+            if table is None:
+                raise ValueError("ids without a result table")
+            backend = ids
+        else:
+            if table is None:
+                raise ValueError("ids without a result table")
+            backend = DenseBackend(ids)
+        if backend.shape != self.shape:
             raise ValueError(
-                f"id array of shape {tuple(ids.shape)} for store shape "
+                f"id array of shape {backend.shape} for store shape "
                 f"{self.shape}"
             )
-        self.ids: np.ndarray = ids
+        self._backend: GridBackend = backend
         self._table: list[Result] | ConsForestTable | PackedTable = (
             table if table is not None else [()]
         )
@@ -219,6 +958,88 @@ class ResultStore:
         # Keeps an mmap alive when the arrays are views into a mapped
         # snapshot (set by repro.index.serialize.map_diagram).
         self._mmap = None
+
+    # ------------------------------------------------------------------
+    # The grid backend
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> GridBackend:
+        """The grid backend holding the per-cell id assignment."""
+        return self._backend
+
+    @property
+    def backend_kind(self) -> str:
+        """``"dense"``, ``"rle"`` or ``"quad"``."""
+        return self._backend.kind
+
+    @property
+    def ids(self) -> np.ndarray:
+        """The dense id ndarray — :class:`DenseBackend` stores only.
+
+        Compressed/approximate stores have no dense array to hand out;
+        use :meth:`dense_ids` (materializing) or the backend row/run
+        interface instead.
+        """
+        backend = self._backend
+        if isinstance(backend, DenseBackend):
+            return backend.array
+        raise TypeError(
+            f"store backend {backend.kind!r} has no dense id array; use "
+            "dense_ids(), convert('dense'), or the backend row interface"
+        )
+
+    def dense_ids(self) -> np.ndarray:
+        """The id grid as a dense ndarray (materializes lossless copies)."""
+        return self._backend.to_dense()
+
+    @property
+    def approx_error(self) -> float | None:
+        """Measured lookup error fraction (``None`` for exact backends)."""
+        return self._backend.error
+
+    @property
+    def nbytes(self) -> int:
+        """Resident bytes of the id grid plus the interned table."""
+        return self._backend.nbytes() + _table_nbytes(self._table)
+
+    def row_view(self, row: int) -> np.ndarray:
+        """One grid row (flat leading index) as a dense id array."""
+        return self._backend.row_view(row)
+
+    def set_row_runs(
+        self, row: int, vals: np.ndarray, ends: np.ndarray
+    ) -> None:
+        """Overwrite one grid row with runs (see :class:`GridBackend`)."""
+        self._backend.set_row_runs(row, vals, ends)
+
+    def convert(
+        self, kind: str, *, max_error: float = 0.05
+    ) -> "ResultStore":
+        """This store rebacked onto another grid backend.
+
+        Exact conversions (``dense`` <-> ``rle``) preserve content and
+        therefore :meth:`fingerprint` byte-for-byte; ``quad`` is lossy
+        with measured error <= ``max_error``.  The interned table
+        backing is shared (and stays lazy); converting a mapped store
+        materializes fresh arrays, so the result does not keep the
+        source's mmap alive.  Returns ``self`` when already on ``kind``.
+        """
+        if kind not in BACKENDS:
+            raise ValueError(
+                f"unknown grid backend {kind!r}; expected one of {BACKENDS}"
+            )
+        if kind == self.backend_kind:
+            return self
+        backend: GridBackend
+        if kind == "dense":
+            backend = DenseBackend(self._backend.to_dense())
+        elif kind == "rle":
+            backend = RLEBackend.from_dense(self._backend.to_dense())
+        else:
+            backend = QuadBackend.from_dense(
+                self._backend.to_dense(), max_error
+            )
+        return ResultStore(self.shape, backend, self._table)
 
     @property
     def table(self) -> list[Result]:
@@ -308,7 +1129,7 @@ class ResultStore:
     @property
     def num_cells(self) -> int:
         """Total number of cells."""
-        return int(self.ids.size)
+        return self._backend.num_cells
 
     @property
     def distinct_count(self) -> int:
@@ -322,7 +1143,7 @@ class ResultStore:
         for c, extent in zip(cell, self.shape):
             if not 0 <= c < extent:
                 raise KeyError(cell)
-        return int(self.ids[tuple(cell)])
+        return self._backend.id_at(cell)
 
     def result_at(self, cell: Cell) -> Result:
         """Canonical result of one cell (``KeyError`` outside the grid)."""
@@ -332,7 +1153,7 @@ class ResultStore:
         """Results for an ``(m, d)`` array of cell indices, in one pass."""
         if cells.shape[0] == 0:
             return []
-        ids = self.ids[tuple(cells.T)]
+        ids = self._backend.lookup_batch_ids(cells)
         table = self._table
         if type(table) is not list:
             result = table.result
@@ -383,9 +1204,7 @@ class ResultStore:
         """
         digest = hashlib.sha256()
         digest.update(repr(self.shape).encode())
-        digest.update(
-            np.ascontiguousarray(self.ids, dtype=np.int64).tobytes()
-        )
+        self._backend.fingerprint_section(digest)
         digest.update(repr(self.table_view()).encode())
         return digest.hexdigest()
 
@@ -400,15 +1219,14 @@ class ResultStore:
         :meth:`table_view`, so auditing a lazily interned store leaves it
         lazy.
         """
-        if tuple(self.ids.shape) != self.shape:
+        if self._backend.shape != self.shape:
             raise AuditError(
-                f"id grid of shape {tuple(self.ids.shape)} for store shape "
+                f"id grid of shape {self._backend.shape} for store shape "
                 f"{self.shape}"
             )
         entries = self.table_view()
-        if self.ids.size:
-            low = int(self.ids.min())
-            high = int(self.ids.max())
+        if self.num_cells:
+            low, high = self._backend.min_max()
             if low < 0 or high >= len(entries):
                 raise AuditError(
                     f"cell ids span [{low}, {high}] but the table has "
@@ -436,9 +1254,11 @@ class ResultStore:
             seen[result] = rid
         if self._intern is not None and self._intern != seen:
             raise AuditError("intern map disagrees with the result table")
-        if self.ids.size:
+        # Lossy backends (quad) may merge an id entirely out of the
+        # grid, so only exact backends assert full table coverage.
+        if self.num_cells and self._backend.exact:
             referenced = np.zeros(len(entries), dtype=bool)
-            referenced[self.ids.reshape(-1)] = True
+            self._backend.mark_referenced(referenced)
             if not referenced.all():
                 missing = int(np.nonzero(~referenced)[0][0])
                 raise AuditError(f"table[{missing}] is never referenced")
@@ -450,11 +1270,19 @@ class ResultStore:
     def items(self) -> Iterator[tuple[Cell, Result]]:
         """Iterate ``(cell, result)`` pairs in row-major order."""
         table = self.table_view()
-        flat = self.ids.reshape(-1)
-        for cell, rid in zip(
-            product(*(range(e) for e in self.shape)), flat.tolist()
+        backend = self._backend
+        if isinstance(backend, DenseBackend):
+            flat = backend.array.reshape(-1)
+            for cell, rid in zip(
+                product(*(range(e) for e in self.shape)), flat.tolist()
+            ):
+                yield cell, table[rid]
+            return
+        for row, prefix in enumerate(
+            product(*(range(e) for e in self.shape[:-1]))
         ):
-            yield cell, table[rid]
+            for y, rid in enumerate(backend.row_view(row).tolist()):
+                yield prefix + (y,), table[rid]
 
     def to_dict(self) -> dict[Cell, Result]:
         """Materialize the historical ``dict[cell, result]`` view."""
@@ -474,17 +1302,18 @@ class ResultStore:
         axes = tuple(axes)
         if not axes:
             return ResultStore(
-                self.shape, self.ids.copy(), list(self.table_view())
+                self.shape, self._backend.copy(), list(self.table_view())
             )
-        flipped = np.ascontiguousarray(np.flip(self.ids, axis=axes))
-        return ResultStore(self.shape, flipped, list(self.table_view()))
+        return ResultStore(
+            self.shape, self._backend.flip(axes), list(self.table_view())
+        )
 
     # ------------------------------------------------------------------
     # Equality
     # ------------------------------------------------------------------
     def _canonical(self) -> tuple[np.ndarray, list[Result]]:
         """Relabel ids by first occurrence, for id-order-independent equality."""
-        flat = self.ids.reshape(-1)
+        flat = self._backend.to_dense().reshape(-1)
         uniq, first, inverse = np.unique(
             flat, return_index=True, return_inverse=True
         )
@@ -502,7 +1331,7 @@ class ResultStore:
         if self.shape != other.shape:
             return False
         if self.table_view() == other.table_view() and np.array_equal(
-            self.ids, other.ids
+            self._backend.to_dense(), other._backend.to_dense()
         ):
             return True
         a_ids, a_table = self._canonical()
@@ -513,7 +1342,11 @@ class ResultStore:
         return self.num_cells
 
     def __repr__(self) -> str:
+        backend = (
+            "" if self.backend_kind == "dense"
+            else f", backend={self.backend_kind!r}"
+        )
         return (
             f"ResultStore(shape={self.shape}, cells={self.num_cells}, "
-            f"distinct={self.distinct_count})"
+            f"distinct={self.distinct_count}{backend})"
         )

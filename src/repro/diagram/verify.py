@@ -32,6 +32,11 @@ dynamic bisectors, tied mapped distances) and cross-checks
   (same id numbering, same table order), under fuzzed op sequences that
   deliberately include exact duplicates and boundary-coincident points
   (new points sharing a grid line with survivors),
+* grid backends (``backend:*``): RLE-built stores (serial, vectorized
+  native-run emission, maintained through fuzzed update sequences, and
+  through a v4 serialize round trip) must be fingerprint-identical to
+  dense builds, and quad stores' exhaustively measured per-cell
+  mismatch fraction must stay within the epsilon they report,
 * every lookup path against direct from-scratch evaluation, for all
   query kinds, all ``2^d`` quadrant masks, skybands, and the sweeping
   diagram's polyomino walk,
@@ -502,6 +507,176 @@ def _maintenance_checks(seq_seed: int) -> list[tuple[str, Check, str]]:
             ("insert-only", "insert"),
             ("delete-only", "delete"),
         )
+    ]
+
+
+def _backend_checks(seq_seed: int) -> list[tuple[str, Check, str]]:
+    """Grid backend conformance: dense == rle bytes, quad error <= eps.
+
+    The RLE backend promises *byte identity* with dense — same id
+    numbering, same table order, so the value-streaming fingerprints
+    match — through serial builds, the vectorized native-run emission,
+    incremental maintenance sequences, and a v4 serialize round trip.
+    The quad backend is lossy by contract: its exhaustively measured
+    per-cell mismatch fraction against the dense grid it was merged
+    from must not exceed the error it reports, which must not exceed
+    the requested epsilon.
+    """
+    import numpy as np
+
+    from repro.diagram.maintenance import delete_point, insert_point
+    from repro.diagram.pipeline import BuildOptions
+    from repro.diagram.quadrant_scanning import quadrant_scanning
+
+    rle_options = BuildOptions(backend="rle")
+    epsilon = 0.1
+
+    def rle_build(options: BuildOptions) -> Check:
+        def check(points: Points) -> tuple[object, object]:
+            dense = quadrant_scanning(points)
+            rle = quadrant_scanning(points, build_options=options)
+            if rle.store.backend_kind != "rle":
+                return ("rle", rle.store.backend_kind)
+            if dense.store.fingerprint() == rle.store.fingerprint():
+                return (True, True)
+            return (dense.store.to_dict(), rle.store.to_dict())
+
+        return check
+
+    def rle_maintained(points: Points) -> tuple[object, object]:
+        pts = [tuple(float(c) for c in p) for p in points]
+        diagram = quadrant_scanning(pts, build_options=rle_options)
+        for op, value in _maintenance_sequence(seq_seed, points):
+            if op == "insert":
+                diagram = insert_point(diagram, value)
+                pts.append(tuple(float(c) for c in value))
+            else:
+                diagram = delete_point(diagram, value)
+                del pts[value]
+        if diagram.store.backend_kind != "rle":
+            return ("rle", diagram.store.backend_kind)
+        fresh = quadrant_scanning(pts, build_options=rle_options)
+        if diagram.store.fingerprint() == fresh.store.fingerprint():
+            return (True, True)
+        return (fresh.store.to_dict(), diagram.store.to_dict())
+
+    def rle_roundtrip(points: Points) -> tuple[object, object]:
+        from repro.index.serialize import (
+            diagram_from_v3,
+            diagram_to_binary_bytes,
+        )
+
+        diagram = quadrant_scanning(points, build_options=rle_options)
+        payload, _version = diagram_to_binary_bytes(diagram)
+        loaded = diagram_from_v3(payload)
+        if loaded.store.backend_kind != "rle":
+            return ("rle", loaded.store.backend_kind)
+        if diagram.store.fingerprint() == loaded.store.fingerprint():
+            return (True, True)
+        return (diagram.store.to_dict(), loaded.store.to_dict())
+
+    def quad_error(points: Points) -> tuple[object, object]:
+        dense = quadrant_scanning(points)
+        quad = quadrant_scanning(
+            points,
+            build_options=BuildOptions(backend="quad", quad_error=epsilon),
+        )
+        store = quad.store
+        reported = store.approx_error
+        if store.backend_kind != "quad" or reported is None:
+            return ("quad", store.backend_kind)
+        sx, sy = dense.store.shape
+        cells = sx * sy
+        wrong = sum(
+            int(
+                np.count_nonzero(
+                    dense.store.backend.row_view(r)
+                    != store.backend.row_view(r)
+                )
+            )
+            for r in range(sx)
+        )
+        measured = wrong / cells if cells else 0.0
+        if measured <= reported + 1e-12 and reported <= epsilon:
+            return (True, True)
+        return (
+            f"measured <= reported <= {epsilon}",
+            f"measured={measured} reported={reported}",
+        )
+
+    maintained_template = (
+        "from repro.diagram.maintenance import delete_point, insert_point\n"
+        "from repro.diagram.pipeline import BuildOptions\n"
+        "from repro.diagram.quadrant_scanning import quadrant_scanning\n"
+        "from repro.diagram.verify import _maintenance_sequence\n"
+        "pts = [tuple(map(float, p)) for p in points]\n"
+        "diagram = quadrant_scanning(pts, "
+        "build_options=BuildOptions(backend='rle'))\n"
+        f"for op, value in _maintenance_sequence({seq_seed}, points):\n"
+        "    if op == 'insert':\n"
+        "        diagram = insert_point(diagram, value)\n"
+        "        pts.append(tuple(map(float, value)))\n"
+        "    else:\n"
+        "        diagram = delete_point(diagram, value)\n"
+        "        del pts[value]\n"
+        "fresh = quadrant_scanning(pts, "
+        "build_options=BuildOptions(backend='rle'))\n"
+        "assert diagram.store.fingerprint() == fresh.store.fingerprint()"
+    )
+    return [
+        (
+            "backend:rle:serial==dense",
+            rle_build(rle_options),
+            "from repro.diagram import BuildOptions, quadrant_scanning\n"
+            "assert quadrant_scanning(points).store.fingerprint() == "
+            "quadrant_scanning(points, build_options="
+            "BuildOptions(backend='rle')).store.fingerprint()",
+        ),
+        (
+            "backend:rle:vectorized==dense",
+            rle_build(
+                BuildOptions(
+                    backend="rle", executor="vectorized", chunk_rows=2
+                )
+            ),
+            "from repro.diagram import BuildOptions, quadrant_scanning\n"
+            "assert quadrant_scanning(points).store.fingerprint() == "
+            "quadrant_scanning(points, build_options=BuildOptions("
+            "backend='rle', executor='vectorized', chunk_rows=2"
+            ")).store.fingerprint()",
+        ),
+        (
+            "backend:rle:maintenance==fresh",
+            rle_maintained,
+            maintained_template,
+        ),
+        (
+            "backend:rle:v4-roundtrip",
+            rle_roundtrip,
+            "from repro.diagram import BuildOptions, quadrant_scanning\n"
+            "from repro.index.serialize import diagram_from_v3, "
+            "diagram_to_binary_bytes\n"
+            "diagram = quadrant_scanning(points, "
+            "build_options=BuildOptions(backend='rle'))\n"
+            "payload, _ = diagram_to_binary_bytes(diagram)\n"
+            "assert diagram_from_v3(payload).store.fingerprint() == "
+            "diagram.store.fingerprint()",
+        ),
+        (
+            "backend:quad:error<=epsilon",
+            quad_error,
+            "import numpy as np\n"
+            "from repro.diagram import BuildOptions, quadrant_scanning\n"
+            "dense = quadrant_scanning(points)\n"
+            "quad = quadrant_scanning(points, build_options="
+            "BuildOptions(backend='quad', quad_error=0.1))\n"
+            "sx, sy = dense.store.shape\n"
+            "wrong = sum(int(np.count_nonzero("
+            "dense.store.backend.row_view(r) != "
+            "quad.store.backend.row_view(r))) for r in range(sx))\n"
+            "measured = wrong / (sx * sy) if sx * sy else 0.0\n"
+            "assert measured <= quad.store.approx_error <= 0.1",
+        ),
     ]
 
 
@@ -1125,6 +1300,8 @@ def differential_verify(
             round_checks.append((name, check, template, None))
         seq_seed = rng.randrange(1 << 30)
         for name, check, template in _maintenance_checks(seq_seed):
+            round_checks.append((name, check, template, None))
+        for name, check, template in _backend_checks(seq_seed):
             round_checks.append((name, check, template, None))
         for query in queries:
             for name, check, template in _lookup_checks(query):

@@ -80,7 +80,7 @@ from repro.errors import (
     QueryError,
     SerializationError,
 )
-from repro.diagram.maintenance import delete_point, insert_point
+from repro.diagram.maintenance import apply_ops, delete_point, insert_point
 from repro.geometry.point import Dataset, ensure_dataset
 from repro.query import (
     KINDS,
@@ -172,6 +172,8 @@ class UpdateQueue:
         self.last_error: str | None = None
         self.applied = 0  # ops applied over the database lifetime
         self.batches = 0  # applied batches == generation swaps
+        self.union_scans = 0  # multi-op batches applied as ONE re-scan
+        self.union_ops = 0  # ops coalesced into those union re-scans
 
     @property
     def depth(self) -> int:
@@ -207,6 +209,8 @@ class UpdateQueue:
             "applied": self.applied,
             "batches": self.batches,
             "attempts": self.attempts,
+            "union_scans": self.union_scans,
+            "union_ops": self.union_ops,
         }
         if self.last_error is not None:
             entry["error"] = self.last_error
@@ -287,6 +291,7 @@ class SkylineDatabase:
         # Serializes journal appends and batch applies; readers never
         # take it (they only capture the ``_gen`` reference).
         self._update_lock = threading.Lock()
+        self._last_union_ops = 0  # ops coalesced by the latest apply
         self._last_audit: dict[str, str] = {}
         self._planner = QueryPlanner(self)
         for kind in precompute:
@@ -822,6 +827,9 @@ class SkylineDatabase:
             queue.last_error = None
             queue.applied += len(ops)
             queue.batches += 1
+            if self._last_union_ops:
+                queue.union_scans += 1
+                queue.union_ops += self._last_union_ops
         finally:
             self._update_lock.release()
         self.metrics.record_update(new_gen.sha, len(ops))
@@ -831,36 +839,49 @@ class SkylineDatabase:
         """Build the generation after ``ops``, without touching ``gen``.
 
         When the generation has a built 2-D first-quadrant diagram it is
-        maintained incrementally op by op — each step re-scans only the
-        dirty quadrant, byte-identical to a fresh build — under a single
-        budget meter for the whole batch.  Without one, only the dataset
-        swaps and every diagram rebuilds lazily on first use.
+        maintained incrementally — a multi-op batch composes into ONE
+        union dirty-block re-scan (:func:`~repro.diagram.maintenance.
+        apply_ops`; ``union_scans``/``union_ops`` in the queue stats
+        count the coalescing), byte-identical to applying the ops one at
+        a time — under a single budget meter for the whole batch.
+        Without a built diagram, only the dataset swaps and every
+        diagram rebuilds lazily on first use.
         """
         meter = as_meter(self.budget, self._clock)
         diagram = None
         if gen.dataset.dim == 2:
             diagram = gen.diagrams.get("quadrant:0")
         points = None if diagram is not None else list(gen.dataset.points)
-        for entry in ops:
-            if diagram is not None:
-                if entry.op == "insert":
-                    diagram = insert_point(
-                        diagram,
-                        entry.value,
-                        budget=meter,
-                        build_options=self.build_options,
-                    )
+        if diagram is not None and len(ops) > 1:
+            diagram = apply_ops(
+                diagram,
+                [(entry.op, entry.value) for entry in ops],
+                budget=meter,
+                build_options=self.build_options,
+            )
+            self._last_union_ops = len(ops)
+        else:
+            self._last_union_ops = 0
+            for entry in ops:
+                if diagram is not None:
+                    if entry.op == "insert":
+                        diagram = insert_point(
+                            diagram,
+                            entry.value,
+                            budget=meter,
+                            build_options=self.build_options,
+                        )
+                    else:
+                        diagram = delete_point(
+                            diagram,
+                            entry.value,
+                            budget=meter,
+                            build_options=self.build_options,
+                        )
+                elif entry.op == "insert":
+                    points.append(tuple(float(c) for c in entry.value))
                 else:
-                    diagram = delete_point(
-                        diagram,
-                        entry.value,
-                        budget=meter,
-                        build_options=self.build_options,
-                    )
-            elif entry.op == "insert":
-                points.append(tuple(float(c) for c in entry.value))
-            else:
-                del points[entry.value]
+                    del points[entry.value]
         if diagram is not None:
             dataset = diagram.grid.dataset
             state = _BuildState(
@@ -914,6 +935,8 @@ class SkylineDatabase:
         (latency histograms, counters, build-phase timings); ``builds``
         maps each diagram key to its status, attempt count, remaining
         backoff (``retry_in`` seconds) and partial coverage;
+        ``memory`` maps each *attached* diagram to its grid-backend kind
+        and resident store bytes (grid backend + result table);
         ``last_audit`` holds the most recent :meth:`audit` outcome per
         key.
         """
@@ -937,10 +960,23 @@ class SkylineDatabase:
             for key, state in gen.states.items()
             if state.status in ("degraded", "corrupt")
         )
+        # Per-attached-diagram memory: the grid backend's resident bytes
+        # plus the interned result table — the numbers the backend choice
+        # (dense / rle / quad) actually moves.
+        memory: dict[str, dict] = {}
+        for key, diagram in sorted(gen.diagrams.items()):
+            if diagram is None:
+                continue
+            store = diagram.store
+            memory[key] = {
+                "backend": store.backend_kind,
+                "store_nbytes": int(store.nbytes),
+            }
         return {
             "ok": not degraded,
             "degraded": degraded,
             "generation": {"seq": gen.seq, "sha": gen.sha},
+            "memory": memory,
             "updates": self._updates.stats(now),
             "tiers": self.metrics.tier_counts(),
             "rejected": self.metrics.rejected_count(),

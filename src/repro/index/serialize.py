@@ -4,9 +4,9 @@ Diagrams are precomputation artifacts; persisting them is how a service
 avoids rebuilding on restart and how N worker processes share one
 zero-copy snapshot.  Two payload formats live behind one envelope:
 
-* **v3 (binary, the default)** — a one-line JSON meta header followed by
-  64-byte-aligned raw array sections: the ``int32``/``uint`` id grid, the
-  interned result table (either the vectorized builder's cons forest —
+* **v3/v4 (binary, the default)** — a one-line JSON meta header followed
+  by 64-byte-aligned raw array sections: the id grid, the interned
+  result table (either the vectorized builder's cons forest —
   ``rep``/``par`` node arrays plus the tiny corner groups — or a packed
   CSR ``lengths``/``values`` pair), the per-axis grid values, and the
   source points.  Sections load as ``np.frombuffer`` views straight into
@@ -16,6 +16,12 @@ zero-copy snapshot.  Two payload formats live behind one envelope:
   :class:`~repro.diagram.store.PackedTable`) survives the round trip.
   This also fixes the legacy writer's ``O(cells x |result|)`` payload
   blowup: the id grid and the interned table are written once each.
+  Dense stores write the historical v3 payload (an ``int32``/``uint``
+  dense grid section) unchanged; non-dense grid backends write v4, the
+  same layout with the grid's own arrays as sections — ``rle_*`` run
+  arrays (mmapped zero-copy, like the dense grid) or ``quad_*`` node
+  arrays with the measured error in the meta line.  v1–v3 files keep
+  loading byte-compatibly.
 * **v1 JSON (legacy)** — source points plus one expanded result list per
   cell; still produced by :func:`diagram_to_json` and loaded forever.
 
@@ -49,7 +55,14 @@ from typing import Any
 import numpy as np
 
 from repro.diagram.base import DynamicDiagram, SkylineDiagram
-from repro.diagram.store import ConsForestTable, PackedTable, ResultStore
+from repro.diagram.store import (
+    ConsForestTable,
+    DenseBackend,
+    PackedTable,
+    QuadBackend,
+    ResultStore,
+    RLEBackend,
+)
 from repro.errors import SerializationError
 from repro.geometry.grid import Grid
 from repro.geometry.point import Dataset
@@ -59,6 +72,8 @@ _FORMAT = "repro.skyline-diagram"
 _VERSION = 1
 _JSON_ENVELOPE_VERSION = 2
 _BINARY_ENVELOPE_VERSION = 3
+_BINARY_V4_VERSION = 4
+_BINARY_VERSIONS = (_BINARY_ENVELOPE_VERSION, _BINARY_V4_VERSION)
 _ENVELOPE_VERSION = _JSON_ENVELOPE_VERSION  # historical alias (JSON payloads)
 _HEADER_PREFIX = b"repro.skyline-diagram/"
 _ALIGN = 64
@@ -154,18 +169,29 @@ def dynamic_diagram_from_json(text: str) -> DynamicDiagram:
 # ----------------------------------------------------------------------
 # Envelope (versions 2 and 3): checksummed header + atomic file IO
 # ----------------------------------------------------------------------
-def envelope_bytes(payload: str | bytes) -> bytes:
+def envelope_bytes(
+    payload: str | bytes, binary_version: int | None = None
+) -> bytes:
     """Wrap a serialized payload in the versioned, checksummed header.
 
     ``str`` payloads (JSON) get the historical ``/2`` header; ``bytes``
-    payloads (binary v3 snapshots) get ``/3``.
+    payloads (binary snapshots) get ``/3`` by default, or the explicit
+    ``binary_version`` (``4`` for non-dense grid-backend payloads).
     """
     if isinstance(payload, str):
         body = payload.encode("utf-8")
         version = _JSON_ENVELOPE_VERSION
     else:
         body = payload
-        version = _BINARY_ENVELOPE_VERSION
+        version = (
+            _BINARY_ENVELOPE_VERSION
+            if binary_version is None
+            else int(binary_version)
+        )
+        if version not in _BINARY_VERSIONS:
+            raise ValueError(
+                f"unknown binary envelope version {binary_version!r}"
+            )
     digest = hashlib.sha256(body).hexdigest()
     header = (
         f"{_HEADER_PREFIX.decode('ascii')}{version} "
@@ -180,7 +206,8 @@ def verify_envelope(
     """Verify an envelope; return ``(version, payload, sha256)``.
 
     ``version`` is ``None`` for bare v1 payloads (no header, no
-    checksum), 2 for JSON envelopes and 3 for binary snapshots; the
+    checksum), 2 for JSON envelopes, 3 for dense binary snapshots and 4
+    for grid-backend (RLE/quad) binary snapshots; the
     payload is returned as a zero-copy ``memoryview`` into ``blob``.
     Truncated or corrupted envelopes raise :class:`SerializationError`
     whose ``salvage`` attribute reports the recorded header, the
@@ -209,11 +236,11 @@ def verify_envelope(
         raise _salvage_error(
             f"malformed envelope header {header!r}", header, body
         ) from exc
-    if version not in (_JSON_ENVELOPE_VERSION, _BINARY_ENVELOPE_VERSION):
+    if version not in (_JSON_ENVELOPE_VERSION, *_BINARY_VERSIONS):
         raise _salvage_error(
             f"unsupported envelope version {version} "
-            f"(expected {_JSON_ENVELOPE_VERSION} or "
-            f"{_BINARY_ENVELOPE_VERSION})",
+            f"(expected {_JSON_ENVELOPE_VERSION}, "
+            f"{_BINARY_ENVELOPE_VERSION} or {_BINARY_V4_VERSION})",
             header,
             body,
         )
@@ -253,9 +280,9 @@ def open_envelope(blob: bytes) -> str:
     or :func:`map_diagram` for those.
     """
     version, body, _ = verify_envelope(blob)
-    if version == _BINARY_ENVELOPE_VERSION:
+    if version in _BINARY_VERSIONS:
         raise SerializationError(
-            "binary v3 snapshot payloads are not text; "
+            f"binary v{version} snapshot payloads are not text; "
             "use load_diagram/map_diagram"
         )
     try:
@@ -315,7 +342,20 @@ def _packed_arrays(
 def diagram_to_v3_bytes(
     diagram: SkylineDiagram | DynamicDiagram,
 ) -> bytes:
-    """Serialize any diagram to the binary v3 snapshot payload.
+    """Serialize a dense-backend diagram to the binary v3 payload."""
+    payload, version = diagram_to_binary_bytes(diagram)
+    if version != _BINARY_ENVELOPE_VERSION:
+        raise SerializationError(
+            f"store backend {diagram.store.backend_kind!r} needs the v4 "
+            "payload; use diagram_to_binary_bytes/save_diagram"
+        )
+    return payload
+
+
+def diagram_to_binary_bytes(
+    diagram: SkylineDiagram | DynamicDiagram,
+) -> tuple[bytes, int]:
+    """Serialize any diagram to its binary payload; return ``(bytes, version)``.
 
     The id grid and the interned result table are written once each —
     the save payload is ``O(cells + table)``, not the legacy JSON
@@ -323,15 +363,27 @@ def diagram_to_v3_bytes(
     :class:`~repro.diagram.store.ConsForestTable` backing is written as
     its cons forest (``rep``/``par`` plus the corner groups) without
     upgrading the store; list and :class:`PackedTable` backings are
-    written packed (CSR).
+    written packed (CSR).  Dense stores keep the exact v3 layout (and
+    header) older readers accept; RLE and quad stores write their
+    backend arrays as v4 sections — for RLE the same four arrays the
+    in-memory backend reads, so an mmapped v4 file serves the compressed
+    grid zero-copy.
     """
     store = diagram.store
+    backend = store.backend
+    version = (
+        _BINARY_ENVELOPE_VERSION
+        if backend.kind == "dense"
+        else _BINARY_V4_VERSION
+    )
     meta: dict[str, Any] = {
         "format": _FORMAT,
-        "version": 3,
+        "version": version,
         "algorithm": diagram.algorithm,
         "shape": list(store.shape),
     }
+    if version == _BINARY_V4_VERSION:
+        meta["backend"] = backend.kind
     if isinstance(diagram, DynamicDiagram):
         meta["diagram"] = "dynamic"
         grid = diagram.subcells
@@ -347,14 +399,37 @@ def diagram_to_v3_bytes(
     pid_dtype = _min_uint_dtype(max(0, n - 1))
     sections: list[tuple[str, np.ndarray]] = [
         ("points", np.asarray(grid.dataset.points, dtype=np.float64)),
-        (
-            "ids",
-            np.ascontiguousarray(
-                store.ids,
-                dtype=_min_uint_dtype(max(0, store.distinct_count - 1)),
-            ),
-        ),
     ]
+    if backend.kind == "dense":
+        sections.append(
+            (
+                "ids",
+                np.ascontiguousarray(
+                    store.ids,
+                    dtype=_min_uint_dtype(max(0, store.distinct_count - 1)),
+                ),
+            )
+        )
+    elif backend.kind == "rle":
+        # The backend's own dtypes, so the loader's frombuffer views are
+        # usable directly (zero-copy under map_diagram).
+        sections += [
+            ("rle_row_start", backend.row_start),
+            ("rle_row_nruns", backend.row_nruns),
+            ("rle_run_vals", backend.run_vals),
+            ("rle_run_ends", backend.run_ends),
+        ]
+    elif backend.kind == "quad":
+        meta["epsilon"] = backend.epsilon
+        meta["mismatches"] = backend.mismatches
+        sections += [
+            ("quad_children", backend.children),
+            ("quad_node_ids", backend.node_ids),
+        ]
+    else:  # pragma: no cover - new backends must add a section writer
+        raise SerializationError(
+            f"no binary payload writer for backend {backend.kind!r}"
+        )
     for d, axis in enumerate(grid.axes):
         sections.append((f"axis{d}", np.asarray(axis, dtype=np.float64)))
     table = store._table
@@ -398,27 +473,30 @@ def diagram_to_v3_bytes(
         parts.append(b"\0" * (entry["offset"] - position))
         parts.append(np.ascontiguousarray(array).tobytes())
         position = entry["offset"] + array.nbytes
-    return b"".join(parts)
+    return b"".join(parts), version
 
 
 def _v3_meta(payload: bytes | memoryview) -> tuple[dict, int]:
-    """Parse the v3 meta line; return ``(meta, section_base_offset)``."""
+    """Parse a binary meta line; return ``(meta, section_base_offset)``."""
     view = memoryview(payload)
     probe = bytes(view[: 1 << 20])
     newline = probe.find(b"\n")
     if newline < 0:
-        raise SerializationError("v3 snapshot is missing its meta line")
+        raise SerializationError("binary snapshot is missing its meta line")
     try:
         meta = json.loads(probe[:newline].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise SerializationError(f"invalid v3 meta line: {exc}") from exc
+        raise SerializationError(f"invalid snapshot meta line: {exc}") from exc
     if not isinstance(meta, dict) or meta.get("format") != _FORMAT:
         raise SerializationError("not a serialized skyline diagram")
-    if meta.get("version") != 3:
+    if meta.get("version") not in _BINARY_VERSIONS:
         raise SerializationError(
             f"unsupported version {meta.get('version')!r}"
         )
-    for key in ("diagram", "shape", "sections", "table"):
+    required = ("diagram", "shape", "sections", "table")
+    if meta["version"] == _BINARY_V4_VERSION:
+        required += ("backend",)
+    for key in required:
         if key not in meta:
             raise SerializationError(f"missing field {key!r}")
     return meta, -(-(newline + 1) // _ALIGN) * _ALIGN
@@ -483,6 +561,59 @@ def _v3_table(meta: dict, arrays: dict[str, np.ndarray], n: int):
     )
 
 
+def _binary_grid_backend(
+    meta: dict, arrays: dict[str, np.ndarray], shape: tuple[int, ...]
+):
+    """Reconstruct the grid backend recorded by a v3/v4 payload.
+
+    v3 payloads (and v4 ``backend: dense``, which the writer never emits
+    but the format allows) carry one dense ``ids`` section; v4 carries
+    the backend's own arrays as sections, returned as the loader's
+    zero-copy views — read-only is fine, every backend mutates by
+    replacement, never in place.
+    """
+    kind = meta.get("backend", "dense")
+    try:
+        if kind == "dense":
+            ids = arrays["ids"]
+            if tuple(ids.shape) != shape:
+                raise SerializationError(
+                    f"id grid of shape {tuple(ids.shape)} for recorded "
+                    f"shape {list(shape)}"
+                )
+            return DenseBackend(ids)
+        if kind == "rle":
+            return RLEBackend(
+                shape,
+                arrays["rle_row_start"],
+                arrays["rle_row_nruns"],
+                arrays["rle_run_vals"],
+                arrays["rle_run_ends"],
+            )
+        if kind == "quad":
+            children = arrays["quad_children"]
+            if children.ndim != 2 or children.shape[1] != 4:
+                raise SerializationError(
+                    f"quad children of shape {tuple(children.shape)}"
+                )
+            return QuadBackend(
+                shape,
+                children,
+                arrays["quad_node_ids"],
+                float(meta.get("epsilon", 0.0)),
+                int(meta.get("mismatches", 0)),
+            )
+    except KeyError as exc:
+        raise SerializationError(
+            f"{kind} payload is missing grid section {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise SerializationError(
+            f"malformed {kind} grid sections: {exc}"
+        ) from exc
+    raise SerializationError(f"unknown grid backend {kind!r}")
+
+
 def diagram_from_v3(
     payload: bytes | memoryview,
 ) -> SkylineDiagram | DynamicDiagram:
@@ -496,9 +627,8 @@ def diagram_from_v3(
     """
     meta, base = _v3_meta(payload)
     arrays = _v3_sections(payload, meta, base)
-    for required in ("points", "ids"):
-        if required not in arrays:
-            raise SerializationError(f"v3 payload has no {required!r} section")
+    if "points" not in arrays:
+        raise SerializationError("binary payload has no 'points' section")
     try:
         dataset = Dataset([tuple(row) for row in arrays["points"].tolist()])
     except (TypeError, ValueError) as exc:
@@ -520,19 +650,16 @@ def diagram_from_v3(
             raise SerializationError(
                 f"axis {d} grid values do not match the stored points"
             )
-    ids = arrays["ids"]
-    if tuple(ids.shape) != shape:
-        raise SerializationError(
-            f"id grid of shape {tuple(ids.shape)} for recorded shape "
-            f"{list(shape)}"
-        )
+    backend = _binary_grid_backend(meta, arrays, shape)
     table = _v3_table(meta, arrays, len(dataset))
-    if ids.size and int(ids.max()) >= len(table):
-        raise SerializationError(
-            f"cell ids reference result {int(ids.max())} but the table "
-            f"has {len(table)} entries"
-        )
-    store = ResultStore(shape, ids, table)
+    if backend.num_cells:
+        top = backend.min_max()[1]
+        if top >= len(table):
+            raise SerializationError(
+                f"cell ids reference result {top} but the table "
+                f"has {len(table)} entries"
+            )
+    store = ResultStore(shape, backend, table)
     if meta["diagram"] == "dynamic":
         return DynamicDiagram(grid, store, algorithm=meta["algorithm"])
     if "k" in meta:
@@ -558,8 +685,9 @@ def save_diagram(
 ) -> None:
     """Atomically write a diagram to ``path`` inside the sha256 envelope.
 
-    ``format="binary"`` (the default) writes the v3 snapshot payload —
-    the format :func:`map_diagram` serves zero-copy; ``format="json"``
+    ``format="binary"`` (the default) writes the binary snapshot payload
+    — v3 for dense stores, v4 for RLE/quad grid backends, either way the
+    format :func:`map_diagram` serves zero-copy; ``format="json"``
     writes the legacy v1 JSON payload in a ``/2`` envelope.  Either way
     the payload lands in a temp file in the destination directory, is
     flushed and fsynced, then renamed over ``path`` — a crash or
@@ -567,8 +695,9 @@ def save_diagram(
     nothing, never a torn write.
     """
     payload: str | bytes
+    binary_version: int | None = None
     if format == "binary":
-        payload = diagram_to_v3_bytes(diagram)
+        payload, binary_version = diagram_to_binary_bytes(diagram)
     elif format == "json":
         if isinstance(diagram, DynamicDiagram):
             payload = dynamic_diagram_to_json(diagram)
@@ -576,7 +705,7 @@ def save_diagram(
             payload = diagram_to_json(diagram)
     else:
         raise ValueError(f"unknown save format {format!r}")
-    blob = envelope_bytes(payload)
+    blob = envelope_bytes(payload, binary_version)
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(
         prefix=".skyline-diagram-", suffix=".tmp", dir=directory
@@ -609,7 +738,7 @@ def load_diagram(path: str) -> SkylineDiagram | DynamicDiagram:
     except OSError as exc:
         raise SerializationError(f"cannot read {path!r}: {exc}") from exc
     version, body, _ = verify_envelope(blob)
-    if version == _BINARY_ENVELOPE_VERSION:
+    if version in _BINARY_VERSIONS:
         return diagram_from_v3(body)
     try:
         text = bytes(body).decode("utf-8")
@@ -635,9 +764,10 @@ def map_diagram(
     index arrays are views into the mapping, so N processes mapping the
     same snapshot share one copy of the hot pages — this is the worker
     side of the serving subsystem.  The mapping stays alive for the
-    diagram's lifetime via a reference on the store.  Only binary v3
-    envelopes can be mapped; JSON envelopes raise (load those with
-    :func:`load_diagram`).
+    diagram's lifetime via a reference on the store.  Only binary v3/v4
+    envelopes can be mapped (v4 RLE snapshots serve the compressed run
+    arrays zero-copy the same way); JSON envelopes raise (load those
+    with :func:`load_diagram`).
     """
     try:
         with open(path, "rb") as handle:
@@ -646,9 +776,9 @@ def map_diagram(
         raise SerializationError(f"cannot map {path!r}: {exc}") from exc
     try:
         version, body, sha = verify_envelope(mapped)
-        if version != _BINARY_ENVELOPE_VERSION:
+        if version not in _BINARY_VERSIONS:
             raise SerializationError(
-                f"only binary v3 snapshots can be mapped; {path!r} holds "
+                f"only binary v3/v4 snapshots can be mapped; {path!r} holds "
                 f"{'a bare v1 payload' if version is None else f'a v{version} envelope'}"
             )
         diagram = diagram_from_v3(body)
@@ -690,7 +820,7 @@ def _load(text: str, expected: str) -> dict[str, Any]:
 def _rows_from_store(store: ResultStore) -> list[list[int]]:
     """Row-major per-cell results as JSON-ready lists (one table read each)."""
     table = [list(result) for result in store.table_view()]
-    return [table[i] for i in store.ids.reshape(-1).tolist()]
+    return [table[i] for i in store.dense_ids().reshape(-1).tolist()]
 
 
 def _results_from_rows(

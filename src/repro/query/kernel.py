@@ -106,10 +106,13 @@ class QueryKernel:
         per-cell bounds re-checks — bisect results are always in range)
         removes most of the interpreter overhead that separated the
         scalar path from the batch kernel.  Returns ``None`` — and the
-        scalar path falls back to locate/result_at — for union modes or
-        a non-C-contiguous id array.
+        scalar path falls back to locate/result_at — for union modes,
+        non-dense grid backends (rle/quad lookups go through the
+        backend's own search), or a non-C-contiguous id array.
         """
         if self.mode != "closed_edge":
+            return None
+        if self.store.backend_kind != "dense":
             return None
         ids = self.store.ids
         if not ids.flags.c_contiguous or tuple(ids.shape) != self.store.shape:

@@ -33,16 +33,17 @@ from repro.errors import SerializationError, ServeError
 from repro.serve.snapshot import SnapshotManager
 
 
-def _worker_main(path: str, conn) -> None:
+def _worker_main(path: str, conn, backend: str | None = None) -> None:
     """Worker loop: map the snapshot, answer batches until poisoned.
 
     Module-level so every multiprocessing start method can target it.
     The manager refreshes per batch — a swapped snapshot file is picked
     up at the next batch boundary, and a corrupt replacement keeps the
     old generation serving (the manager records, the batch still
-    answers).
+    answers).  ``backend`` converts each mapped generation's grid store
+    (every worker converts its own copy).
     """
-    manager = SnapshotManager(path)
+    manager = SnapshotManager(path, backend=backend)
     try:
         # Map eagerly while the file is known-good (the pool verified it
         # at construction): a worker that has a generation in hand keeps
@@ -108,14 +109,18 @@ class SnapshotWorkerPool:
         path: str,
         workers: int = 2,
         start_method: str | None = None,
+        backend: str | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
         # Verify the snapshot up front: a pool over an unloadable file
-        # should fail at construction, not on the first query.
-        SnapshotManager(path).load()
+        # should fail at construction, not on the first query.  The
+        # backend conversion runs here too, so an invalid backend name
+        # also fails at construction.
+        SnapshotManager(path, backend=backend).load()
         self.path = path
         self.workers = workers
+        self.backend = backend
         method = start_method or (
             "fork" if "fork" in mp.get_all_start_methods() else "spawn"
         )
@@ -138,7 +143,7 @@ class SnapshotWorkerPool:
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(self.path, child_conn),
+            args=(self.path, child_conn, self.backend),
             daemon=True,
         )
         proc.start()

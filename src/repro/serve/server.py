@@ -73,6 +73,7 @@ class SkylineServer:
         pool: SnapshotWorkerPool | None = None,
         metrics: MetricsRegistry | None = None,
         max_line: int = 1 << 20,
+        backend: str | None = None,
     ) -> None:
         if max_line < 1:
             raise ValueError(f"max_line must be >= 1, got {max_line}")
@@ -80,6 +81,7 @@ class SkylineServer:
         self.host = host
         self.port = port
         self.workers = workers
+        self.backend = backend
         self.max_batch = max_batch
         self.max_delay = max_delay
         self.max_line = max_line
@@ -100,7 +102,9 @@ class SkylineServer:
             self._pool = await loop.run_in_executor(
                 None,
                 lambda: SnapshotWorkerPool(
-                    self.snapshot_path, workers=self.workers
+                    self.snapshot_path,
+                    workers=self.workers,
+                    backend=self.backend,
                 ),
             )
 
@@ -290,6 +294,7 @@ class SkylineServer:
         """
         return {
             "snapshot": self.snapshot_path,
+            "backend": self.backend,
             "requests": self.requests,
             "errors": self.errors,
             "rejected": self.metrics.rejected_count(),
@@ -308,6 +313,7 @@ async def serve_forever(
     max_delay: float = 0.002,
     ready: asyncio.Event | None = None,
     max_line: int = 1 << 20,
+    backend: str | None = None,
 ) -> None:
     """Run a :class:`SkylineServer` until a client requests shutdown."""
     server = SkylineServer(
@@ -318,6 +324,7 @@ async def serve_forever(
         max_batch=max_batch,
         max_delay=max_delay,
         max_line=max_line,
+        backend=backend,
     )
     bound_host, bound_port = await server.start()
     print(f"serving {snapshot_path} on {bound_host}:{bound_port} "

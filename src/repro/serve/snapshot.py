@@ -53,10 +53,17 @@ class SnapshotManager:
     Thread-compatible in the way the serving stack needs: ``refresh``
     must be called from one thread at a time (each worker process owns
     its manager), while :attr:`current` may be read from any thread.
+
+    ``backend`` converts each mapped generation's grid store to the
+    named backend (``dense`` / ``rle`` / ``quad``) before it is
+    published; the default serves the snapshot's stored backend as
+    mapped (dense and rle map zero-copy).  Conversion materializes the
+    grid but keeps the interned table on the mapping.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, backend: str | None = None) -> None:
         self.path = path
+        self.backend = backend
         self._current: Snapshot | None = None
         self.last_error: str | None = None
         self.swaps = 0  # successful publishes, the initial load included
@@ -117,6 +124,20 @@ class SnapshotManager:
                 f"cannot stat {self.path!r}: {exc}"
             ) from exc
         diagram, sha = map_diagram(self.path)
+        store = getattr(diagram, "store", None)
+        if (
+            self.backend is not None
+            and store is not None
+            and getattr(store, "backend_kind", None) is not None
+            and store.backend_kind != self.backend
+        ):
+            converted = store.convert(self.backend)
+            # The converted grid is materialized, but the interned table
+            # is shared and still points into the mapping — carry the
+            # mmap keepalive over.
+            converted._mmap = store._mmap
+            diagram._store = converted
+            diagram._kernel = None
         return Snapshot(
             diagram=diagram,
             generation=sha,

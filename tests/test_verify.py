@@ -111,7 +111,7 @@ class TestDifferentialHarness:
         report = differential_verify(seed=1, budget=400, max_points=6)
         assert set(report.by_check) == {
             "pair", "lookup", "batch", "degraded", "runtime",
-            "maintenance", "spec",
+            "maintenance", "backend", "spec",
         }
         assert all(count > 0 for count in report.by_check.values())
 
